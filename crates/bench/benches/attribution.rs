@@ -1,0 +1,80 @@
+//! Microbenchmark of the per-sample attribution path (§4.2): splay-tree lookup +
+//! calling-context insertion + metric update, i.e. exactly the work DJXPerf's signal
+//! handler performs per PMU sample, measured end to end through the PMU agent.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use djx_memsim::{HierarchyConfig, MemoryAccess, MemoryHierarchy};
+use djx_pmu::{PerfEventBuilder, PmuEvent};
+use djx_runtime::{Frame, MemoryAccessEvent, MethodId, ObjectId, RuntimeListener, ThreadId};
+use djxperf::{Interval, MonitoredObject, PmuAgent, SharedObjectIndex};
+
+const OBJECTS: u64 = 2_000;
+const OBJECT_SIZE: u64 = 8 * 1024;
+
+fn shared_index() -> std::sync::Arc<SharedObjectIndex> {
+    let shared = SharedObjectIndex::new();
+    {
+        let mut sites = shared.sites.lock();
+        let mut tree = shared.tree.lock();
+        for i in 0..OBJECTS {
+            let site = sites.intern("bench[]", &[Frame::new(MethodId((i % 64) as u32), 5)]);
+            let start = 0x4000_0000 + i * OBJECT_SIZE;
+            tree.insert(
+                Interval::new(start, start + OBJECT_SIZE),
+                MonitoredObject { object: ObjectId(i + 1), site, size: OBJECT_SIZE },
+            );
+        }
+    }
+    shared
+}
+
+fn bench_sample_attribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_attribution");
+    group.sample_size(20);
+
+    // Pre-simulate an access stream so the benchmark isolates the profiler-side work.
+    let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::broadwell_like());
+    let mut x = 0x853c49e6748fea9bu64;
+    let outcomes: Vec<_> = (0..50_000u64)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let obj = (x >> 33) % OBJECTS;
+            let addr = 0x4000_0000 + obj * OBJECT_SIZE + (x % (OBJECT_SIZE / 8)) * 8;
+            hierarchy.access(MemoryAccess::load(0, addr, 8))
+        })
+        .collect();
+    let call_trace = [
+        Frame::new(MethodId(1), 0),
+        Frame::new(MethodId(2), 4),
+        Frame::new(MethodId(3), 8),
+        Frame::new(MethodId(4), 12),
+    ];
+
+    for period in [64u64, 512, 4096] {
+        group.throughput(Throughput::Elements(outcomes.len() as u64));
+        group.bench_function(format!("period_{period}"), |b| {
+            b.iter(|| {
+                let agent = PmuAgent::new(
+                    PerfEventBuilder::new(PmuEvent::L1Miss).sample_period(period),
+                    period,
+                    shared_index(),
+                );
+                for outcome in &outcomes {
+                    agent.on_memory_access(&MemoryAccessEvent {
+                        thread: ThreadId(1),
+                        outcome: *outcome,
+                        call_trace: &call_trace,
+                        object: None,
+                    });
+                }
+                black_box(agent.total_samples())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_attribution);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks for the calling context tree (§4.4 / §5.1): path insertion under
+//! realistic depth/width, and the top-down merge the offline analyzer performs per
+//! thread profile.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use djx_runtime::{Frame, MethodId};
+use djxperf::Cct;
+
+/// Generates `count` call paths of the given depth over a pool of methods, sharing
+/// prefixes the way real stacks do.
+fn paths(count: usize, depth: usize, methods: u32) -> Vec<Vec<Frame>> {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    (0..count)
+        .map(|_| {
+            (0..depth)
+                .map(|level| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    // Outer frames vary little (shared prefixes), leaves vary a lot.
+                    let spread = 1 + (level as u32 * methods / depth as u32).max(1);
+                    Frame::new(MethodId((x >> 33) as u32 % spread), (level * 4) as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cct_insert");
+    group.sample_size(20);
+    let sample_paths = paths(20_000, 16, 400);
+
+    group.bench_function("insert_20k_paths_depth16", |b| {
+        b.iter(|| {
+            let mut cct = Cct::new();
+            for path in &sample_paths {
+                black_box(cct.insert_path(path));
+            }
+            black_box(cct.len())
+        })
+    });
+
+    group.bench_function("reinsert_hot_path", |b| {
+        let mut cct = Cct::new();
+        let hot = &sample_paths[0];
+        cct.insert_path(hot);
+        b.iter(|| black_box(cct.insert_path(black_box(hot))))
+    });
+
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cct_merge");
+    group.sample_size(20);
+
+    let per_thread: Vec<Cct> = (0..4u32)
+        .map(|t| {
+            let mut cct = Cct::new();
+            for path in paths(5_000, 12, 200 + t) {
+                let leaf = cct.insert_path(&path);
+                cct.metrics_mut(leaf).record_allocation(64);
+            }
+            cct
+        })
+        .collect();
+
+    group.bench_function("merge_4_thread_ccts", |b| {
+        b.iter_batched(
+            Cct::new,
+            |mut merged| {
+                for thread_cct in &per_thread {
+                    black_box(merged.merge(thread_cct));
+                }
+                black_box(merged.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_merge);
+criterion_main!(benches);

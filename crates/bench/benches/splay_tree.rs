@@ -1,0 +1,149 @@
+//! Microbenchmarks for the interval splay tree (§4.2 / §5.1).
+//!
+//! The splay tree sits on the hot path of every PMU sample (one lookup per sample) and
+//! of every monitored allocation/move/reclaim; it must be cheap enough to keep the
+//! profiler's overhead at the ~8% the paper reports. The benchmark compares splay-tree
+//! lookups under a temporally clustered address stream (the favourable case the data
+//! structure is chosen for), a uniformly random stream, and a `BTreeMap` range-query
+//! baseline for the ablation DESIGN.md calls out.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use djxperf::{Interval, IntervalSplayTree};
+
+const OBJECTS: u64 = 10_000;
+const OBJECT_SIZE: u64 = 4096;
+
+fn build_tree() -> IntervalSplayTree<u64> {
+    let mut tree = IntervalSplayTree::new();
+    for i in 0..OBJECTS {
+        let start = 0x1000_0000 + i * OBJECT_SIZE;
+        tree.insert(Interval::new(start, start + OBJECT_SIZE), i);
+    }
+    tree
+}
+
+fn build_btree() -> BTreeMap<u64, (u64, u64)> {
+    (0..OBJECTS)
+        .map(|i| {
+            let start = 0x1000_0000 + i * OBJECT_SIZE;
+            (start, (start + OBJECT_SIZE, i))
+        })
+        .collect()
+}
+
+/// A deterministic pseudo-random sequence of object indices.
+fn lcg_indices(count: usize) -> Vec<u64> {
+    let mut x = 0x243f6a8885a308d3u64;
+    (0..count)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) % OBJECTS
+        })
+        .collect()
+}
+
+/// A clustered sequence: long runs of lookups hitting the same few hot objects, the way
+/// real PMU samples cluster on the currently hot data.
+fn clustered_indices(count: usize) -> Vec<u64> {
+    let mut indices = Vec::with_capacity(count);
+    let mut hot = 17u64;
+    for i in 0..count {
+        if i % 64 == 0 {
+            hot = (hot * 31 + 7) % OBJECTS;
+        }
+        indices.push(hot);
+    }
+    indices
+}
+
+fn addr_of(index: u64) -> u64 {
+    0x1000_0000 + index * OBJECT_SIZE + (index % 64) * 8
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splay_tree_lookup");
+    group.sample_size(20);
+
+    let random = lcg_indices(10_000);
+    let clustered = clustered_indices(10_000);
+
+    group.bench_function("splay_clustered_stream", |b| {
+        b.iter_batched(
+            build_tree,
+            |mut tree| {
+                let mut hits = 0u64;
+                for &i in &clustered {
+                    hits += u64::from(tree.lookup(addr_of(i)).is_some());
+                }
+                black_box(hits)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("splay_random_stream", |b| {
+        b.iter_batched(
+            build_tree,
+            |mut tree| {
+                let mut hits = 0u64;
+                for &i in &random {
+                    hits += u64::from(tree.lookup(addr_of(i)).is_some());
+                }
+                black_box(hits)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("btreemap_range_baseline", |b| {
+        let map = build_btree();
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &i in &random {
+                let addr = addr_of(i);
+                if let Some((_, (end, _))) = map.range(..=addr).next_back() {
+                    hits += u64::from(addr < *end);
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splay_tree_update");
+    group.sample_size(20);
+
+    group.bench_function("insert_10k_objects", |b| {
+        b.iter(|| black_box(build_tree().len()))
+    });
+
+    group.bench_function("gc_relocation_batch", |b| {
+        // Move every object to a new address range, the way a full compaction would.
+        b.iter_batched(
+            build_tree,
+            |mut tree| {
+                for i in 0..OBJECTS {
+                    let old = 0x1000_0000 + i * OBJECT_SIZE;
+                    if let Some((_, v)) = tree.remove(old) {
+                        let new = 0x9000_0000 + i * OBJECT_SIZE;
+                        tree.insert(Interval::new(new, new + OBJECT_SIZE), v);
+                    }
+                }
+                black_box(tree.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_updates);
+criterion_main!(benches);

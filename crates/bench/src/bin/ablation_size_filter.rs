@@ -1,0 +1,50 @@
+//! §6 "further discussions" — the size-filter ablation.
+//!
+//! DJXPerf filters allocations smaller than S = 1 KiB by default; setting S = 0 (monitor
+//! every object) raises runtime overhead to 1.8×–3.6× on the Renaissance suite while
+//! rarely revealing additional optimization opportunities. This harness sweeps S over a
+//! subset of the (allocation-heavy) catalog benchmarks and prints, for each S, the
+//! runtime overhead and the number of monitored allocations.
+
+use djx_bench::prelude::*;
+use djx_workloads::suite::suite_catalog;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let filters: &[(u64, &str)] = &[
+        (0, "S=0 (every object)"),
+        (256, "S=256 B"),
+        (1024, "S=1 KiB (default)"),
+        (4096, "S=4 KiB"),
+    ];
+    // Alloc-heavy Renaissance benchmarks, where the ablation matters most.
+    let names = if quick {
+        vec!["mnemonics"]
+    } else {
+        vec!["akka-uct", "mnemonics", "par-mnemonics", "scrabble", "db-shootout"]
+    };
+    let catalog = suite_catalog();
+    let reps = if quick { 1 } else { DEFAULT_REPETITIONS };
+
+    println!("== §6 ablation: size filter S vs overhead ==\n");
+    let mut table = Table::new(&["benchmark", "filter", "runtime ovh", "monitored allocations"]);
+    for name in names {
+        let bench = catalog.iter().find(|b| b.name == name).expect("catalog entry");
+        let workload = bench.build();
+        for (bytes, label) in filters {
+            let (overhead, monitored) = measure_filter_overhead(&workload, *bytes, reps);
+            table.row(&[
+                name.to_string(),
+                label.to_string(),
+                fmt_ratio(overhead),
+                monitored.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "paper: S=0 costs 1.8x-3.6x on Renaissance; S=1KiB is the default trade-off.\n\
+         The shape to compare: overhead decreases monotonically as S grows, and the\n\
+         default already monitors every object the case studies need."
+    );
+}

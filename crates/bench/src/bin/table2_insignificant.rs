@@ -1,0 +1,51 @@
+//! Table 2 — optimizing insignificant objects yields little speedup.
+//!
+//! Each of the nine code bases has a textbook allocation-in-loop bloat pattern, but the
+//! PMU metrics show the objects account for (almost) no cache misses; hoisting them is
+//! safe yet pointless. For every row the harness reports the allocation count, the
+//! object's miss share, and the measured speedup of the (futile) optimization next to
+//! the paper's numbers.
+
+use djx_bench::prelude::*;
+use djx_workloads::insignificant::table2_cases;
+
+fn main() {
+    let config = evaluation_profiler().with_period(256);
+    let mut table = Table::new(&[
+        "application",
+        "problematic code",
+        "allocations (paper)",
+        "allocations (sim)",
+        "miss share",
+        "measured speedup",
+        "paper speedup",
+    ]);
+
+    for case in table2_cases() {
+        let row = measure_case_study(
+            case.application,
+            &format!("{} (cold)", case.class_name),
+            1.0,
+            |v| Box::new(case.build(v)),
+            config,
+        );
+        table.row(&[
+            case.application.to_string(),
+            format!("{} ({})", case.file, case.line),
+            case.paper_allocations.to_string(),
+            row.allocations.to_string(),
+            fmt_percent(row.object_fraction),
+            fmt_ratio(row.measured_speedup),
+            "~1.00x (0-1%)".to_string(),
+        ]);
+    }
+
+    println!("== Table 2: insignificant objects — bloat without misses ==\n");
+    println!("{}", table.render());
+    println!(
+        "Every object is allocated thousands of times (classic bloat), yet carries a\n\
+         negligible share of cache misses; the singleton-pattern fix changes nothing.\n\
+         This is the filter DJXPerf's object-centric PMU metrics provide over\n\
+         allocation-frequency-based bloat detectors."
+    );
+}

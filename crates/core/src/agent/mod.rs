@@ -1,0 +1,61 @@
+//! The profiler's two agents.
+//!
+//! DJXPerf is built from a *Java agent* (lightweight ASM bytecode instrumentation that
+//! intercepts object allocations) and a *JVMTI agent* (native code that programs PMUs per
+//! thread and handles their overflow signals) — §4.1 of the paper. The reproduction keeps
+//! that split:
+//!
+//! * [`AllocationAgent`] subscribes to the runtime's allocation, GC, move and reclaim
+//!   events and maintains the shared interval splay tree of monitored objects;
+//! * [`PmuAgent`] subscribes to thread start/end and to the access stream, drives one
+//!   virtual PMU per thread, and attributes every emitted sample to the enclosing object
+//!   via the splay tree.
+//!
+//! Both agents are combined by [`DjxPerf`](crate::profiler::DjxPerf), which implements
+//! [`RuntimeListener`](djx_runtime::RuntimeListener) by delegating to them in order.
+
+mod allocation;
+mod pmu;
+
+pub use allocation::{AllocationAgent, AllocationConfig, DEFAULT_SIZE_FILTER};
+pub use pmu::PmuAgent;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::object::{AllocSiteRegistry, MonitoredObject};
+use crate::splay::IntervalSplayTree;
+
+/// State shared between the two agents: the splay tree of monitored-object address
+/// ranges (the only structure shared across threads in the original tool, protected by a
+/// spin lock there and by a `parking_lot` mutex here) and the allocation-site registry.
+#[derive(Debug, Default)]
+pub struct SharedObjectIndex {
+    /// Live monitored objects keyed by their current address range.
+    pub tree: Mutex<IntervalSplayTree<MonitoredObject>>,
+    /// Interned allocation sites.
+    pub sites: Mutex<AllocSiteRegistry>,
+}
+
+impl SharedObjectIndex {
+    /// Creates an empty shared index.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Number of live monitored objects.
+    pub fn live_objects(&self) -> usize {
+        self.tree.lock().len()
+    }
+
+    /// Number of interned allocation sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.lock().len()
+    }
+
+    /// Approximate resident bytes of the shared structures.
+    pub fn approx_bytes(&self) -> usize {
+        self.tree.lock().approx_bytes() + self.sites.lock().approx_bytes()
+    }
+}

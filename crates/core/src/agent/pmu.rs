@@ -1,0 +1,318 @@
+//! The PMU ("JVMTI") agent.
+//!
+//! Mirrors §4.1/§4.2 of the paper: on every Java thread start the agent programs a PMU
+//! in sampling mode for the configured precise memory event; when a counter overflows
+//! the resulting sample — effective address, CPU, latency — is attributed to the object
+//! whose address range encloses the effective address (splay-tree lookup) and, beneath
+//! that object, to the calling context at which the sample fired (`AsyncGetCallTrace`).
+//! Samples whose address is not enclosed by any monitored object stay in an
+//! "unattributed" bucket. The NUMA relationship of every sample (page node vs the node
+//! of the sampling CPU, §4.3) is folded into the same metric vector.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use djx_pmu::{PerfEventBuilder, PmuCounts, ThreadPmu};
+use djx_runtime::{MemoryAccessEvent, RuntimeListener, ThreadEvent, ThreadId};
+
+use crate::profile::ThreadProfile;
+
+use super::SharedObjectIndex;
+
+#[derive(Debug, Default)]
+struct PmuState {
+    pmus: HashMap<ThreadId, ThreadPmu>,
+    profiles: HashMap<ThreadId, ThreadProfile>,
+    /// Thread-start order, so assembled profiles are deterministic.
+    order: Vec<ThreadId>,
+}
+
+/// The PMU agent. See the [module documentation](self).
+#[derive(Debug)]
+pub struct PmuAgent {
+    builder: PerfEventBuilder,
+    period: u64,
+    shared: Arc<SharedObjectIndex>,
+    state: Mutex<PmuState>,
+}
+
+impl PmuAgent {
+    /// Creates an agent that programs every thread's PMU from `builder`. The `period` is
+    /// used to scale sample values into event-count estimates.
+    pub fn new(builder: PerfEventBuilder, period: u64, shared: Arc<SharedObjectIndex>) -> Self {
+        Self { builder, period, shared, state: Mutex::new(PmuState::default()) }
+    }
+
+    /// Sampling period used for metric scaling.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Number of threads whose PMU the agent has programmed.
+    pub fn thread_count(&self) -> usize {
+        self.state.lock().pmus.len()
+    }
+
+    /// Total samples delivered across all threads.
+    pub fn total_samples(&self) -> u64 {
+        self.state.lock().profiles.values().map(|p| p.samples).sum()
+    }
+
+    /// Merged raw PMU event counts across every thread (the "ground truth" counters the
+    /// evaluation compares attribution fractions against).
+    pub fn merged_counts(&self) -> PmuCounts {
+        let state = self.state.lock();
+        let mut merged = PmuCounts::default();
+        for pmu in state.pmus.values() {
+            merged.merge(pmu.counts());
+        }
+        merged
+    }
+
+    /// Clones the per-thread profiles in thread-start order.
+    pub fn thread_profiles(&self) -> Vec<ThreadProfile> {
+        let state = self.state.lock();
+        state
+            .order
+            .iter()
+            .filter_map(|t| state.profiles.get(t).cloned())
+            .collect()
+    }
+
+    /// Folds an allocation record into a thread's profile (called by the profiler when
+    /// assembling the final profile, so allocation counts and PMU samples of the same
+    /// site end up in one metric vector).
+    pub fn record_allocation(&self, thread: ThreadId, site: crate::object::AllocSiteId, count: u64, bytes: u64) {
+        let mut state = self.state.lock();
+        let profile = Self::profile_entry(&mut state, thread, "<unknown thread>");
+        for _ in 0..count {
+            profile.record_allocation(site, 0);
+        }
+        // Adjust bytes exactly rather than splitting per allocation.
+        if let Some(sm) = profile.sites.get_mut(&site) {
+            sm.total.allocated_bytes += bytes;
+        }
+    }
+
+    /// Approximate resident bytes of the per-thread PMUs and profiles.
+    pub fn approx_bytes(&self) -> usize {
+        let state = self.state.lock();
+        state.pmus.len() * std::mem::size_of::<ThreadPmu>()
+            + state.profiles.values().map(|p| p.approx_bytes()).sum::<usize>()
+    }
+
+    fn profile_entry<'a>(
+        state: &'a mut PmuState,
+        thread: ThreadId,
+        name: &str,
+    ) -> &'a mut ThreadProfile {
+        if !state.profiles.contains_key(&thread) {
+            state.profiles.insert(thread, ThreadProfile::new(thread, name));
+            state.order.push(thread);
+        }
+        state.profiles.get_mut(&thread).unwrap()
+    }
+
+    fn ensure_pmu(&self, state: &mut PmuState, thread: ThreadId, name: &str) {
+        if !state.pmus.contains_key(&thread) {
+            state.pmus.insert(thread, self.builder.open_for_thread(thread.0));
+            Self::profile_entry(state, thread, name);
+        }
+    }
+}
+
+impl RuntimeListener for PmuAgent {
+    fn on_thread_start(&self, event: &ThreadEvent<'_>) {
+        let mut state = self.state.lock();
+        self.ensure_pmu(&mut state, event.thread, event.name);
+    }
+
+    fn on_thread_end(&self, event: &ThreadEvent<'_>) {
+        let mut state = self.state.lock();
+        if let Some(pmu) = state.pmus.get_mut(&event.thread) {
+            pmu.disable();
+        }
+    }
+
+    fn on_memory_access(&self, event: &MemoryAccessEvent<'_>) {
+        let mut state = self.state.lock();
+        // Threads that started before the profiler attached get a PMU lazily.
+        self.ensure_pmu(&mut state, event.thread, "<attached>");
+        let pmu = state.pmus.get_mut(&event.thread).expect("pmu just ensured");
+        let samples = pmu.observe(&event.outcome);
+        if samples.is_empty() {
+            return;
+        }
+
+        // Resolve each sample's effective address to the enclosing monitored object.
+        // The splay tree is the only structure shared between threads (§5.1); lock it
+        // once per overflow batch.
+        let mut resolved = Vec::with_capacity(samples.len());
+        {
+            let mut tree = self.shared.tree.lock();
+            for sample in &samples {
+                resolved.push(tree.lookup(sample.effective_addr).map(|(_, mo)| mo.site));
+            }
+        }
+
+        let period = self.period;
+        let profile = Self::profile_entry(&mut state, event.thread, "<attached>");
+        for (sample, site) in samples.iter().zip(resolved) {
+            match site {
+                Some(site) => profile.record_attributed(site, event.call_trace, sample, period),
+                None => profile.record_unattributed(sample, period),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djx_memsim::{HierarchyConfig, MemoryAccess, MemoryHierarchy};
+    use djx_pmu::PmuEvent;
+    use djx_runtime::{Frame, MethodId, ObjectId};
+
+    use crate::object::MonitoredObject;
+    use crate::splay::Interval;
+
+    fn shared_with_object(start: u64, size: u64) -> Arc<SharedObjectIndex> {
+        let shared = SharedObjectIndex::new();
+        let site = shared.sites.lock().intern("float[]", &[Frame::new(MethodId(1), 5)]);
+        shared.tree.lock().insert(
+            Interval::new(start, start + size),
+            MonitoredObject { object: ObjectId(1), site, size },
+        );
+        shared
+    }
+
+    fn agent(period: u64, shared: Arc<SharedObjectIndex>) -> PmuAgent {
+        let builder = PerfEventBuilder::new(PmuEvent::L1Miss).sample_period(period);
+        PmuAgent::new(builder, period, shared)
+    }
+
+    fn drive_accesses(
+        agent: &PmuAgent,
+        thread: ThreadId,
+        base: u64,
+        count: u64,
+        stride: u64,
+        trace: &[Frame],
+    ) {
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::tiny());
+        for i in 0..count {
+            let outcome = hier.access(MemoryAccess::load(0, base + i * stride, 8));
+            agent.on_memory_access(&MemoryAccessEvent {
+                thread,
+                outcome,
+                call_trace: trace,
+                object: None,
+            });
+        }
+    }
+
+    #[test]
+    fn samples_are_attributed_to_the_enclosing_object() {
+        let shared = shared_with_object(0x10_0000, 1 << 20);
+        let agent = agent(4, shared.clone());
+        let t = ThreadId(1);
+        agent.on_thread_start(&ThreadEvent { thread: t, name: "main", cpu: 0 });
+        let trace = [Frame::new(MethodId(9), 3)];
+        // Strided cold loads inside the object's range: plenty of L1 misses.
+        drive_accesses(&agent, t, 0x10_0000, 256, 64, &trace);
+
+        assert_eq!(agent.thread_count(), 1);
+        let profiles = agent.thread_profiles();
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert!(p.samples > 0, "sampling at period 4 over 256 misses must fire");
+        assert_eq!(p.attributed_samples(), p.samples, "every address is inside the object");
+        let (site, sm) = p.sites.iter().next().unwrap();
+        assert_eq!(site.0, 0);
+        assert_eq!(sm.by_context.len(), 1);
+        let ctx = *sm.by_context.keys().next().unwrap();
+        assert_eq!(p.cct.path_of(ctx), trace.to_vec());
+    }
+
+    #[test]
+    fn samples_outside_monitored_objects_are_unattributed() {
+        let shared = shared_with_object(0x10_0000, 4096);
+        let agent = agent(2, shared);
+        let t = ThreadId(2);
+        agent.on_thread_start(&ThreadEvent { thread: t, name: "worker", cpu: 1 });
+        drive_accesses(&agent, t, 0x90_0000, 128, 64, &[]);
+        let p = &agent.thread_profiles()[0];
+        assert!(p.samples > 0);
+        assert_eq!(p.attributed_samples(), 0);
+        assert_eq!(p.unattributed.samples, p.samples);
+    }
+
+    #[test]
+    fn threads_seen_only_through_accesses_get_lazy_pmus() {
+        let shared = shared_with_object(0x10_0000, 4096);
+        let agent = agent(2, shared);
+        // No on_thread_start: the profiler attached after the thread began.
+        drive_accesses(&agent, ThreadId(7), 0x10_0000, 64, 64, &[]);
+        assert_eq!(agent.thread_count(), 1);
+        assert_eq!(agent.thread_profiles()[0].thread, ThreadId(7));
+        assert!(agent.total_samples() > 0);
+    }
+
+    #[test]
+    fn thread_end_disables_sampling() {
+        let shared = shared_with_object(0x10_0000, 1 << 20);
+        let agent = agent(1, shared);
+        let t = ThreadId(3);
+        agent.on_thread_start(&ThreadEvent { thread: t, name: "t", cpu: 0 });
+        drive_accesses(&agent, t, 0x10_0000, 32, 64, &[]);
+        let before = agent.total_samples();
+        assert!(before > 0);
+        agent.on_thread_end(&ThreadEvent { thread: t, name: "t", cpu: 0 });
+        drive_accesses(&agent, t, 0x10_0000, 32, 64, &[]);
+        assert_eq!(agent.total_samples(), before, "no samples after the thread ended");
+    }
+
+    #[test]
+    fn merged_counts_cover_all_threads() {
+        let shared = shared_with_object(0x10_0000, 1 << 20);
+        let agent = agent(1000, shared);
+        for id in 1..=3u64 {
+            let t = ThreadId(id);
+            agent.on_thread_start(&ThreadEvent { thread: t, name: "t", cpu: 0 });
+            drive_accesses(&agent, t, 0x10_0000, 50, 64, &[]);
+        }
+        let counts = agent.merged_counts();
+        assert_eq!(counts.count(PmuEvent::Loads), 150);
+    }
+
+    #[test]
+    fn record_allocation_folds_into_profiles() {
+        let shared = SharedObjectIndex::new();
+        let site = shared.sites.lock().intern("X", &[]);
+        let agent = agent(100, shared);
+        agent.record_allocation(ThreadId(5), site, 3, 3000);
+        let profiles = agent.thread_profiles();
+        assert_eq!(profiles.len(), 1);
+        let sm = &profiles[0].sites[&site];
+        assert_eq!(sm.total.allocations, 3);
+        assert_eq!(sm.total.allocated_bytes, 3000);
+        assert!(agent.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn distinct_call_traces_become_distinct_contexts() {
+        let shared = shared_with_object(0x10_0000, 1 << 20);
+        let agent = agent(1, shared);
+        let t = ThreadId(1);
+        agent.on_thread_start(&ThreadEvent { thread: t, name: "main", cpu: 0 });
+        let trace_a = [Frame::new(MethodId(1), 0), Frame::new(MethodId(2), 4)];
+        let trace_b = [Frame::new(MethodId(1), 0), Frame::new(MethodId(3), 8)];
+        drive_accesses(&agent, t, 0x10_0000, 64, 64, &trace_a);
+        drive_accesses(&agent, t, 0x14_0000, 64, 64, &trace_b);
+        let p = &agent.thread_profiles()[0];
+        let sm = p.sites.values().next().unwrap();
+        assert_eq!(sm.by_context.len(), 2, "two access call paths under one object");
+    }
+}

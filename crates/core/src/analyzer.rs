@@ -1,0 +1,425 @@
+//! The offline analyzer: merges per-thread (and per-process) profiles, ranks allocation
+//! sites by their locality metrics, and produces the reports the case studies read.
+//!
+//! Mirrors §5.2 of the paper: profiles are organized as one CCT per thread and are merged
+//! top-down — call paths that are equal coalesce even when they come from different
+//! threads, and metrics of coalesced nodes are summed. The result orders objects
+//! (allocation sites) by the PMU metric so the developer starts with the worst one.
+
+use std::collections::HashMap;
+
+use djx_pmu::PmuEvent;
+use djx_runtime::Frame;
+
+use crate::metrics::MetricVector;
+use crate::object::{AllocSite, AllocSiteId};
+use crate::profile::ObjectCentricProfile;
+
+/// One access calling context of an object, with its share of the object's metric.
+#[derive(Debug, Clone)]
+pub struct AccessContext {
+    /// The access calling context, root-first.
+    pub path: Vec<Frame>,
+    /// Metrics attributed to the object at this context.
+    pub metrics: MetricVector,
+    /// This context's fraction of the object's weighted events, in `[0, 1]`.
+    pub fraction_of_object: f64,
+}
+
+/// The merged, ranked view of one allocation site ("object") across all threads.
+#[derive(Debug, Clone)]
+pub struct ObjectReport {
+    /// The allocation site.
+    pub site: AllocSiteId,
+    /// Class name of the objects allocated at the site.
+    pub class_name: String,
+    /// Allocation calling context, root-first.
+    pub alloc_path: Vec<Frame>,
+    /// Merged metrics: samples from every thread plus the allocation counters.
+    pub metrics: MetricVector,
+    /// Fraction of all sampled (weighted) events in the run attributed to this site.
+    pub fraction_of_total: f64,
+    /// Fraction of this site's samples that were remote NUMA accesses.
+    pub remote_fraction: f64,
+    /// Access calling contexts ordered by their contribution, hottest first.
+    pub access_contexts: Vec<AccessContext>,
+}
+
+/// The merged analysis of one profiled run.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Sampled event.
+    pub event: PmuEvent,
+    /// Sampling period.
+    pub period: u64,
+    /// Total PMU samples over every thread (attributed + unattributed).
+    pub total_samples: u64,
+    /// Total weighted events over every thread (attributed + unattributed).
+    pub total_weighted_events: u64,
+    /// Weighted events attributed to monitored objects.
+    pub attributed_weighted_events: u64,
+    /// Per-site reports, ordered by weighted events descending.
+    pub objects: Vec<ObjectReport>,
+}
+
+impl AnalysisReport {
+    /// The report of the hottest object, if any sample was attributed.
+    pub fn hottest(&self) -> Option<&ObjectReport> {
+        self.objects.first()
+    }
+
+    /// Fraction of all sampled events attributed to monitored objects.
+    pub fn attributed_fraction(&self) -> f64 {
+        if self.total_weighted_events == 0 {
+            0.0
+        } else {
+            self.attributed_weighted_events as f64 / self.total_weighted_events as f64
+        }
+    }
+
+    /// Looks up the report of a site by the class name of its objects (first match in
+    /// ranking order). Case studies use this to find "the `data` array" etc.
+    pub fn find_by_class(&self, class_name: &str) -> Option<&ObjectReport> {
+        self.objects.iter().find(|o| o.class_name == class_name)
+    }
+
+    /// Objects re-ranked by the number of remote NUMA samples (the §4.3 / §7.5 / §7.6
+    /// view). Objects with no remote samples are omitted.
+    pub fn ranked_by_remote(&self) -> Vec<&ObjectReport> {
+        let mut v: Vec<&ObjectReport> = self
+            .objects
+            .iter()
+            .filter(|o| o.metrics.remote_samples > 0)
+            .collect();
+        v.sort_by(|a, b| b.metrics.remote_samples.cmp(&a.metrics.remote_samples));
+        v
+    }
+
+    /// The cumulative fraction of sampled events covered by the `n` hottest objects —
+    /// e.g. "four problematic objects account for 84% of cache misses" (§7.1).
+    pub fn top_n_fraction(&self, n: usize) -> f64 {
+        if self.total_weighted_events == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self
+            .objects
+            .iter()
+            .take(n)
+            .map(|o| o.metrics.weighted_events)
+            .sum();
+        covered as f64 / self.total_weighted_events as f64
+    }
+}
+
+/// The offline analyzer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Analyzer;
+
+impl Analyzer {
+    /// Creates an analyzer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Analyzes one profile (merging its per-thread profiles).
+    pub fn analyze(&self, profile: &ObjectCentricProfile) -> AnalysisReport {
+        self.analyze_many(std::slice::from_ref(profile))
+    }
+
+    /// Analyzes and merges several profiles — e.g. profiles collected from multiple
+    /// instances of a service, or the same program attached at different times. Sites
+    /// are matched by `(class name, allocation call path)`, threads simply accumulate.
+    pub fn analyze_many(&self, profiles: &[ObjectCentricProfile]) -> AnalysisReport {
+        let mut event = PmuEvent::L1Miss;
+        let mut period = 1;
+        let mut total_samples = 0u64;
+        let mut total_weighted = 0u64;
+
+        // Merged site table keyed by identity (class name + allocation path).
+        let mut merged_index: HashMap<(String, Vec<Frame>), usize> = HashMap::new();
+        struct MergedSite {
+            site: AllocSite,
+            metrics: MetricVector,
+            contexts: HashMap<Vec<Frame>, MetricVector>,
+        }
+        let mut merged: Vec<MergedSite> = Vec::new();
+
+        for profile in profiles {
+            event = profile.event;
+            period = profile.period;
+            for thread in &profile.threads {
+                total_samples += thread.samples;
+                total_weighted += thread.unattributed.weighted_events;
+                // Iterate sites in id order so the merged table (and therefore tie-break
+                // ordering) does not depend on hash-map iteration order.
+                let mut thread_sites: Vec<_> = thread.sites.iter().collect();
+                thread_sites.sort_unstable_by_key(|(id, _)| **id);
+                for (site_id, sm) in thread_sites {
+                    let Some(site) = profile.site(*site_id) else { continue };
+                    let key = (site.class_name.clone(), site.call_path.clone());
+                    let index = *merged_index.entry(key).or_insert_with(|| {
+                        merged.push(MergedSite {
+                            site: AllocSite {
+                                id: AllocSiteId(merged.len() as u32),
+                                class_name: site.class_name.clone(),
+                                call_path: site.call_path.clone(),
+                            },
+                            metrics: MetricVector::default(),
+                            contexts: HashMap::new(),
+                        });
+                        merged.len() - 1
+                    });
+                    let entry = &mut merged[index];
+                    entry.metrics.merge(&sm.total);
+                    total_weighted += sm.total.weighted_events;
+                    for (ctx, m) in &sm.by_context {
+                        let path = thread.cct.path_of(*ctx);
+                        entry.contexts.entry(path).or_default().merge(m);
+                    }
+                }
+            }
+        }
+
+        let attributed_weighted: u64 = merged.iter().map(|m| m.metrics.weighted_events).sum();
+
+        let mut objects: Vec<ObjectReport> = merged
+            .into_iter()
+            .map(|m| {
+                let object_weighted = m.metrics.weighted_events;
+                let mut access_contexts: Vec<AccessContext> = m
+                    .contexts
+                    .into_iter()
+                    .map(|(path, metrics)| AccessContext {
+                        path,
+                        fraction_of_object: if object_weighted == 0 {
+                            0.0
+                        } else {
+                            metrics.weighted_events as f64 / object_weighted as f64
+                        },
+                        metrics,
+                    })
+                    .collect();
+                access_contexts.sort_by(|a, b| {
+                    b.metrics
+                        .weighted_events
+                        .cmp(&a.metrics.weighted_events)
+                        .then_with(|| a.path.cmp(&b.path))
+                });
+                ObjectReport {
+                    site: m.site.id,
+                    class_name: m.site.class_name,
+                    alloc_path: m.site.call_path,
+                    fraction_of_total: if total_weighted == 0 {
+                        0.0
+                    } else {
+                        object_weighted as f64 / total_weighted as f64
+                    },
+                    remote_fraction: m.metrics.remote_fraction(),
+                    metrics: m.metrics,
+                    access_contexts,
+                }
+            })
+            .collect();
+        objects.sort_by(|a, b| {
+            b.metrics
+                .weighted_events
+                .cmp(&a.metrics.weighted_events)
+                .then_with(|| a.class_name.cmp(&b.class_name))
+                .then_with(|| a.alloc_path.cmp(&b.alloc_path))
+        });
+
+        AnalysisReport {
+            event,
+            period,
+            total_samples,
+            total_weighted_events: total_weighted,
+            attributed_weighted_events: attributed_weighted,
+            objects,
+        }
+    }
+
+    /// Parses textual profile files and analyzes them together — the paper's workflow of
+    /// collecting one profile file per thread/process and merging them offline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error encountered.
+    pub fn analyze_texts(&self, texts: &[&str]) -> Result<AnalysisReport, crate::profile::ProfileParseError> {
+        let profiles = texts
+            .iter()
+            .map(|t| ObjectCentricProfile::parse(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.analyze_many(&profiles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djx_memsim::{AccessKind, NumaNode};
+    use djx_runtime::{MethodId, ThreadId};
+
+    use crate::profile::{AllocationStats, ThreadProfile};
+
+    fn f(m: u32, bci: u32) -> Frame {
+        Frame::new(MethodId(m), bci)
+    }
+
+    fn sample(remote: bool) -> djx_pmu::Sample {
+        djx_pmu::Sample {
+            event: PmuEvent::L1Miss,
+            thread_id: 0,
+            cpu: 0,
+            cpu_node: NumaNode(0),
+            page_node: NumaNode(u32::from(remote)),
+            effective_addr: 0,
+            kind: AccessKind::Load,
+            value: 1,
+            latency: 100,
+            counter_value: 0,
+        }
+    }
+
+    /// Builds a profile with two sites: a hot one touched from two contexts by two
+    /// threads, and a cold one.
+    fn two_site_profile() -> ObjectCentricProfile {
+        let hot = AllocSite { id: AllocSiteId(0), class_name: "float[]".into(), call_path: vec![f(1, 5)] };
+        let cold = AllocSite { id: AllocSiteId(1), class_name: "TopDocCollector".into(), call_path: vec![f(2, 3)] };
+
+        let mut t1 = ThreadProfile::new(ThreadId(1), "main");
+        for _ in 0..6 {
+            t1.record_attributed(AllocSiteId(0), &[f(1, 5), f(9, 1)], &sample(false), 100);
+        }
+        for _ in 0..2 {
+            t1.record_attributed(AllocSiteId(0), &[f(1, 5), f(8, 7)], &sample(true), 100);
+        }
+        t1.record_attributed(AllocSiteId(1), &[f(2, 3)], &sample(false), 100);
+        t1.record_unattributed(&sample(false), 100);
+        t1.record_allocation(AllocSiteId(0), 2048);
+
+        let mut t2 = ThreadProfile::new(ThreadId(2), "worker");
+        for _ in 0..4 {
+            t2.record_attributed(AllocSiteId(0), &[f(1, 5), f(9, 1)], &sample(true), 100);
+        }
+
+        ObjectCentricProfile {
+            event: PmuEvent::L1Miss,
+            period: 100,
+            size_filter: 1024,
+            sites: vec![hot, cold],
+            threads: vec![t1, t2],
+            allocation_stats: AllocationStats::default(),
+        }
+    }
+
+    #[test]
+    fn ranking_orders_objects_by_weighted_events() {
+        let report = Analyzer::new().analyze(&two_site_profile());
+        assert_eq!(report.objects.len(), 2);
+        assert_eq!(report.objects[0].class_name, "float[]");
+        assert_eq!(report.objects[1].class_name, "TopDocCollector");
+        assert!(report.objects[0].metrics.weighted_events > report.objects[1].metrics.weighted_events);
+        assert_eq!(report.hottest().unwrap().class_name, "float[]");
+        assert_eq!(report.find_by_class("TopDocCollector").unwrap().metrics.samples, 1);
+        assert!(report.find_by_class("nothing").is_none());
+    }
+
+    #[test]
+    fn cross_thread_merge_coalesces_contexts() {
+        let report = Analyzer::new().analyze(&two_site_profile());
+        let hot = &report.objects[0];
+        // 6 + 4 samples from the shared context [f(1,5), f(9,1)] across two threads,
+        // plus 2 from [f(1,5), f(8,7)].
+        assert_eq!(hot.metrics.samples, 12);
+        assert_eq!(hot.metrics.allocations, 1);
+        assert_eq!(hot.access_contexts.len(), 2);
+        assert_eq!(hot.access_contexts[0].path, vec![f(1, 5), f(9, 1)]);
+        assert_eq!(hot.access_contexts[0].metrics.samples, 10);
+        assert!(hot.access_contexts[0].fraction_of_object > hot.access_contexts[1].fraction_of_object);
+        let frac_sum: f64 = hot.access_contexts.iter().map(|c| c.fraction_of_object).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_account_for_unattributed_samples() {
+        let report = Analyzer::new().analyze(&two_site_profile());
+        // 14 samples total: 12 hot + 1 cold + 1 unattributed; each weighs 100.
+        assert_eq!(report.total_samples, 14);
+        assert_eq!(report.total_weighted_events, 1400);
+        assert_eq!(report.attributed_weighted_events, 1300);
+        assert!((report.attributed_fraction() - 13.0 / 14.0).abs() < 1e-9);
+        let hot = &report.objects[0];
+        assert!((hot.fraction_of_total - 12.0 / 14.0).abs() < 1e-9);
+        assert!((report.top_n_fraction(1) - 12.0 / 14.0).abs() < 1e-9);
+        assert!((report.top_n_fraction(2) - 13.0 / 14.0).abs() < 1e-9);
+        assert!(report.top_n_fraction(0) < 1e-12);
+    }
+
+    #[test]
+    fn remote_ranking_filters_and_orders() {
+        let report = Analyzer::new().analyze(&two_site_profile());
+        let remote = report.ranked_by_remote();
+        assert_eq!(remote.len(), 1, "only the hot site has remote samples");
+        assert_eq!(remote[0].class_name, "float[]");
+        assert_eq!(remote[0].metrics.remote_samples, 6);
+        assert!((remote[0].remote_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyze_many_merges_sites_across_profiles_by_identity() {
+        let p1 = two_site_profile();
+        // A second profile (e.g. another service instance) whose site table assigns
+        // different ids to the same (class, path) identities.
+        let hot = AllocSite { id: AllocSiteId(0), class_name: "TopDocCollector".into(), call_path: vec![f(2, 3)] };
+        let mut t = ThreadProfile::new(ThreadId(9), "svc-2");
+        for _ in 0..5 {
+            t.record_attributed(AllocSiteId(0), &[f(2, 3), f(7, 7)], &sample(false), 100);
+        }
+        let p2 = ObjectCentricProfile {
+            event: PmuEvent::L1Miss,
+            period: 100,
+            size_filter: 1024,
+            sites: vec![hot],
+            threads: vec![t],
+            allocation_stats: AllocationStats::default(),
+        };
+        let report = Analyzer::new().analyze_many(&[p1, p2]);
+        assert_eq!(report.objects.len(), 2, "TopDocCollector merges across profiles");
+        let collector = report.find_by_class("TopDocCollector").unwrap();
+        assert_eq!(collector.metrics.samples, 6);
+        assert_eq!(report.total_samples, 19);
+    }
+
+    #[test]
+    fn analyze_texts_round_trips_through_the_codec() {
+        let profile = two_site_profile();
+        let text = profile.to_text();
+        let report_from_text = Analyzer::new().analyze_texts(&[&text]).unwrap();
+        let report_direct = Analyzer::new().analyze(&profile);
+        assert_eq!(report_from_text.total_samples, report_direct.total_samples);
+        assert_eq!(report_from_text.objects.len(), report_direct.objects.len());
+        assert_eq!(
+            report_from_text.objects[0].metrics.weighted_events,
+            report_direct.objects[0].metrics.weighted_events
+        );
+        assert!(Analyzer::new().analyze_texts(&["garbage"]).is_err());
+    }
+
+    #[test]
+    fn empty_profile_produces_empty_report() {
+        let profile = ObjectCentricProfile {
+            event: PmuEvent::L1Miss,
+            period: 100,
+            size_filter: 1024,
+            sites: vec![],
+            threads: vec![],
+            allocation_stats: AllocationStats::default(),
+        };
+        let report = Analyzer::new().analyze(&profile);
+        assert!(report.objects.is_empty());
+        assert_eq!(report.total_samples, 0);
+        assert_eq!(report.attributed_fraction(), 0.0);
+        assert!(report.hottest().is_none());
+        assert_eq!(report.top_n_fraction(3), 0.0);
+    }
+}

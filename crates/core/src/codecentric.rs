@@ -1,0 +1,270 @@
+//! The code-centric baseline profiler (the "Linux perf" stand-in).
+//!
+//! Figure 1 of the paper contrasts *code-centric* profiling — PMU samples attributed
+//! only to the instructions/calling contexts where they fired — with DJXPerf's
+//! *object-centric* profiling. [`CodeCentricProfiler`] implements the baseline: it
+//! drives the same per-thread virtual PMUs, but attributes every sample solely to the
+//! sampling calling context, with no notion of objects. The evaluation harness uses it to
+//! regenerate the Figure 1 comparison and the case-study discussions of why code-centric
+//! views scatter an object's misses over many locations.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use djx_pmu::{PerfEventBuilder, PmuEvent, ThreadPmu};
+use djx_runtime::{Frame, MemoryAccessEvent, MethodRegistry, RuntimeListener, ThreadEvent, ThreadId};
+
+use crate::cct::Cct;
+use crate::metrics::MetricVector;
+
+#[derive(Debug, Default)]
+struct CodeState {
+    pmus: HashMap<ThreadId, ThreadPmu>,
+    cct: Cct,
+    samples: u64,
+}
+
+/// A sampling profiler that attributes metrics to code contexts only.
+#[derive(Debug)]
+pub struct CodeCentricProfiler {
+    builder: PerfEventBuilder,
+    period: u64,
+    event: PmuEvent,
+    state: Mutex<CodeState>,
+}
+
+impl CodeCentricProfiler {
+    /// Creates a code-centric profiler sampling `event` every `period` occurrences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(event: PmuEvent, period: u64) -> Self {
+        Self {
+            builder: PerfEventBuilder::new(event).sample_period(period),
+            period,
+            event,
+            state: Mutex::new(CodeState::default()),
+        }
+    }
+
+    /// The sampled event.
+    pub fn event(&self) -> PmuEvent {
+        self.event
+    }
+
+    /// Total samples collected.
+    pub fn total_samples(&self) -> u64 {
+        self.state.lock().samples
+    }
+
+    /// Snapshot of the measurement as a [`CodeCentricProfile`].
+    pub fn profile(&self) -> CodeCentricProfile {
+        let state = self.state.lock();
+        CodeCentricProfile {
+            event: self.event,
+            period: self.period,
+            cct: state.cct.clone(),
+            total_samples: state.samples,
+        }
+    }
+}
+
+impl RuntimeListener for CodeCentricProfiler {
+    fn on_thread_start(&self, event: &ThreadEvent<'_>) {
+        let mut state = self.state.lock();
+        state
+            .pmus
+            .entry(event.thread)
+            .or_insert_with(|| self.builder.open_for_thread(event.thread.0));
+    }
+
+    fn on_thread_end(&self, event: &ThreadEvent<'_>) {
+        if let Some(pmu) = self.state.lock().pmus.get_mut(&event.thread) {
+            pmu.disable();
+        }
+    }
+
+    fn on_memory_access(&self, event: &MemoryAccessEvent<'_>) {
+        let mut state = self.state.lock();
+        if !state.pmus.contains_key(&event.thread) {
+            let pmu = self.builder.open_for_thread(event.thread.0);
+            state.pmus.insert(event.thread, pmu);
+        }
+        let samples = state.pmus.get_mut(&event.thread).unwrap().observe(&event.outcome);
+        if samples.is_empty() {
+            return;
+        }
+        let node = state.cct.insert_path(event.call_trace);
+        for sample in &samples {
+            state.samples += 1;
+            state.cct.metrics_mut(node).record_sample(sample, self.period);
+        }
+    }
+}
+
+/// One ranked code location in a code-centric profile.
+#[derive(Debug, Clone)]
+pub struct CodeLocation {
+    /// Full sampling calling context, root-first.
+    pub path: Vec<Frame>,
+    /// The innermost frame (the "instruction" the sample is charged to).
+    pub leaf: Option<Frame>,
+    /// Metrics attributed to this context.
+    pub metrics: MetricVector,
+    /// Fraction of all sampled events attributed to this context, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+impl CodeLocation {
+    /// Renders the leaf as `Class.method:line` using the method registry.
+    pub fn describe_leaf(&self, methods: &MethodRegistry) -> String {
+        match self.leaf {
+            Some(frame) => format!(
+                "{}:{}",
+                methods.qualified_name_of(frame.method),
+                methods.line_of(frame.method, frame.bci)
+            ),
+            None => "<no context>".to_string(),
+        }
+    }
+}
+
+/// The assembled output of a [`CodeCentricProfiler`].
+#[derive(Debug, Clone)]
+pub struct CodeCentricProfile {
+    /// Sampled event.
+    pub event: PmuEvent,
+    /// Sampling period.
+    pub period: u64,
+    /// The calling context tree with per-context metrics.
+    pub cct: Cct,
+    /// Total samples collected.
+    pub total_samples: u64,
+}
+
+impl CodeCentricProfile {
+    /// The contexts ranked by attributed (weighted) events, hottest first, truncated to
+    /// `top_n` entries (`usize::MAX` for all).
+    pub fn top_locations(&self, top_n: usize) -> Vec<CodeLocation> {
+        let total: u64 = self
+            .cct
+            .nodes_with_metrics()
+            .map(|(_, _, m)| m.weighted_events)
+            .sum();
+        let mut locations: Vec<CodeLocation> = self
+            .cct
+            .nodes_with_metrics()
+            .map(|(_, path, m)| CodeLocation {
+                leaf: path.last().copied(),
+                path,
+                metrics: *m,
+                fraction: if total == 0 { 0.0 } else { m.weighted_events as f64 / total as f64 },
+            })
+            .collect();
+        locations.sort_by(|a, b| b.metrics.weighted_events.cmp(&a.metrics.weighted_events));
+        locations.truncate(top_n);
+        locations
+    }
+
+    /// The hottest single location's fraction of all sampled events (0.0 when no sample
+    /// was taken). Figure 1's point is that this number is far below the hottest
+    /// *object's* fraction.
+    pub fn hottest_location_fraction(&self) -> f64 {
+        self.top_locations(1).first().map(|l| l.fraction).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djx_memsim::{HierarchyConfig, MemoryAccess, MemoryHierarchy};
+    use djx_runtime::MethodId;
+
+    fn f(m: u32, bci: u32) -> Frame {
+        Frame::new(MethodId(m), bci)
+    }
+
+    fn drive(profiler: &CodeCentricProfiler, thread: u64, base: u64, count: u64, trace: &[Frame]) {
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::tiny());
+        for i in 0..count {
+            let outcome = hier.access(MemoryAccess::load(0, base + i * 64, 8));
+            profiler.on_memory_access(&MemoryAccessEvent {
+                thread: ThreadId(thread),
+                outcome,
+                call_trace: trace,
+                object: None,
+            });
+        }
+    }
+
+    #[test]
+    fn samples_attach_to_code_contexts() {
+        let profiler = CodeCentricProfiler::new(PmuEvent::L1Miss, 4);
+        profiler.on_thread_start(&ThreadEvent { thread: ThreadId(1), name: "main", cpu: 0 });
+        let hot = [f(1, 0), f(2, 4)];
+        let cold = [f(1, 0), f(3, 8)];
+        drive(&profiler, 1, 0x10_0000, 512, &hot);
+        drive(&profiler, 1, 0x20_0000, 64, &cold);
+
+        assert!(profiler.total_samples() > 0);
+        let profile = profiler.profile();
+        assert_eq!(profile.total_samples, profiler.total_samples());
+        let top = profile.top_locations(10);
+        assert!(top.len() >= 2);
+        assert_eq!(top[0].path, hot.to_vec(), "hot context ranks first");
+        assert_eq!(top[0].leaf, Some(f(2, 4)));
+        assert!(top[0].fraction > top[1].fraction);
+        let sum: f64 = top.iter().map(|l| l.fraction).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to 1, got {sum}");
+        assert!(profile.hottest_location_fraction() > 0.5);
+    }
+
+    #[test]
+    fn threads_without_start_event_are_handled() {
+        let profiler = CodeCentricProfiler::new(PmuEvent::L1Miss, 2);
+        drive(&profiler, 9, 0x30_0000, 64, &[f(5, 0)]);
+        assert!(profiler.total_samples() > 0);
+    }
+
+    #[test]
+    fn thread_end_disables_sampling() {
+        let profiler = CodeCentricProfiler::new(PmuEvent::L1Miss, 1);
+        profiler.on_thread_start(&ThreadEvent { thread: ThreadId(1), name: "t", cpu: 0 });
+        drive(&profiler, 1, 0x10_0000, 16, &[]);
+        let before = profiler.total_samples();
+        profiler.on_thread_end(&ThreadEvent { thread: ThreadId(1), name: "t", cpu: 0 });
+        drive(&profiler, 1, 0x10_0000, 16, &[]);
+        assert_eq!(profiler.total_samples(), before);
+    }
+
+    #[test]
+    fn empty_profile_has_no_locations() {
+        let profiler = CodeCentricProfiler::new(PmuEvent::L1Miss, 100);
+        let profile = profiler.profile();
+        assert!(profile.top_locations(5).is_empty());
+        assert_eq!(profile.hottest_location_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = CodeCentricProfiler::new(PmuEvent::L1Miss, 0);
+    }
+
+    #[test]
+    fn describe_leaf_resolves_names() {
+        let mut methods = MethodRegistry::new();
+        let m = methods.register("FFT", "transform_internal", "FFT.java", &[(0, 165), (10, 171)]);
+        let loc = CodeLocation {
+            path: vec![Frame::new(m, 12)],
+            leaf: Some(Frame::new(m, 12)),
+            metrics: MetricVector::default(),
+            fraction: 0.5,
+        };
+        assert_eq!(loc.describe_leaf(&methods), "FFT.transform_internal:171");
+        let no_leaf = CodeLocation { path: vec![], leaf: None, metrics: MetricVector::default(), fraction: 0.0 };
+        assert_eq!(no_leaf.describe_leaf(&methods), "<no context>");
+    }
+}

@@ -1,0 +1,193 @@
+//! Metric vectors attached to objects and calling contexts.
+//!
+//! Each PMU sample carries one metric (the sampled event, its value, its latency, and the
+//! NUMA relationship between the issuing CPU and the touched page). DJXPerf aggregates
+//! those metrics per *object allocation site* and, underneath each site, per *access
+//! calling context* (§4.2 of the paper). [`MetricVector`] is that aggregate; the
+//! allocation-side counters (how many objects, how many bytes) live in the same vector so
+//! reports can show, e.g., "allocated 2478 times, 21% of L1 misses".
+
+use djx_pmu::Sample;
+
+/// Aggregated measurement attributed to one object allocation site or one calling
+/// context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricVector {
+    /// Number of PMU samples attributed.
+    pub samples: u64,
+    /// Sample values scaled by the sampling period — the statistical estimate of the
+    /// total number of events (e.g. total L1 misses) this entity caused.
+    pub weighted_events: u64,
+    /// Sum of modeled access latencies of the attributed samples, in cycles.
+    pub latency_cycles: u64,
+    /// Samples whose page resided on the same NUMA node as the issuing CPU.
+    pub local_samples: u64,
+    /// Samples whose page resided on a different NUMA node than the issuing CPU
+    /// (the §4.3 remote-access signal).
+    pub remote_samples: u64,
+    /// Samples that were loads.
+    pub load_samples: u64,
+    /// Samples that were stores.
+    pub store_samples: u64,
+    /// Object allocations recorded at this site (allocation-agent side).
+    pub allocations: u64,
+    /// Bytes allocated at this site, headers included.
+    pub allocated_bytes: u64,
+}
+
+impl MetricVector {
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A vector describing one allocation of `bytes` bytes (no samples yet).
+    pub fn from_allocation(bytes: u64) -> Self {
+        Self { allocations: 1, allocated_bytes: bytes, ..Self::default() }
+    }
+
+    /// Folds one PMU sample into the vector. `period` is the sampling period of the
+    /// event, used to scale the sample into an event-count estimate.
+    pub fn record_sample(&mut self, sample: &Sample, period: u64) {
+        self.samples += 1;
+        self.weighted_events += sample.value.saturating_mul(period.max(1));
+        self.latency_cycles += sample.latency;
+        if sample.is_remote_access() {
+            self.remote_samples += 1;
+        } else {
+            self.local_samples += 1;
+        }
+        if sample.kind.is_load() {
+            self.load_samples += 1;
+        } else {
+            self.store_samples += 1;
+        }
+    }
+
+    /// Records one allocation of `bytes` bytes.
+    pub fn record_allocation(&mut self, bytes: u64) {
+        self.allocations += 1;
+        self.allocated_bytes += bytes;
+    }
+
+    /// Adds every counter of `other` into `self` (profile merging).
+    pub fn merge(&mut self, other: &MetricVector) {
+        self.samples += other.samples;
+        self.weighted_events += other.weighted_events;
+        self.latency_cycles += other.latency_cycles;
+        self.local_samples += other.local_samples;
+        self.remote_samples += other.remote_samples;
+        self.load_samples += other.load_samples;
+        self.store_samples += other.store_samples;
+        self.allocations += other.allocations;
+        self.allocated_bytes += other.allocated_bytes;
+    }
+
+    /// Fraction of attributed samples that were remote accesses, in `[0, 1]`.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.remote_samples as f64 / self.samples as f64
+        }
+    }
+
+    /// Average modeled latency per attributed sample, in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.latency_cycles as f64 / self.samples as f64
+        }
+    }
+
+    /// `true` when no sample and no allocation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0 && self.allocations == 0
+    }
+}
+
+impl std::ops::AddAssign<&MetricVector> for MetricVector {
+    fn add_assign(&mut self, rhs: &MetricVector) {
+        self.merge(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djx_memsim::{AccessKind, NumaNode};
+    use djx_pmu::PmuEvent;
+
+    fn sample(kind: AccessKind, remote: bool, value: u64, latency: u64) -> Sample {
+        Sample {
+            event: PmuEvent::L1Miss,
+            thread_id: 1,
+            cpu: 0,
+            cpu_node: NumaNode(0),
+            page_node: NumaNode(if remote { 1 } else { 0 }),
+            effective_addr: 0x1000,
+            kind,
+            value,
+            latency,
+            counter_value: 0,
+        }
+    }
+
+    #[test]
+    fn record_sample_accumulates_all_dimensions() {
+        let mut m = MetricVector::new();
+        m.record_sample(&sample(AccessKind::Load, false, 1, 200), 100);
+        m.record_sample(&sample(AccessKind::Store, true, 1, 350), 100);
+        assert_eq!(m.samples, 2);
+        assert_eq!(m.weighted_events, 200);
+        assert_eq!(m.latency_cycles, 550);
+        assert_eq!(m.local_samples, 1);
+        assert_eq!(m.remote_samples, 1);
+        assert_eq!(m.load_samples, 1);
+        assert_eq!(m.store_samples, 1);
+        assert!((m.remote_fraction() - 0.5).abs() < 1e-12);
+        assert!((m.mean_latency() - 275.0).abs() < 1e-12);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn allocation_counters_are_independent_of_samples() {
+        let mut m = MetricVector::from_allocation(128);
+        m.record_allocation(64);
+        assert_eq!(m.allocations, 2);
+        assert_eq!(m.allocated_bytes, 192);
+        assert_eq!(m.samples, 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn merge_and_add_assign_sum_counters() {
+        let mut a = MetricVector::from_allocation(100);
+        a.record_sample(&sample(AccessKind::Load, false, 1, 10), 5);
+        let mut b = MetricVector::from_allocation(50);
+        b.record_sample(&sample(AccessKind::Load, true, 2, 20), 5);
+        let mut merged = a;
+        merged += &b;
+        assert_eq!(merged.samples, 2);
+        assert_eq!(merged.weighted_events, 5 + 10);
+        assert_eq!(merged.allocations, 2);
+        assert_eq!(merged.allocated_bytes, 150);
+        assert_eq!(merged.remote_samples, 1);
+    }
+
+    #[test]
+    fn empty_vector_ratios_are_zero() {
+        let m = MetricVector::new();
+        assert!(m.is_empty());
+        assert_eq!(m.remote_fraction(), 0.0);
+        assert_eq!(m.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn zero_period_is_clamped() {
+        let mut m = MetricVector::new();
+        m.record_sample(&sample(AccessKind::Load, false, 3, 10), 0);
+        assert_eq!(m.weighted_events, 3);
+    }
+}

@@ -1,0 +1,591 @@
+//! Per-thread object-centric profiles and the whole-run profile container, including a
+//! plain-text codec for writing and re-reading "profile files" (§5 of the paper: the
+//! online collector generates a profile per thread; the offline analyzer merges them).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use djx_pmu::PmuEvent;
+use djx_runtime::{Frame, MethodId, ThreadId};
+
+use crate::cct::{Cct, CctNodeId};
+use crate::metrics::MetricVector;
+use crate::object::{AllocSite, AllocSiteId};
+
+/// Sample-side metrics of one allocation site within one thread: the aggregate over all
+/// accesses, and the breakdown per access calling context.
+#[derive(Debug, Clone, Default)]
+pub struct SiteMetrics {
+    /// Aggregate over every sample attributed to the site by this thread.
+    pub total: MetricVector,
+    /// Breakdown by access calling context (node of the thread's CCT).
+    pub by_context: HashMap<CctNodeId, MetricVector>,
+}
+
+impl SiteMetrics {
+    /// Folds one sample attributed at access context `ctx` into the site.
+    pub fn record_sample(&mut self, ctx: CctNodeId, sample: &djx_pmu::Sample, period: u64) {
+        self.total.record_sample(sample, period);
+        self.by_context.entry(ctx).or_default().record_sample(sample, period);
+    }
+
+    /// Records one allocation of `bytes` bytes at the site.
+    pub fn record_allocation(&mut self, bytes: u64) {
+        self.total.record_allocation(bytes);
+    }
+}
+
+/// The object-centric profile one thread produces.
+#[derive(Debug, Clone)]
+pub struct ThreadProfile {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Thread name.
+    pub thread_name: String,
+    /// Calling context tree holding the access contexts referenced by `sites`.
+    pub cct: Cct,
+    /// Per-allocation-site metrics.
+    pub sites: HashMap<AllocSiteId, SiteMetrics>,
+    /// Samples whose effective address was not enclosed by any monitored object
+    /// (unmonitored small objects, stack/runtime memory).
+    pub unattributed: MetricVector,
+    /// Total PMU samples this thread received.
+    pub samples: u64,
+}
+
+impl ThreadProfile {
+    /// Creates an empty profile for a thread.
+    pub fn new(thread: ThreadId, thread_name: &str) -> Self {
+        Self {
+            thread,
+            thread_name: thread_name.to_string(),
+            cct: Cct::new(),
+            sites: HashMap::new(),
+            unattributed: MetricVector::default(),
+            samples: 0,
+        }
+    }
+
+    /// Records a sample attributed to `site` at the access calling context `path`.
+    pub fn record_attributed(
+        &mut self,
+        site: AllocSiteId,
+        path: &[Frame],
+        sample: &djx_pmu::Sample,
+        period: u64,
+    ) {
+        self.samples += 1;
+        let ctx = self.cct.insert_path(path);
+        self.sites.entry(site).or_default().record_sample(ctx, sample, period);
+    }
+
+    /// Records a sample that could not be attributed to any monitored object.
+    pub fn record_unattributed(&mut self, sample: &djx_pmu::Sample, period: u64) {
+        self.samples += 1;
+        self.unattributed.record_sample(sample, period);
+    }
+
+    /// Records an allocation at `site` performed by this thread.
+    pub fn record_allocation(&mut self, site: AllocSiteId, bytes: u64) {
+        self.sites.entry(site).or_default().record_allocation(bytes);
+    }
+
+    /// Total samples attributed to monitored objects.
+    pub fn attributed_samples(&self) -> u64 {
+        self.sites.values().map(|s| s.total.samples).sum()
+    }
+
+    /// Approximate resident bytes of the profile (memory-overhead accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.cct.approx_bytes()
+            + self
+                .sites
+                .values()
+                .map(|s| {
+                    std::mem::size_of::<SiteMetrics>()
+                        + s.by_context.len()
+                            * (std::mem::size_of::<CctNodeId>() + std::mem::size_of::<MetricVector>())
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Counters describing the allocation-agent side of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocationStats {
+    /// Allocation callbacks delivered by the runtime.
+    pub callbacks: u64,
+    /// Allocations whose size passed the filter and are monitored.
+    pub monitored: u64,
+    /// Allocations skipped by the size filter.
+    pub filtered: u64,
+    /// Object moves applied to the splay tree at GC end.
+    pub relocations: u64,
+    /// Moved objects that were unknown to the profiler and were inserted directly
+    /// (attach-mode behaviour).
+    pub unknown_moves: u64,
+    /// Object reclamations removed from the splay tree.
+    pub reclamations: u64,
+}
+
+/// The complete output of one profiled run: configuration, the allocation-site table,
+/// and the per-thread profiles.
+#[derive(Debug, Clone)]
+pub struct ObjectCentricProfile {
+    /// The sampled PMU event.
+    pub event: PmuEvent,
+    /// Sampling period.
+    pub period: u64,
+    /// Size filter S in bytes (allocations smaller than this were not monitored).
+    pub size_filter: u64,
+    /// Interned allocation sites.
+    pub sites: Vec<AllocSite>,
+    /// Per-thread profiles in thread-start order.
+    pub threads: Vec<ThreadProfile>,
+    /// Allocation-agent counters.
+    pub allocation_stats: AllocationStats,
+}
+
+impl ObjectCentricProfile {
+    /// Total samples over all threads.
+    pub fn total_samples(&self) -> u64 {
+        self.threads.iter().map(|t| t.samples).sum()
+    }
+
+    /// Looks up a site by id.
+    pub fn site(&self, id: AllocSiteId) -> Option<&AllocSite> {
+        self.sites.get(id.0 as usize)
+    }
+
+    // ------------------------------------------------------------------------------
+    // Text codec ("profile files")
+    // ------------------------------------------------------------------------------
+
+    /// Serializes the profile into the line-based text format the offline analyzer
+    /// consumes.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "djxperf-profile v1");
+        let _ = writeln!(
+            out,
+            "config event={} period={} size_filter={}",
+            self.event.hardware_name(),
+            self.period,
+            self.size_filter
+        );
+        let s = self.allocation_stats;
+        let _ = writeln!(
+            out,
+            "alloc-stats callbacks={} monitored={} filtered={} relocations={} unknown_moves={} reclamations={}",
+            s.callbacks, s.monitored, s.filtered, s.relocations, s.unknown_moves, s.reclamations
+        );
+        for site in &self.sites {
+            let _ = writeln!(
+                out,
+                "site {} class={} path={}",
+                site.id.0,
+                escape(&site.class_name),
+                encode_path(&site.call_path)
+            );
+        }
+        for t in &self.threads {
+            let _ = writeln!(out, "thread {} name={} samples={}", t.thread.0, escape(&t.thread_name), t.samples);
+            let _ = writeln!(out, "  unattributed {}", encode_metrics(&t.unattributed));
+            let mut site_ids: Vec<_> = t.sites.keys().copied().collect();
+            site_ids.sort_unstable();
+            for sid in site_ids {
+                let sm = &t.sites[&sid];
+                let _ = writeln!(out, "  object {} {}", sid.0, encode_metrics(&sm.total));
+                // Order access contexts by their encoded path so the rendering is
+                // canonical (independent of CCT node-id assignment order).
+                let mut ctxs: Vec<_> = sm
+                    .by_context
+                    .iter()
+                    .map(|(ctx, m)| (encode_path(&t.cct.path_of(*ctx)), m))
+                    .collect();
+                ctxs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                for (path, m) in ctxs {
+                    let _ = writeln!(out, "    access {} {}", path, encode_metrics(m));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a profile produced by [`ObjectCentricProfile::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileParseError`] for malformed input.
+    pub fn parse(text: &str) -> Result<Self, ProfileParseError> {
+        let mut lines = text.lines().enumerate().peekable();
+        let err = |line: usize, msg: &str| ProfileParseError { line: line + 1, message: msg.to_string() };
+
+        match lines.next() {
+            Some((_, "djxperf-profile v1")) => {}
+            Some((n, other)) => return Err(err(n, &format!("unexpected header {other:?}"))),
+            None => return Err(err(0, "empty profile")),
+        }
+
+        let mut profile = ObjectCentricProfile {
+            event: PmuEvent::L1Miss,
+            period: 1,
+            size_filter: 0,
+            sites: Vec::new(),
+            threads: Vec::new(),
+            allocation_stats: AllocationStats::default(),
+        };
+
+        while let Some((n, line)) = lines.next() {
+            let trimmed = line.trim_start();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let indent = line.len() - trimmed.len();
+            let mut parts = trimmed.split_whitespace();
+            let keyword = parts.next().unwrap_or_default();
+            match (indent, keyword) {
+                (0, "config") => {
+                    let kv = parse_kv(parts);
+                    profile.event = event_from_name(kv.get("event").map(String::as_str).unwrap_or(""));
+                    profile.period = parse_u64(&kv, "period").map_err(|m| err(n, &m))?;
+                    profile.size_filter = parse_u64(&kv, "size_filter").map_err(|m| err(n, &m))?;
+                }
+                (0, "alloc-stats") => {
+                    let kv = parse_kv(parts);
+                    profile.allocation_stats = AllocationStats {
+                        callbacks: parse_u64(&kv, "callbacks").map_err(|m| err(n, &m))?,
+                        monitored: parse_u64(&kv, "monitored").map_err(|m| err(n, &m))?,
+                        filtered: parse_u64(&kv, "filtered").map_err(|m| err(n, &m))?,
+                        relocations: parse_u64(&kv, "relocations").map_err(|m| err(n, &m))?,
+                        unknown_moves: parse_u64(&kv, "unknown_moves").map_err(|m| err(n, &m))?,
+                        reclamations: parse_u64(&kv, "reclamations").map_err(|m| err(n, &m))?,
+                    };
+                }
+                (0, "site") => {
+                    let id: u32 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(n, "site line misses an id"))?;
+                    let kv = parse_kv(parts);
+                    let class_name = unescape(kv.get("class").map(String::as_str).unwrap_or(""));
+                    let call_path = decode_path(kv.get("path").map(String::as_str).unwrap_or(""))
+                        .map_err(|m| err(n, &m))?;
+                    if id as usize != profile.sites.len() {
+                        return Err(err(n, "site ids must be dense and ascending"));
+                    }
+                    profile.sites.push(AllocSite { id: AllocSiteId(id), class_name, call_path });
+                }
+                (0, "thread") => {
+                    let id: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(n, "thread line misses an id"))?;
+                    let kv = parse_kv(parts);
+                    let mut tp = ThreadProfile::new(
+                        ThreadId(id),
+                        &unescape(kv.get("name").map(String::as_str).unwrap_or("")),
+                    );
+                    tp.samples = parse_u64(&kv, "samples").map_err(|m| err(n, &m))?;
+                    profile.threads.push(tp);
+                }
+                (_, "unattributed") => {
+                    let thread = profile.threads.last_mut().ok_or_else(|| err(n, "unattributed before any thread"))?;
+                    thread.unattributed = decode_metrics(parse_kv(parts)).map_err(|m| err(n, &m))?;
+                }
+                (_, "object") => {
+                    let thread = profile.threads.last_mut().ok_or_else(|| err(n, "object before any thread"))?;
+                    let sid: u32 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(n, "object line misses a site id"))?;
+                    let total = decode_metrics(parse_kv(parts)).map_err(|m| err(n, &m))?;
+                    thread
+                        .sites
+                        .entry(AllocSiteId(sid))
+                        .or_default()
+                        .total = total;
+                }
+                (_, "access") => {
+                    let thread = profile.threads.last_mut().ok_or_else(|| err(n, "access before any thread"))?;
+                    let path_str = parts.next().ok_or_else(|| err(n, "access line misses a path"))?;
+                    let path = decode_path(path_str).map_err(|m| err(n, &m))?;
+                    let metrics = decode_metrics(parse_kv(parts)).map_err(|m| err(n, &m))?;
+                    // The access belongs to the most recently declared object line.
+                    let last_site = thread
+                        .sites
+                        .iter()
+                        .max_by_key(|(id, _)| id.0)
+                        .map(|(id, _)| *id);
+                    // A stable association requires remembering insertion order; objects
+                    // are emitted sorted ascending, so the max id seen so far is the one
+                    // currently being parsed.
+                    let site = last_site.ok_or_else(|| err(n, "access before any object"))?;
+                    let ctx = thread.cct.insert_path(&path);
+                    thread.sites.get_mut(&site).unwrap().by_context.insert(ctx, metrics);
+                }
+                _ => return Err(err(n, &format!("unknown line {trimmed:?}"))),
+            }
+        }
+        Ok(profile)
+    }
+}
+
+/// Error produced when parsing a textual profile fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+/// Resolves a hardware event name back to a [`PmuEvent`]. Unknown names fall back to the
+/// default L1-miss event.
+pub fn event_from_name(name: &str) -> PmuEvent {
+    match name {
+        "MEM_LOAD_UOPS_RETIRED:L1_MISS" => PmuEvent::L1Miss,
+        "MEM_LOAD_UOPS_RETIRED:L2_MISS" => PmuEvent::L2Miss,
+        "MEM_LOAD_UOPS_RETIRED:L3_MISS" => PmuEvent::L3Miss,
+        "DTLB_LOAD_MISSES:MISS_CAUSES_A_WALK" => PmuEvent::DtlbMiss,
+        "MEM_TRANS_RETIRED:LOAD_LATENCY" => PmuEvent::LoadLatency { threshold: 30 },
+        "MEM_UOPS_RETIRED:ALL_LOADS" => PmuEvent::Loads,
+        "MEM_UOPS_RETIRED:ALL_STORES" => PmuEvent::Stores,
+        "MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM" => PmuEvent::RemoteDram,
+        _ => PmuEvent::L1Miss,
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace(' ', "\\s")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\s", " ")
+}
+
+fn encode_path(path: &[Frame]) -> String {
+    if path.is_empty() {
+        return "-".to_string();
+    }
+    path.iter()
+        .map(|f| format!("{}:{}", f.method.0, f.bci))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_path(s: &str) -> Result<Vec<Frame>, String> {
+    if s == "-" || s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|frame| {
+            let (m, bci) = frame
+                .split_once(':')
+                .ok_or_else(|| format!("malformed frame {frame:?}"))?;
+            let m: u32 = m.parse().map_err(|_| format!("bad method id {m:?}"))?;
+            let bci: u32 = bci.parse().map_err(|_| format!("bad BCI {bci:?}"))?;
+            Ok(Frame::new(MethodId(m), bci))
+        })
+        .collect()
+}
+
+fn encode_metrics(m: &MetricVector) -> String {
+    format!(
+        "samples={} weighted={} latency={} local={} remote={} loads={} stores={} allocs={} bytes={}",
+        m.samples,
+        m.weighted_events,
+        m.latency_cycles,
+        m.local_samples,
+        m.remote_samples,
+        m.load_samples,
+        m.store_samples,
+        m.allocations,
+        m.allocated_bytes
+    )
+}
+
+fn parse_kv<'a>(parts: impl Iterator<Item = &'a str>) -> HashMap<String, String> {
+    parts
+        .filter_map(|p| p.split_once('=').map(|(k, v)| (k.to_string(), v.to_string())))
+        .collect()
+}
+
+fn parse_u64(kv: &HashMap<String, String>, key: &str) -> Result<u64, String> {
+    kv.get(key)
+        .ok_or_else(|| format!("missing field {key}"))?
+        .parse()
+        .map_err(|_| format!("field {key} is not an integer"))
+}
+
+fn decode_metrics(kv: HashMap<String, String>) -> Result<MetricVector, String> {
+    Ok(MetricVector {
+        samples: parse_u64(&kv, "samples")?,
+        weighted_events: parse_u64(&kv, "weighted")?,
+        latency_cycles: parse_u64(&kv, "latency")?,
+        local_samples: parse_u64(&kv, "local")?,
+        remote_samples: parse_u64(&kv, "remote")?,
+        load_samples: parse_u64(&kv, "loads")?,
+        store_samples: parse_u64(&kv, "stores")?,
+        allocations: parse_u64(&kv, "allocs")?,
+        allocated_bytes: parse_u64(&kv, "bytes")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djx_memsim::{AccessKind, NumaNode};
+
+    fn f(m: u32, bci: u32) -> Frame {
+        Frame::new(MethodId(m), bci)
+    }
+
+    fn sample(addr: u64, remote: bool) -> djx_pmu::Sample {
+        djx_pmu::Sample {
+            event: PmuEvent::L1Miss,
+            thread_id: 1,
+            cpu: 0,
+            cpu_node: NumaNode(0),
+            page_node: NumaNode(u32::from(remote)),
+            effective_addr: addr,
+            kind: AccessKind::Load,
+            value: 1,
+            latency: 100,
+            counter_value: 1,
+        }
+    }
+
+    fn build_profile() -> ObjectCentricProfile {
+        let site_a = AllocSiteId(0);
+        let site_b = AllocSiteId(1);
+        let sites = vec![
+            AllocSite { id: site_a, class_name: "float[]".into(), call_path: vec![f(1, 5), f(2, 3)] },
+            AllocSite { id: site_b, class_name: "Top Doc".into(), call_path: vec![f(3, 0)] },
+        ];
+        let mut t1 = ThreadProfile::new(ThreadId(1), "main");
+        t1.record_allocation(site_a, 4096);
+        t1.record_attributed(site_a, &[f(1, 5), f(4, 9)], &sample(0x1000, false), 100);
+        t1.record_attributed(site_a, &[f(1, 5), f(5, 2)], &sample(0x1040, true), 100);
+        t1.record_attributed(site_b, &[f(3, 0)], &sample(0x2000, false), 100);
+        t1.record_unattributed(&sample(0x9000, false), 100);
+
+        let mut t2 = ThreadProfile::new(ThreadId(2), "worker 1");
+        t2.record_allocation(site_b, 64);
+        t2.record_attributed(site_b, &[f(3, 0), f(6, 6)], &sample(0x2010, true), 100);
+
+        ObjectCentricProfile {
+            event: PmuEvent::L1Miss,
+            period: 100,
+            size_filter: 1024,
+            sites,
+            threads: vec![t1, t2],
+            allocation_stats: AllocationStats {
+                callbacks: 10,
+                monitored: 2,
+                filtered: 8,
+                relocations: 1,
+                unknown_moves: 0,
+                reclamations: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn thread_profile_records_and_counts() {
+        let p = build_profile();
+        let t1 = &p.threads[0];
+        assert_eq!(t1.samples, 4);
+        assert_eq!(t1.attributed_samples(), 3);
+        assert_eq!(t1.unattributed.samples, 1);
+        assert_eq!(t1.sites[&AllocSiteId(0)].total.samples, 2);
+        assert_eq!(t1.sites[&AllocSiteId(0)].total.allocations, 1);
+        assert_eq!(t1.sites[&AllocSiteId(0)].by_context.len(), 2);
+        assert_eq!(p.total_samples(), 5);
+        assert!(t1.approx_bytes() > 0);
+        assert_eq!(p.site(AllocSiteId(1)).unwrap().class_name, "Top Doc");
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let p = build_profile();
+        let text = p.to_text();
+        let parsed = ObjectCentricProfile::parse(&text).unwrap();
+
+        assert_eq!(parsed.event, p.event);
+        assert_eq!(parsed.period, p.period);
+        assert_eq!(parsed.size_filter, p.size_filter);
+        assert_eq!(parsed.allocation_stats, p.allocation_stats);
+        assert_eq!(parsed.sites, p.sites);
+        assert_eq!(parsed.threads.len(), p.threads.len());
+        for (a, b) in parsed.threads.iter().zip(&p.threads) {
+            assert_eq!(a.thread, b.thread);
+            assert_eq!(a.thread_name, b.thread_name);
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.unattributed, b.unattributed);
+            assert_eq!(a.sites.len(), b.sites.len());
+            for (sid, sm) in &b.sites {
+                let pm = &a.sites[sid];
+                assert_eq!(pm.total, sm.total);
+                // Contexts compare by path, since node ids are tree-local.
+                let mut original: Vec<_> = sm
+                    .by_context
+                    .iter()
+                    .map(|(ctx, m)| (b.cct.path_of(*ctx), *m))
+                    .collect();
+                let mut reparsed: Vec<_> = pm
+                    .by_context
+                    .iter()
+                    .map(|(ctx, m)| (a.cct.path_of(*ctx), *m))
+                    .collect();
+                original.sort_by(|a, b| a.0.cmp(&b.0));
+                reparsed.sort_by(|a, b| a.0.cmp(&b.0));
+                assert_eq!(original, reparsed);
+            }
+        }
+        // Round-tripping the text again is stable.
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(ObjectCentricProfile::parse("").is_err());
+        assert!(ObjectCentricProfile::parse("not a profile").is_err());
+        let garbage = "djxperf-profile v1\nconfig event=X period=notanumber size_filter=0\n";
+        assert!(ObjectCentricProfile::parse(garbage).is_err());
+        let bad_site = "djxperf-profile v1\nsite 5 class=X path=-\n";
+        assert!(ObjectCentricProfile::parse(bad_site).is_err(), "non-dense site ids rejected");
+        let orphan = "djxperf-profile v1\n  object 0 samples=0 weighted=0 latency=0 local=0 remote=0 loads=0 stores=0 allocs=0 bytes=0\n";
+        assert!(ObjectCentricProfile::parse(orphan).is_err(), "object before thread rejected");
+        let err = ObjectCentricProfile::parse("djxperf-profile v1\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn event_names_round_trip() {
+        for ev in PmuEvent::all() {
+            let back = event_from_name(ev.hardware_name());
+            assert_eq!(back.hardware_name(), ev.hardware_name());
+        }
+        assert_eq!(event_from_name("SOMETHING_ELSE"), PmuEvent::L1Miss);
+    }
+
+    #[test]
+    fn path_and_name_escaping() {
+        assert_eq!(encode_path(&[]), "-");
+        assert_eq!(decode_path("-").unwrap(), Vec::<Frame>::new());
+        assert_eq!(decode_path("1:2,3:4").unwrap(), vec![f(1, 2), f(3, 4)]);
+        assert!(decode_path("1-2").is_err());
+        assert!(decode_path("x:2").is_err());
+        assert_eq!(unescape(&escape("Top Doc Collector")), "Top Doc Collector");
+    }
+}

@@ -1,0 +1,309 @@
+//! Textual rendering of analysis results — the stand-in for DJXPerf's Python GUI
+//! (Figure 5 of the paper): a top-down view showing, for each problematic object, its
+//! allocation site in source terms (`Class.method (File:line)`), its allocation call
+//! path, and the access call paths ordered by their contribution to the object's
+//! locality loss.
+
+use std::fmt::Write as _;
+
+use djx_runtime::{Frame, MethodRegistry};
+
+use crate::analyzer::{AnalysisReport, ObjectReport};
+use crate::codecentric::CodeCentricProfile;
+
+/// Renders one frame as `Class.method (File:line)` using the method registry — the same
+/// symbolization JVMTI provides via method IDs, `GetLineNumberTable` and class queries.
+pub fn describe_frame(frame: &Frame, methods: &MethodRegistry) -> String {
+    match methods.get(frame.method) {
+        Some(info) => format!(
+            "{}.{} ({}:{})",
+            info.class_name,
+            info.name,
+            info.file,
+            info.line_for_bci(frame.bci)
+        ),
+        None => format!("<unknown method {}> (bci {})", frame.method.0, frame.bci),
+    }
+}
+
+/// Renders a root-first call path, one frame per line, indented by `indent` spaces.
+pub fn describe_path(path: &[Frame], methods: &MethodRegistry, indent: usize) -> String {
+    if path.is_empty() {
+        return format!("{:indent$}<no calling context>\n", "", indent = indent);
+    }
+    let mut out = String::new();
+    for frame in path {
+        let _ = writeln!(out, "{:indent$}{}", "", describe_frame(frame, methods), indent = indent);
+    }
+    out
+}
+
+/// Options controlling how much of the report is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportOptions {
+    /// How many objects to show, hottest first.
+    pub top_objects: usize,
+    /// How many access contexts to show per object.
+    pub top_contexts: usize,
+    /// Show the full allocation call path (otherwise only the allocation site frame).
+    pub full_alloc_paths: bool,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self { top_objects: 10, top_contexts: 5, full_alloc_paths: true }
+    }
+}
+
+/// Renders the object-centric report of an analysis.
+pub fn render_object_report(
+    report: &AnalysisReport,
+    methods: &MethodRegistry,
+    options: ReportOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== DJXPerf object-centric profile ==");
+    let _ = writeln!(
+        out,
+        "event {}  period {}  samples {}  attributed {:.1}%",
+        report.event.hardware_name(),
+        report.period,
+        report.total_samples,
+        report.attributed_fraction() * 100.0
+    );
+    if report.objects.is_empty() {
+        let _ = writeln!(out, "(no monitored object received any sample)");
+        return out;
+    }
+    for (rank, object) in report.objects.iter().take(options.top_objects).enumerate() {
+        out.push_str(&render_one_object(rank + 1, object, methods, options));
+    }
+    out
+}
+
+fn render_one_object(
+    rank: usize,
+    object: &ObjectReport,
+    methods: &MethodRegistry,
+    options: ReportOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "#{rank} {}  —  {:.1}% of sampled events ({} samples, {} allocations, {} bytes)",
+        object.class_name,
+        object.fraction_of_total * 100.0,
+        object.metrics.samples,
+        object.metrics.allocations,
+        object.metrics.allocated_bytes
+    );
+    let _ = writeln!(
+        out,
+        "    locality: mean latency {:.0} cycles, remote accesses {:.1}%",
+        object.metrics.mean_latency(),
+        object.remote_fraction * 100.0
+    );
+    let _ = writeln!(out, "    allocated at:");
+    if options.full_alloc_paths {
+        out.push_str(&describe_path(&object.alloc_path, methods, 8));
+    } else if let Some(leaf) = object.alloc_path.last() {
+        let _ = writeln!(out, "        {}", describe_frame(leaf, methods));
+    } else {
+        let _ = writeln!(out, "        <no calling context>");
+    }
+    let _ = writeln!(out, "    accessed from:");
+    if object.access_contexts.is_empty() {
+        let _ = writeln!(out, "        <no sampled access>");
+    }
+    for ctx in object.access_contexts.iter().take(options.top_contexts) {
+        let _ = writeln!(
+            out,
+            "      - {:.1}% of this object's events ({} samples)",
+            ctx.fraction_of_object * 100.0,
+            ctx.metrics.samples
+        );
+        out.push_str(&describe_path(&ctx.path, methods, 10));
+    }
+    out
+}
+
+/// Renders the NUMA view of an analysis: objects ordered by remote accesses, with the
+/// remote fraction DJXPerf uses to flag candidates for interleaved allocation or
+/// first-touch parallel initialization (§4.3, §7.5, §7.6).
+pub fn render_numa_report(report: &AnalysisReport, methods: &MethodRegistry, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== DJXPerf NUMA locality report ==");
+    let remote = report.ranked_by_remote();
+    if remote.is_empty() {
+        let _ = writeln!(out, "(no monitored object shows remote accesses)");
+        return out;
+    }
+    for object in remote.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "{}  remote {:.1}% ({} of {} samples)",
+            object.class_name,
+            object.remote_fraction * 100.0,
+            object.metrics.remote_samples,
+            object.metrics.samples
+        );
+        let _ = writeln!(out, "    allocated at:");
+        out.push_str(&describe_path(&object.alloc_path, methods, 8));
+    }
+    out
+}
+
+/// Renders a code-centric profile (the Linux-perf-style view used for comparison in
+/// Figure 1 and the case studies).
+pub fn render_code_centric(profile: &CodeCentricProfile, methods: &MethodRegistry, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== code-centric profile (perf-like) ==");
+    let _ = writeln!(
+        out,
+        "event {}  period {}  samples {}",
+        profile.event.hardware_name(),
+        profile.period,
+        profile.total_samples
+    );
+    for location in profile.top_locations(top) {
+        let _ = writeln!(
+            out,
+            "{:5.1}%  {}",
+            location.fraction * 100.0,
+            location.describe_leaf(methods)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djx_pmu::PmuEvent;
+    use djx_runtime::MethodId;
+
+    use crate::analyzer::AccessContext;
+    use crate::metrics::MetricVector;
+    use crate::object::AllocSiteId;
+
+    fn registry() -> MethodRegistry {
+        let mut methods = MethodRegistry::new();
+        methods.register(
+            "ExtendedGeneralPath",
+            "makeRoom",
+            "ExtendedGeneralPath.java",
+            &[(0, 740), (5, 743)],
+        );
+        methods.register("SAHashMap", "getNode", "SAHashMap.java", &[(0, 120)]);
+        methods
+    }
+
+    fn object_report() -> ObjectReport {
+        let mut metrics = MetricVector::default();
+        metrics.allocations = 2478;
+        metrics.allocated_bytes = 2478 * 2048;
+        metrics.samples = 100;
+        metrics.weighted_events = 100 * 512;
+        metrics.latency_cycles = 100 * 180;
+        metrics.remote_samples = 25;
+        metrics.local_samples = 75;
+        ObjectReport {
+            site: AllocSiteId(0),
+            class_name: "float[]".into(),
+            alloc_path: vec![Frame::new(MethodId(0), 5)],
+            metrics,
+            fraction_of_total: 0.21,
+            remote_fraction: 0.25,
+            access_contexts: vec![AccessContext {
+                path: vec![Frame::new(MethodId(1), 0)],
+                metrics,
+                fraction_of_object: 1.0,
+            }],
+        }
+    }
+
+    fn report() -> AnalysisReport {
+        AnalysisReport {
+            event: PmuEvent::L1Miss,
+            period: 512,
+            total_samples: 476,
+            total_weighted_events: 476 * 512,
+            attributed_weighted_events: 100 * 512,
+            objects: vec![object_report()],
+        }
+    }
+
+    #[test]
+    fn frame_and_path_rendering_resolve_lines() {
+        let methods = registry();
+        let text = describe_frame(&Frame::new(MethodId(0), 7), &methods);
+        assert_eq!(text, "ExtendedGeneralPath.makeRoom (ExtendedGeneralPath.java:743)");
+        let unknown = describe_frame(&Frame::new(MethodId(42), 0), &methods);
+        assert!(unknown.contains("unknown method"));
+        let path = describe_path(&[Frame::new(MethodId(0), 0), Frame::new(MethodId(1), 0)], &methods, 2);
+        assert!(path.contains("makeRoom"));
+        assert!(path.contains("getNode"));
+        assert!(describe_path(&[], &methods, 2).contains("no calling context"));
+    }
+
+    #[test]
+    fn object_report_mentions_class_site_and_contexts() {
+        let methods = registry();
+        let text = render_object_report(&report(), &methods, ReportOptions::default());
+        assert!(text.contains("float[]"));
+        assert!(text.contains("21.0% of sampled events"));
+        assert!(text.contains("2478 allocations"));
+        assert!(text.contains("ExtendedGeneralPath.makeRoom (ExtendedGeneralPath.java:743)"));
+        assert!(text.contains("SAHashMap.getNode"));
+        assert!(text.contains("remote accesses 25.0%"));
+    }
+
+    #[test]
+    fn compact_alloc_path_option_shows_only_the_leaf() {
+        let methods = registry();
+        let options = ReportOptions { full_alloc_paths: false, ..ReportOptions::default() };
+        let text = render_object_report(&report(), &methods, options);
+        assert!(text.contains("makeRoom"));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let methods = registry();
+        let empty = AnalysisReport {
+            event: PmuEvent::L1Miss,
+            period: 512,
+            total_samples: 0,
+            total_weighted_events: 0,
+            attributed_weighted_events: 0,
+            objects: vec![],
+        };
+        let text = render_object_report(&empty, &methods, ReportOptions::default());
+        assert!(text.contains("no monitored object"));
+        let numa = render_numa_report(&empty, &methods, 5);
+        assert!(numa.contains("no monitored object"));
+    }
+
+    #[test]
+    fn numa_report_lists_remote_objects() {
+        let methods = registry();
+        let text = render_numa_report(&report(), &methods, 5);
+        assert!(text.contains("float[]"));
+        assert!(text.contains("remote 25.0%"));
+        assert!(text.contains("makeRoom"));
+    }
+
+    #[test]
+    fn code_centric_report_renders_locations() {
+        use crate::cct::Cct;
+        let methods = registry();
+        let mut cct = Cct::new();
+        let node = cct.insert_path(&[Frame::new(MethodId(1), 0)]);
+        cct.metrics_mut(node).weighted_events = 100;
+        cct.metrics_mut(node).samples = 1;
+        let profile = CodeCentricProfile { event: PmuEvent::L1Miss, period: 512, cct, total_samples: 1 };
+        let text = render_code_centric(&profile, &methods, 3);
+        assert!(text.contains("code-centric"));
+        assert!(text.contains("SAHashMap.getNode:120"));
+        assert!(text.contains("100.0%"));
+    }
+}

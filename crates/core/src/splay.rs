@@ -1,0 +1,536 @@
+//! An interval splay tree over `[start, end)` address ranges.
+//!
+//! DJXPerf keeps the memory ranges of all monitored Java objects in a splay tree
+//! (§4.2): every PMU sample's effective address is looked up in the tree to find the
+//! enclosing object, and the tree is updated when the garbage collector moves or
+//! reclaims objects. Splay trees fit this workload because PMU samples exhibit strong
+//! temporal locality — the most recently touched objects bubble up to the root, making
+//! the common lookup nearly O(1).
+//!
+//! The tree stores *disjoint* intervals; the heap guarantees objects never overlap.
+//! Lookups are by point containment (`start <= addr < end`).
+
+use djx_memsim::Addr;
+
+/// One stored interval and its associated value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive start address.
+    pub start: Addr,
+    /// Exclusive end address.
+    pub end: Addr,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start` (empty or inverted intervals are never valid object
+    /// ranges).
+    pub fn new(start: Addr, end: Addr) -> Self {
+        assert!(end > start, "interval end {end:#x} must be greater than start {start:#x}");
+        Self { start, end }
+    }
+
+    /// `true` when `addr` lies inside the interval.
+    pub fn contains(&self, addr: Addr) -> bool {
+        (self.start..self.end).contains(&addr)
+    }
+
+    /// Length of the interval in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `false` always — intervals cannot be empty by construction. Provided for
+    /// completeness with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    interval: Interval,
+    value: T,
+    left: Option<Box<Node<T>>>,
+    right: Option<Box<Node<T>>>,
+}
+
+impl<T> Node<T> {
+    fn new(interval: Interval, value: T) -> Box<Self> {
+        Box::new(Self { interval, value, left: None, right: None })
+    }
+}
+
+/// Where a point key falls relative to a node's interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Inside,
+    Right,
+}
+
+fn side_of(interval: &Interval, addr: Addr) -> Side {
+    if addr < interval.start {
+        Side::Left
+    } else if addr >= interval.end {
+        Side::Right
+    } else {
+        Side::Inside
+    }
+}
+
+/// A self-adjusting binary search tree over disjoint address intervals.
+///
+/// See the [module documentation](self) for the role it plays in the profiler.
+#[derive(Debug)]
+pub struct IntervalSplayTree<T> {
+    root: Option<Box<Node<T>>>,
+    len: usize,
+    lookups: u64,
+    hits: u64,
+}
+
+impl<T> Default for IntervalSplayTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IntervalSplayTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self { root: None, len: 0, lookups: 0, hits: 0 }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree stores no interval.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total lookups performed (monitoring statistics).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found an enclosing interval.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Top-down splay: reorganizes the tree so that the node whose interval contains
+    /// `key` (or the last node on the search path) becomes the root.
+    fn splay(mut root: Box<Node<T>>, key: Addr) -> Box<Node<T>> {
+        // `left_tree` collects nodes smaller than the key, `right_tree` larger ones.
+        let mut left_tree: Option<Box<Node<T>>> = None;
+        let mut right_tree: Option<Box<Node<T>>> = None;
+        // Tails of the collected trees where the next node is attached.
+        let mut left_tail: *mut Option<Box<Node<T>>> = &mut left_tree;
+        let mut right_tail: *mut Option<Box<Node<T>>> = &mut right_tree;
+
+        loop {
+            match side_of(&root.interval, key) {
+                Side::Inside => break,
+                Side::Left => {
+                    let Some(mut child) = root.left.take() else { break };
+                    if side_of(&child.interval, key) == Side::Left {
+                        // Zig-zig: rotate right.
+                        root.left = child.right.take();
+                        child.right = Some(root);
+                        root = child;
+                        let Some(next) = root.left.take() else { break };
+                        child = next;
+                    }
+                    // Link the current root into the right tree.
+                    // SAFETY: `right_tail` always points into `right_tree` or a node
+                    // already linked into it; both live for the whole loop.
+                    unsafe {
+                        *right_tail = Some(root);
+                        right_tail = &mut (*right_tail).as_mut().unwrap().left;
+                    }
+                    root = child;
+                }
+                Side::Right => {
+                    let Some(mut child) = root.right.take() else { break };
+                    if side_of(&child.interval, key) == Side::Right {
+                        // Zig-zig: rotate left.
+                        root.right = child.left.take();
+                        child.left = Some(root);
+                        root = child;
+                        let Some(next) = root.right.take() else { break };
+                        child = next;
+                    }
+                    // SAFETY: as above for `left_tail`.
+                    unsafe {
+                        *left_tail = Some(root);
+                        left_tail = &mut (*left_tail).as_mut().unwrap().right;
+                    }
+                    root = child;
+                }
+            }
+        }
+
+        // Reassemble: hang the root's subtrees off the collected trees.
+        // SAFETY: the tails point at the insertion slots left by the loop above.
+        unsafe {
+            *left_tail = root.left.take();
+            *right_tail = root.right.take();
+        }
+        root.left = left_tree;
+        root.right = right_tree;
+        root
+    }
+
+    /// Inserts an interval with its value. Intervals must be disjoint from every other
+    /// stored interval; inserting an interval whose start lies inside an existing one
+    /// replaces that entry (the new range and value win), which is what the profiler
+    /// wants when an allocation reuses the address range of a reclaimed object it never
+    /// saw die.
+    ///
+    /// Returns the replaced value, if any.
+    pub fn insert(&mut self, interval: Interval, value: T) -> Option<T> {
+        let Some(root) = self.root.take() else {
+            self.root = Some(Node::new(interval, value));
+            self.len += 1;
+            return None;
+        };
+        let mut root = Self::splay(root, interval.start);
+        match side_of(&root.interval, interval.start) {
+            Side::Inside => {
+                let old = std::mem::replace(&mut root.value, value);
+                root.interval = interval;
+                self.root = Some(root);
+                Some(old)
+            }
+            Side::Left => {
+                let mut node = Node::new(interval, value);
+                node.left = root.left.take();
+                node.right = Some(root);
+                self.root = Some(node);
+                self.len += 1;
+                None
+            }
+            Side::Right => {
+                let mut node = Node::new(interval, value);
+                node.right = root.right.take();
+                node.left = Some(root);
+                self.root = Some(node);
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up the interval containing `addr`, splaying it to the root. Returns the
+    /// interval and a reference to its value.
+    pub fn lookup(&mut self, addr: Addr) -> Option<(Interval, &T)> {
+        self.lookups += 1;
+        let root = self.root.take()?;
+        let root = Self::splay(root, addr);
+        self.root = Some(root);
+        let root = self.root.as_ref().unwrap();
+        if root.interval.contains(addr) {
+            self.hits += 1;
+            Some((root.interval, &root.value))
+        } else {
+            None
+        }
+    }
+
+    /// Looks up the interval containing `addr` and returns a mutable reference to its
+    /// value.
+    pub fn lookup_mut(&mut self, addr: Addr) -> Option<(Interval, &mut T)> {
+        self.lookups += 1;
+        let root = self.root.take()?;
+        let root = Self::splay(root, addr);
+        self.root = Some(root);
+        let root = self.root.as_mut().unwrap();
+        if root.interval.contains(addr) {
+            self.hits += 1;
+            Some((root.interval, &mut root.value))
+        } else {
+            None
+        }
+    }
+
+    /// Non-splaying containment query (no tree mutation, no statistics update).
+    pub fn find(&self, addr: Addr) -> Option<(Interval, &T)> {
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            match side_of(&n.interval, addr) {
+                Side::Inside => return Some((n.interval, &n.value)),
+                Side::Left => node = n.left.as_deref(),
+                Side::Right => node = n.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// Removes the interval containing `addr`, returning it and its value.
+    pub fn remove(&mut self, addr: Addr) -> Option<(Interval, T)> {
+        let root = self.root.take()?;
+        let mut root = Self::splay(root, addr);
+        if !root.interval.contains(addr) {
+            self.root = Some(root);
+            return None;
+        }
+        self.len -= 1;
+        let left = root.left.take();
+        let right = root.right.take();
+        self.root = match (left, right) {
+            (None, r) => r,
+            (Some(l), None) => Some(l),
+            (Some(l), Some(r)) => {
+                // Splay the maximum of the left subtree to its root; it then has no
+                // right child, so the right subtree can be attached directly.
+                let mut l = Self::splay(l, Addr::MAX);
+                debug_assert!(l.right.is_none());
+                l.right = Some(r);
+                Some(l)
+            }
+        };
+        Some((root.interval, root.value))
+    }
+
+    /// Removes every stored interval.
+    pub fn clear(&mut self) {
+        // Drop iteratively to avoid recursion-depth issues on adversarial shapes.
+        let mut stack: Vec<Box<Node<T>>> = Vec::new();
+        if let Some(root) = self.root.take() {
+            stack.push(root);
+        }
+        while let Some(mut node) = stack.pop() {
+            if let Some(l) = node.left.take() {
+                stack.push(l);
+            }
+            if let Some(r) = node.right.take() {
+                stack.push(r);
+            }
+        }
+        self.len = 0;
+    }
+
+    /// In-order iteration over `(interval, value)` pairs (ascending start address).
+    pub fn iter(&self) -> Iter<'_, T> {
+        let mut stack = Vec::new();
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            stack.push(n);
+            node = n.left.as_deref();
+        }
+        Iter { stack }
+    }
+
+    /// Approximate resident size of the tree in bytes (used by the memory-overhead
+    /// accounting of the evaluation).
+    pub fn approx_bytes(&self) -> usize {
+        self.len * (std::mem::size_of::<Node<T>>() + std::mem::size_of::<usize>())
+    }
+}
+
+impl<T> Drop for IntervalSplayTree<T> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+/// In-order iterator over the tree, produced by [`IntervalSplayTree::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    stack: Vec<&'a Node<T>>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Interval, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        let mut next = node.right.as_deref();
+        while let Some(n) = next {
+            self.stack.push(n);
+            next = n.left.as_deref();
+        }
+        Some((node.interval, &node.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(ranges: &[(u64, u64)]) -> IntervalSplayTree<usize> {
+        let mut t = IntervalSplayTree::new();
+        for (i, (s, e)) in ranges.iter().enumerate() {
+            t.insert(Interval::new(*s, *e), i);
+        }
+        t
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(0x100, 0x140);
+        assert!(iv.contains(0x100));
+        assert!(iv.contains(0x13f));
+        assert!(!iv.contains(0x140));
+        assert!(!iv.contains(0xff));
+        assert_eq!(iv.len(), 0x40);
+        assert!(!iv.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "greater than start")]
+    fn empty_interval_rejected() {
+        let _ = Interval::new(0x100, 0x100);
+    }
+
+    #[test]
+    fn insert_and_lookup_by_containment() {
+        let mut t = tree_with(&[(0x00, 0x60), (0x80, 0x100), (0x200, 0x240)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(0x53).map(|(_, v)| *v), Some(0));
+        assert_eq!(t.lookup(0xfe).map(|(_, v)| *v), Some(1));
+        assert_eq!(t.lookup(0x200).map(|(_, v)| *v), Some(2));
+        assert_eq!(t.lookup(0x60), None, "end is exclusive");
+        assert_eq!(t.lookup(0x150), None, "gap between intervals");
+        assert_eq!(t.lookups(), 5);
+        assert_eq!(t.hits(), 3);
+    }
+
+    #[test]
+    fn find_is_read_only_and_agrees_with_lookup() {
+        let mut t = tree_with(&[(0x00, 0x60), (0x80, 0x100)]);
+        for addr in [0x0u64, 0x30, 0x5f, 0x60, 0x7f, 0x80, 0xff, 0x100] {
+            let by_find = t.find(addr).map(|(_, v)| *v);
+            let by_lookup = t.lookup(addr).map(|(_, v)| *v);
+            assert_eq!(by_find, by_lookup, "addr {addr:#x}");
+        }
+        assert_eq!(t.find(0x30).map(|(i, _)| i), Some(Interval::new(0x00, 0x60)));
+    }
+
+    #[test]
+    fn lookup_mut_allows_in_place_updates() {
+        let mut t = tree_with(&[(0x00, 0x40)]);
+        if let Some((_, v)) = t.lookup_mut(0x10) {
+            *v = 99;
+        }
+        assert_eq!(t.lookup(0x10).map(|(_, v)| *v), Some(99));
+        assert!(t.lookup_mut(0x1000).is_none());
+    }
+
+    #[test]
+    fn remove_then_lookup_misses() {
+        let mut t = tree_with(&[(0x00, 0x60), (0x80, 0x100), (0x200, 0x240)]);
+        let (iv, v) = t.remove(0x90).unwrap();
+        assert_eq!(iv, Interval::new(0x80, 0x100));
+        assert_eq!(v, 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(0x90), None);
+        assert_eq!(t.lookup(0x30).map(|(_, v)| *v), Some(0));
+        assert_eq!(t.lookup(0x210).map(|(_, v)| *v), Some(2));
+        assert_eq!(t.remove(0x90), None, "double remove is a miss");
+    }
+
+    #[test]
+    fn remove_root_with_both_children() {
+        let mut t = tree_with(&[(0x100, 0x140), (0x00, 0x40), (0x200, 0x240)]);
+        // Splay the middle interval to the root, then remove it.
+        t.lookup(0x100);
+        assert!(t.remove(0x120).is_some());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(0x00).map(|(_, v)| *v), Some(1));
+        assert_eq!(t.lookup(0x230).map(|(_, v)| *v), Some(2));
+    }
+
+    #[test]
+    fn insert_with_start_inside_existing_replaces() {
+        let mut t = IntervalSplayTree::new();
+        t.insert(Interval::new(0x100, 0x200), 1);
+        // An allocation reusing memory the profiler still thinks belongs to value 1.
+        let old = t.insert(Interval::new(0x100, 0x180), 2);
+        assert_eq!(old, Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(0x150).map(|(_, v)| *v), Some(2));
+        assert_eq!(t.lookup(0x190), None, "the range shrank to the new object's size");
+    }
+
+    #[test]
+    fn move_pattern_remove_and_reinsert() {
+        // The GC relocation-map pattern: remove by old address, insert the new range.
+        let mut t = IntervalSplayTree::new();
+        t.insert(Interval::new(0x1000, 0x1100), "obj");
+        let (_, v) = t.remove(0x1000).unwrap();
+        t.insert(Interval::new(0x2000, 0x2100), v);
+        assert_eq!(t.lookup(0x1050), None);
+        assert_eq!(t.lookup(0x2050).map(|(_, v)| *v), Some("obj"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_start() {
+        let ranges: Vec<(u64, u64)> = (0..50u64).rev().map(|i| (i * 0x100, i * 0x100 + 0x80)).collect();
+        let mut t = tree_with(&ranges);
+        // Shuffle the tree shape with some lookups.
+        for i in [3u64, 47, 12, 0, 30] {
+            t.lookup(i * 0x100 + 1);
+        }
+        let starts: Vec<u64> = t.iter().map(|(iv, _)| iv.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        assert_eq!(starts.len(), 50);
+    }
+
+    #[test]
+    fn clear_empties_the_tree() {
+        let mut t = tree_with(&[(0x0, 0x10), (0x20, 0x30)]);
+        assert!(t.approx_bytes() > 0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup(0x5), None);
+        assert_eq!(t.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn many_disjoint_intervals_stay_consistent() {
+        let n = 2000u64;
+        let mut t = IntervalSplayTree::new();
+        for i in 0..n {
+            t.insert(Interval::new(i * 64, i * 64 + 64), i);
+        }
+        assert_eq!(t.len() as u64, n);
+        // Every address maps to its interval.
+        for i in (0..n).step_by(37) {
+            assert_eq!(t.lookup(i * 64 + 13).map(|(_, v)| *v), Some(i));
+        }
+        // Remove every third interval.
+        for i in (0..n).step_by(3) {
+            assert!(t.remove(i * 64).is_some());
+        }
+        for i in 0..n {
+            let expect = if i % 3 == 0 { None } else { Some(i) };
+            assert_eq!(t.lookup(i * 64 + 1).map(|(_, v)| *v), expect, "interval {i}");
+        }
+    }
+
+    #[test]
+    fn adversarial_sequential_lookups_do_not_overflow_stack() {
+        // A strictly ascending insertion order produces a degenerate BST; splaying must
+        // keep lookups iterative (no recursion) and correct.
+        let n = 50_000u64;
+        let mut t = IntervalSplayTree::new();
+        for i in 0..n {
+            t.insert(Interval::new(i * 16, i * 16 + 16), i);
+        }
+        assert_eq!(t.lookup(0).map(|(_, v)| *v), Some(0));
+        assert_eq!(t.lookup((n - 1) * 16).map(|(_, v)| *v), Some(n - 1));
+        drop(t); // the Drop impl must not recurse either
+    }
+}

@@ -1,0 +1,294 @@
+//! Property-based tests over the profiler's core data structures: the interval splay
+//! tree is checked against a naive model, the calling context tree against path
+//! round-trips and merge conservation, the metric vector against merge algebra, and the
+//! profile text codec against arbitrary profiles.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use djx_memsim::{AccessKind, NumaNode};
+use djx_pmu::{PmuEvent, Sample};
+use djx_runtime::{Frame, MethodId, ThreadId};
+use djxperf::{
+    AllocSite, AllocSiteId, AllocationStats, Cct, Interval, IntervalSplayTree, MetricVector,
+    ObjectCentricProfile, ThreadProfile,
+};
+
+// --------------------------------------------------------------------------------------
+// Interval splay tree vs a naive model
+// --------------------------------------------------------------------------------------
+
+/// Operations over disjoint, slot-aligned intervals (the way heap objects behave).
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert { slot: u64, len: u64, value: u64 },
+    Remove { slot: u64 },
+    Lookup { slot: u64, offset: u64 },
+}
+
+const SLOT_SIZE: u64 = 0x1000;
+const SLOTS: u64 = 64;
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0..SLOTS, 1..SLOT_SIZE, any::<u64>())
+            .prop_map(|(slot, len, value)| TreeOp::Insert { slot, len, value }),
+        (0..SLOTS).prop_map(|slot| TreeOp::Remove { slot }),
+        (0..SLOTS, 0..SLOT_SIZE).prop_map(|(slot, offset)| TreeOp::Lookup { slot, offset }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The splay tree agrees with a hash-map model under arbitrary insert/remove/lookup
+    /// sequences over disjoint intervals, and its iteration stays sorted.
+    #[test]
+    fn splay_tree_matches_naive_model(ops in prop::collection::vec(tree_op(), 1..200)) {
+        let mut tree: IntervalSplayTree<u64> = IntervalSplayTree::new();
+        // Model: slot -> (length, value).
+        let mut model: HashMap<u64, (u64, u64)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                TreeOp::Insert { slot, len, value } => {
+                    let start = slot * SLOT_SIZE;
+                    let replaced = tree.insert(Interval::new(start, start + len), value);
+                    let model_replaced = model.insert(slot, (len, value)).map(|(_, v)| v);
+                    prop_assert_eq!(replaced, model_replaced);
+                }
+                TreeOp::Remove { slot } => {
+                    let removed = tree.remove(slot * SLOT_SIZE).map(|(iv, v)| (iv.len(), v));
+                    let model_removed = model.remove(&slot);
+                    prop_assert_eq!(removed, model_removed);
+                }
+                TreeOp::Lookup { slot, offset } => {
+                    let found = tree.lookup(slot * SLOT_SIZE + offset).map(|(_, v)| *v);
+                    let expected = model
+                        .get(&slot)
+                        .filter(|(len, _)| offset < *len)
+                        .map(|(_, v)| *v);
+                    prop_assert_eq!(found, expected);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+
+        // In-order iteration is sorted by start address and covers exactly the model.
+        let entries: Vec<(u64, u64)> = tree.iter().map(|(iv, v)| (iv.start, *v)).collect();
+        let mut starts: Vec<u64> = entries.iter().map(|(s, _)| *s).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&starts, &sorted);
+        starts.dedup();
+        prop_assert_eq!(starts.len(), model.len());
+    }
+
+    /// `find` (read-only) and `lookup` (splaying) always agree.
+    #[test]
+    fn splay_find_and_lookup_agree(
+        slots in prop::collection::btree_set(0..SLOTS, 1..32),
+        probes in prop::collection::vec((0..SLOTS, 0..SLOT_SIZE), 1..64),
+    ) {
+        let mut tree: IntervalSplayTree<u64> = IntervalSplayTree::new();
+        for &slot in &slots {
+            let start = slot * SLOT_SIZE;
+            tree.insert(Interval::new(start, start + SLOT_SIZE / 2), slot);
+        }
+        for (slot, offset) in probes {
+            let addr = slot * SLOT_SIZE + offset;
+            let by_find = tree.find(addr).map(|(_, v)| *v);
+            let by_lookup = tree.lookup(addr).map(|(_, v)| *v);
+            prop_assert_eq!(by_find, by_lookup);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// Calling context tree
+// --------------------------------------------------------------------------------------
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (0u32..40, 0u32..16).prop_map(|(m, bci)| Frame::new(MethodId(m), bci * 4))
+}
+
+fn path_strategy() -> impl Strategy<Value = Vec<Frame>> {
+    prop::collection::vec(frame_strategy(), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Inserting a path and reading it back returns the same path, and re-insertion is
+    /// idempotent (same node id, no growth).
+    #[test]
+    fn cct_path_round_trip(paths in prop::collection::vec(path_strategy(), 1..40)) {
+        let mut cct = Cct::new();
+        let mut ids = Vec::new();
+        for path in &paths {
+            let id = cct.insert_path(path);
+            prop_assert_eq!(&cct.path_of(id), path);
+            ids.push(id);
+        }
+        let size = cct.len();
+        for (path, id) in paths.iter().zip(&ids) {
+            prop_assert_eq!(cct.insert_path(path), *id);
+        }
+        prop_assert_eq!(cct.len(), size, "re-insertion must not create nodes");
+    }
+
+    /// Merging CCTs conserves metric totals and path identities.
+    #[test]
+    fn cct_merge_conserves_metrics(
+        paths_a in prop::collection::vec(path_strategy(), 1..25),
+        paths_b in prop::collection::vec(path_strategy(), 1..25),
+    ) {
+        let build = |paths: &[Vec<Frame>]| {
+            let mut cct = Cct::new();
+            for (i, p) in paths.iter().enumerate() {
+                let id = cct.insert_path(p);
+                cct.metrics_mut(id).record_allocation((i + 1) as u64);
+            }
+            cct
+        };
+        let a = build(&paths_a);
+        let b = build(&paths_b);
+        let total = |cct: &Cct| -> (u64, u64) {
+            cct.node_ids().fold((0, 0), |(allocs, bytes), id| {
+                let m = cct.metrics(id);
+                (allocs + m.allocations, bytes + m.allocated_bytes)
+            })
+        };
+        let (a_allocs, a_bytes) = total(&a);
+        let (b_allocs, b_bytes) = total(&b);
+
+        let mut merged = a.clone();
+        let mapping = merged.merge(&b);
+        let (m_allocs, m_bytes) = total(&merged);
+        prop_assert_eq!(m_allocs, a_allocs + b_allocs);
+        prop_assert_eq!(m_bytes, a_bytes + b_bytes);
+        for id in b.node_ids() {
+            prop_assert_eq!(merged.path_of(mapping[id.0 as usize]), b.path_of(id));
+        }
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// Metric vectors
+// --------------------------------------------------------------------------------------
+
+fn sample_strategy() -> impl Strategy<Value = Sample> {
+    (any::<bool>(), any::<bool>(), 1u64..1000, 0u32..2)
+        .prop_map(|(store, remote, latency, node)| Sample {
+            event: PmuEvent::L1Miss,
+            thread_id: 1,
+            cpu: 0,
+            cpu_node: NumaNode(node),
+            page_node: NumaNode(if remote { 1 - node } else { node }),
+            effective_addr: 0x1000,
+            kind: if store { AccessKind::Store } else { AccessKind::Load },
+            value: 1,
+            latency,
+            counter_value: 0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Folding samples one by one and merging partial vectors give the same totals
+    /// (merge is associative/commutative over disjoint sample partitions).
+    #[test]
+    fn metric_merge_equals_sequential_fold(
+        samples in prop::collection::vec(sample_strategy(), 1..60),
+        split in 0usize..60,
+        period in 1u64..10_000,
+    ) {
+        let split = split.min(samples.len());
+        let mut all = MetricVector::new();
+        for s in &samples {
+            all.record_sample(s, period);
+        }
+        let mut left = MetricVector::new();
+        let mut right = MetricVector::new();
+        for s in &samples[..split] {
+            left.record_sample(s, period);
+        }
+        for s in &samples[split..] {
+            right.record_sample(s, period);
+        }
+        let mut merged_lr = left;
+        merged_lr.merge(&right);
+        let mut merged_rl = right;
+        merged_rl.merge(&left);
+        prop_assert_eq!(merged_lr, all);
+        prop_assert_eq!(merged_rl, all);
+        prop_assert_eq!(all.samples as usize, samples.len());
+        prop_assert_eq!(all.local_samples + all.remote_samples, all.samples);
+        prop_assert_eq!(all.load_samples + all.store_samples, all.samples);
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// Profile text codec
+// --------------------------------------------------------------------------------------
+
+fn class_name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9 .\\[\\]]{0,18}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary profiles survive the text codec: parse(to_text(p)) analyzes identically
+    /// and re-serializes to the same text.
+    #[test]
+    fn profile_codec_round_trips(
+        class_names in prop::collection::vec(class_name_strategy(), 1..4),
+        alloc_paths in prop::collection::vec(path_strategy(), 1..4),
+        samples in prop::collection::vec((0usize..4, path_strategy(), sample_strategy()), 0..40),
+        period in 1u64..100_000,
+    ) {
+        // Build the site table from the generated names/paths.
+        let site_count = class_names.len().min(alloc_paths.len());
+        let sites: Vec<AllocSite> = (0..site_count)
+            .map(|i| AllocSite {
+                id: AllocSiteId(i as u32),
+                class_name: class_names[i].clone(),
+                call_path: alloc_paths[i].clone(),
+            })
+            .collect();
+
+        let mut thread = ThreadProfile::new(ThreadId(1), "prop thread");
+        for (site_index, path, sample) in &samples {
+            let site = AllocSiteId((site_index % site_count) as u32);
+            thread.record_attributed(site, path, sample, period);
+        }
+        thread.record_allocation(AllocSiteId(0), 4096);
+
+        let profile = ObjectCentricProfile {
+            event: PmuEvent::L1Miss,
+            period,
+            size_filter: 1024,
+            sites,
+            threads: vec![thread],
+            allocation_stats: AllocationStats { callbacks: 10, monitored: 5, filtered: 5, ..Default::default() },
+        };
+
+        let text = profile.to_text();
+        let parsed = ObjectCentricProfile::parse(&text).expect("round trip");
+        prop_assert_eq!(parsed.to_text(), text, "serialization is a fixed point");
+
+        let analyzer = djxperf::Analyzer::new();
+        let a = analyzer.analyze(&profile);
+        let b = analyzer.analyze(&parsed);
+        prop_assert_eq!(a.total_samples, b.total_samples);
+        prop_assert_eq!(a.total_weighted_events, b.total_weighted_events);
+        prop_assert_eq!(a.objects.len(), b.objects.len());
+        for (x, y) in a.objects.iter().zip(&b.objects) {
+            prop_assert_eq!(&x.class_name, &y.class_name);
+            prop_assert_eq!(x.metrics, y.metrics);
+        }
+    }
+}

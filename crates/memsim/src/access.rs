@@ -1,0 +1,164 @@
+//! Memory-access descriptions and their simulated outcomes.
+
+use crate::numa::NumaNode;
+use crate::{Addr, CpuId};
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// A data load (read).
+    Load,
+    /// A data store (write).
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Load`].
+    pub fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+
+    /// Returns `true` for [`AccessKind::Store`].
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// One memory access issued by a simulated thread.
+///
+/// This is the unit the memory hierarchy consumes; the managed-runtime simulator emits
+/// one `MemoryAccess` per field/array-element load or store that a workload performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryAccess {
+    /// Logical CPU the issuing thread is currently running on.
+    pub cpu: CpuId,
+    /// Virtual effective address.
+    pub addr: Addr,
+    /// Access size in bytes (1, 2, 4, 8, ... ); only used for footprint accounting.
+    pub size: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemoryAccess {
+    /// Creates a load access.
+    pub fn load(cpu: CpuId, addr: Addr, size: u32) -> Self {
+        Self { cpu, addr, size, kind: AccessKind::Load }
+    }
+
+    /// Creates a store access.
+    pub fn store(cpu: CpuId, addr: Addr, size: u32) -> Self {
+        Self { cpu, addr, size, kind: AccessKind::Store }
+    }
+}
+
+/// The simulated result of one [`MemoryAccess`].
+///
+/// This carries everything a PEBS record would carry for a precise memory event, plus the
+/// per-level hit/miss breakdown the latency model used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The access this outcome belongs to.
+    pub access: MemoryAccess,
+    /// `true` if the access missed the private L1 data cache.
+    pub l1_miss: bool,
+    /// `true` if the access missed the private L2 cache.
+    pub l2_miss: bool,
+    /// `true` if the access missed the shared L3 cache (and therefore went to memory).
+    pub l3_miss: bool,
+    /// `true` if the address translation missed the data TLB.
+    pub tlb_miss: bool,
+    /// NUMA node of the CPU that issued the access.
+    pub cpu_node: NumaNode,
+    /// NUMA node that owns the page containing the address.
+    pub page_node: NumaNode,
+    /// Modeled access latency in cycles.
+    pub latency: u64,
+}
+
+impl AccessOutcome {
+    /// `true` when the access had to be served from a NUMA node different from the one
+    /// the issuing CPU belongs to *and* it actually reached memory (missed all caches).
+    ///
+    /// DJXPerf counts a remote access whenever the page node and the CPU node differ for
+    /// a sampled access; we additionally require an L3 miss so that cache-resident data
+    /// is not counted as remote traffic, which matches the intent of the NUMA case
+    /// studies (remote *memory* accesses).
+    pub fn is_remote_dram_access(&self) -> bool {
+        self.l3_miss && self.cpu_node != self.page_node
+    }
+
+    /// `true` when the page backing this access resides on a different node from the
+    /// issuing CPU, regardless of whether the access was served from cache. This is the
+    /// raw `move_pages`-style signal (page node vs `PERF_SAMPLE_CPU` node) described in
+    /// §4.3 of the paper.
+    pub fn is_remote_page(&self) -> bool {
+        self.cpu_node != self.page_node
+    }
+
+    /// `true` if the access was served from some cache level (did not reach DRAM).
+    pub fn served_from_cache(&self) -> bool {
+        !self.l3_miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(l3_miss: bool, cpu_node: u32, page_node: u32) -> AccessOutcome {
+        AccessOutcome {
+            access: MemoryAccess::load(0, 0x1000, 8),
+            l1_miss: true,
+            l2_miss: true,
+            l3_miss,
+            tlb_miss: false,
+            cpu_node: NumaNode(cpu_node),
+            page_node: NumaNode(page_node),
+            latency: 100,
+        }
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Load.is_load());
+        assert!(!AccessKind::Load.is_store());
+        assert!(AccessKind::Store.is_store());
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(MemoryAccess::load(1, 0x40, 4).kind, AccessKind::Load);
+        assert_eq!(MemoryAccess::store(1, 0x40, 4).kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn remote_dram_requires_l3_miss_and_node_mismatch() {
+        assert!(outcome(true, 0, 1).is_remote_dram_access());
+        assert!(!outcome(false, 0, 1).is_remote_dram_access());
+        assert!(!outcome(true, 1, 1).is_remote_dram_access());
+    }
+
+    #[test]
+    fn remote_page_ignores_cache_state() {
+        assert!(outcome(false, 0, 1).is_remote_page());
+        assert!(!outcome(false, 0, 0).is_remote_page());
+    }
+
+    #[test]
+    fn served_from_cache_is_inverse_of_l3_miss() {
+        assert!(outcome(false, 0, 0).served_from_cache());
+        assert!(!outcome(true, 0, 0).served_from_cache());
+    }
+}

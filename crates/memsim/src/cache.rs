@@ -1,0 +1,283 @@
+//! Set-associative cache model with true-LRU replacement.
+
+use crate::config::CACHE_LINE_SIZE;
+use crate::Addr;
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable level name ("L1d", "L2", "L3", ...). Used in reports and stats.
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Number of ways per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a multiple of `associativity * CACHE_LINE_SIZE`, if
+    /// the resulting set count is not a power of two, or if any parameter is zero.
+    pub fn new(name: impl Into<String>, size_bytes: u64, associativity: usize) -> Self {
+        let cfg = Self { name: name.into(), size_bytes, associativity };
+        assert!(cfg.size_bytes > 0, "cache size must be non-zero");
+        assert!(cfg.associativity > 0, "associativity must be non-zero");
+        assert!(
+            cfg.size_bytes % (cfg.associativity as u64 * CACHE_LINE_SIZE) == 0,
+            "cache size must be a multiple of associativity * line size"
+        );
+        assert!(cfg.num_sets() > 0, "cache must have at least one set");
+        cfg
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / (self.associativity as u64 * CACHE_LINE_SIZE)) as usize
+    }
+
+    /// Number of cache lines the cache can hold.
+    pub fn num_lines(&self) -> usize {
+        (self.size_bytes / CACHE_LINE_SIZE) as usize
+    }
+}
+
+/// One way of a cache set: the tag stored there and the LRU timestamp of its last use.
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    last_use: u64,
+}
+
+/// A set-associative cache with least-recently-used replacement.
+///
+/// The cache tracks only line presence (tags); it does not store data, dirty bits or
+/// coherence state, because the profiler only needs hit/miss outcomes. Set selection
+/// uses modulo indexing so non-power-of-two set counts (such as a 30 MiB, 20-way L3)
+/// are supported.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    num_sets: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        let sets = vec![vec![Way::default(); config.associativity]; num_sets];
+        Self {
+            config,
+            sets,
+            num_sets: num_sets as u64,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses recorded so far.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Looks up the line containing `addr`, inserting it on a miss (allocate-on-miss for
+    /// both loads and stores). Returns `true` on a hit.
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.clock += 1;
+        let line = addr / CACHE_LINE_SIZE;
+        let set_idx = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        let set = &mut self.sets[set_idx];
+
+        // Hit path: refresh the LRU timestamp.
+        for way in set.iter_mut() {
+            if way.valid && way.tag == tag {
+                way.last_use = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+
+        // Miss path: fill an invalid way, or evict the least recently used one.
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+            .expect("a cache set always has at least one way");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.last_use = self.clock;
+        false
+    }
+
+    /// Returns `true` if the line containing `addr` is currently resident, without
+    /// changing any cache state or statistics.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let line = addr / CACHE_LINE_SIZE;
+        let set_idx = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates every line and resets the LRU clock, keeping the statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = Way::default();
+            }
+        }
+        self.clock = 0;
+    }
+
+    /// Resets hit/miss statistics without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of currently valid (resident) lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ways: usize, sets: usize) -> Cache {
+        Cache::new(CacheConfig::new(
+            "test",
+            ways as u64 * sets as u64 * CACHE_LINE_SIZE,
+            ways,
+        ))
+    }
+
+    #[test]
+    fn geometry_arithmetic() {
+        let cfg = CacheConfig::new("L1d", 32 * 1024, 8);
+        assert_eq!(cfg.num_sets(), 64);
+        assert_eq!(cfg.num_lines(), 512);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_is_allowed() {
+        // A 30 MiB 20-way cache (the paper machine's L3) has 24576 sets.
+        let cfg = CacheConfig::new("L3", 30 * 1024 * 1024, 20);
+        assert_eq!(cfg.num_sets(), 24576);
+        let mut c = Cache::new(cfg);
+        assert!(!c.access(0x1234_5678));
+        assert!(c.access(0x1234_5678));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of associativity")]
+    fn misaligned_capacity_rejected() {
+        let _ = CacheConfig::new("bad", 1000, 8);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small_cache(2, 4);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1008), "same line, different offset still hits");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2-way, 1-set cache: three distinct lines force an eviction of the LRU line.
+        let mut c = small_cache(2, 1);
+        assert!(!c.access(0 * CACHE_LINE_SIZE)); // A miss
+        assert!(!c.access(1 * CACHE_LINE_SIZE)); // B miss
+        assert!(c.access(0 * CACHE_LINE_SIZE)); // A hit, B becomes LRU
+        assert!(!c.access(2 * CACHE_LINE_SIZE)); // C miss, evicts B
+        assert!(c.access(0 * CACHE_LINE_SIZE)); // A still resident
+        assert!(!c.access(1 * CACHE_LINE_SIZE)); // B was evicted
+    }
+
+    #[test]
+    fn probe_does_not_change_state() {
+        let mut c = small_cache(2, 2);
+        c.access(0x40);
+        let hits_before = c.hits();
+        assert!(c.probe(0x40));
+        assert!(!c.probe(0x4000));
+        assert_eq!(c.hits(), hits_before);
+    }
+
+    #[test]
+    fn flush_empties_cache_but_keeps_stats() {
+        let mut c = small_cache(2, 2);
+        c.access(0x40);
+        c.access(0x40);
+        assert_eq!(c.resident_lines(), 1);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.hits(), 1);
+        assert!(!c.access(0x40), "flushed line misses again");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_keeps_missing() {
+        let mut c = small_cache(4, 4); // 16 lines capacity
+        let lines = 64u64;
+        // Two sequential sweeps over 64 distinct lines: with LRU and a 16-line cache the
+        // second sweep cannot hit at all.
+        for _ in 0..2 {
+            for i in 0..lines {
+                c.access(i * CACHE_LINE_SIZE);
+            }
+        }
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 2 * lines);
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits_after_warmup() {
+        let mut c = small_cache(4, 4); // 16 lines capacity
+        let lines = 8u64;
+        for i in 0..lines {
+            c.access(i * CACHE_LINE_SIZE);
+        }
+        c.reset_stats();
+        for i in 0..lines {
+            assert!(c.access(i * CACHE_LINE_SIZE));
+        }
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn resident_lines_bounded_by_capacity() {
+        let mut c = small_cache(2, 4); // 8 lines capacity
+        for i in 0..100u64 {
+            c.access(i * CACHE_LINE_SIZE);
+        }
+        assert!(c.resident_lines() <= 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! Machine-level configuration for the simulated memory hierarchy.
+
+use crate::cache::CacheConfig;
+use crate::latency::LatencyModel;
+use crate::numa::NumaTopology;
+use crate::tlb::TlbConfig;
+
+/// Size of a cache line in bytes. All caches in the hierarchy share this line size,
+/// matching the 64-byte lines of the Broadwell machine used in the paper's evaluation.
+pub const CACHE_LINE_SIZE: u64 = 64;
+
+/// Size of a virtual-memory page in bytes (4 KiB, the Linux default on the evaluation
+/// machine).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Full configuration of a simulated machine: cache geometry, TLB geometry, NUMA
+/// topology and the latency model.
+///
+/// Use [`HierarchyConfig::broadwell_like`] for the default geometry mirroring the
+/// paper's evaluation machine, or build a custom configuration for ablations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyConfig {
+    /// Number of logical CPUs in the machine.
+    pub cpus: usize,
+    /// Private per-CPU L1 data cache.
+    pub l1: CacheConfig,
+    /// Private per-CPU L2 cache.
+    pub l2: CacheConfig,
+    /// L3 cache shared by all CPUs of a socket (modeled as shared by all CPUs).
+    pub l3: CacheConfig,
+    /// Per-CPU data TLB.
+    pub tlb: TlbConfig,
+    /// NUMA topology (nodes and the CPUs belonging to each node).
+    pub numa: NumaTopology,
+    /// Latency model used to convert hit/miss outcomes into access cycles.
+    pub latency: LatencyModel,
+}
+
+impl HierarchyConfig {
+    /// Geometry mirroring the paper's evaluation machine: a 24-core Intel Xeon E5-2650 v4
+    /// (Broadwell) with a private 32 KiB 8-way L1, a private 256 KiB 8-way L2, a shared
+    /// 30 MiB 20-way L3, a 64-entry data TLB and two NUMA nodes.
+    ///
+    /// The default instance uses 8 CPUs (4 per node) to keep simulations laptop-scale;
+    /// the per-CPU cache geometry is unchanged, so locality behaviour per thread matches.
+    pub fn broadwell_like() -> Self {
+        Self::broadwell_like_with_cpus(8)
+    }
+
+    /// Same geometry as [`HierarchyConfig::broadwell_like`] with an explicit CPU count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero or not divisible by the number of NUMA nodes (2).
+    pub fn broadwell_like_with_cpus(cpus: usize) -> Self {
+        assert!(cpus > 0, "a machine needs at least one CPU");
+        let nodes = 2;
+        assert!(
+            cpus % nodes == 0,
+            "CPU count {cpus} must be divisible by the {nodes} NUMA nodes"
+        );
+        Self {
+            cpus,
+            l1: CacheConfig::new("L1d", 32 * 1024, 8),
+            l2: CacheConfig::new("L2", 256 * 1024, 8),
+            l3: CacheConfig::new("L3", 30 * 1024 * 1024, 20),
+            tlb: TlbConfig::new(64, 4),
+            numa: NumaTopology::symmetric(nodes, cpus / nodes),
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// A deliberately tiny hierarchy (4 KiB L1, 16 KiB L2, 64 KiB L3, 8-entry TLB,
+    /// 2 NUMA nodes, 4 CPUs). Useful in unit tests where evictions must be easy to
+    /// provoke without touching megabytes of simulated memory.
+    pub fn tiny() -> Self {
+        Self {
+            cpus: 4,
+            l1: CacheConfig::new("L1d", 4 * 1024, 4),
+            l2: CacheConfig::new("L2", 16 * 1024, 4),
+            l3: CacheConfig::new("L3", 64 * 1024, 8),
+            tlb: TlbConfig::new(8, 2),
+            numa: NumaTopology::symmetric(2, 2),
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// A single-node variant of [`HierarchyConfig::broadwell_like`], for workloads where
+    /// NUMA effects should be absent.
+    pub fn uniform_memory() -> Self {
+        let mut cfg = Self::broadwell_like();
+        cfg.numa = NumaTopology::symmetric(1, cfg.cpus);
+        cfg
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::broadwell_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadwell_geometry_matches_paper_machine() {
+        let cfg = HierarchyConfig::broadwell_like();
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l1.associativity, 8);
+        assert_eq!(cfg.l2.size_bytes, 256 * 1024);
+        assert_eq!(cfg.l3.size_bytes, 30 * 1024 * 1024);
+        assert_eq!(cfg.numa.node_count(), 2);
+        assert_eq!(cfg.cpus % cfg.numa.node_count(), 0);
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let cfg = HierarchyConfig::tiny();
+        assert_eq!(cfg.cpus, 4);
+        assert_eq!(cfg.numa.node_count(), 2);
+        assert_eq!(cfg.numa.cpus_per_node(), 2);
+    }
+
+    #[test]
+    fn uniform_memory_has_one_node() {
+        let cfg = HierarchyConfig::uniform_memory();
+        assert_eq!(cfg.numa.node_count(), 1);
+        assert_eq!(cfg.numa.node_of_cpu(cfg.cpus - 1), crate::numa::NumaNode(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn odd_cpu_count_panics() {
+        let _ = HierarchyConfig::broadwell_like_with_cpus(3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Latency model: converts hit/miss outcomes into access cycles.
+
+/// Cycle costs for each place an access can be served from, plus penalties.
+///
+/// The defaults approximate a Broadwell-class Xeon: 4-cycle L1, 12-cycle L2, ~40-cycle
+/// L3, ~200-cycle local DRAM, ~350-cycle remote DRAM, and a 30-cycle page-walk penalty
+/// for a TLB miss. Absolute values only need to be ordered correctly for the
+/// reproduction's results to hold their shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Latency of an L1 hit.
+    pub l1_hit: u64,
+    /// Latency of an access served by L2.
+    pub l2_hit: u64,
+    /// Latency of an access served by L3.
+    pub l3_hit: u64,
+    /// Latency of an access served by DRAM on the local NUMA node.
+    pub local_dram: u64,
+    /// Latency of an access served by DRAM on a remote NUMA node.
+    pub remote_dram: u64,
+    /// Extra cycles added when the access also missed the TLB (page-walk cost).
+    pub tlb_miss_penalty: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            l1_hit: 4,
+            l2_hit: 12,
+            l3_hit: 42,
+            local_dram: 200,
+            remote_dram: 350,
+            tlb_miss_penalty: 30,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Computes the latency of an access with the given miss pattern.
+    ///
+    /// `remote` is only consulted when the access reaches DRAM (`l3_miss`).
+    pub fn latency(
+        &self,
+        l1_miss: bool,
+        l2_miss: bool,
+        l3_miss: bool,
+        tlb_miss: bool,
+        remote: bool,
+    ) -> u64 {
+        let base = if !l1_miss {
+            self.l1_hit
+        } else if !l2_miss {
+            self.l2_hit
+        } else if !l3_miss {
+            self.l3_hit
+        } else if remote {
+            self.remote_dram
+        } else {
+            self.local_dram
+        };
+        base + if tlb_miss { self.tlb_miss_penalty } else { 0 }
+    }
+
+    /// Validates that the model is monotonic (each level is at least as expensive as the
+    /// previous one and remote DRAM costs at least local DRAM). Returns `true` when the
+    /// ordering holds.
+    pub fn is_monotonic(&self) -> bool {
+        self.l1_hit <= self.l2_hit
+            && self.l2_hit <= self.l3_hit
+            && self.l3_hit <= self.local_dram
+            && self.local_dram <= self.remote_dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_monotonic() {
+        assert!(LatencyModel::default().is_monotonic());
+    }
+
+    #[test]
+    fn latency_picks_first_serving_level() {
+        let m = LatencyModel::default();
+        assert_eq!(m.latency(false, false, false, false, false), m.l1_hit);
+        assert_eq!(m.latency(true, false, false, false, false), m.l2_hit);
+        assert_eq!(m.latency(true, true, false, false, false), m.l3_hit);
+        assert_eq!(m.latency(true, true, true, false, false), m.local_dram);
+        assert_eq!(m.latency(true, true, true, false, true), m.remote_dram);
+    }
+
+    #[test]
+    fn tlb_miss_adds_penalty() {
+        let m = LatencyModel::default();
+        assert_eq!(
+            m.latency(false, false, false, true, false),
+            m.l1_hit + m.tlb_miss_penalty
+        );
+        assert_eq!(
+            m.latency(true, true, true, true, true),
+            m.remote_dram + m.tlb_miss_penalty
+        );
+    }
+
+    #[test]
+    fn remote_flag_ignored_when_served_from_cache() {
+        let m = LatencyModel::default();
+        assert_eq!(m.latency(true, false, false, false, true), m.l2_hit);
+    }
+
+    #[test]
+    fn non_monotonic_model_detected() {
+        let m = LatencyModel { l1_hit: 100, ..LatencyModel::default() };
+        assert!(!m.is_monotonic());
+    }
+}

@@ -1,0 +1,57 @@
+//! # djx-memsim — memory-hierarchy simulator
+//!
+//! This crate is the "hardware" substrate of the DJXPerf reproduction. The original
+//! DJXPerf profiler measures data locality with hardware performance-monitoring units
+//! (PEBS address sampling of L1/TLB misses and load latency) on a two-socket Broadwell
+//! Xeon. That hardware is not available here, so this crate models the relevant parts of
+//! it:
+//!
+//! * a configurable, set-associative, multi-level **cache hierarchy** ([`cache`],
+//!   [`hierarchy`]) with per-CPU private L1/L2 caches and a shared L3,
+//! * a per-CPU **data TLB** ([`tlb`]),
+//! * a **NUMA topology** with per-page placement policies (first-touch, interleaved,
+//!   fixed-node) and `move_pages`-style queries ([`numa`]),
+//! * a simple **latency model** translating hit/miss outcomes into access cycles
+//!   ([`latency`]).
+//!
+//! Every simulated memory access is described by a [`MemoryAccess`] and produces an
+//! [`AccessOutcome`] that records which cache levels missed, whether the TLB missed,
+//! which NUMA node served the access and whether it was remote, and the modeled latency.
+//! Higher layers (the PMU simulator in `djx-pmu` and the profiler in `djxperf`) consume
+//! those outcomes exactly like DJXPerf consumes PEBS records.
+//!
+//! ## Example
+//!
+//! ```
+//! use djx_memsim::{HierarchyConfig, MemoryHierarchy, AccessKind, MemoryAccess};
+//!
+//! let mut hier = MemoryHierarchy::new(HierarchyConfig::broadwell_like());
+//! let out = hier.access(MemoryAccess::load(/*cpu*/ 0, /*addr*/ 0x10_0000, /*size*/ 8));
+//! assert!(out.l1_miss, "a cold access misses L1");
+//! let out2 = hier.access(MemoryAccess::load(0, 0x10_0000, 8));
+//! assert!(!out2.l1_miss, "the second access to the same line hits L1");
+//! ```
+
+pub mod access;
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod latency;
+pub mod numa;
+pub mod stats;
+pub mod tlb;
+
+pub use access::{AccessKind, AccessOutcome, MemoryAccess};
+pub use cache::{Cache, CacheConfig};
+pub use config::{HierarchyConfig, CACHE_LINE_SIZE, PAGE_SIZE};
+pub use hierarchy::MemoryHierarchy;
+pub use latency::LatencyModel;
+pub use numa::{NumaNode, NumaTopology, PagePlacement, PlacementPolicy};
+pub use stats::HierarchyStats;
+pub use tlb::{Tlb, TlbConfig};
+
+/// Identifier of a logical CPU (hardware thread) in the simulated machine.
+pub type CpuId = usize;
+
+/// A virtual address in the simulated address space.
+pub type Addr = u64;

@@ -1,0 +1,174 @@
+//! A small, fully-associative data-TLB model with LRU replacement.
+
+use crate::config::PAGE_SIZE;
+use crate::Addr;
+
+/// Geometry of a data TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries (page translations) the TLB holds.
+    pub entries: usize,
+    /// Associativity. The model is fully associative when `entries == associativity`;
+    /// otherwise it behaves as a set-associative TLB with LRU replacement per set.
+    pub associativity: usize,
+}
+
+impl TlbConfig {
+    /// Creates a TLB configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero, if `associativity` is zero, if `entries` is not a
+    /// multiple of `associativity`, or if the resulting set count is not a power of two.
+    pub fn new(entries: usize, associativity: usize) -> Self {
+        assert!(entries > 0, "TLB must have at least one entry");
+        assert!(associativity > 0, "TLB associativity must be non-zero");
+        assert!(
+            entries % associativity == 0,
+            "entries ({entries}) must be a multiple of associativity ({associativity})"
+        );
+        let sets = entries / associativity;
+        assert!(sets.is_power_of_two(), "TLB set count ({sets}) must be a power of two");
+        Self { entries, associativity }
+    }
+
+    fn num_sets(&self) -> usize {
+        self.entries / self.associativity
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    valid: bool,
+    page: u64,
+    last_use: u64,
+}
+
+/// A data TLB caching virtual-page translations.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<TlbEntry>>,
+    set_mask: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with the given geometry.
+    pub fn new(config: TlbConfig) -> Self {
+        let sets = vec![vec![TlbEntry::default(); config.associativity]; config.num_sets()];
+        Self {
+            set_mask: config.num_sets() as u64 - 1,
+            config,
+            sets,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this TLB was built with.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Translates the page containing `addr`, inserting the translation on a miss.
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.clock += 1;
+        let page = addr / PAGE_SIZE;
+        let set_idx = (page & self.set_mask) as usize;
+        let set = &mut self.sets[set_idx];
+        for e in set.iter_mut() {
+            if e.valid && e.page == page {
+                e.last_use = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.last_use } else { 0 })
+            .expect("a TLB set always has at least one entry");
+        victim.valid = true;
+        victim.page = page;
+        victim.last_use = self.clock;
+        false
+    }
+
+    /// Invalidates every entry (a TLB shootdown / context switch), keeping statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for e in set.iter_mut() {
+                *e = TlbEntry::default();
+            }
+        }
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits_after_first_access() {
+        let mut tlb = Tlb::new(TlbConfig::new(8, 2));
+        assert!(!tlb.access(0x1000));
+        assert!(tlb.access(0x1ff8), "same 4 KiB page");
+        assert!(!tlb.access(0x2000), "next page misses");
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        // 2-entry fully-associative TLB.
+        let mut tlb = Tlb::new(TlbConfig::new(2, 2));
+        tlb.access(0 * PAGE_SIZE);
+        tlb.access(1 * PAGE_SIZE);
+        tlb.access(0 * PAGE_SIZE); // page 1 becomes LRU
+        assert!(!tlb.access(2 * PAGE_SIZE)); // evicts page 1
+        assert!(tlb.access(0 * PAGE_SIZE));
+        assert!(!tlb.access(1 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn flush_forgets_translations() {
+        let mut tlb = Tlb::new(TlbConfig::new(4, 4));
+        tlb.access(0x1000);
+        tlb.flush();
+        assert!(!tlb.access(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of associativity")]
+    fn bad_geometry_rejected() {
+        let _ = TlbConfig::new(6, 4);
+    }
+
+    #[test]
+    fn large_page_walk_misses_with_big_stride() {
+        // Touching 64 distinct pages with an 8-entry TLB keeps missing on every sweep.
+        let mut tlb = Tlb::new(TlbConfig::new(8, 2));
+        for _ in 0..2 {
+            for p in 0..64u64 {
+                tlb.access(p * PAGE_SIZE);
+            }
+        }
+        assert_eq!(tlb.hits(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the memory-hierarchy simulator.
+
+use djx_memsim::{
+    AccessKind, HierarchyConfig, MemoryAccess, MemoryHierarchy, NumaTopology, PagePlacement,
+    PlacementPolicy, CACHE_LINE_SIZE, PAGE_SIZE,
+};
+use proptest::prelude::*;
+
+fn arb_access() -> impl Strategy<Value = MemoryAccess> {
+    (0usize..4, 0u64..(1 << 22), prop_oneof![Just(AccessKind::Load), Just(AccessKind::Store)])
+        .prop_map(|(cpu, addr, kind)| MemoryAccess { cpu, addr, size: 8, kind })
+}
+
+proptest! {
+    /// Miss counters never exceed the access counter, and miss counts are ordered
+    /// (an L3 miss implies an L2 miss implies an L1 miss).
+    #[test]
+    fn miss_counters_are_consistent(accesses in proptest::collection::vec(arb_access(), 1..2000)) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        for a in &accesses {
+            let out = h.access(*a);
+            // Per-access implication chain.
+            if out.l3_miss { prop_assert!(out.l2_miss); }
+            if out.l2_miss { prop_assert!(out.l1_miss); }
+            prop_assert!(out.latency > 0);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.accesses, accesses.len() as u64);
+        prop_assert_eq!(s.loads + s.stores, s.accesses);
+        prop_assert!(s.l1_misses >= s.l2_misses);
+        prop_assert!(s.l2_misses >= s.l3_misses);
+        prop_assert!(s.l1_misses <= s.accesses);
+        prop_assert!(s.tlb_misses <= s.accesses);
+        prop_assert!(s.remote_dram_accesses <= s.l3_misses);
+        prop_assert!(s.remote_page_accesses <= s.accesses);
+    }
+
+    /// The total modeled latency is bounded by the cheapest and the most expensive
+    /// access in the latency model.
+    #[test]
+    fn total_latency_is_bounded(accesses in proptest::collection::vec(arb_access(), 1..1000)) {
+        let cfg = HierarchyConfig::tiny();
+        let lat = cfg.latency;
+        let mut h = MemoryHierarchy::new(cfg);
+        for a in &accesses { h.access(*a); }
+        let n = accesses.len() as u64;
+        let s = h.stats();
+        prop_assert!(s.total_latency >= n * lat.l1_hit);
+        prop_assert!(s.total_latency <= n * (lat.remote_dram + lat.tlb_miss_penalty));
+    }
+
+    /// Replaying the same access trace twice on fresh hierarchies produces identical
+    /// statistics (the simulation is deterministic).
+    #[test]
+    fn simulation_is_deterministic(accesses in proptest::collection::vec(arb_access(), 1..500)) {
+        let mut h1 = MemoryHierarchy::new(HierarchyConfig::tiny());
+        let mut h2 = MemoryHierarchy::new(HierarchyConfig::tiny());
+        for a in &accesses {
+            let o1 = h1.access(*a);
+            let o2 = h2.access(*a);
+            prop_assert_eq!(o1, o2);
+        }
+        prop_assert_eq!(h1.stats(), h2.stats());
+    }
+
+    /// A bigger L1 never produces more L1 misses on the same single-CPU trace
+    /// (LRU caches have the inclusion property for the same associativity scaling).
+    #[test]
+    fn bigger_l1_never_misses_more(addrs in proptest::collection::vec(0u64..(1 << 16), 1..800)) {
+        let small_cfg = HierarchyConfig::tiny();
+        let mut big_cfg = HierarchyConfig::tiny();
+        // Double the number of sets, same associativity: a strictly larger LRU cache.
+        big_cfg.l1.size_bytes *= 2;
+        let mut small = MemoryHierarchy::new(small_cfg);
+        let mut big = MemoryHierarchy::new(big_cfg);
+        for addr in &addrs {
+            small.access(MemoryAccess::load(0, *addr, 8));
+            big.access(MemoryAccess::load(0, *addr, 8));
+        }
+        prop_assert!(big.stats().l1_misses <= small.stats().l1_misses);
+    }
+
+    /// First-touch placement always assigns the node of the first touching CPU, and the
+    /// page never moves afterwards regardless of who touches it later.
+    #[test]
+    fn first_touch_is_sticky(
+        page in 0u64..4096,
+        first_cpu in 0usize..8,
+        later_cpus in proptest::collection::vec(0usize..8, 0..20),
+    ) {
+        let topo = NumaTopology::symmetric(2, 4);
+        let mut placement = PagePlacement::new(topo.clone());
+        let addr = page * PAGE_SIZE;
+        let owner = placement.touch(addr, first_cpu);
+        prop_assert_eq!(owner, topo.node_of_cpu(first_cpu));
+        for cpu in later_cpus {
+            prop_assert_eq!(placement.touch(addr + 8, cpu), owner);
+        }
+        prop_assert_eq!(placement.node_of_page(addr), Some(owner));
+    }
+
+    /// Interleaved placement spreads consecutive pages evenly: the counts per node of N
+    /// consecutive pages differ by at most one.
+    #[test]
+    fn interleaving_is_balanced(start_page in 0u64..1024, pages in 1u64..128) {
+        let topo = NumaTopology::symmetric(2, 4);
+        let mut placement = PagePlacement::with_policy(topo, PlacementPolicy::Interleaved);
+        let mut counts = [0u64; 2];
+        for p in start_page..start_page + pages {
+            let node = placement.touch(p * PAGE_SIZE, 0);
+            counts[node.0 as usize] += 1;
+        }
+        prop_assert!(counts[0].abs_diff(counts[1]) <= 1);
+    }
+
+    /// Accessing a working set that fits in L1 repeatedly yields a hit on every access
+    /// after the first sweep.
+    #[test]
+    fn small_working_set_hits_after_warmup(lines in 1u64..16, sweeps in 2u64..6) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        let base = 0x40_0000u64;
+        for i in 0..lines {
+            h.access(MemoryAccess::load(0, base + i * CACHE_LINE_SIZE, 8));
+        }
+        h.reset_stats();
+        for _ in 1..sweeps {
+            for i in 0..lines {
+                h.access(MemoryAccess::load(0, base + i * CACHE_LINE_SIZE, 8));
+            }
+        }
+        prop_assert_eq!(h.stats().l1_misses, 0);
+    }
+}

@@ -1,0 +1,600 @@
+//! A small stack bytecode and interpreter.
+//!
+//! The JVM executes Java programs by interpreting (and JIT-compiling) stack bytecode;
+//! DJXPerf never inspects that bytecode directly, but calling contexts it records are
+//! positions *within* bytecode (method ID + BCI). To mirror that interpretation path,
+//! workloads can be expressed as [`BytecodeProgram`]s — lists of [`BytecodeMethod`]s made
+//! of simple stack [`Instr`]uctions — and run through the [`Interpreter`], which drives
+//! the [`Runtime`] exactly like the hand-written workloads do: every `new`/`newarray`
+//! raises an allocation event at the current (method, BCI), every array/field access goes
+//! through the memory hierarchy, and `invoke` maintains the simulated call stack.
+//!
+//! The instruction set is intentionally tiny: just enough to express allocation-in-loop
+//! (memory bloat), strided array walks, and nested calls — the patterns the paper's case
+//! studies revolve around.
+
+use djx_memsim::AccessOutcome;
+
+use crate::error::RuntimeError;
+use crate::heap::ObjRef;
+use crate::ids::{ClassId, MethodId, ThreadId};
+use crate::runtime::Runtime;
+use crate::Result;
+
+/// A value on the operand stack or in a local-variable slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An integer (Java's `int`/`long`, unified).
+    Int(i64),
+    /// A reference to a heap object.
+    Obj(ObjRef),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(invalid(format!("expected an int, found {other:?}"))),
+        }
+    }
+
+    fn as_obj(&self) -> Result<&ObjRef> {
+        match self {
+            Value::Obj(o) => Ok(o),
+            other => Err(invalid(format!("expected an object reference, found {other:?}"))),
+        }
+    }
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an integer constant.
+    Const(i64),
+    /// Push the null reference.
+    ConstNull,
+    /// Discard the top of the stack.
+    Pop,
+    /// Duplicate the top of the stack.
+    Dup,
+    /// Push the value of local slot `n`.
+    Load(u16),
+    /// Pop into local slot `n`.
+    Store(u16),
+    /// Allocate an instance of the class and push a reference (the `new` bytecode).
+    New(ClassId),
+    /// Pop a length and allocate an array of the class (the `newarray`/`anewarray`
+    /// bytecodes); pushes a reference.
+    NewArray(ClassId),
+    /// Pop an index and an array reference, load that element, push the (modeled) value
+    /// `0` (the `*aload` bytecodes).
+    ALoad,
+    /// Pop a value, an index and an array reference, store the element (the `*astore`
+    /// bytecodes).
+    AStore,
+    /// Pop an object reference and load the field at the given payload offset; pushes 0.
+    GetField(u64),
+    /// Pop a value and an object reference, store the field at the given payload offset.
+    PutField(u64),
+    /// Pop an object reference and mark the object unreachable (the last reference
+    /// dying).
+    Release,
+    /// Pop two ints, push their sum.
+    Add,
+    /// Pop two ints, push `second - top`.
+    Sub,
+    /// Pop two ints, push 1 if `second < top` else 0.
+    Lt,
+    /// Unconditional jump to instruction index.
+    Goto(usize),
+    /// Pop an int; jump to the index when it is zero.
+    IfZero(usize),
+    /// Invoke method `index` of the program; its return value (if any) is pushed.
+    Invoke(usize),
+    /// Charge pure compute cycles.
+    CpuWork(u64),
+    /// Return from the method, optionally with the top of stack as the return value.
+    Return { has_value: bool },
+}
+
+/// One method of a bytecode program.
+#[derive(Debug, Clone)]
+pub struct BytecodeMethod {
+    /// Registered identity of the method (for call traces and line tables).
+    pub method: MethodId,
+    /// Number of local-variable slots.
+    pub locals: u16,
+    /// The instruction sequence; the BCI of instruction `i` is `i`.
+    pub code: Vec<Instr>,
+}
+
+/// A program: a list of methods, one of which is the entry point.
+#[derive(Debug, Clone, Default)]
+pub struct BytecodeProgram {
+    methods: Vec<BytecodeMethod>,
+}
+
+impl BytecodeProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a method and returns its index for use in [`Instr::Invoke`].
+    pub fn add_method(&mut self, method: BytecodeMethod) -> usize {
+        self.methods.push(method);
+        self.methods.len() - 1
+    }
+
+    /// The methods of the program.
+    pub fn methods(&self) -> &[BytecodeMethod] {
+        &self.methods
+    }
+}
+
+/// Execution limits protecting against runaway programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpreterLimits {
+    /// Maximum number of executed instructions.
+    pub max_steps: u64,
+    /// Maximum invocation depth.
+    pub max_depth: usize,
+}
+
+impl Default for InterpreterLimits {
+    fn default() -> Self {
+        Self { max_steps: 50_000_000, max_depth: 512 }
+    }
+}
+
+/// Statistics about one interpretation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpreterStats {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Method invocations performed (including the entry method).
+    pub invocations: u64,
+}
+
+/// The bytecode interpreter.
+#[derive(Debug, Clone, Default)]
+pub struct Interpreter {
+    limits: InterpreterLimits,
+    stats: InterpreterStats,
+}
+
+fn invalid(msg: impl Into<String>) -> RuntimeError {
+    RuntimeError::InvalidBytecode(msg.into())
+}
+
+impl Interpreter {
+    /// Creates an interpreter with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interpreter with explicit limits.
+    pub fn with_limits(limits: InterpreterLimits) -> Self {
+        Self { limits, stats: InterpreterStats::default() }
+    }
+
+    /// Statistics of the last [`Interpreter::run`].
+    pub fn stats(&self) -> InterpreterStats {
+        self.stats
+    }
+
+    /// Runs method `entry` of `program` on `thread`, returning its return value (if it
+    /// returns one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidBytecode`] for malformed programs (bad jump
+    /// targets, stack underflow, type mismatches, exceeded limits) and propagates
+    /// allocation/access errors from the runtime.
+    pub fn run(
+        &mut self,
+        rt: &mut Runtime,
+        thread: ThreadId,
+        program: &BytecodeProgram,
+        entry: usize,
+    ) -> Result<Option<Value>> {
+        self.stats = InterpreterStats::default();
+        self.call(rt, thread, program, entry, 0)
+    }
+
+    fn call(
+        &mut self,
+        rt: &mut Runtime,
+        thread: ThreadId,
+        program: &BytecodeProgram,
+        index: usize,
+        depth: usize,
+    ) -> Result<Option<Value>> {
+        if depth >= self.limits.max_depth {
+            return Err(invalid(format!("invocation depth exceeds {}", self.limits.max_depth)));
+        }
+        let method = program
+            .methods
+            .get(index)
+            .ok_or_else(|| invalid(format!("invoke of unknown method index {index}")))?;
+        self.stats.invocations += 1;
+
+        rt.push_frame(thread, method.method, 0)?;
+        let result = self.execute(rt, thread, program, method, depth);
+        rt.pop_frame(thread)?;
+        result
+    }
+
+    fn execute(
+        &mut self,
+        rt: &mut Runtime,
+        thread: ThreadId,
+        program: &BytecodeProgram,
+        method: &BytecodeMethod,
+        depth: usize,
+    ) -> Result<Option<Value>> {
+        let mut stack: Vec<Value> = Vec::new();
+        let mut locals: Vec<Value> = vec![Value::Null; method.locals as usize];
+        let mut pc = 0usize;
+
+        let pop = |stack: &mut Vec<Value>| -> Result<Value> {
+            stack.pop().ok_or_else(|| invalid("operand stack underflow"))
+        };
+
+        loop {
+            let instr = method
+                .code
+                .get(pc)
+                .ok_or_else(|| invalid(format!("fell off the end of the method at pc {pc}")))?;
+            self.stats.steps += 1;
+            if self.stats.steps > self.limits.max_steps {
+                return Err(invalid(format!("exceeded {} executed instructions", self.limits.max_steps)));
+            }
+            // The BCI of the executing frame tracks the program counter, so samples and
+            // allocations map back to this instruction through the line table.
+            rt.set_bci(thread, pc as u32)?;
+
+            let mut next = pc + 1;
+            match instr {
+                Instr::Const(v) => stack.push(Value::Int(*v)),
+                Instr::ConstNull => stack.push(Value::Null),
+                Instr::Pop => {
+                    pop(&mut stack)?;
+                }
+                Instr::Dup => {
+                    let top = stack.last().cloned().ok_or_else(|| invalid("dup on empty stack"))?;
+                    stack.push(top);
+                }
+                Instr::Load(slot) => {
+                    let v = locals
+                        .get(*slot as usize)
+                        .cloned()
+                        .ok_or_else(|| invalid(format!("load from unknown local {slot}")))?;
+                    stack.push(v);
+                }
+                Instr::Store(slot) => {
+                    let v = pop(&mut stack)?;
+                    let dst = locals
+                        .get_mut(*slot as usize)
+                        .ok_or_else(|| invalid(format!("store to unknown local {slot}")))?;
+                    *dst = v;
+                }
+                Instr::New(class) => {
+                    let obj = rt.alloc_instance(thread, *class)?;
+                    stack.push(Value::Obj(obj));
+                }
+                Instr::NewArray(class) => {
+                    let len = pop(&mut stack)?.as_int()?;
+                    if len < 0 {
+                        return Err(invalid(format!("negative array length {len}")));
+                    }
+                    let obj = rt.alloc_array(thread, *class, len as u64)?;
+                    stack.push(Value::Obj(obj));
+                }
+                Instr::ALoad => {
+                    let idx = pop(&mut stack)?.as_int()?;
+                    let arr = pop(&mut stack)?;
+                    let arr = arr.as_obj()?;
+                    self.checked_elem(rt, thread, arr, idx, true)?;
+                    stack.push(Value::Int(0));
+                }
+                Instr::AStore => {
+                    let _value = pop(&mut stack)?;
+                    let idx = pop(&mut stack)?.as_int()?;
+                    let arr = pop(&mut stack)?;
+                    let arr = arr.as_obj()?;
+                    self.checked_elem(rt, thread, arr, idx, false)?;
+                }
+                Instr::GetField(offset) => {
+                    let obj = pop(&mut stack)?;
+                    rt.load_field(thread, obj.as_obj()?, *offset)?;
+                    stack.push(Value::Int(0));
+                }
+                Instr::PutField(offset) => {
+                    let _value = pop(&mut stack)?;
+                    let obj = pop(&mut stack)?;
+                    rt.store_field(thread, obj.as_obj()?, *offset)?;
+                }
+                Instr::Release => {
+                    let obj = pop(&mut stack)?;
+                    rt.release(obj.as_obj()?)?;
+                }
+                Instr::Add => {
+                    let b = pop(&mut stack)?.as_int()?;
+                    let a = pop(&mut stack)?.as_int()?;
+                    stack.push(Value::Int(a.wrapping_add(b)));
+                }
+                Instr::Sub => {
+                    let b = pop(&mut stack)?.as_int()?;
+                    let a = pop(&mut stack)?.as_int()?;
+                    stack.push(Value::Int(a.wrapping_sub(b)));
+                }
+                Instr::Lt => {
+                    let b = pop(&mut stack)?.as_int()?;
+                    let a = pop(&mut stack)?.as_int()?;
+                    stack.push(Value::Int(i64::from(a < b)));
+                }
+                Instr::Goto(target) => {
+                    self.check_target(method, *target)?;
+                    next = *target;
+                }
+                Instr::IfZero(target) => {
+                    self.check_target(method, *target)?;
+                    if pop(&mut stack)?.as_int()? == 0 {
+                        next = *target;
+                    }
+                }
+                Instr::Invoke(callee) => {
+                    if let Some(v) = self.call(rt, thread, program, *callee, depth + 1)? {
+                        stack.push(v);
+                    }
+                }
+                Instr::CpuWork(cycles) => rt.cpu_work(thread, *cycles),
+                Instr::Return { has_value } => {
+                    return if *has_value { Ok(Some(pop(&mut stack)?)) } else { Ok(None) };
+                }
+            }
+            pc = next;
+        }
+    }
+
+    fn checked_elem(
+        &self,
+        rt: &mut Runtime,
+        thread: ThreadId,
+        arr: &ObjRef,
+        idx: i64,
+        load: bool,
+    ) -> Result<AccessOutcome> {
+        if idx < 0 {
+            return Err(invalid(format!("negative array index {idx}")));
+        }
+        if load {
+            rt.load_elem(thread, arr, idx as u64)
+        } else {
+            rt.store_elem(thread, arr, idx as u64)
+        }
+    }
+
+    fn check_target(&self, method: &BytecodeMethod, target: usize) -> Result<()> {
+        if target >= method.code.len() {
+            return Err(invalid(format!(
+                "jump target {target} is outside the method ({} instructions)",
+                method.code.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+
+    fn setup() -> (Runtime, ThreadId) {
+        let mut rt = Runtime::new(RuntimeConfig::small());
+        let t = rt.spawn_thread("main");
+        (rt, t)
+    }
+
+    /// A method that allocates an `int[n]` array, writes and reads every element with a
+    /// counting loop, releases it and returns the final counter.
+    fn sweep_method(rt: &mut Runtime, n: i64) -> (BytecodeProgram, usize) {
+        let class = rt.register_array_class("int[]", 4);
+        let mid = rt.register_method("Sweep", "run", "Sweep.java", &[(0, 10), (6, 12), (16, 15)]);
+        let mut program = BytecodeProgram::new();
+        let code = vec![
+            // locals: 0 = array, 1 = i
+            Instr::Const(n),
+            Instr::NewArray(class),
+            Instr::Store(0),
+            Instr::Const(0),
+            Instr::Store(1),
+            // loop head (pc 5): if i >= n goto end (pc 17)
+            Instr::Load(1),
+            Instr::Const(n),
+            Instr::Lt,
+            Instr::IfZero(17),
+            // body: arr[i] = i; load arr[i]; i += 1
+            Instr::Load(0),
+            Instr::Load(1),
+            Instr::Const(1),
+            Instr::AStore,
+            Instr::Load(1),
+            Instr::Const(1),
+            Instr::Add,
+            Instr::Store(1),
+            // end? no — jump back handled below
+            Instr::Goto(5),
+        ];
+        // Fix: index 17 must be the loop exit. Rebuild with explicit layout.
+        let code = {
+            let mut c = code;
+            // c[17] currently Goto(5); insert exit after it.
+            c.push(Instr::Load(0));
+            c.push(Instr::Release);
+            c.push(Instr::Load(1));
+            c.push(Instr::Return { has_value: true });
+            // Make IfZero jump to the exit block (index 18 = Load(0)).
+            c[8] = Instr::IfZero(18);
+            c
+        };
+        let entry = program.add_method(BytecodeMethod { method: mid, locals: 2, code });
+        (program, entry)
+    }
+
+    #[test]
+    fn loop_program_allocates_accesses_and_returns() {
+        let (mut rt, t) = setup();
+        let (program, entry) = sweep_method(&mut rt, 50);
+        let mut interp = Interpreter::new();
+        let out = interp.run(&mut rt, t, &program, entry).unwrap();
+        assert_eq!(out, Some(Value::Int(50)));
+        assert_eq!(rt.stats().allocations, 1);
+        assert_eq!(rt.stats().accesses, 50, "one store per iteration");
+        assert!(interp.stats().steps > 50);
+        assert_eq!(interp.stats().invocations, 1);
+        assert_eq!(rt.stack_depth(t).unwrap(), 0, "frames balanced after the run");
+    }
+
+    #[test]
+    fn invoke_builds_nested_call_paths() {
+        let (mut rt, t) = setup();
+        let class = rt.register_class("Box", 32);
+        let outer = rt.register_method("A", "outer", "A.java", &[(0, 1)]);
+        let inner = rt.register_method("A", "inner", "A.java", &[(0, 9)]);
+        let mut program = BytecodeProgram::new();
+        let inner_idx = program.add_method(BytecodeMethod {
+            method: inner,
+            locals: 0,
+            code: vec![Instr::New(class), Instr::Release, Instr::Const(7), Instr::Return { has_value: true }],
+        });
+        let outer_idx = program.add_method(BytecodeMethod {
+            method: outer,
+            locals: 0,
+            code: vec![Instr::Invoke(inner_idx), Instr::Return { has_value: true }],
+        });
+        let out = Interpreter::new().run(&mut rt, t, &program, outer_idx).unwrap();
+        assert_eq!(out, Some(Value::Int(7)));
+        assert_eq!(rt.stats().allocations, 1);
+    }
+
+    #[test]
+    fn field_access_and_dup_and_null() {
+        let (mut rt, t) = setup();
+        let class = rt.register_class("Node", 64);
+        let m = rt.register_method("N", "touch", "N.java", &[(0, 1)]);
+        let mut program = BytecodeProgram::new();
+        let entry = program.add_method(BytecodeMethod {
+            method: m,
+            locals: 1,
+            code: vec![
+                Instr::New(class),
+                Instr::Dup,
+                Instr::Store(0),
+                Instr::Const(5),
+                Instr::PutField(8),
+                Instr::Load(0),
+                Instr::GetField(8),
+                Instr::Pop,
+                Instr::ConstNull,
+                Instr::Pop,
+                Instr::Return { has_value: false },
+            ],
+        });
+        let out = Interpreter::new().run(&mut rt, t, &program, entry).unwrap();
+        assert_eq!(out, None);
+        assert_eq!(rt.stats().accesses, 2);
+    }
+
+    #[test]
+    fn malformed_programs_are_rejected() {
+        let (mut rt, t) = setup();
+        let m = rt.register_method("Bad", "m", "Bad.java", &[]);
+        let cases: Vec<Vec<Instr>> = vec![
+            vec![Instr::Pop],                                   // stack underflow
+            vec![Instr::Goto(99)],                              // bad jump
+            vec![Instr::Const(1), Instr::Const(2), Instr::ALoad], // int used as array
+            vec![Instr::Const(1)],                              // falls off the end
+            vec![Instr::Load(3), Instr::Return { has_value: false }], // unknown local
+            vec![Instr::Const(-1), Instr::NewArray(ClassId(0)), Instr::Return { has_value: false }],
+        ];
+        for code in cases {
+            let mut program = BytecodeProgram::new();
+            let entry = program.add_method(BytecodeMethod { method: m, locals: 1, code: code.clone() });
+            let err = Interpreter::new().run(&mut rt, t, &program, entry).unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::InvalidBytecode(_)),
+                "{code:?} should be invalid, got {err:?}"
+            );
+            assert_eq!(rt.stack_depth(t).unwrap(), 0, "frames cleaned up after an error");
+        }
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let (mut rt, t) = setup();
+        let m = rt.register_method("Loop", "forever", "Loop.java", &[]);
+        let mut program = BytecodeProgram::new();
+        let entry = program.add_method(BytecodeMethod {
+            method: m,
+            locals: 0,
+            code: vec![Instr::Goto(0)],
+        });
+        let mut interp = Interpreter::with_limits(InterpreterLimits { max_steps: 1000, max_depth: 8 });
+        let err = interp.run(&mut rt, t, &program, entry).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidBytecode(_)));
+    }
+
+    #[test]
+    fn depth_limit_stops_unbounded_recursion() {
+        let (mut rt, t) = setup();
+        let m = rt.register_method("Rec", "r", "Rec.java", &[]);
+        let mut program = BytecodeProgram::new();
+        let entry = program.add_method(BytecodeMethod {
+            method: m,
+            locals: 0,
+            code: vec![Instr::Invoke(0), Instr::Return { has_value: false }],
+        });
+        let mut interp = Interpreter::with_limits(InterpreterLimits { max_steps: 100_000, max_depth: 16 });
+        let err = interp.run(&mut rt, t, &program, entry).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidBytecode(_)));
+        assert_eq!(rt.stack_depth(t).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_invoke_target_is_invalid() {
+        let (mut rt, t) = setup();
+        let program = BytecodeProgram::new();
+        let err = Interpreter::new().run(&mut rt, t, &program, 0).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidBytecode(_)));
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let (mut rt, t) = setup();
+        let m = rt.register_method("Math", "calc", "Math.java", &[]);
+        let mut program = BytecodeProgram::new();
+        let entry = program.add_method(BytecodeMethod {
+            method: m,
+            locals: 0,
+            code: vec![
+                Instr::Const(10),
+                Instr::Const(4),
+                Instr::Sub, // 6
+                Instr::Const(5),
+                Instr::Lt, // 6 < 5 -> 0
+                Instr::Const(1),
+                Instr::Add, // 1
+                Instr::CpuWork(100),
+                Instr::Return { has_value: true },
+            ],
+        });
+        let out = Interpreter::new().run(&mut rt, t, &program, entry).unwrap();
+        assert_eq!(out, Some(Value::Int(1)));
+        assert!(rt.stats().cpu_cycles >= 100);
+    }
+}

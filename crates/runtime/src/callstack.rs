@@ -1,0 +1,142 @@
+//! Call-stack frames and asynchronous call-trace capture.
+//!
+//! DJXPerf obtains calling contexts with `AsyncGetCallTrace`, which can be called at any
+//! point (inside a PMU interrupt handler or an allocation hook) and returns one frame per
+//! active method, each identified by a method ID and a byte-code index (BCI). The same
+//! representation is used here.
+
+use crate::ids::MethodId;
+
+/// One stack frame: the executing method and the byte-code index of the instruction the
+/// frame is currently at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Frame {
+    /// Method executing in this frame.
+    pub method: MethodId,
+    /// Byte-code index within that method.
+    pub bci: u32,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(method: MethodId, bci: u32) -> Self {
+        Self { method, bci }
+    }
+}
+
+/// A captured calling context: frames ordered from the *root* (outermost caller, e.g.
+/// `Thread.run`) to the *leaf* (the method containing the sampled instruction or
+/// allocation site).
+///
+/// `AsyncGetCallTrace` reports frames leaf-first; they are reversed at capture time so
+/// that calling-context-tree insertion can walk top-down without extra copies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CallTrace {
+    frames: Vec<Frame>,
+}
+
+impl CallTrace {
+    /// An empty call trace (no frames — e.g. a sample taken in runtime-internal code).
+    pub fn empty() -> Self {
+        Self { frames: Vec::new() }
+    }
+
+    /// Builds a trace from root-first frames.
+    pub fn from_root_first(frames: Vec<Frame>) -> Self {
+        Self { frames }
+    }
+
+    /// Builds a trace from leaf-first frames (the `AsyncGetCallTrace` order).
+    pub fn from_leaf_first(mut frames: Vec<Frame>) -> Self {
+        frames.reverse();
+        Self { frames }
+    }
+
+    /// Frames ordered root → leaf.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The innermost frame (the method containing the sampled instruction), if any.
+    pub fn leaf(&self) -> Option<Frame> {
+        self.frames.last().copied()
+    }
+
+    /// The outermost frame, if any.
+    pub fn root(&self) -> Option<Frame> {
+        self.frames.first().copied()
+    }
+
+    /// Number of frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when the trace has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+impl FromIterator<Frame> for CallTrace {
+    fn from_iter<T: IntoIterator<Item = Frame>>(iter: T) -> Self {
+        Self::from_root_first(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a CallTrace {
+    type Item = &'a Frame;
+    type IntoIter = std::slice::Iter<'a, Frame>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(m: u32, bci: u32) -> Frame {
+        Frame::new(MethodId(m), bci)
+    }
+
+    #[test]
+    fn root_and_leaf_orientation() {
+        let t = CallTrace::from_root_first(vec![f(0, 0), f(1, 4), f(2, 8)]);
+        assert_eq!(t.root(), Some(f(0, 0)));
+        assert_eq!(t.leaf(), Some(f(2, 8)));
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn leaf_first_construction_reverses() {
+        let leaf_first = vec![f(2, 8), f(1, 4), f(0, 0)];
+        let t = CallTrace::from_leaf_first(leaf_first);
+        assert_eq!(t.frames(), &[f(0, 0), f(1, 4), f(2, 8)]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = CallTrace::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.leaf(), None);
+        assert_eq!(t.root(), None);
+    }
+
+    #[test]
+    fn from_iterator_and_iteration() {
+        let t: CallTrace = vec![f(0, 0), f(1, 1)].into_iter().collect();
+        let collected: Vec<_> = (&t).into_iter().copied().collect();
+        assert_eq!(collected, vec![f(0, 0), f(1, 1)]);
+    }
+
+    #[test]
+    fn traces_compare_by_frames() {
+        let a = CallTrace::from_root_first(vec![f(0, 0), f(1, 1)]);
+        let b = CallTrace::from_root_first(vec![f(0, 0), f(1, 1)]);
+        let c = CallTrace::from_root_first(vec![f(0, 0), f(1, 2)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,140 @@
+//! Class metadata: the analogue of the JVM's loaded-class registry.
+
+use std::collections::HashMap;
+
+pub use crate::ids::ClassId;
+
+/// Whether a class describes a plain instance type or an array type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    /// An ordinary instance class (e.g. `TopDocCollector`); `instance_size` is the size
+    /// of one instance in bytes, including the object header.
+    Instance {
+        /// Size in bytes of one instance, header included.
+        instance_size: u64,
+    },
+    /// An array class (e.g. `float[]`); `elem_size` is the element size in bytes.
+    Array {
+        /// Size in bytes of one element.
+        elem_size: u64,
+    },
+}
+
+/// Metadata describing one loaded class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Identifier assigned at registration.
+    pub id: ClassId,
+    /// Fully-qualified class name as a developer would see it (`java.lang.String`,
+    /// `float[]`, ...).
+    pub name: String,
+    /// Instance or array layout information.
+    pub kind: ClassKind,
+}
+
+impl ClassInfo {
+    /// `true` if the class is an array class.
+    pub fn is_array(&self) -> bool {
+        matches!(self.kind, ClassKind::Array { .. })
+    }
+
+    /// Element size for array classes, `None` for instance classes.
+    pub fn elem_size(&self) -> Option<u64> {
+        match self.kind {
+            ClassKind::Array { elem_size } => Some(elem_size),
+            ClassKind::Instance { .. } => None,
+        }
+    }
+}
+
+/// Registry of loaded classes (name ↔ [`ClassId`]).
+#[derive(Debug, Default, Clone)]
+pub struct ClassRegistry {
+    classes: Vec<ClassInfo>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a class, returning its id. Registering the same name twice returns the
+    /// existing id (classes are loaded once).
+    pub fn register(&mut self, name: impl Into<String>, kind: ClassKind) -> ClassId {
+        let name = name.into();
+        if let Some(id) = self.by_name.get(&name) {
+            return *id;
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.classes.push(ClassInfo { id, name, kind });
+        id
+    }
+
+    /// Looks up a class by id.
+    pub fn get(&self, id: ClassId) -> Option<&ClassInfo> {
+        self.classes.get(id.0 as usize)
+    }
+
+    /// Looks up a class by name.
+    pub fn by_name(&self, name: &str) -> Option<&ClassInfo> {
+        self.by_name.get(name).and_then(|id| self.get(*id))
+    }
+
+    /// The class name for an id, or `"<unknown class>"` when the id is not registered.
+    pub fn name_of(&self, id: ClassId) -> &str {
+        self.get(id).map(|c| c.name.as_str()).unwrap_or("<unknown class>")
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` when no class has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over all registered classes in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassInfo> {
+        self.classes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.register("float[]", ClassKind::Array { elem_size: 4 });
+        let b = reg.register("TopDocCollector", ClassKind::Instance { instance_size: 48 });
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.name_of(a), "float[]");
+        assert!(reg.get(a).unwrap().is_array());
+        assert_eq!(reg.get(a).unwrap().elem_size(), Some(4));
+        assert_eq!(reg.get(b).unwrap().elem_size(), None);
+        assert_eq!(reg.by_name("TopDocCollector").unwrap().id, b);
+    }
+
+    #[test]
+    fn duplicate_registration_returns_same_id() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.register("X", ClassKind::Instance { instance_size: 16 });
+        let b = reg.register("X", ClassKind::Instance { instance_size: 16 });
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn unknown_class_has_placeholder_name() {
+        let reg = ClassRegistry::new();
+        assert_eq!(reg.name_of(ClassId(9)), "<unknown class>");
+        assert!(reg.is_empty());
+    }
+}

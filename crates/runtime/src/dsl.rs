@@ -1,0 +1,363 @@
+//! Convenience builders on top of [`Runtime`], used by the `djx-workloads` crate to
+//! express synthetic Java-like programs compactly.
+//!
+//! The helpers keep workloads close to the shape of the Java sources the paper's case
+//! studies quote: methods are entered and left (frames pushed and popped), allocation
+//! sites sit at a specific source line (BCI), and loops walk arrays sequentially or with
+//! a stride.
+
+use djx_memsim::AccessKind;
+
+use crate::heap::ObjRef;
+use crate::ids::{ClassId, MethodId, ThreadId};
+use crate::runtime::Runtime;
+use crate::Result;
+
+/// Runs `body` inside a pushed frame `(method, bci)`, popping the frame afterwards even
+/// when the body returns early with an error.
+///
+/// # Errors
+///
+/// Propagates errors from pushing the frame and from the body.
+pub fn with_frame<T>(
+    rt: &mut Runtime,
+    thread: ThreadId,
+    method: MethodId,
+    bci: u32,
+    body: impl FnOnce(&mut Runtime) -> Result<T>,
+) -> Result<T> {
+    rt.push_frame(thread, method, bci)?;
+    let result = body(rt);
+    // Always pop, but do not mask the body's error with the pop's.
+    let popped = rt.pop_frame(thread);
+    match (result, popped) {
+        (Ok(v), Ok(_)) => Ok(v),
+        (Err(e), _) => Err(e),
+        (Ok(_), Err(e)) => Err(e),
+    }
+}
+
+/// Describes a method to register: class, name, file and line-number table.
+#[derive(Debug, Clone)]
+pub struct MethodSpec {
+    /// Declaring class name.
+    pub class_name: String,
+    /// Method name.
+    pub name: String,
+    /// Source file.
+    pub file: String,
+    /// `(BCI, line)` pairs.
+    pub line_table: Vec<(u32, u32)>,
+}
+
+impl MethodSpec {
+    /// Creates a spec with a single-entry line table `(0, line)`, the common case for
+    /// the small synthetic methods in the workloads.
+    pub fn at_line(class_name: &str, name: &str, file: &str, line: u32) -> Self {
+        Self {
+            class_name: class_name.to_string(),
+            name: name.to_string(),
+            file: file.to_string(),
+            line_table: vec![(0, line)],
+        }
+    }
+
+    /// Registers the spec in the runtime and returns the method id.
+    pub fn register(&self, rt: &mut Runtime) -> MethodId {
+        rt.register_method(&self.class_name, &self.name, &self.file, &self.line_table)
+    }
+}
+
+/// Stores to every element of an array in index order (the analogue of Java's array
+/// initialization loop / `Arrays.fill`).
+///
+/// # Errors
+///
+/// Propagates access errors (reclaimed object, unknown thread).
+pub fn init_array(rt: &mut Runtime, thread: ThreadId, arr: &ObjRef) -> Result<()> {
+    for i in 0..arr.len() {
+        rt.store_elem(thread, arr, i)?;
+    }
+    Ok(())
+}
+
+/// Loads every element of an array in index order.
+///
+/// # Errors
+///
+/// Propagates access errors.
+pub fn sequential_sweep(rt: &mut Runtime, thread: ThreadId, arr: &ObjRef) -> Result<()> {
+    for i in 0..arr.len() {
+        rt.load_elem(thread, arr, i)?;
+    }
+    Ok(())
+}
+
+/// Loads elements `0, stride, 2*stride, …` of an array, wrapping `passes` times — the
+/// strided access pattern of the Scimark FFT inner loop that destroys spatial locality.
+///
+/// # Errors
+///
+/// Propagates access errors.
+pub fn strided_sweep(
+    rt: &mut Runtime,
+    thread: ThreadId,
+    arr: &ObjRef,
+    stride: u64,
+    passes: u64,
+) -> Result<()> {
+    let len = arr.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let stride = stride.max(1);
+    for pass in 0..passes {
+        let mut i = pass % stride;
+        while i < len {
+            rt.load_elem(thread, arr, i)?;
+            i += stride;
+        }
+    }
+    Ok(())
+}
+
+/// Performs `count` random-ish loads over the array using a linear-congruential
+/// sequence derived from `seed`, modelling pointer-chasing / hash-probe access patterns.
+/// Deterministic for a given seed; callers pass a per-iteration seed so successive calls
+/// probe different elements (as successive operations of a real application would).
+///
+/// # Errors
+///
+/// Propagates access errors.
+pub fn scattered_loads(
+    rt: &mut Runtime,
+    thread: ThreadId,
+    arr: &ObjRef,
+    count: u64,
+    seed: u64,
+) -> Result<()> {
+    let len = arr.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let mut x: u64 = seed ^ 0x9e3779b97f4a7c15;
+    for _ in 0..count {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rt.load_elem(thread, arr, (x >> 33) % len)?;
+    }
+    Ok(())
+}
+
+/// A tiny helper that registers the standard "thread root" method (`java.lang.Thread.run`)
+/// so workload call paths are rooted like real Java stacks.
+pub fn thread_run_method(rt: &mut Runtime) -> MethodId {
+    rt.register_method("java.lang.Thread", "run", "Thread.java", &[(0, 748)])
+}
+
+/// Allocates `count` arrays of `len` elements in a loop at the given allocation site,
+/// touching each `touches_per_object` times and releasing it before the next iteration —
+/// the canonical *memory bloat* pattern (Listings 1 and 2 of the paper).
+///
+/// Returns the total number of accesses performed.
+///
+/// # Errors
+///
+/// Propagates allocation and access errors.
+#[allow(clippy::too_many_arguments)]
+pub fn bloat_loop(
+    rt: &mut Runtime,
+    thread: ThreadId,
+    class: ClassId,
+    alloc_method: MethodId,
+    alloc_bci: u32,
+    count: u64,
+    len: u64,
+    touches_per_object: u64,
+) -> Result<u64> {
+    let mut accesses = 0;
+    for _ in 0..count {
+        let arr = with_frame(rt, thread, alloc_method, alloc_bci, |rt| {
+            rt.alloc_array(thread, class, len)
+        })?;
+        for t in 0..touches_per_object {
+            // Touch a different cache line per step (load first, like the reads the
+            // paper's bloat examples perform on the freshly allocated arrays).
+            let idx = (t * 16) % arr.len().max(1);
+            rt.load_elem(thread, &arr, idx)?;
+            rt.store_elem(thread, &arr, idx)?;
+            accesses += 2;
+        }
+        rt.release(&arr)?;
+    }
+    Ok(accesses)
+}
+
+/// The "singleton pattern" variant of [`bloat_loop`]: the array is allocated once and
+/// reused by every iteration, which is the optimization the paper applies to the batik
+/// and lusearch motivating examples.
+///
+/// # Errors
+///
+/// Propagates allocation and access errors.
+#[allow(clippy::too_many_arguments)]
+pub fn singleton_loop(
+    rt: &mut Runtime,
+    thread: ThreadId,
+    class: ClassId,
+    alloc_method: MethodId,
+    alloc_bci: u32,
+    count: u64,
+    len: u64,
+    touches_per_object: u64,
+) -> Result<u64> {
+    let arr = with_frame(rt, thread, alloc_method, alloc_bci, |rt| {
+        rt.alloc_array(thread, class, len)
+    })?;
+    let mut accesses = 0;
+    for _ in 0..count {
+        for t in 0..touches_per_object {
+            let idx = (t * 16) % arr.len().max(1);
+            rt.load_elem(thread, &arr, idx)?;
+            rt.store_elem(thread, &arr, idx)?;
+            accesses += 2;
+        }
+    }
+    rt.release(&arr)?;
+    Ok(accesses)
+}
+
+/// Issues `count` raw (non-object) accesses at distinct cache lines, modelling runtime
+/// or stack noise that cannot be attributed to any monitored object.
+///
+/// # Errors
+///
+/// Propagates access errors.
+pub fn raw_noise(rt: &mut Runtime, thread: ThreadId, base: u64, count: u64) -> Result<()> {
+    for i in 0..count {
+        rt.raw_access(thread, base + i * 64, AccessKind::Load)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+
+    fn rt() -> Runtime {
+        Runtime::new(RuntimeConfig::small())
+    }
+
+    #[test]
+    fn with_frame_pushes_and_pops() {
+        let mut rt = rt();
+        let m = rt.register_method("C", "m", "C.java", &[(0, 1)]);
+        let t = rt.spawn_thread("main");
+        with_frame(&mut rt, t, m, 0, |rt| {
+            assert_eq!(rt.stack_depth(t).unwrap(), 1);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rt.stack_depth(t).unwrap(), 0);
+    }
+
+    #[test]
+    fn with_frame_pops_even_on_error() {
+        let mut rt = rt();
+        let m = rt.register_method("C", "m", "C.java", &[(0, 1)]);
+        let class = rt.register_array_class("int[]", 4);
+        let t = rt.spawn_thread("main");
+        let arr = rt.alloc_array(t, class, 4).unwrap();
+        let result: Result<()> = with_frame(&mut rt, t, m, 0, |rt| {
+            rt.load_elem(t, &arr, 100)?; // out of bounds
+            Ok(())
+        });
+        assert!(result.is_err());
+        assert_eq!(rt.stack_depth(t).unwrap(), 0, "frame is popped on the error path");
+    }
+
+    #[test]
+    fn method_spec_registers_line() {
+        let mut rt = rt();
+        let id = MethodSpec::at_line("ExtendedGeneralPath", "makeRoom", "ExtendedGeneralPath.java", 743)
+            .register(&mut rt);
+        assert_eq!(rt.methods().line_of(id, 0), 743);
+        assert_eq!(rt.methods().qualified_name_of(id), "ExtendedGeneralPath.makeRoom");
+    }
+
+    #[test]
+    fn init_and_sweeps_touch_every_element() {
+        let mut rt = rt();
+        let class = rt.register_array_class("double[]", 8);
+        let t = rt.spawn_thread("main");
+        let arr = rt.alloc_array(t, class, 64).unwrap();
+        init_array(&mut rt, t, &arr).unwrap();
+        sequential_sweep(&mut rt, t, &arr).unwrap();
+        assert_eq!(rt.stats().accesses, 128);
+        strided_sweep(&mut rt, t, &arr, 8, 8).unwrap();
+        assert_eq!(rt.stats().accesses, 128 + 64);
+    }
+
+    #[test]
+    fn strided_sweep_handles_degenerate_inputs() {
+        let mut rt = rt();
+        let class = rt.register_array_class("double[]", 8);
+        let t = rt.spawn_thread("main");
+        let arr = rt.alloc_array(t, class, 16).unwrap();
+        strided_sweep(&mut rt, t, &arr, 0, 1).unwrap(); // stride clamps to 1
+        assert_eq!(rt.stats().accesses, 16);
+        let empty = rt.alloc_array(t, class, 0).unwrap();
+        strided_sweep(&mut rt, t, &empty, 4, 4).unwrap();
+        sequential_sweep(&mut rt, t, &empty).unwrap();
+        scattered_loads(&mut rt, t, &empty, 10, 0).unwrap();
+    }
+
+    #[test]
+    fn scattered_loads_is_deterministic() {
+        let run = || {
+            let mut rt = rt();
+            let class = rt.register_array_class("long[]", 8);
+            let t = rt.spawn_thread("main");
+            let arr = rt.alloc_array(t, class, 1024).unwrap();
+            scattered_loads(&mut rt, t, &arr, 500, 7).unwrap();
+            rt.hierarchy().stats().l1_misses
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bloat_loop_allocates_per_iteration_and_singleton_does_not() {
+        let mut rt = rt();
+        let class = rt.register_array_class("float[]", 4);
+        let m = MethodSpec::at_line("ExtendedGeneralPath", "makeRoom", "ExtendedGeneralPath.java", 743)
+            .register(&mut rt);
+        let t = rt.spawn_thread("main");
+        bloat_loop(&mut rt, t, class, m, 5, 100, 256, 4).unwrap();
+        assert_eq!(rt.stats().allocations, 100);
+
+        let mut rt2 = self::rt();
+        let class2 = rt2.register_array_class("float[]", 4);
+        let m2 = MethodSpec::at_line("E", "makeRoom", "E.java", 743).register(&mut rt2);
+        let t2 = rt2.spawn_thread("main");
+        singleton_loop(&mut rt2, t2, class2, m2, 5, 100, 256, 4).unwrap();
+        assert_eq!(rt2.stats().allocations, 1);
+        assert_eq!(rt2.stats().accesses, rt.stats().accesses, "same access count either way");
+    }
+
+    #[test]
+    fn raw_noise_generates_unattributed_accesses() {
+        let mut rt = rt();
+        let t = rt.spawn_thread("main");
+        raw_noise(&mut rt, t, 0x5000_0000, 32).unwrap();
+        assert_eq!(rt.stats().accesses, 32);
+    }
+
+    #[test]
+    fn thread_run_method_is_idempotent() {
+        let mut rt = rt();
+        let a = thread_run_method(&mut rt);
+        let b = thread_run_method(&mut rt);
+        assert_eq!(a, b);
+        assert_eq!(rt.methods().qualified_name_of(a), "java.lang.Thread.run");
+    }
+}

@@ -1,0 +1,212 @@
+//! The runtime's observation surface: the events a profiler can subscribe to.
+//!
+//! Each listener callback corresponds to an interception point of the original tool:
+//!
+//! | callback | DJXPerf mechanism |
+//! |---|---|
+//! | [`RuntimeListener::on_thread_start`]/[`on_thread_end`](RuntimeListener::on_thread_end) | JVMTI `ThreadStart`/`ThreadEnd` callbacks |
+//! | [`RuntimeListener::on_object_alloc`] | ASM instrumentation of `new`/`newarray`/`anewarray`/`multianewarray` |
+//! | [`RuntimeListener::on_memory_access`] | the hardware observing retired loads/stores (feeds the virtual PMU) |
+//! | [`RuntimeListener::on_gc_start`]/[`on_gc_end`](RuntimeListener::on_gc_end) | `GarbageCollectorMXBean` GC notifications |
+//! | [`RuntimeListener::on_object_move`] | `memmove` interposition during GC |
+//! | [`RuntimeListener::on_object_reclaim`] | `finalize` interception before reclamation |
+//!
+//! Listeners are shared (`Arc`) and invoked with `&self`; implementations use interior
+//! mutability, mirroring agent code that must be async-signal-safe and thread-shared.
+
+use djx_memsim::{AccessOutcome, Addr};
+
+use crate::callstack::Frame;
+use crate::class::ClassId;
+use crate::ids::{GcId, ObjectId, ThreadId};
+
+/// Details of a thread start or end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadEvent<'a> {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Thread name (as given to `spawn_thread`).
+    pub name: &'a str,
+    /// Logical CPU the thread is pinned to.
+    pub cpu: usize,
+}
+
+/// Details of one object allocation (the post-allocation hook payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationEvent<'a> {
+    /// Identity of the new object.
+    pub object: ObjectId,
+    /// Class of the new object.
+    pub class: ClassId,
+    /// Class name (resolved for convenience, as the Java agent reports it).
+    pub class_name: &'a str,
+    /// Start address of the object.
+    pub start: Addr,
+    /// Total size in bytes (header included).
+    pub size: u64,
+    /// Thread performing the allocation.
+    pub thread: ThreadId,
+    /// Calling context of the allocation site, root-first.
+    pub call_trace: &'a [Frame],
+}
+
+/// Details of one simulated memory access (load or store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryAccessEvent<'a> {
+    /// Thread that performed the access.
+    pub thread: ThreadId,
+    /// The memory-hierarchy outcome (address, miss levels, latency, NUMA nodes).
+    pub outcome: AccessOutcome,
+    /// Calling context at the access, root-first (what `AsyncGetCallTrace` would return
+    /// if a PMU interrupt fired here).
+    pub call_trace: &'a [Frame],
+    /// Object touched by this access, when the runtime knows it (raw accesses outside
+    /// any object carry `None`).
+    pub object: Option<ObjectId>,
+}
+
+/// Details of a garbage-collection cycle notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcEvent {
+    /// Collection cycle id.
+    pub gc: GcId,
+    /// Heap bytes in use when the notification fired.
+    pub heap_used: u64,
+    /// Number of objects the cycle moved (only meaningful on `on_gc_end`).
+    pub objects_moved: u64,
+    /// Number of objects the cycle reclaimed (only meaningful on `on_gc_end`).
+    pub objects_reclaimed: u64,
+}
+
+/// Details of one object relocation (the `memmove` interposition payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectMoveEvent {
+    /// The collection during which the move happened.
+    pub gc: GcId,
+    /// The moved object.
+    pub object: ObjectId,
+    /// Address before the move.
+    pub old_addr: Addr,
+    /// Address after the move.
+    pub new_addr: Addr,
+    /// Object size in bytes.
+    pub size: u64,
+}
+
+/// Details of one object reclamation (the `finalize` interception payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectReclaimEvent {
+    /// The collection during which the reclamation happened.
+    pub gc: GcId,
+    /// The reclaimed object.
+    pub object: ObjectId,
+    /// Address the object occupied.
+    pub addr: Addr,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Class of the reclaimed object.
+    pub class: ClassId,
+}
+
+/// Observer interface for runtime events. All methods have empty default implementations
+/// so listeners only override what they need.
+pub trait RuntimeListener: Send + Sync {
+    /// The runtime has started executing (the `VMStart` analogue).
+    fn on_vm_start(&self) {}
+
+    /// The runtime has finished executing (the `VMDeath` analogue).
+    fn on_vm_end(&self) {}
+
+    /// A thread has started.
+    fn on_thread_start(&self, _event: &ThreadEvent<'_>) {}
+
+    /// A thread has terminated.
+    fn on_thread_end(&self, _event: &ThreadEvent<'_>) {}
+
+    /// An object has been allocated.
+    fn on_object_alloc(&self, _event: &AllocationEvent<'_>) {}
+
+    /// A load or store has been simulated.
+    fn on_memory_access(&self, _event: &MemoryAccessEvent<'_>) {}
+
+    /// A garbage collection is starting.
+    fn on_gc_start(&self, _event: &GcEvent) {}
+
+    /// A garbage collection has finished.
+    fn on_gc_end(&self, _event: &GcEvent) {}
+
+    /// The collector moved an object.
+    fn on_object_move(&self, _event: &ObjectMoveEvent) {}
+
+    /// The collector reclaimed an object.
+    fn on_object_reclaim(&self, _event: &ObjectReclaimEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djx_memsim::{MemoryAccess, NumaNode};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A listener that only overrides one callback; everything else must default to
+    /// no-ops without panicking.
+    #[derive(Default)]
+    struct CountingListener {
+        allocs: AtomicUsize,
+    }
+
+    impl RuntimeListener for CountingListener {
+        fn on_object_alloc(&self, _event: &AllocationEvent<'_>) {
+            self.allocs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn default_methods_are_no_ops() {
+        let l = CountingListener::default();
+        l.on_vm_start();
+        l.on_vm_end();
+        l.on_thread_start(&ThreadEvent { thread: ThreadId(1), name: "t", cpu: 0 });
+        l.on_gc_start(&GcEvent { gc: GcId(0), heap_used: 0, objects_moved: 0, objects_reclaimed: 0 });
+        l.on_memory_access(&MemoryAccessEvent {
+            thread: ThreadId(1),
+            outcome: AccessOutcome {
+                access: MemoryAccess::load(0, 0, 8),
+                l1_miss: false,
+                l2_miss: false,
+                l3_miss: false,
+                tlb_miss: false,
+                cpu_node: NumaNode(0),
+                page_node: NumaNode(0),
+                latency: 4,
+            },
+            call_trace: &[],
+            object: None,
+        });
+        assert_eq!(l.allocs.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn overridden_method_is_invoked() {
+        let l = CountingListener::default();
+        let event = AllocationEvent {
+            object: ObjectId(1),
+            class: ClassId(0),
+            class_name: "float[]",
+            start: 0x1000,
+            size: 64,
+            thread: ThreadId(1),
+            call_trace: &[Frame::new(crate::ids::MethodId(0), 0)],
+        };
+        l.on_object_alloc(&event);
+        l.on_object_alloc(&event);
+        assert_eq!(l.allocs.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn listener_trait_is_object_safe_and_shareable() {
+        fn assert_traits<T: Send + Sync>() {}
+        assert_traits::<std::sync::Arc<dyn RuntimeListener>>();
+        let _boxed: Box<dyn RuntimeListener> = Box::new(CountingListener::default());
+    }
+}

@@ -1,0 +1,119 @@
+//! Garbage-collection policy: when to run the compacting collector.
+//!
+//! The actual relocation work lives in [`Heap::compact`](crate::heap::Heap::compact);
+//! this module decides *when* a collection happens, mirroring a throughput collector
+//! that runs when a threshold amount of allocation has occurred or when an allocation
+//! fails, and counts collection cycles for the MXBean-style notifications.
+
+use crate::heap::Heap;
+
+/// Configuration of the collection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcConfig {
+    /// Run a collection after this many bytes have been allocated since the last one
+    /// (`None` disables proactive collections; collections then only happen when an
+    /// allocation does not fit).
+    pub trigger_allocated_bytes: Option<u64>,
+}
+
+impl GcConfig {
+    /// A policy that only collects when the heap is full.
+    pub fn on_exhaustion_only() -> Self {
+        Self { trigger_allocated_bytes: None }
+    }
+
+    /// A policy that proactively collects every `bytes` of allocation.
+    pub fn every_allocated_bytes(bytes: u64) -> Self {
+        Self { trigger_allocated_bytes: Some(bytes) }
+    }
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        // 8 MiB of allocation between collections keeps bloat-style workloads moving
+        // objects regularly, which is the behaviour DJXPerf must tolerate.
+        Self::every_allocated_bytes(8 * 1024 * 1024)
+    }
+}
+
+/// Book-keeping for the collection policy.
+#[derive(Debug, Clone, Default)]
+pub struct GcCoordinator {
+    config: GcConfig,
+    allocated_since_gc: u64,
+    cycles: u64,
+}
+
+impl GcCoordinator {
+    /// Creates a coordinator with the given policy.
+    pub fn new(config: GcConfig) -> Self {
+        Self { config, allocated_since_gc: 0, cycles: 0 }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> GcConfig {
+        self.config
+    }
+
+    /// Number of collections that have run.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Bytes allocated since the last collection.
+    pub fn allocated_since_gc(&self) -> u64 {
+        self.allocated_since_gc
+    }
+
+    /// Records an allocation of `bytes`.
+    pub fn record_allocation(&mut self, bytes: u64) {
+        self.allocated_since_gc += bytes;
+    }
+
+    /// `true` when the policy wants a proactive collection now.
+    pub fn should_collect(&self, _heap: &Heap) -> bool {
+        match self.config.trigger_allocated_bytes {
+            Some(limit) => self.allocated_since_gc >= limit,
+            None => false,
+        }
+    }
+
+    /// Records that a collection ran, resetting the allocation counter.
+    pub fn record_collection(&mut self) {
+        self.cycles += 1;
+        self.allocated_since_gc = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapConfig;
+
+    #[test]
+    fn default_policy_is_proactive() {
+        assert_eq!(GcConfig::default().trigger_allocated_bytes, Some(8 * 1024 * 1024));
+    }
+
+    #[test]
+    fn exhaustion_only_policy_never_asks_proactively() {
+        let heap = Heap::new(HeapConfig::with_capacity(1024));
+        let mut gc = GcCoordinator::new(GcConfig::on_exhaustion_only());
+        gc.record_allocation(u64::MAX / 2);
+        assert!(!gc.should_collect(&heap));
+    }
+
+    #[test]
+    fn threshold_policy_triggers_after_enough_allocation() {
+        let heap = Heap::new(HeapConfig::with_capacity(1024));
+        let mut gc = GcCoordinator::new(GcConfig::every_allocated_bytes(100));
+        gc.record_allocation(40);
+        assert!(!gc.should_collect(&heap));
+        gc.record_allocation(60);
+        assert!(gc.should_collect(&heap));
+        gc.record_collection();
+        assert!(!gc.should_collect(&heap));
+        assert_eq!(gc.cycles(), 1);
+        assert_eq!(gc.allocated_since_gc(), 0);
+    }
+}

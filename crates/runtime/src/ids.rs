@@ -1,0 +1,63 @@
+//! Strongly-typed identifiers used throughout the runtime.
+
+/// Identifier of a simulated application thread (the analogue of a `jthread` / Linux
+/// TID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u64);
+
+/// Identifier of a loaded class (the analogue of a `jclass`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Identifier of a method (the analogue of a `jmethodID`). A method that is "JITted"
+/// multiple times would get multiple IDs, exactly as in JVMTI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(pub u32);
+
+/// Identifier of a heap object. Stable across garbage collections even though the
+/// object's address may change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+/// Identifier of one garbage-collection cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GcId(pub u64);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread-{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj-{}", self.0)
+    }
+}
+
+impl std::fmt::Display for GcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gc-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        assert!(ThreadId(1) < ThreadId(2));
+        assert!(ObjectId(9) > ObjectId(3));
+        let set: HashSet<_> = [ClassId(1), ClassId(1), ClassId(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        assert_eq!(ThreadId(3).to_string(), "thread-3");
+        assert_eq!(ObjectId(8).to_string(), "obj-8");
+        assert_eq!(GcId(1).to_string(), "gc-1");
+    }
+}

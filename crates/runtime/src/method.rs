@@ -1,0 +1,174 @@
+//! Method metadata and line-number tables (the `GetLineNumberTable` analogue).
+
+use std::collections::HashMap;
+
+use crate::ids::MethodId;
+
+/// Metadata describing a method, as JVMTI would expose it: declaring class, method name,
+/// source file, and a BCI→line-number table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodInfo {
+    /// Identifier assigned at registration.
+    pub id: MethodId,
+    /// Declaring class name (e.g. `org.apache.batik.ext.awt.geom.ExtendedGeneralPath`).
+    pub class_name: String,
+    /// Method name (e.g. `makeRoom`).
+    pub name: String,
+    /// Source file name (e.g. `ExtendedGeneralPath.java`).
+    pub file: String,
+    /// Line-number table: pairs of (start BCI, source line). Sorted by BCI. A BCI maps to
+    /// the line of the last entry whose start BCI is ≤ the BCI, mirroring the JVM's
+    /// `LineNumberTable` attribute.
+    pub line_table: Vec<(u32, u32)>,
+}
+
+impl MethodInfo {
+    /// Resolves a bytecode index to a source line using the line-number table. Returns 0
+    /// when the table is empty (native or synthetic methods have no line information).
+    pub fn line_for_bci(&self, bci: u32) -> u32 {
+        let mut line = 0;
+        for (start, l) in &self.line_table {
+            if *start <= bci {
+                line = *l;
+            } else {
+                break;
+            }
+        }
+        line
+    }
+
+    /// `Class.method` rendering used in reports.
+    pub fn qualified_name(&self) -> String {
+        format!("{}.{}", self.class_name, self.name)
+    }
+}
+
+/// Registry of methods (the set of `jmethodID`s the profiler can query).
+#[derive(Debug, Default, Clone)]
+pub struct MethodRegistry {
+    methods: Vec<MethodInfo>,
+    by_qualified: HashMap<(String, String), MethodId>,
+}
+
+impl MethodRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a method and returns its id. Re-registering the same `(class, method)`
+    /// pair returns the existing id; the line table given first wins.
+    pub fn register(
+        &mut self,
+        class_name: impl Into<String>,
+        name: impl Into<String>,
+        file: impl Into<String>,
+        line_table: &[(u32, u32)],
+    ) -> MethodId {
+        let class_name = class_name.into();
+        let name = name.into();
+        let key = (class_name.clone(), name.clone());
+        if let Some(id) = self.by_qualified.get(&key) {
+            return *id;
+        }
+        let id = MethodId(self.methods.len() as u32);
+        let mut table: Vec<(u32, u32)> = line_table.to_vec();
+        table.sort_unstable_by_key(|(bci, _)| *bci);
+        self.methods.push(MethodInfo {
+            id,
+            class_name,
+            name,
+            file: file.into(),
+            line_table: table,
+        });
+        self.by_qualified.insert(key, id);
+        id
+    }
+
+    /// Looks up a method by id.
+    pub fn get(&self, id: MethodId) -> Option<&MethodInfo> {
+        self.methods.get(id.0 as usize)
+    }
+
+    /// `Class.method` for an id, or `"<unknown method>"` when not registered.
+    pub fn qualified_name_of(&self, id: MethodId) -> String {
+        self.get(id)
+            .map(|m| m.qualified_name())
+            .unwrap_or_else(|| "<unknown method>".to_string())
+    }
+
+    /// Resolves `(method, bci)` to a source line, or 0 if unknown.
+    pub fn line_of(&self, id: MethodId, bci: u32) -> u32 {
+        self.get(id).map(|m| m.line_for_bci(bci)).unwrap_or(0)
+    }
+
+    /// Number of registered methods.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// `true` when no method has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+
+    /// Iterates over registered methods in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &MethodInfo> {
+        self.methods.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_table_lookup_uses_last_entry_at_or_before_bci() {
+        let mut reg = MethodRegistry::new();
+        let id = reg.register(
+            "ExtendedGeneralPath",
+            "makeRoom",
+            "ExtendedGeneralPath.java",
+            &[(0, 740), (4, 743), (12, 745)],
+        );
+        let m = reg.get(id).unwrap();
+        assert_eq!(m.line_for_bci(0), 740);
+        assert_eq!(m.line_for_bci(3), 740);
+        assert_eq!(m.line_for_bci(4), 743);
+        assert_eq!(m.line_for_bci(100), 745);
+        assert_eq!(reg.line_of(id, 5), 743);
+    }
+
+    #[test]
+    fn unsorted_line_tables_are_sorted_on_registration() {
+        let mut reg = MethodRegistry::new();
+        let id = reg.register("C", "m", "C.java", &[(10, 2), (0, 1)]);
+        assert_eq!(reg.line_of(id, 5), 1);
+        assert_eq!(reg.line_of(id, 10), 2);
+    }
+
+    #[test]
+    fn empty_line_table_resolves_to_zero() {
+        let mut reg = MethodRegistry::new();
+        let id = reg.register("C", "nativeMethod", "C.java", &[]);
+        assert_eq!(reg.line_of(id, 42), 0);
+    }
+
+    #[test]
+    fn duplicate_registration_returns_same_id() {
+        let mut reg = MethodRegistry::new();
+        let a = reg.register("C", "m", "C.java", &[(0, 1)]);
+        let b = reg.register("C", "m", "C.java", &[(0, 99)]);
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.line_of(a, 0), 1, "first registration wins");
+    }
+
+    #[test]
+    fn qualified_names() {
+        let mut reg = MethodRegistry::new();
+        let id = reg.register("SAHashMap", "getNode", "SAHashMap.java", &[(0, 100)]);
+        assert_eq!(reg.qualified_name_of(id), "SAHashMap.getNode");
+        assert_eq!(reg.qualified_name_of(MethodId(99)), "<unknown method>");
+    }
+}

@@ -1,0 +1,65 @@
+//! Aggregate statistics kept by the runtime.
+
+/// Counters describing everything a [`Runtime`](crate::Runtime) did during a run.
+///
+/// The *modeled execution time* (`access_cycles + cpu_cycles`) is what the evaluation's
+/// speedup experiments compare between a baseline workload and its "optimized" variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Number of object allocations performed.
+    pub allocations: u64,
+    /// Total bytes allocated (headers and alignment included).
+    pub allocated_bytes: u64,
+    /// Number of threads spawned.
+    pub threads_spawned: u64,
+    /// Garbage-collection cycles run.
+    pub gc_cycles: u64,
+    /// Objects whose address changed during collections.
+    pub objects_moved: u64,
+    /// Objects reclaimed by collections.
+    pub objects_reclaimed: u64,
+    /// Memory accesses (loads + stores) simulated.
+    pub accesses: u64,
+    /// Cycles spent in simulated memory accesses.
+    pub access_cycles: u64,
+    /// Cycles of pure compute added via `cpu_work`.
+    pub cpu_cycles: u64,
+    /// Peak heap usage (bump-pointer high watermark) in bytes.
+    pub peak_heap_used: u64,
+    /// Peak live bytes.
+    pub peak_live_bytes: u64,
+}
+
+impl RuntimeStats {
+    /// Total modeled execution cycles (memory plus compute).
+    pub fn modeled_cycles(&self) -> u64 {
+        self.access_cycles + self.cpu_cycles
+    }
+
+    /// Average bytes per allocation, or 0.0 with no allocations.
+    pub fn mean_allocation_size(&self) -> f64 {
+        if self.allocations == 0 {
+            0.0
+        } else {
+            self.allocated_bytes as f64 / self.allocations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_cycles_sums_components() {
+        let s = RuntimeStats { access_cycles: 100, cpu_cycles: 50, ..Default::default() };
+        assert_eq!(s.modeled_cycles(), 150);
+    }
+
+    #[test]
+    fn mean_allocation_size_handles_zero() {
+        assert_eq!(RuntimeStats::default().mean_allocation_size(), 0.0);
+        let s = RuntimeStats { allocations: 4, allocated_bytes: 64, ..Default::default() };
+        assert!((s.mean_allocation_size() - 16.0).abs() < f64::EPSILON);
+    }
+}

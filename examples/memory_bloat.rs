@@ -1,0 +1,62 @@
+//! The §1.1 motivation, end to end: hot bloat vs cold bloat (Listings 1 and 2).
+//!
+//! ```text
+//! cargo run --example memory_bloat
+//! ```
+//!
+//! Profiles the batik `nvals` kernel and the lusearch `collector` kernel, prints each
+//! problematic object's share of sampled misses, applies the singleton-pattern fix to
+//! both, and compares the resulting whole-program speedups. Only the object with the
+//! significant miss share rewards the optimization — the paper's argument for pairing
+//! object-level attribution with PMU metrics.
+
+use djx_workloads::bloat::{BatikNvalsWorkload, LusearchCollectorWorkload};
+use djx_workloads::runner::{run_profiled, run_unprofiled, speedup};
+use djx_workloads::{Variant, Workload};
+use djxperf::{ProfilerConfig, ReportOptions};
+
+fn study(name: &str, paper_share: &str, paper_speedup: &str, build: impl Fn(Variant) -> Box<dyn Workload>) {
+    let config = ProfilerConfig::default().with_period(256);
+    let profiled = run_profiled(build(Variant::Baseline).as_ref(), config);
+
+    println!("== {name} ==");
+    println!(
+        "{}",
+        djxperf::render_object_report(
+            &profiled.report,
+            &profiled.methods,
+            ReportOptions { top_objects: 2, top_contexts: 2, full_alloc_paths: false }
+        )
+    );
+
+    let baseline = run_unprofiled(build(Variant::Baseline).as_ref());
+    let optimized = run_unprofiled(build(Variant::Optimized).as_ref());
+    println!(
+        "singleton-pattern fix: {:.2}x speedup (paper: {paper_speedup}), \
+         baseline allocations {}, optimized {}",
+        speedup(&baseline, &optimized),
+        baseline.stats.allocations,
+        optimized.stats.allocations,
+    );
+    println!("paper reports the problematic object at {paper_share} of total cache misses\n");
+}
+
+fn main() {
+    study(
+        "Listing 1: Dacapo batik — ExtendedGeneralPath.makeRoom allocates float[] nvals in a loop",
+        "21%",
+        "1.15x",
+        |v| Box::new(BatikNvalsWorkload::new(v)),
+    );
+    study(
+        "Listing 2: Dacapo lusearch — IndexSearcher.search allocates TopDocCollector in a loop",
+        "<1%",
+        "1.00x (no speedup)",
+        |v| Box::new(LusearchCollectorWorkload::new(v)),
+    );
+    println!(
+        "Both sites are textbook memory bloat (thousands of allocations, non-overlapping\n\
+         lifetimes); only the one DJXPerf charges with a significant share of cache misses\n\
+         is worth optimizing."
+    );
+}
