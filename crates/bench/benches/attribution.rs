@@ -1,33 +1,40 @@
 //! Microbenchmark of the per-sample attribution path (§4.2): splay-tree lookup +
 //! calling-context insertion + metric update, i.e. exactly the work DJXPerf's signal
-//! handler performs per PMU sample, measured end to end through the PMU agent.
+//! handler performs per PMU sample, measured end to end through a profiling
+//! [`Session`] (allocation agent populating the shared index, sampler, splay
+//! resolution, object-centric collector).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use djx_memsim::{HierarchyConfig, MemoryAccess, MemoryHierarchy};
-use djx_pmu::{PerfEventBuilder, PmuEvent};
-use djx_runtime::{Frame, MemoryAccessEvent, MethodId, ObjectId, RuntimeListener, ThreadId};
-use djxperf::{Interval, MonitoredObject, PmuAgent, SharedObjectIndex};
+use djx_runtime::{
+    AllocationEvent, ClassId, Frame, MemoryAccessEvent, MethodId, ObjectId, RuntimeListener,
+    ThreadId,
+};
+use djxperf::Session;
 
 const OBJECTS: u64 = 2_000;
 const OBJECT_SIZE: u64 = 8 * 1024;
 
-fn shared_index() -> std::sync::Arc<SharedObjectIndex> {
-    let shared = SharedObjectIndex::new();
-    {
-        let mut sites = shared.sites.lock();
-        let mut tree = shared.tree.lock();
-        for i in 0..OBJECTS {
-            let site = sites.intern("bench[]", &[Frame::new(MethodId((i % 64) as u32), 5)]);
-            let start = 0x4000_0000 + i * OBJECT_SIZE;
-            tree.insert(
-                Interval::new(start, start + OBJECT_SIZE),
-                MonitoredObject { object: ObjectId(i + 1), site, size: OBJECT_SIZE },
-            );
-        }
+/// A session whose shared index holds `OBJECTS` monitored objects, populated through
+/// the real allocation-event path.
+fn session_with_objects(period: u64) -> Arc<Session> {
+    let session = Session::builder().period(period).collect_objects().build();
+    for i in 0..OBJECTS {
+        let trace = [Frame::new(MethodId((i % 64) as u32), 5)];
+        session.on_object_alloc(&AllocationEvent {
+            object: ObjectId(i + 1),
+            class: ClassId(0),
+            class_name: "bench[]",
+            start: 0x4000_0000 + i * OBJECT_SIZE,
+            size: OBJECT_SIZE,
+            thread: ThreadId(1),
+            call_trace: &trace,
+        });
     }
-    shared
+    session
 }
 
 fn bench_sample_attribution(c: &mut Criterion) {
@@ -56,20 +63,16 @@ fn bench_sample_attribution(c: &mut Criterion) {
         group.throughput(Throughput::Elements(outcomes.len() as u64));
         group.bench_function(format!("period_{period}"), |b| {
             b.iter(|| {
-                let agent = PmuAgent::new(
-                    PerfEventBuilder::new(PmuEvent::L1Miss).sample_period(period),
-                    period,
-                    shared_index(),
-                );
+                let session = session_with_objects(period);
                 for outcome in &outcomes {
-                    agent.on_memory_access(&MemoryAccessEvent {
+                    session.on_memory_access(&MemoryAccessEvent {
                         thread: ThreadId(1),
                         outcome: *outcome,
                         call_trace: &call_trace,
                         object: None,
                     });
                 }
-                black_box(agent.total_samples())
+                black_box(session.total_samples())
             })
         });
     }

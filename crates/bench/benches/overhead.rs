@@ -26,9 +26,7 @@ fn bench_overhead(c: &mut Criterion) {
     group.sample_size(10);
     let w = workload();
 
-    group.bench_function("unprofiled", |b| {
-        b.iter(|| black_box(run_unprofiled(&w).stats.accesses))
-    });
+    group.bench_function("unprofiled", |b| b.iter(|| black_box(run_unprofiled(&w).stats.accesses)));
 
     group.bench_function(format!("djxperf_period_{EVALUATION_PERIOD}"), |b| {
         b.iter(|| black_box(run_profiled(&w, evaluation_profiler()).profile.total_samples()))

@@ -120,9 +120,7 @@ fn bench_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("splay_tree_update");
     group.sample_size(20);
 
-    group.bench_function("insert_10k_objects", |b| {
-        b.iter(|| black_box(build_tree().len()))
-    });
+    group.bench_function("insert_10k_objects", |b| b.iter(|| black_box(build_tree().len())));
 
     group.bench_function("gc_relocation_batch", |b| {
         // Move every object to a new address range, the way a full compaction would.

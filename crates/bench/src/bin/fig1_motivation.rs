@@ -1,32 +1,30 @@
 //! Figure 1 — code-centric vs object-centric profiling of the same execution.
 //!
-//! Runs the synthetic Figure 1 access mix under both the code-centric baseline profiler
-//! and DJXPerf, and prints the two rankings side by side: the hottest single instruction
-//! (`Ic`, ~24% of misses) versus the hottest object (`O1`, ~50% of misses).
-
-use std::sync::Arc;
+//! Runs the synthetic Figure 1 access mix under one multi-collector session — a single
+//! sampling stream feeding both the code-centric baseline collector and the
+//! object-centric collector — and prints the two rankings side by side: the hottest
+//! single instruction (`Ic`, ~24% of misses) versus the hottest object (`O1`, ~50% of
+//! misses). Before the session API this comparison required attaching two independent
+//! profilers, each with its own per-thread PMUs.
 
 use djx_bench::prelude::*;
 use djx_runtime::Runtime;
 use djx_workloads::figure1::{expected_object_percent, Figure1Workload, FIGURE1_SITES};
-use djxperf::{CodeCentricProfiler, DjxPerf};
+use djxperf::Session;
 
 fn main() {
     let workload = Figure1Workload::new();
     let mut rt = Runtime::new(workload.runtime_config());
 
-    let period = 8;
-    let code = Arc::new(CodeCentricProfiler::new(djx_pmu::PmuEvent::L1Miss, period));
-    let object = DjxPerf::attach(&mut rt, ProfilerConfig::default().with_period(period));
-    rt.add_listener(code.clone());
+    let session = Session::builder().period(8).collect_objects().collect_code().attach(&mut rt);
 
     workload.run(&mut rt).expect("figure 1 workload");
     rt.shutdown();
 
-    println!("== Figure 1: the same execution, two attributions ==\n");
+    println!("== Figure 1: the same execution, two attributions, one sampling pass ==\n");
 
     // (b) code-centric profiling.
-    let code_profile = code.profile();
+    let code_profile = session.code_profile().expect("code collector registered");
     let mut code_table = Table::new(&["instruction", "paper share", "measured share"]);
     for location in code_profile.top_locations(10) {
         let name = location
@@ -43,8 +41,9 @@ fn main() {
     println!("(b) code-centric profiling (perf-like):");
     println!("{}", code_table.render());
 
-    // (c) object-centric profiling.
-    let report = Analyzer::new().analyze(&object.profile());
+    // (c) object-centric profiling, from the same samples.
+    let profile = session.object_profile().expect("object collector registered");
+    let report = Analyzer::new().analyze(&profile);
     let mut object_table = Table::new(&["object", "paper share", "measured share", "access sites"]);
     for obj in &report.objects {
         let paper = (1..=3)

@@ -69,13 +69,15 @@ fn main() {
     let summary = summarize_overhead(&points);
     let paper_runtime: Vec<f64> = points.iter().map(|p| p.paper_runtime_overhead).collect();
     let paper_memory: Vec<f64> = points.iter().map(|p| p.paper_memory_overhead).collect();
-    println!("Figure 4a (runtime): measured geomean {} / median {}   paper geomean {} / median {}",
+    println!(
+        "Figure 4a (runtime): measured geomean {} / median {}   paper geomean {} / median {}",
         fmt_ratio(summary.runtime_geomean),
         fmt_ratio(summary.runtime_median),
         fmt_ratio(geometric_mean(&paper_runtime)),
         fmt_ratio(median(&paper_runtime)),
     );
-    println!("Figure 4b (memory):  measured geomean {} / median {}   paper geomean {} / median {}",
+    println!(
+        "Figure 4b (memory):  measured geomean {} / median {}   paper geomean {} / median {}",
         fmt_ratio(summary.memory_geomean),
         fmt_ratio(summary.memory_median),
         fmt_ratio(geometric_mean(&paper_memory)),
@@ -86,7 +88,9 @@ fn main() {
     // verify the same correlation holds in the reproduction.
     let mut sorted = points.clone();
     sorted.sort_by(|a, b| b.runtime_overhead.partial_cmp(&a.runtime_overhead).unwrap());
-    println!("\nHighest measured runtime overheads (expected to be the allocation-heavy benchmarks):");
+    println!(
+        "\nHighest measured runtime overheads (expected to be the allocation-heavy benchmarks):"
+    );
     for p in sorted.iter().take(5) {
         println!(
             "  {:<22} {}  ({} allocation callbacks)",

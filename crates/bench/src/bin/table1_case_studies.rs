@@ -26,7 +26,13 @@ fn main() {
     ]);
 
     for case in table1_case_studies() {
-        let row = measure_case_study(case.name, case.problem_class, case.paper_speedup, case.build, config);
+        let row = measure_case_study(
+            case.name,
+            case.problem_class,
+            case.paper_speedup,
+            case.build,
+            config,
+        );
         table.row(&[
             case.name.to_string(),
             case.problem_class.to_string(),

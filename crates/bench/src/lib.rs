@@ -235,11 +235,7 @@ pub fn measure_case_study(
     let optimized = build(Variant::Optimized);
 
     let profiled = run_profiled(baseline.as_ref(), config);
-    let object = profiled
-        .report
-        .objects
-        .iter()
-        .find(|o| o.class_name == problem_class);
+    let object = profiled.report.objects.iter().find(|o| o.class_name == problem_class);
 
     let base_outcome = run_unprofiled(baseline.as_ref());
     let opt_outcome = run_unprofiled(optimized.as_ref());
@@ -257,7 +253,11 @@ pub fn measure_case_study(
 
 /// Runtime-overhead measurement for the size-filter ablation: wall-clock ratio of a
 /// profiled run with the given filter to an unprofiled run.
-pub fn measure_filter_overhead(workload: &dyn Workload, size_filter: u64, repetitions: usize) -> (f64, u64) {
+pub fn measure_filter_overhead(
+    workload: &dyn Workload,
+    size_filter: u64,
+    repetitions: usize,
+) -> (f64, u64) {
     let config = evaluation_profiler().with_size_filter(size_filter);
     let repetitions = repetitions.max(1);
     let mut plain = Vec::new();
@@ -280,13 +280,13 @@ pub mod prelude {
         OverheadPoint, OverheadSummary, Table, DEFAULT_REPETITIONS, EVALUATION_PERIOD,
     };
     pub use djx_workloads::runner::{
-        geometric_mean, median, memory_overhead, run_profiled, run_unprofiled, runtime_overhead,
-        speedup,
+        geometric_mean, median, memory_overhead, run_profiled, run_session, run_unprofiled,
+        runtime_overhead, speedup,
     };
     pub use djx_workloads::{table1_case_studies, Variant, Workload};
     pub use djxperf::{
         render_code_centric, render_numa_report, render_object_report, Analyzer, ProfilerConfig,
-        ReportOptions,
+        Report, ReportOptions,
     };
 }
 

@@ -112,7 +112,8 @@ impl AllocationAgent {
         state.filtered.len() * std::mem::size_of::<ObjectId>() * 2
             + state.relocation_map.len() * std::mem::size_of::<PendingMove>()
             + state.allocations.len()
-                * (std::mem::size_of::<(ThreadId, AllocSiteId)>() + std::mem::size_of::<(u64, u64)>())
+                * (std::mem::size_of::<(ThreadId, AllocSiteId)>()
+                    + std::mem::size_of::<(u64, u64)>())
     }
 
     fn apply_relocations(&self, state: &mut AllocationState) {
@@ -309,7 +310,12 @@ mod tests {
         assert!(shared.tree.lock().lookup(0x1400).is_some());
         assert!(shared.tree.lock().lookup(0x8400).is_none());
 
-        agent.on_gc_end(&GcEvent { gc: GcId(1), heap_used: 0, objects_moved: 1, objects_reclaimed: 0 });
+        agent.on_gc_end(&GcEvent {
+            gc: GcId(1),
+            heap_used: 0,
+            objects_moved: 1,
+            objects_reclaimed: 0,
+        });
         assert!(shared.tree.lock().lookup(0x1400).is_none());
         let mo = *shared.tree.lock().lookup(0x8400).unwrap().1;
         assert_eq!(mo.object, ObjectId(1));
@@ -327,7 +333,12 @@ mod tests {
             new_addr: 0x9000,
             size: 64,
         });
-        agent.on_gc_end(&GcEvent { gc: GcId(1), heap_used: 0, objects_moved: 1, objects_reclaimed: 0 });
+        agent.on_gc_end(&GcEvent {
+            gc: GcId(1),
+            heap_used: 0,
+            objects_moved: 1,
+            objects_reclaimed: 0,
+        });
         assert_eq!(shared.live_objects(), 0);
         assert_eq!(agent.stats().unknown_moves, 0);
     }
@@ -335,7 +346,8 @@ mod tests {
     #[test]
     fn unknown_moves_inserted_only_in_attach_mode() {
         for (attach, expected_live, expected_unknown) in [(false, 0usize, 0u64), (true, 1, 1)] {
-            let (agent, shared) = agent(AllocationConfig { size_filter: 1024, attach_mode: attach });
+            let (agent, shared) =
+                agent(AllocationConfig { size_filter: 1024, attach_mode: attach });
             // No allocation was ever reported for object 7 (attached too late).
             agent.on_object_move(&ObjectMoveEvent {
                 gc: GcId(1),
@@ -344,7 +356,12 @@ mod tests {
                 new_addr: 0x6000,
                 size: 4096,
             });
-            agent.on_gc_end(&GcEvent { gc: GcId(1), heap_used: 0, objects_moved: 1, objects_reclaimed: 0 });
+            agent.on_gc_end(&GcEvent {
+                gc: GcId(1),
+                heap_used: 0,
+                objects_moved: 1,
+                objects_reclaimed: 0,
+            });
             assert_eq!(shared.live_objects(), expected_live, "attach={attach}");
             assert_eq!(agent.stats().unknown_moves, expected_unknown);
             if attach {

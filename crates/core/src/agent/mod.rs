@@ -1,24 +1,18 @@
-//! The profiler's two agents.
+//! The allocation agent and the state it shares with the sampling side.
 //!
 //! DJXPerf is built from a *Java agent* (lightweight ASM bytecode instrumentation that
-//! intercepts object allocations) and a *JVMTI agent* (native code that programs PMUs per
-//! thread and handles their overflow signals) — §4.1 of the paper. The reproduction keeps
-//! that split:
-//!
-//! * [`AllocationAgent`] subscribes to the runtime's allocation, GC, move and reclaim
-//!   events and maintains the shared interval splay tree of monitored objects;
-//! * [`PmuAgent`] subscribes to thread start/end and to the access stream, drives one
-//!   virtual PMU per thread, and attributes every emitted sample to the enclosing object
-//!   via the splay tree.
-//!
-//! Both agents are combined by [`DjxPerf`](crate::profiler::DjxPerf), which implements
-//! [`RuntimeListener`](djx_runtime::RuntimeListener) by delegating to them in order.
+//! intercepts object allocations) and a *JVMTI agent* (native code that programs PMUs
+//! per thread and handles their overflow signals) — §4.1 of the paper. In this
+//! reproduction the Java-agent side lives here as [`AllocationAgent`], which subscribes
+//! to the runtime's allocation, GC, move and reclaim events and maintains the shared
+//! interval splay tree of monitored objects. The JVMTI side — per-thread PMUs, sample
+//! resolution through the splay tree, and fan-out to collectors — is owned by
+//! [`Session`](crate::session::Session), which combines both into one
+//! [`RuntimeListener`](djx_runtime::RuntimeListener).
 
 mod allocation;
-mod pmu;
 
 pub use allocation::{AllocationAgent, AllocationConfig, DEFAULT_SIZE_FILTER};
-pub use pmu::PmuAgent;
 
 use std::sync::Arc;
 

@@ -86,12 +86,9 @@ impl AnalysisReport {
     /// Objects re-ranked by the number of remote NUMA samples (the §4.3 / §7.5 / §7.6
     /// view). Objects with no remote samples are omitted.
     pub fn ranked_by_remote(&self) -> Vec<&ObjectReport> {
-        let mut v: Vec<&ObjectReport> = self
-            .objects
-            .iter()
-            .filter(|o| o.metrics.remote_samples > 0)
-            .collect();
-        v.sort_by(|a, b| b.metrics.remote_samples.cmp(&a.metrics.remote_samples));
+        let mut v: Vec<&ObjectReport> =
+            self.objects.iter().filter(|o| o.metrics.remote_samples > 0).collect();
+        v.sort_by_key(|o| std::cmp::Reverse(o.metrics.remote_samples));
         v
     }
 
@@ -101,24 +98,106 @@ impl AnalysisReport {
         if self.total_weighted_events == 0 {
             return 0.0;
         }
-        let covered: u64 = self
-            .objects
-            .iter()
-            .take(n)
-            .map(|o| o.metrics.weighted_events)
-            .sum();
+        let covered: u64 = self.objects.iter().take(n).map(|o| o.metrics.weighted_events).sum();
         covered as f64 / self.total_weighted_events as f64
     }
 }
 
+/// Ranking key for the analyzer's object ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankBy {
+    /// By estimated total sampled events (the paper's default ordering).
+    #[default]
+    WeightedEvents,
+    /// By remote NUMA samples (the §4.3 / §7.5 / §7.6 view).
+    RemoteSamples,
+    /// By accumulated access latency.
+    Latency,
+    /// By allocation count (bloat hunting).
+    Allocations,
+    /// By allocated bytes.
+    AllocatedBytes,
+}
+
+impl RankBy {
+    fn key(self, metrics: &MetricVector) -> u64 {
+        match self {
+            RankBy::WeightedEvents => metrics.weighted_events,
+            RankBy::RemoteSamples => metrics.remote_samples,
+            RankBy::Latency => metrics.latency_cycles,
+            RankBy::Allocations => metrics.allocations,
+            RankBy::AllocatedBytes => metrics.allocated_bytes,
+        }
+    }
+}
+
+/// Configures an [`Analyzer`] (see [`Analyzer::builder`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzerBuilder {
+    rank_by: RankBy,
+    top: usize,
+    min_samples: u64,
+}
+
+impl Default for AnalyzerBuilder {
+    fn default() -> Self {
+        Self { rank_by: RankBy::default(), top: usize::MAX, min_samples: 0 }
+    }
+}
+
+impl AnalyzerBuilder {
+    /// The metric objects are ranked by (default: weighted events).
+    pub fn rank_by(mut self, rank_by: RankBy) -> Self {
+        self.rank_by = rank_by;
+        self
+    }
+
+    /// Keeps only the `top` hottest objects in the report (default: all).
+    pub fn top(mut self, top: usize) -> Self {
+        self.top = top;
+        self
+    }
+
+    /// Drops objects with fewer than `min_samples` attributed samples — the
+    /// statistical-noise floor for reports from short runs (default: 0, keep all).
+    /// Run-level totals (`total_samples`, attributed fractions) still cover every
+    /// object, so filtering never distorts the denominators.
+    pub fn min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> Analyzer {
+        Analyzer { rank_by: self.rank_by, top: self.top, min_samples: self.min_samples }
+    }
+}
+
 /// The offline analyzer.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct Analyzer;
+#[derive(Debug, Clone, Copy)]
+pub struct Analyzer {
+    rank_by: RankBy,
+    top: usize,
+    min_samples: u64,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        AnalyzerBuilder::default().build()
+    }
+}
 
 impl Analyzer {
-    /// Creates an analyzer.
+    /// Creates an analyzer with the default configuration (rank by weighted events,
+    /// keep every object).
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Starts configuring an analyzer:
+    /// `Analyzer::builder().rank_by(RankBy::RemoteSamples).top(10).min_samples(2).build()`.
+    pub fn builder() -> AnalyzerBuilder {
+        AnalyzerBuilder::default()
     }
 
     /// Analyzes one profile (merging its per-thread profiles).
@@ -220,13 +299,16 @@ impl Analyzer {
                 }
             })
             .collect();
+        objects.retain(|o| o.metrics.samples >= self.min_samples);
         objects.sort_by(|a, b| {
-            b.metrics
-                .weighted_events
-                .cmp(&a.metrics.weighted_events)
+            self.rank_by
+                .key(&b.metrics)
+                .cmp(&self.rank_by.key(&a.metrics))
+                .then_with(|| b.metrics.weighted_events.cmp(&a.metrics.weighted_events))
                 .then_with(|| a.class_name.cmp(&b.class_name))
                 .then_with(|| a.alloc_path.cmp(&b.alloc_path))
         });
+        objects.truncate(self.top);
 
         AnalysisReport {
             event,
@@ -244,7 +326,10 @@ impl Analyzer {
     /// # Errors
     ///
     /// Returns the first parse error encountered.
-    pub fn analyze_texts(&self, texts: &[&str]) -> Result<AnalysisReport, crate::profile::ProfileParseError> {
+    pub fn analyze_texts(
+        &self,
+        texts: &[&str],
+    ) -> Result<AnalysisReport, crate::profile::ProfileParseError> {
         let profiles = texts
             .iter()
             .map(|t| ObjectCentricProfile::parse(t))
@@ -283,8 +368,16 @@ mod tests {
     /// Builds a profile with two sites: a hot one touched from two contexts by two
     /// threads, and a cold one.
     fn two_site_profile() -> ObjectCentricProfile {
-        let hot = AllocSite { id: AllocSiteId(0), class_name: "float[]".into(), call_path: vec![f(1, 5)] };
-        let cold = AllocSite { id: AllocSiteId(1), class_name: "TopDocCollector".into(), call_path: vec![f(2, 3)] };
+        let hot = AllocSite {
+            id: AllocSiteId(0),
+            class_name: "float[]".into(),
+            call_path: vec![f(1, 5)],
+        };
+        let cold = AllocSite {
+            id: AllocSiteId(1),
+            class_name: "TopDocCollector".into(),
+            call_path: vec![f(2, 3)],
+        };
 
         let mut t1 = ThreadProfile::new(ThreadId(1), "main");
         for _ in 0..6 {
@@ -318,7 +411,9 @@ mod tests {
         assert_eq!(report.objects.len(), 2);
         assert_eq!(report.objects[0].class_name, "float[]");
         assert_eq!(report.objects[1].class_name, "TopDocCollector");
-        assert!(report.objects[0].metrics.weighted_events > report.objects[1].metrics.weighted_events);
+        assert!(
+            report.objects[0].metrics.weighted_events > report.objects[1].metrics.weighted_events
+        );
         assert_eq!(report.hottest().unwrap().class_name, "float[]");
         assert_eq!(report.find_by_class("TopDocCollector").unwrap().metrics.samples, 1);
         assert!(report.find_by_class("nothing").is_none());
@@ -335,7 +430,9 @@ mod tests {
         assert_eq!(hot.access_contexts.len(), 2);
         assert_eq!(hot.access_contexts[0].path, vec![f(1, 5), f(9, 1)]);
         assert_eq!(hot.access_contexts[0].metrics.samples, 10);
-        assert!(hot.access_contexts[0].fraction_of_object > hot.access_contexts[1].fraction_of_object);
+        assert!(
+            hot.access_contexts[0].fraction_of_object > hot.access_contexts[1].fraction_of_object
+        );
         let frac_sum: f64 = hot.access_contexts.iter().map(|c| c.fraction_of_object).sum();
         assert!((frac_sum - 1.0).abs() < 1e-9);
     }
@@ -370,7 +467,11 @@ mod tests {
         let p1 = two_site_profile();
         // A second profile (e.g. another service instance) whose site table assigns
         // different ids to the same (class, path) identities.
-        let hot = AllocSite { id: AllocSiteId(0), class_name: "TopDocCollector".into(), call_path: vec![f(2, 3)] };
+        let hot = AllocSite {
+            id: AllocSiteId(0),
+            class_name: "TopDocCollector".into(),
+            call_path: vec![f(2, 3)],
+        };
         let mut t = ThreadProfile::new(ThreadId(9), "svc-2");
         for _ in 0..5 {
             t.record_attributed(AllocSiteId(0), &[f(2, 3), f(7, 7)], &sample(false), 100);
@@ -403,6 +504,43 @@ mod tests {
             report_direct.objects[0].metrics.weighted_events
         );
         assert!(Analyzer::new().analyze_texts(&["garbage"]).is_err());
+    }
+
+    #[test]
+    fn builder_configures_ranking_truncation_and_noise_floor() {
+        let profile = two_site_profile();
+        let default_report = Analyzer::new().analyze(&profile);
+
+        // Defaults are identical to `Analyzer::new()`.
+        let built = Analyzer::builder().build().analyze(&profile);
+        assert_eq!(built.objects.len(), default_report.objects.len());
+        assert_eq!(built.objects[0].class_name, default_report.objects[0].class_name);
+
+        // Remote ranking puts the only site with remote samples first and agrees with
+        // the report-level `ranked_by_remote` view.
+        let remote = Analyzer::builder().rank_by(RankBy::RemoteSamples).build().analyze(&profile);
+        assert_eq!(remote.objects[0].class_name, "float[]");
+        assert_eq!(
+            remote.objects[0].metrics.remote_samples,
+            default_report.ranked_by_remote()[0].metrics.remote_samples
+        );
+
+        // Truncation keeps run-level totals intact.
+        let top1 = Analyzer::builder().top(1).build().analyze(&profile);
+        assert_eq!(top1.objects.len(), 1);
+        assert_eq!(top1.total_samples, default_report.total_samples);
+        assert_eq!(top1.total_weighted_events, default_report.total_weighted_events);
+
+        // The noise floor drops the single-sample TopDocCollector site.
+        let filtered = Analyzer::builder().min_samples(2).build().analyze(&profile);
+        assert_eq!(filtered.objects.len(), 1);
+        assert_eq!(filtered.objects[0].class_name, "float[]");
+
+        // Alternative ranking keys order without panicking.
+        for rank in [RankBy::Latency, RankBy::Allocations, RankBy::AllocatedBytes] {
+            let report = Analyzer::builder().rank_by(rank).build().analyze(&profile);
+            assert_eq!(report.objects.len(), 2);
+        }
     }
 
     #[test]

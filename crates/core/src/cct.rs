@@ -151,7 +151,9 @@ impl Cct {
     }
 
     /// Iterates over `(id, path, metrics)` of every node that carries non-empty metrics.
-    pub fn nodes_with_metrics(&self) -> impl Iterator<Item = (CctNodeId, Vec<Frame>, &MetricVector)> + '_ {
+    pub fn nodes_with_metrics(
+        &self,
+    ) -> impl Iterator<Item = (CctNodeId, Vec<Frame>, &MetricVector)> + '_ {
         self.node_ids().filter_map(move |id| {
             let m = self.metrics(id);
             if m.is_empty() {
@@ -192,7 +194,10 @@ impl Cct {
             + self
                 .nodes
                 .iter()
-                .map(|n| n.children.len() * (std::mem::size_of::<Frame>() + std::mem::size_of::<CctNodeId>()))
+                .map(|n| {
+                    n.children.len()
+                        * (std::mem::size_of::<Frame>() + std::mem::size_of::<CctNodeId>())
+                })
                 .sum::<usize>()
     }
 }

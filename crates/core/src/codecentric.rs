@@ -13,7 +13,9 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 
 use djx_pmu::{PerfEventBuilder, PmuEvent, ThreadPmu};
-use djx_runtime::{Frame, MemoryAccessEvent, MethodRegistry, RuntimeListener, ThreadEvent, ThreadId};
+use djx_runtime::{
+    Frame, MemoryAccessEvent, MethodRegistry, RuntimeListener, ThreadEvent, ThreadId,
+};
 
 use crate::cct::Cct;
 use crate::metrics::MetricVector;
@@ -88,10 +90,10 @@ impl RuntimeListener for CodeCentricProfiler {
 
     fn on_memory_access(&self, event: &MemoryAccessEvent<'_>) {
         let mut state = self.state.lock();
-        if !state.pmus.contains_key(&event.thread) {
-            let pmu = self.builder.open_for_thread(event.thread.0);
-            state.pmus.insert(event.thread, pmu);
-        }
+        state
+            .pmus
+            .entry(event.thread)
+            .or_insert_with(|| self.builder.open_for_thread(event.thread.0));
         let samples = state.pmus.get_mut(&event.thread).unwrap().observe(&event.outcome);
         if samples.is_empty() {
             return;
@@ -148,11 +150,7 @@ impl CodeCentricProfile {
     /// The contexts ranked by attributed (weighted) events, hottest first, truncated to
     /// `top_n` entries (`usize::MAX` for all).
     pub fn top_locations(&self, top_n: usize) -> Vec<CodeLocation> {
-        let total: u64 = self
-            .cct
-            .nodes_with_metrics()
-            .map(|(_, _, m)| m.weighted_events)
-            .sum();
+        let total: u64 = self.cct.nodes_with_metrics().map(|(_, _, m)| m.weighted_events).sum();
         let mut locations: Vec<CodeLocation> = self
             .cct
             .nodes_with_metrics()
@@ -163,7 +161,7 @@ impl CodeCentricProfile {
                 fraction: if total == 0 { 0.0 } else { m.weighted_events as f64 / total as f64 },
             })
             .collect();
-        locations.sort_by(|a, b| b.metrics.weighted_events.cmp(&a.metrics.weighted_events));
+        locations.sort_by_key(|l| std::cmp::Reverse(l.metrics.weighted_events));
         locations.truncate(top_n);
         locations
     }
@@ -264,7 +262,12 @@ mod tests {
             fraction: 0.5,
         };
         assert_eq!(loc.describe_leaf(&methods), "FFT.transform_internal:171");
-        let no_leaf = CodeLocation { path: vec![], leaf: None, metrics: MetricVector::default(), fraction: 0.0 };
+        let no_leaf = CodeLocation {
+            path: vec![],
+            leaf: None,
+            metrics: MetricVector::default(),
+            fraction: 0.0,
+        };
         assert_eq!(no_leaf.describe_leaf(&methods), "<no context>");
     }
 }

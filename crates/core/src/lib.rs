@@ -27,23 +27,37 @@
 //! | [`cct`] | §4.4, §5.1 | compact calling context tree |
 //! | [`metrics`] | §4.1 | metric vectors attributed to sites and contexts |
 //! | [`object`] | §4.2 | allocation-site identity (allocation call paths) |
-//! | [`agent`] | §4.1, §4.5 | the allocation ("Java") and PMU ("JVMTI") agents |
-//! | [`profiler`] | §5.1 | [`DjxPerf`], the online collector |
+//! | [`agent`] | §4.1, §4.5 | the allocation ("Java") agent and the shared object index |
+//! | [`session`] | §5.1, Fig. 1 | the unified [`Session`]: one sampling stream, pluggable collectors |
+//! | [`sink`] | §5.2 | streaming [`ProfileSink`] export backends (text, JSON) |
+//! | [`profiler`] | §5.1 | [`DjxPerf`], the legacy single-view collector (session shim) |
 //! | [`profile`] | §5.1/§5.2 | per-thread profiles and the profile-file codec |
-//! | [`analyzer`] | §5.2 | the offline analyzer (merge, rank) |
+//! | [`analyzer`] | §5.2 | the offline analyzer (merge, rank, filter) |
 //! | [`codecentric`] | §1, Fig. 1 | the code-centric (perf-like) baseline |
-//! | [`report`] | Fig. 5 | textual reports (the GUI stand-in) |
+//! | [`report`] | Fig. 5 | the [`Report`] views (the GUI stand-in) |
 //!
 //! ## Quick start
 //!
+//! A [`SessionBuilder`] configures the sampling substrate once — event, period, size
+//! filter, jitter, launch/attach mode — registers any number of collectors, and attaches
+//! to a runtime as one listener. A single pass then yields the object-centric ranking,
+//! the code-centric baseline and the NUMA view; [`Session::snapshot`] extracts all of
+//! them mid-run, and a [`ProfileSink`] streams profiles out for offline merging.
+//!
 //! ```
 //! use djx_runtime::{dsl, Runtime, RuntimeConfig};
-//! use djxperf::{Analyzer, DjxPerf, ProfilerConfig, ReportOptions};
+//! use djxperf::{Analyzer, Report, Session};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // A runtime running a memory-bloat workload: a float[] allocated in a loop.
+//! // A runtime running a memory-bloat workload: a float[] allocated in a loop,
+//! // profiled by a session collecting all three views in one pass.
 //! let mut rt = Runtime::new(RuntimeConfig::small());
-//! let profiler = DjxPerf::attach(&mut rt, ProfilerConfig::default().with_period(64));
+//! let session = Session::builder()
+//!     .period(64)
+//!     .collect_objects()
+//!     .collect_code()
+//!     .collect_numa()
+//!     .attach(&mut rt);
 //!
 //! let class = rt.register_array_class("float[]", 4);
 //! let make_room = dsl::MethodSpec::at_line(
@@ -55,11 +69,20 @@
 //! rt.shutdown();
 //!
 //! // Offline analysis: rank objects by sampled L1 misses.
-//! let report = Analyzer::new().analyze(&profiler.profile());
+//! let profile = session.object_profile().expect("object collector registered");
+//! let report = Analyzer::builder().top(10).build().analyze(&profile);
 //! let hottest = report.hottest().expect("the float[] site received samples");
 //! assert_eq!(hottest.class_name, "float[]");
-//! println!("{}", djxperf::report::render_object_report(
-//!     &report, rt.methods(), ReportOptions::default()));
+//! println!("{}", Report::object(&report, rt.methods()));
+//!
+//! // The code-centric baseline of Figure 1, from the same single pass.
+//! let code = session.code_profile().expect("code collector registered");
+//! assert_eq!(code.total_samples, profile.total_samples());
+//!
+//! // Machine-readable export for dashboards or cross-machine merging.
+//! let json = djxperf::sink::JsonSink::new();
+//! let mut out = Vec::new();
+//! session.stream_snapshot(&json, &mut out)?;
 //! # Ok(())
 //! # }
 //! ```
@@ -73,15 +96,28 @@ pub mod object;
 pub mod profile;
 pub mod profiler;
 pub mod report;
+pub mod session;
+pub mod sink;
 pub mod splay;
 
-pub use agent::{AllocationAgent, AllocationConfig, PmuAgent, SharedObjectIndex, DEFAULT_SIZE_FILTER};
-pub use analyzer::{AccessContext, AnalysisReport, Analyzer, ObjectReport};
+pub use agent::{AllocationAgent, AllocationConfig, SharedObjectIndex, DEFAULT_SIZE_FILTER};
+pub use analyzer::{
+    AccessContext, AnalysisReport, Analyzer, AnalyzerBuilder, ObjectReport, RankBy,
+};
 pub use cct::{Cct, CctNodeId};
 pub use codecentric::{CodeCentricProfile, CodeCentricProfiler, CodeLocation};
 pub use metrics::MetricVector;
 pub use object::{AllocSite, AllocSiteId, AllocSiteRegistry, MonitoredObject};
-pub use profile::{AllocationStats, ObjectCentricProfile, ProfileParseError, SiteMetrics, ThreadProfile};
+pub use profile::{
+    AllocationStats, ObjectCentricProfile, ProfileParseError, SiteMetrics, ThreadProfile,
+    UnknownEventError,
+};
 pub use profiler::{DjxPerf, ProfilerConfig, DEFAULT_SAMPLE_PERIOD};
-pub use report::{render_code_centric, render_numa_report, render_object_report, ReportOptions};
+pub use report::{
+    render_code_centric, render_numa_report, render_object_report, Report, ReportOptions,
+};
+pub use session::{
+    Collector, NumaProfile, SampleContext, Session, SessionBuilder, SessionConfig, SessionSnapshot,
+};
+pub use sink::{read_any_profile, JsonSink, ProfileSink, TextSink};
 pub use splay::{Interval, IntervalSplayTree};

@@ -65,11 +65,8 @@ impl AllocSiteRegistry {
             return *id;
         }
         let id = AllocSiteId(self.sites.len() as u32);
-        self.sites.push(AllocSite {
-            id,
-            class_name: key.0.clone(),
-            call_path: key.1.clone(),
-        });
+        self.sites
+            .push(AllocSite { id, class_name: key.0.clone(), call_path: key.1.clone() });
         self.by_key.insert(key, id);
         id
     }

@@ -104,7 +104,8 @@ impl ThreadProfile {
                 .map(|s| {
                     std::mem::size_of::<SiteMetrics>()
                         + s.by_context.len()
-                            * (std::mem::size_of::<CctNodeId>() + std::mem::size_of::<MetricVector>())
+                            * (std::mem::size_of::<CctNodeId>()
+                                + std::mem::size_of::<MetricVector>())
                 })
                 .sum::<usize>()
     }
@@ -189,7 +190,13 @@ impl ObjectCentricProfile {
             );
         }
         for t in &self.threads {
-            let _ = writeln!(out, "thread {} name={} samples={}", t.thread.0, escape(&t.thread_name), t.samples);
+            let _ = writeln!(
+                out,
+                "thread {} name={} samples={}",
+                t.thread.0,
+                escape(&t.thread_name),
+                t.samples
+            );
             let _ = writeln!(out, "  unattributed {}", encode_metrics(&t.unattributed));
             let mut site_ids: Vec<_> = t.sites.keys().copied().collect();
             site_ids.sort_unstable();
@@ -219,7 +226,8 @@ impl ObjectCentricProfile {
     /// Returns [`ProfileParseError`] for malformed input.
     pub fn parse(text: &str) -> Result<Self, ProfileParseError> {
         let mut lines = text.lines().enumerate().peekable();
-        let err = |line: usize, msg: &str| ProfileParseError { line: line + 1, message: msg.to_string() };
+        let err =
+            |line: usize, msg: &str| ProfileParseError { line: line + 1, message: msg.to_string() };
 
         match lines.next() {
             Some((_, "djxperf-profile v1")) => {}
@@ -236,7 +244,7 @@ impl ObjectCentricProfile {
             allocation_stats: AllocationStats::default(),
         };
 
-        while let Some((n, line)) = lines.next() {
+        for (n, line) in lines {
             let trimmed = line.trim_start();
             if trimmed.is_empty() {
                 continue;
@@ -247,7 +255,9 @@ impl ObjectCentricProfile {
             match (indent, keyword) {
                 (0, "config") => {
                     let kv = parse_kv(parts);
-                    profile.event = event_from_name(kv.get("event").map(String::as_str).unwrap_or(""));
+                    profile.event =
+                        event_from_name(kv.get("event").map(String::as_str).unwrap_or(""))
+                            .map_err(|e| err(n, &e.to_string()))?;
                     profile.period = parse_u64(&kv, "period").map_err(|m| err(n, &m))?;
                     profile.size_filter = parse_u64(&kv, "size_filter").map_err(|m| err(n, &m))?;
                 }
@@ -290,33 +300,37 @@ impl ObjectCentricProfile {
                     profile.threads.push(tp);
                 }
                 (_, "unattributed") => {
-                    let thread = profile.threads.last_mut().ok_or_else(|| err(n, "unattributed before any thread"))?;
-                    thread.unattributed = decode_metrics(parse_kv(parts)).map_err(|m| err(n, &m))?;
+                    let thread = profile
+                        .threads
+                        .last_mut()
+                        .ok_or_else(|| err(n, "unattributed before any thread"))?;
+                    thread.unattributed =
+                        decode_metrics(parse_kv(parts)).map_err(|m| err(n, &m))?;
                 }
                 (_, "object") => {
-                    let thread = profile.threads.last_mut().ok_or_else(|| err(n, "object before any thread"))?;
+                    let thread = profile
+                        .threads
+                        .last_mut()
+                        .ok_or_else(|| err(n, "object before any thread"))?;
                     let sid: u32 = parts
                         .next()
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| err(n, "object line misses a site id"))?;
                     let total = decode_metrics(parse_kv(parts)).map_err(|m| err(n, &m))?;
-                    thread
-                        .sites
-                        .entry(AllocSiteId(sid))
-                        .or_default()
-                        .total = total;
+                    thread.sites.entry(AllocSiteId(sid)).or_default().total = total;
                 }
                 (_, "access") => {
-                    let thread = profile.threads.last_mut().ok_or_else(|| err(n, "access before any thread"))?;
-                    let path_str = parts.next().ok_or_else(|| err(n, "access line misses a path"))?;
+                    let thread = profile
+                        .threads
+                        .last_mut()
+                        .ok_or_else(|| err(n, "access before any thread"))?;
+                    let path_str =
+                        parts.next().ok_or_else(|| err(n, "access line misses a path"))?;
                     let path = decode_path(path_str).map_err(|m| err(n, &m))?;
                     let metrics = decode_metrics(parse_kv(parts)).map_err(|m| err(n, &m))?;
                     // The access belongs to the most recently declared object line.
-                    let last_site = thread
-                        .sites
-                        .iter()
-                        .max_by_key(|(id, _)| id.0)
-                        .map(|(id, _)| *id);
+                    let last_site =
+                        thread.sites.iter().max_by_key(|(id, _)| id.0).map(|(id, _)| *id);
                     // A stable association requires remembering insertion order; objects
                     // are emitted sorted ascending, so the max id seen so far is the one
                     // currently being parsed.
@@ -348,19 +362,40 @@ impl std::fmt::Display for ProfileParseError {
 
 impl std::error::Error for ProfileParseError {}
 
-/// Resolves a hardware event name back to a [`PmuEvent`]. Unknown names fall back to the
-/// default L1-miss event.
-pub fn event_from_name(name: &str) -> PmuEvent {
+/// Error resolving a hardware event name that no [`PmuEvent`] matches.
+///
+/// A corrupted or foreign profile header must surface as a parse error; silently
+/// substituting the default L1-miss event would misattribute every metric in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEventError {
+    /// The unrecognized hardware event name.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownEventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown hardware event name {:?}", self.name)
+    }
+}
+
+impl std::error::Error for UnknownEventError {}
+
+/// Resolves a hardware event name back to a [`PmuEvent`].
+///
+/// # Errors
+///
+/// Returns [`UnknownEventError`] when the name matches no known event.
+pub fn event_from_name(name: &str) -> Result<PmuEvent, UnknownEventError> {
     match name {
-        "MEM_LOAD_UOPS_RETIRED:L1_MISS" => PmuEvent::L1Miss,
-        "MEM_LOAD_UOPS_RETIRED:L2_MISS" => PmuEvent::L2Miss,
-        "MEM_LOAD_UOPS_RETIRED:L3_MISS" => PmuEvent::L3Miss,
-        "DTLB_LOAD_MISSES:MISS_CAUSES_A_WALK" => PmuEvent::DtlbMiss,
-        "MEM_TRANS_RETIRED:LOAD_LATENCY" => PmuEvent::LoadLatency { threshold: 30 },
-        "MEM_UOPS_RETIRED:ALL_LOADS" => PmuEvent::Loads,
-        "MEM_UOPS_RETIRED:ALL_STORES" => PmuEvent::Stores,
-        "MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM" => PmuEvent::RemoteDram,
-        _ => PmuEvent::L1Miss,
+        "MEM_LOAD_UOPS_RETIRED:L1_MISS" => Ok(PmuEvent::L1Miss),
+        "MEM_LOAD_UOPS_RETIRED:L2_MISS" => Ok(PmuEvent::L2Miss),
+        "MEM_LOAD_UOPS_RETIRED:L3_MISS" => Ok(PmuEvent::L3Miss),
+        "DTLB_LOAD_MISSES:MISS_CAUSES_A_WALK" => Ok(PmuEvent::DtlbMiss),
+        "MEM_TRANS_RETIRED:LOAD_LATENCY" => Ok(PmuEvent::LoadLatency { threshold: 30 }),
+        "MEM_UOPS_RETIRED:ALL_LOADS" => Ok(PmuEvent::Loads),
+        "MEM_UOPS_RETIRED:ALL_STORES" => Ok(PmuEvent::Stores),
+        "MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM" => Ok(PmuEvent::RemoteDram),
+        _ => Err(UnknownEventError { name: name.to_string() }),
     }
 }
 
@@ -388,9 +423,8 @@ fn decode_path(s: &str) -> Result<Vec<Frame>, String> {
     }
     s.split(',')
         .map(|frame| {
-            let (m, bci) = frame
-                .split_once(':')
-                .ok_or_else(|| format!("malformed frame {frame:?}"))?;
+            let (m, bci) =
+                frame.split_once(':').ok_or_else(|| format!("malformed frame {frame:?}"))?;
             let m: u32 = m.parse().map_err(|_| format!("bad method id {m:?}"))?;
             let bci: u32 = bci.parse().map_err(|_| format!("bad BCI {bci:?}"))?;
             Ok(Frame::new(MethodId(m), bci))
@@ -468,7 +502,11 @@ mod tests {
         let site_a = AllocSiteId(0);
         let site_b = AllocSiteId(1);
         let sites = vec![
-            AllocSite { id: site_a, class_name: "float[]".into(), call_path: vec![f(1, 5), f(2, 3)] },
+            AllocSite {
+                id: site_a,
+                class_name: "float[]".into(),
+                call_path: vec![f(1, 5), f(2, 3)],
+            },
             AllocSite { id: site_b, class_name: "Top Doc".into(), call_path: vec![f(3, 0)] },
         ];
         let mut t1 = ThreadProfile::new(ThreadId(1), "main");
@@ -536,16 +574,10 @@ mod tests {
                 let pm = &a.sites[sid];
                 assert_eq!(pm.total, sm.total);
                 // Contexts compare by path, since node ids are tree-local.
-                let mut original: Vec<_> = sm
-                    .by_context
-                    .iter()
-                    .map(|(ctx, m)| (b.cct.path_of(*ctx), *m))
-                    .collect();
-                let mut reparsed: Vec<_> = pm
-                    .by_context
-                    .iter()
-                    .map(|(ctx, m)| (a.cct.path_of(*ctx), *m))
-                    .collect();
+                let mut original: Vec<_> =
+                    sm.by_context.iter().map(|(ctx, m)| (b.cct.path_of(*ctx), *m)).collect();
+                let mut reparsed: Vec<_> =
+                    pm.by_context.iter().map(|(ctx, m)| (a.cct.path_of(*ctx), *m)).collect();
                 original.sort_by(|a, b| a.0.cmp(&b.0));
                 reparsed.sort_by(|a, b| a.0.cmp(&b.0));
                 assert_eq!(original, reparsed);
@@ -573,10 +605,22 @@ mod tests {
     #[test]
     fn event_names_round_trip() {
         for ev in PmuEvent::all() {
-            let back = event_from_name(ev.hardware_name());
+            let back = event_from_name(ev.hardware_name()).expect("known event");
             assert_eq!(back.hardware_name(), ev.hardware_name());
         }
-        assert_eq!(event_from_name("SOMETHING_ELSE"), PmuEvent::L1Miss);
+        let err = event_from_name("SOMETHING_ELSE").unwrap_err();
+        assert_eq!(err.name, "SOMETHING_ELSE");
+        assert!(err.to_string().contains("SOMETHING_ELSE"));
+    }
+
+    #[test]
+    fn unknown_event_in_header_is_a_parse_error() {
+        let text = build_profile()
+            .to_text()
+            .replace("MEM_LOAD_UOPS_RETIRED:L1_MISS", "BOGUS_EVENT");
+        let err = ObjectCentricProfile::parse(&text).unwrap_err();
+        assert_eq!(err.line, 2, "the config line is rejected");
+        assert!(err.message.contains("BOGUS_EVENT"));
     }
 
     #[test]

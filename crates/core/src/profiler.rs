@@ -1,23 +1,30 @@
 //! The online collector: [`DjxPerf`], the object-centric profiler.
 //!
-//! `DjxPerf` wires the allocation agent and the PMU agent over a shared object index and
-//! exposes the whole thing as a single [`RuntimeListener`] that can be attached to a
+//! `DjxPerf` is the paper's original single-purpose entry point, kept as a thin shim
+//! over the [`session`](crate::session) subsystem: it is a [`Session`] configured with
+//! exactly one [`ObjectCentricCollector`](crate::session::ObjectCentricCollector),
+//! exposed as a single [`RuntimeListener`] that can be attached to a
 //! [`Runtime`](djx_runtime::Runtime) at startup (launch mode) or mid-run (attach mode),
 //! exactly like the original tool is either passed as a JVM option or attached to a
 //! running JVM (§5). At any time — typically after the workload finishes or right before
 //! detaching — [`DjxPerf::profile`] assembles the per-thread profiles into an
 //! [`ObjectCentricProfile`] for the offline analyzer.
+//!
+//! New code should use [`Session::builder`](crate::session::Session::builder) directly:
+//! it produces the same object-centric results (bit-identical profile files on the same
+//! seeded runtime) and can additionally derive code-centric and NUMA views from the
+//! same single pass.
 
 use std::sync::Arc;
 
-use djx_pmu::{PerfEventBuilder, PmuCounts, PmuEvent};
+use djx_pmu::{PmuCounts, PmuEvent};
 use djx_runtime::{
     AllocationEvent, GcEvent, MemoryAccessEvent, ObjectMoveEvent, ObjectReclaimEvent, Runtime,
     RuntimeListener, ThreadEvent,
 };
 
-use crate::agent::{AllocationAgent, AllocationConfig, PmuAgent, SharedObjectIndex};
 use crate::profile::{AllocationStats, ObjectCentricProfile};
+use crate::session::Session;
 
 /// Default sampling period for simulated runs.
 ///
@@ -106,29 +113,19 @@ impl ProfilerConfig {
     }
 }
 
-/// The object-centric profiler: both agents behind one listener.
+/// The object-centric profiler: a [`Session`] with one object-centric collector behind
+/// the legacy single-purpose API.
 #[derive(Debug)]
 pub struct DjxPerf {
-    config: ProfilerConfig,
-    shared: Arc<SharedObjectIndex>,
-    allocation: AllocationAgent,
-    pmu: PmuAgent,
+    session: Arc<Session>,
 }
 
 impl DjxPerf {
     /// Creates a profiler. Wrap it in an `Arc` (or use [`DjxPerf::attach`]) to register
     /// it as a runtime listener.
     pub fn new(config: ProfilerConfig) -> Self {
-        let shared = SharedObjectIndex::new();
-        let allocation = AllocationAgent::new(
-            AllocationConfig { size_filter: config.size_filter, attach_mode: config.attach_mode },
-            shared.clone(),
-        );
-        let builder = PerfEventBuilder::new(config.event)
-            .sample_period(config.period)
-            .jitter(config.jitter);
-        let pmu = PmuAgent::new(builder, config.period, shared.clone());
-        Self { config, shared, allocation, pmu }
+        let session = Session::builder().config(config).collect_objects().build();
+        Self { session }
     }
 
     /// Creates a profiler and attaches it to a runtime in one step (launch mode when
@@ -146,41 +143,46 @@ impl DjxPerf {
         rt.remove_listener(&listener)
     }
 
+    /// The underlying session, for gradual migration to the session API (e.g. to stream
+    /// snapshots through a [`ProfileSink`](crate::sink::ProfileSink)).
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
     /// The profiler's configuration.
     pub fn config(&self) -> ProfilerConfig {
-        self.config
+        self.session.config()
     }
 
     /// Number of currently live monitored objects (splay-tree entries).
     pub fn live_monitored_objects(&self) -> usize {
-        self.shared.live_objects()
+        self.session.live_monitored_objects()
     }
 
     /// Allocation-agent counters.
     pub fn allocation_stats(&self) -> AllocationStats {
-        self.allocation.stats()
+        self.session.allocation_stats()
     }
 
     /// Total PMU samples delivered across every thread.
     pub fn total_samples(&self) -> u64 {
-        self.pmu.total_samples()
+        self.session.total_samples()
     }
 
     /// Merged raw PMU counts across every thread (ground truth for attribution checks).
     pub fn merged_counts(&self) -> PmuCounts {
-        self.pmu.merged_counts()
+        self.session.merged_counts()
     }
 
     /// Splay-tree lookup statistics: `(lookups, hits)`.
     pub fn splay_lookup_stats(&self) -> (u64, u64) {
-        let tree = self.shared.tree.lock();
-        (tree.lookups(), tree.hits())
+        self.session.splay_lookup_stats()
     }
 
     /// Approximate resident bytes of every profiler-owned data structure — the quantity
     /// behind the paper's memory-overhead figure (Fig. 4b).
     pub fn memory_footprint_bytes(&self) -> usize {
-        self.shared.approx_bytes() + self.allocation.approx_bytes() + self.pmu.approx_bytes()
+        self.session.memory_footprint_bytes()
     }
 
     /// Assembles the current measurement into an [`ObjectCentricProfile`]: per-thread
@@ -188,83 +190,51 @@ impl DjxPerf {
     /// allocation-site table, and the run configuration. Can be called repeatedly; each
     /// call produces an independent snapshot.
     pub fn profile(&self) -> ObjectCentricProfile {
-        let mut threads = self.pmu.thread_profiles();
-        // Fold the allocation agent's per-(thread, site) counters into the thread
-        // profiles so each site's metric vector carries both its sample metrics and its
-        // allocation counts.
-        for (thread, site, count, bytes) in self.allocation.allocations_by_thread() {
-            let profile = match threads.iter_mut().find(|p| p.thread == thread) {
-                Some(p) => p,
-                None => {
-                    threads.push(crate::profile::ThreadProfile::new(thread, "<allocation-only>"));
-                    threads.last_mut().unwrap()
-                }
-            };
-            let sm = profile.sites.entry(site).or_default();
-            sm.total.allocations += count;
-            sm.total.allocated_bytes += bytes;
-        }
-
-        ObjectCentricProfile {
-            event: self.config.event,
-            period: self.config.period,
-            size_filter: self.config.size_filter,
-            sites: self.shared.sites.lock().snapshot(),
-            threads,
-            allocation_stats: self.allocation.stats(),
-        }
+        self.session
+            .object_profile()
+            .expect("DjxPerf always registers the object-centric collector")
     }
 }
 
 impl RuntimeListener for DjxPerf {
     fn on_vm_start(&self) {
-        self.allocation.on_vm_start();
-        self.pmu.on_vm_start();
+        self.session.on_vm_start();
     }
 
     fn on_vm_end(&self) {
-        self.allocation.on_vm_end();
-        self.pmu.on_vm_end();
+        self.session.on_vm_end();
     }
 
     fn on_thread_start(&self, event: &ThreadEvent<'_>) {
-        self.allocation.on_thread_start(event);
-        self.pmu.on_thread_start(event);
+        self.session.on_thread_start(event);
     }
 
     fn on_thread_end(&self, event: &ThreadEvent<'_>) {
-        self.allocation.on_thread_end(event);
-        self.pmu.on_thread_end(event);
+        self.session.on_thread_end(event);
     }
 
     fn on_object_alloc(&self, event: &AllocationEvent<'_>) {
-        self.allocation.on_object_alloc(event);
-        self.pmu.on_object_alloc(event);
+        self.session.on_object_alloc(event);
     }
 
     fn on_memory_access(&self, event: &MemoryAccessEvent<'_>) {
-        self.allocation.on_memory_access(event);
-        self.pmu.on_memory_access(event);
+        self.session.on_memory_access(event);
     }
 
     fn on_gc_start(&self, event: &GcEvent) {
-        self.allocation.on_gc_start(event);
-        self.pmu.on_gc_start(event);
+        self.session.on_gc_start(event);
     }
 
     fn on_gc_end(&self, event: &GcEvent) {
-        self.allocation.on_gc_end(event);
-        self.pmu.on_gc_end(event);
+        self.session.on_gc_end(event);
     }
 
     fn on_object_move(&self, event: &ObjectMoveEvent) {
-        self.allocation.on_object_move(event);
-        self.pmu.on_object_move(event);
+        self.session.on_object_move(event);
     }
 
     fn on_object_reclaim(&self, event: &ObjectReclaimEvent) {
-        self.allocation.on_object_reclaim(event);
-        self.pmu.on_object_reclaim(event);
+        self.session.on_object_reclaim(event);
     }
 }
 
@@ -346,8 +316,10 @@ mod tests {
 
     #[test]
     fn size_filter_controls_monitoring() {
-        let small_filter = bloat_run(ProfilerConfig::default().with_period(16).with_size_filter(64)).1;
-        let huge_filter = bloat_run(ProfilerConfig::default().with_period(16).with_size_filter(1 << 20)).1;
+        let small_filter =
+            bloat_run(ProfilerConfig::default().with_period(16).with_size_filter(64)).1;
+        let huge_filter =
+            bloat_run(ProfilerConfig::default().with_period(16).with_size_filter(1 << 20)).1;
         assert_eq!(small_filter.allocation_stats().monitored, 200);
         assert_eq!(huge_filter.allocation_stats().monitored, 0);
         assert_eq!(huge_filter.allocation_stats().filtered, 200);

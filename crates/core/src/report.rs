@@ -3,13 +3,19 @@
 //! allocation site in source terms (`Class.method (File:line)`), its allocation call
 //! path, and the access call paths ordered by their contribution to the object's
 //! locality loss.
+//!
+//! The unified entry point is [`Report`], a `Display`able view selected by constructor
+//! — [`Report::object`], [`Report::numa`], [`Report::code_centric`],
+//! [`Report::numa_view`] — so every rendering composes with `println!`, `format!` and
+//! logging. The free `render_*` functions remain as thin wrappers over it.
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 
 use djx_runtime::{Frame, MethodRegistry};
 
 use crate::analyzer::{AnalysisReport, ObjectReport};
 use crate::codecentric::CodeCentricProfile;
+use crate::session::NumaProfile;
 
 /// Renders one frame as `Class.method (File:line)` using the method registry — the same
 /// symbolization JVMTI provides via method IDs, `GetLineNumberTable` and class queries.
@@ -55,8 +61,89 @@ impl Default for ReportOptions {
     }
 }
 
-/// Renders the object-centric report of an analysis.
+/// One renderable view over analysis results: construct with [`Report::object`],
+/// [`Report::numa`], [`Report::code_centric`] or [`Report::numa_view`], tune with
+/// [`Report::with_options`], and render via [`Display`](fmt::Display):
+///
+/// ```ignore
+/// println!("{}", Report::object(&analysis, rt.methods()));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Report<'a> {
+    kind: ReportKind<'a>,
+    methods: &'a MethodRegistry,
+    options: ReportOptions,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ReportKind<'a> {
+    /// The object-centric ranking (Figure 5).
+    Object(&'a AnalysisReport),
+    /// The remote-access ranking derived from an analysis (§4.3).
+    Numa(&'a AnalysisReport),
+    /// The code-centric (perf-like) baseline view (Figure 1b).
+    CodeCentric(&'a CodeCentricProfile),
+    /// The session NUMA collector's own view, including the node traffic matrix.
+    NumaView(&'a NumaProfile),
+}
+
+impl<'a> Report<'a> {
+    /// The object-centric report of an analysis.
+    pub fn object(report: &'a AnalysisReport, methods: &'a MethodRegistry) -> Self {
+        Self { kind: ReportKind::Object(report), methods, options: ReportOptions::default() }
+    }
+
+    /// The NUMA view of an analysis: objects ordered by remote accesses.
+    pub fn numa(report: &'a AnalysisReport, methods: &'a MethodRegistry) -> Self {
+        Self { kind: ReportKind::Numa(report), methods, options: ReportOptions::default() }
+    }
+
+    /// The code-centric (perf-like) view used for the Figure 1 comparison.
+    pub fn code_centric(profile: &'a CodeCentricProfile, methods: &'a MethodRegistry) -> Self {
+        Self { kind: ReportKind::CodeCentric(profile), methods, options: ReportOptions::default() }
+    }
+
+    /// The session NUMA collector's view, including the node-to-node traffic matrix.
+    pub fn numa_view(profile: &'a NumaProfile, methods: &'a MethodRegistry) -> Self {
+        Self { kind: ReportKind::NumaView(profile), methods, options: ReportOptions::default() }
+    }
+
+    /// Replaces the rendering options.
+    pub fn with_options(mut self, options: ReportOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+impl fmt::Display for Report<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self.kind {
+            ReportKind::Object(report) => render_object_text(report, self.methods, self.options),
+            ReportKind::Numa(report) => {
+                render_numa_text(report, self.methods, self.options.top_objects)
+            }
+            ReportKind::CodeCentric(profile) => {
+                render_code_centric_text(profile, self.methods, self.options.top_objects)
+            }
+            ReportKind::NumaView(profile) => {
+                render_numa_view_text(profile, self.methods, self.options.top_objects)
+            }
+        };
+        f.write_str(&text)
+    }
+}
+
+/// Renders the object-centric report of an analysis. Equivalent to
+/// `Report::object(report, methods).with_options(options).to_string()`.
 pub fn render_object_report(
+    report: &AnalysisReport,
+    methods: &MethodRegistry,
+    options: ReportOptions,
+) -> String {
+    Report::object(report, methods).with_options(options).to_string()
+}
+
+fn render_object_text(
     report: &AnalysisReport,
     methods: &MethodRegistry,
     options: ReportOptions,
@@ -129,8 +216,13 @@ fn render_one_object(
 
 /// Renders the NUMA view of an analysis: objects ordered by remote accesses, with the
 /// remote fraction DJXPerf uses to flag candidates for interleaved allocation or
-/// first-touch parallel initialization (§4.3, §7.5, §7.6).
+/// first-touch parallel initialization (§4.3, §7.5, §7.6). Equivalent to
+/// `Report::numa(report, methods)` with `top_objects = top`.
 pub fn render_numa_report(report: &AnalysisReport, methods: &MethodRegistry, top: usize) -> String {
+    render_numa_text(report, methods, top)
+}
+
+fn render_numa_text(report: &AnalysisReport, methods: &MethodRegistry, top: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== DJXPerf NUMA locality report ==");
     let remote = report.ranked_by_remote();
@@ -154,8 +246,21 @@ pub fn render_numa_report(report: &AnalysisReport, methods: &MethodRegistry, top
 }
 
 /// Renders a code-centric profile (the Linux-perf-style view used for comparison in
-/// Figure 1 and the case studies).
-pub fn render_code_centric(profile: &CodeCentricProfile, methods: &MethodRegistry, top: usize) -> String {
+/// Figure 1 and the case studies). Equivalent to `Report::code_centric(profile, methods)`
+/// with `top_objects = top`.
+pub fn render_code_centric(
+    profile: &CodeCentricProfile,
+    methods: &MethodRegistry,
+    top: usize,
+) -> String {
+    render_code_centric_text(profile, methods, top)
+}
+
+fn render_code_centric_text(
+    profile: &CodeCentricProfile,
+    methods: &MethodRegistry,
+    top: usize,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== code-centric profile (perf-like) ==");
     let _ = writeln!(
@@ -172,6 +277,44 @@ pub fn render_code_centric(profile: &CodeCentricProfile, methods: &MethodRegistr
             location.fraction * 100.0,
             location.describe_leaf(methods)
         );
+    }
+    out
+}
+
+fn render_numa_view_text(profile: &NumaProfile, methods: &MethodRegistry, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== DJXPerf NUMA session view ==");
+    let _ = writeln!(
+        out,
+        "event {}  period {}  samples {}  remote {:.1}%",
+        profile.event.hardware_name(),
+        profile.period,
+        profile.total_samples(),
+        profile.remote_fraction() * 100.0
+    );
+    for ((cpu_node, page_node), samples) in &profile.node_traffic {
+        let _ = writeln!(
+            out,
+            "  node {cpu_node} -> node {page_node}: {samples} samples{}",
+            if cpu_node == page_node { "" } else { "  (remote)" }
+        );
+    }
+    let remote = profile.ranked_remote();
+    if remote.is_empty() {
+        let _ = writeln!(out, "(no monitored object shows remote accesses)");
+        return out;
+    }
+    for (site, metrics) in remote.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "{}  remote {:.1}% ({} of {} samples)",
+            site.class_name,
+            metrics.remote_fraction() * 100.0,
+            metrics.remote_samples,
+            metrics.samples
+        );
+        let _ = writeln!(out, "    allocated at:");
+        out.push_str(&describe_path(&site.call_path, methods, 8));
     }
     out
 }
@@ -199,14 +342,16 @@ mod tests {
     }
 
     fn object_report() -> ObjectReport {
-        let mut metrics = MetricVector::default();
-        metrics.allocations = 2478;
-        metrics.allocated_bytes = 2478 * 2048;
-        metrics.samples = 100;
-        metrics.weighted_events = 100 * 512;
-        metrics.latency_cycles = 100 * 180;
-        metrics.remote_samples = 25;
-        metrics.local_samples = 75;
+        let metrics = MetricVector {
+            allocations: 2478,
+            allocated_bytes: 2478 * 2048,
+            samples: 100,
+            weighted_events: 100 * 512,
+            latency_cycles: 100 * 180,
+            remote_samples: 25,
+            local_samples: 75,
+            ..MetricVector::default()
+        };
         ObjectReport {
             site: AllocSiteId(0),
             class_name: "float[]".into(),
@@ -240,7 +385,8 @@ mod tests {
         assert_eq!(text, "ExtendedGeneralPath.makeRoom (ExtendedGeneralPath.java:743)");
         let unknown = describe_frame(&Frame::new(MethodId(42), 0), &methods);
         assert!(unknown.contains("unknown method"));
-        let path = describe_path(&[Frame::new(MethodId(0), 0), Frame::new(MethodId(1), 0)], &methods, 2);
+        let path =
+            describe_path(&[Frame::new(MethodId(0), 0), Frame::new(MethodId(1), 0)], &methods, 2);
         assert!(path.contains("makeRoom"));
         assert!(path.contains("getNode"));
         assert!(describe_path(&[], &methods, 2).contains("no calling context"));
@@ -293,6 +439,62 @@ mod tests {
     }
 
     #[test]
+    fn report_display_subsumes_the_free_render_functions() {
+        let methods = registry();
+        let analysis = report();
+        assert_eq!(
+            Report::object(&analysis, &methods).to_string(),
+            render_object_report(&analysis, &methods, ReportOptions::default())
+        );
+        assert_eq!(
+            Report::numa(&analysis, &methods)
+                .with_options(ReportOptions { top_objects: 10, ..ReportOptions::default() })
+                .to_string(),
+            render_numa_report(&analysis, &methods, 10)
+        );
+        let options = ReportOptions { top_objects: 1, top_contexts: 1, full_alloc_paths: false };
+        let compact = Report::object(&analysis, &methods).with_options(options).to_string();
+        assert_eq!(compact, render_object_report(&analysis, &methods, options));
+        assert!(format!("{}", Report::object(&analysis, &methods)).contains("float[]"));
+    }
+
+    #[test]
+    fn numa_view_report_renders_traffic_matrix_and_sites() {
+        use crate::metrics::MetricVector;
+        use crate::object::{AllocSite, AllocSiteId};
+        use crate::session::NumaProfile;
+
+        let methods = registry();
+        let metrics = MetricVector {
+            samples: 8,
+            remote_samples: 6,
+            local_samples: 2,
+            ..MetricVector::default()
+        };
+        let profile = NumaProfile {
+            event: PmuEvent::L1Miss,
+            period: 512,
+            sites: vec![AllocSite {
+                id: AllocSiteId(0),
+                class_name: "long[] (bitmap)".into(),
+                call_path: vec![Frame::new(MethodId(0), 5)],
+            }],
+            per_site: vec![(AllocSiteId(0), metrics)],
+            unattributed: MetricVector::default(),
+            node_traffic: vec![((0, 0), 2), ((0, 1), 6)],
+        };
+        let text = Report::numa_view(&profile, &methods).to_string();
+        assert!(text.contains("NUMA session view"));
+        assert!(text.contains("node 0 -> node 1: 6 samples  (remote)"));
+        assert!(text.contains("long[] (bitmap)  remote 75.0% (6 of 8 samples)"));
+        assert!(text.contains("makeRoom"));
+
+        let empty = NumaProfile { per_site: vec![], node_traffic: vec![], ..profile };
+        let text = Report::numa_view(&empty, &methods).to_string();
+        assert!(text.contains("no monitored object shows remote accesses"));
+    }
+
+    #[test]
     fn code_centric_report_renders_locations() {
         use crate::cct::Cct;
         let methods = registry();
@@ -300,7 +502,8 @@ mod tests {
         let node = cct.insert_path(&[Frame::new(MethodId(1), 0)]);
         cct.metrics_mut(node).weighted_events = 100;
         cct.metrics_mut(node).samples = 1;
-        let profile = CodeCentricProfile { event: PmuEvent::L1Miss, period: 512, cct, total_samples: 1 };
+        let profile =
+            CodeCentricProfile { event: PmuEvent::L1Miss, period: 512, cct, total_samples: 1 };
         let text = render_code_centric(&profile, &methods, 3);
         assert!(text.contains("code-centric"));
         assert!(text.contains("SAHashMap.getNode:120"));

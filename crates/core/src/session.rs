@@ -1,0 +1,1109 @@
+//! The unified profiling session: one sampling substrate, any number of collectors.
+//!
+//! Historically this crate exposed three separate `RuntimeListener` implementations —
+//! [`DjxPerf`](crate::profiler::DjxPerf) (object-centric), a code-centric baseline and
+//! ad-hoc NUMA reporting — each driving its *own* per-thread virtual PMUs, so comparing
+//! views (the paper's Figure 1) meant attaching several profilers or running the
+//! workload repeatedly. A [`Session`] inverts that architecture, the way PROMPT-style
+//! pipelines organize memory profilers: the session owns
+//!
+//! * the per-thread PMUs (one sampling stream for the whole session),
+//! * the allocation agent and the shared object index (splay tree + site registry),
+//!
+//! resolves every sample's effective address to its enclosing monitored object **once**,
+//! and fans the enriched sample out to every registered [`Collector`]. The built-in
+//! collectors reproduce the three classic views — [`ObjectCentricCollector`],
+//! [`CodeCentricCollector`], [`NumaCollector`] — from the *same* samples of a *single*
+//! pass; custom collectors implement [`Collector`] and register via
+//! [`SessionBuilder::with_collector`].
+//!
+//! Sessions are configured with [`SessionBuilder`] (events, period, size filter, jitter,
+//! launch/attach mode), attach to a [`Runtime`] as one composite listener, and support
+//! incremental observation: [`Session::snapshot`] extracts every collector's current
+//! profile mid-run without stopping measurement, and
+//! [`Session::stream_snapshot`] pushes the object-centric profile through any
+//! [`ProfileSink`](crate::sink::ProfileSink) backend for live export.
+//!
+//! ```
+//! use djx_runtime::{dsl, Runtime, RuntimeConfig};
+//! use djxperf::session::Session;
+//!
+//! let mut rt = Runtime::new(RuntimeConfig::small());
+//! let session = Session::builder()
+//!     .period(64)
+//!     .collect_objects()
+//!     .collect_code()
+//!     .collect_numa()
+//!     .attach(&mut rt);
+//!
+//! let class = rt.register_array_class("float[]", 4);
+//! let method = dsl::MethodSpec::at_line("A", "run", "A.java", 1).register(&mut rt);
+//! let thread = rt.spawn_thread("main");
+//! dsl::bloat_loop(&mut rt, thread, class, method, 0, 50, 512, 16).unwrap();
+//! rt.finish_thread(thread).unwrap();
+//! rt.shutdown();
+//!
+//! let snapshot = session.snapshot();
+//! assert!(snapshot.object.unwrap().total_samples() > 0);
+//! assert!(snapshot.code.unwrap().total_samples > 0);
+//! ```
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use djx_pmu::{PerfEventBuilder, PmuCounts, PmuEvent, Sample, ThreadPmu};
+use djx_runtime::{
+    AllocationEvent, Frame, GcEvent, MemoryAccessEvent, ObjectMoveEvent, ObjectReclaimEvent,
+    Runtime, RuntimeListener, ThreadEvent, ThreadId,
+};
+
+use crate::agent::{AllocationAgent, AllocationConfig, SharedObjectIndex};
+use crate::cct::Cct;
+use crate::codecentric::CodeCentricProfile;
+use crate::metrics::MetricVector;
+use crate::object::{AllocSite, AllocSiteId};
+use crate::profile::{ObjectCentricProfile, ThreadProfile};
+use crate::profiler::ProfilerConfig;
+use crate::sink::ProfileSink;
+
+/// Session configuration is the same value object the legacy profiler used; the alias
+/// names it for the session-first API.
+pub type SessionConfig = ProfilerConfig;
+
+/// One PMU sample enriched with everything the session resolved for it: the calling
+/// context the sample fired at and the allocation site of the enclosing monitored
+/// object (when the effective address hit one). Collectors receive this — they never
+/// talk to the PMU or the splay tree themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleContext<'a> {
+    /// The sampled thread.
+    pub thread: ThreadId,
+    /// Calling context at the sample, root-first (`AsyncGetCallTrace`).
+    pub call_trace: &'a [Frame],
+    /// The raw PMU sample (address, latency, NUMA nodes, access kind).
+    pub sample: &'a Sample,
+    /// Sampling period, for scaling samples into event-count estimates.
+    pub period: u64,
+    /// Allocation site of the monitored object enclosing the sampled address, resolved
+    /// once per sample via the shared splay tree; `None` for unattributed samples.
+    pub site: Option<AllocSiteId>,
+}
+
+/// A consumer of the session's shared sampling stream.
+///
+/// All methods take `&self`: collectors are invoked through a shared `Arc` from
+/// listener callbacks and use interior mutability, exactly like runtime listeners.
+/// Every non-sample hook has a default no-op implementation.
+pub trait Collector: Send + Sync {
+    /// Short collector name, used in diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// One resolved PMU sample from the shared stream.
+    fn on_sample(&self, ctx: &SampleContext<'_>);
+
+    /// A thread became visible to the session. Called exactly once per thread — with
+    /// the thread's real name when the session saw it start, or `"<attached>"` when the
+    /// session attached after the thread began and first saw it through an access.
+    fn on_thread_seen(&self, _thread: ThreadId, _name: &str) {}
+
+    /// A thread terminated.
+    fn on_thread_end(&self, _event: &ThreadEvent<'_>) {}
+
+    /// An object was allocated (after the allocation agent updated the shared index).
+    fn on_object_alloc(&self, _event: &AllocationEvent<'_>) {}
+
+    /// A garbage collection started.
+    fn on_gc_start(&self, _event: &GcEvent) {}
+
+    /// A garbage collection finished (after the allocation agent applied relocations).
+    fn on_gc_end(&self, _event: &GcEvent) {}
+
+    /// Approximate resident bytes of the collector's state (memory-overhead accounting).
+    fn approx_bytes(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Built-in collectors
+// ---------------------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ObjectState {
+    profiles: HashMap<ThreadId, ThreadProfile>,
+    /// Thread first-seen order, so assembled profiles are deterministic.
+    order: Vec<ThreadId>,
+}
+
+impl ObjectState {
+    fn entry(&mut self, thread: ThreadId, name: &str) -> &mut ThreadProfile {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.profiles.entry(thread) {
+            e.insert(ThreadProfile::new(thread, name));
+            self.order.push(thread);
+        }
+        self.profiles.get_mut(&thread).unwrap()
+    }
+}
+
+/// The object-centric collector (§4.2/§5.1 of the paper): builds one
+/// [`ThreadProfile`] per thread, attributing each sample to the allocation site of the
+/// enclosing object — or to the thread's unattributed bucket.
+#[derive(Debug, Default)]
+pub struct ObjectCentricCollector {
+    state: Mutex<ObjectState>,
+}
+
+impl ObjectCentricCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones the per-thread profiles in thread-first-seen order.
+    pub fn thread_profiles(&self) -> Vec<ThreadProfile> {
+        let state = self.state.lock();
+        state.order.iter().filter_map(|t| state.profiles.get(t).cloned()).collect()
+    }
+
+    /// Total samples recorded across every thread.
+    pub fn total_samples(&self) -> u64 {
+        self.state.lock().profiles.values().map(|p| p.samples).sum()
+    }
+}
+
+impl Collector for ObjectCentricCollector {
+    fn name(&self) -> &'static str {
+        "object-centric"
+    }
+
+    fn on_thread_seen(&self, thread: ThreadId, name: &str) {
+        self.state.lock().entry(thread, name);
+    }
+
+    fn on_sample(&self, ctx: &SampleContext<'_>) {
+        let mut state = self.state.lock();
+        let profile = state.entry(ctx.thread, "<attached>");
+        match ctx.site {
+            Some(site) => profile.record_attributed(site, ctx.call_trace, ctx.sample, ctx.period),
+            None => profile.record_unattributed(ctx.sample, ctx.period),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.state.lock().profiles.values().map(|p| p.approx_bytes()).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct CodeState {
+    cct: Cct,
+    samples: u64,
+}
+
+/// The code-centric collector (the "Linux perf" view of Figure 1): attributes every
+/// sample of the shared stream solely to its sampling calling context, with no notion
+/// of objects. Replaces a second profiling pass with
+/// [`CodeCentricProfiler`](crate::codecentric::CodeCentricProfiler).
+#[derive(Debug)]
+pub struct CodeCentricCollector {
+    event: PmuEvent,
+    period: u64,
+    state: Mutex<CodeState>,
+}
+
+impl CodeCentricCollector {
+    /// Creates a collector labelled with the session's event and period.
+    pub fn new(event: PmuEvent, period: u64) -> Self {
+        Self { event, period, state: Mutex::new(CodeState::default()) }
+    }
+
+    /// Total samples recorded.
+    pub fn total_samples(&self) -> u64 {
+        self.state.lock().samples
+    }
+
+    /// Snapshot of the measurement as a [`CodeCentricProfile`], identical in shape to
+    /// the standalone profiler's output.
+    pub fn profile(&self) -> CodeCentricProfile {
+        let state = self.state.lock();
+        CodeCentricProfile {
+            event: self.event,
+            period: self.period,
+            cct: state.cct.clone(),
+            total_samples: state.samples,
+        }
+    }
+}
+
+impl Collector for CodeCentricCollector {
+    fn name(&self) -> &'static str {
+        "code-centric"
+    }
+
+    fn on_sample(&self, ctx: &SampleContext<'_>) {
+        let mut state = self.state.lock();
+        let node = state.cct.insert_path(ctx.call_trace);
+        state.samples += 1;
+        state.cct.metrics_mut(node).record_sample(ctx.sample, ctx.period);
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.state.lock().cct.approx_bytes()
+    }
+}
+
+#[derive(Debug, Default)]
+struct NumaState {
+    per_site: HashMap<AllocSiteId, MetricVector>,
+    unattributed: MetricVector,
+    /// Samples per (CPU node, page node) pair — the machine-level traffic matrix.
+    node_traffic: HashMap<(u32, u32), u64>,
+}
+
+/// The NUMA collector (§4.3): folds each sample's CPU-node/page-node relationship into
+/// per-site local/remote counters and a node-to-node traffic matrix, the signals DJXPerf
+/// uses to flag candidates for interleaved allocation or first-touch initialization.
+#[derive(Debug, Default)]
+pub struct NumaCollector {
+    state: Mutex<NumaState>,
+}
+
+impl NumaCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Collector for NumaCollector {
+    fn name(&self) -> &'static str {
+        "numa"
+    }
+
+    fn on_sample(&self, ctx: &SampleContext<'_>) {
+        let mut state = self.state.lock();
+        match ctx.site {
+            Some(site) => {
+                state.per_site.entry(site).or_default().record_sample(ctx.sample, ctx.period)
+            }
+            None => state.unattributed.record_sample(ctx.sample, ctx.period),
+        }
+        *state
+            .node_traffic
+            .entry((ctx.sample.cpu_node.0, ctx.sample.page_node.0))
+            .or_insert(0) += 1;
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let state = self.state.lock();
+        state.per_site.len()
+            * (std::mem::size_of::<AllocSiteId>() + std::mem::size_of::<MetricVector>())
+            + state.node_traffic.len() * std::mem::size_of::<((u32, u32), u64)>()
+    }
+}
+
+/// The NUMA view assembled from a [`NumaCollector`]: per-site NUMA metrics joined with
+/// the session's allocation-site table, plus the node traffic matrix.
+#[derive(Debug, Clone)]
+pub struct NumaProfile {
+    /// Sampled event.
+    pub event: PmuEvent,
+    /// Sampling period.
+    pub period: u64,
+    /// The allocation-site table (indexed by [`AllocSiteId`]).
+    pub sites: Vec<AllocSite>,
+    /// Per-site metrics, ordered by remote samples descending (site id breaks ties).
+    pub per_site: Vec<(AllocSiteId, MetricVector)>,
+    /// Metrics of samples outside any monitored object.
+    pub unattributed: MetricVector,
+    /// Samples per `(cpu_node, page_node)` pair, ordered by node pair.
+    pub node_traffic: Vec<((u32, u32), u64)>,
+}
+
+impl NumaProfile {
+    /// Total samples the collector saw.
+    pub fn total_samples(&self) -> u64 {
+        self.per_site.iter().map(|(_, m)| m.samples).sum::<u64>() + self.unattributed.samples
+    }
+
+    /// Machine-wide fraction of samples that were remote accesses.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_samples();
+        if total == 0 {
+            return 0.0;
+        }
+        let remote: u64 = self.per_site.iter().map(|(_, m)| m.remote_samples).sum::<u64>()
+            + self.unattributed.remote_samples;
+        remote as f64 / total as f64
+    }
+
+    /// Sites with at least one remote sample, hottest-remote first, joined with their
+    /// site records.
+    pub fn ranked_remote(&self) -> Vec<(&AllocSite, &MetricVector)> {
+        self.per_site
+            .iter()
+            .filter(|(_, m)| m.remote_samples > 0)
+            .filter_map(|(id, m)| self.site(*id).map(|s| (s, m)))
+            .collect()
+    }
+
+    /// Looks up a site by id.
+    pub fn site(&self, id: AllocSiteId) -> Option<&AllocSite> {
+        self.sites.get(id.0 as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// The sampler: one virtual PMU per thread, shared by every collector
+// ---------------------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct SamplerState {
+    pmus: HashMap<ThreadId, ThreadPmu>,
+    total_samples: u64,
+}
+
+#[derive(Debug)]
+struct Sampler {
+    builder: PerfEventBuilder,
+    state: Mutex<SamplerState>,
+}
+
+impl Sampler {
+    fn new(builder: PerfEventBuilder) -> Self {
+        Self { builder, state: Mutex::new(SamplerState::default()) }
+    }
+
+    /// Programs a PMU for `thread` if none exists yet; returns `true` when the thread
+    /// is new to the session.
+    fn ensure_thread(&self, thread: ThreadId) -> bool {
+        let mut state = self.state.lock();
+        if state.pmus.contains_key(&thread) {
+            return false;
+        }
+        state.pmus.insert(thread, self.builder.open_for_thread(thread.0));
+        true
+    }
+
+    fn disable_thread(&self, thread: ThreadId) {
+        if let Some(pmu) = self.state.lock().pmus.get_mut(&thread) {
+            pmu.disable();
+        }
+    }
+
+    /// Feeds one access outcome to the thread's PMU and returns any overflow samples.
+    fn observe(&self, event: &MemoryAccessEvent<'_>) -> Vec<Sample> {
+        let mut state = self.state.lock();
+        let pmu = state.pmus.get_mut(&event.thread).expect("PMU ensured before observe");
+        let samples = pmu.observe(&event.outcome);
+        state.total_samples += samples.len() as u64;
+        samples
+    }
+
+    fn total_samples(&self) -> u64 {
+        self.state.lock().total_samples
+    }
+
+    fn merged_counts(&self) -> PmuCounts {
+        let state = self.state.lock();
+        let mut merged = PmuCounts::default();
+        for pmu in state.pmus.values() {
+            merged.merge(pmu.counts());
+        }
+        merged
+    }
+
+    fn thread_count(&self) -> usize {
+        self.state.lock().pmus.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.state.lock().pmus.len() * std::mem::size_of::<ThreadPmu>()
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// SessionBuilder
+// ---------------------------------------------------------------------------------------
+
+/// Configures and builds a [`Session`].
+///
+/// The builder fixes the sampling configuration once — event, period, size filter,
+/// jitter, launch/attach mode — then registers collectors. [`SessionBuilder::attach`]
+/// registers the finished session with a runtime in one step.
+#[derive(Default)]
+pub struct SessionBuilder {
+    config: SessionConfig,
+    objects: bool,
+    code: bool,
+    numa: bool,
+    custom: Vec<Arc<dyn Collector>>,
+}
+
+impl SessionBuilder {
+    /// A builder with the default configuration and no collectors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The precise memory event to sample (L1 miss by default, as in the paper).
+    pub fn event(mut self, event: PmuEvent) -> Self {
+        self.config.event = event;
+        self
+    }
+
+    /// Sampling period in events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn period(mut self, period: u64) -> Self {
+        assert!(period > 0, "sampling period must be non-zero");
+        self.config.period = period;
+        self
+    }
+
+    /// Size filter `S` in bytes: allocations smaller than this are not monitored.
+    pub fn size_filter(mut self, bytes: u64) -> Self {
+        self.config.size_filter = bytes;
+        self
+    }
+
+    /// Randomizes the sampling period around its nominal value (±25 %) to avoid
+    /// lock-step bias.
+    pub fn jitter(mut self, jitter: bool) -> Self {
+        self.config.jitter = jitter;
+        self
+    }
+
+    /// Attach mode: objects first seen when the GC moves them are tracked under the
+    /// unattributed site instead of being dropped. Use when the session attaches to an
+    /// already-running workload; launch mode (the default) assumes the session observes
+    /// the program from the start.
+    pub fn attach_mode(mut self, attach: bool) -> Self {
+        self.config.attach_mode = attach;
+        self
+    }
+
+    /// Registers the built-in [`ObjectCentricCollector`].
+    pub fn collect_objects(mut self) -> Self {
+        self.objects = true;
+        self
+    }
+
+    /// Registers the built-in [`CodeCentricCollector`].
+    pub fn collect_code(mut self) -> Self {
+        self.code = true;
+        self
+    }
+
+    /// Registers the built-in [`NumaCollector`].
+    pub fn collect_numa(mut self) -> Self {
+        self.numa = true;
+        self
+    }
+
+    /// Registers a custom collector. The session keeps one `Arc`; keep a clone to read
+    /// the collector's results after (or during) the run.
+    pub fn with_collector(mut self, collector: Arc<dyn Collector>) -> Self {
+        self.custom.push(collector);
+        self
+    }
+
+    /// Builds the session without attaching it (use
+    /// [`Runtime::add_listener`] with the returned `Arc`, or
+    /// [`Session::attach_to`] later).
+    pub fn build(self) -> Arc<Session> {
+        let config = self.config;
+        let shared = SharedObjectIndex::new();
+        let allocation = AllocationAgent::new(
+            AllocationConfig { size_filter: config.size_filter, attach_mode: config.attach_mode },
+            shared.clone(),
+        );
+        let builder = PerfEventBuilder::new(config.event)
+            .sample_period(config.period)
+            .jitter(config.jitter);
+
+        let objects = self.objects.then(|| Arc::new(ObjectCentricCollector::new()));
+        let code = self
+            .code
+            .then(|| Arc::new(CodeCentricCollector::new(config.event, config.period)));
+        let numa = self.numa.then(|| Arc::new(NumaCollector::new()));
+
+        let mut collectors: Vec<Arc<dyn Collector>> = Vec::new();
+        if let Some(c) = &objects {
+            collectors.push(c.clone());
+        }
+        if let Some(c) = &code {
+            collectors.push(c.clone());
+        }
+        if let Some(c) = &numa {
+            collectors.push(c.clone());
+        }
+        collectors.extend(self.custom);
+
+        Arc::new(Session {
+            config,
+            shared,
+            allocation,
+            sampler: Sampler::new(builder),
+            collectors,
+            objects,
+            code,
+            numa,
+        })
+    }
+
+    /// Builds the session and attaches it to `rt` in one step. Launch mode when called
+    /// before the workload starts, attach mode otherwise (combine with
+    /// [`SessionBuilder::attach_mode`] for correct GC-move handling in the latter case).
+    pub fn attach(self, rt: &mut Runtime) -> Arc<Session> {
+        let session = self.build();
+        rt.add_listener(session.clone());
+        session
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------------------
+
+/// A live profiling session: the composite runtime listener driving the allocation
+/// agent, the shared per-thread PMUs, and every registered collector. See the
+/// [module documentation](self).
+pub struct Session {
+    config: SessionConfig,
+    shared: Arc<SharedObjectIndex>,
+    allocation: AllocationAgent,
+    sampler: Sampler,
+    collectors: Vec<Arc<dyn Collector>>,
+    objects: Option<Arc<ObjectCentricCollector>>,
+    code: Option<Arc<CodeCentricCollector>>,
+    numa: Option<Arc<NumaCollector>>,
+}
+
+/// One incremental extraction of every built-in collector's state
+/// (see [`Session::snapshot`]). Each field is `None` when the corresponding collector
+/// was not registered.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// The object-centric profile, when an [`ObjectCentricCollector`] is registered.
+    pub object: Option<ObjectCentricProfile>,
+    /// The code-centric profile, when a [`CodeCentricCollector`] is registered.
+    pub code: Option<CodeCentricProfile>,
+    /// The NUMA view, when a [`NumaCollector`] is registered.
+    pub numa: Option<NumaProfile>,
+    /// Total PMU samples delivered when the snapshot was taken.
+    pub total_samples: u64,
+}
+
+impl Session {
+    /// Starts configuring a new session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// Attaches the session to a runtime (equivalent to
+    /// `rt.add_listener(session.clone())`).
+    pub fn attach_to(self: &Arc<Self>, rt: &mut Runtime) {
+        rt.add_listener(self.clone());
+    }
+
+    /// Detaches the session from the runtime. Returns `true` when it was attached.
+    /// Collected profiles remain readable after detaching.
+    pub fn detach(self: &Arc<Self>, rt: &mut Runtime) -> bool {
+        let listener: Arc<dyn RuntimeListener> = self.clone();
+        rt.remove_listener(&listener)
+    }
+
+    /// Names of the registered collectors, in dispatch order.
+    pub fn collector_names(&self) -> Vec<&'static str> {
+        self.collectors.iter().map(|c| c.name()).collect()
+    }
+
+    /// Number of currently live monitored objects (splay-tree entries).
+    pub fn live_monitored_objects(&self) -> usize {
+        self.shared.live_objects()
+    }
+
+    /// Allocation-agent counters.
+    pub fn allocation_stats(&self) -> crate::profile::AllocationStats {
+        self.allocation.stats()
+    }
+
+    /// Total PMU samples delivered across every thread.
+    pub fn total_samples(&self) -> u64 {
+        self.sampler.total_samples()
+    }
+
+    /// Number of threads whose PMU the session has programmed.
+    pub fn thread_count(&self) -> usize {
+        self.sampler.thread_count()
+    }
+
+    /// Merged raw PMU counts across every thread (ground truth for attribution checks).
+    pub fn merged_counts(&self) -> PmuCounts {
+        self.sampler.merged_counts()
+    }
+
+    /// Splay-tree lookup statistics: `(lookups, hits)`.
+    pub fn splay_lookup_stats(&self) -> (u64, u64) {
+        let tree = self.shared.tree.lock();
+        (tree.lookups(), tree.hits())
+    }
+
+    /// Approximate resident bytes of every session-owned data structure — the quantity
+    /// behind the paper's memory-overhead figure (Fig. 4b).
+    pub fn memory_footprint_bytes(&self) -> usize {
+        self.shared.approx_bytes()
+            + self.allocation.approx_bytes()
+            + self.sampler.approx_bytes()
+            + self.collectors.iter().map(|c| c.approx_bytes()).sum::<usize>()
+    }
+
+    /// Assembles the object-centric collector's current state into an
+    /// [`ObjectCentricProfile`]: per-thread sample profiles, allocation counts folded
+    /// into the owning thread and site, the allocation-site table, and the run
+    /// configuration. Can be called repeatedly (including mid-run); each call produces
+    /// an independent snapshot. `None` when no [`ObjectCentricCollector`] is registered.
+    pub fn object_profile(&self) -> Option<ObjectCentricProfile> {
+        let collector = self.objects.as_ref()?;
+        let mut threads = collector.thread_profiles();
+        // Fold the allocation agent's per-(thread, site) counters into the thread
+        // profiles so each site's metric vector carries both its sample metrics and its
+        // allocation counts.
+        for (thread, site, count, bytes) in self.allocation.allocations_by_thread() {
+            let profile = match threads.iter_mut().find(|p| p.thread == thread) {
+                Some(p) => p,
+                None => {
+                    threads.push(ThreadProfile::new(thread, "<allocation-only>"));
+                    threads.last_mut().unwrap()
+                }
+            };
+            let sm = profile.sites.entry(site).or_default();
+            sm.total.allocations += count;
+            sm.total.allocated_bytes += bytes;
+        }
+
+        Some(ObjectCentricProfile {
+            event: self.config.event,
+            period: self.config.period,
+            size_filter: self.config.size_filter,
+            sites: self.shared.sites.lock().snapshot(),
+            threads,
+            allocation_stats: self.allocation.stats(),
+        })
+    }
+
+    /// The code-centric collector's current profile, or `None` when no
+    /// [`CodeCentricCollector`] is registered.
+    pub fn code_profile(&self) -> Option<CodeCentricProfile> {
+        self.code.as_ref().map(|c| c.profile())
+    }
+
+    /// The NUMA collector's current view joined with the allocation-site table, or
+    /// `None` when no [`NumaCollector`] is registered.
+    pub fn numa_profile(&self) -> Option<NumaProfile> {
+        let collector = self.numa.as_ref()?;
+        let state = collector.state.lock();
+        let mut per_site: Vec<(AllocSiteId, MetricVector)> =
+            state.per_site.iter().map(|(id, m)| (*id, *m)).collect();
+        per_site.sort_by(|a, b| b.1.remote_samples.cmp(&a.1.remote_samples).then(a.0.cmp(&b.0)));
+        let mut node_traffic: Vec<((u32, u32), u64)> =
+            state.node_traffic.iter().map(|(k, v)| (*k, *v)).collect();
+        node_traffic.sort_unstable_by_key(|(k, _)| *k);
+        Some(NumaProfile {
+            event: self.config.event,
+            period: self.config.period,
+            sites: self.shared.sites.lock().snapshot(),
+            per_site,
+            unattributed: state.unattributed,
+            node_traffic,
+        })
+    }
+
+    /// Extracts every built-in collector's current profile without stopping
+    /// measurement — the live-observation entry point for long-running workloads.
+    /// Snapshots are independent: later samples never mutate an earlier snapshot.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            object: self.object_profile(),
+            code: self.code_profile(),
+            numa: self.numa_profile(),
+            total_samples: self.total_samples(),
+        }
+    }
+
+    /// Streams the current object-centric profile through `sink` into `out` — the
+    /// incremental export path (`snapshot → sink`) for live observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no [`ObjectCentricCollector`] is registered, or when the
+    /// sink fails to write.
+    pub fn stream_snapshot(
+        &self,
+        sink: &dyn ProfileSink,
+        out: &mut dyn io::Write,
+    ) -> io::Result<()> {
+        let profile = self.object_profile().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "session has no object-centric collector to stream",
+            )
+        })?;
+        sink.write_profile(&profile, out)
+    }
+
+    /// Dispatches one resolved sample batch to every collector.
+    fn dispatch_samples(&self, event: &MemoryAccessEvent<'_>, samples: &[Sample]) {
+        // Resolve each sample's effective address to the enclosing monitored object.
+        // The splay tree is the only structure shared between threads (§5.1); lock it
+        // once per overflow batch, and resolve once for *all* collectors.
+        let mut resolved = Vec::with_capacity(samples.len());
+        {
+            let mut tree = self.shared.tree.lock();
+            for sample in samples {
+                resolved.push(tree.lookup(sample.effective_addr).map(|(_, mo)| mo.site));
+            }
+        }
+        for (sample, site) in samples.iter().zip(resolved) {
+            let ctx = SampleContext {
+                thread: event.thread,
+                call_trace: event.call_trace,
+                sample,
+                period: self.config.period,
+                site,
+            };
+            for collector in &self.collectors {
+                collector.on_sample(&ctx);
+            }
+        }
+    }
+
+    fn thread_seen(&self, thread: ThreadId, name: &str) {
+        if self.sampler.ensure_thread(thread) {
+            for collector in &self.collectors {
+                collector.on_thread_seen(thread, name);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("collectors", &self.collector_names())
+            .field("total_samples", &self.total_samples())
+            .finish()
+    }
+}
+
+impl RuntimeListener for Session {
+    fn on_vm_start(&self) {
+        self.allocation.on_vm_start();
+    }
+
+    fn on_vm_end(&self) {
+        self.allocation.on_vm_end();
+    }
+
+    fn on_thread_start(&self, event: &ThreadEvent<'_>) {
+        self.allocation.on_thread_start(event);
+        self.thread_seen(event.thread, event.name);
+    }
+
+    fn on_thread_end(&self, event: &ThreadEvent<'_>) {
+        self.allocation.on_thread_end(event);
+        self.sampler.disable_thread(event.thread);
+        for collector in &self.collectors {
+            collector.on_thread_end(event);
+        }
+    }
+
+    fn on_object_alloc(&self, event: &AllocationEvent<'_>) {
+        self.allocation.on_object_alloc(event);
+        for collector in &self.collectors {
+            collector.on_object_alloc(event);
+        }
+    }
+
+    fn on_memory_access(&self, event: &MemoryAccessEvent<'_>) {
+        // Threads that started before the session attached get a PMU lazily.
+        self.thread_seen(event.thread, "<attached>");
+        let samples = self.sampler.observe(event);
+        if !samples.is_empty() {
+            self.dispatch_samples(event, &samples);
+        }
+    }
+
+    fn on_gc_start(&self, event: &GcEvent) {
+        self.allocation.on_gc_start(event);
+        for collector in &self.collectors {
+            collector.on_gc_start(event);
+        }
+    }
+
+    fn on_gc_end(&self, event: &GcEvent) {
+        self.allocation.on_gc_end(event);
+        for collector in &self.collectors {
+            collector.on_gc_end(event);
+        }
+    }
+
+    fn on_object_move(&self, event: &ObjectMoveEvent) {
+        self.allocation.on_object_move(event);
+    }
+
+    fn on_object_reclaim(&self, event: &ObjectReclaimEvent) {
+        self.allocation.on_object_reclaim(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djx_runtime::{dsl, RuntimeConfig};
+
+    use crate::profiler::DjxPerf;
+    use crate::sink::{JsonSink, TextSink};
+
+    /// Runs the standard bloat kernel against a fresh runtime with `listener` attached.
+    fn bloat_run_with(build: impl FnOnce(&mut Runtime) -> Arc<Session>) -> (Runtime, Arc<Session>) {
+        let mut rt = Runtime::new(RuntimeConfig::small());
+        let session = build(&mut rt);
+        let class = rt.register_array_class("float[]", 4);
+        let method = dsl::MethodSpec::at_line(
+            "ExtendedGeneralPath",
+            "makeRoom",
+            "ExtendedGeneralPath.java",
+            743,
+        )
+        .register(&mut rt);
+        let t = rt.spawn_thread("main");
+        dsl::bloat_loop(&mut rt, t, class, method, 0, 200, 512, 64).unwrap();
+        rt.finish_thread(t).unwrap();
+        rt.shutdown();
+        (rt, session)
+    }
+
+    #[test]
+    fn builder_configures_and_registers_collectors() {
+        let session = Session::builder()
+            .event(PmuEvent::DtlbMiss)
+            .period(128)
+            .size_filter(4096)
+            .jitter(true)
+            .attach_mode(true)
+            .collect_objects()
+            .collect_code()
+            .collect_numa()
+            .build();
+        let config = session.config();
+        assert_eq!(config.event, PmuEvent::DtlbMiss);
+        assert_eq!(config.period, 128);
+        assert_eq!(config.size_filter, 4096);
+        assert!(config.jitter);
+        assert!(config.attach_mode);
+        assert_eq!(session.collector_names(), vec!["object-centric", "code-centric", "numa"]);
+        assert!(format!("{session:?}").contains("object-centric"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = Session::builder().period(0);
+    }
+
+    #[test]
+    fn single_pass_produces_all_three_views() {
+        let (_rt, session) = bloat_run_with(|rt| {
+            Session::builder()
+                .period(16)
+                .collect_objects()
+                .collect_code()
+                .collect_numa()
+                .attach(rt)
+        });
+
+        let object = session.object_profile().expect("object collector registered");
+        let code = session.code_profile().expect("code collector registered");
+        let numa = session.numa_profile().expect("numa collector registered");
+
+        assert!(object.total_samples() > 0);
+        assert_eq!(object.total_samples(), code.total_samples, "one shared sampling stream");
+        assert_eq!(object.total_samples(), numa.total_samples());
+        assert_eq!(object.sites.len(), 1);
+        assert_eq!(object.sites[0].class_name, "float[]");
+        assert!(!code.top_locations(5).is_empty());
+        assert_eq!(numa.per_site.len(), 1, "all attributed samples share one site");
+        // Single-node runtime: nothing is remote.
+        assert!(numa.ranked_remote().is_empty());
+        assert_eq!(numa.remote_fraction(), 0.0);
+        assert_eq!(numa.node_traffic.iter().map(|(_, n)| n).sum::<u64>(), numa.total_samples());
+    }
+
+    #[test]
+    fn session_object_view_is_identical_to_legacy_djxperf() {
+        let config = ProfilerConfig::default().with_period(16);
+        let (_rt_a, session) = bloat_run_with(|rt| {
+            Session::builder().config(config).collect_objects().collect_code().attach(rt)
+        });
+
+        // The legacy path on an identical, independently seeded runtime.
+        let mut rt = Runtime::new(RuntimeConfig::small());
+        let legacy = DjxPerf::attach(&mut rt, config);
+        let class = rt.register_array_class("float[]", 4);
+        let method = dsl::MethodSpec::at_line(
+            "ExtendedGeneralPath",
+            "makeRoom",
+            "ExtendedGeneralPath.java",
+            743,
+        )
+        .register(&mut rt);
+        let t = rt.spawn_thread("main");
+        dsl::bloat_loop(&mut rt, t, class, method, 0, 200, 512, 64).unwrap();
+        rt.finish_thread(t).unwrap();
+        rt.shutdown();
+
+        let from_session = session.object_profile().unwrap();
+        let from_legacy = legacy.profile();
+        assert_eq!(
+            from_session.to_text(),
+            from_legacy.to_text(),
+            "multi-collector session must not perturb object-centric results"
+        );
+    }
+
+    #[test]
+    fn snapshots_are_incremental_and_independent() {
+        let mut rt = Runtime::new(RuntimeConfig::small());
+        let session = Session::builder().period(8).collect_objects().collect_code().attach(&mut rt);
+        let class = rt.register_array_class("byte[]", 1);
+        let t = rt.spawn_thread("main");
+        let arr = rt.alloc_array(t, class, 16 * 1024).unwrap();
+
+        dsl::sequential_sweep(&mut rt, t, &arr).unwrap();
+        let first = session.snapshot();
+        assert!(first.total_samples > 0);
+
+        dsl::sequential_sweep(&mut rt, t, &arr).unwrap();
+        let second = session.snapshot();
+        assert!(second.total_samples >= first.total_samples);
+        assert_eq!(
+            first.object.as_ref().unwrap().total_samples(),
+            first.total_samples,
+            "earlier snapshot is unchanged by later samples"
+        );
+        assert_eq!(second.object.unwrap().total_samples(), second.total_samples);
+        assert!(second.numa.is_none(), "unregistered collectors snapshot as None");
+    }
+
+    #[test]
+    fn stream_snapshot_round_trips_through_both_sinks() {
+        let (_rt, session) =
+            bloat_run_with(|rt| Session::builder().period(16).collect_objects().attach(rt));
+        let profile = session.object_profile().unwrap();
+
+        for sink in [&TextSink as &dyn ProfileSink, &JsonSink::new()] {
+            let mut out = Vec::new();
+            session.stream_snapshot(sink, &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            let parsed = sink.read_profile(&text).unwrap();
+            assert_eq!(
+                parsed.to_text(),
+                profile.to_text(),
+                "{} sink round trip",
+                sink.format_name()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_snapshot_without_object_collector_errors() {
+        let session = Session::builder().collect_code().build();
+        let mut out = Vec::new();
+        let err = session.stream_snapshot(&TextSink, &mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn detach_stops_all_collectors() {
+        let mut rt = Runtime::new(RuntimeConfig::small());
+        let session = Session::builder().period(8).collect_objects().collect_code().attach(&mut rt);
+        let class = rt.register_array_class("byte[]", 1);
+        let t = rt.spawn_thread("main");
+        let arr = rt.alloc_array(t, class, 8192).unwrap();
+        dsl::sequential_sweep(&mut rt, t, &arr).unwrap();
+        let before = session.snapshot();
+        assert!(before.total_samples > 0);
+        assert!(session.detach(&mut rt));
+        dsl::sequential_sweep(&mut rt, t, &arr).unwrap();
+        let after = session.snapshot();
+        assert_eq!(after.total_samples, before.total_samples);
+        assert_eq!(after.code.unwrap().total_samples, before.code.unwrap().total_samples);
+        assert!(!session.detach(&mut rt), "double detach is a no-op");
+    }
+
+    #[test]
+    fn custom_collectors_receive_the_shared_stream() {
+        #[derive(Debug, Default)]
+        struct CountingCollector {
+            samples: Mutex<u64>,
+            threads: Mutex<Vec<String>>,
+        }
+        impl Collector for CountingCollector {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn on_sample(&self, _ctx: &SampleContext<'_>) {
+                *self.samples.lock() += 1;
+            }
+            fn on_thread_seen(&self, _thread: ThreadId, name: &str) {
+                self.threads.lock().push(name.to_string());
+            }
+        }
+
+        let counting = Arc::new(CountingCollector::default());
+        let (_rt, session) = bloat_run_with(|rt| {
+            Session::builder()
+                .period(16)
+                .collect_objects()
+                .with_collector(counting.clone())
+                .attach(rt)
+        });
+        assert_eq!(*counting.samples.lock(), session.total_samples());
+        assert_eq!(*counting.threads.lock(), vec!["main".to_string()]);
+        assert_eq!(session.collector_names(), vec!["object-centric", "counting"]);
+    }
+
+    #[test]
+    fn lazily_seen_threads_are_named_attached() {
+        let mut rt = Runtime::new(RuntimeConfig::small());
+        let class = rt.register_array_class("byte[]", 1);
+        let t = rt.spawn_thread("early");
+        let arr = rt.alloc_array(t, class, 8192).unwrap();
+        // Attach after the thread started: the session first sees it via an access.
+        let session = Session::builder().period(4).collect_objects().attach(&mut rt);
+        dsl::sequential_sweep(&mut rt, t, &arr).unwrap();
+        let profile = session.object_profile().unwrap();
+        assert_eq!(profile.threads.len(), 1);
+        assert_eq!(profile.threads[0].thread_name, "<attached>");
+        assert!(profile.threads[0].samples > 0);
+    }
+}

@@ -474,7 +474,8 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted_by_start() {
-        let ranges: Vec<(u64, u64)> = (0..50u64).rev().map(|i| (i * 0x100, i * 0x100 + 0x80)).collect();
+        let ranges: Vec<(u64, u64)> =
+            (0..50u64).rev().map(|i| (i * 0x100, i * 0x100 + 0x80)).collect();
         let mut t = tree_with(&ranges);
         // Shuffle the tree shape with some lookups.
         for i in [3u64, 47, 12, 0, 30] {

@@ -11,8 +11,8 @@ use djx_memsim::{AccessKind, NumaNode};
 use djx_pmu::{PmuEvent, Sample};
 use djx_runtime::{Frame, MethodId, ThreadId};
 use djxperf::{
-    AllocSite, AllocSiteId, AllocationStats, Cct, Interval, IntervalSplayTree, MetricVector,
-    ObjectCentricProfile, ThreadProfile,
+    AllocSite, AllocSiteId, AllocSiteRegistry, AllocationStats, Cct, Interval, IntervalSplayTree,
+    JsonSink, MetricVector, ObjectCentricProfile, ProfileSink, TextSink, ThreadProfile,
 };
 
 // --------------------------------------------------------------------------------------
@@ -32,8 +32,11 @@ const SLOTS: u64 = 64;
 
 fn tree_op() -> impl Strategy<Value = TreeOp> {
     prop_oneof![
-        (0..SLOTS, 1..SLOT_SIZE, any::<u64>())
-            .prop_map(|(slot, len, value)| TreeOp::Insert { slot, len, value }),
+        (0..SLOTS, 1..SLOT_SIZE, any::<u64>()).prop_map(|(slot, len, value)| TreeOp::Insert {
+            slot,
+            len,
+            value
+        }),
         (0..SLOTS).prop_map(|slot| TreeOp::Remove { slot }),
         (0..SLOTS, 0..SLOT_SIZE).prop_map(|(slot, offset)| TreeOp::Lookup { slot, offset }),
     ]
@@ -179,8 +182,8 @@ proptest! {
 // --------------------------------------------------------------------------------------
 
 fn sample_strategy() -> impl Strategy<Value = Sample> {
-    (any::<bool>(), any::<bool>(), 1u64..1000, 0u32..2)
-        .prop_map(|(store, remote, latency, node)| Sample {
+    (any::<bool>(), any::<bool>(), 1u64..1000, 0u32..2).prop_map(
+        |(store, remote, latency, node)| Sample {
             event: PmuEvent::L1Miss,
             thread_id: 1,
             cpu: 0,
@@ -191,7 +194,8 @@ fn sample_strategy() -> impl Strategy<Value = Sample> {
             value: 1,
             latency,
             counter_value: 0,
-        })
+        },
+    )
 }
 
 proptest! {
@@ -290,5 +294,115 @@ proptest! {
             prop_assert_eq!(&x.class_name, &y.class_name);
             prop_assert_eq!(x.metrics, y.metrics);
         }
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// Sink backends on multi-thread profiles with the attach-mode unattributed site
+// --------------------------------------------------------------------------------------
+
+/// Checks that a reparsed profile reproduces the original's `SiteMetrics` (totals and
+/// per-context breakdowns, compared by call path) and `AllocationStats` exactly.
+fn assert_profiles_equivalent(
+    original: &ObjectCentricProfile,
+    reparsed: &ObjectCentricProfile,
+) -> Result<(), proptest::prelude::TestCaseError> {
+    prop_assert_eq!(reparsed.event, original.event);
+    prop_assert_eq!(reparsed.period, original.period);
+    prop_assert_eq!(reparsed.size_filter, original.size_filter);
+    prop_assert_eq!(reparsed.allocation_stats, original.allocation_stats);
+    prop_assert_eq!(&reparsed.sites, &original.sites);
+    prop_assert_eq!(reparsed.threads.len(), original.threads.len());
+    for (a, b) in reparsed.threads.iter().zip(&original.threads) {
+        prop_assert_eq!(a.thread, b.thread);
+        prop_assert_eq!(&a.thread_name, &b.thread_name);
+        prop_assert_eq!(a.samples, b.samples);
+        prop_assert_eq!(a.unattributed, b.unattributed);
+        prop_assert_eq!(a.sites.len(), b.sites.len());
+        for (site_id, original_metrics) in &b.sites {
+            let reparsed_metrics = &a.sites[site_id];
+            prop_assert_eq!(reparsed_metrics.total, original_metrics.total);
+            // Context node ids are tree-local; compare breakdowns by call path.
+            let by_path = |thread: &ThreadProfile, sm: &djxperf::SiteMetrics| {
+                let mut v: Vec<(Vec<Frame>, MetricVector)> =
+                    sm.by_context.iter().map(|(ctx, m)| (thread.cct.path_of(*ctx), *m)).collect();
+                v.sort_by(|x, y| x.0.cmp(&y.0));
+                v
+            };
+            prop_assert_eq!(by_path(a, reparsed_metrics), by_path(b, original_metrics));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Multi-thread profiles — including the attach-mode unattributed site — survive
+    /// both the text sink and the JSON sink with identical `SiteMetrics` and
+    /// `AllocationStats`.
+    #[test]
+    fn sink_backends_round_trip_multi_thread_profiles(
+        class_names in prop::collection::vec(class_name_strategy(), 1..3),
+        alloc_paths in prop::collection::vec(path_strategy(), 1..3),
+        samples_per_thread in prop::collection::vec(
+            prop::collection::vec((0usize..4, path_strategy(), sample_strategy()), 0..25),
+            1..4,
+        ),
+        unknown_moves in 0u64..5,
+        period in 1u64..100_000,
+    ) {
+        // Site table: the interned sites plus the attach-mode unattributed site, built
+        // through the real registry so its identity matches production behaviour.
+        let mut registry = AllocSiteRegistry::new();
+        let site_count = class_names.len().min(alloc_paths.len());
+        for i in 0..site_count {
+            registry.intern(&class_names[i], &alloc_paths[i]);
+        }
+        let unattributed_site = registry.intern_unattributed();
+        let sites = registry.snapshot();
+
+        let mut threads = Vec::new();
+        for (t, samples) in samples_per_thread.iter().enumerate() {
+            let mut thread = ThreadProfile::new(ThreadId(t as u64 + 1), &format!("worker {t}"));
+            for (site_index, path, sample) in samples {
+                // Cycle through the real sites *and* the unattributed one.
+                let site = AllocSiteId((site_index % (site_count + 1)) as u32);
+                thread.record_attributed(site, path, sample, period);
+            }
+            thread.record_allocation(unattributed_site, 0);
+            threads.push(thread);
+        }
+
+        let profile = ObjectCentricProfile {
+            event: PmuEvent::RemoteDram,
+            period,
+            size_filter: 1024,
+            sites,
+            threads,
+            allocation_stats: AllocationStats {
+                callbacks: 40,
+                monitored: 30,
+                filtered: 10,
+                relocations: 3,
+                unknown_moves,
+                reclamations: 2,
+            },
+        };
+        prop_assert!(profile.sites.iter().any(|s| s.is_unattributed()));
+
+        for sink in [&TextSink as &dyn ProfileSink, &JsonSink::new()] {
+            let written = sink.write_to_string(&profile);
+            let reparsed = sink.read_profile(&written).expect("sink round trip");
+            assert_profiles_equivalent(&profile, &reparsed)?;
+            // Re-serialization through the same sink is a fixed point.
+            prop_assert_eq!(sink.write_to_string(&reparsed), written);
+        }
+
+        // Cross-format: JSON → parse → text equals direct text.
+        let via_json = JsonSink::new()
+            .read_profile(&JsonSink::new().write_to_string(&profile))
+            .expect("json round trip");
+        prop_assert_eq!(via_json.to_text(), profile.to_text());
     }
 }

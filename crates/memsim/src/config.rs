@@ -56,7 +56,7 @@ impl HierarchyConfig {
         assert!(cpus > 0, "a machine needs at least one CPU");
         let nodes = 2;
         assert!(
-            cpus % nodes == 0,
+            cpus.is_multiple_of(nodes),
             "CPU count {cpus} must be divisible by the {nodes} NUMA nodes"
         );
         Self {

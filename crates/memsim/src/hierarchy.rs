@@ -108,10 +108,10 @@ impl MemoryHierarchy {
         };
 
         let remote = page_node != cpu_node;
-        let latency = self
-            .config
-            .latency
-            .latency(l1_miss, l2_miss, l3_miss, tlb_miss, remote && l3_miss);
+        let latency =
+            self.config
+                .latency
+                .latency(l1_miss, l2_miss, l3_miss, tlb_miss, remote && l3_miss);
 
         self.stats.accesses += 1;
         match access.kind {
@@ -278,9 +278,8 @@ mod tests {
     fn interleaved_placement_spreads_pages() {
         let mut h = tiny();
         h.place_range(0x0, 4 * PAGE_SIZE, PlacementPolicy::Interleaved, 0);
-        let nodes: Vec<_> = (0..4)
-            .map(|i| h.placement().node_of_page(i * PAGE_SIZE).unwrap())
-            .collect();
+        let nodes: Vec<_> =
+            (0..4).map(|i| h.placement().node_of_page(i * PAGE_SIZE).unwrap()).collect();
         assert_eq!(nodes[0], nodes[2]);
         assert_eq!(nodes[1], nodes[3]);
         assert_ne!(nodes[0], nodes[1]);

@@ -94,14 +94,8 @@ mod tests {
     #[test]
     fn tlb_miss_adds_penalty() {
         let m = LatencyModel::default();
-        assert_eq!(
-            m.latency(false, false, false, true, false),
-            m.l1_hit + m.tlb_miss_penalty
-        );
-        assert_eq!(
-            m.latency(true, true, true, true, true),
-            m.remote_dram + m.tlb_miss_penalty
-        );
+        assert_eq!(m.latency(false, false, false, true, false), m.l1_hit + m.tlb_miss_penalty);
+        assert_eq!(m.latency(true, true, true, true, true), m.remote_dram + m.tlb_miss_penalty);
     }
 
     #[test]

@@ -201,6 +201,8 @@ impl PagePlacement {
 }
 
 #[cfg(test)]
+// Slot arithmetic like `0 * PAGE_SIZE` is written out so each access names its slot.
+#[allow(clippy::erasing_op, clippy::identity_op)]
 mod tests {
     use super::*;
 
@@ -244,7 +246,7 @@ mod tests {
     fn interleaved_policy_round_robins_pages() {
         let mut p = PagePlacement::with_policy(topo(), PlacementPolicy::Interleaved);
         let n0 = p.touch(0 * PAGE_SIZE, 0);
-        let n1 = p.touch(1 * PAGE_SIZE, 0);
+        let n1 = p.touch(PAGE_SIZE, 0);
         let n2 = p.touch(2 * PAGE_SIZE, 0);
         assert_ne!(n0, n1);
         assert_eq!(n0, n2);

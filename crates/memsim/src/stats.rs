@@ -119,8 +119,10 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = HierarchyStats { accesses: 1, l1_misses: 1, total_latency: 4, ..Default::default() };
-        let b = HierarchyStats { accesses: 2, l1_misses: 1, total_latency: 8, ..Default::default() };
+        let mut a =
+            HierarchyStats { accesses: 1, l1_misses: 1, total_latency: 4, ..Default::default() };
+        let b =
+            HierarchyStats { accesses: 2, l1_misses: 1, total_latency: 8, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.accesses, 3);
         assert_eq!(a.l1_misses, 2);

@@ -24,7 +24,7 @@ impl TlbConfig {
         assert!(entries > 0, "TLB must have at least one entry");
         assert!(associativity > 0, "TLB associativity must be non-zero");
         assert!(
-            entries % associativity == 0,
+            entries.is_multiple_of(associativity),
             "entries ({entries}) must be a multiple of associativity ({associativity})"
         );
         let sets = entries / associativity;
@@ -59,14 +59,7 @@ impl Tlb {
     /// Creates an empty TLB with the given geometry.
     pub fn new(config: TlbConfig) -> Self {
         let sets = vec![vec![TlbEntry::default(); config.associativity]; config.num_sets()];
-        Self {
-            set_mask: config.num_sets() as u64 - 1,
-            config,
-            sets,
-            clock: 0,
-            hits: 0,
-            misses: 0,
-        }
+        Self { set_mask: config.num_sets() as u64 - 1, config, sets, clock: 0, hits: 0, misses: 0 }
     }
 
     /// The geometry this TLB was built with.
@@ -121,6 +114,8 @@ impl Tlb {
 }
 
 #[cfg(test)]
+// Slot arithmetic like `0 * PAGE_SIZE` is written out so each access names its slot.
+#[allow(clippy::erasing_op, clippy::identity_op)]
 mod tests {
     use super::*;
 
@@ -139,11 +134,11 @@ mod tests {
         // 2-entry fully-associative TLB.
         let mut tlb = Tlb::new(TlbConfig::new(2, 2));
         tlb.access(0 * PAGE_SIZE);
-        tlb.access(1 * PAGE_SIZE);
+        tlb.access(PAGE_SIZE);
         tlb.access(0 * PAGE_SIZE); // page 1 becomes LRU
         assert!(!tlb.access(2 * PAGE_SIZE)); // evicts page 1
         assert!(tlb.access(0 * PAGE_SIZE));
-        assert!(!tlb.access(1 * PAGE_SIZE));
+        assert!(!tlb.access(PAGE_SIZE));
     }
 
     #[test]

@@ -128,7 +128,14 @@ mod tests {
     use super::*;
     use djx_memsim::{MemoryAccess, NumaNode};
 
-    fn outcome(kind: AccessKind, l1: bool, l2: bool, l3: bool, tlb: bool, remote: bool) -> AccessOutcome {
+    fn outcome(
+        kind: AccessKind,
+        l1: bool,
+        l2: bool,
+        l3: bool,
+        tlb: bool,
+        remote: bool,
+    ) -> AccessOutcome {
         AccessOutcome {
             access: MemoryAccess { cpu: 0, addr: 0x1000, size: 8, kind },
             l1_miss: l1,

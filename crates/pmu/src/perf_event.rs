@@ -36,7 +36,11 @@ pub struct PerfEventBuilder {
 impl PerfEventBuilder {
     /// Starts a builder programming `event` at the default sampling period.
     pub fn new(event: PmuEvent) -> Self {
-        Self { events: vec![(event, DEFAULT_SAMPLE_PERIOD)], period: DEFAULT_SAMPLE_PERIOD, jitter: false }
+        Self {
+            events: vec![(event, DEFAULT_SAMPLE_PERIOD)],
+            period: DEFAULT_SAMPLE_PERIOD,
+            jitter: false,
+        }
     }
 
     /// Sets the sampling period (events per sample) for every event programmed so far
@@ -110,11 +114,7 @@ mod tests {
             .add_event_with_period(PmuEvent::RemoteDram, 9);
         assert_eq!(
             b.events(),
-            &[
-                (PmuEvent::L1Miss, 500),
-                (PmuEvent::DtlbMiss, 500),
-                (PmuEvent::RemoteDram, 9)
-            ]
+            &[(PmuEvent::L1Miss, 500), (PmuEvent::DtlbMiss, 500), (PmuEvent::RemoteDram, 9)]
         );
     }
 

@@ -182,8 +182,7 @@ mod tests {
 
     #[test]
     fn multiple_events_sample_independently() {
-        let mut pmu =
-            ThreadPmu::new(3, &[(PmuEvent::Loads, 7), (PmuEvent::L1Miss, 13)], false);
+        let mut pmu = ThreadPmu::new(3, &[(PmuEvent::Loads, 7), (PmuEvent::L1Miss, 13)], false);
         let samples = run_strided(&mut pmu, 200);
         let loads = samples.iter().filter(|s| s.event == PmuEvent::Loads).count() as u64;
         let misses = samples.iter().filter(|s| s.event == PmuEvent::L1Miss).count() as u64;

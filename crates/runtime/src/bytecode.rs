@@ -250,7 +250,10 @@ impl Interpreter {
                 .ok_or_else(|| invalid(format!("fell off the end of the method at pc {pc}")))?;
             self.stats.steps += 1;
             if self.stats.steps > self.limits.max_steps {
-                return Err(invalid(format!("exceeded {} executed instructions", self.limits.max_steps)));
+                return Err(invalid(format!(
+                    "exceeded {} executed instructions",
+                    self.limits.max_steps
+                )));
             }
             // The BCI of the executing frame tracks the program counter, so samples and
             // allocations map back to this instruction through the line table.
@@ -470,7 +473,12 @@ mod tests {
         let inner_idx = program.add_method(BytecodeMethod {
             method: inner,
             locals: 0,
-            code: vec![Instr::New(class), Instr::Release, Instr::Const(7), Instr::Return { has_value: true }],
+            code: vec![
+                Instr::New(class),
+                Instr::Release,
+                Instr::Const(7),
+                Instr::Return { has_value: true },
+            ],
         });
         let outer_idx = program.add_method(BytecodeMethod {
             method: outer,
@@ -515,16 +523,17 @@ mod tests {
         let (mut rt, t) = setup();
         let m = rt.register_method("Bad", "m", "Bad.java", &[]);
         let cases: Vec<Vec<Instr>> = vec![
-            vec![Instr::Pop],                                   // stack underflow
-            vec![Instr::Goto(99)],                              // bad jump
-            vec![Instr::Const(1), Instr::Const(2), Instr::ALoad], // int used as array
-            vec![Instr::Const(1)],                              // falls off the end
+            vec![Instr::Pop],                                         // stack underflow
+            vec![Instr::Goto(99)],                                    // bad jump
+            vec![Instr::Const(1), Instr::Const(2), Instr::ALoad],     // int used as array
+            vec![Instr::Const(1)],                                    // falls off the end
             vec![Instr::Load(3), Instr::Return { has_value: false }], // unknown local
             vec![Instr::Const(-1), Instr::NewArray(ClassId(0)), Instr::Return { has_value: false }],
         ];
         for code in cases {
             let mut program = BytecodeProgram::new();
-            let entry = program.add_method(BytecodeMethod { method: m, locals: 1, code: code.clone() });
+            let entry =
+                program.add_method(BytecodeMethod { method: m, locals: 1, code: code.clone() });
             let err = Interpreter::new().run(&mut rt, t, &program, entry).unwrap_err();
             assert!(
                 matches!(err, RuntimeError::InvalidBytecode(_)),
@@ -539,12 +548,10 @@ mod tests {
         let (mut rt, t) = setup();
         let m = rt.register_method("Loop", "forever", "Loop.java", &[]);
         let mut program = BytecodeProgram::new();
-        let entry = program.add_method(BytecodeMethod {
-            method: m,
-            locals: 0,
-            code: vec![Instr::Goto(0)],
-        });
-        let mut interp = Interpreter::with_limits(InterpreterLimits { max_steps: 1000, max_depth: 8 });
+        let entry =
+            program.add_method(BytecodeMethod { method: m, locals: 0, code: vec![Instr::Goto(0)] });
+        let mut interp =
+            Interpreter::with_limits(InterpreterLimits { max_steps: 1000, max_depth: 8 });
         let err = interp.run(&mut rt, t, &program, entry).unwrap_err();
         assert!(matches!(err, RuntimeError::InvalidBytecode(_)));
     }
@@ -559,7 +566,8 @@ mod tests {
             locals: 0,
             code: vec![Instr::Invoke(0), Instr::Return { has_value: false }],
         });
-        let mut interp = Interpreter::with_limits(InterpreterLimits { max_steps: 100_000, max_depth: 16 });
+        let mut interp =
+            Interpreter::with_limits(InterpreterLimits { max_steps: 100_000, max_depth: 16 });
         let err = interp.run(&mut rt, t, &program, entry).unwrap_err();
         assert!(matches!(err, RuntimeError::InvalidBytecode(_)));
         assert_eq!(rt.stack_depth(t).unwrap(), 0);

@@ -210,9 +210,8 @@ pub fn singleton_loop(
     len: u64,
     touches_per_object: u64,
 ) -> Result<u64> {
-    let arr = with_frame(rt, thread, alloc_method, alloc_bci, |rt| {
-        rt.alloc_array(thread, class, len)
-    })?;
+    let arr =
+        with_frame(rt, thread, alloc_method, alloc_bci, |rt| rt.alloc_array(thread, class, len))?;
     let mut accesses = 0;
     for _ in 0..count {
         for t in 0..touches_per_object {
@@ -279,8 +278,9 @@ mod tests {
     #[test]
     fn method_spec_registers_line() {
         let mut rt = rt();
-        let id = MethodSpec::at_line("ExtendedGeneralPath", "makeRoom", "ExtendedGeneralPath.java", 743)
-            .register(&mut rt);
+        let id =
+            MethodSpec::at_line("ExtendedGeneralPath", "makeRoom", "ExtendedGeneralPath.java", 743)
+                .register(&mut rt);
         assert_eq!(rt.methods().line_of(id, 0), 743);
         assert_eq!(rt.methods().qualified_name_of(id), "ExtendedGeneralPath.makeRoom");
     }
@@ -329,8 +329,9 @@ mod tests {
     fn bloat_loop_allocates_per_iteration_and_singleton_does_not() {
         let mut rt = rt();
         let class = rt.register_array_class("float[]", 4);
-        let m = MethodSpec::at_line("ExtendedGeneralPath", "makeRoom", "ExtendedGeneralPath.java", 743)
-            .register(&mut rt);
+        let m =
+            MethodSpec::at_line("ExtendedGeneralPath", "makeRoom", "ExtendedGeneralPath.java", 743)
+                .register(&mut rt);
         let t = rt.spawn_thread("main");
         bloat_loop(&mut rt, t, class, m, 5, 100, 256, 4).unwrap();
         assert_eq!(rt.stats().allocations, 100);

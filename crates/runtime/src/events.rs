@@ -167,7 +167,12 @@ mod tests {
         l.on_vm_start();
         l.on_vm_end();
         l.on_thread_start(&ThreadEvent { thread: ThreadId(1), name: "t", cpu: 0 });
-        l.on_gc_start(&GcEvent { gc: GcId(0), heap_used: 0, objects_moved: 0, objects_reclaimed: 0 });
+        l.on_gc_start(&GcEvent {
+            gc: GcId(0),
+            heap_used: 0,
+            objects_moved: 0,
+            objects_reclaimed: 0,
+        });
         l.on_memory_access(&MemoryAccessEvent {
             thread: ThreadId(1),
             outcome: AccessOutcome {

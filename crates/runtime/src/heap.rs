@@ -209,7 +209,7 @@ impl Heap {
     /// Rounds a payload size up to the heap's allocation granularity, header included.
     pub fn aligned_total_size(payload: u64) -> u64 {
         let total = payload + OBJECT_HEADER_SIZE;
-        (total + OBJECT_ALIGNMENT - 1) / OBJECT_ALIGNMENT * OBJECT_ALIGNMENT
+        total.div_ceil(OBJECT_ALIGNMENT) * OBJECT_ALIGNMENT
     }
 
     /// Attempts to allocate an object with `payload` bytes of user data. Returns `None`
@@ -376,17 +376,14 @@ mod tests {
         h.mark_dead(a.id).unwrap();
         h.compact();
         let c = h.try_alloc(ClassId(0), 100).unwrap();
-        assert_eq!(c.addr, b.addr.min(h.config().base) + 0 + h.get(b.id).unwrap().size);
+        assert_eq!(c.addr, b.addr.min(h.config().base) + h.get(b.id).unwrap().size);
         assert!(h.is_live(c.id));
     }
 
     #[test]
     fn mark_dead_unknown_object_errors() {
         let mut h = heap(128);
-        assert_eq!(
-            h.mark_dead(ObjectId(999)),
-            Err(RuntimeError::UnknownObject(ObjectId(999)))
-        );
+        assert_eq!(h.mark_dead(ObjectId(999)), Err(RuntimeError::UnknownObject(ObjectId(999))));
     }
 
     #[test]

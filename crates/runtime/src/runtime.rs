@@ -395,7 +395,12 @@ impl Runtime {
         // The allocating thread first-touches the object's first page, as the JVM's
         // allocation path (TLAB bump + header store) would.
         let cpu = self.threads[&thread].cpu;
-        self.hierarchy.place_range(record.addr, record.size.min(1), PlacementPolicy::FirstTouch, cpu);
+        self.hierarchy.place_range(
+            record.addr,
+            record.size.min(1),
+            PlacementPolicy::FirstTouch,
+            cpu,
+        );
 
         let state = &self.threads[&thread];
         let class_name = self.classes.name_of(class).to_string();
@@ -418,7 +423,7 @@ impl Runtime {
     /// Marks an object unreachable; the next collection reclaims it. This is the
     /// simulator's stand-in for an object's last reference dying.
     pub fn release(&mut self, obj: &ObjRef) -> Result<()> {
-        self.heap.mark_dead(obj.id).map_err(Into::into)
+        self.heap.mark_dead(obj.id)
     }
 
     /// `true` when the object is still live on the heap.
@@ -463,13 +468,8 @@ impl Runtime {
             }
         }
         for r in &outcome.reclaimed {
-            let event = ObjectReclaimEvent {
-                gc,
-                object: r.id,
-                addr: r.addr,
-                size: r.size,
-                class: r.class,
-            };
+            let event =
+                ObjectReclaimEvent { gc, object: r.id, addr: r.addr, size: r.size, class: r.class };
             for l in &self.listeners {
                 l.on_object_reclaim(&event);
             }
@@ -502,7 +502,12 @@ impl Runtime {
     ///
     /// [`RuntimeError::OutOfBounds`] when the index is past the end of the array,
     /// [`RuntimeError::UnknownObject`] when the object has been reclaimed.
-    pub fn load_elem(&mut self, thread: ThreadId, obj: &ObjRef, index: u64) -> Result<AccessOutcome> {
+    pub fn load_elem(
+        &mut self,
+        thread: ThreadId,
+        obj: &ObjRef,
+        index: u64,
+    ) -> Result<AccessOutcome> {
         let (addr, size) = self.elem_addr(obj, index)?;
         self.object_access(thread, obj.id, addr, size, AccessKind::Load)
     }
@@ -512,7 +517,12 @@ impl Runtime {
     /// # Errors
     ///
     /// Same conditions as [`Runtime::load_elem`].
-    pub fn store_elem(&mut self, thread: ThreadId, obj: &ObjRef, index: u64) -> Result<AccessOutcome> {
+    pub fn store_elem(
+        &mut self,
+        thread: ThreadId,
+        obj: &ObjRef,
+        index: u64,
+    ) -> Result<AccessOutcome> {
         let (addr, size) = self.elem_addr(obj, index)?;
         self.object_access(thread, obj.id, addr, size, AccessKind::Store)
     }
@@ -522,7 +532,12 @@ impl Runtime {
     /// # Errors
     ///
     /// [`RuntimeError::OutOfBounds`] when the offset is past the object's payload.
-    pub fn load_field(&mut self, thread: ThreadId, obj: &ObjRef, offset: u64) -> Result<AccessOutcome> {
+    pub fn load_field(
+        &mut self,
+        thread: ThreadId,
+        obj: &ObjRef,
+        offset: u64,
+    ) -> Result<AccessOutcome> {
         let addr = self.field_addr(obj, offset)?;
         self.object_access(thread, obj.id, addr, 8, AccessKind::Load)
     }
@@ -532,7 +547,12 @@ impl Runtime {
     /// # Errors
     ///
     /// Same conditions as [`Runtime::load_field`].
-    pub fn store_field(&mut self, thread: ThreadId, obj: &ObjRef, offset: u64) -> Result<AccessOutcome> {
+    pub fn store_field(
+        &mut self,
+        thread: ThreadId,
+        obj: &ObjRef,
+        offset: u64,
+    ) -> Result<AccessOutcome> {
         let addr = self.field_addr(obj, offset)?;
         self.object_access(thread, obj.id, addr, 8, AccessKind::Store)
     }
@@ -540,7 +560,12 @@ impl Runtime {
     /// Performs a raw access to an address not owned by any tracked object (stack data,
     /// runtime-internal structures, JIT code). Such accesses still feed the PMU but can
     /// never be attributed to a monitored object.
-    pub fn raw_access(&mut self, thread: ThreadId, addr: Addr, kind: AccessKind) -> Result<AccessOutcome> {
+    pub fn raw_access(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> Result<AccessOutcome> {
         let cpu = self.live_thread(thread)?.cpu;
         let access = match kind {
             AccessKind::Load => MemoryAccess::load(cpu, addr, 8),
@@ -569,7 +594,11 @@ impl Runtime {
         let record = self.heap.get(obj.id).ok_or(RuntimeError::UnknownObject(obj.id))?;
         let off = OBJECT_HEADER_SIZE + offset;
         if off >= record.size {
-            return Err(RuntimeError::OutOfBounds { object: obj.id, offset: off, size: record.size });
+            return Err(RuntimeError::OutOfBounds {
+                object: obj.id,
+                offset: off,
+                size: record.size,
+            });
         }
         Ok(record.addr + off)
     }
@@ -836,16 +865,10 @@ mod tests {
         let class = rt.register_array_class("int[]", 4);
         let t = rt.spawn_thread("main");
         let arr = rt.alloc_array(t, class, 10).unwrap();
-        assert!(matches!(
-            rt.load_elem(t, &arr, 10),
-            Err(RuntimeError::OutOfBounds { .. })
-        ));
+        assert!(matches!(rt.load_elem(t, &arr, 10), Err(RuntimeError::OutOfBounds { .. })));
         rt.release(&arr).unwrap();
         rt.collect_garbage();
-        assert!(matches!(
-            rt.load_elem(t, &arr, 0),
-            Err(RuntimeError::UnknownObject(_))
-        ));
+        assert!(matches!(rt.load_elem(t, &arr, 0), Err(RuntimeError::UnknownObject(_))));
     }
 
     #[test]
@@ -854,7 +877,10 @@ mod tests {
         let class = rt.register_class("X", 16);
         let ghost = ThreadId(99);
         assert!(matches!(rt.alloc_instance(ghost, class), Err(RuntimeError::UnknownThread(_))));
-        assert!(matches!(rt.push_frame(ghost, MethodId(0), 0), Err(RuntimeError::UnknownThread(_))));
+        assert!(matches!(
+            rt.push_frame(ghost, MethodId(0), 0),
+            Err(RuntimeError::UnknownThread(_))
+        ));
 
         let t = rt.spawn_thread("t");
         rt.finish_thread(t).unwrap();
@@ -915,7 +941,8 @@ mod tests {
         let arr = rt.alloc_array(t, class, 8192).unwrap();
         // First touch by the allocating thread puts (at least) the first page on node 0.
         assert_eq!(rt.node_of_object(arr.id), Some(djx_memsim::NumaNode(0)));
-        rt.place_object(arr.id, PlacementPolicy::Fixed(djx_memsim::NumaNode(1))).unwrap();
+        rt.place_object(arr.id, PlacementPolicy::Fixed(djx_memsim::NumaNode(1)))
+            .unwrap();
         assert_eq!(rt.node_of_object(arr.id), Some(djx_memsim::NumaNode(1)));
         assert!(rt.place_object(ObjectId(999), PlacementPolicy::Interleaved).is_err());
     }

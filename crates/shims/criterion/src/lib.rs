@@ -1,0 +1,189 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace vendors the
+//! subset of `criterion` its microbenchmarks use: benchmark groups, `bench_function`,
+//! `iter`/`iter_batched`, throughput annotation and the `criterion_group!`/
+//! `criterion_main!` macros. Timing is a plain mean over a warmup-plus-measurement loop
+//! — adequate for the relative comparisons the repository's benches make, without the
+//! statistical machinery (or the compile time) of real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted for API compatibility;
+/// the shim always runs one routine call per setup call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a group's subsequent benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to registered functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput, reported as elements or bytes
+    /// per second.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark: a warmup call, then `sample_size` timed iterations.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        // Warmup (also lets closures with internal setup reach steady state).
+        f(&mut bencher);
+
+        bencher.iters = self.sample_size as u64;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {:>12.3} µs/iter{}", self.name, id, mean * 1e6, rate);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Times the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, called once per iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Measures `routine` over inputs built by `setup`; only the routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed += elapsed;
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_benchmarks_and_count_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_function("iter", |b| b.iter(|| calls += 1));
+        // Warmup (1 iter) + measurement (3 iters).
+        assert_eq!(calls, 4);
+        let mut batched = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 8);
+        group.finish();
+    }
+
+    criterion_group!(sample_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop").bench_function("nothing", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn criterion_group_macro_generates_runner() {
+        sample_group();
+    }
+}

@@ -1,0 +1,57 @@
+//! `any::<T>()` — the canonical full-range strategy for a type.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy over the full value range of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// The canonical strategy for `T`, generating from its full range.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any { _marker: PhantomData }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! any_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::new(9);
+        let bools: Vec<bool> = (0..64).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(bools.iter().any(|b| *b) && bools.iter().any(|b| !*b));
+        let a = any::<u64>().generate(&mut rng);
+        let b = any::<u64>().generate(&mut rng);
+        assert_ne!(a, b, "64-bit collisions are vanishingly unlikely");
+    }
+}

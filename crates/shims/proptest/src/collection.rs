@@ -1,0 +1,94 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.in_range(self.size.start as u64, self.size.end as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`. Generation
+/// keeps inserting until the set reaches the target size or a duplicate budget runs out
+/// (narrow element domains may yield a smaller set, as in real proptest).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty btree_set size range");
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.in_range(self.size.start as u64, self.size.end as u64) as usize;
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 20 + 100 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(5);
+        let strategy = vec(0u64..100, 3..8);
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!((3..8).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 100));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_deduplicated_and_sized() {
+        let mut rng = TestRng::new(6);
+        let strategy = btree_set(0u64..64, 1..32);
+        for _ in 0..50 {
+            let s = strategy.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 32);
+        }
+        // A domain narrower than the requested size saturates instead of hanging.
+        let narrow = btree_set(0u64..3, 10..11);
+        assert_eq!(narrow.generate(&mut rng).len(), 3);
+    }
+}

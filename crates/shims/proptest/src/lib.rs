@@ -1,0 +1,158 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace vendors the
+//! subset of `proptest` its property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, over integer ranges, tuples, [`Just`],
+//!   [`any`], regex-subset string literals, [`collection::vec`] and
+//!   [`collection::btree_set`], and [`prop_oneof!`] unions;
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`) and the
+//!   [`prop_assert!`] / [`prop_assert_eq!`] macros;
+//! * [`test_runner::Config`] (`ProptestConfig` in the prelude).
+//!
+//! Differences from real proptest: value generation is purely random (deterministic per
+//! test via a fixed seed) and failing cases are reported with their full `Debug` inputs
+//! but are **not shrunk**. That is enough for the repository's CI properties, which
+//! assert algebraic invariants rather than hunt minimal counterexamples.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec(...)` works as in real proptest.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs every case of one property, panicking with the inputs on the first failure.
+/// Used by [`proptest!`]-generated tests; not public API in real proptest.
+#[doc(hidden)]
+pub fn __run_cases(
+    test_name: &str,
+    cases: u32,
+    mut one_case: impl FnMut(&mut test_runner::TestRng, u32) -> Result<(), String>,
+) {
+    for case in 0..cases {
+        // One deterministic stream per (test, case): reruns reproduce exactly.
+        let seed = test_runner::mix(test_name, case);
+        let mut rng = test_runner::TestRng::new(seed);
+        if let Err(message) = one_case(&mut rng, case) {
+            panic!("proptest `{test_name}` failed at case {case}/{cases}:\n{message}");
+        }
+    }
+}
+
+/// The property-test macro. Accepts one optional `#![proptest_config(...)]` line and any
+/// number of test functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::__run_cases(stringify!($name), config.cases, |rng, _case| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);
+                    )+
+                    let mut inputs = ::std::string::String::new();
+                    $(
+                        inputs.push_str(&::std::format!(
+                            "    {} = {:?}\n", stringify!($arg), &$arg
+                        ));
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    outcome.map_err(|e| ::std::format!("{e}\ninputs:\n{inputs}"))
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (with its inputs)
+/// instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Chooses uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,337 @@
+//! The [`Strategy`] trait and the combinators the workspace's property tests use.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, map }
+    }
+}
+
+// Boxed strategies (used by `prop_oneof!`) delegate through the box.
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type (helper for [`prop_oneof!`](crate::prop_oneof)).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+/// Uniform choice between several boxed strategies (the [`prop_oneof!`](crate::prop_oneof)
+/// backing type).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! requires at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Integer ranges
+// ---------------------------------------------------------------------------------------
+
+macro_rules! unsigned_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.in_range(self.start as u64, self.end as u64) as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    if hi == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    rng.in_range(lo, hi + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.in_range_i64(self.start as i64, self.end as i64) as $ty
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------------------
+// Regex-subset string strategies (string literals used as strategies)
+// ---------------------------------------------------------------------------------------
+
+/// One atom of the supported regex subset: a set of candidate characters plus a
+/// repetition range.
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset used by the workspace's tests: literal characters, `[...]`
+/// character classes with ranges and `\`-escapes, and `{m,n}` / `{n}` repetition.
+///
+/// Unsupported constructs panic with a clear message so a future test extension fails
+/// loudly instead of silently generating wrong data.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let Some(item) = chars.next() else {
+                        panic!("unterminated character class in pattern {pattern:?}");
+                    };
+                    match item {
+                        ']' => break,
+                        '\\' => {
+                            let escaped = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                            set.push(escaped);
+                        }
+                        _ => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars.next().unwrap_or_else(|| {
+                                    panic!("unterminated range in pattern {pattern:?}")
+                                });
+                                if hi == ']' {
+                                    set.push(item);
+                                    set.push('-');
+                                    break;
+                                }
+                                for code in item as u32..=hi as u32 {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        set.push(ch);
+                                    }
+                                }
+                            } else {
+                                set.push(item);
+                            }
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => {
+                let escaped =
+                    chars.next().unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                vec![escaped]
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                panic!("regex construct {c:?} is not supported by the vendored proptest shim")
+            }
+            _ => vec![c],
+        };
+        // Optional {m,n} / {n} repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for item in chars.by_ref() {
+                if item == '}' {
+                    break;
+                }
+                spec.push(item);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!choices.is_empty(), "empty character class in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(1234)
+    }
+
+    #[test]
+    fn ranges_tuples_and_map_compose() {
+        let mut rng = rng();
+        let strategy = (0u64..10, 1u32..5).prop_map(|(a, b)| a + u64::from(b));
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..15).contains(&v));
+        }
+        for _ in 0..100 {
+            assert!((-3..3).contains(&(-3i32..3).generate(&mut rng)));
+            assert!((0..=5).contains(&(0u8..=5).generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn just_and_union_choose_between_options() {
+        let mut rng = rng();
+        let union = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8))]);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[union.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn string_pattern_generates_matching_values() {
+        let mut rng = rng();
+        let pattern = "[A-Za-z][A-Za-z0-9 .\\[\\]]{0,18}";
+        for _ in 0..200 {
+            let s = pattern.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 19, "bad length: {s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic(), "bad first char in {s:?}");
+            for c in s.chars().skip(1) {
+                assert!(
+                    c.is_ascii_alphanumeric() || c == ' ' || c == '.' || c == '[' || c == ']',
+                    "bad char {c:?} in {s:?}"
+                );
+            }
+        }
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!("x{3}".generate(&mut rng), "xxx");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_regex_rejected() {
+        let _ = "(a|b)".generate(&mut rng());
+    }
+}

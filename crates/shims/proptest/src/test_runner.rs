@@ -1,0 +1,145 @@
+//! Test-runner configuration and the deterministic RNG behind value generation.
+
+/// Configuration of a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Error failing one test case (carries the rendered assertion message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Mixes a test name and case index into a 64-bit seed (FNV-1a over the name, then
+/// SplitMix64 with the case folded in).
+pub fn mix(test_name: &str, case: u32) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The deterministic generator handed to strategies (`xorshift64*` core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Self { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform signed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn in_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+        let span = (hi as i128 - lo as i128) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// A random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_with_cases() {
+        assert_eq!(Config::default().cases, 256);
+        assert_eq!(Config::with_cases(64).cases, 64);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let mut a = TestRng::new(3);
+        let mut b = TestRng::new(3);
+        for _ in 0..100 {
+            let x = a.in_range(10, 20);
+            assert_eq!(x, b.in_range(10, 20));
+            assert!((10..20).contains(&x));
+        }
+        assert!((-5..5).contains(&a.in_range_i64(-5, 5)));
+    }
+
+    #[test]
+    fn mix_separates_tests_and_cases() {
+        assert_ne!(mix("a", 0), mix("b", 0));
+        assert_ne!(mix("a", 0), mix("a", 1));
+        assert_eq!(mix("a", 7), mix("a", 7));
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace vendors the
+//! subset of `rand` the virtual PMU uses: [`rngs::SmallRng`], [`SeedableRng`] and the
+//! [`Rng`] extension with integer `gen_range`. The generator is `xorshift64*` seeded
+//! through SplitMix64 — small, fast, deterministic per seed, and statistically more than
+//! adequate for sampling-period jitter.
+
+use std::ops::RangeInclusive;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core generator interface plus convenience sampling methods.
+pub trait Rng {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from an inclusive integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (`lo > hi`).
+    fn gen_range(&mut self, range: RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "cannot sample from empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Multiply-shift mapping (Lemire): unbiased enough for jitter purposes and
+        // branch-free; the modulo bias of span ≪ 2^64 is negligible here anyway.
+        let hi128 = ((self.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+        lo + hi128
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (`xorshift64*`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion so that nearby seeds produce unrelated streams.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let state = (z ^ (z >> 31)) | 1; // never zero
+            Self { state }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(5..=14);
+            assert!((5..=14).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all values of a small range appear");
+        assert_eq!(rng.gen_range(3..=3), 3, "degenerate range");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0..=99) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 49.5).abs() < 1.0, "mean {mean}");
+    }
+}

@@ -89,7 +89,12 @@ impl BloatKernel {
         (self.array_len * self.elem_size).div_ceil(64).max(1)
     }
 
-    fn touch_object(&self, rt: &mut Runtime, thread: ThreadId, obj: &ObjRef) -> djx_runtime::Result<()> {
+    fn touch_object(
+        &self,
+        rt: &mut Runtime,
+        thread: ThreadId,
+        obj: &ObjRef,
+    ) -> djx_runtime::Result<()> {
         // One load + one store per touched cache line: a read-modify-write pass like the
         // processing the motivating applications perform over their buffers.
         let elems_per_line = (64 / self.elem_size).max(1);
@@ -294,7 +299,8 @@ mod tests {
 
     #[test]
     fn batik_profile_ranks_nvals_with_a_significant_share() {
-        let run = run_profiled(&BatikNvalsWorkload::new(Variant::Baseline).scaled(0.4), quick_config());
+        let run =
+            run_profiled(&BatikNvalsWorkload::new(Variant::Baseline).scaled(0.4), quick_config());
         let nvals = run
             .report
             .find_by_class("float[] (nvals)")
@@ -314,7 +320,10 @@ mod tests {
 
     #[test]
     fn lusearch_collector_is_insignificant_and_optimization_does_not_pay() {
-        let run = run_profiled(&LusearchCollectorWorkload::new(Variant::Baseline).scaled(0.4), quick_config());
+        let run = run_profiled(
+            &LusearchCollectorWorkload::new(Variant::Baseline).scaled(0.4),
+            quick_config(),
+        );
         let collector = run.report.find_by_class("TopDocCollector");
         let fraction = collector.map(|c| c.fraction_of_total).unwrap_or(0.0);
         assert!(
@@ -322,8 +331,10 @@ mod tests {
             "the collector must account for almost no misses, got {fraction:.3}"
         );
 
-        let baseline = run_unprofiled(&LusearchCollectorWorkload::new(Variant::Baseline).scaled(0.25));
-        let optimized = run_unprofiled(&LusearchCollectorWorkload::new(Variant::Optimized).scaled(0.25));
+        let baseline =
+            run_unprofiled(&LusearchCollectorWorkload::new(Variant::Baseline).scaled(0.25));
+        let optimized =
+            run_unprofiled(&LusearchCollectorWorkload::new(Variant::Optimized).scaled(0.25));
         let s = speedup(&baseline, &optimized);
         assert!(
             (0.95..1.05).contains(&s),
@@ -335,9 +346,12 @@ mod tests {
 
     #[test]
     fn hot_and_cold_bloat_contrast_matches_the_paper() {
-        let batik = run_profiled(&BatikNvalsWorkload::new(Variant::Baseline).scaled(0.25), quick_config());
-        let lusearch =
-            run_profiled(&LusearchCollectorWorkload::new(Variant::Baseline).scaled(0.25), quick_config());
+        let batik =
+            run_profiled(&BatikNvalsWorkload::new(Variant::Baseline).scaled(0.25), quick_config());
+        let lusearch = run_profiled(
+            &LusearchCollectorWorkload::new(Variant::Baseline).scaled(0.25),
+            quick_config(),
+        );
         let nvals_share = batik
             .report
             .find_by_class("float[] (nvals)")

@@ -54,11 +54,7 @@ pub const FIGURE1_SITES: [Figure1Site; 10] = [
 /// Expected per-object shares implied by [`FIGURE1_SITES`] (percent, indexed by object
 /// number 1–3).
 pub fn expected_object_percent(object: usize) -> u64 {
-    FIGURE1_SITES
-        .iter()
-        .filter(|s| s.object == object)
-        .map(|s| s.percent)
-        .sum()
+    FIGURE1_SITES.iter().filter(|s| s.object == object).map(|s| s.percent).sum()
 }
 
 /// The Figure 1 workload.
@@ -118,12 +114,8 @@ impl Workload for Figure1Workload {
         // every load is a cold cache miss, so miss shares equal access shares.
         let mut cursor = [0u64; 4];
         for (index, site) in FIGURE1_SITES.iter().enumerate() {
-            let method = rt.register_method(
-                "App",
-                site.instruction,
-                "App.java",
-                &[(0, 100 + index as u32)],
-            );
+            let method =
+                rt.register_method("App", site.instruction, "App.java", &[(0, 100 + index as u32)]);
             let obj = &objects[site.object - 1];
             let lines = site.percent * self.lines_per_percent;
             let start_line = cursor[site.object];

@@ -52,16 +52,24 @@ impl Workload for FindBugsWorkload {
         let run_method = dsl::thread_run_method(rt);
         let analyze_app =
             rt.register_method("FindBugs2", "analyzeApplication", "FindBugs2.java", &[(0, 111)]);
-        let set_app_class =
-            rt.register_method("AnalysisCache", "setAppClassList", "AnalysisCache.java", &[(0, 634)]);
+        let set_app_class = rt.register_method(
+            "AnalysisCache",
+            "setAppClassList",
+            "AnalysisCache.java",
+            &[(0, 634)],
+        );
         let parse = rt.register_method(
             "ClassParserUsingASM",
             "parse",
             "ClassParserUsingASM.java",
             &[(0, 640), (2, 642)],
         );
-        let analyze_method =
-            rt.register_method("FindBugs2", "analyzeMethod", "FindBugs2.java", &[(0, 117), (2, 119)]);
+        let analyze_method = rt.register_method(
+            "FindBugs2",
+            "analyzeMethod",
+            "FindBugs2.java",
+            &[(0, 117), (2, 119)],
+        );
         let visit = rt.register_method("Detector2", "visitClass", "Detector2.java", &[(0, 114)]);
 
         let thread = rt.spawn_thread("main");
@@ -90,7 +98,9 @@ impl Workload for FindBugsWorkload {
             let buf = match &hoisted {
                 Some((buf, _)) => buf.clone(),
                 None => dsl::with_frame(rt, thread, set_app_class, 0, |rt| {
-                    dsl::with_frame(rt, thread, parse, 2, |rt| rt.alloc_array(thread, char_array, 1024))
+                    dsl::with_frame(rt, thread, parse, 2, |rt| {
+                        rt.alloc_array(thread, char_array, 1024)
+                    })
                 })?,
             };
             // Parsing fills and re-reads the buffer (read-modify-write per line).

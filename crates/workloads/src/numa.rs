@@ -192,9 +192,8 @@ impl Workload for DruidBitmapWorkload {
 
         let master = rt.spawn_thread_on_cpu("main", 0);
         rt.push_frame(master, run_method, 0)?;
-        let bitmap = dsl::with_frame(rt, master, ctor, 0, |rt| {
-            rt.alloc_array(master, bitset, self.words)
-        })?;
+        let bitmap =
+            dsl::with_frame(rt, master, ctor, 0, |rt| rt.alloc_array(master, bitset, self.words))?;
 
         // Spawn workers split across the two nodes; each owns one partition.
         let cpus = rt.hierarchy().cpu_count();
@@ -266,7 +265,8 @@ mod tests {
 
     #[test]
     fn eclipse_baseline_shows_mostly_remote_accesses_on_the_result_array() {
-        let run = run_profiled(&EclipseCollectionsWorkload::new(Variant::Baseline), numa_profiler());
+        let run =
+            run_profiled(&EclipseCollectionsWorkload::new(Variant::Baseline), numa_profiler());
         let result = run
             .report
             .find_by_class("Integer[] (result)")
@@ -282,8 +282,10 @@ mod tests {
 
     #[test]
     fn eclipse_interleaving_cuts_remote_accesses_and_improves_throughput() {
-        let base = run_profiled(&EclipseCollectionsWorkload::new(Variant::Baseline), numa_profiler());
-        let opt = run_profiled(&EclipseCollectionsWorkload::new(Variant::Optimized), numa_profiler());
+        let base =
+            run_profiled(&EclipseCollectionsWorkload::new(Variant::Baseline), numa_profiler());
+        let opt =
+            run_profiled(&EclipseCollectionsWorkload::new(Variant::Optimized), numa_profiler());
         let base_remote = base.outcome.hierarchy.remote_dram_accesses;
         let opt_remote = opt.outcome.hierarchy.remote_dram_accesses;
         assert!(
@@ -297,10 +299,7 @@ mod tests {
     #[test]
     fn druid_baseline_is_majority_remote_and_fix_localizes_accesses() {
         let base = run_profiled(&DruidBitmapWorkload::new(Variant::Baseline), numa_profiler());
-        let bitmap = base
-            .report
-            .find_by_class("long[] (bitmap)")
-            .expect("bitmap must be reported");
+        let bitmap = base.report.find_by_class("long[] (bitmap)").expect("bitmap must be reported");
         assert!(
             bitmap.remote_fraction > 0.4,
             "more than half the accesses should be remote, got {:.2}",
@@ -320,7 +319,8 @@ mod tests {
 
     #[test]
     fn scaled_variants_run_quickly_and_keep_the_allocation_site() {
-        let run = run_profiled(&DruidBitmapWorkload::new(Variant::Baseline).scaled(0.4), numa_profiler());
+        let run =
+            run_profiled(&DruidBitmapWorkload::new(Variant::Baseline).scaled(0.4), numa_profiler());
         let bitmap = run.report.find_by_class("long[] (bitmap)");
         assert!(bitmap.is_some());
         let leaf = bitmap.unwrap().alloc_path.last().unwrap();

@@ -82,8 +82,12 @@ impl Workload for ObjectLayoutWorkload {
 
         let run_method = dsl::thread_run_method(rt);
         let bench = rt.register_method("SAHashMapBench", "run", "SAHashMapBench.java", &[(0, 85)]);
-        let new_instance =
-            rt.register_method("StructuredArray", "newInstance", "StructuredArray.java", &[(0, 120)]);
+        let new_instance = rt.register_method(
+            "StructuredArray",
+            "newInstance",
+            "StructuredArray.java",
+            &[(0, 120)],
+        );
         let allocate = rt.register_method(
             "AbstractStructuredArrayBase",
             "allocateInternalStorage",
@@ -108,7 +112,8 @@ impl Workload for ObjectLayoutWorkload {
         };
 
         // Optimized: one structured array reused for every "instance" (singleton).
-        let singleton = if self.variant == Variant::Optimized { Some(allocate_all(rt)?) } else { None };
+        let singleton =
+            if self.variant == Variant::Optimized { Some(allocate_all(rt)?) } else { None };
 
         for instance in 0..self.instances {
             let (storage, buckets, keys) = match &singleton {

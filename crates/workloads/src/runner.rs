@@ -8,7 +8,10 @@ use std::time::{Duration, Instant};
 
 use djx_memsim::HierarchyStats;
 use djx_runtime::{MethodRegistry, Runtime, RuntimeStats};
-use djxperf::{AnalysisReport, Analyzer, DjxPerf, ObjectCentricProfile, ProfilerConfig};
+use djxperf::{
+    AnalysisReport, Analyzer, CodeCentricProfile, DjxPerf, NumaProfile, ObjectCentricProfile,
+    ProfilerConfig, Session,
+};
 
 use crate::Workload;
 
@@ -103,6 +106,63 @@ pub fn run_profiled(workload: &dyn Workload, config: ProfilerConfig) -> Profiled
     }
 }
 
+/// The outcome of a session-profiled run: the measurement plus every view one pass of
+/// the unified [`Session`] produces — the object-centric profile and its analysis, the
+/// code-centric baseline and the NUMA view. This replaces the two-run workflow the
+/// Figure 1 comparison previously required.
+pub struct SessionRun {
+    /// The run measurement (wall time includes the profiler's work).
+    pub outcome: RunOutcome,
+    /// The assembled object-centric profile.
+    pub profile: ObjectCentricProfile,
+    /// The merged, ranked analysis of that profile.
+    pub report: AnalysisReport,
+    /// The code-centric (perf-like) profile from the same sampling stream.
+    pub code: CodeCentricProfile,
+    /// The NUMA view from the same sampling stream.
+    pub numa: NumaProfile,
+    /// The runtime's method registry, for symbolizing reports.
+    pub methods: MethodRegistry,
+    /// Approximate resident bytes of the session's data structures at the end of the
+    /// run.
+    pub profiler_bytes: usize,
+    /// The session handle (e.g. to take further snapshots or stream through a sink).
+    pub session: Arc<Session>,
+}
+
+/// Runs a workload once with a multi-collector [`Session`] attached from the start, and
+/// returns the object-centric, code-centric and NUMA views of that single pass.
+///
+/// # Panics
+///
+/// Panics if the workload itself fails.
+pub fn run_session(workload: &dyn Workload, config: ProfilerConfig) -> SessionRun {
+    let mut rt = Runtime::new(workload.runtime_config());
+    let session = Session::builder()
+        .config(config)
+        .collect_objects()
+        .collect_code()
+        .collect_numa()
+        .attach(&mut rt);
+    let start = Instant::now();
+    workload.run(&mut rt).expect("workload must run to completion");
+    rt.shutdown();
+    let wall = start.elapsed();
+
+    let profile = session.object_profile().expect("object collector registered");
+    let report = Analyzer::new().analyze(&profile);
+    SessionRun {
+        outcome: finish(&workload.name(), &rt, wall),
+        report,
+        code: session.code_profile().expect("code collector registered"),
+        numa: session.numa_profile().expect("numa collector registered"),
+        profile,
+        methods: rt.methods().clone(),
+        profiler_bytes: session.memory_footprint_bytes(),
+        session,
+    }
+}
+
 /// Whole-program speedup of `optimized` relative to `baseline`, computed over modeled
 /// execution cycles (`>1` means the optimization helps).
 pub fn speedup(baseline: &RunOutcome, optimized: &RunOutcome) -> f64 {
@@ -146,7 +206,7 @@ pub fn median(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = sorted.len() / 2;
-    if sorted.len() % 2 == 0 {
+    if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     } else {
         sorted[mid]
@@ -175,6 +235,25 @@ mod tests {
     }
 
     #[test]
+    fn session_run_yields_all_views_and_matches_the_legacy_path() {
+        let workload = BatikNvalsWorkload::new(Variant::Baseline).scaled(0.1);
+        let config = ProfilerConfig::default().with_period(64);
+        let legacy = run_profiled(&workload, config);
+        let session = run_session(&workload, config);
+
+        // The multi-collector single pass reproduces the legacy object-centric profile
+        // bit for bit, and the extra views come from the same sampling stream.
+        assert_eq!(session.profile.to_text(), legacy.profile.to_text());
+        assert_eq!(session.outcome.stats.accesses, legacy.outcome.stats.accesses);
+        assert_eq!(session.outcome.modeled_cycles, legacy.outcome.modeled_cycles);
+        assert_eq!(session.code.total_samples, session.profile.total_samples());
+        assert_eq!(session.numa.total_samples(), session.profile.total_samples());
+        assert!(session.code.hottest_location_fraction() > 0.0);
+        assert!(session.profiler_bytes > 0);
+        assert_eq!(session.report.total_samples, legacy.report.total_samples);
+    }
+
+    #[test]
     fn speedup_and_overhead_ratios() {
         let fast = RunOutcome {
             name: "fast".into(),
@@ -183,7 +262,12 @@ mod tests {
             stats: RuntimeStats::default(),
             hierarchy: HierarchyStats::default(),
         };
-        let slow = RunOutcome { name: "slow".into(), modeled_cycles: 100, wall: Duration::from_millis(12), ..fast.clone() };
+        let slow = RunOutcome {
+            name: "slow".into(),
+            modeled_cycles: 100,
+            wall: Duration::from_millis(12),
+            ..fast.clone()
+        };
         assert!((speedup(&slow, &fast) - 2.0).abs() < 1e-12);
         assert!((runtime_overhead(&fast, &slow) - 1.2).abs() < 1e-9);
         let degenerate = RunOutcome { modeled_cycles: 0, ..fast.clone() };

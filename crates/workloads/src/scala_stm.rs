@@ -79,9 +79,16 @@ impl ScalaStmWorkload {
         let graph_class = rt.register_array_class("long[] (stmbench7 graph)", 8);
 
         let run_method = dsl::thread_run_method(rt);
-        let txn_method = rt.register_method("StmBench7", "transaction", "StmBench7.scala", &[(0, 210)]);
-        let record = rt.register_method("AccessHistory", "recordWrite", "AccessHistory.scala", &[(0, 602)]);
-        let grow = rt.register_method("AccessHistory", "grow", "AccessHistory.scala", &[(0, 615), (4, 619)]);
+        let txn_method =
+            rt.register_method("StmBench7", "transaction", "StmBench7.scala", &[(0, 210)]);
+        let record =
+            rt.register_method("AccessHistory", "recordWrite", "AccessHistory.scala", &[(0, 602)]);
+        let grow = rt.register_method(
+            "AccessHistory",
+            "grow",
+            "AccessHistory.scala",
+            &[(0, 615), (4, 619)],
+        );
         let commit = rt.register_method("InTxnImpl", "commit", "InTxnImpl.scala", &[(0, 410)]);
 
         let thread = rt.spawn_thread("stm-worker");

@@ -59,7 +59,8 @@ impl SuiteBenchmark {
     pub fn build(&self) -> SyntheticAppWorkload {
         // The allocation-callback rate is the overhead driver; derive it from the
         // overhead the paper measured so alloc-heavy benchmarks stay alloc-heavy.
-        let small_allocs_per_op = ((self.paper_runtime_overhead - 1.0) * 60.0).round().max(0.0) as u64;
+        let small_allocs_per_op =
+            ((self.paper_runtime_overhead - 1.0) * 60.0).round().max(0.0) as u64;
         let working_set_kb = match self.suite {
             Suite::Renaissance => 384,
             Suite::Dacapo => 256,
@@ -273,7 +274,12 @@ pub fn accuracy_benchmarks() -> Vec<AccuracyBenchmark> {
         AccuracyBenchmark {
             name: "dacapo-2006-luindex",
             known_issue_class: "char[] (Token buffer)",
-            site: AllocSiteSpec::new("DocumentWriter", "invertDocument", "DocumentWriter.java", 206),
+            site: AllocSiteSpec::new(
+                "DocumentWriter",
+                "invertDocument",
+                "DocumentWriter.java",
+                206,
+            ),
         },
         AccuracyBenchmark {
             name: "dacapo-2006-bloat",
@@ -293,7 +299,12 @@ pub fn accuracy_benchmarks() -> Vec<AccuracyBenchmark> {
         AccuracyBenchmark {
             name: "specjbb2000",
             known_issue_class: "Orderline[] (new order)",
-            site: AllocSiteSpec::new("NewOrderTransaction", "process", "NewOrderTransaction.java", 214),
+            site: AllocSiteSpec::new(
+                "NewOrderTransaction",
+                "process",
+                "NewOrderTransaction.java",
+                214,
+            ),
         },
     ]
 }
@@ -336,11 +347,7 @@ mod tests {
 
     #[test]
     fn synthetic_app_runs_with_four_threads_and_allocation_churn() {
-        let workload = suite_catalog()
-            .iter()
-            .find(|b| b.name == "mnemonics")
-            .unwrap()
-            .build();
+        let workload = suite_catalog().iter().find(|b| b.name == "mnemonics").unwrap().build();
         let outcome = run_unprofiled(&SyntheticAppWorkload { operations: 40, ..workload });
         assert_eq!(outcome.stats.threads_spawned, 4);
         assert!(outcome.stats.allocations > 4 * 40 * 20, "alloc-heavy benchmark churns");
@@ -353,7 +360,8 @@ mod tests {
         assert_eq!(benchmarks.len(), 5);
         // Run one of them end to end; the harness covers all five.
         let bench = &benchmarks[0];
-        let run = run_profiled(&bench.build().scaled(0.4), ProfilerConfig::default().with_period(64));
+        let run =
+            run_profiled(&bench.build().scaled(0.4), ProfilerConfig::default().with_period(64));
         let rank = run
             .report
             .objects

@@ -45,8 +45,5 @@ fn main() {
         opt.hierarchy.l1_misses,
         miss_cut * 100.0
     );
-    println!(
-        "whole-program speedup: {:.2}x (paper: 2.37x)",
-        speedup(&base, &opt)
-    );
+    println!("whole-program speedup: {:.2}x (paper: 2.37x)", speedup(&base, &opt));
 }

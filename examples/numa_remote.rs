@@ -10,7 +10,13 @@ use djx_workloads::runner::{run_profiled, speedup};
 use djx_workloads::{Variant, Workload};
 use djxperf::{render_numa_report, ProfilerConfig};
 
-fn study(name: &str, class_name: &str, paper_remote: &str, paper_speedup: &str, build: impl Fn(Variant) -> Box<dyn Workload>) {
+fn study(
+    name: &str,
+    class_name: &str,
+    paper_remote: &str,
+    paper_speedup: &str,
+    build: impl Fn(Variant) -> Box<dyn Workload>,
+) {
     let config = ProfilerConfig::default().with_period(128);
     let baseline = run_profiled(build(Variant::Baseline).as_ref(), config);
     let optimized = run_profiled(build(Variant::Optimized).as_ref(), config);
@@ -29,7 +35,8 @@ fn study(name: &str, class_name: &str, paper_remote: &str, paper_speedup: &str, 
     );
     println!(
         "remote DRAM accesses (machine-wide): {} -> {}",
-        baseline.outcome.hierarchy.remote_dram_accesses, optimized.outcome.hierarchy.remote_dram_accesses
+        baseline.outcome.hierarchy.remote_dram_accesses,
+        optimized.outcome.hierarchy.remote_dram_accesses
     );
     println!(
         "placement fix speedup: {:.2}x (paper: {paper_speedup})\n",

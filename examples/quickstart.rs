@@ -1,22 +1,33 @@
-//! Quickstart: profile a tiny memory-bloat program and print the object-centric report.
+//! Quickstart: profile a tiny memory-bloat program with a unified session and print
+//! every view one pass produces.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
 //! The program allocates a `float[]` inside a loop (the batik Listing 1 pattern), works
-//! over it, and throws it away. DJXPerf samples L1 misses, attributes every sample to
-//! the object (allocation site) enclosing the sampled address, and the offline analyzer
-//! ranks the sites — the hot `float[]` should come out on top, with its allocation call
-//! path resolved to `ExtendedGeneralPath.makeRoom (ExtendedGeneralPath.java:743)`.
+//! over it, and throws it away. A [`Session`] samples L1 misses once and feeds every
+//! registered collector from that single stream: the object-centric collector
+//! attributes each sample to the object (allocation site) enclosing the sampled
+//! address, the code-centric collector keeps the perf-like baseline for comparison, and
+//! the NUMA collector watches cross-node traffic. The offline analyzer then ranks the
+//! sites — the hot `float[]` should come out on top, with its allocation call path
+//! resolved to `ExtendedGeneralPath.makeRoom (ExtendedGeneralPath.java:743)`.
 
 use djx_runtime::{dsl, Runtime, RuntimeConfig};
-use djxperf::{Analyzer, DjxPerf, ProfilerConfig, ReportOptions};
+use djxperf::{Analyzer, JsonSink, Report, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A simulated managed runtime (the JVM stand-in) with DJXPerf attached at launch.
+    // 1. A simulated managed runtime (the JVM stand-in) with a session attached at
+    //    launch: the sampling substrate is configured once, then any number of
+    //    collectors share it.
     let mut rt = Runtime::new(RuntimeConfig::evaluation());
-    let profiler = DjxPerf::attach(&mut rt, ProfilerConfig::default().with_period(128));
+    let session = Session::builder()
+        .period(128)
+        .collect_objects()
+        .collect_code()
+        .collect_numa()
+        .attach(&mut rt);
 
     // 2. The monitored program: 500 iterations, each allocating an 8 KiB float[] in
     //    makeRoom and doing a read-modify-write pass over it.
@@ -33,9 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rt.finish_thread(main_thread)?;
     rt.shutdown();
 
-    // 3. Offline analysis: merge per-thread profiles and rank objects by sampled misses.
-    let profile = profiler.profile();
-    let report = Analyzer::new().analyze(&profile);
+    // 3. Offline analysis: merge per-thread profiles and rank objects by sampled
+    //    misses. The analyzer is a builder too — cap the report at the ten hottest
+    //    sites with at least one sample.
+    let profile = session.object_profile().expect("object collector registered");
+    let report = Analyzer::builder().top(10).min_samples(1).build().analyze(&profile);
 
     println!(
         "collected {} samples over {} monitored allocations ({} GC relocations applied)\n",
@@ -43,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile.allocation_stats.monitored,
         profile.allocation_stats.relocations,
     );
-    println!(
-        "{}",
-        djxperf::render_object_report(&report, rt.methods(), ReportOptions::default())
-    );
+    println!("{}", Report::object(&report, rt.methods()));
 
     let hottest = report.hottest().expect("the float[] site must receive samples");
     println!(
@@ -55,5 +65,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hottest.fraction_of_total * 100.0,
         hottest.metrics.allocations
     );
+
+    // 4. The same pass also produced the code-centric baseline ...
+    let code = session.code_profile().expect("code collector registered");
+    println!(
+        "\ncode-centric baseline from the same pass: hottest single location {:.1}%",
+        code.hottest_location_fraction() * 100.0
+    );
+
+    // 5. ... and a machine-readable export for dashboards or offline merging.
+    let mut json = Vec::new();
+    session.stream_snapshot(&JsonSink::new(), &mut json)?;
+    println!("JSON snapshot: {} bytes (parse it back with JsonSink::read_profile)", json.len());
     Ok(())
 }

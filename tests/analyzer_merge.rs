@@ -8,11 +8,7 @@ use djx_workloads::Variant;
 use djxperf::{Analyzer, ProfilerConfig};
 
 fn multi_threaded_run() -> djx_workloads::runner::ProfiledRun {
-    let mut workload = suite_catalog()
-        .iter()
-        .find(|b| b.name == "fj-kmeans")
-        .unwrap()
-        .build();
+    let mut workload = suite_catalog().iter().find(|b| b.name == "fj-kmeans").unwrap().build();
     workload.operations = 120;
     run_profiled(&workload, ProfilerConfig::default().with_period(256))
 }

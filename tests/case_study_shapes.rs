@@ -20,7 +20,9 @@ fn every_table1_case_surfaces_its_problem_object_near_the_top() {
             .objects
             .iter()
             .position(|o| o.class_name == case.problem_class)
-            .unwrap_or_else(|| panic!("{}: {} missing from the report", case.name, case.problem_class));
+            .unwrap_or_else(|| {
+                panic!("{}: {} missing from the report", case.name, case.problem_class)
+            });
         assert!(
             rank < 5,
             "{}: {} should rank in the top 5, got {}",
@@ -93,11 +95,7 @@ fn table2_objects_are_insignificant_and_their_optimization_is_futile() {
         let baseline_workload = case.build(Variant::Baseline).scaled(0.4);
         let run = run_profiled(&baseline_workload, ProfilerConfig::default().with_period(128));
         let class = format!("{} (cold)", case.class_name);
-        let fraction = run
-            .report
-            .find_by_class(&class)
-            .map(|o| o.fraction_of_total)
-            .unwrap_or(0.0);
+        let fraction = run.report.find_by_class(&class).map(|o| o.fraction_of_total).unwrap_or(0.0);
         assert!(
             fraction < 0.08,
             "{}: Table 2 objects must stay below a few percent of misses, got {fraction:.3}",

@@ -30,10 +30,7 @@ fn samples_are_conserved_between_threads_sites_and_unattributed_bucket() {
             assert_eq!(by_ctx, site.total.samples);
         }
     }
-    assert_eq!(
-        profile.total_samples(),
-        profile.threads.iter().map(|t| t.samples).sum::<u64>()
-    );
+    assert_eq!(profile.total_samples(), profile.threads.iter().map(|t| t.samples).sum::<u64>());
 }
 
 #[test]

@@ -28,7 +28,8 @@ fn attribution_survives_heavy_compaction() {
     // collection after collection. The plug sits below the survivor so that, once it
     // dies, the next compaction has to slide the survivor to a new address.
     let plug = rt.alloc_array(t, junk_class, 32 * 1024).unwrap();
-    let survivor = dsl::with_frame(&mut rt, t, site, 0, |rt| rt.alloc_array(t, class, 8192)).unwrap();
+    let survivor =
+        dsl::with_frame(&mut rt, t, site, 0, |rt| rt.alloc_array(t, class, 8192)).unwrap();
     for round in 0..60u64 {
         let junk = rt.alloc_array(t, junk_class, 32 * 1024).unwrap();
         rt.store_elem(t, &junk, 0).unwrap();
@@ -39,14 +40,19 @@ fn attribution_survives_heavy_compaction() {
         // Touch the survivor after the GC may have moved it (scattered lines so the tiny
         // L1 cannot hold the whole working set).
         for line in 0..64u64 {
-            rt.load_elem(t, &survivor, (round * 37 + line * 8 * 13) % survivor.len()).unwrap();
+            rt.load_elem(t, &survivor, (round * 37 + line * 8 * 13) % survivor.len())
+                .unwrap();
         }
     }
     rt.finish_thread(t).unwrap();
     rt.shutdown();
 
     let stats = profiler.allocation_stats();
-    assert!(rt.stats().gc_cycles >= 5, "the workload must actually churn, got {} GCs", rt.stats().gc_cycles);
+    assert!(
+        rt.stats().gc_cycles >= 5,
+        "the workload must actually churn, got {} GCs",
+        rt.stats().gc_cycles
+    );
     assert!(stats.relocations > 0, "the survivor must have been moved and re-indexed");
     assert!(stats.reclamations > 0, "junk must have been removed from the splay tree");
 
@@ -103,7 +109,8 @@ fn attach_mode_tracks_objects_first_seen_when_the_gc_moves_them() {
     rt.release(&dead).unwrap();
 
     // Attach mid-run (the paper's attach/detach mode for production services).
-    let profiler = DjxPerf::attach(&mut rt, ProfilerConfig::default().with_period(16).with_attach_mode(true));
+    let profiler =
+        DjxPerf::attach(&mut rt, ProfilerConfig::default().with_period(16).with_attach_mode(true));
     assert_eq!(profiler.allocation_stats().callbacks, 0, "the early allocations were missed");
 
     // A collection moves the pre-attach survivor; attach mode must start tracking it.
@@ -137,7 +144,10 @@ fn without_attach_mode_pre_attach_objects_stay_unattributed() {
 
     assert_eq!(profiler.allocation_stats().unknown_moves, 0);
     let profile = profiler.profile();
-    assert!(profile.threads[0].unattributed.samples > 0, "samples on the unknown object fall through");
+    assert!(
+        profile.threads[0].unattributed.samples > 0,
+        "samples on the unknown object fall through"
+    );
     assert_eq!(profiler.live_monitored_objects(), 0);
 }
 

@@ -49,7 +49,11 @@ fn druid_bitmap_remote_accesses_disappear_with_first_touch_initialization() {
     let opt = run_profiled(&DruidBitmapWorkload::new(Variant::Optimized), config());
     let base_bitmap = base.report.find_by_class("long[] (bitmap)").unwrap();
     let opt_bitmap = opt.report.find_by_class("long[] (bitmap)").unwrap();
-    assert!(base_bitmap.remote_fraction > 0.4, "paper: >50% remote, got {:.2}", base_bitmap.remote_fraction);
+    assert!(
+        base_bitmap.remote_fraction > 0.4,
+        "paper: >50% remote, got {:.2}",
+        base_bitmap.remote_fraction
+    );
     assert!(
         opt_bitmap.remote_fraction < base_bitmap.remote_fraction * 0.5,
         "the fix must cut the remote fraction sharply: {:.2} -> {:.2}",
@@ -73,7 +77,9 @@ fn local_workloads_report_no_remote_objects() {
         );
     }
     let text = render_numa_report(&run.report, &run.methods, 3);
-    assert!(text.contains("no monitored object shows remote accesses") || !text.contains("remote 9"));
+    assert!(
+        text.contains("no monitored object shows remote accesses") || !text.contains("remote 9")
+    );
 }
 
 #[test]
@@ -82,7 +88,8 @@ fn remote_sample_counts_are_consistent_with_fractions() {
     for object in &run.report.objects {
         let m = &object.metrics;
         assert_eq!(m.remote_samples + m.local_samples, m.samples);
-        let expected = if m.samples == 0 { 0.0 } else { m.remote_samples as f64 / m.samples as f64 };
+        let expected =
+            if m.samples == 0 { 0.0 } else { m.remote_samples as f64 / m.samples as f64 };
         assert!((object.remote_fraction - expected).abs() < 1e-9);
     }
 }
