@@ -1,0 +1,438 @@
+//! Multi-thread sample-ingestion contention benchmark (the before/after evidence for
+//! the sharded-index + per-thread-collector-state pipeline).
+//!
+//! Two pipelines ingest the identical precomputed access streams, both built on the
+//! same signal-handler-safe [`SpinLock`] primitive (the paper's overflow handler
+//! cannot block, §5.1; see `djxperf::sync`) — so the **only** variable between them is
+//! the locking topology:
+//!
+//! * **`global-lock`** — a faithful in-bench reconstruction of the pre-sharding
+//!   session topology: one lock around the thread→PMU table (locked twice per access:
+//!   thread check + observe), one lock around a single interval splay tree (locked per
+//!   overflow batch), and one lock per collector, taken **per sample per collector** —
+//!   the `samples × collectors` lock round-trips the sharded dispatch removed.
+//! * **`sharded`** — the real [`Session`] (address-sharded object index, striped
+//!   per-thread PMU table and collector state, one `on_sample_batch` call per
+//!   collector).
+//!
+//! Under concurrency the global topology pays for every cross-thread lock transfer —
+//! cache-line bouncing and serialization on multicore machines, burned spin cycles
+//! whenever a lock holder is descheduled on oversubscribed ones — while the sharded
+//! topology keeps every hot-path lock thread-private and uncontended.
+//!
+//! Each pipeline runs at 1 thread and at `MULTI_THREADS` (≥ 4) threads; every thread
+//! replays its own deterministic stream over its own objects (the per-thread-arena
+//! pattern object-centric profiling produces in practice). The best-of-`reps` wall time
+//! becomes an accesses/second throughput. Results are printed as a Figure-4-style table
+//! and recorded in `BENCH_contention.json` together with the two acceptance ratios:
+//!
+//! * `multi_thread_speedup`   = sharded@N / global@N   (target ≥ 2×)
+//! * `single_thread_ratio`    = sharded@1 / global@1   (target ≥ 0.95, i.e. ≤ 5% regression)
+//!
+//! Run with `--quick` (or `CONTENTION_QUICK=1`) for a short smoke iteration, as CI does.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use djx_memsim::{AccessOutcome, HierarchyConfig, MemoryAccess, MemoryHierarchy};
+use djx_pmu::{PerfEventBuilder, PmuEvent, Sample, ThreadPmu};
+use djx_runtime::{
+    AllocationEvent, ClassId, Frame, MemoryAccessEvent, MethodId, ObjectId, RuntimeListener,
+    ThreadId,
+};
+use djxperf::{
+    AllocSiteId, Cct, Interval, IntervalSplayTree, MetricVector, MonitoredObject, Session,
+    SpinLock, ThreadProfile,
+};
+
+const MULTI_THREADS: u64 = 4;
+const OBJECTS_PER_THREAD: u64 = 256;
+const OBJECT_SIZE: u64 = 8 * 1024;
+const PERIOD: u64 = 64;
+
+struct ThreadLog {
+    thread: ThreadId,
+    base: u64,
+    outcomes: Vec<AccessOutcome>,
+    call_trace: Vec<Frame>,
+}
+
+fn build_logs(threads: u64, accesses: u64) -> Vec<ThreadLog> {
+    (0..threads)
+        .map(|t| {
+            let base = 0x1000_0000 + t * 0x1000_0000;
+            let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::broadwell_like());
+            let mut x = 0x853c49e6748fea9bu64 ^ t.wrapping_mul(0x9e3779b97f4a7c15);
+            let outcomes = (0..accesses)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let obj = (x >> 33) % OBJECTS_PER_THREAD;
+                    let addr = base + obj * OBJECT_SIZE + (x % (OBJECT_SIZE / 8)) * 8;
+                    hierarchy.access(MemoryAccess::load(0, addr, 8))
+                })
+                .collect();
+            ThreadLog {
+                thread: ThreadId(t + 1),
+                base,
+                outcomes,
+                call_trace: vec![Frame::new(MethodId(1), 0), Frame::new(MethodId(2), 4)],
+            }
+        })
+        .collect()
+}
+
+/// The ingestion surface both pipelines implement.
+trait Pipeline: Send + Sync {
+    fn alloc(&self, log: &ThreadLog);
+    fn access(&self, log: &ThreadLog, outcome: &AccessOutcome);
+    fn total_samples(&self) -> u64;
+}
+
+// -----------------------------------------------------------------------------------
+// Baseline: the pre-sharding design. One global lock per layer, per-sample collector
+// lock round-trips.
+// -----------------------------------------------------------------------------------
+
+#[derive(Default)]
+struct GlobalSampler {
+    pmus: HashMap<ThreadId, ThreadPmu>,
+    total_samples: u64,
+}
+
+#[derive(Default)]
+struct GlobalObjectState {
+    profiles: HashMap<ThreadId, ThreadProfile>,
+}
+
+#[derive(Default)]
+struct GlobalCodeState {
+    cct: Cct,
+    samples: u64,
+}
+
+#[derive(Default)]
+struct GlobalNumaState {
+    per_site: HashMap<AllocSiteId, MetricVector>,
+    unattributed: MetricVector,
+    node_traffic: HashMap<(u32, u32), u64>,
+}
+
+struct GlobalLockPipeline {
+    builder: PerfEventBuilder,
+    sampler: SpinLock<GlobalSampler>,
+    tree: SpinLock<IntervalSplayTree<MonitoredObject>>,
+    object: SpinLock<GlobalObjectState>,
+    code: SpinLock<GlobalCodeState>,
+    numa: SpinLock<GlobalNumaState>,
+}
+
+impl GlobalLockPipeline {
+    fn new() -> Self {
+        Self {
+            builder: PerfEventBuilder::new(PmuEvent::L1Miss).sample_period(PERIOD).jitter(false),
+            sampler: SpinLock::new(GlobalSampler::default()),
+            tree: SpinLock::new(IntervalSplayTree::new()),
+            object: SpinLock::new(GlobalObjectState::default()),
+            code: SpinLock::new(GlobalCodeState::default()),
+            numa: SpinLock::new(GlobalNumaState::default()),
+        }
+    }
+}
+
+impl Pipeline for GlobalLockPipeline {
+    fn alloc(&self, log: &ThreadLog) {
+        for i in 0..OBJECTS_PER_THREAD {
+            let start = log.base + i * OBJECT_SIZE;
+            self.tree.lock().insert(
+                Interval::new(start, start + OBJECT_SIZE),
+                MonitoredObject {
+                    object: ObjectId((log.thread.0 - 1) * OBJECTS_PER_THREAD + i + 1),
+                    site: AllocSiteId(log.thread.0 as u32 - 1),
+                    size: OBJECT_SIZE,
+                },
+            );
+        }
+    }
+
+    fn access(&self, log: &ThreadLog, outcome: &AccessOutcome) {
+        // Thread visibility check + observe: two acquisitions of the one sampler lock,
+        // exactly like the pre-sharding Sampler.
+        {
+            let mut sampler = self.sampler.lock();
+            let builder = &self.builder;
+            sampler
+                .pmus
+                .entry(log.thread)
+                .or_insert_with(|| builder.open_for_thread(log.thread.0));
+        }
+        let samples: Vec<Sample> = {
+            let mut sampler = self.sampler.lock();
+            let pmu = sampler.pmus.get_mut(&log.thread).expect("ensured above");
+            let samples = pmu.observe(outcome);
+            sampler.total_samples += samples.len() as u64;
+            samples
+        };
+        if samples.is_empty() {
+            return;
+        }
+        // One global tree lock per overflow batch...
+        let resolved: Vec<Option<AllocSiteId>> = {
+            let mut tree = self.tree.lock();
+            samples
+                .iter()
+                .map(|s| tree.lookup(s.effective_addr).map(|(_, mo)| mo.site))
+                .collect()
+        };
+        // ...then samples × collectors individual lock round-trips.
+        for (sample, site) in samples.iter().zip(resolved) {
+            {
+                let mut object = self.object.lock();
+                let profile = object
+                    .profiles
+                    .entry(log.thread)
+                    .or_insert_with(|| ThreadProfile::new(log.thread, "<bench>"));
+                match site {
+                    Some(site) => profile.record_attributed(site, &log.call_trace, sample, PERIOD),
+                    None => profile.record_unattributed(sample, PERIOD),
+                }
+            }
+            {
+                let mut code = self.code.lock();
+                let node = code.cct.insert_path(&log.call_trace);
+                code.samples += 1;
+                code.cct.metrics_mut(node).record_sample(sample, PERIOD);
+            }
+            {
+                let mut numa = self.numa.lock();
+                match site {
+                    Some(site) => {
+                        numa.per_site.entry(site).or_default().record_sample(sample, PERIOD)
+                    }
+                    None => numa.unattributed.record_sample(sample, PERIOD),
+                }
+                *numa.node_traffic.entry((sample.cpu_node.0, sample.page_node.0)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn total_samples(&self) -> u64 {
+        self.sampler.lock().total_samples
+    }
+}
+
+// -----------------------------------------------------------------------------------
+// The real sharded session.
+// -----------------------------------------------------------------------------------
+
+struct ShardedPipeline {
+    session: Arc<Session>,
+}
+
+impl ShardedPipeline {
+    fn new() -> Self {
+        Self {
+            session: Session::builder()
+                .period(PERIOD)
+                .collect_objects()
+                .collect_code()
+                .collect_numa()
+                .build(),
+        }
+    }
+}
+
+impl Pipeline for ShardedPipeline {
+    fn alloc(&self, log: &ThreadLog) {
+        for i in 0..OBJECTS_PER_THREAD {
+            let start = log.base + i * OBJECT_SIZE;
+            self.session.on_object_alloc(&AllocationEvent {
+                object: ObjectId((log.thread.0 - 1) * OBJECTS_PER_THREAD + i + 1),
+                class: ClassId(0),
+                class_name: "bench[]",
+                start,
+                size: OBJECT_SIZE,
+                thread: log.thread,
+                call_trace: &log.call_trace,
+            });
+        }
+    }
+
+    fn access(&self, log: &ThreadLog, outcome: &AccessOutcome) {
+        self.session.on_memory_access(&MemoryAccessEvent {
+            thread: log.thread,
+            outcome: *outcome,
+            call_trace: &log.call_trace,
+            object: None,
+        });
+    }
+
+    fn total_samples(&self) -> u64 {
+        self.session.total_samples()
+    }
+}
+
+// -----------------------------------------------------------------------------------
+// Measurement
+// -----------------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    pipeline: &'static str,
+    threads: u64,
+    accesses: u64,
+    samples: u64,
+    best: Duration,
+}
+
+impl Measurement {
+    fn throughput(&self) -> f64 {
+        self.accesses as f64 / self.best.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+fn run_once(pipeline: &dyn Pipeline, logs: &[ThreadLog]) -> Duration {
+    for log in logs {
+        pipeline.alloc(log);
+    }
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for log in logs {
+            scope.spawn(move || {
+                for outcome in &log.outcomes {
+                    pipeline.access(log, outcome);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn measure(
+    name: &'static str,
+    build: impl Fn() -> Box<dyn Pipeline>,
+    threads: u64,
+    accesses: u64,
+    reps: usize,
+) -> Measurement {
+    let logs = build_logs(threads, accesses);
+    let mut best = Duration::MAX;
+    let mut samples = 0;
+    for _ in 0..reps {
+        let pipeline = build();
+        let elapsed = run_once(pipeline.as_ref(), &logs);
+        samples = pipeline.total_samples();
+        best = best.min(elapsed);
+    }
+    Measurement { pipeline: name, threads, accesses: threads * accesses, samples, best }
+}
+
+fn json_escape_free_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn write_json(path: &str, results: &[Measurement], multi_speedup: f64, single_ratio: f64) {
+    let mut rows = Vec::new();
+    for m in results {
+        rows.push(format!(
+            "    {{\"pipeline\": \"{}\", \"threads\": {}, \"accesses\": {}, \"samples\": {}, \"best_secs\": {}, \"throughput_accesses_per_sec\": {}}}",
+            m.pipeline,
+            m.threads,
+            m.accesses,
+            m.samples,
+            json_escape_free_number(m.best.as_secs_f64()),
+            json_escape_free_number(m.throughput()),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"contention\",\n  \"multi_threads\": {},\n  \"results\": [\n{}\n  ],\n  \"multi_thread_speedup\": {},\n  \"single_thread_ratio\": {}\n}}\n",
+        MULTI_THREADS,
+        rows.join(",\n"),
+        json_escape_free_number(multi_speedup),
+        json_escape_free_number(single_ratio),
+    );
+    if let Err(err) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {err}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("CONTENTION_QUICK").map(|v| v == "1").unwrap_or(false);
+    let (accesses, reps) = if quick { (150_000u64, 2usize) } else { (400_000u64, 3usize) };
+
+    println!(
+        "== sample-ingestion contention: global-lock baseline vs sharded session ==\n\
+         ({} accesses/thread, period {}, {} objects/thread, best of {} reps{})\n",
+        accesses,
+        PERIOD,
+        OBJECTS_PER_THREAD,
+        reps,
+        if quick { ", quick mode" } else { "" }
+    );
+
+    let mut results = Vec::new();
+    for threads in [1, MULTI_THREADS] {
+        results.push(measure(
+            "global-lock",
+            || Box::new(GlobalLockPipeline::new()) as Box<dyn Pipeline>,
+            threads,
+            accesses,
+            reps,
+        ));
+        results.push(measure(
+            "sharded",
+            || Box::new(ShardedPipeline::new()) as Box<dyn Pipeline>,
+            threads,
+            accesses,
+            reps,
+        ));
+    }
+
+    println!(
+        "{:<14} {:>8} {:>12} {:>10} {:>14} {:>16}",
+        "pipeline", "threads", "accesses", "samples", "best (ms)", "accesses/s"
+    );
+    for m in &results {
+        println!(
+            "{:<14} {:>8} {:>12} {:>10} {:>14.2} {:>16.0}",
+            m.pipeline,
+            m.threads,
+            m.accesses,
+            m.samples,
+            m.best.as_secs_f64() * 1e3,
+            m.throughput()
+        );
+    }
+
+    let find = |name: &str, threads: u64| {
+        results
+            .iter()
+            .find(|m| m.pipeline == name && m.threads == threads)
+            .expect("measured above")
+    };
+    let multi_speedup = find("sharded", MULTI_THREADS).throughput()
+        / find("global-lock", MULTI_THREADS).throughput();
+    let single_ratio = find("sharded", 1).throughput() / find("global-lock", 1).throughput();
+
+    println!(
+        "\nmulti-thread ({MULTI_THREADS} threads) speedup: {multi_speedup:.2}x (target >= 2x)\n\
+         single-thread throughput ratio:     {single_ratio:.2} (target >= 0.95)"
+    );
+
+    // Cargo runs benches with the package directory as CWD; record the results at the
+    // workspace root (override with BENCH_CONTENTION_OUT).
+    let path = std::env::var("BENCH_CONTENTION_OUT").unwrap_or_else(|_| {
+        match std::env::var("CARGO_MANIFEST_DIR") {
+            Ok(dir) => format!("{dir}/../../BENCH_contention.json"),
+            Err(_) => "BENCH_contention.json".to_string(),
+        }
+    });
+    write_json(&path, &results, multi_speedup, single_ratio);
+    println!("\nrecorded {path}");
+}

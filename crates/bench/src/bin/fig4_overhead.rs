@@ -99,4 +99,12 @@ fn main() {
             p.allocation_callbacks
         );
     }
+
+    // The profiler's self-monitoring view of sample resolution: splaying lookups (the
+    // hot path) and read-only lookups, merged over every index shard and benchmark.
+    let mut splay = LookupStats::default();
+    for p in &points {
+        splay.merge(&p.splay);
+    }
+    println!("\nObject-index resolution over the whole catalog: {splay}");
 }

@@ -136,6 +136,9 @@ pub struct OverheadPoint {
     pub allocation_callbacks: u64,
     /// PMU samples taken.
     pub samples: u64,
+    /// Object-index lookup statistics (splaying and read-only lookups, merged over
+    /// every shard) — the profiler's self-monitoring view of the resolution hot path.
+    pub splay: djxperf::LookupStats,
 }
 
 /// Measures one benchmark of the Figure 4 catalog: `repetitions` unprofiled and
@@ -175,6 +178,7 @@ pub fn measure_overhead_point(
         paper_memory_overhead: bench.paper_memory_overhead,
         allocation_callbacks: profiled.profile.allocation_stats.callbacks,
         samples: profiled.profile.total_samples(),
+        splay: profiled.profiler.splay_lookup_stats(),
     }
 }
 
@@ -285,8 +289,8 @@ pub mod prelude {
     };
     pub use djx_workloads::{table1_case_studies, Variant, Workload};
     pub use djxperf::{
-        render_code_centric, render_numa_report, render_object_report, Analyzer, ProfilerConfig,
-        Report, ReportOptions,
+        render_code_centric, render_numa_report, render_object_report, Analyzer, LookupStats,
+        ProfilerConfig, Report, ReportOptions,
     };
 }
 
@@ -327,6 +331,7 @@ mod tests {
             paper_memory_overhead: m,
             allocation_callbacks: 0,
             samples: 0,
+            splay: djxperf::LookupStats::default(),
         };
         let points = vec![mk(1.0, 1.0), mk(1.21, 1.1)];
         let summary = summarize_overhead(&points);

@@ -120,33 +120,44 @@ impl AllocationAgent {
         if state.relocation_map.is_empty() {
             return;
         }
-        let mut tree = self.shared.tree.lock();
         let pending = std::mem::take(&mut state.relocation_map);
         for mv in pending {
             if state.filtered.contains(&mv.object) {
                 continue;
             }
-            let monitored = match tree.remove(mv.old_addr) {
-                Some((_, mo)) if mo.object == mv.object => Some(mo),
-                Some((interval, other)) => {
-                    // The interval at the old address belongs to a different object: the
-                    // profiler's view was stale (it never saw this object's allocation).
-                    // Put the unrelated entry back and fall through to the unknown path.
-                    tree.insert(interval, other);
-                    None
-                }
-                None => None,
-            };
+            // Identity check via a read-only probe: a stale view (the profiler never
+            // saw this object's allocation, and the old range now belongs to someone
+            // else) must not disturb whatever live object owns the range. `find` also
+            // keeps the probe out of the hot-path splay statistics.
+            let monitored = self
+                .shared
+                .find(mv.old_addr)
+                .filter(|(_, mo)| mo.object == mv.object)
+                .map(|(_, mo)| mo);
             match monitored {
                 Some(mo) => {
-                    tree.insert(Interval::new(mv.new_addr, mv.new_addr + mv.size), mo);
+                    let new_range = Interval::new(mv.new_addr, mv.new_addr + mv.size);
+                    let overlaps =
+                        mv.new_addr < mv.old_addr + mv.size && mv.old_addr < mv.new_addr + mv.size;
+                    if overlaps {
+                        // Sliding compaction: the ranges overlap, so the old entry must
+                        // come out first to keep each shard tree's intervals disjoint.
+                        self.shared.remove(mv.old_addr);
+                        self.shared.insert(new_range, mo);
+                    } else {
+                        // Disjoint move: publish the new range before retiring the old
+                        // one, so a concurrently sampling thread resolves the object at
+                        // every instant of the move (both ranges name the same site).
+                        self.shared.insert(new_range, mo);
+                        self.shared.remove(mv.old_addr);
+                    }
                     state.stats.relocations += 1;
                 }
                 None if self.config.attach_mode => {
                     // Attach mode missed the allocation; insert the new range directly
                     // under the unattributed site, as §4.5 prescribes.
                     let site = self.shared.sites.lock().intern_unattributed();
-                    tree.insert(
+                    self.shared.insert(
                         Interval::new(mv.new_addr, mv.new_addr + mv.size),
                         MonitoredObject { object: mv.object, site, size: mv.size },
                     );
@@ -174,7 +185,7 @@ impl RuntimeListener for AllocationAgent {
         entry.0 += 1;
         entry.1 += event.size;
 
-        self.shared.tree.lock().insert(
+        self.shared.insert(
             Interval::new(event.start, event.start + event.size),
             MonitoredObject { object: event.object, site, size: event.size },
         );
@@ -201,7 +212,7 @@ impl RuntimeListener for AllocationAgent {
         if state.filtered.remove(&event.object) {
             return;
         }
-        if self.shared.tree.lock().remove(event.addr).is_some() {
+        if self.shared.remove(event.addr).is_some() {
             state.stats.reclamations += 1;
         }
     }
@@ -250,7 +261,7 @@ mod tests {
 
         assert_eq!(shared.live_objects(), 1);
         assert_eq!(shared.site_count(), 1);
-        let mo = *shared.tree.lock().lookup(0x17ff).unwrap().1;
+        let mo = shared.lookup(0x17ff).unwrap().1;
         assert_eq!(mo.object, ObjectId(1));
         assert_eq!(mo.size, 2048);
         let stats = agent.stats();
@@ -270,8 +281,8 @@ mod tests {
         let stats = agent.stats();
         assert_eq!(stats.filtered, 1);
         assert_eq!(stats.monitored, 1);
-        assert!(shared.tree.lock().lookup(0x1000).is_none());
-        assert!(shared.tree.lock().lookup(0x2000).is_some());
+        assert!(shared.lookup(0x1000).is_none());
+        assert!(shared.lookup(0x2000).is_some());
     }
 
     #[test]
@@ -307,8 +318,8 @@ mod tests {
             size: 2048,
         });
         // Before the GC-end notification the tree still maps the old range.
-        assert!(shared.tree.lock().lookup(0x1400).is_some());
-        assert!(shared.tree.lock().lookup(0x8400).is_none());
+        assert!(shared.lookup(0x1400).is_some());
+        assert!(shared.lookup(0x8400).is_none());
 
         agent.on_gc_end(&GcEvent {
             gc: GcId(1),
@@ -316,10 +327,65 @@ mod tests {
             objects_moved: 1,
             objects_reclaimed: 0,
         });
-        assert!(shared.tree.lock().lookup(0x1400).is_none());
-        let mo = *shared.tree.lock().lookup(0x8400).unwrap().1;
+        assert!(shared.lookup(0x1400).is_none());
+        let mo = shared.lookup(0x8400).unwrap().1;
         assert_eq!(mo.object, ObjectId(1));
         assert_eq!(agent.stats().relocations, 1);
+    }
+
+    #[test]
+    fn overlapping_slide_moves_keep_one_consistent_entry() {
+        // Sliding compaction: the new range overlaps the old one (the remove-first
+        // ordering this case requires must not corrupt the disjointness invariant).
+        let (agent, shared) = agent(AllocationConfig::default());
+        agent.on_object_alloc(&alloc_event(1, 0x2000, 0x2000, "slide[]", &[]));
+        agent.on_object_move(&ObjectMoveEvent {
+            gc: GcId(1),
+            object: ObjectId(1),
+            old_addr: 0x2000,
+            new_addr: 0x1000,
+            size: 0x2000,
+        });
+        agent.on_gc_end(&GcEvent {
+            gc: GcId(1),
+            heap_used: 0,
+            objects_moved: 1,
+            objects_reclaimed: 0,
+        });
+        assert_eq!(shared.live_objects(), 1);
+        let mo = shared.lookup(0x1800).unwrap().1;
+        assert_eq!(mo.object, ObjectId(1));
+        // The non-overlapping tail of the old range no longer resolves.
+        assert!(shared.lookup(0x3800).is_none());
+        assert_eq!(agent.stats().relocations, 1);
+    }
+
+    #[test]
+    fn stale_move_leaves_the_unrelated_owner_untouched() {
+        // The old address now belongs to a different object (the profiler's view was
+        // stale); the move must not disturb the live owner, and without attach mode the
+        // unknown object stays untracked.
+        let (agent, shared) = agent(AllocationConfig::default());
+        agent.on_object_alloc(&alloc_event(5, 0x1000, 2048, "owner[]", &[]));
+        agent.on_object_move(&ObjectMoveEvent {
+            gc: GcId(1),
+            object: ObjectId(9), // never allocated through the agent
+            old_addr: 0x1000,
+            new_addr: 0x8000,
+            size: 2048,
+        });
+        agent.on_gc_end(&GcEvent {
+            gc: GcId(1),
+            heap_used: 0,
+            objects_moved: 1,
+            objects_reclaimed: 0,
+        });
+        assert_eq!(shared.lookup(0x1400).unwrap().1.object, ObjectId(5));
+        assert!(shared.lookup(0x8400).is_none());
+        assert_eq!(agent.stats().relocations, 0);
+        assert_eq!(agent.stats().unknown_moves, 0);
+        // The identity probe is visible in the read-side statistics.
+        assert!(shared.lookup_stats().read_lookups > 0);
     }
 
     #[test]
@@ -365,7 +431,7 @@ mod tests {
             assert_eq!(shared.live_objects(), expected_live, "attach={attach}");
             assert_eq!(agent.stats().unknown_moves, expected_unknown);
             if attach {
-                let mo = *shared.tree.lock().lookup(0x6100).unwrap().1;
+                let mo = shared.lookup(0x6100).unwrap().1;
                 let sites = shared.sites.lock();
                 assert!(sites.get(mo.site).unwrap().is_unattributed());
             }
@@ -405,7 +471,7 @@ mod tests {
         agent.on_object_alloc(&alloc_event(1, 0x1000, 2048, "old[]", &[]));
         agent.on_object_alloc(&alloc_event(2, 0x1000, 2048, "new[]", &[]));
         assert_eq!(shared.live_objects(), 1);
-        let mo = *shared.tree.lock().lookup(0x1400).unwrap().1;
+        let mo = shared.lookup(0x1400).unwrap().1;
         assert_eq!(mo.object, ObjectId(2));
     }
 
@@ -421,7 +487,7 @@ mod tests {
             size: 2048,
         });
         agent.on_vm_end();
-        assert!(shared.tree.lock().lookup(0x4100).is_some());
+        assert!(shared.lookup(0x4100).is_some());
     }
 
     #[test]

@@ -5,42 +5,227 @@
 //! per thread and handles their overflow signals) — §4.1 of the paper. In this
 //! reproduction the Java-agent side lives here as [`AllocationAgent`], which subscribes
 //! to the runtime's allocation, GC, move and reclaim events and maintains the shared
-//! interval splay tree of monitored objects. The JVMTI side — per-thread PMUs, sample
-//! resolution through the splay tree, and fan-out to collectors — is owned by
+//! index of monitored objects. The JVMTI side — per-thread PMUs, sample resolution
+//! through the index, and fan-out to collectors — is owned by
 //! [`Session`](crate::session::Session), which combines both into one
 //! [`RuntimeListener`](djx_runtime::RuntimeListener).
+//!
+//! # The sharded object index
+//!
+//! The paper calls the concurrent splay tree of monitored objects "the only data
+//! structure shared among threads" (§5.1) and protects it with a spin lock. A single
+//! lock is exactly where a multi-threaded workload serializes: every PMU overflow on
+//! every thread resolves its effective address through the tree. [`SharedObjectIndex`]
+//! therefore shards the address space over `N` (power-of-two) independent splay trees,
+//! each behind its own [`SpinLock`] (the signal-handler-safe primitive the overflow
+//! path requires; see [`crate::sync`]):
+//!
+//! * the address space is cut into fixed 8 KiB *regions*
+//!   ([`SharedObjectIndex::REGION_SHIFT`]) that interleave round-robin across shards,
+//!   so neighbouring objects land on different shards and per-thread allocation
+//!   clusters spread out;
+//! * an object whose `[start, end)` range spans several regions is inserted into
+//!   **every shard its range touches** (the record is a small `Copy` value), so a
+//!   point lookup only ever needs the one shard owning the queried address;
+//! * removal resolves the full interval from the queried address's shard first, then
+//!   drops the remaining copies shard by shard — never holding two shard locks at
+//!   once, so shard locks cannot deadlock;
+//! * GC relocation (§4.5) is remove + insert and therefore migrates copies across
+//!   shards naturally, wherever the new range lands;
+//! * [`SharedObjectIndex::live_objects`] counts distinct objects via an atomic
+//!   counter, and [`SharedObjectIndex::lookup_stats`] /
+//!   [`SharedObjectIndex::approx_bytes`] merge the per-shard statistics.
+//!
+//! The common-case sample resolution (`lookup`) thus touches exactly one shard mutex,
+//! uncontended as long as two threads are not sampling addresses in the same region —
+//! which is the point: per-thread allocation sites mean per-thread address ranges.
 
 mod allocation;
 
 pub use allocation::{AllocationAgent, AllocationConfig, DEFAULT_SIZE_FILTER};
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::object::{AllocSiteRegistry, MonitoredObject};
-use crate::splay::IntervalSplayTree;
+use djx_memsim::Addr;
 
-/// State shared between the two agents: the splay tree of monitored-object address
-/// ranges (the only structure shared across threads in the original tool, protected by a
-/// spin lock there and by a `parking_lot` mutex here) and the allocation-site registry.
-#[derive(Debug, Default)]
+use crate::object::{AllocSiteRegistry, MonitoredObject};
+use crate::splay::{Interval, IntervalSplayTree, LookupStats};
+use crate::sync::SpinLock;
+
+/// Default number of shards of a [`SharedObjectIndex`]. Power of two, sized so that a
+/// handful of profiled threads rarely collide on a shard without making per-shard trees
+/// degenerate.
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// State shared between the two agents: the sharded splay-tree index of monitored-object
+/// address ranges (see the [module documentation](self) for the sharding scheme) and the
+/// allocation-site registry.
+#[derive(Debug)]
 pub struct SharedObjectIndex {
-    /// Live monitored objects keyed by their current address range.
-    pub tree: Mutex<IntervalSplayTree<MonitoredObject>>,
+    /// One interval splay tree per address shard, each behind its own lock. Shard
+    /// locks are [`SpinLock`]s: sample resolution runs in signal-handler context
+    /// (§5.1), and sharding keeps each lock uncontended in the common case — see
+    /// [`crate::sync`].
+    shards: Box<[SpinLock<IntervalSplayTree<MonitoredObject>>]>,
+    /// `shards.len() - 1`; routing is `(addr >> REGION_SHIFT) & mask`.
+    mask: u64,
+    /// Number of distinct live monitored objects (copies excluded).
+    live: AtomicUsize,
     /// Interned allocation sites.
     pub sites: Mutex<AllocSiteRegistry>,
 }
 
+impl Default for SharedObjectIndex {
+    fn default() -> Self {
+        Self::sharded(DEFAULT_SHARD_COUNT)
+    }
+}
+
 impl SharedObjectIndex {
-    /// Creates an empty shared index.
+    /// Region granularity: addresses are routed to shards by `addr >> REGION_SHIFT`.
+    /// 8 KiB regions keep the copy factor low (a monitored object of the default 1 KiB
+    /// size filter touches 1–2 regions) while spreading consecutive allocations across
+    /// shards.
+    pub const REGION_SHIFT: u32 = 13;
+
+    /// Creates an empty shared index with [`DEFAULT_SHARD_COUNT`] shards.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
 
-    /// Number of live monitored objects.
+    /// Creates an empty shared index with `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, not a power of two, or greater than 64 (shard sets
+    /// are tracked as a 64-bit mask).
+    pub fn with_shards(shards: usize) -> Arc<Self> {
+        Arc::new(Self::sharded(shards))
+    }
+
+    fn sharded(shards: usize) -> Self {
+        assert!(
+            shards > 0 && shards.is_power_of_two() && shards <= 64,
+            "shard count must be a power of two in 1..=64, got {shards}"
+        );
+        Self {
+            shards: (0..shards).map(|_| SpinLock::new(IntervalSplayTree::new())).collect(),
+            mask: (shards - 1) as u64,
+            live: AtomicUsize::new(0),
+            sites: Mutex::new(AllocSiteRegistry::default()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `addr`.
+    #[inline]
+    pub fn shard_of(&self, addr: Addr) -> usize {
+        ((addr >> Self::REGION_SHIFT) & self.mask) as usize
+    }
+
+    /// The set of shards an interval touches, as a bitmask over shard indices (the
+    /// constructor caps shard counts at 64; spanning intervals saturate to all shards).
+    fn shard_set(&self, interval: Interval) -> u64 {
+        let all = if self.shards.len() == 64 { u64::MAX } else { (1u64 << self.shards.len()) - 1 };
+        let first = interval.start >> Self::REGION_SHIFT;
+        let last = (interval.end - 1) >> Self::REGION_SHIFT;
+        if last - first >= self.mask {
+            return all;
+        }
+        let mut set = 0u64;
+        for region in first..=last {
+            set |= 1u64 << (region & self.mask);
+        }
+        set
+    }
+
+    fn for_shards_in(&self, set: u64, mut f: impl FnMut(&mut IntervalSplayTree<MonitoredObject>)) {
+        for shard in 0..self.shards.len() {
+            if set & (1u64 << shard) != 0 {
+                f(&mut self.shards[shard].lock());
+            }
+        }
+    }
+
+    /// Inserts a monitored object under its address range, placing one copy of the
+    /// record in every shard the range touches.
+    ///
+    /// Mirrors the single-tree replacement semantics: an existing entry whose range
+    /// contains `interval.start` (an allocation reusing the range of an object whose
+    /// reclamation the profiler missed) is removed first — from *all* of its shards, so
+    /// no stale copy survives — and returned.
+    pub fn insert(&self, interval: Interval, value: MonitoredObject) -> Option<MonitoredObject> {
+        let old = self.remove(interval.start).map(|(_, mo)| mo);
+        self.for_shards_in(self.shard_set(interval), |tree| {
+            tree.insert(interval, value);
+        });
+        self.live.fetch_add(1, Ordering::Relaxed);
+        old
+    }
+
+    /// Removes the monitored object whose range contains `addr`, dropping every shard
+    /// copy, and returns its interval and record.
+    ///
+    /// Shard locks are taken strictly one at a time: the owning shard resolves the full
+    /// interval, then the remaining copies are removed shard by shard.
+    pub fn remove(&self, addr: Addr) -> Option<(Interval, MonitoredObject)> {
+        let primary = self.shard_of(addr);
+        let (interval, value) = self.shards[primary].lock().remove(addr)?;
+        let rest = self.shard_set(interval) & !(1u64 << primary);
+        self.for_shards_in(rest, |tree| {
+            tree.remove(interval.start);
+        });
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        Some((interval, value))
+    }
+
+    /// Resolves `addr` to its enclosing monitored object, splaying it towards the root
+    /// of the owning shard's tree (the sample-resolution hot path: one shard lock, near
+    /// O(1) under temporal locality).
+    pub fn lookup(&self, addr: Addr) -> Option<(Interval, MonitoredObject)> {
+        self.shards[self.shard_of(addr)].lock().lookup(addr).map(|(iv, mo)| (iv, *mo))
+    }
+
+    /// Read-only resolution of `addr`: no splaying, counted under the read-side lookup
+    /// statistics. Use for inspection paths that must not perturb the tree shape the
+    /// sampling hot path depends on.
+    pub fn find(&self, addr: Addr) -> Option<(Interval, MonitoredObject)> {
+        self.shards[self.shard_of(addr)].lock().find(addr).map(|(iv, mo)| (iv, *mo))
+    }
+
+    /// Resolves a batch of sampled addresses to their enclosing objects' allocation
+    /// sites, locking **only the shards the batch actually touches** and reusing the
+    /// shard guard across consecutive same-shard addresses (overflow batches exhibit
+    /// strong spatial locality, so the common case is one lock acquisition per batch).
+    pub fn resolve_batch<'a>(
+        &self,
+        addrs: impl Iterator<Item = &'a Addr>,
+        out: &mut Vec<Option<crate::object::AllocSiteId>>,
+    ) {
+        let mut guard: Option<(usize, crate::sync::SpinLockGuard<'_, _>)> = None;
+        for &addr in addrs {
+            let shard = self.shard_of(addr);
+            let tree = match &mut guard {
+                Some((held, tree)) if *held == shard => tree,
+                _ => {
+                    guard = None; // drop the previous guard before taking the next
+                    &mut guard.insert((shard, self.shards[shard].lock())).1
+                }
+            };
+            out.push(tree.lookup(addr).map(|(_, mo)| mo.site));
+        }
+    }
+
+    /// Number of live monitored objects (distinct objects, not shard copies).
     pub fn live_objects(&self) -> usize {
-        self.tree.lock().len()
+        self.live.load(Ordering::Relaxed)
     }
 
     /// Number of interned allocation sites.
@@ -48,8 +233,162 @@ impl SharedObjectIndex {
         self.sites.lock().len()
     }
 
-    /// Approximate resident bytes of the shared structures.
+    /// Lookup statistics merged over every shard.
+    pub fn lookup_stats(&self) -> LookupStats {
+        let mut stats = LookupStats::default();
+        for shard in self.shards.iter() {
+            stats.merge(&shard.lock().stats());
+        }
+        stats
+    }
+
+    /// Approximate resident bytes of the shared structures (shard copies included —
+    /// they are real memory).
     pub fn approx_bytes(&self) -> usize {
-        self.tree.lock().approx_bytes() + self.sites.lock().approx_bytes()
+        self.shards.iter().map(|s| s.lock().approx_bytes()).sum::<usize>()
+            + self.sites.lock().approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::AllocSiteId;
+    use djx_runtime::ObjectId;
+
+    fn mo(id: u64) -> MonitoredObject {
+        MonitoredObject { object: ObjectId(id), site: AllocSiteId(0), size: 0x2000 }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = SharedObjectIndex::with_shards(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn shard_counts_beyond_the_bitmask_width_rejected() {
+        // Shard sets are 64-bit masks; a 128-shard index would silently alias shards.
+        let _ = SharedObjectIndex::with_shards(128);
+    }
+
+    #[test]
+    fn sixty_four_shards_work_end_to_end() {
+        let index = SharedObjectIndex::with_shards(64);
+        // An object in region 70 exercises shard indices above 63 pre-masking.
+        let start = 70 << SharedObjectIndex::REGION_SHIFT;
+        index.insert(Interval::new(start, start + 0x2000), mo(1));
+        assert_eq!(index.lookup(start + 0x100).map(|(_, m)| m.object), Some(ObjectId(1)));
+        assert!(index.remove(start).is_some());
+        assert_eq!(index.live_objects(), 0);
+        assert!(index.lookup(start + 0x100).is_none());
+    }
+
+    #[test]
+    fn lookup_routes_to_the_owning_shard() {
+        let index = SharedObjectIndex::with_shards(4);
+        // Four objects, one per 8 KiB region → one per shard.
+        for i in 0..4u64 {
+            index.insert(Interval::new(i * 0x2000, i * 0x2000 + 0x1000), mo(i));
+        }
+        assert_eq!(index.live_objects(), 4);
+        for i in 0..4u64 {
+            assert_eq!(index.shard_of(i * 0x2000), i as usize);
+            let (_, found) = index.lookup(i * 0x2000 + 0x800).unwrap();
+            assert_eq!(found.object, ObjectId(i));
+        }
+        assert!(index.lookup(0x1800).is_none(), "gap between objects");
+        let stats = index.lookup_stats();
+        assert_eq!(stats.lookups, 5);
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn spanning_objects_resolve_from_every_region_they_touch() {
+        let index = SharedObjectIndex::with_shards(4);
+        // One object covering three regions (and thus three shards).
+        index.insert(Interval::new(0x1000, 0x1000 + 3 * 0x2000), mo(7));
+        assert_eq!(index.live_objects(), 1, "copies do not inflate the live count");
+        for addr in [0x1000u64, 0x2000, 0x4000, 0x6000, 0x1000 + 3 * 0x2000 - 1] {
+            let (iv, found) = index.lookup(addr).expect("every touched region resolves");
+            assert_eq!(found.object, ObjectId(7));
+            assert_eq!(iv, Interval::new(0x1000, 0x7000));
+        }
+        assert!(index.lookup(0x7000).is_none(), "end is exclusive in every shard");
+        // Removal by a mid-object address drops every copy.
+        let (iv, removed) = index.remove(0x4800).unwrap();
+        assert_eq!(removed.object, ObjectId(7));
+        assert_eq!(iv, Interval::new(0x1000, 0x7000));
+        assert_eq!(index.live_objects(), 0);
+        for addr in [0x1000u64, 0x2000, 0x4000, 0x6000] {
+            assert!(index.lookup(addr).is_none(), "no stale copy at {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn huge_objects_saturate_to_all_shards() {
+        let index = SharedObjectIndex::with_shards(2);
+        // Spans far more regions than shards.
+        index.insert(Interval::new(0, 64 * 0x2000), mo(1));
+        assert_eq!(index.live_objects(), 1);
+        assert!(index.lookup(63 * 0x2000).is_some());
+        assert!(index.remove(0).is_some());
+        assert!(index.lookup(0x2000).is_none());
+    }
+
+    #[test]
+    fn address_reuse_replaces_every_stale_copy() {
+        let index = SharedObjectIndex::with_shards(4);
+        // A spanning object whose reclamation the profiler misses...
+        index.insert(Interval::new(0x0, 0x6000), mo(1));
+        // ...then a smaller allocation reuses the start of the range.
+        let old = index.insert(Interval::new(0x0, 0x1000), mo(2));
+        assert_eq!(old.map(|m| m.object), Some(ObjectId(1)));
+        assert_eq!(index.live_objects(), 1);
+        assert_eq!(index.lookup(0x800).map(|(_, m)| m.object), Some(ObjectId(2)));
+        // The dead object's copies in later shards must be gone too.
+        assert!(index.lookup(0x2800).is_none());
+        assert!(index.lookup(0x4800).is_none());
+    }
+
+    #[test]
+    fn find_is_read_only_and_counted_separately() {
+        let index = SharedObjectIndex::with_shards(4);
+        index.insert(Interval::new(0x2000, 0x3000), mo(3));
+        assert_eq!(index.find(0x2800).map(|(_, m)| m.object), Some(ObjectId(3)));
+        assert!(index.find(0x9000).is_none());
+        let stats = index.lookup_stats();
+        assert_eq!(stats.read_lookups, 2);
+        assert_eq!(stats.read_hits, 1);
+        assert_eq!(stats.lookups, 0);
+    }
+
+    #[test]
+    fn resolve_batch_reuses_the_shard_guard_for_clustered_addresses() {
+        let index = SharedObjectIndex::with_shards(4);
+        index.insert(Interval::new(0x0, 0x1000), mo(1));
+        index.insert(Interval::new(0x2000, 0x3000), mo(2));
+        let addrs = [0x10u64, 0x20, 0x30, 0x2800, 0x1800];
+        let mut out = Vec::new();
+        index.resolve_batch(addrs.iter(), &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], Some(AllocSiteId(0)));
+        assert_eq!(out[3], Some(AllocSiteId(0)));
+        assert_eq!(out[4], None);
+        assert_eq!(index.lookup_stats().lookups, 5);
+    }
+
+    #[test]
+    fn approx_bytes_counts_shard_copies() {
+        let small = SharedObjectIndex::with_shards(1);
+        let sharded = SharedObjectIndex::with_shards(8);
+        small.insert(Interval::new(0x0, 0x6000), mo(1));
+        sharded.insert(Interval::new(0x0, 0x6000), mo(1));
+        assert!(small.approx_bytes() > 0);
+        assert!(
+            sharded.approx_bytes() >= small.approx_bytes(),
+            "copies are accounted as real memory"
+        );
     }
 }

@@ -24,6 +24,7 @@
 //! | module | paper section | role |
 //! |---|---|---|
 //! | [`splay`] | §4.2 | interval splay tree mapping live object address ranges |
+//! | [`sync`] | §5.1 | signal-handler-safe spin lock for the ingestion hot path |
 //! | [`cct`] | §4.4, §5.1 | compact calling context tree |
 //! | [`metrics`] | §4.1 | metric vectors attributed to sites and contexts |
 //! | [`object`] | §4.2 | allocation-site identity (allocation call paths) |
@@ -99,8 +100,11 @@ pub mod report;
 pub mod session;
 pub mod sink;
 pub mod splay;
+pub mod sync;
 
-pub use agent::{AllocationAgent, AllocationConfig, SharedObjectIndex, DEFAULT_SIZE_FILTER};
+pub use agent::{
+    AllocationAgent, AllocationConfig, SharedObjectIndex, DEFAULT_SHARD_COUNT, DEFAULT_SIZE_FILTER,
+};
 pub use analyzer::{
     AccessContext, AnalysisReport, Analyzer, AnalyzerBuilder, ObjectReport, RankBy,
 };
@@ -117,7 +121,9 @@ pub use report::{
     render_code_centric, render_numa_report, render_object_report, Report, ReportOptions,
 };
 pub use session::{
-    Collector, NumaProfile, SampleContext, Session, SessionBuilder, SessionConfig, SessionSnapshot,
+    BatchContext, Collector, NumaProfile, SampleContext, Session, SessionBuilder, SessionConfig,
+    SessionSnapshot,
 };
 pub use sink::{read_any_profile, JsonSink, ProfileSink, TextSink};
-pub use splay::{Interval, IntervalSplayTree};
+pub use splay::{Interval, IntervalSplayTree, LookupStats};
+pub use sync::{SpinLock, SpinLockGuard};

@@ -25,6 +25,7 @@ use djx_runtime::{
 
 use crate::profile::{AllocationStats, ObjectCentricProfile};
 use crate::session::Session;
+use crate::splay::LookupStats;
 
 /// Default sampling period for simulated runs.
 ///
@@ -174,8 +175,9 @@ impl DjxPerf {
         self.session.merged_counts()
     }
 
-    /// Splay-tree lookup statistics: `(lookups, hits)`.
-    pub fn splay_lookup_stats(&self) -> (u64, u64) {
+    /// Object-index lookup statistics, merged over every shard (splaying and read-only
+    /// lookups are counted separately; see [`LookupStats`]).
+    pub fn splay_lookup_stats(&self) -> LookupStats {
         self.session.splay_lookup_stats()
     }
 
@@ -308,9 +310,10 @@ mod tests {
             sm.total.samples,
             main.samples
         );
-        let (lookups, hits) = profiler.splay_lookup_stats();
-        assert!(lookups >= main.samples);
-        assert!(hits > 0);
+        let stats = profiler.splay_lookup_stats();
+        assert!(stats.lookups >= main.samples);
+        assert!(stats.hits > 0);
+        assert_eq!(stats.read_lookups, 0, "the hot path never uses read-only resolution");
         assert!(profiler.memory_footprint_bytes() > 0);
     }
 

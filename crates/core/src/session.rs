@@ -24,6 +24,32 @@
 //! [`Session::stream_snapshot`] pushes the object-centric profile through any
 //! [`ProfileSink`](crate::sink::ProfileSink) backend for live export.
 //!
+//! # Contention-free ingestion: sharded index, per-thread collector state
+//!
+//! The per-sample hot path crosses three layers, and every one of them is built so two
+//! profiled threads do not serialize on a shared lock in the common case:
+//!
+//! 1. **Sampler** — the per-thread virtual PMUs live in a [`ThreadId`]-striped table;
+//!    observing an access locks only the owning thread's stripe (uncontended unless two
+//!    thread ids collide on a stripe).
+//! 2. **Object index** — sample addresses resolve through the address-sharded
+//!    [`SharedObjectIndex`] (see [`crate::agent`]): an overflow batch locks only the
+//!    shards it actually touches, reusing the shard guard across the batch's
+//!    spatially-local addresses.
+//! 3. **Collectors** — each resolved batch is delivered **once per collector** via
+//!    [`Collector::on_sample_batch`] instead of `samples × collectors` individual lock
+//!    round-trips, and every built-in collector keeps *per-thread* state in the same
+//!    striped layout (a thread's samples arrive from that thread, so the state is
+//!    logically thread-private).
+//!
+//! The merge points are the read paths: [`Session::object_profile`],
+//! [`Session::code_profile`] and [`Session::numa_profile`] clone the per-thread state
+//! stripe by stripe (the only work done under a lock) and assemble, merge and sort the
+//! owned profile **outside** every lock, so snapshots never stall ingestion for the
+//! duration of a whole-profile clone. Per-thread views merge in thread-first-seen
+//! order, which keeps single-threaded profiles bit-identical to the pre-sharding
+//! implementation.
+//!
 //! ```
 //! use djx_runtime::{dsl, Runtime, RuntimeConfig};
 //! use djxperf::session::Session;
@@ -50,9 +76,8 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use djx_pmu::{PerfEventBuilder, PmuCounts, PmuEvent, Sample, ThreadPmu};
 use djx_runtime::{
@@ -68,6 +93,8 @@ use crate::object::{AllocSite, AllocSiteId};
 use crate::profile::{ObjectCentricProfile, ThreadProfile};
 use crate::profiler::ProfilerConfig;
 use crate::sink::ProfileSink;
+use crate::splay::LookupStats;
+use crate::sync::SpinLock;
 
 /// Session configuration is the same value object the legacy profiler used; the alias
 /// names it for the session-first API.
@@ -92,6 +119,53 @@ pub struct SampleContext<'a> {
     pub site: Option<AllocSiteId>,
 }
 
+/// One overflow batch from a single thread, resolved once for *all* collectors: the
+/// raw PMU samples and, parallel to them, the allocation site of each sample's
+/// enclosing monitored object.
+///
+/// The session hands every collector one [`Collector::on_sample_batch`] call per batch
+/// instead of `samples × collectors` individual calls, so a collector with shared state
+/// can amortize one lock acquisition over the whole batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchContext<'a> {
+    /// The sampled thread (one batch never mixes threads).
+    pub thread: ThreadId,
+    /// Calling context at the overflow, root-first (`AsyncGetCallTrace`).
+    pub call_trace: &'a [Frame],
+    /// Sampling period, for scaling samples into event-count estimates.
+    pub period: u64,
+    /// The raw PMU samples of the batch.
+    pub samples: &'a [Sample],
+    /// Allocation site resolved for each sample (parallel to `samples`; `None` for
+    /// unattributed samples).
+    pub sites: &'a [Option<AllocSiteId>],
+}
+
+impl<'a> BatchContext<'a> {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the batch carries no sample (the session never dispatches such a
+    /// batch; provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates the batch at the per-sample granularity [`Collector::on_sample`]
+    /// consumes.
+    pub fn iter(&self) -> impl Iterator<Item = SampleContext<'a>> + '_ {
+        self.samples.iter().zip(self.sites.iter()).map(|(sample, site)| SampleContext {
+            thread: self.thread,
+            call_trace: self.call_trace,
+            sample,
+            period: self.period,
+            site: *site,
+        })
+    }
+}
+
 /// A consumer of the session's shared sampling stream.
 ///
 /// All methods take `&self`: collectors are invoked through a shared `Arc` from
@@ -103,6 +177,16 @@ pub trait Collector: Send + Sync {
 
     /// One resolved PMU sample from the shared stream.
     fn on_sample(&self, ctx: &SampleContext<'_>);
+
+    /// One resolved overflow batch from a single thread — the session's actual dispatch
+    /// granularity. The default forwards each sample to [`Collector::on_sample`];
+    /// collectors that guard state with a lock should override it to acquire the lock
+    /// once per batch instead of once per sample (all built-in collectors do).
+    fn on_sample_batch(&self, batch: &BatchContext<'_>) {
+        for ctx in batch.iter() {
+            self.on_sample(&ctx);
+        }
+    }
 
     /// A thread became visible to the session. Called exactly once per thread — with
     /// the thread's real name when the session saw it start, or `"<attached>"` when the
@@ -128,32 +212,128 @@ pub trait Collector: Send + Sync {
 }
 
 // ---------------------------------------------------------------------------------------
-// Built-in collectors
+// Per-thread striped state
 // ---------------------------------------------------------------------------------------
 
-#[derive(Debug, Default)]
-struct ObjectState {
-    profiles: HashMap<ThreadId, ThreadProfile>,
-    /// Thread first-seen order, so assembled profiles are deterministic.
-    order: Vec<ThreadId>,
+/// Number of stripes of a [`PerThread`] table. Power of two.
+const THREAD_STRIPES: usize = 16;
+
+/// Per-thread state striped over several locks, keyed by [`ThreadId`].
+///
+/// A profiled thread's samples arrive *from that thread* (the PMU overflow fires in the
+/// thread's own signal handler), so collector state keyed by thread id is logically
+/// thread-private. Striping the map means two threads contend only when their ids
+/// collide on a stripe, instead of serializing every sample of every thread on one
+/// collector-wide mutex. Stripe locks are [`SpinLock`]s — the signal-handler-safe
+/// primitive (see [`crate::sync`]), sound here precisely because striping makes the
+/// common case uncontended. Entries carry a first-seen sequence number so merged views
+/// assemble in thread-first-seen order — which keeps single-threaded profiles
+/// bit-identical to the pre-sharding implementation.
+#[derive(Debug)]
+struct PerThread<T> {
+    stripes: Box<[Stripe<T>]>,
+    seq: AtomicU64,
 }
 
-impl ObjectState {
-    fn entry(&mut self, thread: ThreadId, name: &str) -> &mut ThreadProfile {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.profiles.entry(thread) {
-            e.insert(ThreadProfile::new(thread, name));
-            self.order.push(thread);
+/// One stripe of a [`PerThread`] table: thread → (first-seen sequence, state).
+type Stripe<T> = SpinLock<HashMap<ThreadId, (u64, T)>>;
+
+impl<T> Default for PerThread<T> {
+    fn default() -> Self {
+        Self {
+            stripes: (0..THREAD_STRIPES).map(|_| SpinLock::new(HashMap::new())).collect(),
+            seq: AtomicU64::new(0),
         }
-        self.profiles.get_mut(&thread).unwrap()
     }
 }
 
+impl<T> PerThread<T> {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn stripe(&self, thread: ThreadId) -> &Stripe<T> {
+        &self.stripes[(thread.0 as usize) & (THREAD_STRIPES - 1)]
+    }
+
+    /// Runs `f` on the thread's state, creating it with `init` on first sight. Only the
+    /// thread's stripe is locked.
+    fn with<R>(
+        &self,
+        thread: ThreadId,
+        init: impl FnOnce() -> T,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        let mut stripe = self.stripe(thread).lock();
+        let entry = stripe
+            .entry(thread)
+            .or_insert_with(|| (self.seq.fetch_add(1, Ordering::Relaxed), init()));
+        f(&mut entry.1)
+    }
+
+    /// Runs `f` on the thread's state if the thread has one.
+    fn with_existing<R>(&self, thread: ThreadId, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        let mut stripe = self.stripe(thread).lock();
+        stripe.get_mut(&thread).map(|(_, state)| f(state))
+    }
+
+    /// Inserts state for a thread unless it already has some; returns `true` when the
+    /// thread is new.
+    fn insert_if_absent(&self, thread: ThreadId, init: impl FnOnce() -> T) -> bool {
+        let mut stripe = self.stripe(thread).lock();
+        match stripe.entry(thread) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((self.seq.fetch_add(1, Ordering::Relaxed), init()));
+                true
+            }
+        }
+    }
+
+    /// Folds over every entry, stripe by stripe (never holding two stripe locks).
+    fn fold<A>(&self, mut acc: A, mut f: impl FnMut(A, ThreadId, &T) -> A) -> A {
+        for stripe in self.stripes.iter() {
+            for (thread, (_, state)) in stripe.lock().iter() {
+                acc = f(acc, *thread, state);
+            }
+        }
+        acc
+    }
+
+    /// Clones every entry out in thread-first-seen order. Each stripe lock is held only
+    /// while its own entries are cloned; the ordering sort happens outside any lock.
+    fn merged(&self) -> Vec<(ThreadId, T)>
+    where
+        T: Clone,
+    {
+        let mut all: Vec<(u64, ThreadId, T)> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let guard = stripe.lock();
+            all.extend(guard.iter().map(|(t, (seq, s))| (*seq, *t, s.clone())));
+        }
+        all.sort_unstable_by_key(|(seq, t, _)| (*seq, *t));
+        all.into_iter().map(|(_, t, s)| (t, s)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Built-in collectors
+// ---------------------------------------------------------------------------------------
+
 /// The object-centric collector (§4.2/§5.1 of the paper): builds one
 /// [`ThreadProfile`] per thread, attributing each sample to the allocation site of the
-/// enclosing object — or to the thread's unattributed bucket.
+/// enclosing object — or to the thread's unattributed bucket. State is per-thread (see
+/// [the module docs](self)); a batch locks its thread's stripe exactly once.
 #[derive(Debug, Default)]
 pub struct ObjectCentricCollector {
-    state: Mutex<ObjectState>,
+    state: PerThread<ThreadProfile>,
+}
+
+fn record_object_sample(profile: &mut ThreadProfile, ctx: &SampleContext<'_>) {
+    match ctx.site {
+        Some(site) => profile.record_attributed(site, ctx.call_trace, ctx.sample, ctx.period),
+        None => profile.record_unattributed(ctx.sample, ctx.period),
+    }
 }
 
 impl ObjectCentricCollector {
@@ -164,13 +344,12 @@ impl ObjectCentricCollector {
 
     /// Clones the per-thread profiles in thread-first-seen order.
     pub fn thread_profiles(&self) -> Vec<ThreadProfile> {
-        let state = self.state.lock();
-        state.order.iter().filter_map(|t| state.profiles.get(t).cloned()).collect()
+        self.state.merged().into_iter().map(|(_, p)| p).collect()
     }
 
     /// Total samples recorded across every thread.
     pub fn total_samples(&self) -> u64 {
-        self.state.lock().profiles.values().map(|p| p.samples).sum()
+        self.state.fold(0, |acc, _, p| acc + p.samples)
     }
 }
 
@@ -180,61 +359,88 @@ impl Collector for ObjectCentricCollector {
     }
 
     fn on_thread_seen(&self, thread: ThreadId, name: &str) {
-        self.state.lock().entry(thread, name);
+        self.state.with(thread, || ThreadProfile::new(thread, name), |_| ());
     }
 
     fn on_sample(&self, ctx: &SampleContext<'_>) {
-        let mut state = self.state.lock();
-        let profile = state.entry(ctx.thread, "<attached>");
-        match ctx.site {
-            Some(site) => profile.record_attributed(site, ctx.call_trace, ctx.sample, ctx.period),
-            None => profile.record_unattributed(ctx.sample, ctx.period),
-        }
+        self.state.with(
+            ctx.thread,
+            || ThreadProfile::new(ctx.thread, "<attached>"),
+            |profile| record_object_sample(profile, ctx),
+        );
+    }
+
+    fn on_sample_batch(&self, batch: &BatchContext<'_>) {
+        self.state.with(
+            batch.thread,
+            || ThreadProfile::new(batch.thread, "<attached>"),
+            |profile| {
+                for ctx in batch.iter() {
+                    record_object_sample(profile, &ctx);
+                }
+            },
+        );
     }
 
     fn approx_bytes(&self) -> usize {
-        self.state.lock().profiles.values().map(|p| p.approx_bytes()).sum()
+        self.state.fold(0, |acc, _, p| acc + p.approx_bytes())
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct CodeState {
     cct: Cct,
     samples: u64,
+}
+
+impl CodeState {
+    fn record(&mut self, ctx: &SampleContext<'_>) {
+        let node = self.cct.insert_path(ctx.call_trace);
+        self.samples += 1;
+        self.cct.metrics_mut(node).record_sample(ctx.sample, ctx.period);
+    }
 }
 
 /// The code-centric collector (the "Linux perf" view of Figure 1): attributes every
 /// sample of the shared stream solely to its sampling calling context, with no notion
 /// of objects. Replaces a second profiling pass with
 /// [`CodeCentricProfiler`](crate::codecentric::CodeCentricProfiler).
+///
+/// Each thread grows its own CCT; [`CodeCentricCollector::profile`] merges them
+/// top-down (§5.2) outside every lock.
 #[derive(Debug)]
 pub struct CodeCentricCollector {
     event: PmuEvent,
     period: u64,
-    state: Mutex<CodeState>,
+    state: PerThread<CodeState>,
 }
 
 impl CodeCentricCollector {
     /// Creates a collector labelled with the session's event and period.
     pub fn new(event: PmuEvent, period: u64) -> Self {
-        Self { event, period, state: Mutex::new(CodeState::default()) }
+        Self { event, period, state: PerThread::new() }
     }
 
     /// Total samples recorded.
     pub fn total_samples(&self) -> u64 {
-        self.state.lock().samples
+        self.state.fold(0, |acc, _, s| acc + s.samples)
     }
 
     /// Snapshot of the measurement as a [`CodeCentricProfile`], identical in shape to
     /// the standalone profiler's output.
+    ///
+    /// The per-thread CCTs are cloned stripe by stripe — the only work done under a
+    /// lock — and merged into the owned profile outside every lock, so a snapshot of a
+    /// large CCT no longer stalls sample ingestion for the duration of the clone.
     pub fn profile(&self) -> CodeCentricProfile {
-        let state = self.state.lock();
-        CodeCentricProfile {
-            event: self.event,
-            period: self.period,
-            cct: state.cct.clone(),
-            total_samples: state.samples,
+        let per_thread = self.state.merged();
+        let mut cct = Cct::new();
+        let mut total_samples = 0;
+        for (_, state) in &per_thread {
+            cct.merge(&state.cct);
+            total_samples += state.samples;
         }
+        CodeCentricProfile { event: self.event, period: self.period, cct, total_samples }
     }
 }
 
@@ -244,18 +450,23 @@ impl Collector for CodeCentricCollector {
     }
 
     fn on_sample(&self, ctx: &SampleContext<'_>) {
-        let mut state = self.state.lock();
-        let node = state.cct.insert_path(ctx.call_trace);
-        state.samples += 1;
-        state.cct.metrics_mut(node).record_sample(ctx.sample, ctx.period);
+        self.state.with(ctx.thread, CodeState::default, |state| state.record(ctx));
+    }
+
+    fn on_sample_batch(&self, batch: &BatchContext<'_>) {
+        self.state.with(batch.thread, CodeState::default, |state| {
+            for ctx in batch.iter() {
+                state.record(&ctx);
+            }
+        });
     }
 
     fn approx_bytes(&self) -> usize {
-        self.state.lock().cct.approx_bytes()
+        self.state.fold(0, |acc, _, s| acc + s.cct.approx_bytes())
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct NumaState {
     per_site: HashMap<AllocSiteId, MetricVector>,
     unattributed: MetricVector,
@@ -263,18 +474,61 @@ struct NumaState {
     node_traffic: HashMap<(u32, u32), u64>,
 }
 
+impl NumaState {
+    fn record(&mut self, ctx: &SampleContext<'_>) {
+        match ctx.site {
+            Some(site) => {
+                self.per_site.entry(site).or_default().record_sample(ctx.sample, ctx.period)
+            }
+            None => self.unattributed.record_sample(ctx.sample, ctx.period),
+        }
+        *self
+            .node_traffic
+            .entry((ctx.sample.cpu_node.0, ctx.sample.page_node.0))
+            .or_insert(0) += 1;
+    }
+
+    fn merge(&mut self, other: &NumaState) {
+        for (site, metrics) in &other.per_site {
+            self.per_site.entry(*site).or_default().merge(metrics);
+        }
+        self.unattributed.merge(&other.unattributed);
+        for (pair, samples) in &other.node_traffic {
+            *self.node_traffic.entry(*pair).or_insert(0) += samples;
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.per_site.len()
+            * (std::mem::size_of::<AllocSiteId>() + std::mem::size_of::<MetricVector>())
+            + self.node_traffic.len() * std::mem::size_of::<((u32, u32), u64)>()
+    }
+}
+
 /// The NUMA collector (§4.3): folds each sample's CPU-node/page-node relationship into
 /// per-site local/remote counters and a node-to-node traffic matrix, the signals DJXPerf
 /// uses to flag candidates for interleaved allocation or first-touch initialization.
+/// State is per-thread; the commutative sums merge at snapshot time.
 #[derive(Debug, Default)]
 pub struct NumaCollector {
-    state: Mutex<NumaState>,
+    state: PerThread<NumaState>,
 }
 
 impl NumaCollector {
     /// Creates an empty collector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Merges the per-thread states into one (deterministic: all fields are
+    /// commutative sums). Clones happen stripe by stripe; the merge runs outside every
+    /// lock.
+    fn merged_state(&self) -> NumaState {
+        let mut merged = NumaState::default();
+        for (_, state) in self.state.merged() {
+            merged.merge(&state);
+        }
+        merged
     }
 }
 
@@ -284,24 +538,19 @@ impl Collector for NumaCollector {
     }
 
     fn on_sample(&self, ctx: &SampleContext<'_>) {
-        let mut state = self.state.lock();
-        match ctx.site {
-            Some(site) => {
-                state.per_site.entry(site).or_default().record_sample(ctx.sample, ctx.period)
+        self.state.with(ctx.thread, NumaState::default, |state| state.record(ctx));
+    }
+
+    fn on_sample_batch(&self, batch: &BatchContext<'_>) {
+        self.state.with(batch.thread, NumaState::default, |state| {
+            for ctx in batch.iter() {
+                state.record(&ctx);
             }
-            None => state.unattributed.record_sample(ctx.sample, ctx.period),
-        }
-        *state
-            .node_traffic
-            .entry((ctx.sample.cpu_node.0, ctx.sample.page_node.0))
-            .or_insert(0) += 1;
+        });
     }
 
     fn approx_bytes(&self) -> usize {
-        let state = self.state.lock();
-        state.per_site.len()
-            * (std::mem::size_of::<AllocSiteId>() + std::mem::size_of::<MetricVector>())
-            + state.node_traffic.len() * std::mem::size_of::<((u32, u32), u64)>()
+        self.state.fold(0, |acc, _, s| acc + s.approx_bytes())
     }
 }
 
@@ -360,68 +609,69 @@ impl NumaProfile {
 // The sampler: one virtual PMU per thread, shared by every collector
 // ---------------------------------------------------------------------------------------
 
-#[derive(Debug, Default)]
-struct SamplerState {
-    pmus: HashMap<ThreadId, ThreadPmu>,
-    total_samples: u64,
-}
-
+/// The session's sampling substrate. The per-thread PMUs live in a [`ThreadId`]-striped
+/// table: observing an access — the hottest operation of the whole session, it runs for
+/// every memory access, sampled or not — locks only the owning thread's stripe, so
+/// concurrently profiled threads do not serialize here.
 #[derive(Debug)]
 struct Sampler {
     builder: PerfEventBuilder,
-    state: Mutex<SamplerState>,
+    pmus: PerThread<ThreadPmu>,
+    total_samples: AtomicU64,
 }
 
 impl Sampler {
     fn new(builder: PerfEventBuilder) -> Self {
-        Self { builder, state: Mutex::new(SamplerState::default()) }
+        Self { builder, pmus: PerThread::new(), total_samples: AtomicU64::new(0) }
     }
 
     /// Programs a PMU for `thread` if none exists yet; returns `true` when the thread
     /// is new to the session.
     fn ensure_thread(&self, thread: ThreadId) -> bool {
-        let mut state = self.state.lock();
-        if state.pmus.contains_key(&thread) {
-            return false;
-        }
-        state.pmus.insert(thread, self.builder.open_for_thread(thread.0));
-        true
+        self.pmus.insert_if_absent(thread, || self.builder.open_for_thread(thread.0))
     }
 
     fn disable_thread(&self, thread: ThreadId) {
-        if let Some(pmu) = self.state.lock().pmus.get_mut(&thread) {
-            pmu.disable();
-        }
+        self.pmus.with_existing(thread, |pmu| pmu.disable());
     }
 
-    /// Feeds one access outcome to the thread's PMU and returns any overflow samples.
-    fn observe(&self, event: &MemoryAccessEvent<'_>) -> Vec<Sample> {
-        let mut state = self.state.lock();
-        let pmu = state.pmus.get_mut(&event.thread).expect("PMU ensured before observe");
-        let samples = pmu.observe(&event.outcome);
-        state.total_samples += samples.len() as u64;
-        samples
+    /// Feeds one access outcome to the thread's PMU, programming the PMU first when
+    /// the thread is new to the session — presence check and observation share **one**
+    /// stripe acquisition (the pre-sharding sampler paid two global lock round-trips
+    /// per access here). Returns whether the thread is new, and any overflow samples.
+    fn observe_ensuring(&self, event: &MemoryAccessEvent<'_>) -> (bool, Vec<Sample>) {
+        let mut created = false;
+        let samples = self.pmus.with(
+            event.thread,
+            || {
+                created = true;
+                self.builder.open_for_thread(event.thread.0)
+            },
+            |pmu| pmu.observe(&event.outcome),
+        );
+        if !samples.is_empty() {
+            self.total_samples.fetch_add(samples.len() as u64, Ordering::Relaxed);
+        }
+        (created, samples)
     }
 
     fn total_samples(&self) -> u64 {
-        self.state.lock().total_samples
+        self.total_samples.load(Ordering::Relaxed)
     }
 
     fn merged_counts(&self) -> PmuCounts {
-        let state = self.state.lock();
-        let mut merged = PmuCounts::default();
-        for pmu in state.pmus.values() {
+        self.pmus.fold(PmuCounts::default(), |mut merged, _, pmu| {
             merged.merge(pmu.counts());
-        }
-        merged
+            merged
+        })
     }
 
     fn thread_count(&self) -> usize {
-        self.state.lock().pmus.len()
+        self.pmus.fold(0, |acc, _, _| acc + 1)
     }
 
     fn approx_bytes(&self) -> usize {
-        self.state.lock().pmus.len() * std::mem::size_of::<ThreadPmu>()
+        self.thread_count() * std::mem::size_of::<ThreadPmu>()
     }
 }
 
@@ -660,10 +910,24 @@ impl Session {
         self.sampler.merged_counts()
     }
 
-    /// Splay-tree lookup statistics: `(lookups, hits)`.
-    pub fn splay_lookup_stats(&self) -> (u64, u64) {
-        let tree = self.shared.tree.lock();
-        (tree.lookups(), tree.hits())
+    /// Object-index lookup statistics, merged over every shard: splaying lookups/hits
+    /// (the sample-resolution hot path) and read-only lookups/hits (non-splaying
+    /// queries such as [`Session::resolve_address`]).
+    pub fn splay_lookup_stats(&self) -> LookupStats {
+        self.shared.lookup_stats()
+    }
+
+    /// Read-only resolution of an address to the allocation site of its enclosing
+    /// monitored object. Unlike the hot-path resolution, this never splays — the tree
+    /// shape the sampling path depends on is not perturbed — and is counted under
+    /// `read_lookups` in [`Session::splay_lookup_stats`].
+    pub fn resolve_address(&self, addr: u64) -> Option<AllocSiteId> {
+        self.shared.find(addr).map(|(_, mo)| mo.site)
+    }
+
+    /// Number of shards of the session's object index.
+    pub fn index_shard_count(&self) -> usize {
+        self.shared.shard_count()
     }
 
     /// Approximate resident bytes of every session-owned data structure — the quantity
@@ -716,10 +980,11 @@ impl Session {
     }
 
     /// The NUMA collector's current view joined with the allocation-site table, or
-    /// `None` when no [`NumaCollector`] is registered.
+    /// `None` when no [`NumaCollector`] is registered. The per-thread states are
+    /// merged, sorted and assembled outside every collector lock.
     pub fn numa_profile(&self) -> Option<NumaProfile> {
         let collector = self.numa.as_ref()?;
-        let state = collector.state.lock();
+        let state = collector.merged_state();
         let mut per_site: Vec<(AllocSiteId, MetricVector)> =
             state.per_site.iter().map(|(id, m)| (*id, *m)).collect();
         per_site.sort_by(|a, b| b.1.remote_samples.cmp(&a.1.remote_samples).then(a.0.cmp(&b.0)));
@@ -771,27 +1036,21 @@ impl Session {
 
     /// Dispatches one resolved sample batch to every collector.
     fn dispatch_samples(&self, event: &MemoryAccessEvent<'_>, samples: &[Sample]) {
-        // Resolve each sample's effective address to the enclosing monitored object.
-        // The splay tree is the only structure shared between threads (§5.1); lock it
-        // once per overflow batch, and resolve once for *all* collectors.
-        let mut resolved = Vec::with_capacity(samples.len());
-        {
-            let mut tree = self.shared.tree.lock();
-            for sample in samples {
-                resolved.push(tree.lookup(sample.effective_addr).map(|(_, mo)| mo.site));
-            }
-        }
-        for (sample, site) in samples.iter().zip(resolved) {
-            let ctx = SampleContext {
-                thread: event.thread,
-                call_trace: event.call_trace,
-                sample,
-                period: self.config.period,
-                site,
-            };
-            for collector in &self.collectors {
-                collector.on_sample(&ctx);
-            }
+        // Resolve each sample's effective address to the enclosing monitored object
+        // once for *all* collectors, locking only the index shards the batch touches
+        // (the guard is reused across the batch's spatially local addresses).
+        let mut sites = Vec::with_capacity(samples.len());
+        self.shared.resolve_batch(samples.iter().map(|s| &s.effective_addr), &mut sites);
+        // One batch call per collector — not samples × collectors lock round-trips.
+        let batch = BatchContext {
+            thread: event.thread,
+            call_trace: event.call_trace,
+            period: self.config.period,
+            samples,
+            sites: &sites,
+        };
+        for collector in &self.collectors {
+            collector.on_sample_batch(&batch);
         }
     }
 
@@ -844,9 +1103,14 @@ impl RuntimeListener for Session {
     }
 
     fn on_memory_access(&self, event: &MemoryAccessEvent<'_>) {
-        // Threads that started before the session attached get a PMU lazily.
-        self.thread_seen(event.thread, "<attached>");
-        let samples = self.sampler.observe(event);
+        // Threads that started before the session attached get a PMU lazily; the
+        // presence check and the observation share a single stripe acquisition.
+        let (is_new, samples) = self.sampler.observe_ensuring(event);
+        if is_new {
+            for collector in &self.collectors {
+                collector.on_thread_seen(event.thread, "<attached>");
+            }
+        }
         if !samples.is_empty() {
             self.dispatch_samples(event, &samples);
         }
@@ -879,6 +1143,7 @@ impl RuntimeListener for Session {
 mod tests {
     use super::*;
     use djx_runtime::{dsl, RuntimeConfig};
+    use parking_lot::Mutex;
 
     use crate::profiler::DjxPerf;
     use crate::sink::{JsonSink, TextSink};

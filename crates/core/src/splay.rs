@@ -10,7 +10,61 @@
 //! The tree stores *disjoint* intervals; the heap guarantees objects never overlap.
 //! Lookups are by point containment (`start <= addr < end`).
 
+use std::cell::Cell;
+
 use djx_memsim::Addr;
+
+/// Lookup counters of one tree — or, summed, of a whole sharded index.
+///
+/// Splaying lookups ([`IntervalSplayTree::lookup`] / [`IntervalSplayTree::lookup_mut`])
+/// are the sample-resolution hot path and restructure the tree; read-only queries
+/// ([`IntervalSplayTree::find`]) leave the tree untouched and are counted separately so
+/// that resolution paths that deliberately avoid splaying (snapshot inspection,
+/// diagnostics) remain visible in the profiler's self-monitoring statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupStats {
+    /// Splaying lookups performed.
+    pub lookups: u64,
+    /// Splaying lookups that found an enclosing interval.
+    pub hits: u64,
+    /// Read-only (non-splaying) queries performed.
+    pub read_lookups: u64,
+    /// Read-only queries that found an enclosing interval.
+    pub read_hits: u64,
+}
+
+impl LookupStats {
+    /// Sums another stat block into this one (shard merging).
+    pub fn merge(&mut self, other: &LookupStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.read_lookups += other.read_lookups;
+        self.read_hits += other.read_hits;
+    }
+
+    /// Fraction of splaying lookups that hit, in `[0, 1]`.
+    pub fn hit_fraction(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl std::fmt::Display for LookupStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lookups={} hits={} ({:.1}%) read_lookups={} read_hits={}",
+            self.lookups,
+            self.hits,
+            self.hit_fraction() * 100.0,
+            self.read_lookups,
+            self.read_hits
+        )
+    }
+}
 
 /// One stored interval and its associated value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +145,10 @@ pub struct IntervalSplayTree<T> {
     len: usize,
     lookups: u64,
     hits: u64,
+    // `find` takes `&self`; the read-side counters use interior mutability so read-only
+    // queries stay read-only for the tree structure itself.
+    read_lookups: Cell<u64>,
+    read_hits: Cell<u64>,
 }
 
 impl<T> Default for IntervalSplayTree<T> {
@@ -102,7 +160,14 @@ impl<T> Default for IntervalSplayTree<T> {
 impl<T> IntervalSplayTree<T> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        Self { root: None, len: 0, lookups: 0, hits: 0 }
+        Self {
+            root: None,
+            len: 0,
+            lookups: 0,
+            hits: 0,
+            read_lookups: Cell::new(0),
+            read_hits: Cell::new(0),
+        }
     }
 
     /// Number of stored intervals.
@@ -123,6 +188,26 @@ impl<T> IntervalSplayTree<T> {
     /// Lookups that found an enclosing interval.
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Read-only (non-splaying) queries performed via [`IntervalSplayTree::find`].
+    pub fn read_lookups(&self) -> u64 {
+        self.read_lookups.get()
+    }
+
+    /// Read-only queries that found an enclosing interval.
+    pub fn read_hits(&self) -> u64 {
+        self.read_hits.get()
+    }
+
+    /// All lookup counters as one block (see [`LookupStats`]).
+    pub fn stats(&self) -> LookupStats {
+        LookupStats {
+            lookups: self.lookups,
+            hits: self.hits,
+            read_lookups: self.read_lookups.get(),
+            read_hits: self.read_hits.get(),
+        }
     }
 
     /// Top-down splay: reorganizes the tree so that the node whose interval contains
@@ -260,12 +345,18 @@ impl<T> IntervalSplayTree<T> {
         }
     }
 
-    /// Non-splaying containment query (no tree mutation, no statistics update).
+    /// Non-splaying containment query. The tree structure is untouched; the query is
+    /// counted in the read-side statistics ([`IntervalSplayTree::read_lookups`] /
+    /// [`IntervalSplayTree::read_hits`]) so read-only resolution paths remain visible.
     pub fn find(&self, addr: Addr) -> Option<(Interval, &T)> {
+        self.read_lookups.set(self.read_lookups.get() + 1);
         let mut node = self.root.as_deref();
         while let Some(n) = node {
             match side_of(&n.interval, addr) {
-                Side::Inside => return Some((n.interval, &n.value)),
+                Side::Inside => {
+                    self.read_hits.set(self.read_hits.get() + 1);
+                    return Some((n.interval, &n.value));
+                }
                 Side::Left => node = n.left.as_deref(),
                 Side::Right => node = n.right.as_deref(),
             }
@@ -412,6 +503,29 @@ mod tests {
             assert_eq!(by_find, by_lookup, "addr {addr:#x}");
         }
         assert_eq!(t.find(0x30).map(|(i, _)| i), Some(Interval::new(0x00, 0x60)));
+    }
+
+    #[test]
+    fn read_lookups_are_counted_separately_from_splaying_lookups() {
+        let mut t = tree_with(&[(0x00, 0x60), (0x80, 0x100)]);
+        assert_eq!(t.read_lookups(), 0);
+        t.find(0x30); // hit
+        t.find(0x70); // miss
+        t.find(0x90); // hit
+        assert_eq!(t.read_lookups(), 3);
+        assert_eq!(t.read_hits(), 2);
+        assert_eq!(t.lookups(), 0, "find never counts as a splaying lookup");
+        t.lookup(0x30);
+        let stats = t.stats();
+        assert_eq!(stats, LookupStats { lookups: 1, hits: 1, read_lookups: 3, read_hits: 2 });
+        assert!((stats.hit_fraction() - 1.0).abs() < 1e-12);
+        let mut merged = stats;
+        merged.merge(&LookupStats { lookups: 1, hits: 0, read_lookups: 2, read_hits: 1 });
+        assert_eq!(merged, LookupStats { lookups: 2, hits: 1, read_lookups: 5, read_hits: 3 });
+        let text = merged.to_string();
+        assert!(text.contains("lookups=2"));
+        assert!(text.contains("read_lookups=5"));
+        assert_eq!(LookupStats::default().hit_fraction(), 0.0);
     }
 
     #[test]

@@ -88,6 +88,56 @@ proptest! {
         prop_assert_eq!(starts.len(), model.len());
     }
 
+    /// The sharded object index agrees with a single reference splay tree under
+    /// arbitrary insert/remove/lookup sequences — including objects that span several
+    /// shard regions — and its distinct-object count matches.
+    #[test]
+    fn sharded_index_matches_single_tree(
+        ops in prop::collection::vec(tree_op(), 1..200),
+        shards in (0u32..5).prop_map(|i| 1usize << i),
+    ) {
+        use djxperf::{MonitoredObject, SharedObjectIndex};
+        use djx_runtime::ObjectId;
+
+        // Span shard regions: scale slots up to 2 regions each so intervals regularly
+        // cross region (and thus shard) boundaries.
+        let scale = 2 * (1u64 << 13) / SLOT_SIZE;
+        let index = SharedObjectIndex::with_shards(shards);
+        let mut reference: IntervalSplayTree<MonitoredObject> = IntervalSplayTree::new();
+
+        for op in ops {
+            match op {
+                TreeOp::Insert { slot, len, value } => {
+                    let start = slot * SLOT_SIZE * scale;
+                    let interval = Interval::new(start, start + len * scale);
+                    let mo = MonitoredObject {
+                        object: ObjectId(value),
+                        site: AllocSiteId((value % 7) as u32),
+                        size: len * scale,
+                    };
+                    let replaced = index.insert(interval, mo).map(|m| m.object);
+                    let expected = reference.insert(interval, mo).map(|m| m.object);
+                    prop_assert_eq!(replaced, expected);
+                }
+                TreeOp::Remove { slot } => {
+                    let addr = slot * SLOT_SIZE * scale;
+                    let removed = index.remove(addr).map(|(iv, m)| (iv, m.object));
+                    let expected = reference.remove(addr).map(|(iv, m)| (iv, m.object));
+                    prop_assert_eq!(removed, expected);
+                }
+                TreeOp::Lookup { slot, offset } => {
+                    let addr = slot * SLOT_SIZE * scale + offset * scale;
+                    let found = index.lookup(addr).map(|(iv, m)| (iv, m.object));
+                    let by_find = index.find(addr).map(|(iv, m)| (iv, m.object));
+                    let expected = reference.lookup(addr).map(|(iv, m)| (iv, m.object));
+                    prop_assert_eq!(found, expected);
+                    prop_assert_eq!(by_find, expected);
+                }
+            }
+            prop_assert_eq!(index.live_objects(), reference.len());
+        }
+    }
+
     /// `find` (read-only) and `lookup` (splaying) always agree.
     #[test]
     fn splay_find_and_lookup_agree(
