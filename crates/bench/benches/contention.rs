@@ -1,35 +1,56 @@
 //! Multi-thread sample-ingestion contention benchmark (the before/after evidence for
-//! the sharded-index + per-thread-collector-state pipeline).
+//! the sharded-index pipeline and the per-thread resolution cache in front of it).
 //!
-//! Two pipelines ingest the identical precomputed access streams, both built on the
-//! same signal-handler-safe [`SpinLock`] primitive (the paper's overflow handler
-//! cannot block, §5.1; see `djxperf::sync`) — so the **only** variable between them is
-//! the locking topology:
+//! All pipelines ingest identical precomputed access streams and are built on the same
+//! signal-handler-safe [`SpinLock`] primitive (the paper's overflow handler cannot
+//! block, §5.1; see `djxperf::sync`), so within each row family the **only** variable
+//! is the resolution/locking topology. Two families are measured:
+//!
+//! **Full pipelines** (three collectors, sampling period [`FULL_PERIOD`]) — the PR 2
+//! before/after evidence for sharded ingestion:
 //!
 //! * **`global-lock`** — a faithful in-bench reconstruction of the pre-sharding
-//!   session topology: one lock around the thread→PMU table (locked twice per access:
-//!   thread check + observe), one lock around a single interval splay tree (locked per
-//!   overflow batch), and one lock per collector, taken **per sample per collector** —
-//!   the `samples × collectors` lock round-trips the sharded dispatch removed.
-//! * **`sharded`** — the real [`Session`] (address-sharded object index, striped
-//!   per-thread PMU table and collector state, one `on_sample_batch` call per
-//!   collector).
+//!   session: one lock around the thread→PMU table (locked twice per access: thread
+//!   check + observe), one lock around a single interval splay tree (locked per
+//!   overflow batch), and one lock per collector, taken **per sample per collector**.
+//! * **`sharded-full`** — the real [`Session`] with all three built-in collectors
+//!   (address-sharded object index, striped per-thread PMU table and collector state,
+//!   one `on_sample_batch` call per collector) and the resolution cache disabled.
 //!
-//! Under concurrency the global topology pays for every cross-thread lock transfer —
-//! cache-line bouncing and serialization on multicore machines, burned spin cycles
-//! whenever a lock holder is descheduled on oversubscribed ones — while the sharded
-//! topology keeps every hot-path lock thread-private and uncontended.
+//! **Resolution substrate** (collector-free sessions, sampling period
+//! [`SUBSTRATE_PERIOD`] = 1, i.e. *every missing access resolves*) — the stress bench
+//! of the stage the per-thread cache optimizes. Collector attribution is identical
+//! across these topologies and measured by the `attribution`/`overhead` benches;
+//! removing it isolates PMU observation + sample resolution:
 //!
-//! Each pipeline runs at 1 thread and at `MULTI_THREADS` (≥ 4) threads; every thread
-//! replays its own deterministic stream over its own objects (the per-thread-arena
-//! pattern object-centric profiling produces in practice). The best-of-`reps` wall time
-//! becomes an accesses/second throughput. Results are printed as a Figure-4-style table
-//! and recorded in `BENCH_contention.json` together with the two acceptance ratios:
+//! * **`sharded`** — collector-free session, cache disabled: every resolution locks a
+//!   shard and splays (a write), exactly the PR 2 hot path.
+//! * **`cached`** — the same session with the per-thread direct-mapped
+//!   [`ResolutionCache`](djxperf::ResolutionCache) enabled (the session default):
+//!   repeat samples on hot objects resolve with no shard lock and no splay, validated
+//!   by the per-shard mutation epochs.
 //!
-//! * `multi_thread_speedup`   = sharded@N / global@N   (target ≥ 2×)
-//! * `single_thread_ratio`    = sharded@1 / global@1   (target ≥ 0.95, i.e. ≤ 5% regression)
+//! The access streams are **hot-object skewed** (⅞ of accesses hit a few hot objects
+//! per thread), the distribution object-centric profiling exploits — and, by the
+//! region-interleaved shard routing, the same hot-object index of every thread lands
+//! on the *same shard*, so the sharded pipeline's hot shard takes cross-thread lock
+//! transfers and splay-root thrashing that the cache never sees.
 //!
-//! Run with `--quick` (or `CONTENTION_QUICK=1`) for a short smoke iteration, as CI does.
+//! Substrate pipelines run at 1, `MULTI_THREADS` and `WIDE_THREADS` threads, plus an
+//! adversarial **GC-relocation churn** scenario: a background thread relocates hot
+//! monitored objects (move out + move back, applied at GC end) while `MULTI_THREADS`
+//! threads ingest, bumping shard epochs and invalidating cache entries at a rate no
+//! real collector approaches. Results are printed as a Figure-4-style table and
+//! recorded in `BENCH_contention.json` with the acceptance ratios:
+//!
+//! * `multi_thread_speedup`        = sharded-full@N / global@N  (target ≥ 2×)
+//! * `single_thread_ratio`         = sharded-full@1 / global@1  (target ≥ 0.95)
+//! * `cached_multi_thread_speedup` = cached@N / sharded@N       (target ≥ 1.5×)
+//! * `cached_single_thread_ratio`  = cached@1 / sharded@1       (target ≥ 0.95)
+//!
+//! Run with `--quick` (or `CONTENTION_QUICK=1`) for a short smoke iteration, or
+//! `--smoke-cached` (CI) to run only the sharded/cached comparison quickly and **exit
+//! non-zero** if the cached fast path regresses below safety margins.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,8 +59,8 @@ use std::time::{Duration, Instant};
 use djx_memsim::{AccessOutcome, HierarchyConfig, MemoryAccess, MemoryHierarchy};
 use djx_pmu::{PerfEventBuilder, PmuEvent, Sample, ThreadPmu};
 use djx_runtime::{
-    AllocationEvent, ClassId, Frame, MemoryAccessEvent, MethodId, ObjectId, RuntimeListener,
-    ThreadId,
+    AllocationEvent, ClassId, Frame, GcEvent, GcId, MemoryAccessEvent, MethodId, ObjectId,
+    ObjectMoveEvent, RuntimeListener, ThreadId,
 };
 use djxperf::{
     AllocSiteId, Cct, Interval, IntervalSplayTree, MetricVector, MonitoredObject, Session,
@@ -47,9 +68,31 @@ use djxperf::{
 };
 
 const MULTI_THREADS: u64 = 4;
-const OBJECTS_PER_THREAD: u64 = 256;
+const WIDE_THREADS: u64 = 8;
+const OBJECTS_PER_THREAD: u64 = 2048;
+/// Hot set per thread: ⅞ of accesses land on these objects.
+const HOT_OBJECTS: u64 = 16;
+/// Hot objects are spaced [`INDEX_SHARDS`] object slots apart, so — regions
+/// interleaving round-robin — **every hot object of every thread routes to the same
+/// shard**: the adversarial case for the sharded pipeline (alternating hot lookups
+/// restructure that shard's splay tree on every sample, under one contended lock)
+/// and the representative case for the cache (each hot region keeps its own slot).
+const HOT_STRIDE: u64 = INDEX_SHARDS as u64;
 const OBJECT_SIZE: u64 = 8 * 1024;
-const PERIOD: u64 = 64;
+/// Sampling period of the full (three-collector) pipelines.
+const FULL_PERIOD: u64 = 8;
+/// Sampling period of the substrate pipelines: 1, so every counted event resolves —
+/// the pure stress of the resolution stage.
+const SUBSTRATE_PERIOD: u64 = 1;
+/// Index shard count pinned on both session pipelines so the resolution cache is the
+/// only variable between `sharded` and `cached`.
+const INDEX_SHARDS: usize = 16;
+/// Churn relocation target: far inside the owning thread's arena, outside the accessed
+/// object range.
+const SHADOW_OFFSET: u64 = 0x800_0000;
+/// GC-relocation rounds per churn run, per 100k accesses (fixed work, so churned runs
+/// of different pipelines stay comparable).
+const CHURN_ROUNDS_PER_100K: u64 = 2_000;
 
 struct ThreadLog {
     thread: ThreadId,
@@ -67,7 +110,14 @@ fn build_logs(threads: u64, accesses: u64) -> Vec<ThreadLog> {
             let outcomes = (0..accesses)
                 .map(|_| {
                     x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                    let obj = (x >> 33) % OBJECTS_PER_THREAD;
+                    // Hot-object skew: ⅞ of accesses hit the thread's HOT_OBJECTS
+                    // hottest objects (all routed to one shard; see HOT_STRIDE), the
+                    // rest sweep the whole arena.
+                    let obj = if (x >> 61) != 0 {
+                        ((x >> 33) % HOT_OBJECTS) * HOT_STRIDE
+                    } else {
+                        (x >> 33) % OBJECTS_PER_THREAD
+                    };
                     let addr = base + obj * OBJECT_SIZE + (x % (OBJECT_SIZE / 8)) * 8;
                     hierarchy.access(MemoryAccess::load(0, addr, 8))
                 })
@@ -82,11 +132,18 @@ fn build_logs(threads: u64, accesses: u64) -> Vec<ThreadLog> {
         .collect()
 }
 
-/// The ingestion surface both pipelines implement.
+/// The ingestion surface all pipelines implement.
 trait Pipeline: Send + Sync {
     fn alloc(&self, log: &ThreadLog);
     fn access(&self, log: &ThreadLog, outcome: &AccessOutcome);
     fn total_samples(&self) -> u64;
+    /// One adversarial GC-relocation round: move one object per arena out and back,
+    /// applying each batch at GC end. Only session pipelines implement it.
+    fn churn_step(&self, _logs: &[ThreadLog], _round: u64) {}
+    /// Cache hit rate of the resolution path, when the pipeline has a cache.
+    fn cache_hit_rate(&self) -> Option<f64> {
+        None
+    }
 }
 
 // -----------------------------------------------------------------------------------
@@ -130,7 +187,9 @@ struct GlobalLockPipeline {
 impl GlobalLockPipeline {
     fn new() -> Self {
         Self {
-            builder: PerfEventBuilder::new(PmuEvent::L1Miss).sample_period(PERIOD).jitter(false),
+            builder: PerfEventBuilder::new(PmuEvent::L1Miss)
+                .sample_period(FULL_PERIOD)
+                .jitter(false),
             sampler: SpinLock::new(GlobalSampler::default()),
             tree: SpinLock::new(IntervalSplayTree::new()),
             object: SpinLock::new(GlobalObjectState::default()),
@@ -193,23 +252,25 @@ impl Pipeline for GlobalLockPipeline {
                     .entry(log.thread)
                     .or_insert_with(|| ThreadProfile::new(log.thread, "<bench>"));
                 match site {
-                    Some(site) => profile.record_attributed(site, &log.call_trace, sample, PERIOD),
-                    None => profile.record_unattributed(sample, PERIOD),
+                    Some(site) => {
+                        profile.record_attributed(site, &log.call_trace, sample, FULL_PERIOD)
+                    }
+                    None => profile.record_unattributed(sample, FULL_PERIOD),
                 }
             }
             {
                 let mut code = self.code.lock();
                 let node = code.cct.insert_path(&log.call_trace);
                 code.samples += 1;
-                code.cct.metrics_mut(node).record_sample(sample, PERIOD);
+                code.cct.metrics_mut(node).record_sample(sample, FULL_PERIOD);
             }
             {
                 let mut numa = self.numa.lock();
                 match site {
                     Some(site) => {
-                        numa.per_site.entry(site).or_default().record_sample(sample, PERIOD)
+                        numa.per_site.entry(site).or_default().record_sample(sample, FULL_PERIOD)
                     }
-                    None => numa.unattributed.record_sample(sample, PERIOD),
+                    None => numa.unattributed.record_sample(sample, FULL_PERIOD),
                 }
                 *numa.node_traffic.entry((sample.cpu_node.0, sample.page_node.0)).or_insert(0) += 1;
             }
@@ -222,32 +283,55 @@ impl Pipeline for GlobalLockPipeline {
 }
 
 // -----------------------------------------------------------------------------------
-// The real sharded session.
+// The real session, with and without the per-thread resolution cache.
 // -----------------------------------------------------------------------------------
 
-struct ShardedPipeline {
+struct SessionPipeline {
     session: Arc<Session>,
 }
 
-impl ShardedPipeline {
-    fn new() -> Self {
+impl SessionPipeline {
+    /// A full pipeline: all three built-in collectors, PR 2's comparison against the
+    /// global-lock reconstruction.
+    fn full() -> Self {
         Self {
             session: Session::builder()
-                .period(PERIOD)
+                .period(FULL_PERIOD)
+                .index_shards(INDEX_SHARDS)
+                .resolution_cache(false)
                 .collect_objects()
                 .collect_code()
                 .collect_numa()
                 .build(),
         }
     }
+
+    /// A substrate pipeline: collector-free on purpose. The session still runs the
+    /// full listener path — striped PMU observation, batched resolution, allocation
+    /// agent — so these rows isolate the stage the resolution cache optimizes
+    /// (collector attribution costs are identical across topologies and measured by
+    /// the attribution bench).
+    fn substrate(resolution_cache: bool) -> Self {
+        Self {
+            session: Session::builder()
+                .period(SUBSTRATE_PERIOD)
+                .index_shards(INDEX_SHARDS)
+                .resolution_cache(resolution_cache)
+                .build(),
+        }
+    }
+
+    fn object_id(thread: ThreadId, index: u64) -> ObjectId {
+        ObjectId((thread.0 - 1) * OBJECTS_PER_THREAD + index + 1)
+    }
 }
 
-impl Pipeline for ShardedPipeline {
+impl Pipeline for SessionPipeline {
     fn alloc(&self, log: &ThreadLog) {
         for i in 0..OBJECTS_PER_THREAD {
             let start = log.base + i * OBJECT_SIZE;
             self.session.on_object_alloc(&AllocationEvent {
-                object: ObjectId((log.thread.0 - 1) * OBJECTS_PER_THREAD + i + 1),
+                object: Self::object_id(log.thread, i),
                 class: ClassId(0),
                 class_name: "bench[]",
                 start,
@@ -270,6 +354,41 @@ impl Pipeline for ShardedPipeline {
     fn total_samples(&self) -> u64 {
         self.session.total_samples()
     }
+
+    fn churn_step(&self, logs: &[ThreadLog], round: u64) {
+        // Relocate one (hot) object per arena out to a shadow range and back, each
+        // half applied at a GC end: epochs on both ranges' shards bump, every cached
+        // entry for the object invalidates, and the index returns to its baseline so
+        // rounds compose indefinitely.
+        let index = (round % HOT_OBJECTS) * HOT_STRIDE;
+        for (half, flip) in [(0u64, false), (1, true)] {
+            // One GC id per half, shared by the moves and their matching GC end.
+            let gc = GcId(round * 2 + half);
+            for log in logs {
+                let home = log.base + index * OBJECT_SIZE;
+                let (old_addr, new_addr) =
+                    if flip { (home + SHADOW_OFFSET, home) } else { (home, home + SHADOW_OFFSET) };
+                self.session.on_object_move(&ObjectMoveEvent {
+                    gc,
+                    object: Self::object_id(log.thread, index),
+                    old_addr,
+                    new_addr,
+                    size: OBJECT_SIZE,
+                });
+            }
+            self.session.on_gc_end(&GcEvent {
+                gc,
+                heap_used: 0,
+                objects_moved: logs.len() as u64,
+                objects_reclaimed: 0,
+            });
+        }
+    }
+
+    fn cache_hit_rate(&self) -> Option<f64> {
+        let stats = self.session.splay_lookup_stats();
+        (stats.cache_lookups > 0).then(|| stats.cache_hit_fraction())
+    }
 }
 
 // -----------------------------------------------------------------------------------
@@ -283,6 +402,7 @@ struct Measurement {
     accesses: u64,
     samples: u64,
     best: Duration,
+    cache_hit_rate: Option<f64>,
 }
 
 impl Measurement {
@@ -298,12 +418,43 @@ fn run_once(pipeline: &dyn Pipeline, logs: &[ThreadLog]) -> Duration {
     let start = Instant::now();
     std::thread::scope(|scope| {
         for log in logs {
-            scope.spawn(move || {
+            scope.spawn(|| {
                 for outcome in &log.outcomes {
                     pipeline.access(log, outcome);
                 }
             });
         }
+    });
+    start.elapsed()
+}
+
+/// Like [`run_once`] but with a concurrent churn thread performing a **fixed** number
+/// of GC-relocation rounds (fixed work keeps churned runs of different pipelines
+/// comparable); the measured wall clock covers both the ingestion and the churn.
+fn run_once_with_churn(pipeline: &dyn Pipeline, logs: &[ThreadLog], accesses: u64) -> Duration {
+    for log in logs {
+        pipeline.alloc(log);
+    }
+    let rounds = (accesses / 100_000).max(1) * CHURN_ROUNDS_PER_100K;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for log in logs {
+            scope.spawn(|| {
+                for outcome in &log.outcomes {
+                    pipeline.access(log, outcome);
+                }
+            });
+        }
+        scope.spawn(|| {
+            for round in 1..=rounds {
+                pipeline.churn_step(logs, round);
+                if round % 64 == 0 {
+                    // Let ingestion interleave on narrow machines instead of applying
+                    // the whole relocation storm in one burst.
+                    std::thread::yield_now();
+                }
+            }
+        });
     });
     start.elapsed()
 }
@@ -314,17 +465,31 @@ fn measure(
     threads: u64,
     accesses: u64,
     reps: usize,
+    churn: bool,
 ) -> Measurement {
     let logs = build_logs(threads, accesses);
     let mut best = Duration::MAX;
     let mut samples = 0;
+    let mut cache_hit_rate = None;
     for _ in 0..reps {
         let pipeline = build();
-        let elapsed = run_once(pipeline.as_ref(), &logs);
+        let elapsed = if churn {
+            run_once_with_churn(pipeline.as_ref(), &logs, accesses)
+        } else {
+            run_once(pipeline.as_ref(), &logs)
+        };
         samples = pipeline.total_samples();
+        cache_hit_rate = pipeline.cache_hit_rate();
         best = best.min(elapsed);
     }
-    Measurement { pipeline: name, threads, accesses: threads * accesses, samples, best }
+    Measurement {
+        pipeline: name,
+        threads,
+        accesses: threads * accesses,
+        samples,
+        best,
+        cache_hit_rate,
+    }
 }
 
 fn json_escape_free_number(value: f64) -> String {
@@ -335,48 +500,144 @@ fn json_escape_free_number(value: f64) -> String {
     }
 }
 
-fn write_json(path: &str, results: &[Measurement], multi_speedup: f64, single_ratio: f64) {
+fn write_json(path: &str, results: &[Measurement], ratios: &[(&str, f64)]) {
     let mut rows = Vec::new();
     for m in results {
+        let cache = match m.cache_hit_rate {
+            Some(rate) => format!(", \"cache_hit_rate\": {}", json_escape_free_number(rate)),
+            None => String::new(),
+        };
         rows.push(format!(
-            "    {{\"pipeline\": \"{}\", \"threads\": {}, \"accesses\": {}, \"samples\": {}, \"best_secs\": {}, \"throughput_accesses_per_sec\": {}}}",
+            "    {{\"pipeline\": \"{}\", \"threads\": {}, \"accesses\": {}, \"samples\": {}, \"best_secs\": {}, \"throughput_accesses_per_sec\": {}{}}}",
             m.pipeline,
             m.threads,
             m.accesses,
             m.samples,
             json_escape_free_number(m.best.as_secs_f64()),
             json_escape_free_number(m.throughput()),
+            cache,
         ));
     }
+    let ratio_lines: Vec<String> = ratios
+        .iter()
+        .map(|(name, value)| format!("  \"{name}\": {}", json_escape_free_number(*value)))
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"contention\",\n  \"multi_threads\": {},\n  \"results\": [\n{}\n  ],\n  \"multi_thread_speedup\": {},\n  \"single_thread_ratio\": {}\n}}\n",
+        "{{\n  \"bench\": \"contention\",\n  \"multi_threads\": {},\n  \"results\": [\n{}\n  ],\n{}\n}}\n",
         MULTI_THREADS,
         rows.join(",\n"),
-        json_escape_free_number(multi_speedup),
-        json_escape_free_number(single_ratio),
+        ratio_lines.join(",\n"),
     );
     if let Err(err) = std::fs::write(path, json) {
         eprintln!("warning: could not write {path}: {err}");
     }
 }
 
+fn print_results(results: &[Measurement]) {
+    println!(
+        "{:<16} {:>8} {:>12} {:>10} {:>14} {:>16} {:>12}",
+        "pipeline", "threads", "accesses", "samples", "best (ms)", "accesses/s", "cache hits"
+    );
+    for m in results {
+        println!(
+            "{:<16} {:>8} {:>12} {:>10} {:>14.2} {:>16.0} {:>12}",
+            m.pipeline,
+            m.threads,
+            m.accesses,
+            m.samples,
+            m.best.as_secs_f64() * 1e3,
+            m.throughput(),
+            m.cache_hit_rate
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}
+
+fn throughput_of(results: &[Measurement], name: &str, threads: u64) -> f64 {
+    results
+        .iter()
+        .find(|m| m.pipeline == name && m.threads == threads)
+        .expect("measured above")
+        .throughput()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick")
+    let smoke = args.iter().any(|a| a == "--smoke-cached");
+    let quick = smoke
+        || args.iter().any(|a| a == "--quick")
         || std::env::var("CONTENTION_QUICK").map(|v| v == "1").unwrap_or(false);
-    let (accesses, reps) = if quick { (150_000u64, 2usize) } else { (400_000u64, 3usize) };
+    // Best-of-5 in the full run: spin locks on an oversubscribed machine suffer
+    // stochastic preemption storms (a descheduled lock holder burns every spinner's
+    // timeslice), so single runs are noisy in exactly the topologies under test.
+    let (accesses, reps) = if quick { (150_000u64, 2usize) } else { (400_000u64, 5usize) };
+
+    let sharded = || Box::new(SessionPipeline::substrate(false)) as Box<dyn Pipeline>;
+    let cached = || Box::new(SessionPipeline::substrate(true)) as Box<dyn Pipeline>;
+
+    if smoke {
+        // CI regression gate for the cached fast path: sharded vs cached only, quick
+        // streams, thresholds with a safety margin under the acceptance targets so an
+        // oversubscribed runner does not flake while a real regression still fails.
+        println!("== cached-pipeline contention smoke (CI gate) ==\n");
+        let mut results = Vec::new();
+        for threads in [1, MULTI_THREADS] {
+            results.push(measure("sharded", sharded, threads, accesses, reps, false));
+            results.push(measure("cached", cached, threads, accesses, reps, false));
+        }
+        print_results(&results);
+        let multi = throughput_of(&results, "cached", MULTI_THREADS)
+            / throughput_of(&results, "sharded", MULTI_THREADS);
+        let single = throughput_of(&results, "cached", 1) / throughput_of(&results, "sharded", 1);
+        println!(
+            "\ncached/sharded @{MULTI_THREADS} threads: {multi:.2}x (gate >= 1.20)\n\
+             cached/sharded @1 thread:  {single:.2} (gate >= 0.85)"
+        );
+        // Record the smoke rows too — CI points BENCH_CONTENTION_OUT at a scratch
+        // path so this cannot clobber the full run's artifact.
+        if let Ok(path) = std::env::var("BENCH_CONTENTION_OUT") {
+            write_json(
+                &path,
+                &results,
+                &[("cached_multi_thread_speedup", multi), ("cached_single_thread_ratio", single)],
+            );
+            println!("recorded {path}");
+        }
+        let mut failed = false;
+        if multi < 1.20 {
+            eprintln!(
+                "FAIL: cached pipeline lost its multi-thread advantage ({multi:.2}x < 1.20x)"
+            );
+            failed = true;
+        }
+        if single < 0.85 {
+            eprintln!(
+                "FAIL: cached pipeline regressed single-thread throughput ({single:.2} < 0.85)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("smoke OK");
+        return;
+    }
 
     println!(
-        "== sample-ingestion contention: global-lock baseline vs sharded session ==\n\
-         ({} accesses/thread, period {}, {} objects/thread, best of {} reps{})\n",
+        "== sample-ingestion contention: full pipelines (period {}) + resolution substrate (period {}) ==\n\
+         ({} accesses/thread, {} objects/thread ({} hot), best of {} reps{})\n",
+        FULL_PERIOD,
+        SUBSTRATE_PERIOD,
         accesses,
-        PERIOD,
         OBJECTS_PER_THREAD,
+        HOT_OBJECTS,
         reps,
         if quick { ", quick mode" } else { "" }
     );
 
     let mut results = Vec::new();
+    // Family 1 — full three-collector pipelines: the PR 2 sharded-vs-global evidence.
     for threads in [1, MULTI_THREADS] {
         results.push(measure(
             "global-lock",
@@ -384,45 +645,52 @@ fn main() {
             threads,
             accesses,
             reps,
+            false,
         ));
         results.push(measure(
-            "sharded",
-            || Box::new(ShardedPipeline::new()) as Box<dyn Pipeline>,
+            "sharded-full",
+            || Box::new(SessionPipeline::full()) as Box<dyn Pipeline>,
             threads,
             accesses,
             reps,
+            false,
         ));
     }
-
-    println!(
-        "{:<14} {:>8} {:>12} {:>10} {:>14} {:>16}",
-        "pipeline", "threads", "accesses", "samples", "best (ms)", "accesses/s"
-    );
-    for m in &results {
-        println!(
-            "{:<14} {:>8} {:>12} {:>10} {:>14.2} {:>16.0}",
-            m.pipeline,
-            m.threads,
-            m.accesses,
-            m.samples,
-            m.best.as_secs_f64() * 1e3,
-            m.throughput()
-        );
+    // Family 2 — the resolution substrate: sharded vs cached at 1, MULTI and WIDE
+    // threads (the global baseline's spin storm at WIDE on an oversubscribed runner
+    // would dominate the wall clock without adding information).
+    for threads in [1, MULTI_THREADS, WIDE_THREADS] {
+        results.push(measure("sharded", sharded, threads, accesses, reps, false));
+        results.push(measure("cached", cached, threads, accesses, reps, false));
     }
+    // Adversarial GC-relocation churn: a background thread relocates hot objects
+    // continuously while MULTI_THREADS ingest. The cache must degrade gracefully
+    // (epoch invalidations), never fall behind the uncached sharded path.
+    results.push(measure("sharded-churn", sharded, MULTI_THREADS, accesses, reps, true));
+    results.push(measure("cached-churn", cached, MULTI_THREADS, accesses, reps, true));
 
-    let find = |name: &str, threads: u64| {
-        results
-            .iter()
-            .find(|m| m.pipeline == name && m.threads == threads)
-            .expect("measured above")
-    };
-    let multi_speedup = find("sharded", MULTI_THREADS).throughput()
-        / find("global-lock", MULTI_THREADS).throughput();
-    let single_ratio = find("sharded", 1).throughput() / find("global-lock", 1).throughput();
+    print_results(&results);
+
+    let multi_speedup = throughput_of(&results, "sharded-full", MULTI_THREADS)
+        / throughput_of(&results, "global-lock", MULTI_THREADS);
+    let single_ratio =
+        throughput_of(&results, "sharded-full", 1) / throughput_of(&results, "global-lock", 1);
+    let cached_multi = throughput_of(&results, "cached", MULTI_THREADS)
+        / throughput_of(&results, "sharded", MULTI_THREADS);
+    let cached_single =
+        throughput_of(&results, "cached", 1) / throughput_of(&results, "sharded", 1);
+    let cached_wide = throughput_of(&results, "cached", WIDE_THREADS)
+        / throughput_of(&results, "sharded", WIDE_THREADS);
+    let churn_ratio = throughput_of(&results, "cached-churn", MULTI_THREADS)
+        / throughput_of(&results, "sharded-churn", MULTI_THREADS);
 
     println!(
-        "\nmulti-thread ({MULTI_THREADS} threads) speedup: {multi_speedup:.2}x (target >= 2x)\n\
-         single-thread throughput ratio:     {single_ratio:.2} (target >= 0.95)"
+        "\nsharded/global @{MULTI_THREADS} threads:  {multi_speedup:.2}x (target >= 2x)\n\
+         sharded/global @1 thread:   {single_ratio:.2} (target >= 0.95)\n\
+         cached/sharded @{MULTI_THREADS} threads:  {cached_multi:.2}x (target >= 1.5x)\n\
+         cached/sharded @1 thread:   {cached_single:.2} (target >= 0.95)\n\
+         cached/sharded @{WIDE_THREADS} threads:  {cached_wide:.2}x\n\
+         cached/sharded under churn: {churn_ratio:.2}"
     );
 
     // Cargo runs benches with the package directory as CWD; record the results at the
@@ -433,6 +701,17 @@ fn main() {
             Err(_) => "BENCH_contention.json".to_string(),
         }
     });
-    write_json(&path, &results, multi_speedup, single_ratio);
+    write_json(
+        &path,
+        &results,
+        &[
+            ("multi_thread_speedup", multi_speedup),
+            ("single_thread_ratio", single_ratio),
+            ("cached_multi_thread_speedup", cached_multi),
+            ("cached_single_thread_ratio", cached_single),
+            ("cached_wide_thread_speedup", cached_wide),
+            ("gc_churn_ratio", churn_ratio),
+        ],
+    );
     println!("\nrecorded {path}");
 }

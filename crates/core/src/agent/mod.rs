@@ -39,6 +39,31 @@
 //! The common-case sample resolution (`lookup`) thus touches exactly one shard mutex,
 //! uncontended as long as two threads are not sampling addresses in the same region —
 //! which is the point: per-thread allocation sites mean per-thread address ranges.
+//!
+//! # Three-level sample resolution: thread cache → shard → miss
+//!
+//! Sharding removes *contention*, but every resolution still pays one lock round-trip
+//! and a splay — a **write** to the tree — even when a thread samples the same hot
+//! object thousands of times in a row, which is precisely the distribution
+//! object-centric profiling exploits (a handful of hot objects absorb most samples).
+//! The hot path therefore runs in three levels:
+//!
+//! 1. **Per-thread [`ResolutionCache`]** — a small direct-mapped table, private to the
+//!    sampling thread, mapping 8 KiB address regions to the enclosing
+//!    `(Interval, MonitoredObject)`. A hit is an array probe plus one atomic epoch
+//!    load: **no shard lock, no splay rotation, no shared-memory write**.
+//! 2. **Shard splay tree** — a cache miss falls through to the owning shard exactly as
+//!    before (one [`SpinLock`], splaying lookup), and refills the cache slot on a hit.
+//! 3. **Miss** — addresses outside every monitored object resolve to `None`; misses
+//!    are never cached (a region can gain an object at any time).
+//!
+//! Correctness across mutation comes from a per-shard [`Epoch`]: every insert, removal
+//! and GC relocation bumps the epoch of each shard it touches *under that shard's
+//! lock, before mutating*. A cache entry records the shard epoch at fill time and is
+//! valid only while the epoch still matches, so a stale resolution after a GC move is
+//! impossible by construction — the move bumped the epoch, the entry mismatches, the
+//! thread falls back to the shard. Cache probes and hits are self-monitored through
+//! [`LookupStats::cache_lookups`] / [`LookupStats::cache_hits`].
 
 mod allocation;
 
@@ -53,23 +78,34 @@ use djx_memsim::Addr;
 
 use crate::object::{AllocSiteRegistry, MonitoredObject};
 use crate::splay::{Interval, IntervalSplayTree, LookupStats};
-use crate::sync::SpinLock;
+use crate::sync::{Epoch, SpinLock};
 
 /// Default number of shards of a [`SharedObjectIndex`]. Power of two, sized so that a
 /// handful of profiled threads rarely collide on a shard without making per-shard trees
 /// degenerate.
 pub const DEFAULT_SHARD_COUNT: usize = 16;
 
+/// One address shard: an interval splay tree behind a signal-handler-safe lock, plus
+/// the mutation epoch that keeps per-thread resolution caches honest.
+#[derive(Debug, Default)]
+struct Shard {
+    /// The shard's interval splay tree. Shard locks are [`SpinLock`]s: sample
+    /// resolution runs in signal-handler context (§5.1), and sharding keeps each lock
+    /// uncontended in the common case — see [`crate::sync`].
+    tree: SpinLock<IntervalSplayTree<MonitoredObject>>,
+    /// Bumped under the shard lock, *before* every tree mutation. A cache entry filled
+    /// under epoch `E` is valid only while the epoch still reads `E` (see
+    /// [`ResolutionCache`]).
+    epoch: Epoch,
+}
+
 /// State shared between the two agents: the sharded splay-tree index of monitored-object
 /// address ranges (see the [module documentation](self) for the sharding scheme) and the
 /// allocation-site registry.
 #[derive(Debug)]
 pub struct SharedObjectIndex {
-    /// One interval splay tree per address shard, each behind its own lock. Shard
-    /// locks are [`SpinLock`]s: sample resolution runs in signal-handler context
-    /// (§5.1), and sharding keeps each lock uncontended in the common case — see
-    /// [`crate::sync`].
-    shards: Box<[SpinLock<IntervalSplayTree<MonitoredObject>>]>,
+    /// One splay tree + mutation epoch per address shard.
+    shards: Box<[Shard]>,
     /// `shards.len() - 1`; routing is `(addr >> REGION_SHIFT) & mask`.
     mask: u64,
     /// Number of distinct live monitored objects (copies excluded).
@@ -112,7 +148,7 @@ impl SharedObjectIndex {
             "shard count must be a power of two in 1..=64, got {shards}"
         );
         Self {
-            shards: (0..shards).map(|_| SpinLock::new(IntervalSplayTree::new())).collect(),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
             mask: (shards - 1) as u64,
             live: AtomicUsize::new(0),
             sites: Mutex::new(AllocSiteRegistry::default()),
@@ -146,12 +182,28 @@ impl SharedObjectIndex {
         set
     }
 
-    fn for_shards_in(&self, set: u64, mut f: impl FnMut(&mut IntervalSplayTree<MonitoredObject>)) {
+    /// Runs a **mutation** on every shard in `set`, one shard lock at a time, bumping
+    /// each shard's epoch before its tree is touched so per-thread cache entries filled
+    /// under the previous epoch can never resolve through the mutated state.
+    fn mutate_shards_in(
+        &self,
+        set: u64,
+        mut f: impl FnMut(&mut IntervalSplayTree<MonitoredObject>),
+    ) {
         for shard in 0..self.shards.len() {
             if set & (1u64 << shard) != 0 {
-                f(&mut self.shards[shard].lock());
+                let s = &self.shards[shard];
+                let mut tree = s.tree.lock();
+                s.epoch.bump();
+                f(&mut tree);
             }
         }
+    }
+
+    /// Current mutation epoch of the shard owning `addr` (diagnostics and tests; cache
+    /// validation reads the epoch internally).
+    pub fn epoch_of(&self, addr: Addr) -> u64 {
+        self.shards[self.shard_of(addr)].epoch.current()
     }
 
     /// Inserts a monitored object under its address range, placing one copy of the
@@ -163,7 +215,7 @@ impl SharedObjectIndex {
     /// no stale copy survives — and returned.
     pub fn insert(&self, interval: Interval, value: MonitoredObject) -> Option<MonitoredObject> {
         let old = self.remove(interval.start).map(|(_, mo)| mo);
-        self.for_shards_in(self.shard_set(interval), |tree| {
+        self.mutate_shards_in(self.shard_set(interval), |tree| {
             tree.insert(interval, value);
         });
         self.live.fetch_add(1, Ordering::Relaxed);
@@ -177,9 +229,16 @@ impl SharedObjectIndex {
     /// interval, then the remaining copies are removed shard by shard.
     pub fn remove(&self, addr: Addr) -> Option<(Interval, MonitoredObject)> {
         let primary = self.shard_of(addr);
-        let (interval, value) = self.shards[primary].lock().remove(addr)?;
+        let (interval, value) = {
+            let shard = &self.shards[primary];
+            let mut tree = shard.tree.lock();
+            // Bump before probing: even a miss costs only spurious cache refills, and a
+            // hit must invalidate before the entry leaves the tree.
+            shard.epoch.bump();
+            tree.remove(addr)?
+        };
         let rest = self.shard_set(interval) & !(1u64 << primary);
-        self.for_shards_in(rest, |tree| {
+        self.mutate_shards_in(rest, |tree| {
             tree.remove(interval.start);
         });
         self.live.fetch_sub(1, Ordering::Relaxed);
@@ -190,14 +249,22 @@ impl SharedObjectIndex {
     /// of the owning shard's tree (the sample-resolution hot path: one shard lock, near
     /// O(1) under temporal locality).
     pub fn lookup(&self, addr: Addr) -> Option<(Interval, MonitoredObject)> {
-        self.shards[self.shard_of(addr)].lock().lookup(addr).map(|(iv, mo)| (iv, *mo))
+        self.shards[self.shard_of(addr)]
+            .tree
+            .lock()
+            .lookup(addr)
+            .map(|(iv, mo)| (iv, *mo))
     }
 
     /// Read-only resolution of `addr`: no splaying, counted under the read-side lookup
     /// statistics. Use for inspection paths that must not perturb the tree shape the
     /// sampling hot path depends on.
     pub fn find(&self, addr: Addr) -> Option<(Interval, MonitoredObject)> {
-        self.shards[self.shard_of(addr)].lock().find(addr).map(|(iv, mo)| (iv, *mo))
+        self.shards[self.shard_of(addr)]
+            .tree
+            .lock()
+            .find(addr)
+            .map(|(iv, mo)| (iv, *mo))
     }
 
     /// Resolves a batch of sampled addresses to their enclosing objects' allocation
@@ -209,17 +276,52 @@ impl SharedObjectIndex {
         addrs: impl Iterator<Item = &'a Addr>,
         out: &mut Vec<Option<crate::object::AllocSiteId>>,
     ) {
-        let mut guard: Option<(usize, crate::sync::SpinLockGuard<'_, _>)> = None;
+        let mut guard = ShardGuard::new(self);
         for &addr in addrs {
-            let shard = self.shard_of(addr);
-            let tree = match &mut guard {
-                Some((held, tree)) if *held == shard => tree,
-                _ => {
-                    guard = None; // drop the previous guard before taking the next
-                    &mut guard.insert((shard, self.shards[shard].lock())).1
+            out.push(guard.tree(self.shard_of(addr)).lookup(addr).map(|(_, mo)| mo.site));
+        }
+    }
+
+    /// Resolves a batch of sampled addresses through the caller's per-thread
+    /// [`ResolutionCache`] first, falling back to the owning shard (and refilling the
+    /// cache) on a miss — the three-level hot path of the
+    /// [module documentation](self). Cache hits take **no shard lock and perform no
+    /// splay**; misses reuse the shard guard across consecutive same-shard addresses
+    /// exactly like [`SharedObjectIndex::resolve_batch`].
+    pub fn resolve_batch_cached<'a>(
+        &self,
+        cache: &mut ResolutionCache,
+        addrs: impl Iterator<Item = &'a Addr>,
+        out: &mut Vec<Option<crate::object::AllocSiteId>>,
+    ) {
+        let mut guard = ShardGuard::new(self);
+        for &addr in addrs {
+            let region = addr >> Self::REGION_SHIFT;
+            let shard_index = (region & self.mask) as usize;
+            let shard = &self.shards[shard_index];
+            cache.lookups += 1;
+            let slot = (region & cache.mask) as usize;
+            if let Some(entry) = &cache.entries[slot] {
+                if entry.region == region
+                    && entry.interval.contains(addr)
+                    && shard.epoch.validate(entry.epoch)
+                {
+                    cache.hits += 1;
+                    out.push(Some(entry.value.site));
+                    continue;
                 }
-            };
-            out.push(tree.lookup(addr).map(|(_, mo)| mo.site));
+            }
+            let tree = guard.tree(shard_index);
+            // The lock is held, so the epoch recorded next to the refilled entry is
+            // exactly the epoch the resolved value was read under.
+            let epoch = shard.epoch.current();
+            match tree.lookup(addr) {
+                Some((interval, mo)) => {
+                    cache.entries[slot] = Some(CacheEntry { region, epoch, interval, value: *mo });
+                    out.push(Some(mo.site));
+                }
+                None => out.push(None),
+            }
         }
     }
 
@@ -237,7 +339,7 @@ impl SharedObjectIndex {
     pub fn lookup_stats(&self) -> LookupStats {
         let mut stats = LookupStats::default();
         for shard in self.shards.iter() {
-            stats.merge(&shard.lock().stats());
+            stats.merge(&shard.tree.lock().stats());
         }
         stats
     }
@@ -245,8 +347,122 @@ impl SharedObjectIndex {
     /// Approximate resident bytes of the shared structures (shard copies included —
     /// they are real memory).
     pub fn approx_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().approx_bytes()).sum::<usize>()
+        self.shards.iter().map(|s| s.tree.lock().approx_bytes()).sum::<usize>()
             + self.sites.lock().approx_bytes()
+    }
+}
+
+/// Batch-resolution shard-guard reuse: keeps the most recent shard's lock held across
+/// consecutive same-shard addresses (overflow batches exhibit strong spatial locality,
+/// so the common case is one lock acquisition per batch) and switches shards by
+/// dropping the held guard *before* acquiring the next — shard locks are never nested.
+struct ShardGuard<'a> {
+    index: &'a SharedObjectIndex,
+    held: Option<(usize, crate::sync::SpinLockGuard<'a, IntervalSplayTree<MonitoredObject>>)>,
+}
+
+impl<'a> ShardGuard<'a> {
+    fn new(index: &'a SharedObjectIndex) -> Self {
+        Self { index, held: None }
+    }
+
+    /// The locked tree of `shard`, reusing the held guard when it is the same shard.
+    fn tree(&mut self, shard: usize) -> &mut IntervalSplayTree<MonitoredObject> {
+        if !matches!(&self.held, Some((held, _)) if *held == shard) {
+            self.held = None; // drop the previous guard before taking the next
+            self.held = Some((shard, self.index.shards[shard].tree.lock()));
+        }
+        &mut self.held.as_mut().expect("installed above").1
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Per-thread resolution cache
+// ---------------------------------------------------------------------------------------
+
+/// Default number of slots of a [`ResolutionCache`]. Power of two; 256 slots × one
+/// 8 KiB region each cover a 2 MiB working set of hot objects in ~12 KiB of
+/// thread-private memory.
+pub const DEFAULT_RESOLUTION_CACHE_SLOTS: usize = 256;
+
+/// One filled slot of a [`ResolutionCache`].
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    /// Region tag: `addr >> REGION_SHIFT` of the cached address.
+    region: u64,
+    /// The owning shard's mutation epoch when the entry was filled (read under the
+    /// shard lock). The entry is valid only while the epoch still matches.
+    epoch: u64,
+    /// Address range of the cached monitored object.
+    interval: Interval,
+    /// The monitored object itself (a small `Copy` record).
+    value: MonitoredObject,
+}
+
+/// A per-thread, direct-mapped front cache for sample resolution (level 1 of the
+/// three-level hot path; see the [module documentation](self)).
+///
+/// Slots are indexed by address region (`addr >> REGION_SHIFT`, the same granularity
+/// the index shards route by), so repeat samples on a hot object probe the same slot.
+/// A probe hits when the slot's region tag matches, the cached interval contains the
+/// address, and the owning shard's [`Epoch`] still matches the epoch recorded at fill
+/// time — the shard-side bump-before-mutate protocol makes a stale hit after an
+/// insert, free or GC relocation impossible by construction.
+///
+/// The cache is **not** shared: each sampling thread owns one, so probes and refills
+/// require no synchronization beyond the single epoch load.
+#[derive(Debug)]
+pub struct ResolutionCache {
+    entries: Box<[Option<CacheEntry>]>,
+    /// `entries.len() - 1`; slot routing is `region & mask`.
+    mask: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Default for ResolutionCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_RESOLUTION_CACHE_SLOTS)
+    }
+}
+
+impl ResolutionCache {
+    /// Creates an empty cache with `slots` direct-mapped slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or not a power of two.
+    pub fn new(slots: usize) -> Self {
+        assert!(
+            slots > 0 && slots.is_power_of_two(),
+            "resolution cache slots must be a non-zero power of two, got {slots}"
+        );
+        Self {
+            entries: vec![None; slots].into_boxed_slice(),
+            mask: (slots - 1) as u64,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Probe/hit counters, as the cache-side fields of a [`LookupStats`].
+    pub fn stats(&self) -> LookupStats {
+        LookupStats { cache_lookups: self.lookups, cache_hits: self.hits, ..Default::default() }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.fill(None);
+    }
+
+    /// Approximate resident bytes of the cache (memory-overhead accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<Option<CacheEntry>>()
     }
 }
 
@@ -377,6 +593,123 @@ mod tests {
         assert_eq!(out[3], Some(AllocSiteId(0)));
         assert_eq!(out[4], None);
         assert_eq!(index.lookup_stats().lookups, 5);
+    }
+
+    #[test]
+    fn mutations_bump_the_touched_shards_epochs() {
+        let index = SharedObjectIndex::with_shards(4);
+        let addr = 0x2000u64; // region 1 → shard 1
+        let before = index.epoch_of(addr);
+        index.insert(Interval::new(0x2000, 0x3000), mo(1));
+        let after_insert = index.epoch_of(addr);
+        assert!(after_insert > before, "insert bumps the owning shard");
+        assert_eq!(index.epoch_of(0x0), 0, "untouched shards keep their epoch");
+        index.remove(0x2000);
+        assert!(index.epoch_of(addr) > after_insert, "remove bumps again");
+    }
+
+    #[test]
+    fn cached_resolution_skips_the_shard_after_the_first_miss() {
+        let index = SharedObjectIndex::with_shards(4);
+        index.insert(Interval::new(0x2000, 0x6000), mo(9));
+        let mut cache = ResolutionCache::new(64);
+        let mut out = Vec::new();
+        let addrs = [0x2100u64, 0x2200, 0x2300, 0x2400]; // all in region 1
+        index.resolve_batch_cached(&mut cache, addrs.iter(), &mut out);
+        assert_eq!(out, vec![Some(AllocSiteId(0)); 4]);
+        let stats = index.lookup_stats();
+        assert_eq!(stats.lookups, 1, "only the first probe reaches the shard");
+        let cache_stats = cache.stats();
+        assert_eq!(cache_stats.cache_lookups, 4);
+        assert_eq!(cache_stats.cache_hits, 3);
+        // The spanning tail of the same object lives in region 2 → its own slot.
+        out.clear();
+        index.resolve_batch_cached(&mut cache, [0x4100u64, 0x4200].iter(), &mut out);
+        assert_eq!(out, vec![Some(AllocSiteId(0)); 2]);
+        assert_eq!(index.lookup_stats().lookups, 2, "one more shard lookup for the new region");
+        assert_eq!(cache.stats().cache_hits, 4);
+    }
+
+    #[test]
+    fn misses_are_never_cached() {
+        let index = SharedObjectIndex::with_shards(4);
+        let mut cache = ResolutionCache::new(64);
+        let mut out = Vec::new();
+        index.resolve_batch_cached(&mut cache, [0x2100u64, 0x2100].iter(), &mut out);
+        assert_eq!(out, vec![None, None]);
+        assert_eq!(cache.stats().cache_hits, 0);
+        // The region gains an object; the next probe must see it.
+        index.insert(Interval::new(0x2000, 0x3000), mo(3));
+        out.clear();
+        index.resolve_batch_cached(&mut cache, [0x2100u64].iter(), &mut out);
+        assert_eq!(out, vec![Some(AllocSiteId(0))]);
+    }
+
+    #[test]
+    fn epoch_invalidation_prevents_stale_hits_across_free_and_relocation() {
+        let index = SharedObjectIndex::with_shards(4);
+        index.insert(Interval::new(0x2000, 0x3000), mo(1));
+        let mut cache = ResolutionCache::new(64);
+        let mut out = Vec::new();
+        index.resolve_batch_cached(&mut cache, [0x2100u64].iter(), &mut out);
+        assert_eq!(out, vec![Some(AllocSiteId(0))]);
+
+        // Free: the cached entry must invalidate, not resolve the dead object.
+        index.remove(0x2000);
+        out.clear();
+        index.resolve_batch_cached(&mut cache, [0x2100u64].iter(), &mut out);
+        assert_eq!(out, vec![None], "freed object must not resolve from the cache");
+
+        // Relocation (remove + insert elsewhere): old range cold, new range resolves.
+        index.insert(Interval::new(0x2000, 0x3000), mo(2));
+        out.clear();
+        index.resolve_batch_cached(&mut cache, [0x2100u64].iter(), &mut out);
+        let (_, moved) = index.remove(0x2000).unwrap();
+        index.insert(Interval::new(0x8000, 0x9000), moved);
+        out.clear();
+        index.resolve_batch_cached(&mut cache, [0x2100u64, 0x8100].iter(), &mut out);
+        assert_eq!(out[0], None, "old range must not resolve after the move");
+        assert_eq!(out[1], Some(AllocSiteId(0)), "new range resolves");
+    }
+
+    #[test]
+    fn cache_agrees_with_uncached_resolution_under_slot_aliasing() {
+        // A 2-slot cache over many regions: constant slot collisions must only cost
+        // hits, never correctness.
+        let index = SharedObjectIndex::with_shards(4);
+        for i in 0..16u64 {
+            index.insert(Interval::new(i * 0x2000, i * 0x2000 + 0x1000), mo(i));
+        }
+        let mut cache = ResolutionCache::new(2);
+        let addrs: Vec<u64> = (0..64u64).map(|i| (i % 16) * 0x2000 + (i % 0x1000)).collect();
+        let mut cached = Vec::new();
+        index.resolve_batch_cached(&mut cache, addrs.iter(), &mut cached);
+        let mut plain = Vec::new();
+        index.resolve_batch(addrs.iter(), &mut plain);
+        assert_eq!(cached, plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_slot_count_must_be_a_power_of_two() {
+        let _ = ResolutionCache::new(3);
+    }
+
+    #[test]
+    fn cache_clear_and_bytes() {
+        let mut cache = ResolutionCache::default();
+        assert_eq!(cache.slots(), DEFAULT_RESOLUTION_CACHE_SLOTS);
+        assert!(cache.approx_bytes() > 0);
+        let index = SharedObjectIndex::with_shards(2);
+        index.insert(Interval::new(0x0, 0x1000), mo(1));
+        let mut out = Vec::new();
+        index.resolve_batch_cached(&mut cache, [0x100u64, 0x200].iter(), &mut out);
+        assert_eq!(cache.stats().cache_hits, 1);
+        cache.clear();
+        out.clear();
+        index.resolve_batch_cached(&mut cache, [0x100u64].iter(), &mut out);
+        assert_eq!(out, vec![Some(AllocSiteId(0))]);
+        assert_eq!(cache.stats().cache_hits, 1, "counters survive clear, entries do not");
     }
 
     #[test]

@@ -103,7 +103,8 @@ pub mod splay;
 pub mod sync;
 
 pub use agent::{
-    AllocationAgent, AllocationConfig, SharedObjectIndex, DEFAULT_SHARD_COUNT, DEFAULT_SIZE_FILTER,
+    AllocationAgent, AllocationConfig, ResolutionCache, SharedObjectIndex,
+    DEFAULT_RESOLUTION_CACHE_SLOTS, DEFAULT_SHARD_COUNT, DEFAULT_SIZE_FILTER,
 };
 pub use analyzer::{
     AccessContext, AnalysisReport, Analyzer, AnalyzerBuilder, ObjectReport, RankBy,
@@ -121,9 +122,9 @@ pub use report::{
     render_code_centric, render_numa_report, render_object_report, Report, ReportOptions,
 };
 pub use session::{
-    BatchContext, Collector, NumaProfile, SampleContext, Session, SessionBuilder, SessionConfig,
-    SessionSnapshot,
+    adaptive_shard_count, BatchContext, Collector, NumaProfile, SampleContext, Session,
+    SessionBuilder, SessionConfig, SessionSnapshot, DEFAULT_EXPECTED_LIVE_OBJECTS,
 };
 pub use sink::{read_any_profile, JsonSink, ProfileSink, TextSink};
 pub use splay::{Interval, IntervalSplayTree, LookupStats};
-pub use sync::{SpinLock, SpinLockGuard};
+pub use sync::{Epoch, SpinLock, SpinLockGuard};

@@ -90,6 +90,25 @@ impl ThreadProfile {
         self.sites.entry(site).or_default().record_allocation(bytes);
     }
 
+    /// Merges a later delta of the same thread's profile into this one: metric totals
+    /// sum, per-context breakdowns are re-keyed through a CCT merge, and this profile's
+    /// identity (thread id, first-seen name) wins. Merging partitioned deltas is exact:
+    /// the result renders byte-identically to a profile built in one piece
+    /// ([`ObjectCentricProfile::to_text`] canonicalizes contexts by call path, not node
+    /// id). This is the retirement step of the session's pause-free snapshots.
+    pub fn merge_from(&mut self, delta: &ThreadProfile) {
+        let mapping = self.cct.merge(&delta.cct);
+        self.samples += delta.samples;
+        self.unattributed.merge(&delta.unattributed);
+        for (site, metrics) in &delta.sites {
+            let target = self.sites.entry(*site).or_default();
+            target.total.merge(&metrics.total);
+            for (ctx, m) in &metrics.by_context {
+                target.by_context.entry(mapping[ctx.0 as usize]).or_default().merge(m);
+            }
+        }
+    }
+
     /// Total samples attributed to monitored objects.
     pub fn attributed_samples(&self) -> u64 {
         self.sites.values().map(|s| s.total.samples).sum()
@@ -535,6 +554,56 @@ mod tests {
                 reclamations: 1,
             },
         }
+    }
+
+    #[test]
+    fn merging_partitioned_deltas_is_exact() {
+        // One continuous profile vs the same samples split into three deltas merged in
+        // order: the merged profile must render byte-identically (the pause-free
+        // snapshot retirement depends on this).
+        let site_a = AllocSiteId(0);
+        let site_b = AllocSiteId(1);
+        let events: Vec<(AllocSiteId, Vec<Frame>, djx_pmu::Sample)> = vec![
+            (site_a, vec![f(1, 5), f(4, 9)], sample(0x1000, false)),
+            (site_a, vec![f(1, 5), f(5, 2)], sample(0x1040, true)),
+            (site_b, vec![f(3, 0)], sample(0x2000, false)),
+            (site_a, vec![f(1, 5), f(4, 9)], sample(0x1080, true)),
+            (site_b, vec![f(3, 0), f(6, 6)], sample(0x2010, false)),
+        ];
+
+        let mut continuous = ThreadProfile::new(ThreadId(1), "main");
+        for (site, path, s) in &events {
+            continuous.record_attributed(*site, path, s, 100);
+        }
+        continuous.record_unattributed(&sample(0x9000, false), 100);
+
+        let mut merged = ThreadProfile::new(ThreadId(1), "main");
+        for chunk in events.chunks(2) {
+            // Later deltas carry the placeholder name, as live retirement produces.
+            let mut delta = ThreadProfile::new(ThreadId(1), "<attached>");
+            for (site, path, s) in chunk {
+                delta.record_attributed(*site, path, s, 100);
+            }
+            merged.merge_from(&delta);
+        }
+        let mut tail = ThreadProfile::new(ThreadId(1), "<attached>");
+        tail.record_unattributed(&sample(0x9000, false), 100);
+        merged.merge_from(&tail);
+
+        assert_eq!(merged.thread_name, "main", "first-seen identity wins");
+        assert_eq!(merged.samples, continuous.samples);
+        let render = |t: ThreadProfile| {
+            ObjectCentricProfile {
+                event: PmuEvent::L1Miss,
+                period: 100,
+                size_filter: 1024,
+                sites: Vec::new(),
+                threads: vec![t],
+                allocation_stats: AllocationStats::default(),
+            }
+            .to_text()
+        };
+        assert_eq!(render(merged), render(continuous));
     }
 
     #[test]

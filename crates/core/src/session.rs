@@ -24,7 +24,7 @@
 //! [`Session::stream_snapshot`] pushes the object-centric profile through any
 //! [`ProfileSink`](crate::sink::ProfileSink) backend for live export.
 //!
-//! # Contention-free ingestion: sharded index, per-thread collector state
+//! # Contention-free ingestion: thread cache, sharded index, per-thread collector state
 //!
 //! The per-sample hot path crosses three layers, and every one of them is built so two
 //! profiled threads do not serialize on a shared lock in the common case:
@@ -32,21 +32,34 @@
 //! 1. **Sampler** — the per-thread virtual PMUs live in a [`ThreadId`]-striped table;
 //!    observing an access locks only the owning thread's stripe (uncontended unless two
 //!    thread ids collide on a stripe).
-//! 2. **Object index** — sample addresses resolve through the address-sharded
-//!    [`SharedObjectIndex`] (see [`crate::agent`]): an overflow batch locks only the
-//!    shards it actually touches, reusing the shard guard across the batch's
-//!    spatially-local addresses.
+//! 2. **Object index** — sample addresses resolve in three levels (see
+//!    [`crate::agent`]): a per-thread direct-mapped
+//!    [`ResolutionCache`](crate::agent::ResolutionCache) first — repeat samples on hot
+//!    objects resolve with **zero shared-memory synchronization** beyond one atomic
+//!    epoch load: no shard lock, no splay rotation — then the address-sharded
+//!    [`SharedObjectIndex`] on a miss (the batch locks only the shards it touches,
+//!    reusing the shard guard across spatially-local addresses), then `None`.
+//!    Per-shard mutation epochs invalidate cache entries across inserts, frees and GC
+//!    relocations, so a stale resolution is impossible by construction. The cache is
+//!    on by default; [`SessionBuilder::resolution_cache`] disables it.
 //! 3. **Collectors** — each resolved batch is delivered **once per collector** via
 //!    [`Collector::on_sample_batch`] instead of `samples × collectors` individual lock
 //!    round-trips, and every built-in collector keeps *per-thread* state in the same
 //!    striped layout (a thread's samples arrive from that thread, so the state is
 //!    logically thread-private).
 //!
-//! The merge points are the read paths: [`Session::object_profile`],
-//! [`Session::code_profile`] and [`Session::numa_profile`] clone the per-thread state
-//! stripe by stripe (the only work done under a lock) and assemble, merge and sort the
-//! owned profile **outside** every lock, so snapshots never stall ingestion for the
-//! duration of a whole-profile clone. Per-thread views merge in thread-first-seen
+//! # Pause-free snapshots: epoch-retired double buffering
+//!
+//! The read paths — [`Session::object_profile`], [`Session::code_profile`],
+//! [`Session::numa_profile`] — must not stall ingestion. Collector state therefore
+//! lives in an epoch-buffered striped table: each snapshot advances the buffer epoch
+//! and **retires** every stripe's accumulated state by swapping the stripe's map out
+//! under its spin lock — an O(1) pointer exchange, the only instant a sampling thread
+//! can even notice — then absorbs the retired deltas into a snapshot-side buffer and
+//! clones *that* outside every sampling lock. A sampling thread arriving mid-snapshot
+//! simply starts a fresh delta; delta absorption is exact (metric sums, CCT merges
+//! re-keyed by call path), so profiles assembled from any snapshot cadence render
+//! identically to a single-piece run. Per-thread views merge in thread-first-seen
 //! order, which keeps single-threaded profiles bit-identical to the pre-sharding
 //! implementation.
 //!
@@ -79,13 +92,15 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use djx_pmu::{PerfEventBuilder, PmuCounts, PmuEvent, Sample, ThreadPmu};
 use djx_runtime::{
     AllocationEvent, Frame, GcEvent, MemoryAccessEvent, ObjectMoveEvent, ObjectReclaimEvent,
     Runtime, RuntimeListener, ThreadEvent, ThreadId,
 };
 
-use crate::agent::{AllocationAgent, AllocationConfig, SharedObjectIndex};
+use crate::agent::{AllocationAgent, AllocationConfig, ResolutionCache, SharedObjectIndex};
 use crate::cct::Cct;
 use crate::codecentric::CodeCentricProfile;
 use crate::metrics::MetricVector;
@@ -94,7 +109,7 @@ use crate::profile::{ObjectCentricProfile, ThreadProfile};
 use crate::profiler::ProfilerConfig;
 use crate::sink::ProfileSink;
 use crate::splay::LookupStats;
-use crate::sync::SpinLock;
+use crate::sync::{Epoch, SpinLock};
 
 /// Session configuration is the same value object the legacy profiler used; the alias
 /// names it for the session-first API.
@@ -300,19 +315,122 @@ impl<T> PerThread<T> {
         acc
     }
 
-    /// Clones every entry out in thread-first-seen order. Each stripe lock is held only
-    /// while its own entries are cloned; the ordering sort happens outside any lock.
-    fn merged(&self) -> Vec<(ThreadId, T)>
-    where
-        T: Clone,
-    {
-        let mut all: Vec<(u64, ThreadId, T)> = Vec::new();
-        for stripe in self.stripes.iter() {
-            let guard = stripe.lock();
-            all.extend(guard.iter().map(|(t, (seq, s))| (*seq, *t, s.clone())));
+    /// Takes every entry out, stripe by stripe. Each stripe lock is held only for the
+    /// O(1) map swap — never while entries are visited.
+    fn take_all(&self) -> Vec<HashMap<ThreadId, (u64, T)>> {
+        self.stripes.iter().map(|stripe| std::mem::take(&mut *stripe.lock())).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Epoch-retired double buffering (pause-free snapshots)
+// ---------------------------------------------------------------------------------------
+
+/// Collector state that can absorb a later delta of itself exactly (snapshot
+/// retirement; see [the module docs](self)). Absorbing partitioned deltas in order
+/// must be equivalent to having recorded every sample into one piece.
+trait AbsorbDelta {
+    fn absorb(&mut self, delta: &Self);
+}
+
+/// Per-thread collector state with epoch-based double buffering.
+///
+/// The **active** side is the [`PerThread`] striped table the sampling hot path
+/// writes. A snapshot advances [`SnapshotBuffered::epoch`] and retires the active
+/// buffer: every stripe's map is swapped out under its spin lock (O(1) — the only
+/// moment a sampling thread can block on a snapshot) and the taken deltas are absorbed
+/// into the **retired** buffer, which only snapshot-side threads touch (a blocking
+/// mutex, never held while a stripe lock is held... it *encloses* brief stripe swaps,
+/// but sampling threads never take it, so no lock-order cycle exists). The stripe
+/// clone of the pre-epoch design — O(state) under a spin lock — happens on the retired
+/// buffer instead, outside every sampling lock.
+#[derive(Debug)]
+struct SnapshotBuffered<T> {
+    active: PerThread<T>,
+    /// Thread → (first-seen sequence, absorbed state). Guarded by a blocking mutex:
+    /// only snapshot/read paths running in normal thread context take it.
+    retired: Mutex<HashMap<ThreadId, (u64, T)>>,
+    /// Buffer generation; each retirement closes one epoch.
+    epoch: Epoch,
+}
+
+impl<T> Default for SnapshotBuffered<T> {
+    fn default() -> Self {
+        Self { active: PerThread::new(), retired: Mutex::new(HashMap::new()), epoch: Epoch::new() }
+    }
+}
+
+impl<T> SnapshotBuffered<T> {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` on the thread's active-delta state, creating it with `init` on first
+    /// sight within the current epoch. Only the thread's stripe is locked — the
+    /// sampling-side entry point, identical to [`PerThread::with`].
+    fn with<R>(
+        &self,
+        thread: ThreadId,
+        init: impl FnOnce() -> T,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        self.active.with(thread, init, f)
+    }
+
+    /// Folds over every *partial* state — retired first, then the open deltas. A
+    /// thread present on both sides is visited twice with complementary partitions of
+    /// its samples, so `f` must be a commutative accumulation (sums); identity reads
+    /// (names, thread counts) belong on [`SnapshotBuffered::merged`].
+    ///
+    /// The retired mutex is held across *both* reads: a retirement completing between
+    /// them would move state out of the active stripes after they were visited but
+    /// into the retired buffer after it was visited, making pre-snapshot state vanish
+    /// from the fold entirely. Holding the mutex excludes [`SnapshotBuffered::merged`]
+    /// for the duration (same retired → stripe lock order, so no deadlock; sampling
+    /// threads only ever take stripe locks).
+    fn fold<A>(&self, acc: A, mut f: impl FnMut(A, ThreadId, &T) -> A) -> A {
+        let retired = self.retired.lock();
+        let acc = retired.iter().fold(acc, |acc, (t, (_, s))| f(acc, *t, s));
+        self.active.fold(acc, f)
+    }
+
+    /// Number of completed retirements (diagnostics).
+    fn retirements(&self) -> u64 {
+        self.epoch.current()
+    }
+}
+
+impl<T: AbsorbDelta + Clone> SnapshotBuffered<T> {
+    /// Retires the open epoch and clones the merged state out in thread-first-seen
+    /// order. Stripe locks are held only for the O(1) buffer swap; absorption, cloning
+    /// and sorting all happen on the retired buffer outside every sampling lock.
+    fn merged(&self) -> Vec<(ThreadId, T)> {
+        let mut retired = self.retired.lock();
+        self.epoch.bump();
+        for taken in self.active.take_all() {
+            for (thread, (seq, delta)) in taken {
+                match retired.entry(thread) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        // The retired entry is older: keep its seq and identity.
+                        e.get_mut().1.absorb(&delta);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert((seq, delta));
+                    }
+                }
+            }
         }
+        let mut all: Vec<(u64, ThreadId, T)> =
+            retired.iter().map(|(t, (seq, s))| (*seq, *t, s.clone())).collect();
+        drop(retired);
         all.sort_unstable_by_key(|(seq, t, _)| (*seq, *t));
         all.into_iter().map(|(_, t, s)| (t, s)).collect()
+    }
+}
+
+impl AbsorbDelta for ThreadProfile {
+    fn absorb(&mut self, delta: &Self) {
+        self.merge_from(delta);
     }
 }
 
@@ -322,11 +440,13 @@ impl<T> PerThread<T> {
 
 /// The object-centric collector (§4.2/§5.1 of the paper): builds one
 /// [`ThreadProfile`] per thread, attributing each sample to the allocation site of the
-/// enclosing object — or to the thread's unattributed bucket. State is per-thread (see
-/// [the module docs](self)); a batch locks its thread's stripe exactly once.
+/// enclosing object — or to the thread's unattributed bucket. State is per-thread and
+/// epoch-buffered (see [the module docs](self)); a batch locks its thread's stripe
+/// exactly once, and snapshots retire state instead of cloning it under the stripe
+/// lock.
 #[derive(Debug, Default)]
 pub struct ObjectCentricCollector {
-    state: PerThread<ThreadProfile>,
+    state: SnapshotBuffered<ThreadProfile>,
 }
 
 fn record_object_sample(profile: &mut ThreadProfile, ctx: &SampleContext<'_>) {
@@ -401,6 +521,13 @@ impl CodeState {
     }
 }
 
+impl AbsorbDelta for CodeState {
+    fn absorb(&mut self, delta: &Self) {
+        self.cct.merge(&delta.cct);
+        self.samples += delta.samples;
+    }
+}
+
 /// The code-centric collector (the "Linux perf" view of Figure 1): attributes every
 /// sample of the shared stream solely to its sampling calling context, with no notion
 /// of objects. Replaces a second profiling pass with
@@ -412,13 +539,13 @@ impl CodeState {
 pub struct CodeCentricCollector {
     event: PmuEvent,
     period: u64,
-    state: PerThread<CodeState>,
+    state: SnapshotBuffered<CodeState>,
 }
 
 impl CodeCentricCollector {
     /// Creates a collector labelled with the session's event and period.
     pub fn new(event: PmuEvent, period: u64) -> Self {
-        Self { event, period, state: PerThread::new() }
+        Self { event, period, state: SnapshotBuffered::new() }
     }
 
     /// Total samples recorded.
@@ -505,13 +632,19 @@ impl NumaState {
     }
 }
 
+impl AbsorbDelta for NumaState {
+    fn absorb(&mut self, delta: &Self) {
+        self.merge(delta);
+    }
+}
+
 /// The NUMA collector (§4.3): folds each sample's CPU-node/page-node relationship into
 /// per-site local/remote counters and a node-to-node traffic matrix, the signals DJXPerf
 /// uses to flag candidates for interleaved allocation or first-touch initialization.
-/// State is per-thread; the commutative sums merge at snapshot time.
+/// State is per-thread and epoch-buffered; the commutative sums merge at snapshot time.
 #[derive(Debug, Default)]
 pub struct NumaCollector {
-    state: PerThread<NumaState>,
+    state: SnapshotBuffered<NumaState>,
 }
 
 impl NumaCollector {
@@ -679,18 +812,57 @@ impl Sampler {
 // SessionBuilder
 // ---------------------------------------------------------------------------------------
 
+/// Default expected live-object volume used by the adaptive shard heuristic when the
+/// caller gives no sizing hint.
+pub const DEFAULT_EXPECTED_LIVE_OBJECTS: usize = 2048;
+
+/// The adaptive shard-count heuristic: sizes a [`SharedObjectIndex`] from the expected
+/// thread parallelism and live-object volume.
+///
+/// Two pressures argue for more shards: concurrently sampling threads colliding on a
+/// shard lock (≈4 shards per thread keeps the collision probability low under random
+/// region interleaving), and per-shard splay trees growing deep (≈512 live objects per
+/// shard keeps the miss-path walk short). The result is the next power of two covering
+/// the stronger pressure, clamped to `[4, 64]` (shard sets are 64-bit masks).
+pub fn adaptive_shard_count(threads: usize, expected_live_objects: usize) -> usize {
+    let for_threads = threads.saturating_mul(4);
+    let for_volume = expected_live_objects / 512;
+    for_threads.max(for_volume).clamp(4, 64).next_power_of_two().min(64)
+}
+
 /// Configures and builds a [`Session`].
 ///
 /// The builder fixes the sampling configuration once — event, period, size filter,
-/// jitter, launch/attach mode — then registers collectors. [`SessionBuilder::attach`]
-/// registers the finished session with a runtime in one step.
-#[derive(Default)]
+/// jitter, launch/attach mode — then registers collectors and tunes the ingestion
+/// topology (index shard count, per-thread resolution cache).
+/// [`SessionBuilder::attach`] registers the finished session with a runtime in one
+/// step.
 pub struct SessionBuilder {
     config: SessionConfig,
     objects: bool,
     code: bool,
     numa: bool,
     custom: Vec<Arc<dyn Collector>>,
+    index_shards: Option<usize>,
+    expected_threads: Option<usize>,
+    expected_live_objects: usize,
+    resolution_cache: bool,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self {
+            config: SessionConfig::default(),
+            objects: false,
+            code: false,
+            numa: false,
+            custom: Vec::new(),
+            index_shards: None,
+            expected_threads: None,
+            expected_live_objects: DEFAULT_EXPECTED_LIVE_OBJECTS,
+            resolution_cache: true,
+        }
+    }
 }
 
 impl SessionBuilder {
@@ -769,12 +941,48 @@ impl SessionBuilder {
         self
     }
 
+    /// Pins the object-index shard count, overriding the adaptive heuristic. Must be a
+    /// power of two in `1..=64` (validated when the session is built).
+    pub fn index_shards(mut self, shards: usize) -> Self {
+        self.index_shards = Some(shards);
+        self
+    }
+
+    /// Expected number of concurrently sampling threads, a sizing hint for the
+    /// adaptive shard heuristic ([`adaptive_shard_count`]). Defaults to the machine's
+    /// available parallelism.
+    pub fn expected_threads(mut self, threads: usize) -> Self {
+        self.expected_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Expected number of simultaneously live monitored objects, the volume input of
+    /// the adaptive shard heuristic. Defaults to [`DEFAULT_EXPECTED_LIVE_OBJECTS`].
+    pub fn expected_live_objects(mut self, objects: usize) -> Self {
+        self.expected_live_objects = objects;
+        self
+    }
+
+    /// Enables or disables the per-thread object-resolution cache in front of the
+    /// index shards (on by default). Disable to measure the bare sharded topology or
+    /// when the sampled address stream has no re-reference locality at all.
+    pub fn resolution_cache(mut self, enabled: bool) -> Self {
+        self.resolution_cache = enabled;
+        self
+    }
+
     /// Builds the session without attaching it (use
     /// [`Runtime::add_listener`] with the returned `Arc`, or
     /// [`Session::attach_to`] later).
     pub fn build(self) -> Arc<Session> {
         let config = self.config;
-        let shared = SharedObjectIndex::new();
+        let shards = self.index_shards.unwrap_or_else(|| {
+            let threads = self.expected_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            });
+            adaptive_shard_count(threads, self.expected_live_objects)
+        });
+        let shared = SharedObjectIndex::with_shards(shards);
         let allocation = AllocationAgent::new(
             AllocationConfig { size_filter: config.size_filter, attach_mode: config.attach_mode },
             shared.clone(),
@@ -806,6 +1014,7 @@ impl SessionBuilder {
             shared,
             allocation,
             sampler: Sampler::new(builder),
+            caches: self.resolution_cache.then(PerThread::new),
             collectors,
             objects,
             code,
@@ -835,6 +1044,16 @@ pub struct Session {
     shared: Arc<SharedObjectIndex>,
     allocation: AllocationAgent,
     sampler: Sampler,
+    /// Per-thread object-resolution caches (level 1 of the resolution path), striped
+    /// by thread id like every other per-thread table; `None` when the builder
+    /// disabled the cache. The owning thread's stripe lock is held across the batch
+    /// resolution (shard locks nest inside it; shard locks never take stripe locks,
+    /// so no cycle exists) — the same whole-batch stripe hold every built-in
+    /// collector uses, and one stripe acquisition per batch instead of a
+    /// checkout/return pair, which measures ~2× cheaper at batch size 1. The cost is
+    /// that two threads whose ids collide modulo the stripe count serialize their
+    /// resolutions, the shared exposure of every [`PerThread`] table here.
+    caches: Option<PerThread<ResolutionCache>>,
     collectors: Vec<Arc<dyn Collector>>,
     objects: Option<Arc<ObjectCentricCollector>>,
     code: Option<Arc<CodeCentricCollector>>,
@@ -910,11 +1129,27 @@ impl Session {
         self.sampler.merged_counts()
     }
 
-    /// Object-index lookup statistics, merged over every shard: splaying lookups/hits
-    /// (the sample-resolution hot path) and read-only lookups/hits (non-splaying
-    /// queries such as [`Session::resolve_address`]).
+    /// Object-index lookup statistics, merged over every shard and every per-thread
+    /// resolution cache: splaying lookups/hits (the shard-level miss path), read-only
+    /// lookups/hits (non-splaying queries such as [`Session::resolve_address`]), and
+    /// cache probes/hits (`cache_lookups` / `cache_hits` — resolutions that never
+    /// touched a shard). Cache hits and shard lookups partition the sample hot path:
+    /// [`LookupStats::resolutions`] is the total.
     pub fn splay_lookup_stats(&self) -> LookupStats {
-        self.shared.lookup_stats()
+        let stats = self.shared.lookup_stats();
+        match &self.caches {
+            Some(caches) => caches.fold(stats, |mut acc, _, cache| {
+                acc.merge(&cache.stats());
+                acc
+            }),
+            None => stats,
+        }
+    }
+
+    /// `true` when the session resolves samples through per-thread caches (see
+    /// [`SessionBuilder::resolution_cache`]).
+    pub fn resolution_cache_enabled(&self) -> bool {
+        self.caches.is_some()
     }
 
     /// Read-only resolution of an address to the allocation site of its enclosing
@@ -930,12 +1165,24 @@ impl Session {
         self.shared.shard_count()
     }
 
+    /// Number of buffer epochs the object-centric collector has retired (every profile
+    /// assembly closes one epoch — a diagnostic for the pause-free snapshot path; 0
+    /// when no [`ObjectCentricCollector`] is registered).
+    pub fn snapshot_retirements(&self) -> u64 {
+        self.objects.as_ref().map(|c| c.state.retirements()).unwrap_or(0)
+    }
+
     /// Approximate resident bytes of every session-owned data structure — the quantity
     /// behind the paper's memory-overhead figure (Fig. 4b).
     pub fn memory_footprint_bytes(&self) -> usize {
+        let cache_bytes = match &self.caches {
+            Some(caches) => caches.fold(0usize, |acc, _, cache| acc + cache.approx_bytes()),
+            None => 0,
+        };
         self.shared.approx_bytes()
             + self.allocation.approx_bytes()
             + self.sampler.approx_bytes()
+            + cache_bytes
             + self.collectors.iter().map(|c| c.approx_bytes()).sum::<usize>()
     }
 
@@ -1037,10 +1284,18 @@ impl Session {
     /// Dispatches one resolved sample batch to every collector.
     fn dispatch_samples(&self, event: &MemoryAccessEvent<'_>, samples: &[Sample]) {
         // Resolve each sample's effective address to the enclosing monitored object
-        // once for *all* collectors, locking only the index shards the batch touches
-        // (the guard is reused across the batch's spatially local addresses).
+        // once for *all* collectors: through the thread's private resolution cache
+        // when enabled (repeat samples on hot objects take no shard lock at all),
+        // falling back to the index shards the batch touches (the guard is reused
+        // across the batch's spatially local addresses).
         let mut sites = Vec::with_capacity(samples.len());
-        self.shared.resolve_batch(samples.iter().map(|s| &s.effective_addr), &mut sites);
+        let addrs = || samples.iter().map(|s| &s.effective_addr);
+        match &self.caches {
+            Some(caches) => caches.with(event.thread, ResolutionCache::default, |cache| {
+                self.shared.resolve_batch_cached(cache, addrs(), &mut sites)
+            }),
+            None => self.shared.resolve_batch(addrs(), &mut sites),
+        }
         // One batch call per collector — not samples × collectors lock round-trips.
         let batch = BatchContext {
             thread: event.thread,
@@ -1193,6 +1448,71 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_period_rejected() {
         let _ = Session::builder().period(0);
+    }
+
+    #[test]
+    fn adaptive_shard_heuristic_scales_with_threads_and_volume() {
+        // Thread pressure: ~4 shards per thread, next power of two.
+        assert_eq!(adaptive_shard_count(1, 0), 4);
+        assert_eq!(adaptive_shard_count(4, DEFAULT_EXPECTED_LIVE_OBJECTS), 16);
+        assert_eq!(adaptive_shard_count(6, 0), 32, "24 rounds up to 32");
+        // Volume pressure dominates when the live set is huge.
+        assert_eq!(adaptive_shard_count(1, 16_384), 32);
+        // Both clamp at the 64-shard bitmask width.
+        assert_eq!(adaptive_shard_count(64, 0), 64);
+        assert_eq!(adaptive_shard_count(1, 1 << 20), 64);
+        // And never below the 4-shard floor.
+        assert_eq!(adaptive_shard_count(0, 0), 4);
+    }
+
+    #[test]
+    fn builder_shard_knobs_control_the_index() {
+        let adaptive = Session::builder().expected_threads(8).expected_live_objects(256).build();
+        assert_eq!(adaptive.index_shard_count(), 32);
+        let by_volume =
+            Session::builder().expected_threads(1).expected_live_objects(40_000).build();
+        assert_eq!(by_volume.index_shard_count(), 64);
+        let pinned = Session::builder().index_shards(2).build();
+        assert_eq!(pinned.index_shard_count(), 2, "an explicit override wins");
+        // The default is the heuristic over the machine's parallelism: always a power
+        // of two within the mask width.
+        let default = Session::builder().build();
+        assert!(default.index_shard_count().is_power_of_two());
+        assert!((4..=64).contains(&default.index_shard_count()));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_explicit_shard_count_is_rejected_at_build() {
+        let _ = Session::builder().index_shards(3).build();
+    }
+
+    #[test]
+    fn resolution_cache_accelerates_hot_objects_and_can_be_disabled() {
+        let (_rt, cached) =
+            bloat_run_with(|rt| Session::builder().period(16).collect_objects().attach(rt));
+        assert!(cached.resolution_cache_enabled());
+        let stats = cached.splay_lookup_stats();
+        assert_eq!(stats.cache_lookups, cached.total_samples());
+        assert!(stats.cache_hits > 0, "the bloat loop re-references its hot arrays");
+        assert_eq!(stats.resolutions(), cached.total_samples());
+
+        let (_rt, uncached) = bloat_run_with(|rt| {
+            Session::builder()
+                .period(16)
+                .resolution_cache(false)
+                .collect_objects()
+                .attach(rt)
+        });
+        assert!(!uncached.resolution_cache_enabled());
+        let stats = uncached.splay_lookup_stats();
+        assert_eq!(stats.cache_lookups, 0);
+        assert_eq!(stats.lookups, uncached.total_samples());
+        // The cache never changes attribution, only where it is resolved.
+        assert_eq!(
+            cached.object_profile().unwrap().to_text(),
+            uncached.object_profile().unwrap().to_text()
+        );
     }
 
     #[test]

@@ -14,13 +14,18 @@ use std::cell::Cell;
 
 use djx_memsim::Addr;
 
-/// Lookup counters of one tree — or, summed, of a whole sharded index.
+/// Lookup counters of one tree — or, summed, of a whole sharded index plus the
+/// per-thread resolution caches in front of it.
 ///
 /// Splaying lookups ([`IntervalSplayTree::lookup`] / [`IntervalSplayTree::lookup_mut`])
-/// are the sample-resolution hot path and restructure the tree; read-only queries
-/// ([`IntervalSplayTree::find`]) leave the tree untouched and are counted separately so
-/// that resolution paths that deliberately avoid splaying (snapshot inspection,
-/// diagnostics) remain visible in the profiler's self-monitoring statistics.
+/// are the shard-level sample-resolution path and restructure the tree; read-only
+/// queries ([`IntervalSplayTree::find`]) leave the tree untouched and are counted
+/// separately so that resolution paths that deliberately avoid splaying (snapshot
+/// inspection, diagnostics) remain visible in the profiler's self-monitoring
+/// statistics. Cache probes (`cache_lookups` / `cache_hits`) come from the per-thread
+/// [`ResolutionCache`](crate::agent::ResolutionCache)s sitting in front of the shards:
+/// a cache hit resolves with no shard lock and no splay, so every sample accounts as
+/// either one cache hit or one splaying lookup — never both.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LookupStats {
     /// Splaying lookups performed.
@@ -31,15 +36,21 @@ pub struct LookupStats {
     pub read_lookups: u64,
     /// Read-only queries that found an enclosing interval.
     pub read_hits: u64,
+    /// Per-thread resolution-cache probes (every cached resolution probes once).
+    pub cache_lookups: u64,
+    /// Cache probes that resolved without touching any shard.
+    pub cache_hits: u64,
 }
 
 impl LookupStats {
-    /// Sums another stat block into this one (shard merging).
+    /// Sums another stat block into this one (shard and cache merging).
     pub fn merge(&mut self, other: &LookupStats) {
         self.lookups += other.lookups;
         self.hits += other.hits;
         self.read_lookups += other.read_lookups;
         self.read_hits += other.read_hits;
+        self.cache_lookups += other.cache_lookups;
+        self.cache_hits += other.cache_hits;
     }
 
     /// Fraction of splaying lookups that hit, in `[0, 1]`.
@@ -50,18 +61,36 @@ impl LookupStats {
             self.hits as f64 / self.lookups as f64
         }
     }
+
+    /// Fraction of cache probes that resolved without a shard lock, in `[0, 1]`.
+    pub fn cache_hit_fraction(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Total resolutions of the sample hot path: cache hits plus shard lookups (cache
+    /// misses fall through to a shard lookup, so the two partition the samples).
+    pub fn resolutions(&self) -> u64 {
+        self.cache_hits + self.lookups
+    }
 }
 
 impl std::fmt::Display for LookupStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "lookups={} hits={} ({:.1}%) read_lookups={} read_hits={}",
+            "lookups={} hits={} ({:.1}%) read_lookups={} read_hits={} cache_lookups={} cache_hits={} ({:.1}%)",
             self.lookups,
             self.hits,
             self.hit_fraction() * 100.0,
             self.read_lookups,
-            self.read_hits
+            self.read_hits,
+            self.cache_lookups,
+            self.cache_hits,
+            self.cache_hit_fraction() * 100.0
         )
     }
 }
@@ -207,6 +236,9 @@ impl<T> IntervalSplayTree<T> {
             hits: self.hits,
             read_lookups: self.read_lookups.get(),
             read_hits: self.read_hits.get(),
+            // Trees know nothing of the per-thread caches in front of them.
+            cache_lookups: 0,
+            cache_hits: 0,
         }
     }
 
@@ -517,15 +549,45 @@ mod tests {
         assert_eq!(t.lookups(), 0, "find never counts as a splaying lookup");
         t.lookup(0x30);
         let stats = t.stats();
-        assert_eq!(stats, LookupStats { lookups: 1, hits: 1, read_lookups: 3, read_hits: 2 });
+        assert_eq!(
+            stats,
+            LookupStats {
+                lookups: 1,
+                hits: 1,
+                read_lookups: 3,
+                read_hits: 2,
+                ..Default::default()
+            }
+        );
         assert!((stats.hit_fraction() - 1.0).abs() < 1e-12);
         let mut merged = stats;
-        merged.merge(&LookupStats { lookups: 1, hits: 0, read_lookups: 2, read_hits: 1 });
-        assert_eq!(merged, LookupStats { lookups: 2, hits: 1, read_lookups: 5, read_hits: 3 });
+        merged.merge(&LookupStats {
+            lookups: 1,
+            hits: 0,
+            read_lookups: 2,
+            read_hits: 1,
+            cache_lookups: 4,
+            cache_hits: 3,
+        });
+        assert_eq!(
+            merged,
+            LookupStats {
+                lookups: 2,
+                hits: 1,
+                read_lookups: 5,
+                read_hits: 3,
+                cache_lookups: 4,
+                cache_hits: 3,
+            }
+        );
+        assert_eq!(merged.resolutions(), 5, "cache hits plus shard lookups");
+        assert!((merged.cache_hit_fraction() - 0.75).abs() < 1e-12);
         let text = merged.to_string();
         assert!(text.contains("lookups=2"));
         assert!(text.contains("read_lookups=5"));
+        assert!(text.contains("cache_hits=3"));
         assert_eq!(LookupStats::default().hit_fraction(), 0.0);
+        assert_eq!(LookupStats::default().cache_hit_fraction(), 0.0);
     }
 
     #[test]

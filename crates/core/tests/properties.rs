@@ -138,6 +138,112 @@ proptest! {
         }
     }
 
+    /// Cached resolution through a per-thread [`ResolutionCache`] agrees with a single
+    /// reference splay tree under arbitrary interleavings of insert, free, GC
+    /// relocation and resolution — the epoch-invalidation property: a mutation bumps
+    /// the touched shards' epochs, so a cache entry can never resolve to a freed or
+    /// moved object, no matter how the operations interleave or how small the cache.
+    #[test]
+    fn cached_resolution_matches_single_tree_under_insert_free_relocate(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0..SLOTS, 1..SLOT_SIZE, any::<u64>())
+                    .prop_map(|(slot, len, value)| TreeOp::Insert { slot, len, value }),
+                (0..SLOTS).prop_map(|slot| TreeOp::Remove { slot }),
+                // The lookup arm appears twice: resolution is the common operation,
+                // and repeat resolutions are what fill and re-validate the cache.
+                (0..SLOTS, 0..SLOT_SIZE).prop_map(|(slot, offset)| TreeOp::Lookup {
+                    slot,
+                    offset
+                }),
+                (0..SLOTS, 0..SLOT_SIZE).prop_map(|(slot, offset)| TreeOp::Lookup {
+                    slot,
+                    offset
+                }),
+            ],
+            1..250,
+        ),
+        relocations in prop::collection::vec((0..SLOTS, 0..SLOTS), 0..40),
+        shards in (0u32..5).prop_map(|i| 1usize << i),
+        cache_slots in (1u32..7).prop_map(|i| 1usize << i),
+    ) {
+        use djxperf::{MonitoredObject, ResolutionCache, SharedObjectIndex};
+        use djx_runtime::ObjectId;
+
+        // Scale slots to two shard regions each so objects span shards regularly.
+        let scale = 2 * (1u64 << 13) / SLOT_SIZE;
+        let index = SharedObjectIndex::with_shards(shards);
+        let mut reference: IntervalSplayTree<MonitoredObject> = IntervalSplayTree::new();
+        // One persistent cache across the whole interleaving, as a sampling thread
+        // would keep; small slot counts force aliasing evictions.
+        let mut cache = ResolutionCache::new(cache_slots);
+        let mut relocations = relocations.into_iter();
+
+        let resolve = |cache: &mut ResolutionCache, addr: u64| -> Option<u32> {
+            let mut out = Vec::new();
+            index.resolve_batch_cached(cache, [addr].iter(), &mut out);
+            out[0].map(|site| site.0)
+        };
+
+        for op in ops {
+            match op {
+                TreeOp::Insert { slot, len, value } => {
+                    let start = slot * SLOT_SIZE * scale;
+                    let interval = Interval::new(start, start + len * scale);
+                    let mo = MonitoredObject {
+                        object: ObjectId(value),
+                        site: AllocSiteId(value as u32),
+                        size: len * scale,
+                    };
+                    index.insert(interval, mo);
+                    reference.insert(interval, mo);
+                    // The freshly inserted object resolves immediately, even if the
+                    // cache held the slot's previous occupant.
+                    prop_assert_eq!(resolve(&mut cache, start), Some(value as u32));
+                }
+                TreeOp::Remove { slot } => {
+                    let addr = slot * SLOT_SIZE * scale;
+                    let removed = index.remove(addr).map(|(_, m)| m.object);
+                    let expected = reference.remove(addr).map(|(_, m)| m.object);
+                    prop_assert_eq!(removed, expected);
+                    // A freed object must never resolve from a stale cache entry.
+                    prop_assert_eq!(resolve(&mut cache, addr), None);
+                }
+                TreeOp::Lookup { slot, offset } => {
+                    let addr = slot * SLOT_SIZE * scale + offset * scale;
+                    let expected = reference.lookup(addr).map(|(_, m)| m.site.0);
+                    prop_assert_eq!(resolve(&mut cache, addr), expected);
+                    // Interleave a GC relocation after some resolutions: move the
+                    // object owning `from` (if any) to slot `to`, exactly the
+                    // remove+insert the allocation agent performs at GC end.
+                    if let Some((from, to)) = relocations.next() {
+                        let from_addr = from * SLOT_SIZE * scale;
+                        if let Some((iv, mo)) = reference.remove(from_addr) {
+                            let moved = index.remove(from_addr).map(|(i, m)| (i, m.object));
+                            prop_assert_eq!(moved, Some((iv, mo.object)));
+                            let to_addr = to * SLOT_SIZE * scale;
+                            // Clear the destination first (the heap would).
+                            index.remove(to_addr);
+                            reference.remove(to_addr);
+                            let new_iv = Interval::new(to_addr, to_addr + iv.len());
+                            index.insert(new_iv, mo);
+                            reference.insert(new_iv, mo);
+                            // Old range is cold, new range resolves — immediately.
+                            prop_assert_eq!(
+                                resolve(&mut cache, from_addr),
+                                reference.lookup(from_addr).map(|(_, m)| m.site.0)
+                            );
+                            prop_assert_eq!(resolve(&mut cache, to_addr), Some(mo.site.0));
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(index.live_objects(), reference.len());
+        }
+        // The cache did real work: every resolution probed it.
+        prop_assert!(cache.stats().cache_lookups > 0);
+    }
+
     /// `find` (read-only) and `lookup` (splaying) always agree.
     #[test]
     fn splay_find_and_lookup_agree(

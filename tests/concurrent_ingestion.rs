@@ -183,30 +183,77 @@ fn concurrent_ingestion_loses_no_samples_and_merges_like_a_sequential_replay() {
     sequential_paths.sort_by(|a, b| a.0.cmp(&b.0));
     assert_eq!(concurrent_paths, sequential_paths);
 
-    // The index saw every object and every sample resolution.
+    // The index saw every object, and every sample resolved through either a thread's
+    // private cache or a shard lookup — the two partition the hot path.
     assert_eq!(concurrent.live_monitored_objects(), (THREADS * OBJECTS_PER_THREAD) as usize);
     let stats = concurrent.splay_lookup_stats();
-    assert_eq!(stats.lookups, total, "every sample resolves through the sharded index");
-    assert_eq!(stats.hits, total, "every access lands inside a monitored object");
+    assert!(concurrent.resolution_cache_enabled());
+    assert_eq!(stats.resolutions(), total, "cache hits + shard lookups cover every sample");
+    assert_eq!(stats.hits + stats.cache_hits, total, "every access lands inside an object");
+    assert_eq!(stats.cache_lookups, total, "every sample probes its thread's cache first");
+    assert!(
+        stats.cache_hits > stats.lookups,
+        "hot objects must mostly resolve from the cache ({} cache hits, {} shard lookups)",
+        stats.cache_hits,
+        stats.lookups
+    );
 }
 
 #[test]
-fn concurrent_snapshots_during_ingestion_are_consistent() {
-    // Snapshots taken while other threads ingest must each be internally consistent
-    // (profile totals equal the per-thread sums at *some* point of the run) and the
-    // final snapshot must account for everything.
+fn disabling_the_resolution_cache_preserves_profiles_exactly() {
+    // The cache is a pure fast path: profiles with and without it are bit-identical.
+    let logs = Arc::new(build_logs());
+    let cached = new_session();
+    let uncached = Session::builder()
+        .period(PERIOD)
+        .resolution_cache(false)
+        .collect_objects()
+        .collect_code()
+        .collect_numa()
+        .build();
+    for log in logs.iter() {
+        replay_allocs(&cached, log);
+        replay_allocs(&uncached, log);
+    }
+    for log in logs.iter() {
+        replay_accesses(&cached, log);
+        replay_accesses(&uncached, log);
+    }
+    assert_eq!(
+        canonical_text(cached.object_profile().unwrap()),
+        canonical_text(uncached.object_profile().unwrap())
+    );
+    let uncached_stats = uncached.splay_lookup_stats();
+    assert!(!uncached.resolution_cache_enabled());
+    assert_eq!(uncached_stats.cache_lookups, 0, "no cache, no probes");
+    assert_eq!(uncached_stats.lookups, uncached.total_samples());
+}
+
+#[test]
+fn continuous_snapshots_never_lose_samples_and_merge_like_a_sequential_replay() {
+    // The pause-free snapshot path: a snapshot retires each collector's open buffer
+    // epoch (an O(1) stripe swap) instead of cloning state under the sampling locks.
+    // Snapshotting *continuously* while four threads ingest must therefore (a) keep
+    // every intermediate view internally consistent, (b) lose no samples, and (c)
+    // leave the final profiles byte-identical to a sequential replay that was never
+    // snapshotted — delta retirement must be exact.
     let logs = Arc::new(build_logs());
     let session = new_session();
     for log in logs.iter() {
         replay_allocs(&session, log);
     }
+    let mut observed_snapshots = 0u64;
     std::thread::scope(|scope| {
-        for i in 0..logs.len() {
-            let s = Arc::clone(&session);
-            let logs = Arc::clone(&logs);
-            scope.spawn(move || replay_accesses(&s, &logs[i]));
-        }
-        for _ in 0..20 {
+        let workers: Vec<_> = (0..logs.len())
+            .map(|i| {
+                let s = Arc::clone(&session);
+                let logs = Arc::clone(&logs);
+                scope.spawn(move || replay_accesses(&s, &logs[i]))
+            })
+            .collect();
+        // Snapshot in a tight loop until every ingestion thread is done — every
+        // iteration retires the collectors' open epochs mid-run.
+        while !workers.iter().all(|w| w.is_finished()) {
             let snapshot = session.snapshot();
             let object = snapshot.object.expect("object collector registered");
             assert_eq!(
@@ -214,10 +261,59 @@ fn concurrent_snapshots_during_ingestion_are_consistent() {
                 object.threads.iter().map(|t| t.samples).sum::<u64>(),
                 "snapshot view is internally consistent"
             );
-            std::thread::yield_now();
+            assert!(
+                snapshot.total_samples <= session.total_samples(),
+                "a snapshot never reports samples from the future"
+            );
+            observed_snapshots += 1;
         }
     });
+    assert!(observed_snapshots > 0, "at least one snapshot raced the ingestion");
+    assert!(
+        session.snapshot_retirements() >= observed_snapshots,
+        "every snapshot retires a buffer epoch"
+    );
+
+    // Zero lost samples.
     let final_snapshot = session.snapshot();
     assert_eq!(final_snapshot.total_samples, session.total_samples());
-    assert_eq!(final_snapshot.object.unwrap().total_samples(), session.total_samples());
+    assert_eq!(final_snapshot.object.as_ref().unwrap().total_samples(), session.total_samples());
+    assert_eq!(final_snapshot.code.as_ref().unwrap().total_samples, session.total_samples());
+    assert_eq!(final_snapshot.numa.as_ref().unwrap().total_samples(), session.total_samples());
+
+    // Merge fidelity: identical to a never-snapshotted sequential replay.
+    let sequential = new_session();
+    for log in logs.iter() {
+        replay_allocs(&sequential, log);
+    }
+    for log in logs.iter() {
+        replay_accesses(&sequential, log);
+    }
+    assert_eq!(
+        canonical_text(final_snapshot.object.unwrap()),
+        canonical_text(sequential.object_profile().unwrap()),
+        "continuous snapshotting must not perturb the final object profile"
+    );
+    let sequential_numa = sequential.numa_profile().unwrap();
+    let numa = final_snapshot.numa.unwrap();
+    assert_eq!(numa.per_site, sequential_numa.per_site);
+    assert_eq!(numa.unattributed, sequential_numa.unattributed);
+    assert_eq!(numa.node_traffic, sequential_numa.node_traffic);
+    let mut concurrent_paths: Vec<_> = final_snapshot
+        .code
+        .as_ref()
+        .unwrap()
+        .cct
+        .nodes_with_metrics()
+        .map(|(_, path, m)| (path, *m))
+        .collect();
+    let sequential_code = sequential.code_profile().unwrap();
+    let mut sequential_paths: Vec<_> = sequential_code
+        .cct
+        .nodes_with_metrics()
+        .map(|(_, path, m)| (path, *m))
+        .collect();
+    concurrent_paths.sort_by(|a, b| a.0.cmp(&b.0));
+    sequential_paths.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(concurrent_paths, sequential_paths);
 }

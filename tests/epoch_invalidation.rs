@@ -1,0 +1,147 @@
+//! Concurrent epoch-invalidation stress tests: no thread may ever observe a **stale**
+//! object resolution through its private [`ResolutionCache`] once a mutation of the
+//! shared index is visible to it.
+//!
+//! The construction encodes a monotonically increasing *generation* in the allocation
+//! site of each inserted object. A mutator thread mutates the index (address reuse, or
+//! a GC-style move between two ranges), then publishes the generation with a `Release`
+//! store; reader threads `Acquire`-load the generation and resolve through their own
+//! caches. The publication edge makes the mutation — and therefore the shard-epoch
+//! bump that preceded it — visible to the reader, so the per-shard epoch protocol must
+//! force the reader's cache to miss: resolving a generation older than the published
+//! one would be exactly the stale-resolution bug the epochs exist to prevent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use djx_runtime::ObjectId;
+use djxperf::{AllocSiteId, Interval, MonitoredObject, ResolutionCache, SharedObjectIndex};
+
+const MUTATIONS: u64 = 20_000;
+const READERS: usize = 3;
+
+fn mo(generation: u64) -> MonitoredObject {
+    MonitoredObject {
+        object: ObjectId(generation),
+        site: AllocSiteId(generation as u32),
+        size: 0x2000,
+    }
+}
+
+fn resolve(index: &SharedObjectIndex, cache: &mut ResolutionCache, addr: u64) -> Option<u64> {
+    let mut out = Vec::with_capacity(1);
+    index.resolve_batch_cached(cache, [addr].iter(), &mut out);
+    out[0].map(|site| site.0 as u64)
+}
+
+/// Minimum probes every reader must perform *after* the last mutation before the
+/// stress run is allowed to end: guarantees each reader raced the mutation phase or —
+/// on a scheduler that starved it — at least probed a quiescent index repeatedly, so
+/// the post-run cache-statistics assertions are deterministic, not timing-dependent.
+const QUIESCENT_PROBES: u64 = 100;
+
+/// Runs `READERS` resolver threads against `mutate`, which is called once per
+/// generation and must leave the index so that any address in `probe_ranges` resolves
+/// either to nothing (mid-mutation) or to a generation `>= published`. Returns the
+/// summed cache statistics of every reader.
+fn run_stress(
+    index: Arc<SharedObjectIndex>,
+    probe_ranges: Vec<u64>,
+    mutate: impl Fn(&SharedObjectIndex, u64) + Send,
+) -> djxperf::LookupStats {
+    let published = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let progress: Arc<Vec<AtomicU64>> = Arc::new((0..READERS).map(|_| AtomicU64::new(0)).collect());
+    let mut stats = djxperf::LookupStats::default();
+
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let index = Arc::clone(&index);
+                let published = Arc::clone(&published);
+                let done = Arc::clone(&done);
+                let progress = Arc::clone(&progress);
+                let probe_ranges = probe_ranges.clone();
+                scope.spawn(move || {
+                    // Each reader owns its cache, like each sampling thread does.
+                    let mut cache = ResolutionCache::new(64);
+                    while !done.load(Ordering::Acquire) {
+                        // The Acquire load creates the happens-before edge from every
+                        // mutation completed before `generation` was published.
+                        let generation = published.load(Ordering::Acquire);
+                        let base = probe_ranges[r % probe_ranges.len()];
+                        if let Some(resolved) = resolve(&index, &mut cache, base + 0x100) {
+                            assert!(
+                                resolved >= generation,
+                                "stale resolution: observed generation {resolved} after \
+                                 generation {generation} was published"
+                            );
+                        }
+                        progress[r].fetch_add(1, Ordering::Release);
+                    }
+                    cache.stats()
+                })
+            })
+            .collect();
+
+        for generation in 1..=MUTATIONS {
+            mutate(&index, generation);
+            published.store(generation, Ordering::Release);
+        }
+        // Let every reader probe the now-quiescent index a while before stopping:
+        // repeat probes of an unchanging range are guaranteed cache hits.
+        let targets: Vec<u64> =
+            progress.iter().map(|p| p.load(Ordering::Acquire) + QUIESCENT_PROBES).collect();
+        for (p, target) in progress.iter().zip(targets) {
+            while p.load(Ordering::Acquire) < target {
+                std::thread::yield_now();
+            }
+        }
+        done.store(true, Ordering::Release);
+        for reader in readers {
+            stats.merge(&reader.join().unwrap());
+        }
+    });
+    stats
+}
+
+#[test]
+fn address_reuse_never_resolves_to_a_dead_generation() {
+    // The §4.5 correctness concern, concurrently: an allocation reuses the address
+    // range of a freed object. Once generation g is published, resolving the range
+    // must never return a generation below g — the free bumped the shard epoch, so
+    // every reader's cached entry for the dead object is invalid by construction.
+    let base = 0x4000u64;
+    let index = SharedObjectIndex::with_shards(4);
+    index.insert(Interval::new(base, base + 0x2000), mo(0));
+    let stats = run_stress(Arc::clone(&index), vec![base], |index, generation| {
+        index.remove(base);
+        index.insert(Interval::new(base, base + 0x2000), mo(generation));
+    });
+    assert_eq!(index.lookup(base + 0x100).unwrap().1.object, ObjectId(MUTATIONS));
+    assert!(stats.cache_lookups > 0, "readers resolved through their caches");
+    assert!(stats.cache_hits > 0, "steady-state resolutions hit the cache between mutations");
+}
+
+#[test]
+fn gc_moves_between_ranges_never_expose_a_stale_generation() {
+    // GC relocation, concurrently: generation g lives in range g % 2 (the agent's
+    // remove + insert move pattern migrates the record across shards). Readers probe
+    // both ranges; any resolved generation below the published one is a stale cache
+    // hit across a move.
+    let ranges = [0x10_0000u64, 0x20_0000];
+    let index = SharedObjectIndex::with_shards(8);
+    index.insert(Interval::new(ranges[0], ranges[0] + 0x2000), mo(0));
+    let stats = run_stress(Arc::clone(&index), ranges.to_vec(), |index, generation| {
+        let from = ranges[(generation - 1) as usize % 2];
+        let to = ranges[generation as usize % 2];
+        // Publish the new generation's range before retiring the old one, like the
+        // allocation agent's disjoint-move path, then bump the id by reinserting.
+        index.insert(Interval::new(to, to + 0x2000), mo(generation));
+        index.remove(from);
+    });
+    let survivor = index.lookup(ranges[(MUTATIONS % 2) as usize] + 0x100).unwrap().1;
+    assert_eq!(survivor.object, ObjectId(MUTATIONS));
+    assert!(stats.cache_lookups > 0);
+    assert!(stats.cache_hits > 0);
+}
