@@ -69,7 +69,7 @@ struct AllocationState {
     stats: AllocationStats,
 }
 
-/// The allocation agent. See the [module documentation](self).
+/// The allocation agent. See the [`crate::agent`] module documentation.
 #[derive(Debug)]
 pub struct AllocationAgent {
     config: AllocationConfig,

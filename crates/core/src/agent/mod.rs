@@ -64,6 +64,13 @@
 //! impossible by construction — the move bumped the epoch, the entry mismatches, the
 //! thread falls back to the shard. Cache probes and hits are self-monitored through
 //! [`LookupStats::cache_lookups`] / [`LookupStats::cache_hits`].
+//!
+//! Note that these **shard mutation epochs** are independent of the session's
+//! **collector buffer epochs** (the units [`crate::export`] streams): a shard epoch
+//! versions *index state* for cache invalidation, while a buffer epoch partitions
+//! *collector state* for pause-free snapshots and incremental export. An export drain
+//! never touches a shard epoch, so continuous streaming cannot thrash the resolution
+//! caches — the two protocols share the [`Epoch`] primitive and nothing else.
 
 mod allocation;
 

@@ -1,0 +1,689 @@
+//! Asynchronous, incremental profile export: a background drainer streaming
+//! epoch-retired snapshot deltas through a [`ProfileSink`].
+//!
+//! The snapshot machinery of [`crate::session`] already partitions every collector's
+//! state into **per-epoch deltas**: retiring a buffer epoch swaps each stripe's map out
+//! in O(1) and absorbs the taken deltas into a retired buffer. Before this module, the
+//! only consumer of that partition was [`Session::snapshot`](crate::session::Session) —
+//! which re-clones the *whole* retired buffer on every call, so exporting a live
+//! profile costs O(accumulated profile) each time. `djxperf::export` turns the
+//! profiler from snapshot-pull into continuous-push: a [`DeltaDrainer`] background
+//! thread streams each retired [`ProfileDelta`] through an extended [`ProfileSink`]
+//! ([`ProfileSink::on_delta`] / [`ProfileSink::on_finish`]) as it is produced, so
+//! export cost scales with the delta — not with the whole accumulated profile.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! sampling threads ──► active stripes ──drain──► ProfileDelta ──queue──► DeltaDrainer ──► sink
+//!                          (hot path,    (epoch     (bounded,    (background   (on_delta /
+//!                           untouched)   retire)    in-process)     thread)     on_finish)
+//! ```
+//!
+//! Configure with [`SessionBuilder::stream_to`](crate::session::SessionBuilder::stream_to).
+//! Deltas enter the stream from two producers, serialized by one hand-off gate so
+//! epochs are strictly ordered on the wire:
+//!
+//! * the drainer's own periodic tick ([`DrainPolicy::tick`]), and
+//! * any snapshot/profile read on the session (a snapshot closes an epoch; when a
+//!   stream is attached the closed epoch's delta is routed into it, never discarded —
+//!   this is what makes the stream **loss-free**).
+//!
+//! # Loss-free, order-preserving replay
+//!
+//! Every sample the session ever attributes is in exactly one streamed delta (plus
+//! the terminal flush): folding the streamed deltas with
+//! [`DeltaFold`](crate::profile::DeltaFold) — or replaying a
+//! [`ChunkedJsonSink`](crate::sink::ChunkedJsonSink) epoch log — reproduces a profile
+//! **byte-identical** to a terminal [`Session::snapshot`](crate::session::Session)
+//! once ingestion has quiesced. Deltas appear on the wire in strictly increasing
+//! epoch order; empty epochs are skipped.
+//!
+//! # Backpressure
+//!
+//! The hand-off queue is bounded ([`DrainPolicy::capacity`]). When the drainer falls
+//! behind, a full queue is resolved by [`Backpressure`]:
+//!
+//! * [`Backpressure::Coalesce`] (default) — the new delta is merged into the newest
+//!   queued delta ([`ProfileDelta::merge_from`]); nothing is lost, the stream just
+//!   carries coarser partitions. Export cost stays bounded and ingestion never waits.
+//! * [`Backpressure::Block`] — the producer spins (yielding) until the drainer makes
+//!   room, preserving the exact epoch granularity. Only snapshot-side threads ever
+//!   block; the sampling hot path never touches the queue.
+//!
+//! # Shutdown
+//!
+//! [`Session::finish_export`](crate::session::Session::finish_export) closes the
+//! stream: a final delta is drained, the terminal whole profile is pushed through
+//! [`ProfileSink::on_finish`], the writer is flushed, and the background thread joins,
+//! returning accumulated [`ExportStats`] (or the first sink/write error). Dropping the
+//! last reference to a streaming session finishes the export as well (drain-on-drop),
+//! so no delta is lost even when the caller forgets the explicit finish.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::profile::{ObjectCentricProfile, ProfileDelta};
+use crate::session::ObjectCentricCollector;
+use crate::sink::ProfileSink;
+use crate::sync::{Epoch, SpinLock};
+
+/// What a producer does when the hand-off queue is full. See the
+/// [module documentation](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Spin (yielding the timeslice) until the drainer makes room: exact epoch
+    /// granularity on the wire, at the cost of stalling the snapshotting thread.
+    Block,
+    /// Merge the new delta into the newest queued one: bounded memory and no waiting,
+    /// at the cost of coarser delta granularity. Loss-free either way.
+    Coalesce,
+}
+
+/// Configuration of the background drain pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainPolicy {
+    /// Maximum number of deltas queued between producers and the drainer (≥ 1).
+    pub capacity: usize,
+    /// What producers do when the queue is full.
+    pub backpressure: Backpressure,
+    /// How often the drainer closes an epoch on its own when nobody snapshots.
+    pub tick: Duration,
+}
+
+impl Default for DrainPolicy {
+    fn default() -> Self {
+        Self { capacity: 8, backpressure: Backpressure::Coalesce, tick: Duration::from_millis(5) }
+    }
+}
+
+impl DrainPolicy {
+    /// The default policy: capacity 8, [`Backpressure::Coalesce`], 5 ms tick.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "drain queue capacity must be non-zero");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Selects [`Backpressure::Block`].
+    pub fn block(mut self) -> Self {
+        self.backpressure = Backpressure::Block;
+        self
+    }
+
+    /// Selects [`Backpressure::Coalesce`].
+    pub fn coalesce(mut self) -> Self {
+        self.backpressure = Backpressure::Coalesce;
+        self
+    }
+
+    /// Sets the drainer's self-drain cadence.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+}
+
+/// Counters describing what an export stream did, returned by
+/// [`Session::finish_export`](crate::session::Session::finish_export) and readable
+/// live via [`Session::export_stats`](crate::session::Session::export_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportStats {
+    /// Deltas written through [`ProfileSink::on_delta`].
+    pub deltas_streamed: u64,
+    /// Total PMU samples carried by the streamed deltas.
+    pub samples_streamed: u64,
+    /// Buffer epochs closed on behalf of the stream (including empty ones, which are
+    /// never put on the wire).
+    pub epochs_drained: u64,
+    /// Deltas merged into a queued delta because the queue was full
+    /// ([`Backpressure::Coalesce`]).
+    pub coalesced: u64,
+    /// Pushes that had to wait for the drainer ([`Backpressure::Block`]).
+    pub blocked: u64,
+}
+
+/// An in-memory `io::Write` target that can be read while (and after) a background
+/// drainer writes to it — the natural sink destination for tests and examples, and a
+/// handy capture buffer for any streamed export.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the bytes written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().clone()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// `true` when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One queued hand-off item.
+enum ExportItem {
+    /// A retired epoch delta.
+    Delta(ProfileDelta),
+    /// The terminal whole profile; always the last item of a stream.
+    Finish(Box<ObjectCentricProfile>),
+}
+
+/// State shared between producers (snapshot threads, the session) and the drainer.
+struct ExportShared {
+    /// Serializes drain→push hand-offs so epochs are strictly ordered on the wire.
+    /// Held across a drain and its push; the drainer only ever `try_lock`s it, so a
+    /// producer blocking on a full queue can never deadlock against the drainer.
+    gate: SpinLock<()>,
+    /// The bounded delta queue.
+    queue: SpinLock<VecDeque<ExportItem>>,
+    capacity: usize,
+    backpressure: Backpressure,
+    /// Set under the gate after the [`ExportItem::Finish`] item is queued; deltas
+    /// arriving later (post-finish races) are dropped — they carry samples recorded
+    /// after the stream's endpoint by definition.
+    closed: AtomicBool,
+    /// Set when the drainer thread exits — normally (after the terminal flush) or by
+    /// unwinding out of a panicking sink. Producers waiting for queue room check it
+    /// so a dead drainer can never leave a push (or [`Session::drop`]'s implicit
+    /// finish) spinning forever on a queue nobody will ever pop.
+    ///
+    /// [`Session::drop`]: crate::session::Session
+    worker_dead: AtomicBool,
+    /// Bumped on every push; the drainer validates its recorded generation before
+    /// parking so a push between "queue looked empty" and "park" is never slept over.
+    pushed: Epoch,
+    /// The drainer's thread handle, for wakeups.
+    drainer: SpinLock<Option<std::thread::Thread>>,
+    // Stream statistics (see [`ExportStats`]).
+    deltas_streamed: AtomicU64,
+    samples_streamed: AtomicU64,
+    epochs_drained: AtomicU64,
+    coalesced: AtomicU64,
+    blocked: AtomicU64,
+}
+
+impl ExportShared {
+    fn new(policy: DrainPolicy) -> Self {
+        Self {
+            gate: SpinLock::new(()),
+            queue: SpinLock::new(VecDeque::with_capacity(policy.capacity)),
+            capacity: policy.capacity,
+            backpressure: policy.backpressure,
+            closed: AtomicBool::new(false),
+            worker_dead: AtomicBool::new(false),
+            pushed: Epoch::new(),
+            drainer: SpinLock::new(None),
+            deltas_streamed: AtomicU64::new(0),
+            samples_streamed: AtomicU64::new(0),
+            epochs_drained: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> ExportStats {
+        ExportStats {
+            deltas_streamed: self.deltas_streamed.load(Ordering::Relaxed),
+            samples_streamed: self.samples_streamed.load(Ordering::Relaxed),
+            epochs_drained: self.epochs_drained.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            blocked: self.blocked.load(Ordering::Relaxed),
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    fn worker_is_dead(&self) -> bool {
+        self.worker_dead.load(Ordering::Acquire)
+    }
+
+    fn wake(&self) {
+        if let Some(thread) = &*self.drainer.lock() {
+            thread.unpark();
+        }
+    }
+
+    fn pop(&self) -> Option<ExportItem> {
+        self.queue.lock().pop_front()
+    }
+
+    fn queue_is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Enqueues one delta, resolving a full queue per the backpressure policy. Deltas
+    /// arriving after the stream closed — or once the drainer thread is dead (a
+    /// panicking sink; the panic surfaces at finish) — are dropped. Call with the
+    /// gate held so epochs stay ordered.
+    fn push_delta(&self, delta: ProfileDelta) {
+        let mut pending = Some(delta);
+        let mut waited = false;
+        loop {
+            if self.is_closed() || self.worker_is_dead() {
+                return;
+            }
+            {
+                let mut queue = self.queue.lock();
+                if queue.len() < self.capacity {
+                    queue.push_back(ExportItem::Delta(pending.take().unwrap()));
+                } else if self.backpressure == Backpressure::Coalesce {
+                    if let Some(ExportItem::Delta(back)) = queue.back_mut() {
+                        back.merge_from(pending.as_ref().unwrap());
+                        pending = None;
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if pending.is_none() {
+                self.pushed.bump();
+                self.wake();
+                return;
+            }
+            if !waited {
+                waited = true;
+                self.blocked.fetch_add(1, Ordering::Relaxed);
+            }
+            self.wake();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Enqueues the terminal item, waiting for room regardless of policy — unless the
+    /// drainer thread is dead, in which case nothing will ever pop the queue and the
+    /// caller's join will surface the panic instead. Call with the gate held, before
+    /// marking the stream closed.
+    fn push_finish(&self, profile: Box<ObjectCentricProfile>) {
+        let mut pending = Some(profile);
+        loop {
+            if self.worker_is_dead() {
+                return;
+            }
+            {
+                let mut queue = self.queue.lock();
+                if queue.len() < self.capacity {
+                    queue.push_back(ExportItem::Finish(pending.take().unwrap()));
+                }
+            }
+            if pending.is_none() {
+                self.pushed.bump();
+                self.wake();
+                return;
+            }
+            self.wake();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Closes one epoch of `collector` and routes its delta into the stream — the
+    /// producer-side hand-off. The gate serializes concurrent producers (and the
+    /// drainer's own tick), so wire order follows epoch order. Acquired yielding: the
+    /// drainer holds the gate across sink writes, and burning a core spinning for the
+    /// duration of an I/O call is exactly what [`SpinLock::lock_yielding`] avoids.
+    fn produce(&self, collector: &ObjectCentricCollector) {
+        let _gate = self.gate.lock_yielding();
+        if self.is_closed() {
+            return;
+        }
+        let delta = collector.drain_delta();
+        self.epochs_drained.fetch_add(1, Ordering::Relaxed);
+        if !delta.is_empty() {
+            self.push_delta(delta);
+        }
+    }
+}
+
+/// The background worker: pops queued deltas, self-drains on its tick, and writes
+/// everything through the sink in epoch order.
+struct DrainWorker {
+    shared: Arc<ExportShared>,
+    collector: Arc<ObjectCentricCollector>,
+    sink: Arc<dyn ProfileSink>,
+    out: Box<dyn Write + Send>,
+    tick: Duration,
+    /// First sink/write error; once set, further items are consumed and discarded so
+    /// producers can never block on a dead stream.
+    error: Option<io::Error>,
+}
+
+impl DrainWorker {
+    /// Writes one popped item; returns `true` when the item was the terminal flush.
+    fn emit(&mut self, item: ExportItem) -> bool {
+        match item {
+            ExportItem::Delta(delta) => {
+                if self.error.is_none() {
+                    let samples = delta.total_samples();
+                    match self.sink.on_delta(delta.epoch, &delta, &mut self.out) {
+                        Ok(()) => {
+                            self.shared.deltas_streamed.fetch_add(1, Ordering::Relaxed);
+                            self.shared.samples_streamed.fetch_add(samples, Ordering::Relaxed);
+                        }
+                        Err(err) => self.error = Some(err),
+                    }
+                }
+                false
+            }
+            ExportItem::Finish(profile) => {
+                if self.error.is_none() {
+                    if let Err(err) =
+                        self.sink.on_finish(&profile, &mut self.out).and_then(|()| self.out.flush())
+                    {
+                        self.error = Some(err);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        let mut last_drain = Instant::now();
+        // Cloned handle for gate guards: a guard's lifetime must not be tied to a
+        // borrow of `self` (emit needs `&mut self` while the gate is held).
+        let shared = Arc::clone(&self.shared);
+        loop {
+            // 1. Flush everything queued, in FIFO (= epoch) order.
+            while let Some(item) = self.shared.pop() {
+                if self.emit(item) {
+                    return match self.error.take() {
+                        Some(err) => Err(err),
+                        None => Ok(()),
+                    };
+                }
+            }
+            if self.shared.is_closed() {
+                // Defensive: closed without a terminal item (not produced by the
+                // session, but a clean exit beats a zombie thread).
+                return match self.error.take() {
+                    Some(err) => Err(err),
+                    None => self.out.flush(),
+                };
+            }
+            // 2. Tick self-drain — only when the tick actually elapsed, so producer
+            // pushes (which also wake this thread) do not inflate the epoch cadence
+            // beyond the documented DrainPolicy::tick. `try_lock`: if a producer is
+            // mid-hand-off we simply pop its delta on the next iteration; never
+            // block while holding nothing.
+            if last_drain.elapsed() >= self.tick {
+                if let Some(_gate) = shared.gate.try_lock() {
+                    if !self.shared.is_closed() {
+                        // Earlier queued epochs first, so the direct write stays
+                        // ordered.
+                        let mut finished = false;
+                        while let Some(item) = self.shared.pop() {
+                            if self.emit(item) {
+                                finished = true;
+                                break;
+                            }
+                        }
+                        if finished {
+                            return match self.error.take() {
+                                Some(err) => Err(err),
+                                None => Ok(()),
+                            };
+                        }
+                        let delta = self.collector.drain_delta();
+                        last_drain = Instant::now();
+                        self.shared.epochs_drained.fetch_add(1, Ordering::Relaxed);
+                        if !delta.is_empty() {
+                            let _ = self.emit(ExportItem::Delta(delta));
+                        }
+                    }
+                }
+            }
+            // 3. Park until the next push or tick. The pushed-epoch validation closes
+            // the race between "queue looked empty" and the park itself.
+            let generation = self.shared.pushed.current();
+            if self.shared.queue_is_empty()
+                && !self.shared.is_closed()
+                && self.shared.pushed.validate(generation)
+            {
+                std::thread::park_timeout(self.tick);
+            }
+        }
+    }
+}
+
+/// Handle to a running export pipeline: the hand-off queue plus the background
+/// drainer thread. Owned by the session; create one with
+/// [`SessionBuilder::stream_to`](crate::session::SessionBuilder::stream_to).
+pub struct DeltaDrainer {
+    shared: Arc<ExportShared>,
+    worker: Mutex<Option<std::thread::JoinHandle<io::Result<()>>>>,
+    /// Set once [`DeltaDrainer::finish`] completed; later profile reads take the
+    /// plain snapshot path again.
+    finished: AtomicBool,
+    /// The first finish's outcome, replayed to later finish calls (io errors are not
+    /// clonable; the message is kept).
+    result: Mutex<Option<Result<ExportStats, String>>>,
+}
+
+impl std::fmt::Debug for DeltaDrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaDrainer")
+            .field("finished", &self.finished.load(Ordering::Relaxed))
+            .field("stats", &self.shared.stats())
+            .finish()
+    }
+}
+
+impl DeltaDrainer {
+    /// Spawns the background drainer over `collector`, streaming through `sink` into
+    /// `out` under `policy`.
+    pub(crate) fn spawn(
+        collector: Arc<ObjectCentricCollector>,
+        sink: Arc<dyn ProfileSink>,
+        out: Box<dyn Write + Send>,
+        policy: DrainPolicy,
+    ) -> Self {
+        let shared = Arc::new(ExportShared::new(policy));
+        let worker = DrainWorker {
+            shared: shared.clone(),
+            collector,
+            sink,
+            out,
+            tick: policy.tick,
+            error: None,
+        };
+        /// Marks the worker dead on *any* exit — including unwinding out of a
+        /// panicking sink — so producers waiting for queue room stop waiting and the
+        /// panic surfaces at the join instead of hanging the session.
+        struct AliveGuard(Arc<ExportShared>);
+        impl Drop for AliveGuard {
+            fn drop(&mut self) {
+                self.0.worker_dead.store(true, Ordering::Release);
+            }
+        }
+        let alive = AliveGuard(shared.clone());
+        let handle = std::thread::Builder::new()
+            .name("djxperf-delta-drainer".to_string())
+            .spawn(move || {
+                let _alive = alive;
+                worker.run()
+            })
+            .expect("spawning the export drainer thread");
+        *shared.drainer.lock() = Some(handle.thread().clone());
+        Self {
+            shared,
+            worker: Mutex::new(Some(handle)),
+            finished: AtomicBool::new(false),
+            result: Mutex::new(None),
+        }
+    }
+
+    /// `true` while the stream accepts deltas (i.e. before [`DeltaDrainer::finish`]).
+    pub(crate) fn is_running(&self) -> bool {
+        !self.finished.load(Ordering::Acquire)
+    }
+
+    /// Routes one closed epoch of `collector` into the stream (see
+    /// [`ExportShared::produce`]).
+    pub(crate) fn produce(&self, collector: &ObjectCentricCollector) {
+        self.shared.produce(collector);
+    }
+
+    /// Live statistics of the stream.
+    pub(crate) fn stats(&self) -> ExportStats {
+        self.shared.stats()
+    }
+
+    /// Ends the stream: drains the closing delta, pushes the terminal profile built
+    /// by `assemble` (called on the post-drain retired profiles, under the hand-off
+    /// gate), joins the worker and returns the accumulated statistics or the first
+    /// sink/write error. Idempotent — later calls replay the first outcome.
+    pub(crate) fn finish(
+        &self,
+        collector: &ObjectCentricCollector,
+        assemble: impl FnOnce(Vec<crate::profile::ThreadProfile>) -> ObjectCentricProfile,
+    ) -> io::Result<ExportStats> {
+        let mut slot = self.result.lock();
+        if let Some(previous) = &*slot {
+            return previous.clone().map_err(io::Error::other);
+        }
+        {
+            let _gate = self.shared.gate.lock_yielding();
+            let delta = collector.drain_delta();
+            self.shared.epochs_drained.fetch_add(1, Ordering::Relaxed);
+            if !delta.is_empty() {
+                self.shared.push_delta(delta);
+            }
+            let profile = assemble(collector.retired_profiles());
+            self.shared.push_finish(Box::new(profile));
+            self.shared.closed.store(true, Ordering::Release);
+        }
+        self.shared.wake();
+        let io_result = match self.worker.lock().take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("export drainer thread panicked"))),
+            None => Ok(()),
+        };
+        self.finished.store(true, Ordering::Release);
+        let result = match io_result {
+            Ok(()) => Ok(self.shared.stats()),
+            Err(err) => Err(err.to_string()),
+        };
+        *slot = Some(result.clone());
+        result.map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ProfileDelta, ThreadDelta, ThreadProfile};
+    use djx_runtime::ThreadId;
+
+    fn delta(epoch: u64, thread: u64, samples: u64) -> ProfileDelta {
+        let mut profile = ThreadProfile::new(ThreadId(thread), "t");
+        profile.samples = samples;
+        ProfileDelta { epoch, threads: vec![ThreadDelta { seq: thread, profile }] }
+    }
+
+    #[test]
+    fn policy_builder_round_trips() {
+        let policy = DrainPolicy::new().capacity(3).block().tick(Duration::from_millis(1));
+        assert_eq!(policy.capacity, 3);
+        assert_eq!(policy.backpressure, Backpressure::Block);
+        assert_eq!(policy.tick, Duration::from_millis(1));
+        assert_eq!(DrainPolicy::default().backpressure, Backpressure::Coalesce);
+        assert_eq!(policy.coalesce().backpressure, Backpressure::Coalesce);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = DrainPolicy::new().capacity(0);
+    }
+
+    #[test]
+    fn coalesce_merges_into_the_newest_queued_delta_when_full() {
+        let shared = ExportShared::new(DrainPolicy::new().capacity(1).coalesce());
+        shared.push_delta(delta(1, 1, 5));
+        shared.push_delta(delta(2, 1, 7));
+        shared.push_delta(delta(3, 2, 2));
+        assert_eq!(shared.stats().coalesced, 2);
+        let Some(ExportItem::Delta(folded)) = shared.pop() else {
+            panic!("one coalesced delta expected");
+        };
+        assert_eq!(folded.epoch, 3, "coalescing keeps the latest epoch");
+        assert_eq!(folded.total_samples(), 14, "coalescing loses no samples");
+        assert_eq!(folded.threads.len(), 2);
+        assert!(shared.pop().is_none());
+    }
+
+    #[test]
+    fn block_waits_for_the_consumer() {
+        let shared = Arc::new(ExportShared::new(DrainPolicy::new().capacity(1).block()));
+        shared.push_delta(delta(1, 1, 1));
+        let producer = {
+            let shared = shared.clone();
+            std::thread::spawn(move || shared.push_delta(delta(2, 1, 1)))
+        };
+        // The producer can only finish once this thread pops.
+        while shared.stats().blocked == 0 {
+            std::thread::yield_now();
+        }
+        assert!(shared.pop().is_some());
+        producer.join().unwrap();
+        assert!(shared.pop().is_some(), "the blocked push landed after the pop");
+        assert_eq!(shared.stats().blocked, 1);
+    }
+
+    #[test]
+    fn closed_stream_drops_late_deltas() {
+        let shared = ExportShared::new(DrainPolicy::new().capacity(2));
+        shared.closed.store(true, Ordering::Release);
+        shared.push_delta(delta(1, 1, 1));
+        assert!(shared.pop().is_none(), "post-finish deltas are dropped");
+    }
+
+    #[test]
+    fn shared_buffer_accumulates_writes() {
+        let buffer = SharedBuffer::new();
+        assert!(buffer.is_empty());
+        let mut writer = buffer.clone();
+        writer.write_all(b"hello ").unwrap();
+        writer.write_all(b"world").unwrap();
+        writer.flush().unwrap();
+        assert_eq!(buffer.len(), 11);
+        assert_eq!(buffer.contents(), b"hello world");
+    }
+}

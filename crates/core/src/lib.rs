@@ -30,7 +30,8 @@
 //! | [`object`] | §4.2 | allocation-site identity (allocation call paths) |
 //! | [`agent`] | §4.1, §4.5 | the allocation ("Java") agent and the shared object index |
 //! | [`session`] | §5.1, Fig. 1 | the unified [`Session`]: one sampling stream, pluggable collectors |
-//! | [`sink`] | §5.2 | streaming [`ProfileSink`] export backends (text, JSON) |
+//! | [`sink`] | §5.2 | streaming [`ProfileSink`] export backends (text, JSON, chunked epoch log) |
+//! | [`export`] | §5.2 | asynchronous delta export: background [`DeltaDrainer`] over epoch-retired snapshot deltas |
 //! | [`profiler`] | §5.1 | [`DjxPerf`], the legacy single-view collector (session shim) |
 //! | [`profile`] | §5.1/§5.2 | per-thread profiles and the profile-file codec |
 //! | [`analyzer`] | §5.2 | the offline analyzer (merge, rank, filter) |
@@ -92,6 +93,7 @@ pub mod agent;
 pub mod analyzer;
 pub mod cct;
 pub mod codecentric;
+pub mod export;
 pub mod metrics;
 pub mod object;
 pub mod profile;
@@ -111,11 +113,12 @@ pub use analyzer::{
 };
 pub use cct::{Cct, CctNodeId};
 pub use codecentric::{CodeCentricProfile, CodeCentricProfiler, CodeLocation};
+pub use export::{Backpressure, DeltaDrainer, DrainPolicy, ExportStats, SharedBuffer};
 pub use metrics::MetricVector;
 pub use object::{AllocSite, AllocSiteId, AllocSiteRegistry, MonitoredObject};
 pub use profile::{
-    AllocationStats, ObjectCentricProfile, ProfileParseError, SiteMetrics, ThreadProfile,
-    UnknownEventError,
+    AllocationRow, AllocationStats, DeltaFold, ObjectCentricProfile, ProfileDelta,
+    ProfileParseError, SiteMetrics, ThreadDelta, ThreadProfile, UnknownEventError,
 };
 pub use profiler::{DjxPerf, ProfilerConfig, DEFAULT_SAMPLE_PERIOD};
 pub use report::{
@@ -125,6 +128,6 @@ pub use session::{
     adaptive_shard_count, BatchContext, Collector, NumaProfile, SampleContext, Session,
     SessionBuilder, SessionConfig, SessionSnapshot, DEFAULT_EXPECTED_LIVE_OBJECTS,
 };
-pub use sink::{read_any_profile, JsonSink, ProfileSink, TextSink};
+pub use sink::{read_any_profile, ChunkedJsonSink, JsonSink, ProfileSink, TextSink};
 pub use splay::{Interval, IntervalSplayTree, LookupStats};
 pub use sync::{Epoch, SpinLock, SpinLockGuard};

@@ -130,6 +130,202 @@ impl ThreadProfile {
     }
 }
 
+/// Renders one thread's profile block in the line-based text format (the `thread` /
+/// `unattributed` / `object` / `access` lines of a profile file). Shared by
+/// [`ObjectCentricProfile::to_text`] and the streaming delta rendering of
+/// [`TextSink`](crate::sink::TextSink).
+pub(crate) fn thread_to_text(t: &ThreadProfile, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "thread {} name={} samples={}",
+        t.thread.0,
+        escape(&t.thread_name),
+        t.samples
+    );
+    let _ = writeln!(out, "  unattributed {}", encode_metrics(&t.unattributed));
+    let mut site_ids: Vec<_> = t.sites.keys().copied().collect();
+    site_ids.sort_unstable();
+    for sid in site_ids {
+        let sm = &t.sites[&sid];
+        let _ = writeln!(out, "  object {} {}", sid.0, encode_metrics(&sm.total));
+        // Order access contexts by their encoded path so the rendering is
+        // canonical (independent of CCT node-id assignment order).
+        let mut ctxs: Vec<_> = sm
+            .by_context
+            .iter()
+            .map(|(ctx, m)| (encode_path(&t.cct.path_of(*ctx)), m))
+            .collect();
+        ctxs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (path, m) in ctxs {
+            let _ = writeln!(out, "    access {} {}", path, encode_metrics(m));
+        }
+    }
+}
+
+/// One per-(thread, site) allocation-count row, as the allocation agent reports them:
+/// `(thread, site, allocation count, allocated bytes)`.
+pub type AllocationRow = (ThreadId, AllocSiteId, u64, u64);
+
+/// Folds per-(thread, site) allocation counts into assembled thread profiles, creating
+/// an `<allocation-only>` thread for rows whose thread recorded no samples — the final
+/// assembly step shared by `Session::object_profile` and the streamed-delta replay
+/// ([`DeltaFold::assemble`], [`ChunkedJsonSink`](crate::sink::ChunkedJsonSink)). Rows
+/// must arrive in a deterministic order for byte-identical renderings.
+pub(crate) fn fold_allocation_rows(
+    threads: &mut Vec<ThreadProfile>,
+    rows: impl IntoIterator<Item = AllocationRow>,
+) {
+    for (thread, site, count, bytes) in rows {
+        let profile = match threads.iter_mut().find(|p| p.thread == thread) {
+            Some(p) => p,
+            None => {
+                threads.push(ThreadProfile::new(thread, "<allocation-only>"));
+                threads.last_mut().unwrap()
+            }
+        };
+        let sm = profile.sites.entry(site).or_default();
+        sm.total.allocations += count;
+        sm.total.allocated_bytes += bytes;
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Epoch deltas: the unit of incremental export
+// ---------------------------------------------------------------------------------------
+
+/// One thread's share of a [`ProfileDelta`]: the profile fragment the thread
+/// accumulated during the delta's epoch, tagged with the thread's session-wide
+/// first-seen sequence number so folds reassemble threads in first-seen order.
+#[derive(Debug, Clone)]
+pub struct ThreadDelta {
+    /// The thread's first-seen sequence within its session. Stable across epochs: a
+    /// thread's later deltas repeat the sequence its first delta carried, so any
+    /// subset of deltas sorts threads the way the session's own snapshot would.
+    pub seq: u64,
+    /// The profile fragment (samples recorded during the epoch only). The first delta
+    /// of a thread carries its real name; later fragments carry the `<attached>`
+    /// placeholder and folding keeps the first-seen identity.
+    pub profile: ThreadProfile,
+}
+
+/// The object-centric state one retired buffer epoch accumulated — the unit the
+/// asynchronous export pipeline streams (see [`crate::export`]).
+///
+/// A delta is a *partition* of the run: folding every delta of a session in epoch
+/// order (plus the terminal allocation rows) reproduces the session's own
+/// [`ObjectCentricProfile`] byte-identically. [`ProfileDelta::merge_from`] is the fold
+/// step; it is also how the export queue coalesces adjacent deltas under backpressure
+/// — merging two deltas first is equivalent to folding them one after the other.
+#[derive(Debug, Clone)]
+pub struct ProfileDelta {
+    /// The buffer epoch this delta closed. Epochs are strictly monotonic per session
+    /// but not dense in a stream: empty epochs are never streamed, and coalesced
+    /// deltas keep the *latest* epoch they cover.
+    pub epoch: u64,
+    /// Per-thread fragments, ordered by `(seq, thread)` — thread-first-seen order.
+    pub threads: Vec<ThreadDelta>,
+}
+
+impl ProfileDelta {
+    /// An empty delta for epoch `epoch`.
+    pub fn empty(epoch: u64) -> Self {
+        Self { epoch, threads: Vec::new() }
+    }
+
+    /// `true` when no thread recorded anything during the epoch.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Total PMU samples across every thread fragment.
+    pub fn total_samples(&self) -> u64 {
+        self.threads.iter().map(|t| t.profile.samples).sum()
+    }
+
+    /// Folds a **later** delta of the same session into this one: fragments of the
+    /// same thread merge exactly ([`ThreadProfile::merge_from`] — this delta's
+    /// first-seen identity wins), new threads are adopted with their sequence, and the
+    /// epoch advances to the later delta's. Folding partitioned deltas in epoch order
+    /// is exact: the result renders byte-identically to a profile built in one piece.
+    pub fn merge_from(&mut self, later: &ProfileDelta) {
+        self.epoch = self.epoch.max(later.epoch);
+        for td in &later.threads {
+            match self.threads.iter_mut().find(|t| t.profile.thread == td.profile.thread) {
+                Some(existing) => existing.profile.merge_from(&td.profile),
+                None => self.threads.push(td.clone()),
+            }
+        }
+        self.threads.sort_by_key(|t| (t.seq, t.profile.thread));
+    }
+}
+
+/// Accumulates streamed [`ProfileDelta`]s back into whole per-thread profiles — the
+/// replay side of the export pipeline's loss-free guarantee. Internally this is one
+/// growing delta folded with [`ProfileDelta::merge_from`], so replay and coalescing
+/// share one exactness argument.
+#[derive(Debug)]
+pub struct DeltaFold {
+    acc: ProfileDelta,
+    deltas: u64,
+}
+
+impl Default for DeltaFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaFold {
+    /// An empty fold.
+    pub fn new() -> Self {
+        Self { acc: ProfileDelta::empty(0), deltas: 0 }
+    }
+
+    /// Folds one streamed delta in. Deltas must arrive in stream (epoch) order.
+    pub fn absorb(&mut self, delta: &ProfileDelta) {
+        self.acc.merge_from(delta);
+        self.deltas += 1;
+    }
+
+    /// Number of deltas folded so far.
+    pub fn deltas(&self) -> u64 {
+        self.deltas
+    }
+
+    /// Latest epoch folded.
+    pub fn epoch(&self) -> u64 {
+        self.acc.epoch
+    }
+
+    /// Total samples folded so far.
+    pub fn total_samples(&self) -> u64 {
+        self.acc.total_samples()
+    }
+
+    /// The folded per-thread profiles in thread-first-seen order.
+    pub fn into_threads(self) -> Vec<ThreadProfile> {
+        self.acc.threads.into_iter().map(|t| t.profile).collect()
+    }
+
+    /// Assembles the fold into a complete [`ObjectCentricProfile`], applying the
+    /// terminal allocation rows exactly the way the live session does — the replay
+    /// endpoint of the loss-free guarantee: with the rows, site table and stats of a
+    /// quiesced session, the result is byte-identical to that session's own profile.
+    pub fn assemble(
+        self,
+        event: PmuEvent,
+        period: u64,
+        size_filter: u64,
+        sites: Vec<AllocSite>,
+        allocations: impl IntoIterator<Item = AllocationRow>,
+        allocation_stats: AllocationStats,
+    ) -> ObjectCentricProfile {
+        let mut threads = self.into_threads();
+        fold_allocation_rows(&mut threads, allocations);
+        ObjectCentricProfile { event, period, size_filter, sites, threads, allocation_stats }
+    }
+}
+
 /// Counters describing the allocation-agent side of a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllocationStats {
@@ -209,31 +405,7 @@ impl ObjectCentricProfile {
             );
         }
         for t in &self.threads {
-            let _ = writeln!(
-                out,
-                "thread {} name={} samples={}",
-                t.thread.0,
-                escape(&t.thread_name),
-                t.samples
-            );
-            let _ = writeln!(out, "  unattributed {}", encode_metrics(&t.unattributed));
-            let mut site_ids: Vec<_> = t.sites.keys().copied().collect();
-            site_ids.sort_unstable();
-            for sid in site_ids {
-                let sm = &t.sites[&sid];
-                let _ = writeln!(out, "  object {} {}", sid.0, encode_metrics(&sm.total));
-                // Order access contexts by their encoded path so the rendering is
-                // canonical (independent of CCT node-id assignment order).
-                let mut ctxs: Vec<_> = sm
-                    .by_context
-                    .iter()
-                    .map(|(ctx, m)| (encode_path(&t.cct.path_of(*ctx)), m))
-                    .collect();
-                ctxs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-                for (path, m) in ctxs {
-                    let _ = writeln!(out, "    access {} {}", path, encode_metrics(m));
-                }
-            }
+            thread_to_text(t, &mut out);
         }
         out
     }

@@ -4,7 +4,7 @@
 //! over the [`session`](crate::session) subsystem: it is a [`Session`] configured with
 //! exactly one [`ObjectCentricCollector`](crate::session::ObjectCentricCollector),
 //! exposed as a single [`RuntimeListener`] that can be attached to a
-//! [`Runtime`](djx_runtime::Runtime) at startup (launch mode) or mid-run (attach mode),
+//! [`Runtime`] at startup (launch mode) or mid-run (attach mode),
 //! exactly like the original tool is either passed as a JVM option or attached to a
 //! running JVM (§5). At any time — typically after the workload finishes or right before
 //! detaching — [`DjxPerf::profile`] assembles the per-thread profiles into an

@@ -22,7 +22,9 @@
 //! incremental observation: [`Session::snapshot`] extracts every collector's current
 //! profile mid-run without stopping measurement, and
 //! [`Session::stream_snapshot`] pushes the object-centric profile through any
-//! [`ProfileSink`](crate::sink::ProfileSink) backend for live export.
+//! [`ProfileSink`] backend for live export — and [`SessionBuilder::stream_to`]
+//! upgrades that to **continuous push**: a background drainer streams every retired
+//! epoch delta incrementally (see [`crate::export`]).
 //!
 //! # Contention-free ingestion: thread cache, sharded index, per-thread collector state
 //!
@@ -34,7 +36,7 @@
 //!    thread ids collide on a stripe).
 //! 2. **Object index** — sample addresses resolve in three levels (see
 //!    [`crate::agent`]): a per-thread direct-mapped
-//!    [`ResolutionCache`](crate::agent::ResolutionCache) first — repeat samples on hot
+//!    [`ResolutionCache`] first — repeat samples on hot
 //!    objects resolve with **zero shared-memory synchronization** beyond one atomic
 //!    epoch load: no shard lock, no splay rotation — then the address-sharded
 //!    [`SharedObjectIndex`] on a miss (the batch locks only the shards it touches,
@@ -103,9 +105,12 @@ use djx_runtime::{
 use crate::agent::{AllocationAgent, AllocationConfig, ResolutionCache, SharedObjectIndex};
 use crate::cct::Cct;
 use crate::codecentric::CodeCentricProfile;
+use crate::export::{DeltaDrainer, DrainPolicy, ExportStats};
 use crate::metrics::MetricVector;
 use crate::object::{AllocSite, AllocSiteId};
-use crate::profile::{ObjectCentricProfile, ThreadProfile};
+use crate::profile::{
+    fold_allocation_rows, ObjectCentricProfile, ProfileDelta, ThreadDelta, ThreadProfile,
+};
 use crate::profiler::ProfilerConfig;
 use crate::sink::ProfileSink;
 use crate::splay::LookupStats;
@@ -306,9 +311,12 @@ impl<T> PerThread<T> {
     }
 
     /// Folds over every entry, stripe by stripe (never holding two stripe locks).
+    /// Runs in normal thread context (snapshot readers), so contended stripes are
+    /// acquired yielding — a preempted sampling thread inside the lock gets the CPU
+    /// instead of being spun against for its whole timeslice.
     fn fold<A>(&self, mut acc: A, mut f: impl FnMut(A, ThreadId, &T) -> A) -> A {
         for stripe in self.stripes.iter() {
-            for (thread, (_, state)) in stripe.lock().iter() {
+            for (thread, (_, state)) in stripe.lock_yielding().iter() {
                 acc = f(acc, *thread, state);
             }
         }
@@ -316,9 +324,13 @@ impl<T> PerThread<T> {
     }
 
     /// Takes every entry out, stripe by stripe. Each stripe lock is held only for the
-    /// O(1) map swap — never while entries are visited.
+    /// O(1) map swap — never while entries are visited. Snapshot-side like
+    /// [`PerThread::fold`], so contended stripes are acquired yielding.
     fn take_all(&self) -> Vec<HashMap<ThreadId, (u64, T)>> {
-        self.stripes.iter().map(|stripe| std::mem::take(&mut *stripe.lock())).collect()
+        self.stripes
+            .iter()
+            .map(|stripe| std::mem::take(&mut *stripe.lock_yielding()))
+            .collect()
     }
 }
 
@@ -401,30 +413,79 @@ impl<T> SnapshotBuffered<T> {
 }
 
 impl<T: AbsorbDelta + Clone> SnapshotBuffered<T> {
-    /// Retires the open epoch and clones the merged state out in thread-first-seen
-    /// order. Stripe locks are held only for the O(1) buffer swap; absorption, cloning
-    /// and sorting all happen on the retired buffer outside every sampling lock.
-    fn merged(&self) -> Vec<(ThreadId, T)> {
-        let mut retired = self.retired.lock();
-        self.epoch.bump();
+    /// Closes the open epoch under an already-held retired lock: every active stripe's
+    /// map is swapped out (O(1) under its spin lock) and the taken deltas are absorbed
+    /// into the retired buffer. When `collect` is given, the drained deltas are also
+    /// handed out through it as `(first-seen seq, thread, delta)` tuples, each tagged
+    /// with the seq the *retired* entry keeps, so any stream of drains sorts threads
+    /// exactly the way [`SnapshotBuffered::merged`] would; without a collector, the
+    /// vacant arm moves the delta into the retired buffer outright — no clone.
+    /// Returns the epoch the retirement closed.
+    fn retire_locked(
+        &self,
+        retired: &mut HashMap<ThreadId, (u64, T)>,
+        mut collect: Option<&mut Vec<(u64, ThreadId, T)>>,
+    ) -> u64 {
+        let epoch = self.epoch.bump();
         for taken in self.active.take_all() {
             for (thread, (seq, delta)) in taken {
                 match retired.entry(thread) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         // The retired entry is older: keep its seq and identity.
                         e.get_mut().1.absorb(&delta);
+                        if let Some(out) = collect.as_deref_mut() {
+                            out.push((e.get().0, thread, delta));
+                        }
                     }
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert((seq, delta));
-                    }
+                    std::collections::hash_map::Entry::Vacant(v) => match collect.as_deref_mut() {
+                        Some(out) => {
+                            v.insert((seq, delta.clone()));
+                            out.push((seq, thread, delta));
+                        }
+                        None => {
+                            v.insert((seq, delta));
+                        }
+                    },
                 }
             }
         }
+        epoch
+    }
+
+    /// Closes the open epoch and hands its deltas out in thread-first-seen order
+    /// (absorbing them into the retired buffer on the way) — the producer side of the
+    /// asynchronous export pipeline.
+    fn drain(&self) -> (u64, Vec<(u64, ThreadId, T)>) {
+        let mut drained = Vec::new();
+        let epoch = self.retire_locked(&mut self.retired.lock(), Some(&mut drained));
+        drained.sort_unstable_by_key(|(seq, t, _)| (*seq, *t));
+        (epoch, drained)
+    }
+
+    /// Clones an already-locked retired buffer in thread-first-seen order.
+    fn clone_locked(retired: &HashMap<ThreadId, (u64, T)>) -> Vec<(ThreadId, T)> {
         let mut all: Vec<(u64, ThreadId, T)> =
             retired.iter().map(|(t, (seq, s))| (*seq, *t, s.clone())).collect();
-        drop(retired);
         all.sort_unstable_by_key(|(seq, t, _)| (*seq, *t));
         all.into_iter().map(|(_, t, s)| (t, s)).collect()
+    }
+
+    /// Clones the retired buffer in thread-first-seen order **without** closing the
+    /// open epoch: deltas still accumulating in the active stripes are not included.
+    /// After a [`SnapshotBuffered::drain`], this is by construction the fold of every
+    /// delta ever drained.
+    fn retired_clone(&self) -> Vec<(ThreadId, T)> {
+        Self::clone_locked(&self.retired.lock())
+    }
+
+    /// Retires the open epoch and clones the merged state out in thread-first-seen
+    /// order. Stripe locks are held only for the O(1) buffer swap; absorption, cloning
+    /// and sorting all happen on the retired buffer outside every sampling lock. The
+    /// retirement itself collects nothing — this caller only wants the merged whole.
+    fn merged(&self) -> Vec<(ThreadId, T)> {
+        let mut retired = self.retired.lock();
+        let _ = self.retire_locked(&mut retired, None);
+        Self::clone_locked(&retired)
     }
 }
 
@@ -465,6 +526,28 @@ impl ObjectCentricCollector {
     /// Clones the per-thread profiles in thread-first-seen order.
     pub fn thread_profiles(&self) -> Vec<ThreadProfile> {
         self.state.merged().into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Closes the open buffer epoch and hands its accumulated per-thread deltas out as
+    /// a [`ProfileDelta`] (absorbing them into the retired buffer on the way, so later
+    /// whole-profile reads still see them) — the hand-off the asynchronous export
+    /// pipeline streams instead of re-cloning the whole retired buffer.
+    pub(crate) fn drain_delta(&self) -> ProfileDelta {
+        let (epoch, drained) = self.state.drain();
+        ProfileDelta {
+            epoch,
+            threads: drained
+                .into_iter()
+                .map(|(seq, _, profile)| ThreadDelta { seq, profile })
+                .collect(),
+        }
+    }
+
+    /// Clones the retired per-thread profiles in thread-first-seen order without
+    /// closing the open epoch. Immediately after [`ObjectCentricCollector::drain_delta`]
+    /// this is, by construction, the fold of every delta ever drained.
+    pub(crate) fn retired_profiles(&self) -> Vec<ThreadProfile> {
+        self.state.retired_clone().into_iter().map(|(_, p)| p).collect()
     }
 
     /// Total samples recorded across every thread.
@@ -847,6 +930,14 @@ pub struct SessionBuilder {
     expected_threads: Option<usize>,
     expected_live_objects: usize,
     resolution_cache: bool,
+    export: Option<ExportConfig>,
+}
+
+/// Deferred [`SessionBuilder::stream_to`] configuration; the drainer spawns at build.
+struct ExportConfig {
+    sink: Arc<dyn ProfileSink>,
+    out: Box<dyn io::Write + Send>,
+    policy: DrainPolicy,
 }
 
 impl Default for SessionBuilder {
@@ -861,6 +952,7 @@ impl Default for SessionBuilder {
             expected_threads: None,
             expected_live_objects: DEFAULT_EXPECTED_LIVE_OBJECTS,
             resolution_cache: true,
+            export: None,
         }
     }
 }
@@ -971,6 +1063,26 @@ impl SessionBuilder {
         self
     }
 
+    /// Streams the session's object-centric profile **continuously** through `sink`
+    /// into `out`: a background [`DeltaDrainer`] closes
+    /// buffer epochs on the cadence of `policy` and writes each retired
+    /// [`ProfileDelta`] incrementally ([`ProfileSink::on_delta`]), so export cost
+    /// scales with the delta instead of the accumulated profile — see
+    /// [`crate::export`] for the pipeline, backpressure and the loss-free guarantee.
+    ///
+    /// Registers the built-in [`ObjectCentricCollector`] implicitly (the delta source).
+    /// Close the stream with [`Session::finish_export`]; dropping the session's last
+    /// reference finishes it implicitly.
+    pub fn stream_to(
+        mut self,
+        sink: Arc<dyn ProfileSink>,
+        out: Box<dyn io::Write + Send>,
+        policy: DrainPolicy,
+    ) -> Self {
+        self.export = Some(ExportConfig { sink, out, policy });
+        self
+    }
+
     /// Builds the session without attaching it (use
     /// [`Runtime::add_listener`] with the returned `Arc`, or
     /// [`Session::attach_to`] later).
@@ -991,11 +1103,17 @@ impl SessionBuilder {
             .sample_period(config.period)
             .jitter(config.jitter);
 
-        let objects = self.objects.then(|| Arc::new(ObjectCentricCollector::new()));
+        let objects = (self.objects || self.export.is_some())
+            .then(|| Arc::new(ObjectCentricCollector::new()));
         let code = self
             .code
             .then(|| Arc::new(CodeCentricCollector::new(config.event, config.period)));
         let numa = self.numa.then(|| Arc::new(NumaCollector::new()));
+        let export = self.export.map(|cfg| {
+            let collector =
+                objects.clone().expect("stream_to registers the object-centric collector");
+            DeltaDrainer::spawn(collector, cfg.sink, cfg.out, cfg.policy)
+        });
 
         let mut collectors: Vec<Arc<dyn Collector>> = Vec::new();
         if let Some(c) = &objects {
@@ -1019,6 +1137,7 @@ impl SessionBuilder {
             objects,
             code,
             numa,
+            export,
         })
     }
 
@@ -1058,6 +1177,10 @@ pub struct Session {
     objects: Option<Arc<ObjectCentricCollector>>,
     code: Option<Arc<CodeCentricCollector>>,
     numa: Option<Arc<NumaCollector>>,
+    /// The asynchronous export pipeline, when the builder configured
+    /// [`SessionBuilder::stream_to`]. While it runs, every epoch retirement of the
+    /// object-centric collector routes its delta into the stream.
+    export: Option<DeltaDrainer>,
 }
 
 /// One incremental extraction of every built-in collector's state
@@ -1166,10 +1289,64 @@ impl Session {
     }
 
     /// Number of buffer epochs the object-centric collector has retired (every profile
-    /// assembly closes one epoch — a diagnostic for the pause-free snapshot path; 0
-    /// when no [`ObjectCentricCollector`] is registered).
+    /// assembly and every export drain closes one epoch — a diagnostic for the
+    /// pause-free snapshot path; 0 when no [`ObjectCentricCollector`] is registered).
+    ///
+    /// The counter is read with a single `Relaxed` atomic load: retirements increment
+    /// it under the retired-buffer lock, so the value is **monotonically
+    /// non-decreasing** across any sequence of reads (from any thread), but a read is
+    /// not ordered against the retired *state* itself — treat it as a lower bound on
+    /// the retirements that have completed, never as a synchronization point.
     pub fn snapshot_retirements(&self) -> u64 {
         self.objects.as_ref().map(|c| c.state.retirements()).unwrap_or(0)
+    }
+
+    /// `true` while an export stream configured with [`SessionBuilder::stream_to`] is
+    /// accepting deltas.
+    pub fn export_active(&self) -> bool {
+        self.export.as_ref().is_some_and(|e| e.is_running())
+    }
+
+    /// Live statistics of the export stream, or `None` when the session streams
+    /// nowhere.
+    pub fn export_stats(&self) -> Option<ExportStats> {
+        self.export.as_ref().map(|e| e.stats())
+    }
+
+    /// Closes the current buffer epoch and routes its delta into the export stream
+    /// immediately, without waiting for the drainer's tick or a snapshot. Returns
+    /// `false` when the session has no active export stream (nothing happens).
+    pub fn flush_export(&self) -> bool {
+        match (self.export.as_ref().filter(|e| e.is_running()), self.objects.as_ref()) {
+            (Some(export), Some(collector)) => {
+                export.produce(collector);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ends the export stream: drains the closing delta, writes the terminal whole
+    /// profile through [`ProfileSink::on_finish`], flushes the writer, and joins the
+    /// background drainer. Returns the stream's accumulated [`ExportStats`].
+    /// Idempotent — repeated calls replay the first outcome. Dropping the session's
+    /// last reference calls this implicitly (drain-on-drop), discarding the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no export stream was configured, or with the first
+    /// sink/write error the drainer encountered (the stream keeps consuming deltas
+    /// after an error so producers never block, but stops writing).
+    pub fn finish_export(&self) -> io::Result<ExportStats> {
+        let export = self.export.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "session has no export stream (configure one with SessionBuilder::stream_to)",
+            )
+        })?;
+        let collector =
+            self.objects.as_ref().expect("stream_to registers the object-centric collector");
+        export.finish(collector, |threads| self.assemble_object_profile(threads))
     }
 
     /// Approximate resident bytes of every session-owned data structure — the quantity
@@ -1193,31 +1370,35 @@ impl Session {
     /// an independent snapshot. `None` when no [`ObjectCentricCollector`] is registered.
     pub fn object_profile(&self) -> Option<ObjectCentricProfile> {
         let collector = self.objects.as_ref()?;
-        let mut threads = collector.thread_profiles();
+        let threads = match self.export.as_ref().filter(|e| e.is_running()) {
+            // A streaming session must not discard the epoch this read retires: the
+            // drain is routed into the export stream, and the profile assembles from
+            // the retired buffer — by construction the fold of every streamed delta.
+            Some(export) => {
+                export.produce(collector);
+                collector.retired_profiles()
+            }
+            None => collector.thread_profiles(),
+        };
+        Some(self.assemble_object_profile(threads))
+    }
+
+    /// Joins retired per-thread profiles with the allocation agent's counters, the
+    /// site table and the run configuration — the final assembly shared by
+    /// [`Session::object_profile`] and the export pipeline's terminal flush.
+    fn assemble_object_profile(&self, mut threads: Vec<ThreadProfile>) -> ObjectCentricProfile {
         // Fold the allocation agent's per-(thread, site) counters into the thread
         // profiles so each site's metric vector carries both its sample metrics and its
         // allocation counts.
-        for (thread, site, count, bytes) in self.allocation.allocations_by_thread() {
-            let profile = match threads.iter_mut().find(|p| p.thread == thread) {
-                Some(p) => p,
-                None => {
-                    threads.push(ThreadProfile::new(thread, "<allocation-only>"));
-                    threads.last_mut().unwrap()
-                }
-            };
-            let sm = profile.sites.entry(site).or_default();
-            sm.total.allocations += count;
-            sm.total.allocated_bytes += bytes;
-        }
-
-        Some(ObjectCentricProfile {
+        fold_allocation_rows(&mut threads, self.allocation.allocations_by_thread());
+        ObjectCentricProfile {
             event: self.config.event,
             period: self.config.period,
             size_filter: self.config.size_filter,
             sites: self.shared.sites.lock().snapshot(),
             threads,
             allocation_stats: self.allocation.stats(),
-        })
+        }
     }
 
     /// The code-centric collector's current profile, or `None` when no
@@ -1325,6 +1506,18 @@ impl std::fmt::Debug for Session {
             .field("collectors", &self.collector_names())
             .field("total_samples", &self.total_samples())
             .finish()
+    }
+}
+
+impl Drop for Session {
+    /// Drain-on-drop: a still-streaming session finishes its export (final delta,
+    /// terminal flush, drainer join) before the writer disappears, so forgetting
+    /// [`Session::finish_export`] never loses streamed data. The result is discarded;
+    /// call [`Session::finish_export`] explicitly to observe errors and statistics.
+    fn drop(&mut self) {
+        if self.export.is_some() {
+            let _ = self.finish_export();
+        }
     }
 }
 

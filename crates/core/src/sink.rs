@@ -24,10 +24,20 @@ use djx_runtime::{Frame, MethodId, ThreadId};
 use crate::metrics::MetricVector;
 use crate::object::{AllocSite, AllocSiteId};
 use crate::profile::{
-    event_from_name, AllocationStats, ObjectCentricProfile, ProfileParseError, ThreadProfile,
+    event_from_name, thread_to_text, AllocationRow, AllocationStats, DeltaFold,
+    ObjectCentricProfile, ProfileDelta, ProfileParseError, ThreadDelta, ThreadProfile,
 };
 
 /// A serialization backend for object-centric profiles.
+///
+/// Beyond whole-profile documents ([`ProfileSink::write_profile`] /
+/// [`ProfileSink::read_profile`]), a sink can opt into **incremental delta
+/// streaming**: the asynchronous export pipeline ([`crate::export`]) calls
+/// [`ProfileSink::on_delta`] for every retired epoch and [`ProfileSink::on_finish`]
+/// once at the end of the stream. The default `on_delta` reports
+/// [`io::ErrorKind::Unsupported`]; all built-in sinks override it, and
+/// [`ChunkedJsonSink`] additionally makes its delta stream *replayable* — folding the
+/// emitted epoch log reproduces the terminal profile byte-identically.
 pub trait ProfileSink: Send + Sync {
     /// Short format name (`"text"`, `"json"`), used for diagnostics and file naming.
     fn format_name(&self) -> &'static str;
@@ -46,6 +56,32 @@ pub trait ProfileSink: Send + Sync {
     /// Returns [`ProfileParseError`] for malformed input.
     fn read_profile(&self, input: &str) -> Result<ObjectCentricProfile, ProfileParseError>;
 
+    /// Streams one retired epoch delta. Called by the export drainer in strictly
+    /// increasing epoch order; `epoch` equals `delta.epoch`.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation reports [`io::ErrorKind::Unsupported`] — a sink
+    /// must opt into delta streaming. Implementations propagate write errors.
+    fn on_delta(&self, epoch: u64, delta: &ProfileDelta, out: &mut dyn Write) -> io::Result<()> {
+        let _ = (epoch, delta, out);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("the {} sink does not support delta streaming", self.format_name()),
+        ))
+    }
+
+    /// Ends a delta stream with the terminal whole profile (every streamed delta plus
+    /// the allocation counters, assembled by the session). The default writes the
+    /// profile as a regular document via [`ProfileSink::write_profile`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors from `out`.
+    fn on_finish(&self, profile: &ObjectCentricProfile, out: &mut dyn Write) -> io::Result<()> {
+        self.write_profile(profile, out)
+    }
+
     /// Convenience: renders the profile to an in-memory string.
     fn write_to_string(&self, profile: &ObjectCentricProfile) -> String {
         let mut out = Vec::new();
@@ -55,6 +91,12 @@ pub trait ProfileSink: Send + Sync {
 }
 
 /// The line-oriented text backend (the paper's "profile files").
+///
+/// Delta streaming is supported as a human-readable log: every
+/// [`ProfileSink::on_delta`] emits a `delta epoch=…` header followed by the standard
+/// per-thread blocks, and [`ProfileSink::on_finish`] appends the full profile.
+/// The combined stream is a log for humans and tail-based tooling, **not** a parseable
+/// profile file — use [`ChunkedJsonSink`] when the stream must be replayed.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TextSink;
 
@@ -69,6 +111,19 @@ impl ProfileSink for TextSink {
 
     fn read_profile(&self, input: &str) -> Result<ObjectCentricProfile, ProfileParseError> {
         ObjectCentricProfile::parse(input)
+    }
+
+    fn on_delta(&self, epoch: u64, delta: &ProfileDelta, out: &mut dyn Write) -> io::Result<()> {
+        let mut block = format!(
+            "delta epoch={} threads={} samples={}\n",
+            epoch,
+            delta.threads.len(),
+            delta.total_samples()
+        );
+        for td in &delta.threads {
+            thread_to_text(&td.profile, &mut block);
+        }
+        out.write_all(block.as_bytes())
     }
 }
 
@@ -101,73 +156,43 @@ impl ProfileSink for JsonSink {
             profile.period,
             profile.size_filter
         )?;
-        let s = profile.allocation_stats;
-        write!(
-            out,
-            ",\"allocation_stats\":{{\"callbacks\":{},\"monitored\":{},\"filtered\":{},\"relocations\":{},\"unknown_moves\":{},\"reclamations\":{}}}",
-            s.callbacks, s.monitored, s.filtered, s.relocations, s.unknown_moves, s.reclamations
-        )?;
-
-        out.write_all(b",\"sites\":[")?;
-        for (i, site) in profile.sites.iter().enumerate() {
-            if i > 0 {
-                out.write_all(b",")?;
-            }
-            write!(
-                out,
-                "{{\"id\":{},\"class\":{},\"path\":{}}}",
-                site.id.0,
-                json_string(&site.class_name),
-                json_path(&site.call_path)
-            )?;
-        }
-        out.write_all(b"]")?;
-
+        out.write_all(b",\"allocation_stats\":")?;
+        write_alloc_stats_json(&profile.allocation_stats, out)?;
+        out.write_all(b",\"sites\":")?;
+        write_sites_json(&profile.sites, out)?;
         out.write_all(b",\"threads\":[")?;
         for (i, thread) in profile.threads.iter().enumerate() {
             if i > 0 {
                 out.write_all(b",")?;
             }
-            write!(
-                out,
-                "{{\"id\":{},\"name\":{},\"samples\":{},\"unattributed\":{}",
-                thread.thread.0,
-                json_string(&thread.thread_name),
-                thread.samples,
-                json_metrics(&thread.unattributed)
-            )?;
-            out.write_all(b",\"objects\":[")?;
-            let mut site_ids: Vec<_> = thread.sites.keys().copied().collect();
-            site_ids.sort_unstable();
-            for (j, sid) in site_ids.iter().enumerate() {
-                if j > 0 {
-                    out.write_all(b",")?;
-                }
-                let sm = &thread.sites[sid];
-                write!(out, "{{\"site\":{},\"total\":{}", sid.0, json_metrics(&sm.total))?;
-                out.write_all(b",\"accesses\":[")?;
-                // Canonical context order (by encoded path), matching the text codec.
-                let mut contexts: Vec<(String, Vec<Frame>, &MetricVector)> = sm
-                    .by_context
-                    .iter()
-                    .map(|(ctx, m)| {
-                        let path = thread.cct.path_of(*ctx);
-                        (json_path(&path), path, m)
-                    })
-                    .collect();
-                contexts.sort_by(|a, b| a.0.cmp(&b.0));
-                for (k, (encoded, _, metrics)) in contexts.iter().enumerate() {
-                    if k > 0 {
-                        out.write_all(b",")?;
-                    }
-                    write!(out, "{{\"path\":{},\"metrics\":{}}}", encoded, json_metrics(metrics))?;
-                }
-                out.write_all(b"]}")?;
-            }
-            out.write_all(b"]}")?;
+            write_thread_json(thread, None, out)?;
         }
         out.write_all(b"]}")?;
         Ok(())
+    }
+
+    fn on_delta(&self, epoch: u64, delta: &ProfileDelta, out: &mut dyn Write) -> io::Result<()> {
+        // One NDJSON line per delta; the terminal flush appends the usual whole-profile
+        // document on its own line. The combined stream is a dashboard/log feed — the
+        // replayable format is `ChunkedJsonSink`.
+        write!(
+            out,
+            "{{\"delta\":{{\"epoch\":{},\"samples\":{},\"threads\":[",
+            epoch,
+            delta.total_samples()
+        )?;
+        for (i, td) in delta.threads.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write_thread_json(&td.profile, Some(td.seq), out)?;
+        }
+        out.write_all(b"]}}\n")
+    }
+
+    fn on_finish(&self, profile: &ObjectCentricProfile, out: &mut dyn Write) -> io::Result<()> {
+        self.write_profile(profile, out)?;
+        out.write_all(b"\n")
     }
 
     fn read_profile(&self, input: &str) -> Result<ObjectCentricProfile, ProfileParseError> {
@@ -190,64 +215,13 @@ impl ProfileSink for JsonSink {
             .map_err(|e| doc.error(event_value.start, e.to_string()))?;
 
         let stats_value = top.required("allocation_stats", 0)?;
-        let stats = doc.object(stats_value, stats_value.start)?;
-        let stat = |key: &str| -> Result<u64, ProfileParseError> {
-            doc.integer(stats.required(key, stats_value.start)?, stats_value.start)
-        };
-        let allocation_stats = AllocationStats {
-            callbacks: stat("callbacks")?,
-            monitored: stat("monitored")?,
-            filtered: stat("filtered")?,
-            relocations: stat("relocations")?,
-            unknown_moves: stat("unknown_moves")?,
-            reclamations: stat("reclamations")?,
-        };
+        let allocation_stats = read_alloc_stats_json(&doc, stats_value)?;
 
-        let mut sites = Vec::new();
-        for site_value in doc.array(top.required("sites", 0)?, 0)? {
-            let site = doc.object(site_value, site_value.start)?;
-            let at = site_value.start;
-            let id = doc.integer_u32(site.required("id", at)?, at)?;
-            if id as usize != sites.len() {
-                return Err(doc.error(at, "site ids must be dense and ascending".to_string()));
-            }
-            sites.push(AllocSite {
-                id: AllocSiteId(id),
-                class_name: doc.string(site.required("class", at)?, at)?,
-                call_path: doc.path(site.required("path", at)?, at)?,
-            });
-        }
+        let sites = read_sites_json(&doc, top.required("sites", 0)?)?;
 
         let mut threads = Vec::new();
         for thread_value in doc.array(top.required("threads", 0)?, 0)? {
-            let at = thread_value.start;
-            let thread = doc.object(thread_value, at)?;
-            let mut profile = ThreadProfile::new(
-                ThreadId(doc.integer(thread.required("id", at)?, at)?),
-                &doc.string(thread.required("name", at)?, at)?,
-            );
-            profile.samples = doc.integer(thread.required("samples", at)?, at)?;
-            profile.unattributed = doc.metrics(thread.required("unattributed", at)?, at)?;
-            for object_value in doc.array(thread.required("objects", at)?, at)? {
-                let oat = object_value.start;
-                let object = doc.object(object_value, oat)?;
-                let site = AllocSiteId(doc.integer_u32(object.required("site", oat)?, oat)?);
-                let entry = profile.sites.entry(site).or_default();
-                entry.total = doc.metrics(object.required("total", oat)?, oat)?;
-                for access_value in doc.array(object.required("accesses", oat)?, oat)? {
-                    let aat = access_value.start;
-                    let access = doc.object(access_value, aat)?;
-                    let path = doc.path(access.required("path", aat)?, aat)?;
-                    let metrics = doc.metrics(access.required("metrics", aat)?, aat)?;
-                    let ctx = profile.cct.insert_path(&path);
-                    profile
-                        .sites
-                        .get_mut(&site)
-                        .expect("entry inserted above")
-                        .by_context
-                        .insert(ctx, metrics);
-                }
-            }
+            let (_, profile) = read_thread_json(&doc, thread_value)?;
             threads.push(profile);
         }
 
@@ -259,6 +233,299 @@ impl ProfileSink for JsonSink {
             threads,
             allocation_stats,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// ChunkedJsonSink: the replayable epoch log
+// ---------------------------------------------------------------------------------------
+
+/// Epoch-log format tag carried by every finish record.
+const EPOCH_LOG_FORMAT: &str = "djxperf-epoch-log";
+
+/// Current version of the epoch-log layout.
+const EPOCH_LOG_VERSION: u64 = 1;
+
+/// The **replayable** streaming backend: newline-delimited JSON with one `delta`
+/// record per streamed epoch and one terminal `finish` record carrying the run
+/// configuration, the site table, the per-(thread, site) allocation rows and a
+/// total-sample checksum.
+///
+/// Unlike the delta streams of [`TextSink`] / [`JsonSink`] (human/dashboard logs),
+/// a chunked log is a complete, self-verifying serialization of the run:
+/// [`ChunkedJsonSink::read_log`] folds the delta records in epoch order
+/// ([`DeltaFold`]), applies the finish record, verifies the checksum, and returns a
+/// profile **byte-identical** to the terminal snapshot of the session that streamed
+/// it. Out-of-order epochs, a missing finish record, or a folded sample count that
+/// disagrees with the checksum are parse errors — a truncated or reordered stream
+/// can never silently masquerade as a whole profile.
+///
+/// The sink also works as a regular document codec: [`ProfileSink::write_profile`]
+/// emits a degenerate single-delta log, and [`ProfileSink::read_profile`] is
+/// [`ChunkedJsonSink::read_log`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChunkedJsonSink;
+
+impl ChunkedJsonSink {
+    /// Creates the sink.
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn write_delta_record(
+        epoch: u64,
+        threads: &[ThreadDelta],
+        out: &mut dyn Write,
+    ) -> io::Result<()> {
+        let samples: u64 = threads.iter().map(|t| t.profile.samples).sum();
+        write!(
+            out,
+            "{{\"record\":\"delta\",\"epoch\":{epoch},\"samples\":{samples},\"threads\":["
+        )?;
+        for (i, td) in threads.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            write_thread_json(&td.profile, Some(td.seq), out)?;
+        }
+        out.write_all(b"]}\n")
+    }
+
+    fn write_finish_record(
+        profile: &ObjectCentricProfile,
+        include_allocs: bool,
+        out: &mut dyn Write,
+    ) -> io::Result<()> {
+        write!(
+            out,
+            "{{\"record\":\"finish\",\"format\":\"{EPOCH_LOG_FORMAT}\",\"version\":{EPOCH_LOG_VERSION},\"event\":{},\"period\":{},\"size_filter\":{},\"total_samples\":{}",
+            json_string(profile.event.hardware_name()),
+            profile.period,
+            profile.size_filter,
+            profile.total_samples()
+        )?;
+        out.write_all(b",\"allocation_stats\":")?;
+        write_alloc_stats_json(&profile.allocation_stats, out)?;
+        out.write_all(b",\"sites\":")?;
+        write_sites_json(&profile.sites, out)?;
+        // Streamed delta fragments carry no allocation counts (the collector records
+        // samples only; allocations are folded in at assembly), so the terminal
+        // profile's per-(thread, site) allocation totals are exactly the rows the
+        // replay must re-fold. A whole-profile document instead inlines its threads
+        // complete with allocation metrics, so its finish record carries no rows.
+        out.write_all(b",\"allocs\":[")?;
+        if include_allocs {
+            let mut first = true;
+            for thread in &profile.threads {
+                let mut site_ids: Vec<_> = thread.sites.keys().copied().collect();
+                site_ids.sort_unstable();
+                for sid in site_ids {
+                    let m = &thread.sites[&sid].total;
+                    if m.allocations > 0 || m.allocated_bytes > 0 {
+                        if !first {
+                            out.write_all(b",")?;
+                        }
+                        first = false;
+                        write!(
+                            out,
+                            "[{},{},{},{}]",
+                            thread.thread.0, sid.0, m.allocations, m.allocated_bytes
+                        )?;
+                    }
+                }
+            }
+        }
+        out.write_all(b"]}\n")
+    }
+
+    /// Replays an epoch log: folds the delta records in order, applies the finish
+    /// record's site table, allocation rows and statistics, and verifies the
+    /// total-sample checksum. The result is byte-identical (as rendered by
+    /// [`ObjectCentricProfile::to_text`]) to the terminal snapshot of the session
+    /// that streamed the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileParseError`] for malformed records, out-of-order epochs,
+    /// records after (or a log without) the finish record, and checksum mismatches.
+    pub fn read_log(&self, input: &str) -> Result<ObjectCentricProfile, ProfileParseError> {
+        enum LineRecord {
+            Delta(ProfileDelta),
+            Finish {
+                event: djx_pmu::PmuEvent,
+                period: u64,
+                size_filter: u64,
+                sites: Vec<AllocSite>,
+                allocs: Vec<AllocationRow>,
+                allocation_stats: AllocationStats,
+                total_samples: u64,
+            },
+        }
+
+        let mut fold = DeltaFold::new();
+        let mut last_epoch: Option<u64> = None;
+        let mut finish: Option<LineRecord> = None;
+        let mut line_count = 0usize;
+        for (index, line) in input.lines().enumerate() {
+            let line_no = index + 1;
+            line_count = line_no;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if finish.is_some() {
+                return Err(ProfileParseError {
+                    line: line_no,
+                    message: "records after the finish record".to_string(),
+                });
+            }
+            // Parse the whole record with errors re-anchored to the log line.
+            let record = (|| -> Result<LineRecord, ProfileParseError> {
+                let root = JsonParser::new(line).parse_document()?;
+                let doc = Reader::new(line);
+                let record = doc.object(&root, 0)?;
+                let kind = doc.string(record.required("record", 0)?, 0)?;
+                match kind.as_str() {
+                    "delta" => {
+                        let epoch = doc.integer(record.required("epoch", 0)?, 0)?;
+                        let mut threads = Vec::new();
+                        for thread_value in doc.array(record.required("threads", 0)?, 0)? {
+                            let (seq, profile) = read_thread_json(&doc, thread_value)?;
+                            let seq = seq.ok_or_else(|| {
+                                doc.error(
+                                    thread_value.start,
+                                    "delta thread fragment misses its seq".to_string(),
+                                )
+                            })?;
+                            threads.push(ThreadDelta { seq, profile });
+                        }
+                        Ok(LineRecord::Delta(ProfileDelta { epoch, threads }))
+                    }
+                    "finish" => {
+                        let format = doc.string(record.required("format", 0)?, 0)?;
+                        if format != EPOCH_LOG_FORMAT {
+                            return Err(doc.error(0, format!("unexpected log format {format:?}")));
+                        }
+                        let version = doc.integer(record.required("version", 0)?, 0)?;
+                        if version != EPOCH_LOG_VERSION {
+                            return Err(doc.error(0, format!("unsupported log version {version}")));
+                        }
+                        let event_value = record.required("event", 0)?;
+                        let event = event_from_name(&doc.string(event_value, 0)?)
+                            .map_err(|e| doc.error(event_value.start, e.to_string()))?;
+                        let mut allocs = Vec::new();
+                        for row in doc.array(record.required("allocs", 0)?, 0)? {
+                            let cells = doc.array(row, row.start)?;
+                            if cells.len() != 4 {
+                                return Err(doc.error(
+                                    row.start,
+                                    "an alloc row is [thread, site, count, bytes]".to_string(),
+                                ));
+                            }
+                            allocs.push((
+                                ThreadId(doc.integer(&cells[0], row.start)?),
+                                AllocSiteId(doc.integer_u32(&cells[1], row.start)?),
+                                doc.integer(&cells[2], row.start)?,
+                                doc.integer(&cells[3], row.start)?,
+                            ));
+                        }
+                        Ok(LineRecord::Finish {
+                            event,
+                            period: doc.integer(record.required("period", 0)?, 0)?,
+                            size_filter: doc.integer(record.required("size_filter", 0)?, 0)?,
+                            sites: read_sites_json(&doc, record.required("sites", 0)?)?,
+                            allocs,
+                            allocation_stats: read_alloc_stats_json(
+                                &doc,
+                                record.required("allocation_stats", 0)?,
+                            )?,
+                            total_samples: doc.integer(record.required("total_samples", 0)?, 0)?,
+                        })
+                    }
+                    other => Err(doc.error(0, format!("unknown record kind {other:?}"))),
+                }
+            })()
+            .map_err(|mut e| {
+                e.line = line_no;
+                e
+            })?;
+            match record {
+                LineRecord::Delta(delta) => {
+                    if let Some(prev) = last_epoch {
+                        if delta.epoch <= prev {
+                            return Err(ProfileParseError {
+                                line: line_no,
+                                message: format!(
+                                    "out-of-order epoch {} after {prev} — a loss-free stream is strictly increasing",
+                                    delta.epoch
+                                ),
+                            });
+                        }
+                    }
+                    last_epoch = Some(delta.epoch);
+                    fold.absorb(&delta);
+                }
+                LineRecord::Finish { .. } => finish = Some(record),
+            }
+        }
+        let Some(LineRecord::Finish {
+            event,
+            period,
+            size_filter,
+            sites,
+            allocs,
+            allocation_stats,
+            total_samples,
+        }) = finish
+        else {
+            return Err(ProfileParseError {
+                line: line_count.max(1),
+                message: "epoch log has no finish record (truncated stream?)".to_string(),
+            });
+        };
+        if fold.total_samples() != total_samples {
+            return Err(ProfileParseError {
+                line: line_count.max(1),
+                message: format!(
+                    "streamed deltas fold to {} samples but the finish record counts {total_samples} — lost or duplicated deltas",
+                    fold.total_samples()
+                ),
+            });
+        }
+        Ok(fold.assemble(event, period, size_filter, sites, allocs, allocation_stats))
+    }
+}
+
+impl ProfileSink for ChunkedJsonSink {
+    fn format_name(&self) -> &'static str {
+        "chunked-json"
+    }
+
+    /// Writes the profile as a degenerate one-delta epoch log (the threads inlined
+    /// complete with their allocation metrics, so the finish record carries no
+    /// allocation rows).
+    fn write_profile(&self, profile: &ObjectCentricProfile, out: &mut dyn Write) -> io::Result<()> {
+        if !profile.threads.is_empty() {
+            let threads: Vec<ThreadDelta> = profile
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| ThreadDelta { seq: i as u64, profile: t.clone() })
+                .collect();
+            Self::write_delta_record(1, &threads, out)?;
+        }
+        Self::write_finish_record(profile, false, out)
+    }
+
+    fn read_profile(&self, input: &str) -> Result<ObjectCentricProfile, ProfileParseError> {
+        self.read_log(input)
+    }
+
+    fn on_delta(&self, epoch: u64, delta: &ProfileDelta, out: &mut dyn Write) -> io::Result<()> {
+        Self::write_delta_record(epoch, &delta.threads, out)
+    }
+
+    fn on_finish(&self, profile: &ObjectCentricProfile, out: &mut dyn Write) -> io::Result<()> {
+        Self::write_finish_record(profile, true, out)
     }
 }
 
@@ -313,6 +580,169 @@ fn json_metrics(m: &MetricVector) -> String {
         m.allocations,
         m.allocated_bytes
     )
+}
+
+/// Writes the allocation-stats object (shared by the whole-profile document and the
+/// epoch log's finish record).
+fn write_alloc_stats_json(s: &AllocationStats, out: &mut dyn Write) -> io::Result<()> {
+    write!(
+        out,
+        "{{\"callbacks\":{},\"monitored\":{},\"filtered\":{},\"relocations\":{},\"unknown_moves\":{},\"reclamations\":{}}}",
+        s.callbacks, s.monitored, s.filtered, s.relocations, s.unknown_moves, s.reclamations
+    )
+}
+
+/// Writes the site-table array (shared by the whole-profile document and the epoch
+/// log's finish record).
+fn write_sites_json(sites: &[AllocSite], out: &mut dyn Write) -> io::Result<()> {
+    out.write_all(b"[")?;
+    for (i, site) in sites.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write!(
+            out,
+            "{{\"id\":{},\"class\":{},\"path\":{}}}",
+            site.id.0,
+            json_string(&site.class_name),
+            json_path(&site.call_path)
+        )?;
+    }
+    out.write_all(b"]")
+}
+
+/// Writes one thread's profile object — the shape shared by the whole-profile
+/// document's `threads` array and the per-delta thread fragments (which additionally
+/// carry the thread's first-seen `seq`).
+fn write_thread_json(
+    thread: &ThreadProfile,
+    seq: Option<u64>,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    out.write_all(b"{")?;
+    if let Some(seq) = seq {
+        write!(out, "\"seq\":{seq},")?;
+    }
+    write!(
+        out,
+        "\"id\":{},\"name\":{},\"samples\":{},\"unattributed\":{}",
+        thread.thread.0,
+        json_string(&thread.thread_name),
+        thread.samples,
+        json_metrics(&thread.unattributed)
+    )?;
+    out.write_all(b",\"objects\":[")?;
+    let mut site_ids: Vec<_> = thread.sites.keys().copied().collect();
+    site_ids.sort_unstable();
+    for (j, sid) in site_ids.iter().enumerate() {
+        if j > 0 {
+            out.write_all(b",")?;
+        }
+        let sm = &thread.sites[sid];
+        write!(out, "{{\"site\":{},\"total\":{}", sid.0, json_metrics(&sm.total))?;
+        out.write_all(b",\"accesses\":[")?;
+        // Canonical context order (by encoded path), matching the text codec.
+        let mut contexts: Vec<(String, Vec<Frame>, &MetricVector)> = sm
+            .by_context
+            .iter()
+            .map(|(ctx, m)| {
+                let path = thread.cct.path_of(*ctx);
+                (json_path(&path), path, m)
+            })
+            .collect();
+        contexts.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, (encoded, _, metrics)) in contexts.iter().enumerate() {
+            if k > 0 {
+                out.write_all(b",")?;
+            }
+            write!(out, "{{\"path\":{},\"metrics\":{}}}", encoded, json_metrics(metrics))?;
+        }
+        out.write_all(b"]}")?;
+    }
+    out.write_all(b"]}")?;
+    Ok(())
+}
+
+/// Reads the allocation-stats object written by [`write_alloc_stats_json`].
+fn read_alloc_stats_json(
+    doc: &Reader<'_>,
+    value: &JsonValue,
+) -> Result<AllocationStats, ProfileParseError> {
+    let stats = doc.object(value, value.start)?;
+    let stat = |key: &str| -> Result<u64, ProfileParseError> {
+        doc.integer(stats.required(key, value.start)?, value.start)
+    };
+    Ok(AllocationStats {
+        callbacks: stat("callbacks")?,
+        monitored: stat("monitored")?,
+        filtered: stat("filtered")?,
+        relocations: stat("relocations")?,
+        unknown_moves: stat("unknown_moves")?,
+        reclamations: stat("reclamations")?,
+    })
+}
+
+/// Reads the site-table array written by [`write_sites_json`].
+fn read_sites_json(
+    doc: &Reader<'_>,
+    value: &JsonValue,
+) -> Result<Vec<AllocSite>, ProfileParseError> {
+    let mut sites = Vec::new();
+    for site_value in doc.array(value, value.start)? {
+        let site = doc.object(site_value, site_value.start)?;
+        let at = site_value.start;
+        let id = doc.integer_u32(site.required("id", at)?, at)?;
+        if id as usize != sites.len() {
+            return Err(doc.error(at, "site ids must be dense and ascending".to_string()));
+        }
+        sites.push(AllocSite {
+            id: AllocSiteId(id),
+            class_name: doc.string(site.required("class", at)?, at)?,
+            call_path: doc.path(site.required("path", at)?, at)?,
+        });
+    }
+    Ok(sites)
+}
+
+/// Reads one thread's profile object written by [`write_thread_json`], returning the
+/// first-seen `seq` when the fragment carries one.
+fn read_thread_json(
+    doc: &Reader<'_>,
+    thread_value: &JsonValue,
+) -> Result<(Option<u64>, ThreadProfile), ProfileParseError> {
+    let at = thread_value.start;
+    let thread = doc.object(thread_value, at)?;
+    let seq = match thread.optional("seq") {
+        Some(value) => Some(doc.integer(value, at)?),
+        None => None,
+    };
+    let mut profile = ThreadProfile::new(
+        ThreadId(doc.integer(thread.required("id", at)?, at)?),
+        &doc.string(thread.required("name", at)?, at)?,
+    );
+    profile.samples = doc.integer(thread.required("samples", at)?, at)?;
+    profile.unattributed = doc.metrics(thread.required("unattributed", at)?, at)?;
+    for object_value in doc.array(thread.required("objects", at)?, at)? {
+        let oat = object_value.start;
+        let object = doc.object(object_value, oat)?;
+        let site = AllocSiteId(doc.integer_u32(object.required("site", oat)?, oat)?);
+        let entry = profile.sites.entry(site).or_default();
+        entry.total = doc.metrics(object.required("total", oat)?, oat)?;
+        for access_value in doc.array(object.required("accesses", oat)?, oat)? {
+            let aat = access_value.start;
+            let access = doc.object(access_value, aat)?;
+            let path = doc.path(access.required("path", aat)?, aat)?;
+            let metrics = doc.metrics(access.required("metrics", aat)?, aat)?;
+            let ctx = profile.cct.insert_path(&path);
+            profile
+                .sites
+                .get_mut(&site)
+                .expect("entry inserted above")
+                .by_context
+                .insert(ctx, metrics);
+        }
+    }
+    Ok((seq, profile))
 }
 
 // ---------------------------------------------------------------------------------------
@@ -583,6 +1013,10 @@ struct JsonObject<'a> {
 }
 
 impl<'a> JsonObject<'a> {
+    fn optional(&self, key: &str) -> Option<&'a JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
     fn required(&self, key: &str, at: usize) -> Result<&'a JsonValue, ProfileParseError> {
         self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| {
             ProfileParseError {
@@ -681,15 +1115,19 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Parses profile files written by any of the built-in sinks, detecting the format from
-/// the first byte (`{` → JSON, anything else → text). The offline analyzer uses this so
-/// a mixed directory of text and JSON profiles merges transparently.
+/// Parses profile files written by any of the built-in sinks, detecting the format
+/// from the first bytes (`{"record":` → chunked epoch log, `{` → JSON document,
+/// anything else → text). The offline analyzer uses this so a mixed directory of
+/// text profiles, JSON documents and streamed epoch logs merges transparently.
 ///
 /// # Errors
 ///
 /// Returns [`ProfileParseError`] for malformed input.
 pub fn read_any_profile(input: &str) -> Result<ObjectCentricProfile, ProfileParseError> {
-    if input.trim_start().starts_with('{') {
+    let head = input.trim_start();
+    if head.starts_with("{\"record\":") {
+        ChunkedJsonSink::new().read_log(input)
+    } else if head.starts_with('{') {
         JsonSink::new().read_profile(input)
     } else {
         TextSink.read_profile(input)

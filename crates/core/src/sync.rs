@@ -127,6 +127,32 @@ impl<T: ?Sized> SpinLock<T> {
         SpinLockGuard { lock: self }
     }
 
+    /// Acquires the lock like [`SpinLock::lock`], but yields the timeslice after a
+    /// bounded spin when the lock stays contended.
+    ///
+    /// For **normal thread context** callers (snapshot readers, the export drainer)
+    /// contending with a sampling thread that may have been *preempted inside* the
+    /// lock: on an oversubscribed machine a pure spin burns exactly the timeslice the
+    /// preempted holder needs to finish, while yielding hands it the CPU immediately.
+    /// The sampling hot path must keep using [`SpinLock::lock`] — its uncontended
+    /// fast path is identical, and a signal handler has nothing useful to yield to.
+    #[inline]
+    pub fn lock_yielding(&self) -> SpinLockGuard<'_, T> {
+        while self.locked.swap(true, Ordering::Acquire) {
+            let mut spins = 0u32;
+            while self.locked.load(Ordering::Relaxed) {
+                if spins < 128 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    spins = 0;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        SpinLockGuard { lock: self }
+    }
+
     /// Attempts to acquire the lock without spinning.
     #[inline]
     pub fn try_lock(&self) -> Option<SpinLockGuard<'_, T>> {

@@ -3,8 +3,8 @@
 //! The build environment has no access to crates.io, so this workspace vendors the
 //! subset of `proptest` its property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, over integer ranges, tuples, [`Just`],
-//!   [`any`], regex-subset string literals, [`collection::vec`] and
+//! * the [`strategy::Strategy`] trait with `prop_map`, over integer ranges, tuples,
+//!   [`strategy::Just`], [`arbitrary::any`], regex-subset string literals, [`collection::vec`] and
 //!   [`collection::btree_set`], and [`prop_oneof!`] unions;
 //! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`) and the
 //!   [`prop_assert!`] / [`prop_assert_eq!`] macros;
