@@ -48,7 +48,7 @@
 //! * **`stream-off`** — the full session, no export attached.
 //! * **`stream-on`** — the same session with a [`DeltaDrainer`](djxperf::DeltaDrainer)
 //!   streaming every retired epoch delta through `ChunkedJsonSink` into `io::sink()`
-//!   (1 ms tick, coalescing backpressure), so the rows isolate the retirement
+//!   (5 ms tick, coalescing backpressure), so the rows isolate the retirement
 //!   hand-off + queue cost of `djxperf::export`.
 //!
 //! Results are printed as a Figure-4-style table and recorded in
@@ -339,7 +339,7 @@ impl SessionPipeline {
 
     /// A streaming-throughput pipeline: the full three-collector session (default
     /// resolution cache) with or without an asynchronous export drainer attached.
-    /// The drainer ticks every millisecond and serializes each retired delta through
+    /// The drainer ticks every 5 ms and serializes each retired delta through
     /// the chunked-JSON codec into `io::sink()`, so the rows measure exactly the
     /// ingest-side cost of continuous-push export — epoch retirement hand-off and
     /// queue traffic — with no disk variance.

@@ -88,11 +88,17 @@ pub enum Backpressure {
 /// Configuration of the background drain pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DrainPolicy {
-    /// Maximum number of deltas queued between producers and the drainer (≥ 1).
+    /// Maximum number of deltas queued between producers and the drainer. Must be
+    /// ≥ 1 — asserted both by [`DrainPolicy::capacity`] and when the stream spawns,
+    /// so a zero smuggled in through a struct literal panics instead of hanging
+    /// every push.
     pub capacity: usize,
     /// What producers do when the queue is full.
     pub backpressure: Backpressure,
-    /// How often the drainer closes an epoch on its own when nobody snapshots.
+    /// How often the drainer closes an epoch on its own when nobody snapshots. Must
+    /// be non-zero — asserted both by [`DrainPolicy::tick`] and when the stream
+    /// spawns, so a zero smuggled in through a struct literal panics instead of
+    /// busy-spinning the drainer at 100% of a core.
     pub tick: Duration,
 }
 
@@ -132,7 +138,12 @@ impl DrainPolicy {
     }
 
     /// Sets the drainer's self-drain cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero (a zero tick would busy-spin the drainer thread).
     pub fn tick(mut self, tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "drain tick must be non-zero");
         self.tick = tick;
         self
     }
@@ -205,7 +216,7 @@ enum ExportItem {
 }
 
 /// State shared between producers (snapshot threads, the session) and the drainer.
-struct ExportShared {
+pub(crate) struct ExportShared {
     /// Serializes drain→push hand-offs so epochs are strictly ordered on the wire.
     /// Held across a drain and its push; the drainer only ever `try_lock`s it, so a
     /// producer blocking on a full queue can never deadlock against the drainer.
@@ -240,6 +251,12 @@ struct ExportShared {
 
 impl ExportShared {
     fn new(policy: DrainPolicy) -> Self {
+        // The builder methods assert these too, but the fields are pub: a struct
+        // literal with capacity 0 would make every push spin forever on a queue that
+        // can never gain room, and a zero tick would busy-spin the drainer at 100%
+        // of a core — both hangs caught here as a panic instead.
+        assert!(policy.capacity > 0, "drain queue capacity must be non-zero");
+        assert!(!policy.tick.is_zero(), "drain tick must be non-zero");
         Self {
             gate: SpinLock::new(()),
             queue: SpinLock::new(VecDeque::with_capacity(policy.capacity)),
@@ -281,12 +298,17 @@ impl ExportShared {
         }
     }
 
+    // Queue accesses acquire yielding throughout: the queue is only ever touched
+    // from normal thread context (snapshot producers, the drainer — never the
+    // sampling hot path), and a Coalesce producer merges whole ThreadProfiles under
+    // the lock, which a pure spin on the other side would burn a core waiting out.
+
     fn pop(&self) -> Option<ExportItem> {
-        self.queue.lock().pop_front()
+        self.queue.lock_yielding().pop_front()
     }
 
     fn queue_is_empty(&self) -> bool {
-        self.queue.lock().is_empty()
+        self.queue.lock_yielding().is_empty()
     }
 
     /// Enqueues one delta, resolving a full queue per the backpressure policy. Deltas
@@ -301,7 +323,7 @@ impl ExportShared {
                 return;
             }
             {
-                let mut queue = self.queue.lock();
+                let mut queue = self.queue.lock_yielding();
                 if queue.len() < self.capacity {
                     queue.push_back(ExportItem::Delta(pending.take().unwrap()));
                 } else if self.backpressure == Backpressure::Coalesce {
@@ -337,7 +359,7 @@ impl ExportShared {
                 return;
             }
             {
-                let mut queue = self.queue.lock();
+                let mut queue = self.queue.lock_yielding();
                 if queue.len() < self.capacity {
                     queue.push_back(ExportItem::Finish(pending.take().unwrap()));
                 }
@@ -354,19 +376,24 @@ impl ExportShared {
 
     /// Closes one epoch of `collector` and routes its delta into the stream — the
     /// producer-side hand-off. The gate serializes concurrent producers (and the
-    /// drainer's own tick), so wire order follows epoch order. Acquired yielding: the
-    /// drainer holds the gate across sink writes, and burning a core spinning for the
-    /// duration of an I/O call is exactly what [`SpinLock::lock_yielding`] avoids.
-    fn produce(&self, collector: &ObjectCentricCollector) {
+    /// drainer's own tick), so wire order follows epoch order. Acquired yielding:
+    /// every gate holder runs in normal thread context, and yielding to a preempted
+    /// holder beats spinning out its timeslice
+    /// ([`SpinLock::lock_yielding`]).
+    ///
+    /// Returns `false` when the stream has already closed: no epoch is retired, and
+    /// the caller must fall back to the plain (non-streaming) read path.
+    pub(crate) fn produce(&self, collector: &ObjectCentricCollector) -> bool {
         let _gate = self.gate.lock_yielding();
         if self.is_closed() {
-            return;
+            return false;
         }
         let delta = collector.drain_delta();
         self.epochs_drained.fetch_add(1, Ordering::Relaxed);
         if !delta.is_empty() {
             self.push_delta(delta);
         }
+        true
     }
 }
 
@@ -390,7 +417,15 @@ impl DrainWorker {
             ExportItem::Delta(delta) => {
                 if self.error.is_none() {
                     let samples = delta.total_samples();
-                    match self.sink.on_delta(delta.epoch, &delta, &mut self.out) {
+                    // Flush per delta: the stream advertises a live feed, and a
+                    // buffered writer (BufWriter over a file or socket) would
+                    // otherwise deliver nothing until the terminal flush — and lose
+                    // every buffered delta if the process dies before it.
+                    match self
+                        .sink
+                        .on_delta(delta.epoch, &delta, &mut self.out)
+                        .and_then(|()| self.out.flush())
+                    {
                         Ok(()) => {
                             self.shared.deltas_streamed.fetch_add(1, Ordering::Relaxed);
                             self.shared.samples_streamed.fetch_add(samples, Ordering::Relaxed);
@@ -429,6 +464,20 @@ impl DrainWorker {
                 }
             }
             if self.shared.is_closed() {
+                // The close may have raced the pop loop: a concurrent finish can
+                // enqueue the closing delta plus the terminal item *after* the loop
+                // saw an empty queue and *before* this check. `closed` is published
+                // (Release) only after those pushes, and nothing enqueues once it is
+                // set, so one more drain here is race-free and final — without it the
+                // last delta and the terminal record would be dropped silently.
+                while let Some(item) = self.shared.pop() {
+                    if self.emit(item) {
+                        return match self.error.take() {
+                            Some(err) => Err(err),
+                            None => Ok(()),
+                        };
+                    }
+                }
                 // Defensive: closed without a terminal item (not produced by the
                 // session, but a clean exit beats a zombie thread).
                 return match self.error.take() {
@@ -440,31 +489,33 @@ impl DrainWorker {
             // pushes (which also wake this thread) do not inflate the epoch cadence
             // beyond the documented DrainPolicy::tick. `try_lock`: if a producer is
             // mid-hand-off we simply pop its delta on the next iteration; never
-            // block while holding nothing.
+            // block while holding nothing. The gate is held only for the O(1)
+            // queue take + epoch drain — sink I/O happens after it is released, so
+            // a producer (a snapshot on the session) never waits out a write. Wire
+            // order is safe: everything taken here predates anything a producer can
+            // enqueue after the release, and only this thread writes the sink.
             if last_drain.elapsed() >= self.tick {
+                let mut pending = Vec::new();
                 if let Some(_gate) = shared.gate.try_lock() {
                     if !self.shared.is_closed() {
-                        // Earlier queued epochs first, so the direct write stays
-                        // ordered.
-                        let mut finished = false;
+                        // Earlier queued epochs first, so the write stays ordered.
                         while let Some(item) = self.shared.pop() {
-                            if self.emit(item) {
-                                finished = true;
-                                break;
-                            }
-                        }
-                        if finished {
-                            return match self.error.take() {
-                                Some(err) => Err(err),
-                                None => Ok(()),
-                            };
+                            pending.push(item);
                         }
                         let delta = self.collector.drain_delta();
                         last_drain = Instant::now();
                         self.shared.epochs_drained.fetch_add(1, Ordering::Relaxed);
                         if !delta.is_empty() {
-                            let _ = self.emit(ExportItem::Delta(delta));
+                            pending.push(ExportItem::Delta(delta));
                         }
+                    }
+                }
+                for item in pending {
+                    if self.emit(item) {
+                        return match self.error.take() {
+                            Some(err) => Err(err),
+                            None => Ok(()),
+                        };
                     }
                 }
             }
@@ -491,8 +542,9 @@ pub struct DeltaDrainer {
     /// plain snapshot path again.
     finished: AtomicBool,
     /// The first finish's outcome, replayed to later finish calls (io errors are not
-    /// clonable; the message is kept).
-    result: Mutex<Option<Result<ExportStats, String>>>,
+    /// clonable; the kind and message are kept, the original error goes to the first
+    /// caller intact).
+    result: Mutex<Option<Result<ExportStats, (io::ErrorKind, String)>>>,
 }
 
 impl std::fmt::Debug for DeltaDrainer {
@@ -514,6 +566,10 @@ impl DeltaDrainer {
         policy: DrainPolicy,
     ) -> Self {
         let shared = Arc::new(ExportShared::new(policy));
+        // The collector keeps a weak back-reference so its own profile reads route
+        // epoch retirements into this stream instead of absorbing them silently
+        // (weak: the drainer owns the collector, never the other way around).
+        collector.attach_stream(Arc::downgrade(&shared));
         let worker = DrainWorker {
             shared: shared.clone(),
             collector,
@@ -536,10 +592,16 @@ impl DeltaDrainer {
             .name("djxperf-delta-drainer".to_string())
             .spawn(move || {
                 let _alive = alive;
+                // Register the wake handle *before* the first pop, on this thread:
+                // registering after spawn returns leaves a window in which a
+                // producer's wake() finds no handle and no-ops, leaving the first
+                // queued delta to wait out a full (possibly long) tick. A wake lost
+                // before this store is harmless — its item is already queued, and
+                // run()'s opening pop loop drains it.
+                *worker.shared.drainer.lock() = Some(std::thread::current());
                 worker.run()
             })
             .expect("spawning the export drainer thread");
-        *shared.drainer.lock() = Some(handle.thread().clone());
         Self {
             shared,
             worker: Mutex::new(Some(handle)),
@@ -554,9 +616,9 @@ impl DeltaDrainer {
     }
 
     /// Routes one closed epoch of `collector` into the stream (see
-    /// [`ExportShared::produce`]).
+    /// [`ExportShared::produce`]); a no-op once the stream closed.
     pub(crate) fn produce(&self, collector: &ObjectCentricCollector) {
-        self.shared.produce(collector);
+        let _ = self.shared.produce(collector);
     }
 
     /// Live statistics of the stream.
@@ -575,7 +637,7 @@ impl DeltaDrainer {
     ) -> io::Result<ExportStats> {
         let mut slot = self.result.lock();
         if let Some(previous) = &*slot {
-            return previous.clone().map_err(io::Error::other);
+            return previous.clone().map_err(|(kind, msg)| io::Error::new(kind, msg));
         }
         {
             let _gate = self.shared.gate.lock_yielding();
@@ -596,12 +658,19 @@ impl DeltaDrainer {
             None => Ok(()),
         };
         self.finished.store(true, Ordering::Release);
-        let result = match io_result {
-            Ok(()) => Ok(self.shared.stats()),
-            Err(err) => Err(err.to_string()),
-        };
-        *slot = Some(result.clone());
-        result.map_err(io::Error::other)
+        match io_result {
+            Ok(()) => {
+                let stats = self.shared.stats();
+                *slot = Some(Ok(stats));
+                Ok(stats)
+            }
+            Err(err) => {
+                // Replays carry the kind and message; the first caller gets the
+                // original error object (payload and source chain included).
+                *slot = Some(Err((err.kind(), err.to_string())));
+                Err(err)
+            }
+        }
     }
 }
 
@@ -631,6 +700,25 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = DrainPolicy::new().capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be non-zero")]
+    fn zero_tick_rejected() {
+        let _ = DrainPolicy::new().tick(Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn struct_literal_zero_capacity_rejected_at_spawn() {
+        // The fields are pub, so the builder asserts alone are bypassable.
+        let _ = ExportShared::new(DrainPolicy { capacity: 0, ..DrainPolicy::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be non-zero")]
+    fn struct_literal_zero_tick_rejected_at_spawn() {
+        let _ = ExportShared::new(DrainPolicy { tick: Duration::ZERO, ..DrainPolicy::default() });
     }
 
     #[test]

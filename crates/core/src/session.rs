@@ -92,7 +92,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
@@ -105,7 +105,7 @@ use djx_runtime::{
 use crate::agent::{AllocationAgent, AllocationConfig, ResolutionCache, SharedObjectIndex};
 use crate::cct::Cct;
 use crate::codecentric::CodeCentricProfile;
-use crate::export::{DeltaDrainer, DrainPolicy, ExportStats};
+use crate::export::{DeltaDrainer, DrainPolicy, ExportShared, ExportStats};
 use crate::metrics::MetricVector;
 use crate::object::{AllocSite, AllocSiteId};
 use crate::profile::{
@@ -508,6 +508,13 @@ impl AbsorbDelta for ThreadProfile {
 #[derive(Debug, Default)]
 pub struct ObjectCentricCollector {
     state: SnapshotBuffered<ThreadProfile>,
+    /// The export stream this collector feeds, when the session attached one
+    /// ([`SessionBuilder::stream_to`]). Weak — the drainer owns the collector, never
+    /// the other way around. While the stream runs, every profile read that retires
+    /// an epoch routes the retired delta into it (see
+    /// [`ObjectCentricCollector::thread_profiles`]), which is what keeps the stream
+    /// loss-free no matter who triggers the retirement.
+    stream: SpinLock<Option<Weak<ExportShared>>>,
 }
 
 fn record_object_sample(profile: &mut ThreadProfile, ctx: &SampleContext<'_>) {
@@ -524,8 +531,32 @@ impl ObjectCentricCollector {
     }
 
     /// Clones the per-thread profiles in thread-first-seen order.
+    ///
+    /// On a session streaming through [`SessionBuilder::stream_to`], the epoch this
+    /// read closes is routed into the export stream first — absorbing it silently
+    /// would leave samples in the retired buffer that never appear as a streamed
+    /// delta, breaking the stream's loss-free replay. Once the stream has finished,
+    /// reads take the plain merged path again.
     pub fn thread_profiles(&self) -> Vec<ThreadProfile> {
+        if let Some(stream) = self.stream() {
+            if stream.produce(self) {
+                // The retirement went onto the wire; the retired buffer is, by
+                // construction, the fold of every delta ever streamed.
+                return self.retired_profiles();
+            }
+        }
         self.state.merged().into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Registers the export stream this collector feeds (called when the drainer
+    /// spawns).
+    pub(crate) fn attach_stream(&self, stream: Weak<ExportShared>) {
+        *self.stream.lock() = Some(stream);
+    }
+
+    /// The attached export stream, while its pipeline is still alive.
+    fn stream(&self) -> Option<Arc<ExportShared>> {
+        self.stream.lock().as_ref().and_then(Weak::upgrade)
     }
 
     /// Closes the open buffer epoch and hands its accumulated per-thread deltas out as
@@ -1370,17 +1401,10 @@ impl Session {
     /// an independent snapshot. `None` when no [`ObjectCentricCollector`] is registered.
     pub fn object_profile(&self) -> Option<ObjectCentricProfile> {
         let collector = self.objects.as_ref()?;
-        let threads = match self.export.as_ref().filter(|e| e.is_running()) {
-            // A streaming session must not discard the epoch this read retires: the
-            // drain is routed into the export stream, and the profile assembles from
-            // the retired buffer — by construction the fold of every streamed delta.
-            Some(export) => {
-                export.produce(collector);
-                collector.retired_profiles()
-            }
-            None => collector.thread_profiles(),
-        };
-        Some(self.assemble_object_profile(threads))
+        // On a streaming session, thread_profiles routes the epoch this read retires
+        // into the export stream (never discarding it), so the profile assembles from
+        // the retired buffer — by construction the fold of every streamed delta.
+        Some(self.assemble_object_profile(collector.thread_profiles()))
     }
 
     /// Joins retired per-thread profiles with the allocation agent's counters, the

@@ -237,6 +237,33 @@ fn coalesce_backpressure_folds_but_never_loses() {
 }
 
 #[test]
+fn rapid_finishes_never_drop_the_terminal_record() {
+    // Regression for a shutdown race: finish_export enqueues the closing delta and
+    // the terminal item and only then marks the stream closed. A drainer whose pop
+    // loop had just seen an empty queue could observe `closed` and exit without one
+    // final drain, silently dropping both items — the log then carries no finish
+    // record and replay rejects it despite a clean reported finish. Finishing right
+    // after an ingestion burst, against a very fast tick, races exactly that window;
+    // iterate to give the interleaving many chances to land.
+    let logs = build_logs(1, 500);
+    for _ in 0..64 {
+        let buffer = SharedBuffer::new();
+        let session =
+            streaming_session(DrainPolicy::new().tick(Duration::from_micros(50)), &buffer);
+        replay_allocs(&session, &logs[0]);
+        replay_accesses(&session, &logs[0]);
+        let stats = session.finish_export().expect("the stream finishes cleanly");
+        assert_eq!(
+            stats.samples_streamed,
+            session.total_samples(),
+            "loss-free across shutdown: every ingested sample was streamed"
+        );
+        let terminal = session.object_profile().unwrap();
+        assert_log_replays_terminal(&buffer, &terminal);
+    }
+}
+
+#[test]
 fn finish_is_idempotent_and_post_finish_flushes_are_noops() {
     let logs = build_logs(1, 2_000);
     let buffer = SharedBuffer::new();
@@ -316,10 +343,14 @@ fn sink_without_delta_support_surfaces_at_finish() {
     replay_accesses(&session, &logs[0]);
     session.flush_export();
     let err = session.finish_export().expect_err("the default on_delta rejects streaming");
+    assert_eq!(err.kind(), io::ErrorKind::Unsupported, "the sink's error kind survives finish");
     assert!(
         err.to_string().contains("does not support delta streaming"),
         "unexpected error: {err}"
     );
+    // Replayed finishes keep the kind too (the first error is cached as kind+message).
+    let replayed = session.finish_export().unwrap_err();
+    assert_eq!(replayed.kind(), io::ErrorKind::Unsupported);
 }
 
 #[test]
