@@ -54,33 +54,47 @@
 //! Results are printed as a Figure-4-style table and recorded in
 //! `BENCH_contention.json` with the acceptance ratios:
 //!
+//! Two further families measure the analysis-side hot paths the query redesign
+//! touched: **delta-fold accumulation** (`fold-linear` vs `fold-keyed` — the keyed
+//! `ProfileDelta::merge_from` against a reconstruction of the old per-fragment
+//! linear scan + re-sort, the merge step of the Coalesce-backpressure queue and of
+//! `DeltaFold` replay) and **query evaluation** (`query-eval` vs `analyze-legacy` —
+//! `Query::evaluate` over a wide snapshot against a reconstruction of the
+//! pre-redesign `Analyzer::analyze_many` aggregation).
+//!
 //! * `multi_thread_speedup`          = sharded-full@N / global@N  (target ≥ 2×)
 //! * `single_thread_ratio`           = sharded-full@1 / global@1  (target ≥ 0.95)
 //! * `cached_multi_thread_speedup`   = cached@N / sharded@N       (target ≥ 1.5×)
 //! * `cached_single_thread_ratio`    = cached@1 / sharded@1       (target ≥ 0.95)
 //! * `streaming_multi_thread_ratio`  = stream-on@N / stream-off@N (target ≥ 0.90)
 //! * `streaming_single_thread_ratio` = stream-on@1 / stream-off@1 (target ≥ 0.90)
+//! * `coalesce_fold_speedup`         = fold-keyed / fold-linear   (target ≥ 1×)
+//! * `query_vs_legacy_ratio`         = query-eval / analyze-legacy (gate ≥ 0.909)
 //!
 //! Run with `--quick` (or `CONTENTION_QUICK=1`) for a short smoke iteration,
 //! `--smoke-cached` (CI) to run only the sharded/cached comparison quickly and **exit
-//! non-zero** if the cached fast path regresses below safety margins, or
+//! non-zero** if the cached fast path regresses below safety margins,
 //! `--smoke-streaming` (CI) to gate the drainer-on/drainer-off ingest ratio at the
-//! 0.90× floor.
+//! 0.90× floor, or `--smoke-query` (CI) to gate query-over-snapshot evaluation at
+//! within 1.10× of the legacy analyzer on the same profile.
 
 use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use djx_memsim::{AccessOutcome, HierarchyConfig, MemoryAccess, MemoryHierarchy};
+use djx_memsim::{
+    AccessKind, AccessOutcome, HierarchyConfig, MemoryAccess, MemoryHierarchy, NumaNode,
+};
 use djx_pmu::{PerfEventBuilder, PmuEvent, Sample, ThreadPmu};
 use djx_runtime::{
     AllocationEvent, ClassId, Frame, GcEvent, GcId, MemoryAccessEvent, MethodId, ObjectId,
     ObjectMoveEvent, RuntimeListener, ThreadId,
 };
 use djxperf::{
-    AllocSiteId, Cct, ChunkedJsonSink, DrainPolicy, Interval, IntervalSplayTree, MetricVector,
-    MonitoredObject, Session, SpinLock, ThreadProfile,
+    AccessContext, AllocSite, AllocSiteId, AnalysisReport, Cct, ChunkedJsonSink, DrainPolicy,
+    Interval, IntervalSplayTree, MetricVector, MonitoredObject, ObjectCentricProfile, ObjectReport,
+    ProfileDelta, Query, Session, SpinLock, ThreadDelta, ThreadProfile,
 };
 
 const MULTI_THREADS: u64 = 4;
@@ -433,6 +447,287 @@ impl Pipeline for SessionPipeline {
 }
 
 // -----------------------------------------------------------------------------------
+// Delta-fold accumulation: the Coalesce-backpressure / DeltaFold merge step
+// -----------------------------------------------------------------------------------
+
+/// Thread fragments per synthetic delta (wide deltas are exactly where the old
+/// per-fragment linear scan hurt).
+const FOLD_THREADS: u64 = 256;
+/// Deltas folded into one growing accumulator per measured fold — the access pattern
+/// of a back-pressured Coalesce queue (every full-queue push merges into the same
+/// queued delta) and of `DeltaFold` replay.
+const FOLD_DELTAS: u64 = 128;
+
+fn build_fold_deltas() -> Vec<ProfileDelta> {
+    let bench_sample = |addr: u64| Sample {
+        event: PmuEvent::L1Miss,
+        thread_id: 1,
+        cpu: 0,
+        cpu_node: NumaNode(0),
+        page_node: NumaNode(0),
+        effective_addr: addr,
+        kind: AccessKind::Load,
+        value: 1,
+        latency: 120,
+        counter_value: 1,
+    };
+    (0..FOLD_DELTAS)
+        .map(|epoch| ProfileDelta {
+            epoch: epoch + 1,
+            threads: (0..FOLD_THREADS)
+                .map(|t| {
+                    let mut profile = ThreadProfile::new(ThreadId(t + 1), "fold");
+                    let path = [Frame::new(MethodId(1), 0), Frame::new(MethodId(2), 4)];
+                    // One sample per fragment: the per-fragment profile merge is
+                    // identical across fold implementations, so thin fragments keep
+                    // the measured difference on the accumulator bookkeeping the
+                    // keyed fold replaced (the linear re-scan and the re-sort).
+                    profile.record_attributed(
+                        AllocSiteId((t % 8) as u32),
+                        &path,
+                        &bench_sample(0x1000 + (epoch * FOLD_THREADS + t) * 8),
+                        FULL_PERIOD,
+                    );
+                    ThreadDelta { seq: t, profile }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// A faithful in-bench reconstruction of the pre-redesign `ProfileDelta::merge_from`:
+/// an O(threads) linear scan per fragment plus a full re-sort per fold — the baseline
+/// the keyed accumulator replaced.
+fn merge_from_linear(acc: &mut ProfileDelta, later: &ProfileDelta) {
+    acc.epoch = acc.epoch.max(later.epoch);
+    for td in &later.threads {
+        match acc.threads.iter_mut().find(|t| t.profile.thread == td.profile.thread) {
+            Some(existing) => existing.profile.merge_from(&td.profile),
+            None => acc.threads.push(td.clone()),
+        }
+    }
+    acc.threads.sort_by_key(|t| (t.seq, t.profile.thread));
+}
+
+/// Folds the delta stream into one accumulator with `merge`, returning the best wall
+/// clock over `reps` and the final accumulator (for the equivalence sanity check).
+fn measure_fold(
+    name: &'static str,
+    deltas: &[ProfileDelta],
+    reps: usize,
+    merge: impl Fn(&mut ProfileDelta, &ProfileDelta),
+) -> (Measurement, ProfileDelta) {
+    let mut best = Duration::MAX;
+    let mut folded = ProfileDelta::empty(0);
+    for _ in 0..reps {
+        let mut acc = ProfileDelta::empty(0);
+        let start = Instant::now();
+        for delta in deltas {
+            merge(&mut acc, delta);
+        }
+        best = best.min(start.elapsed());
+        folded = acc;
+    }
+    let fragments = FOLD_DELTAS * FOLD_THREADS;
+    (
+        Measurement {
+            pipeline: name,
+            threads: FOLD_THREADS,
+            accesses: fragments,
+            samples: folded.total_samples(),
+            best,
+            cache_hit_rate: None,
+        },
+        folded,
+    )
+}
+
+// -----------------------------------------------------------------------------------
+// Query-over-snapshot evaluation vs the legacy analyzer aggregation
+// -----------------------------------------------------------------------------------
+
+/// Shape of the synthetic snapshot the query/analyzer comparison evaluates: wide
+/// enough that aggregation cost dominates setup noise.
+const QUERY_THREADS: u64 = 16;
+const QUERY_SITES: u32 = 64;
+const QUERY_CONTEXTS: u32 = 4;
+/// Query/analyzer evaluations per measured rep.
+const QUERY_EVALS: u32 = 30;
+
+fn build_query_profile() -> ObjectCentricProfile {
+    let bench_sample = |addr: u64, remote: bool| Sample {
+        event: PmuEvent::L1Miss,
+        thread_id: 1,
+        cpu: 0,
+        cpu_node: NumaNode(0),
+        page_node: NumaNode(u32::from(remote)),
+        effective_addr: addr,
+        kind: AccessKind::Load,
+        value: 1,
+        latency: 150,
+        counter_value: 1,
+    };
+    let sites: Vec<AllocSite> = (0..QUERY_SITES)
+        .map(|s| AllocSite {
+            id: AllocSiteId(s),
+            class_name: format!("bench{s}[]"),
+            call_path: vec![Frame::new(MethodId(s), 5), Frame::new(MethodId(s + 100), 2)],
+        })
+        .collect();
+    let threads = (0..QUERY_THREADS)
+        .map(|t| {
+            let mut profile = ThreadProfile::new(ThreadId(t + 1), "query");
+            for s in 0..QUERY_SITES {
+                for c in 0..QUERY_CONTEXTS {
+                    let path = [Frame::new(MethodId(s), 5), Frame::new(MethodId(200 + c), c)];
+                    profile.record_attributed(
+                        AllocSiteId(s),
+                        &path,
+                        &bench_sample(u64::from(s * 64 + c) * 8, c % 2 == 0),
+                        FULL_PERIOD,
+                    );
+                }
+                profile.record_allocation(AllocSiteId(s), 2048);
+            }
+            profile
+        })
+        .collect();
+    ObjectCentricProfile {
+        event: PmuEvent::L1Miss,
+        period: FULL_PERIOD,
+        size_filter: 1024,
+        sites,
+        threads,
+        allocation_stats: Default::default(),
+    }
+}
+
+/// A faithful in-bench reconstruction of the pre-redesign `Analyzer::analyze_many`
+/// aggregation (merge sites by identity, coalesce contexts, rank by weighted
+/// events) — the baseline the `--smoke-query` gate compares query evaluation against.
+fn legacy_analyze(profile: &ObjectCentricProfile) -> AnalysisReport {
+    let mut total_samples = 0u64;
+    let mut total_weighted = 0u64;
+    let mut merged_index: HashMap<(String, Vec<Frame>), usize> = HashMap::new();
+    struct MergedSite {
+        site: AllocSite,
+        metrics: MetricVector,
+        contexts: HashMap<Vec<Frame>, MetricVector>,
+    }
+    let mut merged: Vec<MergedSite> = Vec::new();
+    for thread in &profile.threads {
+        total_samples += thread.samples;
+        total_weighted += thread.unattributed.weighted_events;
+        let mut thread_sites: Vec<_> = thread.sites.iter().collect();
+        thread_sites.sort_unstable_by_key(|(id, _)| **id);
+        for (site_id, sm) in thread_sites {
+            let Some(site) = profile.site(*site_id) else { continue };
+            let key = (site.class_name.clone(), site.call_path.clone());
+            let index = *merged_index.entry(key).or_insert_with(|| {
+                merged.push(MergedSite {
+                    site: AllocSite {
+                        id: AllocSiteId(merged.len() as u32),
+                        class_name: site.class_name.clone(),
+                        call_path: site.call_path.clone(),
+                    },
+                    metrics: MetricVector::default(),
+                    contexts: HashMap::new(),
+                });
+                merged.len() - 1
+            });
+            let entry = &mut merged[index];
+            entry.metrics.merge(&sm.total);
+            total_weighted += sm.total.weighted_events;
+            for (ctx, m) in &sm.by_context {
+                entry.contexts.entry(thread.cct.path_of(*ctx)).or_default().merge(m);
+            }
+        }
+    }
+    let attributed_weighted: u64 = merged.iter().map(|m| m.metrics.weighted_events).sum();
+    let mut objects: Vec<ObjectReport> = merged
+        .into_iter()
+        .map(|m| {
+            let object_weighted = m.metrics.weighted_events;
+            let mut access_contexts: Vec<AccessContext> = m
+                .contexts
+                .into_iter()
+                .map(|(path, metrics)| AccessContext {
+                    path,
+                    fraction_of_object: if object_weighted == 0 {
+                        0.0
+                    } else {
+                        metrics.weighted_events as f64 / object_weighted as f64
+                    },
+                    metrics,
+                })
+                .collect();
+            access_contexts.sort_by(|a, b| {
+                b.metrics
+                    .weighted_events
+                    .cmp(&a.metrics.weighted_events)
+                    .then_with(|| a.path.cmp(&b.path))
+            });
+            ObjectReport {
+                site: m.site.id,
+                class_name: m.site.class_name,
+                alloc_path: m.site.call_path,
+                fraction_of_total: if total_weighted == 0 {
+                    0.0
+                } else {
+                    object_weighted as f64 / total_weighted as f64
+                },
+                remote_fraction: m.metrics.remote_fraction(),
+                metrics: m.metrics,
+                access_contexts,
+            }
+        })
+        .collect();
+    objects.sort_by(|a, b| {
+        b.metrics
+            .weighted_events
+            .cmp(&a.metrics.weighted_events)
+            .then_with(|| a.class_name.cmp(&b.class_name))
+            .then_with(|| a.alloc_path.cmp(&b.alloc_path))
+    });
+    AnalysisReport {
+        event: profile.event,
+        period: profile.period,
+        total_samples,
+        total_weighted_events: total_weighted,
+        attributed_weighted_events: attributed_weighted,
+        objects,
+    }
+}
+
+/// Measures repeated whole-profile evaluations; `throughput` is evaluations/second
+/// (the `accesses` column carries the evaluation count).
+fn measure_eval(
+    name: &'static str,
+    reps: usize,
+    samples: u64,
+    eval: impl Fn() -> u64,
+) -> Measurement {
+    let mut best = Duration::MAX;
+    let mut checksum = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..QUERY_EVALS {
+            checksum = eval();
+        }
+        best = best.min(start.elapsed());
+    }
+    assert!(checksum > 0, "evaluations must not be optimized away");
+    Measurement {
+        pipeline: name,
+        threads: QUERY_THREADS,
+        accesses: u64::from(QUERY_EVALS),
+        samples,
+        best,
+        cache_hit_rate: None,
+    }
+}
+
+// -----------------------------------------------------------------------------------
 // Measurement
 // -----------------------------------------------------------------------------------
 
@@ -607,8 +902,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke-cached");
     let smoke_streaming = args.iter().any(|a| a == "--smoke-streaming");
+    let smoke_query = args.iter().any(|a| a == "--smoke-query");
     let quick = smoke
         || smoke_streaming
+        || smoke_query
         || args.iter().any(|a| a == "--quick")
         || std::env::var("CONTENTION_QUICK").map(|v| v == "1").unwrap_or(false);
     // Best-of-5 in the full run: spin locks on an oversubscribed machine suffer
@@ -668,6 +965,53 @@ fn main() {
             failed = true;
         }
         if failed {
+            std::process::exit(1);
+        }
+        println!("smoke OK");
+        return;
+    }
+
+    if smoke_query {
+        // CI regression gate for the query layer: evaluating a Query over a snapshot
+        // must stay within 1.10x of the pre-redesign Analyzer::analyze aggregation
+        // (reconstructed in-bench as `legacy_analyze`) on the same profile — the
+        // Analyzer shim routes through Query, so a slow query layer would silently
+        // tax every analysis consumer.
+        println!("== query-evaluation contention smoke (CI gate) ==\n");
+        let profile = build_query_profile();
+        let query = Query::new();
+        // Sanity: the query layer and the legacy aggregation agree on the ranking.
+        let legacy_report = legacy_analyze(&profile);
+        let query_result = query.evaluate(&profile).expect("owned profiles evaluate");
+        assert_eq!(legacy_report.objects.len(), query_result.groups.len());
+        for (object, group) in legacy_report.objects.iter().zip(&query_result.groups) {
+            assert_eq!(object.class_name, group.label, "identical ranking");
+            assert_eq!(object.metrics, group.metrics, "identical aggregation");
+        }
+        let reps = 7usize;
+        let samples = profile.total_samples();
+        let mut results = Vec::new();
+        results.push(measure_eval("analyze-legacy", reps, samples, || {
+            legacy_analyze(&profile).objects.len() as u64
+        }));
+        results.push(measure_eval("query-eval", reps, samples, || {
+            query.evaluate(&profile).expect("owned profiles evaluate").groups.len() as u64
+        }));
+        print_results(&results);
+        let ratio = throughput_of(&results, "query-eval", QUERY_THREADS)
+            / throughput_of(&results, "analyze-legacy", QUERY_THREADS);
+        println!(
+            "\nquery-eval/analyze-legacy throughput: {ratio:.2} \
+             (gate >= 0.909, i.e. query within 1.10x of the legacy analyzer)"
+        );
+        if let Ok(path) = std::env::var("BENCH_CONTENTION_OUT") {
+            write_json(&path, &results, &[("query_vs_legacy_ratio", ratio)]);
+            println!("recorded {path}");
+        }
+        if ratio < 1.0 / 1.10 {
+            eprintln!(
+                "FAIL: query evaluation slower than 1.10x of the legacy analyzer ({ratio:.2})"
+            );
             std::process::exit(1);
         }
         println!("smoke OK");
@@ -774,6 +1118,29 @@ fn main() {
         results.push(measure("stream-off", stream_off, threads, accesses, reps, false));
         results.push(measure("stream-on", stream_on, threads, accesses, reps, false));
     }
+    // Family 4 — delta-fold accumulation (the Coalesce-backpressure merge step and
+    // DeltaFold replay): the keyed ProfileDelta::merge_from against the pre-redesign
+    // linear-scan + re-sort reconstruction, over the same wide delta stream.
+    let fold_deltas = build_fold_deltas();
+    let (linear_row, linear_acc) =
+        measure_fold("fold-linear", &fold_deltas, reps, merge_from_linear);
+    let (keyed_row, keyed_acc) =
+        measure_fold("fold-keyed", &fold_deltas, reps, |acc, delta| acc.merge_from(delta));
+    assert_eq!(keyed_acc.total_samples(), linear_acc.total_samples(), "identical folds");
+    assert_eq!(keyed_acc.threads.len(), linear_acc.threads.len());
+    results.push(linear_row);
+    results.push(keyed_row);
+    // Family 5 — query-over-snapshot evaluation vs the legacy analyzer aggregation
+    // (the ratio the --smoke-query CI gate enforces).
+    let query_profile = build_query_profile();
+    let query = Query::new();
+    let query_samples = query_profile.total_samples();
+    results.push(measure_eval("analyze-legacy", reps, query_samples, || {
+        legacy_analyze(&query_profile).objects.len() as u64
+    }));
+    results.push(measure_eval("query-eval", reps, query_samples, || {
+        query.evaluate(&query_profile).expect("owned profiles evaluate").groups.len() as u64
+    }));
 
     print_results(&results);
 
@@ -793,6 +1160,10 @@ fn main() {
         / throughput_of(&results, "stream-off", MULTI_THREADS);
     let streaming_single =
         throughput_of(&results, "stream-on", 1) / throughput_of(&results, "stream-off", 1);
+    let fold_speedup = throughput_of(&results, "fold-keyed", FOLD_THREADS)
+        / throughput_of(&results, "fold-linear", FOLD_THREADS);
+    let query_ratio = throughput_of(&results, "query-eval", QUERY_THREADS)
+        / throughput_of(&results, "analyze-legacy", QUERY_THREADS);
 
     println!(
         "\nsharded/global @{MULTI_THREADS} threads:  {multi_speedup:.2}x (target >= 2x)\n\
@@ -802,7 +1173,9 @@ fn main() {
          cached/sharded @{WIDE_THREADS} threads:  {cached_wide:.2}x\n\
          cached/sharded under churn: {churn_ratio:.2}\n\
          stream-on/off  @{MULTI_THREADS} threads:  {streaming_multi:.2} (target >= 0.90)\n\
-         stream-on/off  @1 thread:   {streaming_single:.2} (target >= 0.90)"
+         stream-on/off  @1 thread:   {streaming_single:.2} (target >= 0.90)\n\
+         keyed/linear delta fold:    {fold_speedup:.2}x (target >= 1x)\n\
+         query/legacy evaluation:    {query_ratio:.2} (gate >= 0.909)"
     );
 
     // Cargo runs benches with the package directory as CWD; record the results at the
@@ -825,6 +1198,8 @@ fn main() {
             ("gc_churn_ratio", churn_ratio),
             ("streaming_multi_thread_ratio", streaming_multi),
             ("streaming_single_thread_ratio", streaming_single),
+            ("coalesce_fold_speedup", fold_speedup),
+            ("query_vs_legacy_ratio", query_ratio),
         ],
     );
     println!("\nrecorded {path}");

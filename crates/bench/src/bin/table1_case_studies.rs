@@ -6,12 +6,36 @@
 //! the paper's optimization. Prints measured vs paper speedups for each row.
 //!
 //! Pass `--detail` to additionally print the full object-centric report of each
-//! baseline run (the §7.1/§7.4/§7.5/§7.6 narratives).
+//! baseline run (the §7.1/§7.4/§7.5/§7.6 narratives), and `--rank-by <metric>` to
+//! re-rank those detail reports by any named metric — raw counters
+//! (`weighted_events`, `remote_samples`, `allocations`, …) or derived ratios
+//! (`remote_fraction`, `mean_latency`, `events_per_byte` aka `l1_miss_ratio`).
+//! Metric names resolve through `RankBy::from_str`; an unknown name is a hard error
+//! listing the valid metrics, never a silent fallback.
 
 use djx_bench::prelude::*;
+use djxperf::{Query, RankBy};
 
 fn main() {
-    let detail = std::env::args().any(|a| a == "--detail");
+    let args: Vec<String> = std::env::args().collect();
+    let rank_by_flag = args.iter().position(|a| a == "--rank-by").map(|at| {
+        let Some(name) = args.get(at + 1) else {
+            eprintln!("error: --rank-by needs a metric name (try --rank-by weighted_events)");
+            std::process::exit(2);
+        };
+        match name.parse::<RankBy>() {
+            Ok(rank) => rank,
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(2);
+            }
+        }
+    });
+    // The ranking only affects the per-case detail reports, so asking for one
+    // implies printing them — a silently inert flag would break the "never a silent
+    // fallback" contract the metric parsing upholds.
+    let detail = args.iter().any(|a| a == "--detail") || rank_by_flag.is_some();
+    let rank_by = rank_by_flag.unwrap_or_default();
     let config = evaluation_profiler().with_period(512);
 
     let mut table = Table::new(&[
@@ -46,14 +70,25 @@ fn main() {
 
         if detail {
             let run = run_profiled((case.build)(Variant::Baseline).as_ref(), config);
-            println!("---- {} ({}), baseline profile ----", case.name, case.source);
+            // The detail view is a Query over the run's profile — the same substrate
+            // the analyzer shim uses, re-ranked by the CLI-selected metric.
+            let ranked = Query::new()
+                .rank_by(rank_by)
+                .top(3)
+                .min_samples(1)
+                .evaluate(&run.profile)
+                .expect("owned profiles always evaluate");
+            println!(
+                "---- {} ({}), baseline profile, ranked by {rank_by} ----",
+                case.name, case.source
+            );
             println!(
                 "{}",
-                render_object_report(
-                    &run.report,
-                    &run.methods,
-                    ReportOptions { top_objects: 3, top_contexts: 3, full_alloc_paths: false }
-                )
+                Report::query(&ranked, &run.methods).with_options(ReportOptions {
+                    top_objects: 3,
+                    top_contexts: 3,
+                    full_alloc_paths: false,
+                })
             );
         }
     }

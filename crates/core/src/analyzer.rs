@@ -5,15 +5,25 @@
 //! top-down — call paths that are equal coalesce even when they come from different
 //! threads, and metrics of coalesced nodes are summed. The result orders objects
 //! (allocation sites) by the PMU metric so the developer starts with the worst one.
-
-use std::collections::HashMap;
+//!
+//! **Deprecated in favour of [`crate::query`]**: since the query redesign the analyzer
+//! is a thin shim — [`Analyzer::analyze_many`] builds a [`Query`] grouped by
+//! [`GroupBy::Object`] and converts the [`QueryResult`](crate::query::QueryResult)
+//! into the legacy [`AnalysisReport`] shape, bit-identically to the pre-redesign
+//! implementation. It keeps working indefinitely; new code should evaluate a
+//! [`Query`] directly, which additionally answers over live sessions, replayed epoch
+//! logs and multi-process folds (see the [`crate::query`] module docs for the
+//! migration table).
 
 use djx_pmu::PmuEvent;
 use djx_runtime::Frame;
 
 use crate::metrics::MetricVector;
-use crate::object::{AllocSite, AllocSiteId};
+use crate::object::AllocSiteId;
 use crate::profile::ObjectCentricProfile;
+use crate::query::{GroupBy, Query};
+
+pub use crate::query::RankBy;
 
 /// One access calling context of an object, with its share of the object's metric.
 #[derive(Debug, Clone)]
@@ -103,34 +113,6 @@ impl AnalysisReport {
     }
 }
 
-/// Ranking key for the analyzer's object ordering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RankBy {
-    /// By estimated total sampled events (the paper's default ordering).
-    #[default]
-    WeightedEvents,
-    /// By remote NUMA samples (the §4.3 / §7.5 / §7.6 view).
-    RemoteSamples,
-    /// By accumulated access latency.
-    Latency,
-    /// By allocation count (bloat hunting).
-    Allocations,
-    /// By allocated bytes.
-    AllocatedBytes,
-}
-
-impl RankBy {
-    fn key(self, metrics: &MetricVector) -> u64 {
-        match self {
-            RankBy::WeightedEvents => metrics.weighted_events,
-            RankBy::RemoteSamples => metrics.remote_samples,
-            RankBy::Latency => metrics.latency_cycles,
-            RankBy::Allocations => metrics.allocations,
-            RankBy::AllocatedBytes => metrics.allocated_bytes,
-        }
-    }
-}
-
 /// Configures an [`Analyzer`] (see [`Analyzer::builder`]).
 #[derive(Debug, Clone, Copy)]
 pub struct AnalyzerBuilder {
@@ -208,116 +190,20 @@ impl Analyzer {
     /// Analyzes and merges several profiles — e.g. profiles collected from multiple
     /// instances of a service, or the same program attached at different times. Sites
     /// are matched by `(class name, allocation call path)`, threads simply accumulate.
+    ///
+    /// Since the query redesign this is a shim: it evaluates a [`Query`] grouped by
+    /// [`GroupBy::Object`] (the evaluator subsumes the old merge-rank-filter loop
+    /// exactly) and converts the result into the legacy report shape. Output is
+    /// bit-identical to the pre-redesign analyzer.
     pub fn analyze_many(&self, profiles: &[ObjectCentricProfile]) -> AnalysisReport {
-        let mut event = PmuEvent::L1Miss;
-        let mut period = 1;
-        let mut total_samples = 0u64;
-        let mut total_weighted = 0u64;
-
-        // Merged site table keyed by identity (class name + allocation path).
-        let mut merged_index: HashMap<(String, Vec<Frame>), usize> = HashMap::new();
-        struct MergedSite {
-            site: AllocSite,
-            metrics: MetricVector,
-            contexts: HashMap<Vec<Frame>, MetricVector>,
-        }
-        let mut merged: Vec<MergedSite> = Vec::new();
-
-        for profile in profiles {
-            event = profile.event;
-            period = profile.period;
-            for thread in &profile.threads {
-                total_samples += thread.samples;
-                total_weighted += thread.unattributed.weighted_events;
-                // Iterate sites in id order so the merged table (and therefore tie-break
-                // ordering) does not depend on hash-map iteration order.
-                let mut thread_sites: Vec<_> = thread.sites.iter().collect();
-                thread_sites.sort_unstable_by_key(|(id, _)| **id);
-                for (site_id, sm) in thread_sites {
-                    let Some(site) = profile.site(*site_id) else { continue };
-                    let key = (site.class_name.clone(), site.call_path.clone());
-                    let index = *merged_index.entry(key).or_insert_with(|| {
-                        merged.push(MergedSite {
-                            site: AllocSite {
-                                id: AllocSiteId(merged.len() as u32),
-                                class_name: site.class_name.clone(),
-                                call_path: site.call_path.clone(),
-                            },
-                            metrics: MetricVector::default(),
-                            contexts: HashMap::new(),
-                        });
-                        merged.len() - 1
-                    });
-                    let entry = &mut merged[index];
-                    entry.metrics.merge(&sm.total);
-                    total_weighted += sm.total.weighted_events;
-                    for (ctx, m) in &sm.by_context {
-                        let path = thread.cct.path_of(*ctx);
-                        entry.contexts.entry(path).or_default().merge(m);
-                    }
-                }
-            }
-        }
-
-        let attributed_weighted: u64 = merged.iter().map(|m| m.metrics.weighted_events).sum();
-
-        let mut objects: Vec<ObjectReport> = merged
-            .into_iter()
-            .map(|m| {
-                let object_weighted = m.metrics.weighted_events;
-                let mut access_contexts: Vec<AccessContext> = m
-                    .contexts
-                    .into_iter()
-                    .map(|(path, metrics)| AccessContext {
-                        path,
-                        fraction_of_object: if object_weighted == 0 {
-                            0.0
-                        } else {
-                            metrics.weighted_events as f64 / object_weighted as f64
-                        },
-                        metrics,
-                    })
-                    .collect();
-                access_contexts.sort_by(|a, b| {
-                    b.metrics
-                        .weighted_events
-                        .cmp(&a.metrics.weighted_events)
-                        .then_with(|| a.path.cmp(&b.path))
-                });
-                ObjectReport {
-                    site: m.site.id,
-                    class_name: m.site.class_name,
-                    alloc_path: m.site.call_path,
-                    fraction_of_total: if total_weighted == 0 {
-                        0.0
-                    } else {
-                        object_weighted as f64 / total_weighted as f64
-                    },
-                    remote_fraction: m.metrics.remote_fraction(),
-                    metrics: m.metrics,
-                    access_contexts,
-                }
-            })
-            .collect();
-        objects.retain(|o| o.metrics.samples >= self.min_samples);
-        objects.sort_by(|a, b| {
-            self.rank_by
-                .key(&b.metrics)
-                .cmp(&self.rank_by.key(&a.metrics))
-                .then_with(|| b.metrics.weighted_events.cmp(&a.metrics.weighted_events))
-                .then_with(|| a.class_name.cmp(&b.class_name))
-                .then_with(|| a.alloc_path.cmp(&b.alloc_path))
-        });
-        objects.truncate(self.top);
-
-        AnalysisReport {
-            event,
-            period,
-            total_samples,
-            total_weighted_events: total_weighted,
-            attributed_weighted_events: attributed_weighted,
-            objects,
-        }
+        Query::new()
+            .group_by(GroupBy::Object)
+            .rank_by(self.rank_by)
+            .top(self.top)
+            .min_samples(self.min_samples)
+            .evaluate(profiles)
+            .expect("owned profiles always evaluate")
+            .into_analysis_report()
     }
 
     /// Parses textual profile files and analyzes them together — the paper's workflow of
@@ -344,6 +230,7 @@ mod tests {
     use djx_memsim::{AccessKind, NumaNode};
     use djx_runtime::{MethodId, ThreadId};
 
+    use crate::object::AllocSite;
     use crate::profile::{AllocationStats, ThreadProfile};
 
     fn f(m: u32, bci: u32) -> Frame {

@@ -45,7 +45,9 @@
 //! behind, a full queue is resolved by [`Backpressure`]:
 //!
 //! * [`Backpressure::Coalesce`] (default) — the new delta is merged into the newest
-//!   queued delta ([`ProfileDelta::merge_from`]); nothing is lost, the stream just
+//!   queued delta ([`ProfileDelta::merge_from`], a keyed fold costing O(accumulated +
+//!   incoming) threads per merge — a long-backpressured queue never degrades into
+//!   quadratic rescans of the growing accumulator); nothing is lost, the stream just
 //!   carries coarser partitions. Export cost stays bounded and ingestion never waits.
 //! * [`Backpressure::Block`] — the producer spins (yielding) until the drainer makes
 //!   room, preserving the exact epoch granularity. Only snapshot-side threads ever

@@ -34,7 +34,8 @@
 //! | [`export`] | §5.2 | asynchronous delta export: background [`DeltaDrainer`] over epoch-retired snapshot deltas |
 //! | [`profiler`] | §5.1 | [`DjxPerf`], the legacy single-view collector (session shim) |
 //! | [`profile`] | §5.1/§5.2 | per-thread profiles and the profile-file codec |
-//! | [`analyzer`] | §5.2 | the offline analyzer (merge, rank, filter) |
+//! | [`query`] | §5.2, §6 | the unified query layer: [`ProfileSource`] + composable [`Query`] over live sessions, snapshots, logs and folds |
+//! | [`analyzer`] | §5.2 | the offline analyzer (merge, rank, filter — a [`Query`] shim) |
 //! | [`codecentric`] | §1, Fig. 1 | the code-centric (perf-like) baseline |
 //! | [`report`] | Fig. 5 | the [`Report`] views (the GUI stand-in) |
 //!
@@ -48,7 +49,7 @@
 //!
 //! ```
 //! use djx_runtime::{dsl, Runtime, RuntimeConfig};
-//! use djxperf::{Analyzer, Report, Session};
+//! use djxperf::{Analyzer, Query, RankBy, Report, Session};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A runtime running a memory-bloat workload: a float[] allocated in a loop,
@@ -70,12 +71,19 @@
 //! rt.finish_thread(thread)?;
 //! rt.shutdown();
 //!
-//! // Offline analysis: rank objects by sampled L1 misses.
+//! // Analysis is one composable Query, evaluated against any ProfileSource — the
+//! // live session here; identically against a snapshot, a replayed epoch log, or a
+//! // MultiSource fold of N process logs (see the `query` module docs).
+//! let query = Query::new().rank_by(RankBy::WeightedEvents).top(10);
+//! let ranked = query.evaluate(&*session)?;
+//! let hottest = ranked.hottest().expect("the float[] site received samples");
+//! assert_eq!(hottest.label, "float[]");
+//! println!("{}", Report::query(&ranked, rt.methods()));
+//!
+//! // The legacy Analyzer/Report path still works, as a bit-identical shim over Query.
 //! let profile = session.object_profile().expect("object collector registered");
 //! let report = Analyzer::builder().top(10).build().analyze(&profile);
-//! let hottest = report.hottest().expect("the float[] site received samples");
-//! assert_eq!(hottest.class_name, "float[]");
-//! println!("{}", Report::object(&report, rt.methods()));
+//! assert_eq!(report.hottest().unwrap().class_name, "float[]");
 //!
 //! // The code-centric baseline of Figure 1, from the same single pass.
 //! let code = session.code_profile().expect("code collector registered");
@@ -98,6 +106,7 @@ pub mod metrics;
 pub mod object;
 pub mod profile;
 pub mod profiler;
+pub mod query;
 pub mod report;
 pub mod session;
 pub mod sink;
@@ -108,9 +117,7 @@ pub use agent::{
     AllocationAgent, AllocationConfig, ResolutionCache, SharedObjectIndex,
     DEFAULT_RESOLUTION_CACHE_SLOTS, DEFAULT_SHARD_COUNT, DEFAULT_SIZE_FILTER,
 };
-pub use analyzer::{
-    AccessContext, AnalysisReport, Analyzer, AnalyzerBuilder, ObjectReport, RankBy,
-};
+pub use analyzer::{AccessContext, AnalysisReport, Analyzer, AnalyzerBuilder, ObjectReport};
 pub use cct::{Cct, CctNodeId};
 pub use codecentric::{CodeCentricProfile, CodeCentricProfiler, CodeLocation};
 pub use export::{Backpressure, DeltaDrainer, DrainPolicy, ExportStats, SharedBuffer};
@@ -121,6 +128,10 @@ pub use profile::{
     ProfileParseError, SiteMetrics, ThreadDelta, ThreadProfile, UnknownEventError,
 };
 pub use profiler::{DjxPerf, ProfilerConfig, DEFAULT_SAMPLE_PERIOD};
+pub use query::{
+    EpochLog, GroupBy, GroupKey, Locality, MultiSource, ProfileSource, Query, QueryError,
+    QueryGroup, QueryResult, RankBy, UnknownGroupByError, UnknownRankByError,
+};
 pub use report::{
     render_code_centric, render_numa_report, render_object_report, Report, ReportOptions,
 };

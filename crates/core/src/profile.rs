@@ -247,15 +247,48 @@ impl ProfileDelta {
     /// first-seen identity wins), new threads are adopted with their sequence, and the
     /// epoch advances to the later delta's. Folding partitioned deltas in epoch order
     /// is exact: the result renders byte-identically to a profile built in one piece.
+    ///
+    /// The fold is keyed: one thread→slot map is built per call, so absorbing a delta
+    /// costs O(self + later) instead of the old O(self × later) linear re-scan per
+    /// fragment — this is the accumulation step of both [`DeltaFold`] and the export
+    /// queue's Coalesce backpressure, where the accumulator side keeps growing. The
+    /// `(seq, thread)` ordering is preserved without a re-sort in the common case
+    /// (threads new to the accumulator usually carry later first-seen sequences);
+    /// adversarial orders fall back to one sort.
     pub fn merge_from(&mut self, later: &ProfileDelta) {
         self.epoch = self.epoch.max(later.epoch);
+        if later.threads.is_empty() {
+            return;
+        }
+        let mut slots: HashMap<ThreadId, usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(slot, t)| (t.profile.thread, slot))
+            .collect();
         for td in &later.threads {
-            match self.threads.iter_mut().find(|t| t.profile.thread == td.profile.thread) {
-                Some(existing) => existing.profile.merge_from(&td.profile),
-                None => self.threads.push(td.clone()),
+            match slots.entry(td.profile.thread) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    self.threads[*e.get()].profile.merge_from(&td.profile);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(self.threads.len());
+                    self.threads.push(td.clone());
+                }
             }
         }
-        self.threads.sort_by_key(|t| (t.seq, t.profile.thread));
+        // One O(n) order check per fold; the sort itself only runs when the order
+        // is actually broken (an appended thread with an out-of-sequence seq, or a
+        // hand-built accumulator that never was ordered), so adversarial inputs
+        // still normalize to the documented canonical `(seq, thread)` order while
+        // the steady-state fold stays sort-free.
+        let ordered = self
+            .threads
+            .windows(2)
+            .all(|w| (w[0].seq, w[0].profile.thread) <= (w[1].seq, w[1].profile.thread));
+        if !ordered {
+            self.threads.sort_by_key(|t| (t.seq, t.profile.thread));
+        }
     }
 }
 
@@ -598,7 +631,10 @@ fn unescape(s: &str) -> String {
     s.replace("\\s", " ")
 }
 
-fn encode_path(path: &[Frame]) -> String {
+/// Encodes a root-first call path as `method:bci,method:bci,…` (`-` when empty) — the
+/// canonical registry-free path rendering shared by the text codec and the query
+/// layer's [`Display`](std::fmt::Display) output.
+pub(crate) fn encode_path(path: &[Frame]) -> String {
     if path.is_empty() {
         return "-".to_string();
     }

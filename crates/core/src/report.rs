@@ -6,15 +6,24 @@
 //!
 //! The unified entry point is [`Report`], a `Display`able view selected by constructor
 //! — [`Report::object`], [`Report::numa`], [`Report::code_centric`],
-//! [`Report::numa_view`] — so every rendering composes with `println!`, `format!` and
-//! logging. The free `render_*` functions remain as thin wrappers over it.
+//! [`Report::numa_view`], [`Report::query`] — so every rendering composes with
+//! `println!`, `format!` and logging. The free `render_*` functions remain as thin
+//! wrappers over it.
+//!
+//! Since the query redesign the object renderer is shared: [`Report::object`] (over a
+//! legacy [`AnalysisReport`]) and [`Report::query`] (over a
+//! [`QueryResult`] grouped by objects) symbolize through
+//! the same code path, so the analyzer shim's reports stay bit-identical while new
+//! query-first code gets the same Figure-5 rendering.
 
 use std::fmt::{self, Write as _};
 
 use djx_runtime::{Frame, MethodRegistry};
 
-use crate::analyzer::{AnalysisReport, ObjectReport};
+use crate::analyzer::{AccessContext, AnalysisReport, ObjectReport};
 use crate::codecentric::CodeCentricProfile;
+use crate::metrics::MetricVector;
+use crate::query::{GroupBy, GroupKey, QueryResult};
 use crate::session::NumaProfile;
 
 /// Renders one frame as `Class.method (File:line)` using the method registry — the same
@@ -85,6 +94,9 @@ enum ReportKind<'a> {
     CodeCentric(&'a CodeCentricProfile),
     /// The session NUMA collector's own view, including the node traffic matrix.
     NumaView(&'a NumaProfile),
+    /// A query result, symbolized (object-grouped results share the Figure 5
+    /// renderer; other groupings list their groups).
+    Query(&'a QueryResult),
 }
 
 impl<'a> Report<'a> {
@@ -108,6 +120,13 @@ impl<'a> Report<'a> {
         Self { kind: ReportKind::NumaView(profile), methods, options: ReportOptions::default() }
     }
 
+    /// A symbolized view of a [`QueryResult`]: object-grouped results render through
+    /// the same Figure 5 object renderer [`Report::object`] uses; site, thread and
+    /// NUMA groupings list their ranked groups with resolved frames.
+    pub fn query(result: &'a QueryResult, methods: &'a MethodRegistry) -> Self {
+        Self { kind: ReportKind::Query(result), methods, options: ReportOptions::default() }
+    }
+
     /// Replaces the rendering options.
     pub fn with_options(mut self, options: ReportOptions) -> Self {
         self.options = options;
@@ -128,6 +147,7 @@ impl fmt::Display for Report<'_> {
             ReportKind::NumaView(profile) => {
                 render_numa_view_text(profile, self.methods, self.options.top_objects)
             }
+            ReportKind::Query(result) => render_query_text(result, self.methods, self.options),
         };
         f.write_str(&text)
     }
@@ -163,14 +183,39 @@ fn render_object_text(
         return out;
     }
     for (rank, object) in report.objects.iter().take(options.top_objects).enumerate() {
-        out.push_str(&render_one_object(rank + 1, object, methods, options));
+        out.push_str(&render_one_object(rank + 1, &ObjectRow::from(object), methods, options));
     }
     out
 }
 
+/// The data one ranked object line needs — the shared shape of an
+/// [`ObjectReport`] and an object-grouped [`QueryGroup`](crate::query::QueryGroup),
+/// so both views symbolize through one renderer (bit-identical by construction).
+struct ObjectRow<'a> {
+    class_name: &'a str,
+    alloc_path: &'a [Frame],
+    metrics: &'a MetricVector,
+    fraction_of_total: f64,
+    remote_fraction: f64,
+    contexts: &'a [AccessContext],
+}
+
+impl<'a> From<&'a ObjectReport> for ObjectRow<'a> {
+    fn from(object: &'a ObjectReport) -> Self {
+        Self {
+            class_name: &object.class_name,
+            alloc_path: &object.alloc_path,
+            metrics: &object.metrics,
+            fraction_of_total: object.fraction_of_total,
+            remote_fraction: object.remote_fraction,
+            contexts: &object.access_contexts,
+        }
+    }
+}
+
 fn render_one_object(
     rank: usize,
-    object: &ObjectReport,
+    object: &ObjectRow<'_>,
     methods: &MethodRegistry,
     options: ReportOptions,
 ) -> String {
@@ -192,17 +237,17 @@ fn render_one_object(
     );
     let _ = writeln!(out, "    allocated at:");
     if options.full_alloc_paths {
-        out.push_str(&describe_path(&object.alloc_path, methods, 8));
+        out.push_str(&describe_path(object.alloc_path, methods, 8));
     } else if let Some(leaf) = object.alloc_path.last() {
         let _ = writeln!(out, "        {}", describe_frame(leaf, methods));
     } else {
         let _ = writeln!(out, "        <no calling context>");
     }
     let _ = writeln!(out, "    accessed from:");
-    if object.access_contexts.is_empty() {
+    if object.contexts.is_empty() {
         let _ = writeln!(out, "        <no sampled access>");
     }
-    for ctx in object.access_contexts.iter().take(options.top_contexts) {
+    for ctx in object.contexts.iter().take(options.top_contexts) {
         let _ = writeln!(
             out,
             "      - {:.1}% of this object's events ({} samples)",
@@ -210,6 +255,72 @@ fn render_one_object(
             ctx.metrics.samples
         );
         out.push_str(&describe_path(&ctx.path, methods, 10));
+    }
+    out
+}
+
+fn render_query_text(
+    result: &QueryResult,
+    methods: &MethodRegistry,
+    options: ReportOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== DJXPerf query report (group by {}, rank by {}) ==",
+        result.group_by, result.rank_by
+    );
+    let _ = writeln!(
+        out,
+        "event {}  period {}  samples {}  attributed {:.1}%",
+        result.event.hardware_name(),
+        result.period,
+        result.total_samples,
+        result.attributed_fraction() * 100.0
+    );
+    if result.groups.is_empty() {
+        let _ = writeln!(out, "(no group matched the query)");
+        return out;
+    }
+    for (rank, group) in result.groups.iter().take(options.top_objects).enumerate() {
+        match (&result.group_by, &group.key) {
+            // Object-grouped results share the Figure 5 renderer with Report::object.
+            (GroupBy::Object, GroupKey::Object { class_name, alloc_path }) => {
+                let row = ObjectRow {
+                    class_name,
+                    alloc_path,
+                    metrics: &group.metrics,
+                    fraction_of_total: group.fraction_of_total,
+                    remote_fraction: group.remote_fraction,
+                    contexts: &group.contexts,
+                };
+                out.push_str(&render_one_object(rank + 1, &row, methods, options));
+            }
+            _ => {
+                let label = match &group.key {
+                    GroupKey::Site(Some(frame)) => describe_frame(frame, methods),
+                    _ => group.label.clone(),
+                };
+                let _ = writeln!(
+                    out,
+                    "#{} {}  —  {:.1}% of total ({} samples, remote {:.1}%)",
+                    rank + 1,
+                    label,
+                    group.fraction_of_total * 100.0,
+                    group.metrics.samples,
+                    group.remote_fraction * 100.0
+                );
+                for ctx in group.contexts.iter().take(options.top_contexts) {
+                    let _ = writeln!(
+                        out,
+                        "      - {:.1}% of this group's events ({} samples)",
+                        ctx.fraction_of_object * 100.0,
+                        ctx.metrics.samples
+                    );
+                    out.push_str(&describe_path(&ctx.path, methods, 10));
+                }
+            }
+        }
     }
     out
 }

@@ -26,6 +26,12 @@
 //! upgrades that to **continuous push**: a background drainer streams every retired
 //! epoch delta incrementally (see [`crate::export`]).
 //!
+//! A live session is also a [`ProfileSource`](crate::query::ProfileSource): any
+//! [`Query`](crate::query::Query) evaluates against it directly
+//! ([`Session::query`]), reading a pause-free snapshot under the hood, and the same
+//! query answers identically over the terminal snapshot, a replayed epoch log, or a
+//! multi-process fold (see [`crate::query`]).
+//!
 //! # Contention-free ingestion: thread cache, sharded index, per-thread collector state
 //!
 //! The per-sample hot path crosses three layers, and every one of them is built so two
@@ -1423,6 +1429,22 @@ impl Session {
             threads,
             allocation_stats: self.allocation.stats(),
         }
+    }
+
+    /// Evaluates a [`Query`](crate::query::Query) against the session's live
+    /// object-centric state (a pause-free snapshot under the hood) — equivalent to
+    /// `query.evaluate(&*session)`. Each call observes the samples ingested so far;
+    /// a later call sees later samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::SourceUnavailable`](crate::query::QueryError) when no
+    /// [`ObjectCentricCollector`] is registered.
+    pub fn query(
+        &self,
+        query: &crate::query::Query,
+    ) -> Result<crate::query::QueryResult, crate::query::QueryError> {
+        query.evaluate(self)
     }
 
     /// The code-centric collector's current profile, or `None` when no

@@ -533,8 +533,10 @@ impl ProfileSink for ChunkedJsonSink {
 // JSON writing helpers
 // ---------------------------------------------------------------------------------------
 
-/// Escapes a string into a JSON string literal.
-fn json_string(s: &str) -> String {
+/// Escapes a string into a JSON string literal. Shared with the query layer's
+/// [`QueryResult::to_json`](crate::query::QueryResult::to_json) so every JSON this
+/// crate emits goes through one escaping rule.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -554,8 +556,9 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Encodes a call path as a flat array of `[method, bci]` pairs.
-fn json_path(path: &[Frame]) -> String {
+/// Encodes a call path as a flat array of `[method, bci]` pairs (shared with the
+/// query layer's JSON rendering).
+pub(crate) fn json_path(path: &[Frame]) -> String {
     let mut out = String::from("[");
     for (i, frame) in path.iter().enumerate() {
         if i > 0 {
@@ -567,7 +570,9 @@ fn json_path(path: &[Frame]) -> String {
     out
 }
 
-fn json_metrics(m: &MetricVector) -> String {
+/// Encodes a metric vector as a JSON object (shared with the query layer's JSON
+/// rendering).
+pub(crate) fn json_metrics(m: &MetricVector) -> String {
     format!(
         "{{\"samples\":{},\"weighted\":{},\"latency\":{},\"local\":{},\"remote\":{},\"loads\":{},\"stores\":{},\"allocs\":{},\"bytes\":{}}}",
         m.samples,

@@ -304,6 +304,144 @@ fn stream_op() -> impl Strategy<Value = StreamOp> {
     ]
 }
 
+/// Replays one interleaving of heap/access/pull operations into a streaming session
+/// and into a never-drained reference session, finishes the stream, and returns
+/// `(streaming session, reference session, epoch log)`. Shared by the fold-identity
+/// and the query-identity properties below.
+fn run_stream_ops(
+    ops: Vec<StreamOp>,
+) -> Result<
+    (std::sync::Arc<djxperf::Session>, std::sync::Arc<djxperf::Session>, String),
+    TestCaseError,
+> {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use djx_memsim::{HierarchyConfig, MemoryAccess, MemoryHierarchy};
+    use djx_runtime::{
+        AllocationEvent, ClassId, GcEvent, GcId, MemoryAccessEvent, ObjectId, ObjectMoveEvent,
+        ObjectReclaimEvent, RuntimeListener,
+    };
+    use djxperf::{ChunkedJsonSink, DrainPolicy, Session, SharedBuffer};
+
+    let buffer = SharedBuffer::new();
+    let build = |streaming: bool| {
+        let builder = Session::builder().period(4).size_filter(1024);
+        if streaming {
+            builder
+                .stream_to(
+                    Arc::new(ChunkedJsonSink::new()),
+                    Box::new(buffer.clone()),
+                    // Long tick: the proptest's explicit pulls (and its snapshots)
+                    // drive the epoch boundaries; the drainer still writes them.
+                    DrainPolicy::new().capacity(4).tick(Duration::from_secs(60)),
+                )
+                .build()
+        } else {
+            builder.collect_objects().build()
+        }
+    };
+    let streaming = build(true);
+    let reference = build(false);
+    let sessions = [&streaming, &reference];
+
+    let thread = ThreadId(1);
+    let call_trace = [Frame::new(MethodId(1), 0), Frame::new(MethodId(2), 4)];
+    let slot_addr = |slot: u64| 0x4000_0000 + slot * STREAM_OBJECT_SIZE;
+    let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::broadwell_like());
+    let mut slots: HashMap<u64, ObjectId> = HashMap::new();
+    let mut next_object = 1u64;
+    let mut next_gc = 1u64;
+
+    for op in ops {
+        match op {
+            StreamOp::Alloc { slot } => {
+                if slots.contains_key(&slot) {
+                    continue;
+                }
+                let object = ObjectId(next_object);
+                next_object += 1;
+                for session in sessions {
+                    session.on_object_alloc(&AllocationEvent {
+                        object,
+                        class: ClassId(0),
+                        class_name: "prop[]",
+                        start: slot_addr(slot),
+                        size: STREAM_OBJECT_SIZE,
+                        thread,
+                        call_trace: &call_trace,
+                    });
+                }
+                slots.insert(slot, object);
+            }
+            StreamOp::Free { slot } => {
+                let Some(object) = slots.remove(&slot) else { continue };
+                for session in sessions {
+                    session.on_object_reclaim(&ObjectReclaimEvent {
+                        gc: GcId(next_gc),
+                        object,
+                        addr: slot_addr(slot),
+                        size: STREAM_OBJECT_SIZE,
+                        class: ClassId(0),
+                    });
+                }
+                next_gc += 1;
+            }
+            StreamOp::Relocate { from, to } => {
+                if from == to || !slots.contains_key(&from) || slots.contains_key(&to) {
+                    continue;
+                }
+                let object = slots.remove(&from).unwrap();
+                let gc = GcId(next_gc);
+                next_gc += 1;
+                for session in sessions {
+                    session.on_object_move(&ObjectMoveEvent {
+                        gc,
+                        object,
+                        old_addr: slot_addr(from),
+                        new_addr: slot_addr(to),
+                        size: STREAM_OBJECT_SIZE,
+                    });
+                    session.on_gc_end(&GcEvent {
+                        gc,
+                        heap_used: 0,
+                        objects_moved: 1,
+                        objects_reclaimed: 0,
+                    });
+                }
+                slots.insert(to, object);
+            }
+            StreamOp::Access { slot, offset } => {
+                // One shared outcome, replayed into both sessions, so the PMU
+                // streams are bit-identical.
+                let addr = slot_addr(slot) + offset * 8;
+                let outcome = hierarchy.access(MemoryAccess::load(0, addr, 8));
+                for session in sessions {
+                    session.on_memory_access(&MemoryAccessEvent {
+                        thread,
+                        outcome,
+                        call_trace: &call_trace,
+                        object: None,
+                    });
+                }
+            }
+            StreamOp::Pull => {
+                prop_assert!(streaming.flush_export(), "the stream accepts pulls");
+            }
+        }
+    }
+
+    let stats = streaming.finish_export().expect("the stream finishes cleanly");
+    prop_assert_eq!(
+        stats.samples_streamed,
+        streaming.total_samples(),
+        "every sample is in exactly one streamed delta"
+    );
+    prop_assert_eq!(streaming.total_samples(), reference.total_samples());
+    let log = String::from_utf8(buffer.contents()).unwrap();
+    Ok((streaming, reference, log))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -315,143 +453,61 @@ proptest! {
     fn streamed_deltas_fold_like_a_sequential_replay_under_insert_free_relocate(
         ops in prop::collection::vec(stream_op(), 1..120),
     ) {
-        use std::sync::Arc;
-        use std::time::Duration;
+        use djxperf::ChunkedJsonSink;
 
-        use djx_memsim::{HierarchyConfig, MemoryAccess, MemoryHierarchy};
-        use djx_runtime::{
-            AllocationEvent, ClassId, GcEvent, GcId, MemoryAccessEvent, ObjectId,
-            ObjectMoveEvent, ObjectReclaimEvent, RuntimeListener,
-        };
-        use djxperf::{ChunkedJsonSink, DrainPolicy, Session, SharedBuffer};
-
-        let buffer = SharedBuffer::new();
-        let build = |streaming: bool| {
-            let builder = Session::builder().period(4).size_filter(1024);
-            if streaming {
-                builder.stream_to(
-                    Arc::new(ChunkedJsonSink::new()),
-                    Box::new(buffer.clone()),
-                    // Long tick: the proptest's explicit pulls (and its snapshots)
-                    // drive the epoch boundaries; the drainer still writes them.
-                    DrainPolicy::new().capacity(4).tick(Duration::from_secs(60)),
-                )
-                .build()
-            } else {
-                builder.collect_objects().build()
-            }
-        };
-        let streaming = build(true);
-        let reference = build(false);
-        let sessions = [&streaming, &reference];
-
-        let thread = ThreadId(1);
-        let call_trace = [Frame::new(MethodId(1), 0), Frame::new(MethodId(2), 4)];
-        let slot_addr = |slot: u64| 0x4000_0000 + slot * STREAM_OBJECT_SIZE;
-        let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::broadwell_like());
-        let mut slots: HashMap<u64, ObjectId> = HashMap::new();
-        let mut next_object = 1u64;
-        let mut next_gc = 1u64;
-
-        for op in ops {
-            match op {
-                StreamOp::Alloc { slot } => {
-                    if slots.contains_key(&slot) {
-                        continue;
-                    }
-                    let object = ObjectId(next_object);
-                    next_object += 1;
-                    for session in sessions {
-                        session.on_object_alloc(&AllocationEvent {
-                            object,
-                            class: ClassId(0),
-                            class_name: "prop[]",
-                            start: slot_addr(slot),
-                            size: STREAM_OBJECT_SIZE,
-                            thread,
-                            call_trace: &call_trace,
-                        });
-                    }
-                    slots.insert(slot, object);
-                }
-                StreamOp::Free { slot } => {
-                    let Some(object) = slots.remove(&slot) else { continue };
-                    for session in sessions {
-                        session.on_object_reclaim(&ObjectReclaimEvent {
-                            gc: GcId(next_gc),
-                            object,
-                            addr: slot_addr(slot),
-                            size: STREAM_OBJECT_SIZE,
-                            class: ClassId(0),
-                        });
-                    }
-                    next_gc += 1;
-                }
-                StreamOp::Relocate { from, to } => {
-                    if from == to || !slots.contains_key(&from) || slots.contains_key(&to) {
-                        continue;
-                    }
-                    let object = slots.remove(&from).unwrap();
-                    let gc = GcId(next_gc);
-                    next_gc += 1;
-                    for session in sessions {
-                        session.on_object_move(&ObjectMoveEvent {
-                            gc,
-                            object,
-                            old_addr: slot_addr(from),
-                            new_addr: slot_addr(to),
-                            size: STREAM_OBJECT_SIZE,
-                        });
-                        session.on_gc_end(&GcEvent {
-                            gc,
-                            heap_used: 0,
-                            objects_moved: 1,
-                            objects_reclaimed: 0,
-                        });
-                    }
-                    slots.insert(to, object);
-                }
-                StreamOp::Access { slot, offset } => {
-                    // One shared outcome, replayed into both sessions, so the PMU
-                    // streams are bit-identical.
-                    let addr = slot_addr(slot) + offset * 8;
-                    let outcome = hierarchy.access(MemoryAccess::load(0, addr, 8));
-                    for session in sessions {
-                        session.on_memory_access(&MemoryAccessEvent {
-                            thread,
-                            outcome,
-                            call_trace: &call_trace,
-                            object: None,
-                        });
-                    }
-                }
-                StreamOp::Pull => {
-                    prop_assert!(streaming.flush_export(), "the stream accepts pulls");
-                }
-            }
-        }
-
-        let stats = streaming.finish_export().expect("the stream finishes cleanly");
-        prop_assert_eq!(
-            stats.samples_streamed,
-            streaming.total_samples(),
-            "every sample is in exactly one streamed delta"
-        );
-        prop_assert_eq!(streaming.total_samples(), reference.total_samples());
-
+        let (streaming, reference, log) = run_stream_ops(ops)?;
         let reference_text = reference.object_profile().unwrap().to_text();
         prop_assert_eq!(
             &streaming.object_profile().unwrap().to_text(),
             &reference_text,
             "epoch pulls must not perturb the streaming session's own profile"
         );
-        let log = String::from_utf8(buffer.contents()).unwrap();
         let replayed = ChunkedJsonSink::new().read_log(&log).expect("the epoch log replays");
         prop_assert_eq!(
             &replayed.to_text(),
             &reference_text,
             "folded stream must equal the sequential replay"
         );
+    }
+
+    /// The query layer's cross-source identity under the same arbitrary
+    /// interleavings: one `Query` evaluated against the live streaming session,
+    /// against the never-drained reference session, and against the replayed epoch
+    /// log renders byte-identically — the capture path is invisible to queries.
+    #[test]
+    fn query_over_live_session_equals_query_over_replayed_log(
+        ops in prop::collection::vec(stream_op(), 1..120),
+    ) {
+        use djxperf::{EpochLog, GroupBy, Query, RankBy};
+
+        let (streaming, reference, log) = run_stream_ops(ops)?;
+        let replayed = EpochLog::replay(&log).expect("the epoch log replays");
+        let queries = [
+            Query::new(),
+            Query::new().rank_by(RankBy::Samples).min_samples(1),
+            Query::new().group_by(GroupBy::Thread).rank_by(RankBy::Samples),
+            Query::new().group_by(GroupBy::NumaNode).rank_by(RankBy::Samples),
+        ];
+        for query in queries {
+            let live = query.evaluate(&*streaming).expect("live session evaluates");
+            let from_reference = query.evaluate(&*reference).expect("reference evaluates");
+            let from_log = query.evaluate(&replayed).expect("replayed log evaluates");
+            prop_assert_eq!(
+                &live.to_text(),
+                &from_log.to_text(),
+                "live == replayed log for {:?}", &query
+            );
+            prop_assert_eq!(
+                &live.to_json(),
+                &from_log.to_json(),
+                "live == replayed log (json) for {:?}", &query
+            );
+            prop_assert_eq!(
+                &from_reference.to_text(),
+                &from_log.to_text(),
+                "reference == replayed log for {:?}", &query
+            );
+        }
     }
 }
 

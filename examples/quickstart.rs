@@ -10,12 +10,15 @@
 //! registered collector from that single stream: the object-centric collector
 //! attributes each sample to the object (allocation site) enclosing the sampled
 //! address, the code-centric collector keeps the perf-like baseline for comparison, and
-//! the NUMA collector watches cross-node traffic. The offline analyzer then ranks the
-//! sites — the hot `float[]` should come out on top, with its allocation call path
-//! resolved to `ExtendedGeneralPath.makeRoom (ExtendedGeneralPath.java:743)`.
+//! the NUMA collector watches cross-node traffic. Analysis is one composable [`Query`]
+//! evaluated straight against the session — the hot `float[]` should come out on top,
+//! with its allocation call path resolved to
+//! `ExtendedGeneralPath.makeRoom (ExtendedGeneralPath.java:743)`. The same query value
+//! answers identically over a snapshot, a replayed epoch log, or a multi-process fold
+//! (see `examples/query.rs` for that walkthrough).
 
 use djx_runtime::{dsl, Runtime, RuntimeConfig};
-use djxperf::{Analyzer, JsonSink, Report, Session};
+use djxperf::{GroupBy, JsonSink, Query, RankBy, Report, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A simulated managed runtime (the JVM stand-in) with a session attached at
@@ -44,24 +47,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rt.finish_thread(main_thread)?;
     rt.shutdown();
 
-    // 3. Offline analysis: merge per-thread profiles and rank objects by sampled
-    //    misses. The analyzer is a builder too — cap the report at the ten hottest
-    //    sites with at least one sample.
-    let profile = session.object_profile().expect("object collector registered");
-    let report = Analyzer::builder().top(10).min_samples(1).build().analyze(&profile);
+    // 3. Analysis is a Query: group samples by object identity, rank by estimated L1
+    //    misses, keep the ten hottest sites with at least one sample. The query
+    //    evaluates directly against the live session (a pause-free snapshot under
+    //    the hood) — and the identical value would answer the same over a snapshot,
+    //    a replayed epoch log, or a MultiSource fold of N process logs.
+    let query = Query::new()
+        .group_by(GroupBy::Object)
+        .rank_by(RankBy::WeightedEvents)
+        .top(10)
+        .min_samples(1);
+    let ranked = session.query(&query)?;
 
+    let profile = session.object_profile().expect("object collector registered");
     println!(
         "collected {} samples over {} monitored allocations ({} GC relocations applied)\n",
-        profile.total_samples(),
+        ranked.total_samples,
         profile.allocation_stats.monitored,
         profile.allocation_stats.relocations,
     );
-    println!("{}", Report::object(&report, rt.methods()));
+    println!("{}", Report::query(&ranked, rt.methods()));
 
-    let hottest = report.hottest().expect("the float[] site must receive samples");
+    let hottest = ranked.hottest().expect("the float[] site must receive samples");
     println!(
         "=> hottest object: {} with {:.1}% of sampled L1 misses, allocated {} times",
-        hottest.class_name,
+        hottest.label,
         hottest.fraction_of_total * 100.0,
         hottest.metrics.allocations
     );
@@ -73,9 +83,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         code.hottest_location_fraction() * 100.0
     );
 
-    // 5. ... and a machine-readable export for dashboards or offline merging.
+    // 5. ... and machine-readable exports: the raw profile for offline merging, and
+    //    the query result itself for dashboards.
     let mut json = Vec::new();
     session.stream_snapshot(&JsonSink::new(), &mut json)?;
-    println!("JSON snapshot: {} bytes (parse it back with JsonSink::read_profile)", json.len());
+    println!(
+        "JSON snapshot: {} bytes (parse it back with JsonSink::read_profile); \
+         query result JSON: {} bytes",
+        json.len(),
+        ranked.to_json().len()
+    );
     Ok(())
 }
