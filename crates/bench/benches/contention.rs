@@ -70,13 +70,17 @@
 //! * `streaming_single_thread_ratio` = stream-on@1 / stream-off@1 (target ≥ 0.90)
 //! * `coalesce_fold_speedup`         = fold-keyed / fold-linear   (target ≥ 1×)
 //! * `query_vs_legacy_ratio`         = query-eval / analyze-legacy (gate ≥ 0.909)
+//! * `fleet_multi_thread_ratio`      = fleet-on@N / stream-off@N  (gate ≥ 0.909)
+//! * `fleet_single_thread_ratio`     = fleet-on@1 / stream-off@1  (gate ≥ 0.909)
 //!
 //! Run with `--quick` (or `CONTENTION_QUICK=1`) for a short smoke iteration,
 //! `--smoke-cached` (CI) to run only the sharded/cached comparison quickly and **exit
 //! non-zero** if the cached fast path regresses below safety margins,
 //! `--smoke-streaming` (CI) to gate the drainer-on/drainer-off ingest ratio at the
-//! 0.90× floor, or `--smoke-query` (CI) to gate query-over-snapshot evaluation at
-//! within 1.10× of the legacy analyzer on the same profile.
+//! 0.90× floor, `--smoke-query` (CI) to gate query-over-snapshot evaluation at
+//! within 1.10× of the legacy analyzer on the same profile, or `--smoke-fleet` (CI)
+//! to gate per-producer ingest with a socket-backed fleet sink at within 1.10× of
+//! `stream-off` against a loopback aggregator.
 
 use std::collections::HashMap;
 use std::io;
@@ -93,8 +97,9 @@ use djx_runtime::{
 };
 use djxperf::{
     AccessContext, AllocSite, AllocSiteId, AnalysisReport, Cct, ChunkedJsonSink, DrainPolicy,
-    Interval, IntervalSplayTree, MetricVector, MonitoredObject, ObjectCentricProfile, ObjectReport,
-    ProfileDelta, Query, Session, SpinLock, ThreadDelta, ThreadProfile,
+    FleetAggregator, FleetSink, Interval, IntervalSplayTree, MetricVector, MonitoredObject,
+    ObjectCentricProfile, ObjectReport, ProfileDelta, Query, Session, SpinLock, ThreadDelta,
+    ThreadProfile,
 };
 
 const MULTI_THREADS: u64 = 4;
@@ -114,6 +119,13 @@ const FULL_PERIOD: u64 = 8;
 /// Sampling period of the substrate pipelines: 1, so every counted event resolves —
 /// the pure stress of the resolution stage.
 const SUBSTRATE_PERIOD: u64 = 1;
+/// Sampling period of the `--smoke-fleet` gate rows (both sides). The fleet gate
+/// measures *producer-side* ingest overhead of the socket transport at a
+/// deployment-realistic cadence (production default is 512); under the stress
+/// period the single-core CI runner time-slices the aggregator's decode+fold onto
+/// the ingest core and the row measures aggregator CPU instead of producer
+/// overhead.
+const FLEET_PERIOD: u64 = 64;
 /// Index shard count pinned on both session pipelines so the resolution cache is the
 /// only variable between `sharded` and `cached`.
 const INDEX_SHARDS: usize = 16;
@@ -358,8 +370,12 @@ impl SessionPipeline {
     /// ingest-side cost of continuous-push export — epoch retirement hand-off and
     /// queue traffic — with no disk variance.
     fn streaming(drainer: bool) -> Self {
+        Self::streaming_at(FULL_PERIOD, drainer)
+    }
+
+    fn streaming_at(period: u64, drainer: bool) -> Self {
         let builder = Session::builder()
-            .period(FULL_PERIOD)
+            .period(period)
             .index_shards(INDEX_SHARDS)
             .collect_objects()
             .collect_code()
@@ -374,6 +390,30 @@ impl SessionPipeline {
             builder
         };
         Self { session: builder.build() }
+    }
+
+    /// A fleet-transport pipeline: the same full three-collector session as
+    /// [`SessionPipeline::streaming`], but the drainer ships each retired delta
+    /// through a socket-backed `FleetSink` to a loopback aggregator instead of a
+    /// local writer — the `--smoke-fleet` gate compares its ingest throughput
+    /// against `stream-off`. Producer names must be unique per pipeline (each
+    /// session restarts its epochs at 1, which a resumed fold would reject).
+    fn fleet(addr: &str, producer: &str) -> Self {
+        let sink = FleetSink::connect(addr, producer, PmuEvent::DEFAULT, FLEET_PERIOD, 1024)
+            .expect("loopback aggregator reachable");
+        Self {
+            session: Session::builder()
+                .period(FLEET_PERIOD)
+                .index_shards(INDEX_SHARDS)
+                .collect_objects()
+                .collect_code()
+                .collect_numa()
+                .stream_to_fleet(
+                    Arc::new(sink),
+                    DrainPolicy::new().capacity(8).coalesce().tick(Duration::from_millis(5)),
+                )
+                .build(),
+        }
     }
 
     fn object_id(thread: ThreadId, index: u64) -> ObjectId {
@@ -903,9 +943,11 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke-cached");
     let smoke_streaming = args.iter().any(|a| a == "--smoke-streaming");
     let smoke_query = args.iter().any(|a| a == "--smoke-query");
+    let smoke_fleet = args.iter().any(|a| a == "--smoke-fleet");
     let quick = smoke
         || smoke_streaming
         || smoke_query
+        || smoke_fleet
         || args.iter().any(|a| a == "--quick")
         || std::env::var("CONTENTION_QUICK").map(|v| v == "1").unwrap_or(false);
     // Best-of-5 in the full run: spin locks on an oversubscribed machine suffer
@@ -962,6 +1004,72 @@ fn main() {
         }
         if single < 0.90 {
             eprintln!("FAIL: drainer-on ingest dropped below 0.90x single-thread ({single:.2})");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("smoke OK");
+        return;
+    }
+
+    if smoke_fleet {
+        // CI regression gate for the fleet transport: a producer session whose
+        // drainer ships every retired delta over a loopback socket (sync ack per
+        // frame) must keep at least 1/1.10 of the stream-off ingest throughput.
+        // The drains are off the ingest hot path and the Coalesce policy bounds
+        // the frame rate, so the expected ratio is ~1.0 — the gate catches a
+        // transport that starts blocking epoch retirement.
+        println!("== fleet-transport contention smoke (CI gate) ==\n");
+        let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("loopback aggregator binds");
+        let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+        let producer_seq = std::sync::atomic::AtomicU64::new(0);
+        let fleet_off =
+            || Box::new(SessionPipeline::streaming_at(FLEET_PERIOD, false)) as Box<dyn Pipeline>;
+        let fleet_on = || {
+            let id = producer_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Box::new(SessionPipeline::fleet(&addr, &format!("bench{id}"))) as Box<dyn Pipeline>
+        };
+        let (accesses, reps) = (100_000u64, 7usize);
+        let mut results = Vec::new();
+        for threads in [1, MULTI_THREADS] {
+            results.push(measure("stream-off", fleet_off, threads, accesses, reps, false));
+            results.push(measure("fleet-on", fleet_on, threads, accesses, reps, false));
+        }
+        print_results(&results);
+        // Every producer delivered its stream loss-free before its ratio counts.
+        for status in aggregator.status() {
+            assert!(
+                status.finished && !status.truncated,
+                "producer {} did not finish cleanly",
+                status.producer
+            );
+        }
+        let multi = throughput_of(&results, "fleet-on", MULTI_THREADS)
+            / throughput_of(&results, "stream-off", MULTI_THREADS);
+        let single =
+            throughput_of(&results, "fleet-on", 1) / throughput_of(&results, "stream-off", 1);
+        println!(
+            "\nfleet-on/stream-off @{MULTI_THREADS} threads: {multi:.2} (gate >= 0.909)\n\
+             fleet-on/stream-off @1 thread:  {single:.2} (gate >= 0.909)"
+        );
+        if let Ok(path) = std::env::var("BENCH_CONTENTION_OUT") {
+            write_json(
+                &path,
+                &results,
+                &[("fleet_multi_thread_ratio", multi), ("fleet_single_thread_ratio", single)],
+            );
+            println!("recorded {path}");
+        }
+        let mut failed = false;
+        if multi < 1.0 / 1.10 {
+            eprintln!(
+                "FAIL: fleet-sink ingest slower than 1.10x of stream-off multi-thread ({multi:.2})"
+            );
+            failed = true;
+        }
+        if single < 1.0 / 1.10 {
+            eprintln!("FAIL: fleet-sink ingest slower than 1.10x of stream-off single-thread ({single:.2})");
             failed = true;
         }
         if failed {
@@ -1118,6 +1226,23 @@ fn main() {
         results.push(measure("stream-off", stream_off, threads, accesses, reps, false));
         results.push(measure("stream-on", stream_on, threads, accesses, reps, false));
     }
+    // Family 3b — fleet transport: the drainer shipping every retired delta over a
+    // loopback socket to an aggregator daemon, vs the same session with no export
+    // (`fleet-off` = stream-off at [`FLEET_PERIOD`]; the --smoke-fleet CI gate
+    // enforces the ratio).
+    let fleet_aggregator = FleetAggregator::bind("127.0.0.1:0").expect("loopback bind");
+    let fleet_addr = fleet_aggregator.local_addr().expect("tcp aggregator").to_string();
+    let fleet_seq = std::sync::atomic::AtomicU64::new(0);
+    let fleet_off =
+        || Box::new(SessionPipeline::streaming_at(FLEET_PERIOD, false)) as Box<dyn Pipeline>;
+    let fleet_on = || {
+        let id = fleet_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Box::new(SessionPipeline::fleet(&fleet_addr, &format!("bench{id}"))) as Box<dyn Pipeline>
+    };
+    for threads in [1, MULTI_THREADS] {
+        results.push(measure("fleet-off", fleet_off, threads, accesses, reps, false));
+        results.push(measure("fleet-on", fleet_on, threads, accesses, reps, false));
+    }
     // Family 4 — delta-fold accumulation (the Coalesce-backpressure merge step and
     // DeltaFold replay): the keyed ProfileDelta::merge_from against the pre-redesign
     // linear-scan + re-sort reconstruction, over the same wide delta stream.
@@ -1164,6 +1289,10 @@ fn main() {
         / throughput_of(&results, "fold-linear", FOLD_THREADS);
     let query_ratio = throughput_of(&results, "query-eval", QUERY_THREADS)
         / throughput_of(&results, "analyze-legacy", QUERY_THREADS);
+    let fleet_multi = throughput_of(&results, "fleet-on", MULTI_THREADS)
+        / throughput_of(&results, "fleet-off", MULTI_THREADS);
+    let fleet_single =
+        throughput_of(&results, "fleet-on", 1) / throughput_of(&results, "fleet-off", 1);
 
     println!(
         "\nsharded/global @{MULTI_THREADS} threads:  {multi_speedup:.2}x (target >= 2x)\n\
@@ -1175,7 +1304,9 @@ fn main() {
          stream-on/off  @{MULTI_THREADS} threads:  {streaming_multi:.2} (target >= 0.90)\n\
          stream-on/off  @1 thread:   {streaming_single:.2} (target >= 0.90)\n\
          keyed/linear delta fold:    {fold_speedup:.2}x (target >= 1x)\n\
-         query/legacy evaluation:    {query_ratio:.2} (gate >= 0.909)"
+         query/legacy evaluation:    {query_ratio:.2} (gate >= 0.909)\n\
+         fleet-on/off   @{MULTI_THREADS} threads:  {fleet_multi:.2} (gate >= 0.909)\n\
+         fleet-on/off   @1 thread:   {fleet_single:.2} (gate >= 0.909)"
     );
 
     // Cargo runs benches with the package directory as CWD; record the results at the
@@ -1200,6 +1331,8 @@ fn main() {
             ("streaming_single_thread_ratio", streaming_single),
             ("coalesce_fold_speedup", fold_speedup),
             ("query_vs_legacy_ratio", query_ratio),
+            ("fleet_multi_thread_ratio", fleet_multi),
+            ("fleet_single_thread_ratio", fleet_single),
         ],
     );
     println!("\nrecorded {path}");

@@ -20,7 +20,11 @@
 //!                           untouched)   retire)    in-process)     thread)     on_finish)
 //! ```
 //!
-//! Configure with [`SessionBuilder::stream_to`](crate::session::SessionBuilder::stream_to).
+//! Configure with [`SessionBuilder::stream_to`](crate::session::SessionBuilder::stream_to);
+//! to ship the frames to another process instead of a local writer, hand the same
+//! pipeline a socket-backed [`FleetSink`](crate::fleet::FleetSink) via
+//! [`SessionBuilder::stream_to_fleet`](crate::session::SessionBuilder::stream_to_fleet)
+//! (see [`crate::fleet`] for the wire protocol).
 //! Deltas enter the stream from two producers, serialized by one hand-off gate so
 //! epochs are strictly ordered on the wire:
 //!

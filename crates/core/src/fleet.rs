@@ -1,0 +1,1488 @@
+//! Fleet profiling: a socket transport for epoch deltas plus an aggregator daemon
+//! that serves the [`Query`] API over N producer processes.
+//!
+//! DJXPerf profiles one process; the production-scale deployment profiles fleets.
+//! This module crosses the process boundary with the pieces the in-process pipeline
+//! already guarantees: the export drainer ([`crate::export`]) retires epoch deltas,
+//! the chunked codec ([`ChunkedJsonSink`]) frames them replayably, and
+//! [`DeltaFold`] folds them back incrementally. Three parts:
+//!
+//! * [`FleetSink`] — a [`ProfileSink`] that ships each epoch frame over a TCP or
+//!   Unix socket instead of a file. Plug it into
+//!   [`SessionBuilder::stream_to_fleet`](crate::session::SessionBuilder::stream_to_fleet)
+//!   and the profiled process needs no other change.
+//! * [`FleetAggregator`] — the daemon: accepts producer connections, keeps one
+//!   running [`DeltaFold`] per producer (incremental — history is never re-read),
+//!   exposes the merged fleet as a [`ProfileSource`] ([`FleetAggregator::view`]),
+//!   and answers [`Query`] requests over the same wire.
+//! * [`FleetClient`] — sends queries/status requests to an aggregator and returns
+//!   the rendered results.
+//!
+//! # Wire protocol (`djxperf-fleet`, version 1)
+//!
+//! Newline-delimited JSON in both directions; every frame is one line. The epoch
+//! frames are **exactly** the chunked epoch-log records — one decoder
+//! ([`parse_log_record`]) serves log files and sockets, so the two transports can
+//! never drift apart.
+//!
+//! Producer → aggregator:
+//!
+//! | frame | layout |
+//! |---|---|
+//! | hello | `{"record":"hello","format":"djxperf-fleet","version":1,"producer":NAME,"event":EVENT,"period":P,"size_filter":S}` |
+//! | delta | the [`ChunkedJsonSink`] `delta` record, verbatim |
+//! | finish | the [`ChunkedJsonSink`] `finish` record, verbatim (site table, allocation rows, `total_samples` checksum) |
+//!
+//! Aggregator → producer: `{"record":"ack","epoch":E}` after the hello and after
+//! every delta, `{"record":"ack","epoch":E,"final":true}` after the finish, and
+//! `{"record":"error","message":M}` for protocol violations.
+//!
+//! Client → aggregator: `{"record":"query",…}` (a serialized [`Query`]) and
+//! `{"record":"status"}`. The aggregator answers with
+//! `{"record":"result","text":T,"json":J}` (the [`QueryResult`] renderings —
+//! byte-identical to a local evaluation) and a `status` record listing
+//! [`ProducerStatus`] rows.
+//!
+//! # Epoch / acknowledgement semantics
+//!
+//! Every frame is acknowledged synchronously with the fold's
+//! [`last_epoch`](DeltaFold::last_epoch). The hello acknowledgement tells a
+//! reconnecting producer where to resume: the sink trims its unacknowledged buffer
+//! to frames **after** that epoch and re-sends the rest, so a connection lost
+//! mid-frame (or an acknowledgement lost in flight) backfills without loss and
+//! without double-folding. The aggregator never folds an epoch twice:
+//! [`DeltaFold::absorb_ordered`] rejects out-of-order epochs, and a rejected
+//! duplicate is dropped and re-acknowledged (counted in
+//! [`ProducerStatus::duplicates`]).
+//!
+//! # Truncation detection
+//!
+//! The finish frame carries the run's `total_samples` checksum; the aggregator
+//! refuses it ([`FoldError::ChecksumMismatch`]) unless the folded samples agree, so
+//! silent gaps cannot end a stream cleanly. A producer that disconnects **without**
+//! a finish keeps its partial fold queryable but flagged
+//! ([`ProducerStatus::truncated`], [`FleetProducer::truncated`]) until it
+//! reconnects and finishes — loss is always visible, end to end.
+//!
+//! A producer's partial (pre-finish) fold carries samples but no site table — the
+//! site table arrives with the finish record — so object-grouped queries attribute
+//! its samples only after it finishes; thread- and NUMA-grouped queries see them
+//! immediately. Choosing a deployment (in-process / log replay / fleet daemon) is
+//! covered in the README's "Fleet profiling" section.
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use djx_pmu::PmuEvent;
+use djx_runtime::{Frame, MethodId, ThreadId};
+
+use crate::profile::{
+    event_from_name, AllocationStats, DeltaFold, FoldError, ObjectCentricProfile, ProfileDelta,
+    ProfileParseError,
+};
+use crate::query::{GroupBy, ProfileSource, Query, QueryError, QueryResult, RankBy};
+use crate::sink::{
+    json_path, json_string, parse_log_record, ChunkedJsonSink, FinishRecord, JsonParser, LogRecord,
+    ProfileSink, Reader,
+};
+
+/// Format tag carried by every hello frame.
+const FLEET_FORMAT: &str = "djxperf-fleet";
+
+/// Current version of the fleet wire protocol.
+const FLEET_VERSION: u64 = 1;
+
+/// Reconnect attempts the producer sink makes to deliver the terminal finish frame
+/// before giving up and surfacing the error.
+const FINISH_ATTEMPTS: u32 = 10;
+
+/// Pause between those attempts.
+const FINISH_RETRY_DELAY: Duration = Duration::from_millis(50);
+
+// ---------------------------------------------------------------------------------------
+// Stream plumbing: one enum over TCP and Unix sockets
+// ---------------------------------------------------------------------------------------
+
+/// A connected socket of either family.
+#[derive(Debug)]
+enum WireStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl WireStream {
+    fn try_clone(&self) -> io::Result<WireStream> {
+        match self {
+            WireStream::Tcp(s) => Ok(WireStream::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            WireStream::Unix(s) => Ok(WireStream::Unix(s.try_clone()?)),
+        }
+    }
+
+    fn shutdown(&self) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => s.shutdown(Shutdown::Both),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.shutdown(Shutdown::Both),
+        }
+    }
+}
+
+impl Read for WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            WireStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener of either family.
+#[derive(Debug)]
+enum WireListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl WireListener {
+    fn accept(&self) -> io::Result<WireStream> {
+        match self {
+            WireListener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                // Frames are small and acknowledged synchronously; never batch them.
+                stream.set_nodelay(true)?;
+                Ok(WireStream::Tcp(stream))
+            }
+            #[cfg(unix)]
+            WireListener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(WireStream::Unix(stream))
+            }
+        }
+    }
+}
+
+/// Where a producer sink or query client connects (reconnection re-resolves it).
+#[derive(Debug, Clone)]
+enum Target {
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Target {
+    fn connect(&self) -> io::Result<WireStream> {
+        match self {
+            Target::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                stream.set_nodelay(true)?;
+                Ok(WireStream::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Target::Unix(path) => Ok(WireStream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Wire records beyond the epoch-log frames: hello, ack, error, query, result, status
+// ---------------------------------------------------------------------------------------
+
+/// One aggregator reply frame, as producers and clients decode it.
+#[derive(Debug)]
+enum Reply {
+    Ack { epoch: u64, terminal: bool },
+    Error { message: String },
+    Result { text: String, json: String },
+    Status { producers: Vec<ProducerStatus> },
+}
+
+fn protocol_error(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Decodes one aggregator reply line.
+fn parse_reply(line: &str) -> io::Result<Reply> {
+    (|| -> Result<Reply, ProfileParseError> {
+        let root = JsonParser::new(line).parse_document()?;
+        let doc = Reader::new(line);
+        let record = doc.object(&root, 0)?;
+        let kind = doc.string(record.required("record", 0)?, 0)?;
+        match kind.as_str() {
+            "ack" => Ok(Reply::Ack {
+                epoch: doc.integer(record.required("epoch", 0)?, 0)?,
+                terminal: match record.optional("final") {
+                    Some(v) => doc.boolean(v, 0)?,
+                    None => false,
+                },
+            }),
+            "error" => Ok(Reply::Error { message: doc.string(record.required("message", 0)?, 0)? }),
+            "result" => Ok(Reply::Result {
+                text: doc.string(record.required("text", 0)?, 0)?,
+                json: doc.string(record.required("json", 0)?, 0)?,
+            }),
+            "status" => {
+                let mut producers = Vec::new();
+                for row in doc.array(record.required("producers", 0)?, 0)? {
+                    let row = doc.object(row, 0)?;
+                    producers.push(ProducerStatus {
+                        producer: doc.string(row.required("producer", 0)?, 0)?,
+                        connected: doc.boolean(row.required("connected", 0)?, 0)?,
+                        finished: doc.boolean(row.required("finished", 0)?, 0)?,
+                        truncated: doc.boolean(row.required("truncated", 0)?, 0)?,
+                        deltas: doc.integer(row.required("deltas", 0)?, 0)?,
+                        last_epoch: doc.integer(row.required("last_epoch", 0)?, 0)?,
+                        samples: doc.integer(row.required("samples", 0)?, 0)?,
+                        resumes: doc.integer(row.required("resumes", 0)?, 0)?,
+                        duplicates: doc.integer(row.required("duplicates", 0)?, 0)?,
+                    });
+                }
+                Ok(Reply::Status { producers })
+            }
+            other => Err(ProfileParseError {
+                line: 1,
+                message: format!("unknown reply record {other:?}"),
+            }),
+        }
+    })()
+    .map_err(|e| protocol_error(format!("malformed aggregator reply: {}", e.message)))
+}
+
+/// Serializes a [`Query`] as one wire frame.
+fn write_query_record(query: &Query) -> String {
+    let mut line = format!(
+        "{{\"record\":\"query\",\"group_by\":{},\"rank_by\":{},\"min_samples\":{}",
+        json_string(query.group_by.name()),
+        json_string(query.rank_by.name()),
+        query.min_samples
+    );
+    if let Some(top) = query.top {
+        line.push_str(&format!(",\"top\":{top}"));
+    }
+    line.push_str(",\"classes\":[");
+    for (i, class) in query.classes.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&json_string(class));
+    }
+    line.push_str("],\"site_frames\":");
+    line.push_str(&json_path(&query.site_frames));
+    line.push_str(",\"threads\":[");
+    for (i, thread) in query.threads.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&thread.0.to_string());
+    }
+    line.push_str("]}\n");
+    line
+}
+
+/// Rebuilds a [`Query`] from a wire frame (the aggregator side of
+/// [`write_query_record`]).
+fn parse_query_record(line: &str) -> Result<Query, ProfileParseError> {
+    let root = JsonParser::new(line).parse_document()?;
+    let doc = Reader::new(line);
+    let record = doc.object(&root, 0)?;
+    let group_by = doc.string(record.required("group_by", 0)?, 0)?;
+    let rank_by = doc.string(record.required("rank_by", 0)?, 0)?;
+    let mut query = Query::new()
+        .group_by(GroupBy::from_str(&group_by).map_err(|e| doc.error(0, e.to_string()))?)
+        .rank_by(RankBy::from_str(&rank_by).map_err(|e| doc.error(0, e.to_string()))?)
+        .min_samples(doc.integer(record.required("min_samples", 0)?, 0)?);
+    if let Some(top) = record.optional("top") {
+        query = query.top(doc.integer(top, 0)? as usize);
+    }
+    for class in doc.array(record.required("classes", 0)?, 0)? {
+        query = query.filter_class(doc.string(class, 0)?);
+    }
+    for pair in doc.array(record.required("site_frames", 0)?, 0)? {
+        let cells = doc.array(pair, pair.start)?;
+        if cells.len() != 2 {
+            return Err(doc.error(pair.start, "a site frame is [method, bci]".to_string()));
+        }
+        query = query.filter_site(Frame::new(
+            MethodId(doc.integer_u32(&cells[0], pair.start)?),
+            doc.integer_u32(&cells[1], pair.start)?,
+        ));
+    }
+    for thread in doc.array(record.required("threads", 0)?, 0)? {
+        query = query.filter_thread(ThreadId(doc.integer(thread, 0)?));
+    }
+    Ok(query)
+}
+
+fn ack_line(epoch: u64, terminal: bool) -> String {
+    if terminal {
+        format!("{{\"record\":\"ack\",\"epoch\":{epoch},\"final\":true}}\n")
+    } else {
+        format!("{{\"record\":\"ack\",\"epoch\":{epoch}}}\n")
+    }
+}
+
+fn error_line(message: &str) -> String {
+    format!("{{\"record\":\"error\",\"message\":{}}}\n", json_string(message))
+}
+
+// ---------------------------------------------------------------------------------------
+// FleetSink: the producer-side transport
+// ---------------------------------------------------------------------------------------
+
+/// Transport counters of a [`FleetSink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetSinkStats {
+    /// Successful connections (the initial one plus every reconnect handshake).
+    pub connects: u64,
+    /// Frames delivered and acknowledged.
+    pub frames_sent: u64,
+    /// Buffered frames dropped at a reconnect handshake because the aggregator had
+    /// already folded their epochs (the acknowledgement was lost, not the frame).
+    pub frames_trimmed: u64,
+    /// Highest epoch the aggregator has acknowledged.
+    pub acked_epoch: u64,
+}
+
+/// One buffered, not-yet-acknowledged wire frame. Delta frames carry their epoch
+/// (the reconnect trim key); the terminal finish frame carries `None` and is never
+/// trimmed.
+#[derive(Debug)]
+struct PendingFrame {
+    epoch: Option<u64>,
+    bytes: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    writer: WireStream,
+    reader: BufReader<WireStream>,
+}
+
+impl Conn {
+    fn read_reply(&mut self) -> io::Result<Reply> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "aggregator closed the connection",
+            ));
+        }
+        parse_reply(line.trim_end_matches(['\n', '\r']))
+    }
+}
+
+#[derive(Debug)]
+struct Link {
+    target: Target,
+    hello: String,
+    conn: Option<Conn>,
+    pending: VecDeque<PendingFrame>,
+    severed: bool,
+    stats: FleetSinkStats,
+}
+
+impl Link {
+    /// Connects (or reconnects) and runs the hello handshake: the acknowledgement
+    /// carries the aggregator's last folded epoch for this producer, and the pending
+    /// buffer is trimmed to frames after it — the backfill resume point.
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.severed {
+            return Err(protocol_error("fleet link severed"));
+        }
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let writer = self.target.connect()?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut conn = Conn { writer, reader };
+        conn.writer.write_all(self.hello.as_bytes())?;
+        conn.writer.flush()?;
+        let acked = match conn.read_reply()? {
+            Reply::Ack { epoch, .. } => epoch,
+            Reply::Error { message } => {
+                return Err(protocol_error(format!("aggregator refused hello: {message}")))
+            }
+            _ => return Err(protocol_error("expected an ack to the hello frame")),
+        };
+        self.stats.connects += 1;
+        self.stats.acked_epoch = self.stats.acked_epoch.max(acked);
+        while self.pending.front().is_some_and(|f| f.epoch.is_some_and(|e| e <= acked)) {
+            self.pending.pop_front();
+            self.stats.frames_trimmed += 1;
+        }
+        self.conn = Some(conn);
+        Ok(())
+    }
+
+    /// Delivers every pending frame in order, each acknowledged synchronously. On a
+    /// transport failure the connection is dropped and the undelivered frames stay
+    /// buffered for the next attempt.
+    fn pump(&mut self) -> io::Result<()> {
+        self.ensure_connected()?;
+        while let Some(frame) = self.pending.front() {
+            let conn = self.conn.as_mut().expect("ensure_connected leaves a connection");
+            let delivery = conn
+                .writer
+                .write_all(&frame.bytes)
+                .and_then(|()| conn.writer.flush())
+                .and_then(|()| conn.read_reply());
+            let is_finish = frame.epoch.is_none();
+            match delivery {
+                Ok(Reply::Ack { epoch, terminal }) => {
+                    if is_finish && !terminal {
+                        // The finish frame must be answered by the terminal ack;
+                        // anything else means the aggregator never folded it.
+                        self.conn = None;
+                        return Err(protocol_error("finish frame acknowledged as non-terminal"));
+                    }
+                    self.stats.acked_epoch = self.stats.acked_epoch.max(epoch);
+                    self.stats.frames_sent += 1;
+                    self.pending.pop_front();
+                }
+                Ok(Reply::Error { message }) => {
+                    // A protocol-level refusal (e.g. checksum mismatch), not a
+                    // transport blip: surface it. The frame stays pending so the
+                    // failure repeats rather than vanishing.
+                    self.conn = None;
+                    return Err(protocol_error(format!("aggregator rejected frame: {message}")));
+                }
+                Ok(_) => {
+                    self.conn = None;
+                    return Err(protocol_error("expected an ack frame"));
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn drop_connection(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.writer.shutdown();
+        }
+    }
+}
+
+/// The producer-side transport: a [`ProfileSink`] that frames every epoch delta
+/// with the chunked codec and ships it to a [`FleetAggregator`] over a socket,
+/// synchronously acknowledged. Wire the sink into a session with
+/// [`SessionBuilder::stream_to_fleet`](crate::session::SessionBuilder::stream_to_fleet);
+/// the export drainer then drives it exactly like a file sink.
+///
+/// Delivery is at-least-once with exact folding: unacknowledged frames stay
+/// buffered, a reconnect resumes from the aggregator's acknowledged epoch (frames
+/// it already folded are trimmed, the rest re-sent), and the aggregator drops any
+/// epoch it has seen. Transient transport failures during the run are absorbed —
+/// frames buffer and the next delta retries — while [`ProfileSink::on_finish`]
+/// must deliver the terminal record (retrying up to a bound) or fail, so
+/// [`Session::finish_export`](crate::session::Session::finish_export) surfaces
+/// end-to-end loss.
+///
+/// The `event`/`period`/`size_filter` announced at [`FleetSink::connect`] should
+/// mirror the profiled session's configuration: the aggregator uses them to expose
+/// the producer's **partial** fold (before the finish record arrives) through its
+/// fleet view; the finish record itself carries the authoritative values.
+#[derive(Debug)]
+pub struct FleetSink {
+    link: Mutex<Link>,
+}
+
+impl FleetSink {
+    /// Connects to an aggregator over TCP and runs the hello handshake, announcing
+    /// `producer` as this process's fleet-wide name. Fails fast when the aggregator
+    /// is unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect(
+        addr: &str,
+        producer: &str,
+        event: PmuEvent,
+        period: u64,
+        size_filter: u64,
+    ) -> io::Result<FleetSink> {
+        Self::connect_target(Target::Tcp(addr.to_string()), producer, event, period, size_filter)
+    }
+
+    /// [`FleetSink::connect`] over a Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    #[cfg(unix)]
+    pub fn connect_unix(
+        path: &Path,
+        producer: &str,
+        event: PmuEvent,
+        period: u64,
+        size_filter: u64,
+    ) -> io::Result<FleetSink> {
+        Self::connect_target(Target::Unix(path.to_path_buf()), producer, event, period, size_filter)
+    }
+
+    fn connect_target(
+        target: Target,
+        producer: &str,
+        event: PmuEvent,
+        period: u64,
+        size_filter: u64,
+    ) -> io::Result<FleetSink> {
+        let hello = format!(
+            "{{\"record\":\"hello\",\"format\":\"{FLEET_FORMAT}\",\"version\":{FLEET_VERSION},\"producer\":{},\"event\":{},\"period\":{period},\"size_filter\":{size_filter}}}\n",
+            json_string(producer),
+            json_string(event.hardware_name()),
+        );
+        let mut link = Link {
+            target,
+            hello,
+            conn: None,
+            pending: VecDeque::new(),
+            severed: false,
+            stats: FleetSinkStats::default(),
+        };
+        link.ensure_connected()?;
+        Ok(FleetSink { link: Mutex::new(link) })
+    }
+
+    /// Transport counters so far.
+    pub fn stats(&self) -> FleetSinkStats {
+        self.link.lock().expect("fleet link lock").stats
+    }
+
+    /// Fault injection for reconnect testing: drops the current connection without
+    /// telling the aggregator (as a network partition would). The next frame
+    /// reconnects, re-handshakes and backfills; nothing is lost.
+    pub fn disconnect(&self) {
+        self.link.lock().expect("fleet link lock").drop_connection();
+    }
+
+    /// Fault injection for crash testing: drops the connection and disables the
+    /// link permanently, as if the producer process died mid-run. Subsequent deltas
+    /// are discarded and [`ProfileSink::on_finish`] fails — on the aggregator the
+    /// producer's partial fold stays queryable, flagged truncated.
+    pub fn sever(&self) {
+        let mut link = self.link.lock().expect("fleet link lock");
+        link.severed = true;
+        link.drop_connection();
+        link.pending.clear();
+    }
+}
+
+impl ProfileSink for FleetSink {
+    fn format_name(&self) -> &'static str {
+        "fleet"
+    }
+
+    /// A fleet sink is a transport, not a document codec.
+    fn write_profile(
+        &self,
+        _profile: &ObjectCentricProfile,
+        _out: &mut dyn Write,
+    ) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the fleet sink streams epoch frames to an aggregator; it has no document form",
+        ))
+    }
+
+    fn read_profile(&self, _input: &str) -> Result<ObjectCentricProfile, ProfileParseError> {
+        Err(ProfileParseError {
+            line: 1,
+            message:
+                "the fleet sink streams epoch frames to an aggregator; it has no document form"
+                    .to_string(),
+        })
+    }
+
+    /// Frames the delta with the chunked codec and ships it (`out` is unused — the
+    /// socket is the destination). Transport failures are absorbed: the frame stays
+    /// buffered and the next delta (or the finish) retries after reconnecting.
+    fn on_delta(&self, epoch: u64, delta: &ProfileDelta, _out: &mut dyn Write) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        ChunkedJsonSink.on_delta(epoch, delta, &mut bytes)?;
+        let mut link = self.link.lock().expect("fleet link lock");
+        if link.severed {
+            return Ok(());
+        }
+        link.pending.push_back(PendingFrame { epoch: Some(epoch), bytes });
+        let _ = link.pump();
+        Ok(())
+    }
+
+    /// Ships the terminal finish frame and waits for its acknowledgement, retrying
+    /// the connection a bounded number of times. An error here means the aggregator
+    /// never confirmed the complete stream — the loss is reported, never silent.
+    fn on_finish(&self, profile: &ObjectCentricProfile, _out: &mut dyn Write) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        ChunkedJsonSink.on_finish(profile, &mut bytes)?;
+        let mut link = self.link.lock().expect("fleet link lock");
+        if link.severed {
+            return Err(protocol_error("fleet link severed before the finish frame"));
+        }
+        link.pending.push_back(PendingFrame { epoch: None, bytes });
+        let mut last_error = None;
+        for attempt in 0..FINISH_ATTEMPTS {
+            match link.pump() {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if link.severed {
+                        return Err(e);
+                    }
+                    last_error = Some(e);
+                }
+            }
+            if attempt + 1 < FINISH_ATTEMPTS {
+                thread::sleep(FINISH_RETRY_DELAY);
+            }
+        }
+        Err(last_error.expect("a failed pump leaves an error"))
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// FleetAggregator: the daemon
+// ---------------------------------------------------------------------------------------
+
+/// One producer's row in the aggregator's status report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProducerStatus {
+    /// The fleet-wide name the producer announced in its hello frame.
+    pub producer: String,
+    /// `true` while the producer holds a live connection.
+    pub connected: bool,
+    /// `true` once the finish frame arrived (and its checksum verified).
+    pub finished: bool,
+    /// `true` for a dead producer: disconnected without a finish frame. Its partial
+    /// fold stays queryable; this flag is how the loss stays visible.
+    pub truncated: bool,
+    /// Delta frames folded.
+    pub deltas: u64,
+    /// Last epoch folded (0 while the fold is empty) — the acknowledgement point.
+    pub last_epoch: u64,
+    /// Samples folded so far.
+    pub samples: u64,
+    /// Reconnect handshakes after the first (including name takeovers by a
+    /// restarted producer process).
+    pub resumes: u64,
+    /// Duplicate or out-of-order delta frames dropped and re-acknowledged.
+    pub duplicates: u64,
+}
+
+/// Per-producer aggregator state: the running fold plus the protocol bookkeeping.
+#[derive(Debug)]
+struct ProducerState {
+    fold: DeltaFold,
+    event: PmuEvent,
+    period: u64,
+    size_filter: u64,
+    finish: Option<FinishRecord>,
+    connected: bool,
+    /// Bumped at every hello; a connection handler only clears `connected` when its
+    /// own generation is still current, so a reconnect racing the old handler's
+    /// cleanup cannot be marked dead.
+    generation: u64,
+    resumes: u64,
+    duplicates: u64,
+}
+
+impl ProducerState {
+    fn status(&self, name: &str) -> ProducerStatus {
+        ProducerStatus {
+            producer: name.to_string(),
+            connected: self.connected,
+            finished: self.finish.is_some(),
+            truncated: !self.connected && self.finish.is_none(),
+            deltas: self.fold.deltas(),
+            last_epoch: self.fold.last_epoch().unwrap_or(0),
+            samples: self.fold.total_samples(),
+            resumes: self.resumes,
+            duplicates: self.duplicates,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FleetState {
+    /// Keyed by producer name: deterministic iteration order, so the fleet view
+    /// lists producers the same way on every snapshot.
+    producers: BTreeMap<String, ProducerState>,
+    /// Clones of every accepted connection, for shutdown.
+    conns: Vec<WireStream>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct AggregatorShared {
+    state: Mutex<FleetState>,
+    shutdown: AtomicBool,
+}
+
+/// One producer's slice of a [`FleetView`] snapshot.
+#[derive(Debug, Clone)]
+pub struct FleetProducer {
+    /// The producer's fleet-wide name.
+    pub producer: String,
+    /// `true` when the producer died without a finish frame: the profile below is a
+    /// partial fold — real samples, but not the whole run.
+    pub truncated: bool,
+    /// The producer's assembled profile: complete (sites, allocation rows, verified
+    /// checksum) once finished, the partial fold otherwise.
+    pub profile: ObjectCentricProfile,
+}
+
+/// A point-in-time snapshot of the merged fleet, one assembled profile per
+/// producer, in producer-name order. As a [`ProfileSource`] it answers the full
+/// [`Query`] API; evaluating a query over a view of finished producers renders
+/// **byte-identically** to the same query over a
+/// [`MultiSource`](crate::query::MultiSource) fold of those producers' epoch logs —
+/// same frames, same fold, same assembly, one codepath.
+#[derive(Debug, Clone)]
+pub struct FleetView {
+    producers: Vec<FleetProducer>,
+}
+
+impl FleetView {
+    /// The per-producer slices, in producer-name order.
+    pub fn producers(&self) -> &[FleetProducer] {
+        &self.producers
+    }
+
+    /// Number of producers in the view.
+    pub fn len(&self) -> usize {
+        self.producers.len()
+    }
+
+    /// `true` when no producer has connected yet.
+    pub fn is_empty(&self) -> bool {
+        self.producers.is_empty()
+    }
+
+    /// Total folded samples across the fleet.
+    pub fn total_samples(&self) -> u64 {
+        self.producers.iter().map(|p| p.profile.total_samples()).sum()
+    }
+
+    /// `true` when any producer's stream was truncated — the view describes less
+    /// than the fleet actually sampled.
+    pub fn any_truncated(&self) -> bool {
+        self.producers.iter().any(|p| p.truncated)
+    }
+}
+
+impl ProfileSource for FleetView {
+    fn object_profiles(&self) -> Result<Vec<Cow<'_, ObjectCentricProfile>>, QueryError> {
+        Ok(self.producers.iter().map(|p| Cow::Borrowed(&p.profile)).collect())
+    }
+}
+
+fn snapshot_view(state: &FleetState) -> FleetView {
+    let producers = state
+        .producers
+        .iter()
+        .map(|(name, p)| {
+            let fold = p.fold.clone();
+            let profile = match &p.finish {
+                Some(finish) => {
+                    finish.clone().assemble(fold).expect("finish checksum was verified at ingest")
+                }
+                None => fold.assemble(
+                    p.event,
+                    p.period,
+                    p.size_filter,
+                    Vec::new(),
+                    std::iter::empty(),
+                    AllocationStats::default(),
+                ),
+            };
+            FleetProducer {
+                producer: name.clone(),
+                truncated: !p.connected && p.finish.is_none(),
+                profile,
+            }
+        })
+        .collect();
+    FleetView { producers }
+}
+
+fn status_line(state: &FleetState) -> String {
+    let mut line = String::from("{\"record\":\"status\",\"producers\":[");
+    for (i, (name, p)) in state.producers.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let s = p.status(name);
+        line.push_str(&format!(
+            "{{\"producer\":{},\"connected\":{},\"finished\":{},\"truncated\":{},\"deltas\":{},\"last_epoch\":{},\"samples\":{},\"resumes\":{},\"duplicates\":{}}}",
+            json_string(&s.producer),
+            s.connected,
+            s.finished,
+            s.truncated,
+            s.deltas,
+            s.last_epoch,
+            s.samples,
+            s.resumes,
+            s.duplicates,
+        ));
+    }
+    line.push_str("]}\n");
+    line
+}
+
+/// The aggregator daemon: binds a listener, folds every producer's epoch frames
+/// incrementally, and serves the fleet — as an in-process [`ProfileSource`]
+/// ([`FleetAggregator::view`]) and over the wire to [`FleetClient`]s.
+///
+/// Dropping the aggregator shuts it down: the accept loop stops, live connections
+/// are closed, and handler threads are joined.
+#[derive(Debug)]
+pub struct FleetAggregator {
+    shared: Arc<AggregatorShared>,
+    accept_handle: Option<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl FleetAggregator {
+    /// Binds a TCP listener (`"127.0.0.1:0"` picks a free loopback port; see
+    /// [`FleetAggregator::local_addr`]) and starts accepting producers and clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str) -> io::Result<FleetAggregator> {
+        let listener = TcpListener::bind(addr)?;
+        let tcp_addr = listener.local_addr()?;
+        Ok(Self::start(WireListener::Tcp(listener), Some(tcp_addr), None))
+    }
+
+    /// Binds a Unix domain socket at `path` (which must not exist yet; it is
+    /// removed again on shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &Path) -> io::Result<FleetAggregator> {
+        let listener = UnixListener::bind(path)?;
+        Ok(Self::start(WireListener::Unix(listener), None, Some(path.to_path_buf())))
+    }
+
+    #[cfg(unix)]
+    fn start(
+        listener: WireListener,
+        tcp_addr: Option<SocketAddr>,
+        unix_path: Option<PathBuf>,
+    ) -> FleetAggregator {
+        let shared = Arc::new(AggregatorShared {
+            state: Mutex::new(FleetState::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = thread::spawn(move || accept_loop(listener, accept_shared));
+        FleetAggregator { shared, accept_handle: Some(accept_handle), tcp_addr, unix_path }
+    }
+
+    #[cfg(not(unix))]
+    fn start(
+        listener: WireListener,
+        tcp_addr: Option<SocketAddr>,
+        _unix_path: Option<()>,
+    ) -> FleetAggregator {
+        let shared = Arc::new(AggregatorShared {
+            state: Mutex::new(FleetState::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = thread::spawn(move || accept_loop(listener, accept_shared));
+        FleetAggregator { shared, accept_handle: Some(accept_handle), tcp_addr }
+    }
+
+    /// The bound TCP address (`None` for a Unix-socket aggregator).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// A point-in-time snapshot of the merged fleet: one assembled profile per
+    /// producer. Snapshotting clones the folds under the state lock and assembles
+    /// outside influence of further frames — queries race ingestion without ever
+    /// pausing it.
+    pub fn view(&self) -> FleetView {
+        let state = self.shared.state.lock().expect("fleet state lock");
+        snapshot_view(&state)
+    }
+
+    /// Per-producer protocol status, in producer-name order.
+    pub fn status(&self) -> Vec<ProducerStatus> {
+        let state = self.shared.state.lock().expect("fleet state lock");
+        state.producers.iter().map(|(name, p)| p.status(name)).collect()
+    }
+
+    /// Evaluates a query over the current fleet view — the same evaluation a
+    /// [`FleetClient`] triggers over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueryError`] from the evaluation.
+    pub fn query(&self, query: &Query) -> Result<QueryResult, QueryError> {
+        query.evaluate(&self.view())
+    }
+
+    /// Stops the daemon: no new connections, live connections closed, handler
+    /// threads joined. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        let Some(accept_handle) = self.accept_handle.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        if let Some(addr) = &self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+        let _ = accept_handle.join();
+        let (conns, handlers) = {
+            let mut state = self.shared.state.lock().expect("fleet state lock");
+            (std::mem::take(&mut state.conns), std::mem::take(&mut state.handlers))
+        };
+        for conn in &conns {
+            let _ = conn.shutdown();
+        }
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for FleetAggregator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: WireListener, shared: Arc<AggregatorShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok(stream) => stream,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn_clone = stream.try_clone().ok();
+        let handler_shared = Arc::clone(&shared);
+        let handle = thread::spawn(move || handle_connection(stream, handler_shared));
+        let mut state = shared.state.lock().expect("fleet state lock");
+        if let Some(clone) = conn_clone {
+            state.conns.push(clone);
+        }
+        state.handlers.push(handle);
+    }
+}
+
+/// What a connection handler learned about its peer.
+struct ConnCtx {
+    /// Set once a hello frame arrives: the producer name and the generation this
+    /// connection owns.
+    producer: Option<(String, u64)>,
+}
+
+fn handle_connection(stream: WireStream, shared: Arc<AggregatorShared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut ctx = ConnCtx { producer: None };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let frame = line.trim_end_matches(['\n', '\r']);
+        if frame.trim().is_empty() {
+            continue;
+        }
+        if dispatch_frame(frame, &mut ctx, &shared, &mut writer).is_err() {
+            break;
+        }
+    }
+    // Disconnect cleanup: mark the producer dead unless a newer connection has
+    // already taken the name over.
+    if let Some((name, generation)) = ctx.producer {
+        let mut state = shared.state.lock().expect("fleet state lock");
+        if let Some(p) = state.producers.get_mut(&name) {
+            if p.generation == generation {
+                p.connected = false;
+            }
+        }
+    }
+}
+
+/// Handles one inbound frame; an `Err` closes the connection (the peer already got
+/// an error record where one applies).
+fn dispatch_frame(
+    frame: &str,
+    ctx: &mut ConnCtx,
+    shared: &Arc<AggregatorShared>,
+    writer: &mut WireStream,
+) -> io::Result<()> {
+    let kind = match frame_kind(frame) {
+        Ok(kind) => kind,
+        Err(e) => {
+            let _ = writer.write_all(error_line(&e.message).as_bytes());
+            return Err(protocol_error(e.message));
+        }
+    };
+    match kind.as_str() {
+        "hello" => dispatch_hello(frame, ctx, shared, writer),
+        "delta" | "finish" => dispatch_epoch_frame(frame, ctx, shared, writer),
+        "query" => dispatch_query(frame, shared, writer),
+        "status" => {
+            let line = {
+                let state = shared.state.lock().expect("fleet state lock");
+                status_line(&state)
+            };
+            writer.write_all(line.as_bytes())
+        }
+        other => {
+            let message = format!("unknown frame kind {other:?}");
+            let _ = writer.write_all(error_line(&message).as_bytes());
+            Err(protocol_error(message))
+        }
+    }
+}
+
+fn frame_kind(frame: &str) -> Result<String, ProfileParseError> {
+    let root = JsonParser::new(frame).parse_document()?;
+    let doc = Reader::new(frame);
+    let record = doc.object(&root, 0)?;
+    doc.string(record.required("record", 0)?, 0)
+}
+
+fn dispatch_hello(
+    frame: &str,
+    ctx: &mut ConnCtx,
+    shared: &Arc<AggregatorShared>,
+    writer: &mut WireStream,
+) -> io::Result<()> {
+    let hello = (|| -> Result<(String, PmuEvent, u64, u64), ProfileParseError> {
+        let root = JsonParser::new(frame).parse_document()?;
+        let doc = Reader::new(frame);
+        let record = doc.object(&root, 0)?;
+        let format = doc.string(record.required("format", 0)?, 0)?;
+        if format != FLEET_FORMAT {
+            return Err(doc.error(0, format!("unexpected fleet format {format:?}")));
+        }
+        let version = doc.integer(record.required("version", 0)?, 0)?;
+        if version != FLEET_VERSION {
+            return Err(doc.error(0, format!("unsupported fleet version {version}")));
+        }
+        let event_value = record.required("event", 0)?;
+        let event = event_from_name(&doc.string(event_value, 0)?)
+            .map_err(|e| doc.error(event_value.start, e.to_string()))?;
+        Ok((
+            doc.string(record.required("producer", 0)?, 0)?,
+            event,
+            doc.integer(record.required("period", 0)?, 0)?,
+            doc.integer(record.required("size_filter", 0)?, 0)?,
+        ))
+    })();
+    let (name, event, period, size_filter) = match hello {
+        Ok(hello) => hello,
+        Err(e) => {
+            let _ = writer.write_all(error_line(&e.message).as_bytes());
+            return Err(protocol_error(e.message));
+        }
+    };
+    let acked = {
+        let mut state = shared.state.lock().expect("fleet state lock");
+        let existed = state.producers.contains_key(&name);
+        let p = state.producers.entry(name.clone()).or_insert_with(|| ProducerState {
+            fold: DeltaFold::new(),
+            event,
+            period,
+            size_filter,
+            finish: None,
+            connected: false,
+            generation: 0,
+            resumes: 0,
+            duplicates: 0,
+        });
+        if existed {
+            p.resumes += 1;
+        }
+        p.connected = true;
+        p.generation += 1;
+        ctx.producer = Some((name, p.generation));
+        p.fold.last_epoch().unwrap_or(0)
+    };
+    writer.write_all(ack_line(acked, false).as_bytes())
+}
+
+fn dispatch_epoch_frame(
+    frame: &str,
+    ctx: &mut ConnCtx,
+    shared: &Arc<AggregatorShared>,
+    writer: &mut WireStream,
+) -> io::Result<()> {
+    let Some((name, _)) = &ctx.producer else {
+        let message = "epoch frames require a hello frame first";
+        let _ = writer.write_all(error_line(message).as_bytes());
+        return Err(protocol_error(message));
+    };
+    let record = match parse_log_record(frame) {
+        Ok(record) => record,
+        Err(e) => {
+            let _ = writer.write_all(error_line(&e.message).as_bytes());
+            return Err(protocol_error(e.message));
+        }
+    };
+    let reply = {
+        let mut state = shared.state.lock().expect("fleet state lock");
+        let p = state.producers.get_mut(name).expect("hello inserted the producer");
+        match record {
+            LogRecord::Delta(delta) => {
+                if p.finish.is_some() {
+                    Err("delta frame after the finish frame".to_string())
+                } else {
+                    match p.fold.absorb_ordered(&delta) {
+                        Ok(()) => Ok(ack_line(delta.epoch, false)),
+                        // An epoch the fold has seen: a backfill overlap (the frame
+                        // was folded but its acknowledgement was lost). Drop it and
+                        // re-acknowledge — folding twice would double-count.
+                        Err(FoldError::OutOfOrderEpoch { .. }) => {
+                            p.duplicates += 1;
+                            Ok(ack_line(p.fold.last_epoch().unwrap_or(0), false))
+                        }
+                        Err(e) => Err(e.to_string()),
+                    }
+                }
+            }
+            LogRecord::Finish(finish) => {
+                if p.finish.is_some() {
+                    // A re-sent finish after a lost final acknowledgement.
+                    Ok(ack_line(p.fold.last_epoch().unwrap_or(0), true))
+                } else {
+                    match p.fold.verify_checksum(finish.total_samples) {
+                        Ok(()) => {
+                            p.finish = Some(finish);
+                            Ok(ack_line(p.fold.last_epoch().unwrap_or(0), true))
+                        }
+                        Err(e) => Err(e.to_string()),
+                    }
+                }
+            }
+        }
+    };
+    match reply {
+        Ok(line) => writer.write_all(line.as_bytes()),
+        Err(message) => {
+            let _ = writer.write_all(error_line(&message).as_bytes());
+            Err(protocol_error(message))
+        }
+    }
+}
+
+fn dispatch_query(
+    frame: &str,
+    shared: &Arc<AggregatorShared>,
+    writer: &mut WireStream,
+) -> io::Result<()> {
+    let query = match parse_query_record(frame) {
+        Ok(query) => query,
+        Err(e) => {
+            let _ = writer.write_all(error_line(&e.message).as_bytes());
+            return Err(protocol_error(e.message));
+        }
+    };
+    // Snapshot under the lock, evaluate outside it: queries never stall ingestion.
+    let view = {
+        let state = shared.state.lock().expect("fleet state lock");
+        snapshot_view(&state)
+    };
+    match query.evaluate(&view) {
+        Ok(result) => {
+            let line = format!(
+                "{{\"record\":\"result\",\"text\":{},\"json\":{}}}\n",
+                json_string(&result.to_text()),
+                json_string(&result.to_json()),
+            );
+            writer.write_all(line.as_bytes())
+        }
+        Err(e) => {
+            let message = e.to_string();
+            let _ = writer.write_all(error_line(&message).as_bytes());
+            Err(protocol_error(message))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// FleetClient: querying the aggregator over the wire
+// ---------------------------------------------------------------------------------------
+
+/// A query answer rendered by the aggregator: both output forms, exactly as the
+/// same [`QueryResult`] would render them in process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteQueryResult {
+    /// The aligned text table ([`QueryResult::to_text`](crate::query::QueryResult::to_text)).
+    pub text: String,
+    /// The JSON document ([`QueryResult::to_json`](crate::query::QueryResult::to_json)).
+    pub json: String,
+}
+
+/// A client connection to a [`FleetAggregator`]: sends query and status requests
+/// over the same NDJSON wire the producers use, one request-response pair per
+/// call.
+#[derive(Debug)]
+pub struct FleetClient {
+    writer: WireStream,
+    reader: BufReader<WireStream>,
+}
+
+impl FleetClient {
+    /// Connects to an aggregator over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> io::Result<FleetClient> {
+        Self::from_target(Target::Tcp(addr.to_string()))
+    }
+
+    /// Connects to an aggregator over a Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> io::Result<FleetClient> {
+        Self::from_target(Target::Unix(path.to_path_buf()))
+    }
+
+    fn from_target(target: Target) -> io::Result<FleetClient> {
+        let writer = target.connect()?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(FleetClient { writer, reader })
+    }
+
+    fn round_trip(&mut self, request: &str) -> io::Result<Reply> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "aggregator closed the connection",
+            ));
+        }
+        parse_reply(line.trim_end_matches(['\n', '\r']))
+    }
+
+    /// Evaluates `query` over the aggregator's current fleet view and returns both
+    /// rendered forms.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, and aggregator-side rejections surfaced as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn query(&mut self, query: &Query) -> io::Result<RemoteQueryResult> {
+        match self.round_trip(&write_query_record(query))? {
+            Reply::Result { text, json } => Ok(RemoteQueryResult { text, json }),
+            Reply::Error { message } => {
+                Err(protocol_error(format!("aggregator rejected query: {message}")))
+            }
+            other => Err(protocol_error(format!("unexpected reply to query: {other:?}"))),
+        }
+    }
+
+    /// Fetches the aggregator's per-producer protocol status.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, and aggregator-side rejections surfaced as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn status(&mut self) -> io::Result<Vec<ProducerStatus>> {
+        match self.round_trip("{\"record\":\"status\"}\n")? {
+            Reply::Status { producers } => Ok(producers),
+            Reply::Error { message } => {
+                Err(protocol_error(format!("aggregator rejected status request: {message}")))
+            }
+            other => Err(protocol_error(format!("unexpected reply to status: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ThreadDelta, ThreadProfile};
+
+    fn delta(epoch: u64, thread: u64, samples: u64) -> ProfileDelta {
+        let mut profile = ThreadProfile::new(ThreadId(thread), "worker");
+        profile.samples = samples;
+        ProfileDelta { epoch, threads: vec![ThreadDelta { seq: 0, profile }] }
+    }
+
+    #[test]
+    fn query_record_round_trips() {
+        let query = Query::new()
+            .rank_by(RankBy::Samples)
+            .top(7)
+            .min_samples(3)
+            .filter_class("java/util/HashMap")
+            .filter_site(Frame::new(MethodId(4), 2))
+            .filter_site(Frame::new(MethodId(9), 0))
+            .filter_thread(ThreadId(11));
+        let line = write_query_record(&query);
+        let parsed = parse_query_record(line.trim_end()).expect("round trip");
+        assert_eq!(write_query_record(&parsed), line);
+    }
+
+    #[test]
+    fn query_record_round_trips_defaults() {
+        for query in [
+            Query::new(),
+            Query::new().group_by(GroupBy::Site),
+            Query::new().group_by(GroupBy::Thread).rank_by(RankBy::RemoteFraction),
+            Query::new().group_by(GroupBy::NumaNode).rank_by(RankBy::Latency),
+        ] {
+            let line = write_query_record(&query);
+            let parsed = parse_query_record(line.trim_end()).expect("round trip");
+            assert_eq!(write_query_record(&parsed), line);
+        }
+    }
+
+    #[test]
+    fn reply_parser_handles_all_kinds() {
+        match parse_reply("{\"record\":\"ack\",\"epoch\":4}").unwrap() {
+            Reply::Ack { epoch, terminal } => {
+                assert_eq!(epoch, 4);
+                assert!(!terminal);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match parse_reply("{\"record\":\"ack\",\"epoch\":9,\"final\":true}").unwrap() {
+            Reply::Ack { epoch, terminal } => {
+                assert_eq!(epoch, 9);
+                assert!(terminal);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match parse_reply("{\"record\":\"error\",\"message\":\"nope\"}").unwrap() {
+            Reply::Error { message } => assert_eq!(message, "nope"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match parse_reply(
+            "{\"record\":\"status\",\"producers\":[{\"producer\":\"p\",\"connected\":true,\
+             \"finished\":false,\"truncated\":false,\"deltas\":2,\"last_epoch\":2,\
+             \"samples\":10,\"resumes\":1,\"duplicates\":0}]}",
+        )
+        .unwrap()
+        {
+            Reply::Status { producers } => {
+                assert_eq!(producers.len(), 1);
+                assert_eq!(producers[0].producer, "p");
+                assert!(producers[0].connected);
+                assert_eq!(producers[0].resumes, 1);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(parse_reply("{\"record\":\"delta\"}").is_err());
+        assert!(parse_reply("not json").is_err());
+    }
+
+    #[test]
+    fn aggregator_accepts_hello_and_deltas() {
+        let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("bind");
+        let addr = aggregator.local_addr().expect("tcp addr").to_string();
+        let sink = FleetSink::connect(&addr, "unit", PmuEvent::DEFAULT, 16, 0).expect("connect");
+        let mut out = io::sink();
+        sink.on_delta(1, &delta(1, 7, 5), &mut out).expect("delta 1");
+        sink.on_delta(2, &delta(2, 7, 3), &mut out).expect("delta 2");
+        let status = aggregator.status();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].producer, "unit");
+        assert_eq!(status[0].deltas, 2);
+        assert_eq!(status[0].last_epoch, 2);
+        assert_eq!(status[0].samples, 8);
+        assert!(status[0].connected);
+        assert!(!status[0].finished);
+        assert!(!status[0].truncated);
+        let stats = sink.stats();
+        assert_eq!(stats.connects, 1);
+        assert_eq!(stats.frames_sent, 2);
+        assert_eq!(stats.acked_epoch, 2);
+    }
+
+    #[test]
+    fn severed_producer_is_flagged_truncated() {
+        let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("bind");
+        let addr = aggregator.local_addr().expect("tcp addr").to_string();
+        let sink = FleetSink::connect(&addr, "dead", PmuEvent::DEFAULT, 16, 0).expect("connect");
+        let mut out = io::sink();
+        sink.on_delta(1, &delta(1, 3, 4), &mut out).expect("delta");
+        sink.sever();
+        // The handler notices the closed socket and marks the producer dead.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let status = aggregator.status();
+            if !status[0].connected {
+                assert!(status[0].truncated);
+                assert!(!status[0].finished);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "producer never marked dead");
+            thread::sleep(Duration::from_millis(5));
+        }
+        let view = aggregator.view();
+        assert!(view.any_truncated());
+        assert_eq!(view.total_samples(), 4);
+    }
+}

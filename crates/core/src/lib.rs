@@ -102,6 +102,7 @@ pub mod analyzer;
 pub mod cct;
 pub mod codecentric;
 pub mod export;
+pub mod fleet;
 pub mod metrics;
 pub mod object;
 pub mod profile;
@@ -121,10 +122,14 @@ pub use analyzer::{AccessContext, AnalysisReport, Analyzer, AnalyzerBuilder, Obj
 pub use cct::{Cct, CctNodeId};
 pub use codecentric::{CodeCentricProfile, CodeCentricProfiler, CodeLocation};
 pub use export::{Backpressure, DeltaDrainer, DrainPolicy, ExportStats, SharedBuffer};
+pub use fleet::{
+    FleetAggregator, FleetClient, FleetProducer, FleetSink, FleetSinkStats, FleetView,
+    ProducerStatus, RemoteQueryResult,
+};
 pub use metrics::MetricVector;
 pub use object::{AllocSite, AllocSiteId, AllocSiteRegistry, MonitoredObject};
 pub use profile::{
-    AllocationRow, AllocationStats, DeltaFold, ObjectCentricProfile, ProfileDelta,
+    AllocationRow, AllocationStats, DeltaFold, FoldError, ObjectCentricProfile, ProfileDelta,
     ProfileParseError, SiteMetrics, ThreadDelta, ThreadProfile, UnknownEventError,
 };
 pub use profiler::{DjxPerf, ProfilerConfig, DEFAULT_SAMPLE_PERIOD};
@@ -139,6 +144,9 @@ pub use session::{
     adaptive_shard_count, BatchContext, Collector, NumaProfile, SampleContext, Session,
     SessionBuilder, SessionConfig, SessionSnapshot, DEFAULT_EXPECTED_LIVE_OBJECTS,
 };
-pub use sink::{read_any_profile, ChunkedJsonSink, JsonSink, ProfileSink, TextSink};
+pub use sink::{
+    parse_log_record, read_any_profile, ChunkedJsonSink, EpochFrameReader, FinishRecord, JsonSink,
+    LogRecord, ProfileSink, TextSink,
+};
 pub use splay::{Interval, IntervalSplayTree, LookupStats};
 pub use sync::{Epoch, SpinLock, SpinLockGuard};

@@ -3,6 +3,7 @@
 //! online collector generates a profile per thread; the offline analyzer merges them).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 use djx_pmu::PmuEvent;
@@ -292,14 +293,85 @@ impl ProfileDelta {
     }
 }
 
+/// A violation of the incremental-fold contract: the stream of deltas feeding a
+/// [`DeltaFold`] was reordered, replayed, or truncated in a way the fold can prove.
+///
+/// These are the two checks every consumer of a delta stream performs — the epoch-log
+/// replay ([`ChunkedJsonSink::read_log`](crate::sink::ChunkedJsonSink::read_log)) maps
+/// them onto [`ProfileParseError`] with the offending line, and the fleet aggregator
+/// ([`crate::fleet`]) uses them to reject out-of-order frames per producer and to
+/// refuse a finish record whose checksum disagrees with what was actually folded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldError {
+    /// A delta arrived whose epoch is not strictly greater than the last folded one.
+    /// A loss-free stream is strictly increasing (empty epochs are skipped, coalesced
+    /// deltas keep the latest epoch they cover), so a repeat or regression means the
+    /// stream was duplicated or reordered in transit.
+    OutOfOrderEpoch {
+        /// The offending delta's epoch.
+        epoch: u64,
+        /// The last epoch the fold accepted.
+        last: u64,
+    },
+    /// The folded sample total disagrees with the terminal record's checksum: deltas
+    /// were lost or duplicated between the producer and this fold.
+    ChecksumMismatch {
+        /// Samples actually folded.
+        folded: u64,
+        /// Samples the terminal record promised.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for FoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldError::OutOfOrderEpoch { epoch, last } => write!(
+                f,
+                "out-of-order epoch {epoch} after {last} — a loss-free stream is strictly increasing"
+            ),
+            FoldError::ChecksumMismatch { folded, expected } => write!(
+                f,
+                "streamed deltas fold to {folded} samples but the finish record counts {expected} — lost or duplicated deltas"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FoldError {}
+
 /// Accumulates streamed [`ProfileDelta`]s back into whole per-thread profiles — the
-/// replay side of the export pipeline's loss-free guarantee. Internally this is one
-/// growing delta folded with [`ProfileDelta::merge_from`], so replay and coalescing
-/// share one exactness argument.
-#[derive(Debug)]
+/// replay side of the export pipeline's loss-free guarantee, and the per-producer
+/// state a fleet aggregator keeps ([`crate::fleet`]). Internally this is one growing
+/// delta folded with [`ProfileDelta::merge_from`], so replay and coalescing share one
+/// exactness argument.
+///
+/// The fold is **incremental**: each [`DeltaFold::absorb_ordered`] call does O(delta)
+/// work against the accumulator — history is never re-read, so a long-lived consumer
+/// (a daemon folding an unbounded stream) pays per-frame cost proportional to the
+/// frame, not to the run so far. The fold also carries the stream's integrity state:
+/// [`DeltaFold::last_epoch`] is the resume point a reconnecting producer backfills
+/// from, [`absorb_ordered`](DeltaFold::absorb_ordered) proves epochs strictly
+/// increase, and [`verify_checksum`](DeltaFold::verify_checksum) proves the terminal
+/// sample count was reached — the three checks that make loss detectable end to end.
+///
+/// ```
+/// use djxperf::{DeltaFold, FoldError, ProfileDelta};
+///
+/// let mut fold = DeltaFold::new();
+/// fold.absorb_ordered(&ProfileDelta::empty(3)).unwrap();
+/// // Epoch 3 again: a duplicate cannot slip in.
+/// let dup = fold.absorb_ordered(&ProfileDelta::empty(3));
+/// assert_eq!(dup, Err(FoldError::OutOfOrderEpoch { epoch: 3, last: 3 }));
+/// assert_eq!(fold.last_epoch(), Some(3));
+/// // And the terminal checksum confirms nothing was lost.
+/// assert!(fold.verify_checksum(0).is_ok());
+/// ```
+#[derive(Debug, Clone)]
 pub struct DeltaFold {
     acc: ProfileDelta,
     deltas: u64,
+    last_epoch: Option<u64>,
 }
 
 impl Default for DeltaFold {
@@ -311,13 +383,48 @@ impl Default for DeltaFold {
 impl DeltaFold {
     /// An empty fold.
     pub fn new() -> Self {
-        Self { acc: ProfileDelta::empty(0), deltas: 0 }
+        Self { acc: ProfileDelta::empty(0), deltas: 0, last_epoch: None }
     }
 
-    /// Folds one streamed delta in. Deltas must arrive in stream (epoch) order.
+    /// Folds one streamed delta in without checking its epoch. Deltas must arrive in
+    /// stream (epoch) order for the fold to be exact; callers that cannot trust the
+    /// transport should use [`DeltaFold::absorb_ordered`] instead.
     pub fn absorb(&mut self, delta: &ProfileDelta) {
         self.acc.merge_from(delta);
         self.deltas += 1;
+        self.last_epoch = Some(self.last_epoch.map_or(delta.epoch, |e| e.max(delta.epoch)));
+    }
+
+    /// Folds one streamed delta in, first proving the stream order: the delta's epoch
+    /// must be strictly greater than [`DeltaFold::last_epoch`]. On violation the fold
+    /// is left untouched and the caller decides — a log replay fails the parse, a
+    /// fleet aggregator drops the duplicate frame and re-acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// [`FoldError::OutOfOrderEpoch`] when the epoch repeats or regresses.
+    pub fn absorb_ordered(&mut self, delta: &ProfileDelta) -> Result<(), FoldError> {
+        if let Some(last) = self.last_epoch {
+            if delta.epoch <= last {
+                return Err(FoldError::OutOfOrderEpoch { epoch: delta.epoch, last });
+            }
+        }
+        self.absorb(delta);
+        Ok(())
+    }
+
+    /// Checks the folded sample total against a terminal record's checksum without
+    /// consuming the fold.
+    ///
+    /// # Errors
+    ///
+    /// [`FoldError::ChecksumMismatch`] when deltas were lost or duplicated.
+    pub fn verify_checksum(&self, expected: u64) -> Result<(), FoldError> {
+        let folded = self.total_samples();
+        if folded != expected {
+            return Err(FoldError::ChecksumMismatch { folded, expected });
+        }
+        Ok(())
     }
 
     /// Number of deltas folded so far.
@@ -328,6 +435,13 @@ impl DeltaFold {
     /// Latest epoch folded.
     pub fn epoch(&self) -> u64 {
         self.acc.epoch
+    }
+
+    /// The last epoch accepted by the fold, or `None` while the fold is empty. This
+    /// is the acknowledgement point of the fleet protocol: a reconnecting producer
+    /// resumes from the frame after this epoch.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.last_epoch
     }
 
     /// Total samples folded so far.

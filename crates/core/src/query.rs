@@ -681,13 +681,15 @@ impl ProfileSource for MultiSource<'_> {
 /// against any number of sources. See the [module docs](self).
 #[derive(Debug, Clone, Default)]
 pub struct Query {
-    group_by: GroupBy,
-    rank_by: RankBy,
-    top: Option<usize>,
-    min_samples: u64,
-    classes: Vec<String>,
-    site_frames: Vec<Frame>,
-    threads: Vec<ThreadId>,
+    // pub(crate): the fleet wire codec (`crate::fleet`) serializes queries
+    // field-by-field; external construction stays builder-only.
+    pub(crate) group_by: GroupBy,
+    pub(crate) rank_by: RankBy,
+    pub(crate) top: Option<usize>,
+    pub(crate) min_samples: u64,
+    pub(crate) classes: Vec<String>,
+    pub(crate) site_frames: Vec<Frame>,
+    pub(crate) threads: Vec<ThreadId>,
 }
 
 impl Query {

@@ -1120,6 +1120,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Streams the session's epoch deltas to a fleet aggregator through an
+    /// already-connected [`FleetSink`](crate::fleet::FleetSink): the same
+    /// [`DeltaDrainer`] pipeline as [`SessionBuilder::stream_to`], with frames
+    /// going over the sink's socket instead of a local writer (the local writer
+    /// slot is a no-op [`io::sink`]). See [`crate::fleet`] for the wire protocol
+    /// and reconnect semantics.
+    pub fn stream_to_fleet(self, sink: Arc<crate::fleet::FleetSink>, policy: DrainPolicy) -> Self {
+        self.stream_to(sink, Box::new(io::sink()), policy)
+    }
+
     /// Builds the session without attaching it (use
     /// [`Runtime::add_listener`] with the returned `Arc`, or
     /// [`Session::attach_to`] later).

@@ -17,7 +17,7 @@
 //! [`Session::stream_snapshot`](crate::session::Session::stream_snapshot) streams a
 //! live session through any sink mid-run.
 
-use std::io::{self, Write};
+use std::io::{self, BufRead, Write};
 
 use djx_runtime::{Frame, MethodId, ThreadId};
 
@@ -344,154 +344,257 @@ impl ChunkedJsonSink {
     /// [`ObjectCentricProfile::to_text`]) to the terminal snapshot of the session
     /// that streamed the log.
     ///
+    /// This is a thin wrapper over the incremental machinery: an
+    /// [`EpochFrameReader`] decodes one frame at a time, a
+    /// [`DeltaFold`] accumulates them
+    /// ([`absorb_ordered`](crate::profile::DeltaFold::absorb_ordered)), and the
+    /// terminal [`FinishRecord`] assembles the profile — exactly the loop a fleet
+    /// aggregator runs per producer over a socket instead of a file
+    /// ([`crate::fleet`]).
+    ///
     /// # Errors
     ///
     /// Returns [`ProfileParseError`] for malformed records, out-of-order epochs,
     /// records after (or a log without) the finish record, and checksum mismatches.
     pub fn read_log(&self, input: &str) -> Result<ObjectCentricProfile, ProfileParseError> {
-        enum LineRecord {
-            Delta(ProfileDelta),
-            Finish {
-                event: djx_pmu::PmuEvent,
-                period: u64,
-                size_filter: u64,
-                sites: Vec<AllocSite>,
-                allocs: Vec<AllocationRow>,
-                allocation_stats: AllocationStats,
-                total_samples: u64,
-            },
-        }
-
+        let mut reader = EpochFrameReader::new(input.as_bytes());
         let mut fold = DeltaFold::new();
-        let mut last_epoch: Option<u64> = None;
-        let mut finish: Option<LineRecord> = None;
-        let mut line_count = 0usize;
-        for (index, line) in input.lines().enumerate() {
-            let line_no = index + 1;
-            line_count = line_no;
-            if line.trim().is_empty() {
-                continue;
-            }
+        let mut finish: Option<FinishRecord> = None;
+        while let Some(record) = reader.next_record()? {
+            let line = reader.line_number();
             if finish.is_some() {
                 return Err(ProfileParseError {
-                    line: line_no,
+                    line,
                     message: "records after the finish record".to_string(),
                 });
             }
-            // Parse the whole record with errors re-anchored to the log line.
-            let record = (|| -> Result<LineRecord, ProfileParseError> {
-                let root = JsonParser::new(line).parse_document()?;
-                let doc = Reader::new(line);
-                let record = doc.object(&root, 0)?;
-                let kind = doc.string(record.required("record", 0)?, 0)?;
-                match kind.as_str() {
-                    "delta" => {
-                        let epoch = doc.integer(record.required("epoch", 0)?, 0)?;
-                        let mut threads = Vec::new();
-                        for thread_value in doc.array(record.required("threads", 0)?, 0)? {
-                            let (seq, profile) = read_thread_json(&doc, thread_value)?;
-                            let seq = seq.ok_or_else(|| {
-                                doc.error(
-                                    thread_value.start,
-                                    "delta thread fragment misses its seq".to_string(),
-                                )
-                            })?;
-                            threads.push(ThreadDelta { seq, profile });
-                        }
-                        Ok(LineRecord::Delta(ProfileDelta { epoch, threads }))
-                    }
-                    "finish" => {
-                        let format = doc.string(record.required("format", 0)?, 0)?;
-                        if format != EPOCH_LOG_FORMAT {
-                            return Err(doc.error(0, format!("unexpected log format {format:?}")));
-                        }
-                        let version = doc.integer(record.required("version", 0)?, 0)?;
-                        if version != EPOCH_LOG_VERSION {
-                            return Err(doc.error(0, format!("unsupported log version {version}")));
-                        }
-                        let event_value = record.required("event", 0)?;
-                        let event = event_from_name(&doc.string(event_value, 0)?)
-                            .map_err(|e| doc.error(event_value.start, e.to_string()))?;
-                        let mut allocs = Vec::new();
-                        for row in doc.array(record.required("allocs", 0)?, 0)? {
-                            let cells = doc.array(row, row.start)?;
-                            if cells.len() != 4 {
-                                return Err(doc.error(
-                                    row.start,
-                                    "an alloc row is [thread, site, count, bytes]".to_string(),
-                                ));
-                            }
-                            allocs.push((
-                                ThreadId(doc.integer(&cells[0], row.start)?),
-                                AllocSiteId(doc.integer_u32(&cells[1], row.start)?),
-                                doc.integer(&cells[2], row.start)?,
-                                doc.integer(&cells[3], row.start)?,
-                            ));
-                        }
-                        Ok(LineRecord::Finish {
-                            event,
-                            period: doc.integer(record.required("period", 0)?, 0)?,
-                            size_filter: doc.integer(record.required("size_filter", 0)?, 0)?,
-                            sites: read_sites_json(&doc, record.required("sites", 0)?)?,
-                            allocs,
-                            allocation_stats: read_alloc_stats_json(
-                                &doc,
-                                record.required("allocation_stats", 0)?,
-                            )?,
-                            total_samples: doc.integer(record.required("total_samples", 0)?, 0)?,
-                        })
-                    }
-                    other => Err(doc.error(0, format!("unknown record kind {other:?}"))),
-                }
-            })()
-            .map_err(|mut e| {
-                e.line = line_no;
-                e
-            })?;
             match record {
-                LineRecord::Delta(delta) => {
-                    if let Some(prev) = last_epoch {
-                        if delta.epoch <= prev {
-                            return Err(ProfileParseError {
-                                line: line_no,
-                                message: format!(
-                                    "out-of-order epoch {} after {prev} — a loss-free stream is strictly increasing",
-                                    delta.epoch
-                                ),
-                            });
-                        }
-                    }
-                    last_epoch = Some(delta.epoch);
-                    fold.absorb(&delta);
-                }
-                LineRecord::Finish { .. } => finish = Some(record),
+                LogRecord::Delta(delta) => fold
+                    .absorb_ordered(&delta)
+                    .map_err(|e| ProfileParseError { line, message: e.to_string() })?,
+                LogRecord::Finish(record) => finish = Some(record),
             }
         }
-        let Some(LineRecord::Finish {
-            event,
-            period,
-            size_filter,
-            sites,
-            allocs,
-            allocation_stats,
-            total_samples,
-        }) = finish
-        else {
+        let line = reader.line_number().max(1);
+        let Some(finish) = finish else {
             return Err(ProfileParseError {
-                line: line_count.max(1),
+                line,
                 message: "epoch log has no finish record (truncated stream?)".to_string(),
             });
         };
-        if fold.total_samples() != total_samples {
-            return Err(ProfileParseError {
-                line: line_count.max(1),
-                message: format!(
-                    "streamed deltas fold to {} samples but the finish record counts {total_samples} — lost or duplicated deltas",
-                    fold.total_samples()
-                ),
-            });
+        finish
+            .assemble(fold)
+            .map_err(|e| ProfileParseError { line, message: e.to_string() })
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Epoch-log frames: the incremental decoding layer shared by file replay and sockets
+// ---------------------------------------------------------------------------------------
+
+/// The decoded payload of an epoch log's terminal `finish` frame: run configuration,
+/// the site table, the per-(thread, site) allocation rows and the total-sample
+/// checksum — everything [`DeltaFold::assemble`] needs beyond the folded deltas.
+#[derive(Debug, Clone)]
+pub struct FinishRecord {
+    /// The sampled PMU event.
+    pub event: djx_pmu::PmuEvent,
+    /// Sampling period.
+    pub period: u64,
+    /// Size filter S in bytes.
+    pub size_filter: u64,
+    /// Interned allocation sites of the finished run.
+    pub sites: Vec<AllocSite>,
+    /// Terminal per-(thread, site) allocation rows (empty for whole-profile
+    /// documents, whose threads inline their allocation metrics).
+    pub allocs: Vec<AllocationRow>,
+    /// Allocation-agent counters.
+    pub allocation_stats: AllocationStats,
+    /// Total PMU samples the producer streamed — the end-to-end loss check.
+    pub total_samples: u64,
+}
+
+impl FinishRecord {
+    /// Closes a fold with this record: verifies the total-sample checksum against
+    /// what was actually folded, then assembles the complete profile the way the
+    /// live session would have.
+    ///
+    /// # Errors
+    ///
+    /// [`FoldError::ChecksumMismatch`](crate::profile::FoldError) when deltas were
+    /// lost or duplicated between the producer and the fold.
+    pub fn assemble(
+        self,
+        fold: DeltaFold,
+    ) -> Result<ObjectCentricProfile, crate::profile::FoldError> {
+        fold.verify_checksum(self.total_samples)?;
+        Ok(fold.assemble(
+            self.event,
+            self.period,
+            self.size_filter,
+            self.sites,
+            self.allocs,
+            self.allocation_stats,
+        ))
+    }
+}
+
+/// One decoded epoch-log frame: a streamed delta or the terminal finish record.
+#[derive(Debug, Clone)]
+pub enum LogRecord {
+    /// One streamed epoch delta.
+    Delta(ProfileDelta),
+    /// The terminal record closing the stream.
+    Finish(FinishRecord),
+}
+
+/// Decodes one epoch-log frame (one NDJSON line, without its newline). This is the
+/// single parser behind every transport: [`ChunkedJsonSink::read_log`] feeds it file
+/// lines through an [`EpochFrameReader`], and the fleet aggregator
+/// ([`crate::fleet`]) feeds it socket lines — a log file and a wire stream can never
+/// drift apart because there is exactly one decoder.
+///
+/// Reported error lines are relative to the frame itself (always 1 for a
+/// single-line frame); callers tracking a position re-anchor them.
+///
+/// # Errors
+///
+/// [`ProfileParseError`] for malformed JSON, unknown record kinds, or a finish
+/// record with the wrong format tag or version.
+pub fn parse_log_record(line: &str) -> Result<LogRecord, ProfileParseError> {
+    let root = JsonParser::new(line).parse_document()?;
+    let doc = Reader::new(line);
+    let record = doc.object(&root, 0)?;
+    let kind = doc.string(record.required("record", 0)?, 0)?;
+    match kind.as_str() {
+        "delta" => {
+            let epoch = doc.integer(record.required("epoch", 0)?, 0)?;
+            let mut threads = Vec::new();
+            for thread_value in doc.array(record.required("threads", 0)?, 0)? {
+                let (seq, profile) = read_thread_json(&doc, thread_value)?;
+                let seq = seq.ok_or_else(|| {
+                    doc.error(
+                        thread_value.start,
+                        "delta thread fragment misses its seq".to_string(),
+                    )
+                })?;
+                threads.push(ThreadDelta { seq, profile });
+            }
+            Ok(LogRecord::Delta(ProfileDelta { epoch, threads }))
         }
-        Ok(fold.assemble(event, period, size_filter, sites, allocs, allocation_stats))
+        "finish" => {
+            let format = doc.string(record.required("format", 0)?, 0)?;
+            if format != EPOCH_LOG_FORMAT {
+                return Err(doc.error(0, format!("unexpected log format {format:?}")));
+            }
+            let version = doc.integer(record.required("version", 0)?, 0)?;
+            if version != EPOCH_LOG_VERSION {
+                return Err(doc.error(0, format!("unsupported log version {version}")));
+            }
+            let event_value = record.required("event", 0)?;
+            let event = event_from_name(&doc.string(event_value, 0)?)
+                .map_err(|e| doc.error(event_value.start, e.to_string()))?;
+            let mut allocs = Vec::new();
+            for row in doc.array(record.required("allocs", 0)?, 0)? {
+                let cells = doc.array(row, row.start)?;
+                if cells.len() != 4 {
+                    return Err(doc.error(
+                        row.start,
+                        "an alloc row is [thread, site, count, bytes]".to_string(),
+                    ));
+                }
+                allocs.push((
+                    ThreadId(doc.integer(&cells[0], row.start)?),
+                    AllocSiteId(doc.integer_u32(&cells[1], row.start)?),
+                    doc.integer(&cells[2], row.start)?,
+                    doc.integer(&cells[3], row.start)?,
+                ));
+            }
+            Ok(LogRecord::Finish(FinishRecord {
+                event,
+                period: doc.integer(record.required("period", 0)?, 0)?,
+                size_filter: doc.integer(record.required("size_filter", 0)?, 0)?,
+                sites: read_sites_json(&doc, record.required("sites", 0)?)?,
+                allocs,
+                allocation_stats: read_alloc_stats_json(
+                    &doc,
+                    record.required("allocation_stats", 0)?,
+                )?,
+                total_samples: doc.integer(record.required("total_samples", 0)?, 0)?,
+            }))
+        }
+        other => Err(doc.error(0, format!("unknown record kind {other:?}"))),
+    }
+}
+
+/// Incremental epoch-frame reader over any [`BufRead`]: yields one decoded
+/// [`LogRecord`] per frame, skipping blank lines, so a consumer can feed frames into
+/// a [`DeltaFold`] as they arrive — from a finished log
+/// file, a pipe still being written, or a socket. [`ChunkedJsonSink::read_log`] is
+/// this reader run to completion.
+///
+/// ```
+/// use djxperf::{DeltaFold, EpochFrameReader, LogRecord};
+///
+/// let log = "{\"record\":\"delta\",\"epoch\":1,\"samples\":0,\"threads\":[]}\n";
+/// let mut reader = EpochFrameReader::new(log.as_bytes());
+/// let mut fold = DeltaFold::new();
+/// while let Some(record) = reader.next_record().unwrap() {
+///     if let LogRecord::Delta(delta) = record {
+///         fold.absorb_ordered(&delta).unwrap();
+///     }
+/// }
+/// assert_eq!(fold.deltas(), 1);
+/// ```
+#[derive(Debug)]
+pub struct EpochFrameReader<R> {
+    input: R,
+    line: String,
+    line_number: usize,
+}
+
+impl<R: BufRead> EpochFrameReader<R> {
+    /// Wraps a buffered reader positioned at the start of a frame stream.
+    pub fn new(input: R) -> Self {
+        Self { input, line: String::new(), line_number: 0 }
+    }
+
+    /// The 1-based line number of the most recently returned frame (0 before the
+    /// first read) — for re-anchoring parse errors to the stream position.
+    pub fn line_number(&self) -> usize {
+        self.line_number
+    }
+
+    /// Decodes the next frame, or `None` at end of stream. Blank lines are skipped
+    /// (but counted).
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileParseError`] (anchored to the stream's line number) for malformed
+    /// frames; transport failures of the underlying reader surface the same way,
+    /// with the [`io::Error`] as the message.
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>, ProfileParseError> {
+        loop {
+            self.line.clear();
+            let read = self.input.read_line(&mut self.line).map_err(|e| ProfileParseError {
+                line: self.line_number + 1,
+                message: format!("frame stream read error: {e}"),
+            })?;
+            if read == 0 {
+                return Ok(None);
+            }
+            self.line_number += 1;
+            if self.line.trim().is_empty() {
+                continue;
+            }
+            return match parse_log_record(self.line.trim_end_matches(['\n', '\r'])) {
+                Ok(record) => Ok(Some(record)),
+                Err(mut e) => {
+                    e.line = self.line_number;
+                    Err(e)
+                }
+            };
+        }
     }
 }
 
@@ -757,8 +860,8 @@ fn read_thread_json(
 
 /// One parsed JSON value, tagged with its start offset for error reporting.
 #[derive(Debug, Clone)]
-struct JsonValue {
-    start: usize,
+pub(crate) struct JsonValue {
+    pub(crate) start: usize,
     kind: JsonKind,
 }
 
@@ -770,18 +873,18 @@ enum JsonKind {
     Object(Vec<(String, JsonValue)>),
     /// Accepted by the grammar for JSON completeness; profiles never contain them, so
     /// the typed readers reject them.
-    Bool(#[allow(dead_code)] bool),
+    Bool(bool),
     Null,
 }
 
-struct JsonParser<'a> {
+pub(crate) struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
     input: &'a str,
 }
 
 impl<'a> JsonParser<'a> {
-    fn new(input: &'a str) -> Self {
+    pub(crate) fn new(input: &'a str) -> Self {
         Self { bytes: input.as_bytes(), pos: 0, input }
     }
 
@@ -789,7 +892,7 @@ impl<'a> JsonParser<'a> {
         ProfileParseError { line: line_of(self.input, at), message: message.into() }
     }
 
-    fn parse_document(&mut self) -> Result<JsonValue, ProfileParseError> {
+    pub(crate) fn parse_document(&mut self) -> Result<JsonValue, ProfileParseError> {
         let value = self.parse_value()?;
         self.skip_whitespace();
         if self.pos != self.bytes.len() {
@@ -1012,17 +1115,21 @@ fn line_of(input: &str, at: usize) -> usize {
 }
 
 /// Borrowed view over a parsed object's fields.
-struct JsonObject<'a> {
+pub(crate) struct JsonObject<'a> {
     fields: &'a [(String, JsonValue)],
     input: &'a str,
 }
 
 impl<'a> JsonObject<'a> {
-    fn optional(&self, key: &str) -> Option<&'a JsonValue> {
+    pub(crate) fn optional(&self, key: &str) -> Option<&'a JsonValue> {
         self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
-    fn required(&self, key: &str, at: usize) -> Result<&'a JsonValue, ProfileParseError> {
+    pub(crate) fn required(
+        &self,
+        key: &str,
+        at: usize,
+    ) -> Result<&'a JsonValue, ProfileParseError> {
         self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| {
             ProfileParseError {
                 line: line_of(self.input, at),
@@ -1033,34 +1140,42 @@ impl<'a> JsonObject<'a> {
 }
 
 /// Typed extraction helpers over parsed values.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     input: &'a str,
 }
 
 impl<'a> Reader<'a> {
-    fn new(input: &'a str) -> Self {
+    pub(crate) fn new(input: &'a str) -> Self {
         Self { input }
     }
 
-    fn error(&self, at: usize, message: String) -> ProfileParseError {
+    pub(crate) fn error(&self, at: usize, message: String) -> ProfileParseError {
         ProfileParseError { line: line_of(self.input, at), message }
     }
 
-    fn object(&self, value: &'a JsonValue, at: usize) -> Result<JsonObject<'a>, ProfileParseError> {
+    pub(crate) fn object(
+        &self,
+        value: &'a JsonValue,
+        at: usize,
+    ) -> Result<JsonObject<'a>, ProfileParseError> {
         match &value.kind {
             JsonKind::Object(fields) => Ok(JsonObject { fields, input: self.input }),
             _ => Err(self.error(at.max(value.start), "expected an object".to_string())),
         }
     }
 
-    fn array(&self, value: &'a JsonValue, at: usize) -> Result<&'a [JsonValue], ProfileParseError> {
+    pub(crate) fn array(
+        &self,
+        value: &'a JsonValue,
+        at: usize,
+    ) -> Result<&'a [JsonValue], ProfileParseError> {
         match &value.kind {
             JsonKind::Array(items) => Ok(items),
             _ => Err(self.error(at.max(value.start), "expected an array".to_string())),
         }
     }
 
-    fn integer(&self, value: &JsonValue, at: usize) -> Result<u64, ProfileParseError> {
+    pub(crate) fn integer(&self, value: &JsonValue, at: usize) -> Result<u64, ProfileParseError> {
         match value.kind {
             JsonKind::Integer(v) => Ok(v),
             _ => Err(self.error(at.max(value.start), "expected an integer".to_string())),
@@ -1069,16 +1184,29 @@ impl<'a> Reader<'a> {
 
     /// An integer that must fit in `u32` (site ids, method ids, BCIs). Out-of-range
     /// values are parse errors, never silent wraps into a different identity.
-    fn integer_u32(&self, value: &JsonValue, at: usize) -> Result<u32, ProfileParseError> {
+    pub(crate) fn integer_u32(
+        &self,
+        value: &JsonValue,
+        at: usize,
+    ) -> Result<u32, ProfileParseError> {
         let v = self.integer(value, at)?;
         u32::try_from(v)
             .map_err(|_| self.error(at.max(value.start), format!("integer {v} exceeds u32 range")))
     }
 
-    fn string(&self, value: &JsonValue, at: usize) -> Result<String, ProfileParseError> {
+    pub(crate) fn string(&self, value: &JsonValue, at: usize) -> Result<String, ProfileParseError> {
         match &value.kind {
             JsonKind::String(s) => Ok(s.clone()),
             _ => Err(self.error(at.max(value.start), "expected a string".to_string())),
+        }
+    }
+
+    /// Booleans appear in the fleet wire records only ([`crate::fleet`]), never in
+    /// profile documents.
+    pub(crate) fn boolean(&self, value: &JsonValue, at: usize) -> Result<bool, ProfileParseError> {
+        match &value.kind {
+            JsonKind::Bool(b) => Ok(*b),
+            _ => Err(self.error(at.max(value.start), "expected a boolean".to_string())),
         }
     }
 

@@ -1,0 +1,417 @@
+//! Integration tests of the fleet profiling subsystem (`djxperf::fleet`): N
+//! producer processes streaming epoch deltas over loopback sockets into one
+//! aggregator daemon, whose merged view answers the full `Query` API.
+//!
+//! The load-bearing identity: a query against the aggregator over ≥3 loopback
+//! producers — including after a disconnect/reconnect cycle — must render
+//! **byte-identically** (text and JSON) to the same query over a single-process
+//! `MultiSource` fold of the same producers' epoch logs. Same frames, same fold,
+//! same assembly, one codepath.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use djx_memsim::{AccessOutcome, HierarchyConfig, MemoryAccess, MemoryHierarchy};
+use djx_pmu::PmuEvent;
+use djx_runtime::{
+    AllocationEvent, ClassId, Frame, MemoryAccessEvent, MethodId, ObjectId, RuntimeListener,
+    ThreadId,
+};
+use djxperf::{
+    ChunkedJsonSink, DrainPolicy, EpochLog, FleetAggregator, FleetClient, FleetSink, GroupBy,
+    MultiSource, ProfileDelta, ProfileSink, Query, RankBy, Session, SharedBuffer, ThreadDelta,
+    ThreadProfile,
+};
+
+const PROCESSES: u64 = 3;
+const OBJECTS_PER_PROCESS: u64 = 24;
+const OBJECT_SIZE: u64 = 8 * 1024;
+const ACCESSES_PER_PROCESS: u64 = 30_000;
+const PERIOD: u64 = 16;
+const SIZE_FILTER: u64 = 1024;
+
+/// One simulated producer process: a disjoint thread id, its own arena, class and
+/// call trace.
+struct ProcessLog {
+    thread: ThreadId,
+    class_name: String,
+    call_trace: Vec<Frame>,
+    base: u64,
+    outcomes: Vec<AccessOutcome>,
+}
+
+fn build_process_logs() -> Vec<ProcessLog> {
+    (0..PROCESSES)
+        .map(|p| {
+            let base = 0x1000_0000 + p * 0x1000_0000;
+            let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::broadwell_like());
+            let mut x = 0x853c49e6748fea9bu64 ^ p.wrapping_mul(0x9e3779b97f4a7c15);
+            let outcomes = (0..ACCESSES_PER_PROCESS)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let obj = (x >> 33) % OBJECTS_PER_PROCESS;
+                    let addr = base + obj * OBJECT_SIZE + (x % (OBJECT_SIZE / 8)) * 8;
+                    hierarchy.access(MemoryAccess::load(0, addr, 8))
+                })
+                .collect();
+            ProcessLog {
+                thread: ThreadId(p + 1),
+                class_name: format!("proc{p}[]"),
+                call_trace: vec![
+                    Frame::new(MethodId(p as u32 + 1), 0),
+                    Frame::new(MethodId(10 + p as u32), 4),
+                ],
+                base,
+                outcomes,
+            }
+        })
+        .collect()
+}
+
+fn replay_allocs(session: &Session, log: &ProcessLog) {
+    for i in 0..OBJECTS_PER_PROCESS {
+        session.on_object_alloc(&AllocationEvent {
+            object: ObjectId(log.thread.0 * OBJECTS_PER_PROCESS + i + 1),
+            class: ClassId(0),
+            class_name: &log.class_name,
+            start: log.base + i * OBJECT_SIZE,
+            size: OBJECT_SIZE,
+            thread: log.thread,
+            call_trace: &log.call_trace,
+        });
+    }
+}
+
+fn replay_accesses(session: &Session, log: &ProcessLog, range: std::ops::Range<usize>) {
+    for outcome in &log.outcomes[range] {
+        session.on_memory_access(&MemoryAccessEvent {
+            thread: log.thread,
+            outcome: *outcome,
+            call_trace: &log.call_trace,
+            object: None,
+        });
+    }
+}
+
+fn drain_policy() -> DrainPolicy {
+    DrainPolicy::new().capacity(8).coalesce().tick(Duration::from_millis(1))
+}
+
+fn fleet_session(sink: &Arc<FleetSink>) -> Arc<Session> {
+    Session::builder()
+        .period(PERIOD)
+        .index_shards(8)
+        .size_filter(SIZE_FILTER)
+        .stream_to_fleet(Arc::clone(sink), drain_policy())
+        .build()
+}
+
+fn log_session(buffer: &SharedBuffer) -> Arc<Session> {
+    Session::builder()
+        .period(PERIOD)
+        .index_shards(8)
+        .size_filter(SIZE_FILTER)
+        .stream_to(Arc::new(ChunkedJsonSink::new()), Box::new(buffer.clone()), drain_policy())
+        .build()
+}
+
+fn connect_sink(addr: &str, producer: &str) -> Arc<FleetSink> {
+    Arc::new(
+        FleetSink::connect(addr, producer, PmuEvent::DEFAULT, PERIOD, SIZE_FILTER)
+            .expect("producer connects to the loopback aggregator"),
+    )
+}
+
+#[test]
+fn fleet_query_is_byte_identical_to_multisource_fold() {
+    let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("aggregator binds");
+    let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+    let logs = build_process_logs();
+
+    // Per process: one session streaming over the socket, one streaming the same
+    // events into a local epoch log — the single-process comparison baseline.
+    let sinks: Vec<Arc<FleetSink>> =
+        (0..PROCESSES).map(|p| connect_sink(&addr, &format!("proc{p}"))).collect();
+    let fleet_sessions: Vec<Arc<Session>> = sinks.iter().map(fleet_session).collect();
+    let buffers: Vec<SharedBuffer> = (0..PROCESSES).map(|_| SharedBuffer::new()).collect();
+    let log_sessions: Vec<Arc<Session>> = buffers.iter().map(log_session).collect();
+
+    for p in 0..PROCESSES as usize {
+        replay_allocs(&fleet_sessions[p], &logs[p]);
+        replay_allocs(&log_sessions[p], &logs[p]);
+    }
+    // Each process on its own OS thread, racing its drainer. Producer 0 loses its
+    // connection mid-run: the sink must reconnect and resume from the acked epoch.
+    let half = ACCESSES_PER_PROCESS as usize / 2;
+    std::thread::scope(|scope| {
+        for p in 0..PROCESSES as usize {
+            let (fleet, log_sess, log) = (&fleet_sessions[p], &log_sessions[p], &logs[p]);
+            let sink = &sinks[p];
+            scope.spawn(move || {
+                replay_accesses(fleet, log, 0..half);
+                replay_accesses(log_sess, log, 0..half);
+                if p == 0 {
+                    sink.disconnect();
+                }
+                replay_accesses(fleet, log, half..ACCESSES_PER_PROCESS as usize);
+                replay_accesses(log_sess, log, half..ACCESSES_PER_PROCESS as usize);
+            });
+        }
+    });
+    let mut streamed = 0;
+    for session in fleet_sessions.iter().chain(&log_sessions) {
+        streamed += session.finish_export().expect("stream finishes cleanly").samples_streamed;
+    }
+    assert!(streamed > 0, "the workload produced samples");
+
+    // The faulted producer reconnected: a second connect on the sink, a resume on
+    // the aggregator — and no producer ended truncated.
+    assert!(sinks[0].stats().connects >= 2, "producer 0 reconnected");
+    let status = aggregator.status();
+    assert_eq!(status.len(), PROCESSES as usize);
+    assert!(status.iter().any(|s| s.producer == "proc0" && s.resumes >= 1));
+    for s in &status {
+        assert!(s.finished, "{} finished", s.producer);
+        assert!(!s.truncated, "{} not truncated", s.producer);
+    }
+
+    // The single-process baseline: a MultiSource fold over the replayed logs.
+    let replayed: Vec<EpochLog> = buffers
+        .iter()
+        .map(|b| EpochLog::replay(&String::from_utf8(b.contents()).unwrap()).expect("log replays"))
+        .collect();
+    let mut fold = MultiSource::new();
+    for log in &replayed {
+        fold.push(log);
+    }
+
+    // Byte identity across grouping axes, ranking metrics and filters — in-process
+    // view and over-the-wire client both, text and JSON renderings both.
+    let queries = [
+        Query::new(),
+        Query::new().rank_by(RankBy::Samples),
+        Query::new().rank_by(RankBy::EventsPerByte),
+        Query::new().group_by(GroupBy::Site),
+        Query::new().group_by(GroupBy::Thread).rank_by(RankBy::Samples),
+        Query::new().group_by(GroupBy::NumaNode).rank_by(RankBy::Samples),
+        Query::new().filter_class("proc1[]"),
+        Query::new().min_samples(5).top(2),
+    ];
+    let mut client = FleetClient::connect(&addr).expect("client connects");
+    for query in queries {
+        let from_fold = query.evaluate(&fold).expect("fold evaluates");
+        let from_fleet = aggregator.query(&query).expect("fleet view evaluates");
+        assert_eq!(from_fleet.to_text(), from_fold.to_text(), "text identity for {query:?}");
+        assert_eq!(from_fleet.to_json(), from_fold.to_json(), "json identity for {query:?}");
+        let remote = client.query(&query).expect("wire query answers");
+        assert_eq!(remote.text, from_fold.to_text(), "wire text identity for {query:?}");
+        assert_eq!(remote.json, from_fold.to_json(), "wire json identity for {query:?}");
+    }
+
+    // The wire status matches the in-process status.
+    assert_eq!(client.status().expect("wire status answers"), aggregator.status());
+}
+
+#[test]
+fn crashed_producer_stays_queryable_flagged_truncated() {
+    let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("aggregator binds");
+    let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+    let logs = build_process_logs();
+    let half = ACCESSES_PER_PROCESS as usize / 2;
+
+    // The union baseline sees what the fleet actually received: producers 0 and 1
+    // in full, the crashed producer 2 only up to the crash point. Producer 2 runs
+    // without allocations on both sides so its partial fold and the union describe
+    // its samples identically (unattributed — a partial fold has no site table).
+    let union = Session::builder().period(PERIOD).index_shards(8).collect_objects().build();
+    for log in &logs[..2] {
+        replay_allocs(&union, log);
+    }
+
+    for (p, log) in logs[..2].iter().enumerate() {
+        let sink = connect_sink(&addr, &format!("proc{p}"));
+        let session = fleet_session(&sink);
+        replay_allocs(&session, log);
+        replay_accesses(&session, log, 0..ACCESSES_PER_PROCESS as usize);
+        replay_accesses(&union, log, 0..ACCESSES_PER_PROCESS as usize);
+        session.finish_export().expect("healthy producers finish");
+    }
+
+    // Producer 2: lose the connection mid-stream once (reconnect path), then crash
+    // for good before any finish frame.
+    let sink = connect_sink(&addr, "proc2");
+    let session = fleet_session(&sink);
+    let quarter = half / 2;
+    replay_accesses(&session, &logs[2], 0..quarter);
+    // The connection drops mid-stream; the samples still to come force the sink to
+    // reconnect and resume from the acked epoch.
+    sink.disconnect();
+    replay_accesses(&session, &logs[2], quarter..half);
+    replay_accesses(&union, &logs[2], 0..half);
+    session.flush_export();
+
+    // Wait until everything replayed so far is folded fleet-side (the target is
+    // deterministic: the union session holds exactly the same events).
+    let target = union.total_samples();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let samples: u64 = aggregator.status().iter().map(|s| s.samples).sum();
+        if samples == target {
+            break;
+        }
+        assert!(Instant::now() < deadline, "aggregator never caught up: {samples}/{target}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let resumed = aggregator.status().iter().any(|s| s.producer == "proc2" && s.resumes >= 1);
+    assert!(resumed, "producer 2 reconnected before crashing");
+
+    // The crash: the link is severed, the session dies without a finish frame.
+    sink.sever();
+    drop(session);
+
+    // No silent loss: the dead producer's partial fold stays queryable, flagged.
+    let status = aggregator.status();
+    let dead = status.iter().find(|s| s.producer == "proc2").expect("producer 2 known");
+    assert!(!dead.finished);
+    assert!(dead.truncated);
+    assert!(dead.samples > 0, "the partial fold kept the pre-crash samples");
+    let view = aggregator.view();
+    assert!(view.any_truncated());
+    assert_eq!(view.total_samples(), union.total_samples(), "every folded sample is visible");
+    assert_eq!(
+        view.producers()
+            .iter()
+            .map(|p| (p.producer.as_str(), p.truncated))
+            .collect::<Vec<_>>(),
+        vec![("proc0", false), ("proc1", false), ("proc2", true)],
+    );
+
+    // And the fleet query equals the union session over what actually arrived.
+    let query = Query::new().group_by(GroupBy::Thread).rank_by(RankBy::Samples);
+    let from_union = query.evaluate(&*union).expect("union evaluates");
+    let from_fleet = aggregator.query(&query).expect("fleet evaluates");
+    assert_eq!(from_fleet.to_text(), from_union.to_text(), "text identity after the crash");
+    assert_eq!(from_fleet.to_json(), from_union.to_json(), "json identity after the crash");
+}
+
+/// A raw-socket probe speaking the wire protocol by hand.
+struct RawProducer {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawProducer {
+    fn connect(addr: &str) -> RawProducer {
+        let writer = TcpStream::connect(addr).expect("probe connects");
+        let reader = BufReader::new(writer.try_clone().expect("probe clones"));
+        RawProducer { writer, reader }
+    }
+
+    fn round_trip(&mut self, frame: &str) -> String {
+        self.writer.write_all(frame.as_bytes()).expect("probe writes");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("probe reads");
+        reply
+    }
+
+    fn hello(&mut self, producer: &str) -> String {
+        let event = PmuEvent::DEFAULT.hardware_name();
+        self.round_trip(&format!(
+            "{{\"record\":\"hello\",\"format\":\"djxperf-fleet\",\"version\":1,\
+             \"producer\":\"{producer}\",\"event\":\"{event}\",\"period\":{PERIOD},\
+             \"size_filter\":{SIZE_FILTER}}}\n"
+        ))
+    }
+}
+
+fn delta_frame(epoch: u64, thread: u64, samples: u64) -> String {
+    let mut profile = ThreadProfile::new(ThreadId(thread), "probe");
+    profile.samples = samples;
+    let delta = ProfileDelta { epoch, threads: vec![ThreadDelta { seq: 0, profile }] };
+    let mut bytes = Vec::new();
+    ChunkedJsonSink::new()
+        .on_delta(epoch, &delta, &mut bytes)
+        .expect("delta serializes");
+    String::from_utf8(bytes).expect("frames are utf-8")
+}
+
+#[test]
+fn aggregator_deduplicates_replayed_epochs() {
+    let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("aggregator binds");
+    let addr = aggregator.local_addr().unwrap().to_string();
+    let mut probe = RawProducer::connect(&addr);
+    assert_eq!(probe.hello("dup"), "{\"record\":\"ack\",\"epoch\":0}\n");
+    assert_eq!(probe.round_trip(&delta_frame(1, 9, 4)), "{\"record\":\"ack\",\"epoch\":1}\n");
+    assert_eq!(probe.round_trip(&delta_frame(2, 9, 6)), "{\"record\":\"ack\",\"epoch\":2}\n");
+    // A replayed backfill overlap: folded once, dropped and re-acked the second
+    // time — never double-counted.
+    assert_eq!(probe.round_trip(&delta_frame(2, 9, 6)), "{\"record\":\"ack\",\"epoch\":2}\n");
+    assert_eq!(probe.round_trip(&delta_frame(1, 9, 4)), "{\"record\":\"ack\",\"epoch\":2}\n");
+    let status = aggregator.status();
+    assert_eq!(status[0].deltas, 2);
+    assert_eq!(status[0].duplicates, 2);
+    assert_eq!(status[0].samples, 10);
+    // A reconnecting producer resumes from the acked epoch.
+    let mut reborn = RawProducer::connect(&addr);
+    assert_eq!(reborn.hello("dup"), "{\"record\":\"ack\",\"epoch\":2}\n");
+}
+
+#[test]
+fn aggregator_rejects_checksum_mismatch_and_orphan_frames() {
+    let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("aggregator binds");
+    let addr = aggregator.local_addr().unwrap().to_string();
+
+    // Epoch frames before a hello are refused.
+    let mut orphan = RawProducer::connect(&addr);
+    assert!(orphan.round_trip(&delta_frame(1, 9, 4)).contains("\"record\":\"error\""));
+
+    // A finish whose sample count disagrees with the folded stream is refused —
+    // lost deltas cannot be papered over by a finish frame.
+    let mut probe = RawProducer::connect(&addr);
+    probe.hello("mismatch");
+    probe.round_trip(&delta_frame(1, 9, 4));
+    // The finish of an *empty* session counts 0 total samples — the folded stream
+    // counts 4.
+    let empty = Session::builder().period(PERIOD).collect_objects().build();
+    let mut bytes = Vec::new();
+    ChunkedJsonSink::new()
+        .on_finish(&empty.object_profile().unwrap(), &mut bytes)
+        .expect("finish serializes");
+    let finish = String::from_utf8(bytes).unwrap();
+    let reply = probe.round_trip(&finish);
+    assert!(reply.contains("\"record\":\"error\""), "mismatched finish refused: {reply}");
+    let status = aggregator.status();
+    let row = status.iter().find(|s| s.producer == "mismatch").unwrap();
+    assert!(!row.finished, "the mismatched finish was not folded");
+}
+
+#[cfg(unix)]
+#[test]
+fn fleet_over_unix_domain_sockets() {
+    let path = std::env::temp_dir().join(format!("djxperf-fleet-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut aggregator = FleetAggregator::bind_unix(&path).expect("unix aggregator binds");
+    let sink = Arc::new(
+        FleetSink::connect_unix(&path, "unix-proc", PmuEvent::DEFAULT, PERIOD, SIZE_FILTER)
+            .expect("unix producer connects"),
+    );
+    let session = fleet_session(&sink);
+    let logs = build_process_logs();
+    replay_allocs(&session, &logs[0]);
+    replay_accesses(&session, &logs[0], 0..ACCESSES_PER_PROCESS as usize);
+    session.finish_export().expect("unix stream finishes");
+
+    let mut client = FleetClient::connect_unix(&path).expect("unix client connects");
+    let status = client.status().expect("unix status answers");
+    assert_eq!(status.len(), 1);
+    assert!(status[0].finished);
+    let local = aggregator.query(&Query::new()).unwrap();
+    let remote = client.query(&Query::new()).expect("unix query answers");
+    assert_eq!(remote.text, local.to_text());
+    assert_eq!(remote.json, local.to_json());
+    drop(client);
+    aggregator.shutdown();
+    assert!(!path.exists(), "the socket file is removed on shutdown");
+}
