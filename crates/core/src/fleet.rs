@@ -20,22 +20,38 @@
 //!
 //! # Wire protocol (`djxperf-fleet`, version 1)
 //!
-//! Newline-delimited JSON in both directions; every frame is one line. The epoch
-//! frames are **exactly** the chunked epoch-log records — one decoder
-//! ([`parse_log_record`]) serves log files and sockets, so the two transports can
-//! never drift apart.
+//! Control frames are newline-delimited JSON in both directions. Epoch frames are
+//! **exactly** the epoch-log records of the negotiated codec — NDJSON
+//! ([`parse_log_record`]) or the binary frame format of [`crate::wire`] — so one
+//! decoder per format serves log files and sockets and the transports can never
+//! drift apart.
 //!
 //! Producer → aggregator:
 //!
 //! | frame | layout |
 //! |---|---|
-//! | hello | `{"record":"hello","format":"djxperf-fleet","version":1,"producer":NAME,"event":EVENT,"period":P,"size_filter":S}` |
-//! | delta | the [`ChunkedJsonSink`] `delta` record, verbatim |
-//! | finish | the [`ChunkedJsonSink`] `finish` record, verbatim (site table, allocation rows, `total_samples` checksum) |
+//! | hello | `{"record":"hello","format":"djxperf-fleet","version":1,"producer":NAME,"event":EVENT,"period":P,"size_filter":S,"codecs":["binary","json"]}` (`codecs` is optional; absent means JSON only, the v1 wire) |
+//! | delta | the [`ChunkedJsonSink`] `delta` record, verbatim — or a [`crate::wire`] delta frame when binary was negotiated |
+//! | finish | the [`ChunkedJsonSink`] `finish` record, verbatim (site table, allocation rows, `total_samples` checksum) — or the [`crate::wire`] finish frame |
 //!
 //! Aggregator → producer: `{"record":"ack","epoch":E}` after the hello and after
 //! every delta, `{"record":"ack","epoch":E,"final":true}` after the finish, and
-//! `{"record":"error","message":M}` for protocol violations.
+//! `{"record":"error","message":M}` for protocol violations. Acknowledgements are
+//! always JSON text, whatever the epoch-frame codec.
+//!
+//! # Codec negotiation
+//!
+//! The hello's optional `codecs` array advertises what the producer can encode; the
+//! aggregator picks the best it supports and announces the choice in the hello
+//! acknowledgement (`{"record":"ack","epoch":E,"codec":"binary"}`; no `codec` key
+//! means JSON). A v1 aggregator ignores the unknown `codecs` key and acks plainly —
+//! so a new producer falls back to JSON — and a v1 producer never advertises, so a
+//! new aggregator answers it in JSON. Epoch frames are additionally **sniffed per
+//! frame** by their first byte (`{` → text, `0xDF` → binary magic), so frames
+//! buffered under one codec and delivered after a renegotiating reconnect still
+//! decode. The negotiated codec is observable on both ends:
+//! [`FleetSinkStats::codec`] and the per-producer wire counters
+//! ([`ProducerStatus::bytes_received`], [`ProducerStatus::frames_received`]).
 //!
 //! Client → aggregator: `{"record":"query",…}` (a serialized [`Query`]) and
 //! `{"record":"status"}`. The aggregator answers with
@@ -96,6 +112,7 @@ use crate::sink::{
     json_path, json_string, parse_log_record, ChunkedJsonSink, FinishRecord, JsonParser, LogRecord,
     ProfileSink, Reader,
 };
+use crate::wire::{self, BinaryChunkedSink, FrameCodec};
 
 /// Format tag carried by every hello frame.
 const FLEET_FORMAT: &str = "djxperf-fleet";
@@ -223,7 +240,7 @@ impl Target {
 /// One aggregator reply frame, as producers and clients decode it.
 #[derive(Debug)]
 enum Reply {
-    Ack { epoch: u64, terminal: bool },
+    Ack { epoch: u64, terminal: bool, codec: FrameCodec },
     Error { message: String },
     Result { text: String, json: String },
     Status { producers: Vec<ProducerStatus> },
@@ -247,6 +264,14 @@ fn parse_reply(line: &str) -> io::Result<Reply> {
                     Some(v) => doc.boolean(v, 0)?,
                     None => false,
                 },
+                codec: match record.optional("codec") {
+                    Some(v) => {
+                        let name = doc.string(v, 0)?;
+                        FrameCodec::from_name(&name)
+                            .ok_or_else(|| doc.error(0, format!("unknown codec {name:?}")))?
+                    }
+                    None => FrameCodec::Json,
+                },
             }),
             "error" => Ok(Reply::Error { message: doc.string(record.required("message", 0)?, 0)? }),
             "result" => Ok(Reply::Result {
@@ -267,6 +292,8 @@ fn parse_reply(line: &str) -> io::Result<Reply> {
                         samples: doc.integer(row.required("samples", 0)?, 0)?,
                         resumes: doc.integer(row.required("resumes", 0)?, 0)?,
                         duplicates: doc.integer(row.required("duplicates", 0)?, 0)?,
+                        frames_received: doc.integer(row.required("frames_received", 0)?, 0)?,
+                        bytes_received: doc.integer(row.required("bytes_received", 0)?, 0)?,
                     });
                 }
                 Ok(Reply::Status { producers })
@@ -353,6 +380,18 @@ fn ack_line(epoch: u64, terminal: bool) -> String {
     }
 }
 
+/// The hello acknowledgement, announcing the negotiated epoch-frame codec. The
+/// `codec` key appears only when the hello advertised more than the v1 JSON wire,
+/// so v1 producers see byte-identical acks.
+fn hello_ack_line(epoch: u64, codec: FrameCodec) -> String {
+    match codec {
+        FrameCodec::Json => ack_line(epoch, false),
+        FrameCodec::Binary => {
+            format!("{{\"record\":\"ack\",\"epoch\":{epoch},\"codec\":\"binary\"}}\n")
+        }
+    }
+}
+
 fn error_line(message: &str) -> String {
     format!("{{\"record\":\"error\",\"message\":{}}}\n", json_string(message))
 }
@@ -373,6 +412,9 @@ pub struct FleetSinkStats {
     pub frames_trimmed: u64,
     /// Highest epoch the aggregator has acknowledged.
     pub acked_epoch: u64,
+    /// The epoch-frame codec negotiated at the most recent hello handshake
+    /// ([`FrameCodec::Json`] until the first connection completes).
+    pub codec: FrameCodec,
 }
 
 /// One buffered, not-yet-acknowledged wire frame. Delta frames carry their epoch
@@ -411,6 +453,10 @@ struct Link {
     pending: VecDeque<PendingFrame>,
     severed: bool,
     stats: FleetSinkStats,
+    /// The epoch-frame codec the aggregator chose at the last hello handshake.
+    /// New frames are encoded with it at enqueue time; already-buffered frames
+    /// keep their original encoding (the aggregator sniffs per frame).
+    codec: FrameCodec,
 }
 
 impl Link {
@@ -429,13 +475,15 @@ impl Link {
         let mut conn = Conn { writer, reader };
         conn.writer.write_all(self.hello.as_bytes())?;
         conn.writer.flush()?;
-        let acked = match conn.read_reply()? {
-            Reply::Ack { epoch, .. } => epoch,
+        let (acked, codec) = match conn.read_reply()? {
+            Reply::Ack { epoch, codec, .. } => (epoch, codec),
             Reply::Error { message } => {
                 return Err(protocol_error(format!("aggregator refused hello: {message}")))
             }
             _ => return Err(protocol_error("expected an ack to the hello frame")),
         };
+        self.codec = codec;
+        self.stats.codec = codec;
         self.stats.connects += 1;
         self.stats.acked_epoch = self.stats.acked_epoch.max(acked);
         while self.pending.front().is_some_and(|f| f.epoch.is_some_and(|e| e <= acked)) {
@@ -460,7 +508,7 @@ impl Link {
                 .and_then(|()| conn.read_reply());
             let is_finish = frame.epoch.is_none();
             match delivery {
-                Ok(Reply::Ack { epoch, terminal }) => {
+                Ok(Reply::Ack { epoch, terminal, .. }) => {
                     if is_finish && !terminal {
                         // The finish frame must be answered by the terminal ack;
                         // anything else means the aggregator never folded it.
@@ -525,7 +573,8 @@ pub struct FleetSink {
 impl FleetSink {
     /// Connects to an aggregator over TCP and runs the hello handshake, announcing
     /// `producer` as this process's fleet-wide name. Fails fast when the aggregator
-    /// is unreachable.
+    /// is unreachable. The hello advertises the binary epoch-frame codec (with JSON
+    /// as the fallback); the aggregator's pick is in [`FleetSinkStats::codec`].
     ///
     /// # Errors
     ///
@@ -537,7 +586,7 @@ impl FleetSink {
         period: u64,
         size_filter: u64,
     ) -> io::Result<FleetSink> {
-        Self::connect_target(Target::Tcp(addr.to_string()), producer, event, period, size_filter)
+        Self::connect_with_codec(addr, producer, event, period, size_filter, FrameCodec::Binary)
     }
 
     /// [`FleetSink::connect`] over a Unix domain socket.
@@ -553,7 +602,64 @@ impl FleetSink {
         period: u64,
         size_filter: u64,
     ) -> io::Result<FleetSink> {
-        Self::connect_target(Target::Unix(path.to_path_buf()), producer, event, period, size_filter)
+        Self::connect_unix_with_codec(
+            path,
+            producer,
+            event,
+            period,
+            size_filter,
+            FrameCodec::Binary,
+        )
+    }
+
+    /// [`FleetSink::connect`] with an explicit codec ceiling: `codec` is the best
+    /// format the hello advertises. [`FrameCodec::Json`] sends a plain v1 hello
+    /// (no `codecs` key at all) — for v1 aggregators, wire debugging with text
+    /// tools, or A/B measurements against the binary codec.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect_with_codec(
+        addr: &str,
+        producer: &str,
+        event: PmuEvent,
+        period: u64,
+        size_filter: u64,
+        codec: FrameCodec,
+    ) -> io::Result<FleetSink> {
+        Self::connect_target(
+            Target::Tcp(addr.to_string()),
+            producer,
+            event,
+            period,
+            size_filter,
+            codec,
+        )
+    }
+
+    /// [`FleetSink::connect_with_codec`] over a Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    #[cfg(unix)]
+    pub fn connect_unix_with_codec(
+        path: &Path,
+        producer: &str,
+        event: PmuEvent,
+        period: u64,
+        size_filter: u64,
+        codec: FrameCodec,
+    ) -> io::Result<FleetSink> {
+        Self::connect_target(
+            Target::Unix(path.to_path_buf()),
+            producer,
+            event,
+            period,
+            size_filter,
+            codec,
+        )
     }
 
     fn connect_target(
@@ -562,9 +668,16 @@ impl FleetSink {
         event: PmuEvent,
         period: u64,
         size_filter: u64,
+        codec: FrameCodec,
     ) -> io::Result<FleetSink> {
+        // A JSON-only sink sends the exact v1 hello — no codecs key — so old
+        // aggregators see a byte-identical handshake.
+        let codecs = match codec {
+            FrameCodec::Json => String::new(),
+            FrameCodec::Binary => ",\"codecs\":[\"binary\",\"json\"]".to_string(),
+        };
         let hello = format!(
-            "{{\"record\":\"hello\",\"format\":\"{FLEET_FORMAT}\",\"version\":{FLEET_VERSION},\"producer\":{},\"event\":{},\"period\":{period},\"size_filter\":{size_filter}}}\n",
+            "{{\"record\":\"hello\",\"format\":\"{FLEET_FORMAT}\",\"version\":{FLEET_VERSION},\"producer\":{},\"event\":{},\"period\":{period},\"size_filter\":{size_filter}{codecs}}}\n",
             json_string(producer),
             json_string(event.hardware_name()),
         );
@@ -575,6 +688,7 @@ impl FleetSink {
             pending: VecDeque::new(),
             severed: false,
             stats: FleetSinkStats::default(),
+            codec: FrameCodec::Json,
         };
         link.ensure_connected()?;
         Ok(FleetSink { link: Mutex::new(link) })
@@ -630,15 +744,19 @@ impl ProfileSink for FleetSink {
         })
     }
 
-    /// Frames the delta with the chunked codec and ships it (`out` is unused — the
-    /// socket is the destination). Transport failures are absorbed: the frame stays
-    /// buffered and the next delta (or the finish) retries after reconnecting.
+    /// Frames the delta with the negotiated epoch-frame codec and ships it (`out`
+    /// is unused — the socket is the destination). Transport failures are
+    /// absorbed: the frame stays buffered and the next delta (or the finish)
+    /// retries after reconnecting.
     fn on_delta(&self, epoch: u64, delta: &ProfileDelta, _out: &mut dyn Write) -> io::Result<()> {
-        let mut bytes = Vec::new();
-        ChunkedJsonSink.on_delta(epoch, delta, &mut bytes)?;
         let mut link = self.link.lock().expect("fleet link lock");
         if link.severed {
             return Ok(());
+        }
+        let mut bytes = Vec::new();
+        match link.codec {
+            FrameCodec::Json => ChunkedJsonSink.on_delta(epoch, delta, &mut bytes)?,
+            FrameCodec::Binary => BinaryChunkedSink.on_delta(epoch, delta, &mut bytes)?,
         }
         link.pending.push_back(PendingFrame { epoch: Some(epoch), bytes });
         let _ = link.pump();
@@ -649,11 +767,14 @@ impl ProfileSink for FleetSink {
     /// the connection a bounded number of times. An error here means the aggregator
     /// never confirmed the complete stream — the loss is reported, never silent.
     fn on_finish(&self, profile: &ObjectCentricProfile, _out: &mut dyn Write) -> io::Result<()> {
-        let mut bytes = Vec::new();
-        ChunkedJsonSink.on_finish(profile, &mut bytes)?;
         let mut link = self.link.lock().expect("fleet link lock");
         if link.severed {
             return Err(protocol_error("fleet link severed before the finish frame"));
+        }
+        let mut bytes = Vec::new();
+        match link.codec {
+            FrameCodec::Json => ChunkedJsonSink.on_finish(profile, &mut bytes)?,
+            FrameCodec::Binary => BinaryChunkedSink.on_finish(profile, &mut bytes)?,
         }
         link.pending.push_back(PendingFrame { epoch: None, bytes });
         let mut last_error = None;
@@ -702,6 +823,14 @@ pub struct ProducerStatus {
     pub resumes: u64,
     /// Duplicate or out-of-order delta frames dropped and re-acknowledged.
     pub duplicates: u64,
+    /// Epoch frames (deltas and the finish) received on the wire, including
+    /// re-sent duplicates — the frame-level traffic counter.
+    pub frames_received: u64,
+    /// Wire bytes of those epoch frames, framing included (the newline of a JSON
+    /// record; header and checksum of a binary frame). Together with
+    /// `frames_received` and `samples` this makes codec efficiency observable per
+    /// producer, not just in benches.
+    pub bytes_received: u64,
 }
 
 /// Per-producer aggregator state: the running fold plus the protocol bookkeeping.
@@ -719,6 +848,8 @@ struct ProducerState {
     generation: u64,
     resumes: u64,
     duplicates: u64,
+    frames_received: u64,
+    bytes_received: u64,
 }
 
 impl ProducerState {
@@ -733,6 +864,8 @@ impl ProducerState {
             samples: self.fold.total_samples(),
             resumes: self.resumes,
             duplicates: self.duplicates,
+            frames_received: self.frames_received,
+            bytes_received: self.bytes_received,
         }
     }
 }
@@ -848,7 +981,7 @@ fn status_line(state: &FleetState) -> String {
         }
         let s = p.status(name);
         line.push_str(&format!(
-            "{{\"producer\":{},\"connected\":{},\"finished\":{},\"truncated\":{},\"deltas\":{},\"last_epoch\":{},\"samples\":{},\"resumes\":{},\"duplicates\":{}}}",
+            "{{\"producer\":{},\"connected\":{},\"finished\":{},\"truncated\":{},\"deltas\":{},\"last_epoch\":{},\"samples\":{},\"resumes\":{},\"duplicates\":{},\"frames_received\":{},\"bytes_received\":{}}}",
             json_string(&s.producer),
             s.connected,
             s.finished,
@@ -858,6 +991,8 @@ fn status_line(state: &FleetState) -> String {
             s.samples,
             s.resumes,
             s.duplicates,
+            s.frames_received,
+            s.bytes_received,
         ));
     }
     line.push_str("]}\n");
@@ -1039,6 +1174,33 @@ fn handle_connection(stream: WireStream, shared: Arc<AggregatorShared>) {
     let mut ctx = ConnCtx { producer: None };
     let mut line = String::new();
     loop {
+        // Sniff the codec per frame from the first byte: JSON control/epoch frames
+        // start with '{', binary epoch frames with the magic byte (never valid
+        // UTF-8). Per-frame sniffing — rather than trusting the negotiated codec —
+        // keeps mixed streams decodable: frames a producer buffered under one
+        // codec may be delivered after a reconnect renegotiated another.
+        let first = match reader.fill_buf() {
+            Ok([]) => break,
+            Ok(buf) => buf[0],
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if first == wire::BINARY_MAGIC[0] {
+            match wire::read_binary_frame(&mut reader) {
+                Ok((record, len)) => {
+                    if dispatch_epoch_record(record, len as u64, &mut ctx, &shared, &mut writer)
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let _ = writer.write_all(error_line(&e.message).as_bytes());
+                    break;
+                }
+            }
+            continue;
+        }
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) | Err(_) => break,
@@ -1111,7 +1273,7 @@ fn dispatch_hello(
     shared: &Arc<AggregatorShared>,
     writer: &mut WireStream,
 ) -> io::Result<()> {
-    let hello = (|| -> Result<(String, PmuEvent, u64, u64), ProfileParseError> {
+    let hello = (|| -> Result<(String, PmuEvent, u64, u64, FrameCodec), ProfileParseError> {
         let root = JsonParser::new(frame).parse_document()?;
         let doc = Reader::new(frame);
         let record = doc.object(&root, 0)?;
@@ -1126,14 +1288,26 @@ fn dispatch_hello(
         let event_value = record.required("event", 0)?;
         let event = event_from_name(&doc.string(event_value, 0)?)
             .map_err(|e| doc.error(event_value.start, e.to_string()))?;
+        // Codec negotiation: pick binary when the producer offers it, JSON
+        // otherwise. Unknown codec names are skipped, not errors — a future
+        // producer offering codecs this build predates still interoperates.
+        let mut codec = FrameCodec::Json;
+        if let Some(value) = record.optional("codecs") {
+            for offered in doc.array(value, 0)? {
+                if FrameCodec::from_name(&doc.string(offered, 0)?) == Some(FrameCodec::Binary) {
+                    codec = FrameCodec::Binary;
+                }
+            }
+        }
         Ok((
             doc.string(record.required("producer", 0)?, 0)?,
             event,
             doc.integer(record.required("period", 0)?, 0)?,
             doc.integer(record.required("size_filter", 0)?, 0)?,
+            codec,
         ))
     })();
-    let (name, event, period, size_filter) = match hello {
+    let (name, event, period, size_filter, codec) = match hello {
         Ok(hello) => hello,
         Err(e) => {
             let _ = writer.write_all(error_line(&e.message).as_bytes());
@@ -1153,6 +1327,8 @@ fn dispatch_hello(
             generation: 0,
             resumes: 0,
             duplicates: 0,
+            frames_received: 0,
+            bytes_received: 0,
         });
         if existed {
             p.resumes += 1;
@@ -1162,11 +1338,32 @@ fn dispatch_hello(
         ctx.producer = Some((name, p.generation));
         p.fold.last_epoch().unwrap_or(0)
     };
-    writer.write_all(ack_line(acked, false).as_bytes())
+    writer.write_all(hello_ack_line(acked, codec).as_bytes())
 }
 
 fn dispatch_epoch_frame(
     frame: &str,
+    ctx: &mut ConnCtx,
+    shared: &Arc<AggregatorShared>,
+    writer: &mut WireStream,
+) -> io::Result<()> {
+    let record = match parse_log_record(frame) {
+        Ok(record) => record,
+        Err(e) => {
+            let _ = writer.write_all(error_line(&e.message).as_bytes());
+            return Err(protocol_error(e.message));
+        }
+    };
+    // +1 for the newline the reader stripped: wire bytes, not payload bytes.
+    dispatch_epoch_record(record, frame.len() as u64 + 1, ctx, shared, writer)
+}
+
+/// Folds one decoded epoch record, whatever codec carried it — the shared tail of
+/// the JSON and binary frame paths, so ack/resume/duplicate semantics cannot
+/// differ between codecs.
+fn dispatch_epoch_record(
+    record: LogRecord,
+    wire_bytes: u64,
     ctx: &mut ConnCtx,
     shared: &Arc<AggregatorShared>,
     writer: &mut WireStream,
@@ -1176,16 +1373,13 @@ fn dispatch_epoch_frame(
         let _ = writer.write_all(error_line(message).as_bytes());
         return Err(protocol_error(message));
     };
-    let record = match parse_log_record(frame) {
-        Ok(record) => record,
-        Err(e) => {
-            let _ = writer.write_all(error_line(&e.message).as_bytes());
-            return Err(protocol_error(e.message));
-        }
-    };
     let reply = {
         let mut state = shared.state.lock().expect("fleet state lock");
         let p = state.producers.get_mut(name).expect("hello inserted the producer");
+        // Counted per received epoch frame, duplicates included: these measure
+        // wire traffic, not fold outcomes.
+        p.frames_received += 1;
+        p.bytes_received += wire_bytes;
         match record {
             LogRecord::Delta(delta) => {
                 if p.finish.is_some() {
@@ -1402,19 +1596,28 @@ mod tests {
     #[test]
     fn reply_parser_handles_all_kinds() {
         match parse_reply("{\"record\":\"ack\",\"epoch\":4}").unwrap() {
-            Reply::Ack { epoch, terminal } => {
+            Reply::Ack { epoch, terminal, codec } => {
                 assert_eq!(epoch, 4);
                 assert!(!terminal);
+                assert_eq!(codec, FrameCodec::Json, "no codec key means the v1 JSON wire");
             }
             other => panic!("unexpected reply {other:?}"),
         }
         match parse_reply("{\"record\":\"ack\",\"epoch\":9,\"final\":true}").unwrap() {
-            Reply::Ack { epoch, terminal } => {
+            Reply::Ack { epoch, terminal, .. } => {
                 assert_eq!(epoch, 9);
                 assert!(terminal);
             }
             other => panic!("unexpected reply {other:?}"),
         }
+        match parse_reply("{\"record\":\"ack\",\"epoch\":2,\"codec\":\"binary\"}").unwrap() {
+            Reply::Ack { epoch, codec, .. } => {
+                assert_eq!(epoch, 2);
+                assert_eq!(codec, FrameCodec::Binary);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(parse_reply("{\"record\":\"ack\",\"epoch\":2,\"codec\":\"morse\"}").is_err());
         match parse_reply("{\"record\":\"error\",\"message\":\"nope\"}").unwrap() {
             Reply::Error { message } => assert_eq!(message, "nope"),
             other => panic!("unexpected reply {other:?}"),
@@ -1422,7 +1625,8 @@ mod tests {
         match parse_reply(
             "{\"record\":\"status\",\"producers\":[{\"producer\":\"p\",\"connected\":true,\
              \"finished\":false,\"truncated\":false,\"deltas\":2,\"last_epoch\":2,\
-             \"samples\":10,\"resumes\":1,\"duplicates\":0}]}",
+             \"samples\":10,\"resumes\":1,\"duplicates\":0,\"frames_received\":3,\
+             \"bytes_received\":412}]}",
         )
         .unwrap()
         {
@@ -1431,6 +1635,8 @@ mod tests {
                 assert_eq!(producers[0].producer, "p");
                 assert!(producers[0].connected);
                 assert_eq!(producers[0].resumes, 1);
+                assert_eq!(producers[0].frames_received, 3);
+                assert_eq!(producers[0].bytes_received, 412);
             }
             other => panic!("unexpected reply {other:?}"),
         }
@@ -1455,10 +1661,52 @@ mod tests {
         assert!(status[0].connected);
         assert!(!status[0].finished);
         assert!(!status[0].truncated);
+        assert_eq!(status[0].frames_received, 2);
+        assert!(status[0].bytes_received > 0);
         let stats = sink.stats();
         assert_eq!(stats.connects, 1);
         assert_eq!(stats.frames_sent, 2);
         assert_eq!(stats.acked_epoch, 2);
+        assert_eq!(stats.codec, FrameCodec::Binary, "binary negotiated by default");
+    }
+
+    #[test]
+    fn json_forced_sink_sends_v1_hello_and_fatter_frames() {
+        let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("bind");
+        let addr = aggregator.local_addr().expect("tcp addr").to_string();
+        let mut out = io::sink();
+
+        let binary =
+            FleetSink::connect(&addr, "bin", PmuEvent::DEFAULT, 16, 0).expect("connect binary");
+        let json = FleetSink::connect_with_codec(
+            &addr,
+            "json",
+            PmuEvent::DEFAULT,
+            16,
+            0,
+            FrameCodec::Json,
+        )
+        .expect("connect json");
+        assert_eq!(binary.stats().codec, FrameCodec::Binary);
+        assert_eq!(json.stats().codec, FrameCodec::Json);
+
+        // The identical delta through both codecs: same fold, different wire cost.
+        for epoch in 1..=4u64 {
+            binary.on_delta(epoch, &delta(epoch, 7, 5), &mut out).expect("binary delta");
+            json.on_delta(epoch, &delta(epoch, 7, 5), &mut out).expect("json delta");
+        }
+        let status = aggregator.status();
+        let by_name =
+            |name: &str| status.iter().find(|s| s.producer == name).expect("producer row").clone();
+        let (bin_row, json_row) = (by_name("bin"), by_name("json"));
+        assert_eq!(bin_row.samples, json_row.samples, "identical folds");
+        assert_eq!(bin_row.frames_received, json_row.frames_received);
+        assert!(
+            bin_row.bytes_received * 2 < json_row.bytes_received,
+            "binary wire bytes {} should be well under half of JSON's {}",
+            bin_row.bytes_received,
+            json_row.bytes_received
+        );
     }
 
     #[test]

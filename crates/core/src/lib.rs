@@ -31,6 +31,7 @@
 //! | [`agent`] | §4.1, §4.5 | the allocation ("Java") agent and the shared object index |
 //! | [`session`] | §5.1, Fig. 1 | the unified [`Session`]: one sampling stream, pluggable collectors |
 //! | [`sink`] | §5.2 | streaming [`ProfileSink`] export backends (text, JSON, chunked epoch log) |
+//! | [`wire`] | §5.2 | binary epoch-frame codec: compact replayable logs and fleet frames |
 //! | [`export`] | §5.2 | asynchronous delta export: background [`DeltaDrainer`] over epoch-retired snapshot deltas |
 //! | [`profiler`] | §5.1 | [`DjxPerf`], the legacy single-view collector (session shim) |
 //! | [`profile`] | §5.1/§5.2 | per-thread profiles and the profile-file codec |
@@ -113,6 +114,7 @@ pub mod session;
 pub mod sink;
 pub mod splay;
 pub mod sync;
+pub mod wire;
 
 pub use agent::{
     AllocationAgent, AllocationConfig, ResolutionCache, SharedObjectIndex,
@@ -150,3 +152,4 @@ pub use sink::{
 };
 pub use splay::{Interval, IntervalSplayTree, LookupStats};
 pub use sync::{Epoch, SpinLock, SpinLockGuard};
+pub use wire::{read_any_profile_bytes, BinaryChunkedSink, BinaryFrameReader, FrameCodec};

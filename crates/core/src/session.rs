@@ -1120,6 +1120,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Streams the session's epoch deltas as a compact **binary** epoch log into
+    /// `out`: [`SessionBuilder::stream_to`] with a
+    /// [`BinaryChunkedSink`](crate::wire::BinaryChunkedSink). The log replays
+    /// byte-identically to its JSON counterpart
+    /// ([`BinaryChunkedSink::read_log_bytes`](crate::wire::BinaryChunkedSink::read_log_bytes)
+    /// or [`read_any_profile_bytes`](crate::wire::read_any_profile_bytes)) at a
+    /// fraction of the bytes and codec cost — see [`crate::wire`] for the frame
+    /// format and the format-choice guidance.
+    pub fn stream_to_binary(self, out: Box<dyn io::Write + Send>, policy: DrainPolicy) -> Self {
+        self.stream_to(Arc::new(crate::wire::BinaryChunkedSink::new()), out, policy)
+    }
+
     /// Streams the session's epoch deltas to a fleet aggregator through an
     /// already-connected [`FleetSink`](crate::fleet::FleetSink): the same
     /// [`DeltaDrainer`] pipeline as [`SessionBuilder::stream_to`], with frames

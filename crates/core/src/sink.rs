@@ -587,10 +587,20 @@ impl<R: BufRead> EpochFrameReader<R> {
             if self.line.trim().is_empty() {
                 continue;
             }
-            return match parse_log_record(self.line.trim_end_matches(['\n', '\r'])) {
+            let frame = self.line.trim_end_matches(['\n', '\r']);
+            return match parse_log_record(frame) {
                 Ok(record) => Ok(Some(record)),
                 Err(mut e) => {
+                    // Re-anchor to the stream position and quote the offending
+                    // frame (truncated), so a corrupt record in a large log can be
+                    // found without counting lines by hand.
                     e.line = self.line_number;
+                    e.message = format!(
+                        "line {}: {} — in frame {}",
+                        self.line_number,
+                        e.message,
+                        snippet_of(frame)
+                    );
                     Err(e)
                 }
             };
@@ -1109,6 +1119,20 @@ impl<'a> JsonParser<'a> {
     }
 }
 
+/// Quotes the head of an offending frame for an error message, truncated to a
+/// grep-able prefix on a character boundary.
+fn snippet_of(frame: &str) -> String {
+    const MAX: usize = 80;
+    if frame.len() <= MAX {
+        return format!("{frame:?}");
+    }
+    let mut end = MAX;
+    while !frame.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{:?}…", &frame[..end])
+}
+
 /// 1-based line number of a byte offset.
 fn line_of(input: &str, at: usize) -> usize {
     input.as_bytes()[..at.min(input.len())].iter().filter(|b| **b == b'\n').count() + 1
@@ -1252,6 +1276,9 @@ impl<'a> Reader<'a> {
 /// from the first bytes (`{"record":` → chunked epoch log, `{` → JSON document,
 /// anything else → text). The offline analyzer uses this so a mixed directory of
 /// text profiles, JSON documents and streamed epoch logs merges transparently.
+/// Binary epoch logs are bytes, not text — sniff those with
+/// [`read_any_profile_bytes`](crate::wire::read_any_profile_bytes), which falls
+/// back to this function for everything UTF-8.
 ///
 /// # Errors
 ///
@@ -1405,6 +1432,25 @@ mod tests {
         assert_eq!(read_any_profile(&text).unwrap().to_text(), profile.to_text());
         assert_eq!(read_any_profile(&json).unwrap().to_text(), profile.to_text());
         assert!(read_any_profile("garbage").is_err());
+    }
+
+    #[test]
+    fn epoch_frame_reader_errors_quote_the_offending_frame() {
+        let log = "{\"record\":\"delta\",\"epoch\":1,\"samples\":0,\"threads\":[]}\n\
+                   {\"record\":\"bogus\"}\n";
+        let mut reader = EpochFrameReader::new(log.as_bytes());
+        assert!(reader.next_record().unwrap().is_some());
+        let err = reader.next_record().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("line 2"), "{err}");
+        assert!(err.message.contains("bogus"), "snippet quoted: {err}");
+        // Long frames are quoted truncated, not dumped whole.
+        let long =
+            format!("{{\"record\":\"delta\",\"epoch\":x,\"pad\":\"{}\"}}\n", "y".repeat(500));
+        let mut reader = EpochFrameReader::new(long.as_bytes());
+        let err = reader.next_record().unwrap_err();
+        assert!(err.message.contains('…'), "{err}");
+        assert!(err.message.len() < 300, "{err}");
     }
 
     #[test]

@@ -1,0 +1,1033 @@
+//! Binary epoch-frame codec: the compact wire format behind [`BinaryChunkedSink`]
+//! logs and binary-negotiated fleet frames ([`crate::fleet`]).
+//!
+//! The chunked NDJSON epoch log ([`ChunkedJsonSink`](crate::sink::ChunkedJsonSink))
+//! is human-greppable but pays text-codec CPU per delta — on the export drainer's
+//! thread and again per socket frame — and roughly 10x the necessary bytes. This
+//! module is the measured answer: the same [`LogRecord`] stream (deltas + one
+//! terminal finish), encoded as length-prefixed, checksummed binary frames. One
+//! decoder ([`BinaryFrameReader`], mirroring
+//! [`EpochFrameReader`](crate::sink::EpochFrameReader)) serves log files and
+//! sockets, the frames fold through the same [`DeltaFold`], and the result is
+//! **byte-identical** (as rendered by [`ObjectCentricProfile::to_text`], the query
+//! layer, and every other consumer) to replaying the JSON log of the same run.
+//!
+//! # Frame layout
+//!
+//! Every frame is self-contained and self-verifying:
+//!
+//! | field | size | value |
+//! |---|---|---|
+//! | magic | 4 bytes | `DF 4A 58 42` (`0xDF` then `"JXB"`; `0xDF 0x4A` is never valid UTF-8, so binary logs cannot be mistaken for text) |
+//! | version | 1 byte | `0x01` ([`BINARY_VERSION`]) |
+//! | kind | 1 byte | `0x01` = delta, `0x02` = finish |
+//! | payload length | 4 bytes | `u32`, little-endian, length of the payload that follows |
+//! | payload | *length* bytes | varint-encoded record body (below) |
+//! | checksum | 4 bytes | `u32`, little-endian, FNV-1a over the payload bytes |
+//!
+//! # Varint rule
+//!
+//! All integers in a payload are unsigned LEB128: little-endian groups of 7 bits,
+//! high bit set on every byte except the last. Values `0..=127` take one byte —
+//! which covers most ids, counts and per-epoch metric values in practice.
+//!
+//! # Delta payload (kind `0x01`)
+//!
+//! | field | encoding |
+//! |---|---|
+//! | epoch | varint (absolute — every frame stands alone, so a reconnect backfill can resume anywhere) |
+//! | thread count | varint |
+//! | per thread: seq | varint (the fragment's first-seen order key) |
+//! | … thread id | varint |
+//! | … thread name | varint byte length + UTF-8 bytes |
+//! | … samples | varint |
+//! | … unattributed metrics | metric vector (below) |
+//! | … site count | varint |
+//! | … per site: site id | varint, **delta-encoded**: the first site's id is absolute, every subsequent one stores the difference from the previous id (sites are sorted ascending, so the deltas stay small) |
+//! | … … total metrics | metric vector |
+//! | … … context count | varint |
+//! | … … per context: call path | varint frame count, then per frame: method id varint + BCI varint (contexts sorted by path, the codec-wide canonical order) |
+//! | … … … metrics | metric vector |
+//!
+//! A **metric vector** is nine varints in declaration order: samples, weighted
+//! events, latency cycles, local samples, remote samples, load samples, store
+//! samples, allocations, allocated bytes.
+//!
+//! # Finish payload (kind `0x02`)
+//!
+//! | field | encoding |
+//! |---|---|
+//! | event | varint byte length + UTF-8 hardware event name |
+//! | period, size filter, total samples | varints (`total_samples` is the end-to-end loss checksum, exactly as in the JSON finish record) |
+//! | allocation stats | six varints: callbacks, monitored, filtered, relocations, unknown moves, reclamations |
+//! | site count | varint |
+//! | per site: class name | varint byte length + UTF-8 bytes (site ids are implicit — dense and ascending from 0, the same invariant the JSON codec enforces on read) |
+//! | … call path | varint frame count + method/BCI varint pairs |
+//! | alloc row count | varint |
+//! | per row | four varints: thread id, site id, allocation count, allocated bytes |
+//!
+//! # Choosing a format
+//!
+//! JSON logs are for humans: `grep`-able, diff-able, self-describing. Binary logs
+//! are for volume: the `--smoke-codec` bench gate holds encode+decode throughput at
+//! ≥ 2x and bytes/sample at ≤ 0.4x of the JSON codec. Mixed directories stay
+//! readable — [`read_any_profile_bytes`] sniffs the magic and falls back to the
+//! text formats.
+//!
+//! ```
+//! use djxperf::{BinaryChunkedSink, BinaryFrameReader, DeltaFold, LogRecord, ProfileSink};
+//! use djxperf::{ProfileDelta, ThreadDelta, ThreadProfile};
+//! use djx_runtime::ThreadId;
+//!
+//! let mut profile = ThreadProfile::new(ThreadId(7), "worker");
+//! profile.samples = 3;
+//! let delta = ProfileDelta { epoch: 1, threads: vec![ThreadDelta { seq: 0, profile }] };
+//!
+//! let mut log = Vec::new();
+//! BinaryChunkedSink::new().on_delta(1, &delta, &mut log).unwrap();
+//!
+//! let mut reader = BinaryFrameReader::new(log.as_slice());
+//! let mut fold = DeltaFold::new();
+//! while let Some(record) = reader.next_record().unwrap() {
+//!     if let LogRecord::Delta(delta) = record {
+//!         fold.absorb_ordered(&delta).unwrap();
+//!     }
+//! }
+//! assert_eq!(fold.total_samples(), 3);
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+use djx_runtime::{Frame, MethodId, ThreadId};
+
+use crate::metrics::MetricVector;
+use crate::object::{AllocSite, AllocSiteId};
+use crate::profile::{
+    event_from_name, AllocationStats, DeltaFold, ObjectCentricProfile, ProfileDelta,
+    ProfileParseError, ThreadDelta, ThreadProfile,
+};
+use crate::sink::{read_any_profile, FinishRecord, LogRecord, ProfileSink};
+
+/// The four magic bytes opening every binary frame: `0xDF` then `"JXB"`. The
+/// leading pair `0xDF 0x4A` is never valid UTF-8, so a binary log can always be
+/// told apart from the text formats by its first bytes.
+pub const BINARY_MAGIC: [u8; 4] = [0xDF, 0x4A, 0x58, 0x42];
+
+/// Current version of the binary frame layout.
+pub const BINARY_VERSION: u8 = 1;
+
+/// Frame kind byte: a streamed epoch delta.
+const KIND_DELTA: u8 = 1;
+
+/// Frame kind byte: the terminal finish record.
+const KIND_FINISH: u8 = 2;
+
+/// Fixed frame header size: magic + version + kind + payload length.
+const HEADER_LEN: usize = 10;
+
+/// Upper bound on a single frame's payload, so a corrupt length prefix cannot
+/// provoke an absurd allocation.
+const MAX_PAYLOAD_LEN: u32 = 1 << 30;
+
+/// The epoch-frame codec a transport endpoint speaks: the NDJSON v1 records or the
+/// binary frames of this module. The fleet handshake negotiates one per connection
+/// ([`crate::fleet`]); [`FrameCodec::Json`] is the backward-compatible default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FrameCodec {
+    /// Newline-delimited JSON epoch-log records (the v1 wire format).
+    #[default]
+    Json,
+    /// The binary frames specified in this module's docs.
+    Binary,
+}
+
+impl FrameCodec {
+    /// The codec's wire name, as advertised in fleet hello frames.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameCodec::Json => "json",
+            FrameCodec::Binary => "binary",
+        }
+    }
+
+    /// Parses a wire name back into a codec.
+    pub(crate) fn from_name(name: &str) -> Option<FrameCodec> {
+        match name {
+            "json" => Some(FrameCodec::Json),
+            "binary" => Some(FrameCodec::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FrameCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Checksum and varint primitives
+// ---------------------------------------------------------------------------------------
+
+/// 32-bit FNV-1a over the payload bytes — cheap, dependency-free, and plenty to
+/// catch the torn writes and bit flips a frame checksum is for.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Appends an unsigned LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a call path: frame count, then method/BCI varint pairs.
+fn put_path(out: &mut Vec<u8>, path: &[Frame]) {
+    put_varint(out, path.len() as u64);
+    for frame in path {
+        put_varint(out, u64::from(frame.method.0));
+        put_varint(out, u64::from(frame.bci));
+    }
+}
+
+/// Appends the nine metric-vector varints.
+fn put_metrics(out: &mut Vec<u8>, m: &MetricVector) {
+    put_varint(out, m.samples);
+    put_varint(out, m.weighted_events);
+    put_varint(out, m.latency_cycles);
+    put_varint(out, m.local_samples);
+    put_varint(out, m.remote_samples);
+    put_varint(out, m.load_samples);
+    put_varint(out, m.store_samples);
+    put_varint(out, m.allocations);
+    put_varint(out, m.allocated_bytes);
+}
+
+/// Cursor over one frame's payload; every error carries the payload byte offset so
+/// corruption reports point at the defect, not just the frame.
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ProfileParseError {
+        ProfileParseError {
+            line: 0,
+            message: format!("payload byte {}: {}", self.pos, message.into()),
+        }
+    }
+
+    fn varint(&mut self) -> Result<u64, ProfileParseError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.bytes.get(self.pos) else {
+                return Err(self.error("varint runs past the end of the payload"));
+            };
+            self.pos += 1;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(self.error("varint overflows 64 bits"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn varint_u32(&mut self) -> Result<u32, ProfileParseError> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| self.error(format!("integer {v} exceeds u32 range")))
+    }
+
+    fn string(&mut self) -> Result<String, ProfileParseError> {
+        let len = self.varint()? as usize;
+        let Some(bytes) = self.bytes.get(self.pos..self.pos + len) else {
+            return Err(self.error(format!("string of {len} bytes runs past the payload end")));
+        };
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| self.error(format!("string is not UTF-8: {e}")))?
+            .to_string();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn path(&mut self) -> Result<Vec<Frame>, ProfileParseError> {
+        let frames = self.varint()? as usize;
+        let mut path = Vec::with_capacity(frames.min(64));
+        for _ in 0..frames {
+            let method = MethodId(self.varint_u32()?);
+            let bci = self.varint_u32()?;
+            path.push(Frame::new(method, bci));
+        }
+        Ok(path)
+    }
+
+    fn metrics(&mut self) -> Result<MetricVector, ProfileParseError> {
+        Ok(MetricVector {
+            samples: self.varint()?,
+            weighted_events: self.varint()?,
+            latency_cycles: self.varint()?,
+            local_samples: self.varint()?,
+            remote_samples: self.varint()?,
+            load_samples: self.varint()?,
+            store_samples: self.varint()?,
+            allocations: self.varint()?,
+            allocated_bytes: self.varint()?,
+        })
+    }
+
+    fn finish(self) -> Result<(), ProfileParseError> {
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing bytes after the record payload"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Record payload encode/decode
+// ---------------------------------------------------------------------------------------
+
+fn encode_delta_payload(epoch: u64, threads: &[ThreadDelta]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    put_varint(&mut p, epoch);
+    put_varint(&mut p, threads.len() as u64);
+    for td in threads {
+        put_varint(&mut p, td.seq);
+        put_varint(&mut p, td.profile.thread.0);
+        put_string(&mut p, &td.profile.thread_name);
+        put_varint(&mut p, td.profile.samples);
+        put_metrics(&mut p, &td.profile.unattributed);
+        let mut site_ids: Vec<_> = td.profile.sites.keys().copied().collect();
+        site_ids.sort_unstable();
+        put_varint(&mut p, site_ids.len() as u64);
+        let mut prev = 0u64;
+        for (j, sid) in site_ids.iter().enumerate() {
+            let id = u64::from(sid.0);
+            // Delta-encoded within the frame: ascending ids shrink to tiny varints.
+            put_varint(&mut p, if j == 0 { id } else { id - prev });
+            prev = id;
+            let sm = &td.profile.sites[sid];
+            put_metrics(&mut p, &sm.total);
+            // Canonical context order (by call path), matching the JSON codec.
+            let mut contexts: Vec<(Vec<Frame>, &MetricVector)> =
+                sm.by_context.iter().map(|(ctx, m)| (td.profile.cct.path_of(*ctx), m)).collect();
+            contexts.sort_by(|a, b| a.0.cmp(&b.0));
+            put_varint(&mut p, contexts.len() as u64);
+            for (path, m) in contexts {
+                put_path(&mut p, &path);
+                put_metrics(&mut p, m);
+            }
+        }
+    }
+    p
+}
+
+fn decode_delta_payload(payload: &[u8]) -> Result<ProfileDelta, ProfileParseError> {
+    let mut r = PayloadReader::new(payload);
+    let epoch = r.varint()?;
+    let thread_count = r.varint()? as usize;
+    let mut threads = Vec::with_capacity(thread_count.min(1024));
+    for _ in 0..thread_count {
+        let seq = r.varint()?;
+        let thread = ThreadId(r.varint()?);
+        let name = r.string()?;
+        let mut profile = ThreadProfile::new(thread, &name);
+        profile.samples = r.varint()?;
+        profile.unattributed = r.metrics()?;
+        let site_count = r.varint()? as usize;
+        let mut prev = 0u64;
+        for j in 0..site_count {
+            let delta_id = r.varint()?;
+            let id = if j == 0 { delta_id } else { prev + delta_id };
+            prev = id;
+            let site = AllocSiteId(
+                u32::try_from(id)
+                    .map_err(|_| r.error(format!("site id {id} exceeds u32 range")))?,
+            );
+            let entry = profile.sites.entry(site).or_default();
+            entry.total = r.metrics()?;
+            let context_count = r.varint()? as usize;
+            for _ in 0..context_count {
+                let path = r.path()?;
+                let metrics = r.metrics()?;
+                let ctx = profile.cct.insert_path(&path);
+                profile
+                    .sites
+                    .get_mut(&site)
+                    .expect("entry inserted above")
+                    .by_context
+                    .insert(ctx, metrics);
+            }
+        }
+        threads.push(ThreadDelta { seq, profile });
+    }
+    r.finish()?;
+    Ok(ProfileDelta { epoch, threads })
+}
+
+fn encode_finish_payload(profile: &ObjectCentricProfile, include_allocs: bool) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    put_string(&mut p, profile.event.hardware_name());
+    put_varint(&mut p, profile.period);
+    put_varint(&mut p, profile.size_filter);
+    put_varint(&mut p, profile.total_samples());
+    let s = &profile.allocation_stats;
+    put_varint(&mut p, s.callbacks);
+    put_varint(&mut p, s.monitored);
+    put_varint(&mut p, s.filtered);
+    put_varint(&mut p, s.relocations);
+    put_varint(&mut p, s.unknown_moves);
+    put_varint(&mut p, s.reclamations);
+    // Site ids are implicit (dense, ascending from 0) — the invariant the JSON
+    // codec enforces on read is simply never written here.
+    put_varint(&mut p, profile.sites.len() as u64);
+    for site in &profile.sites {
+        put_string(&mut p, &site.class_name);
+        put_path(&mut p, &site.call_path);
+    }
+    let mut rows = Vec::new();
+    if include_allocs {
+        for thread in &profile.threads {
+            let mut site_ids: Vec<_> = thread.sites.keys().copied().collect();
+            site_ids.sort_unstable();
+            for sid in site_ids {
+                let m = &thread.sites[&sid].total;
+                if m.allocations > 0 || m.allocated_bytes > 0 {
+                    rows.push((
+                        thread.thread.0,
+                        u64::from(sid.0),
+                        m.allocations,
+                        m.allocated_bytes,
+                    ));
+                }
+            }
+        }
+    }
+    put_varint(&mut p, rows.len() as u64);
+    for (thread, site, count, bytes) in rows {
+        put_varint(&mut p, thread);
+        put_varint(&mut p, site);
+        put_varint(&mut p, count);
+        put_varint(&mut p, bytes);
+    }
+    p
+}
+
+fn decode_finish_payload(payload: &[u8]) -> Result<FinishRecord, ProfileParseError> {
+    let mut r = PayloadReader::new(payload);
+    let event_name = r.string()?;
+    let event = event_from_name(&event_name).map_err(|e| r.error(e.to_string()))?;
+    let period = r.varint()?;
+    let size_filter = r.varint()?;
+    let total_samples = r.varint()?;
+    let allocation_stats = AllocationStats {
+        callbacks: r.varint()?,
+        monitored: r.varint()?,
+        filtered: r.varint()?,
+        relocations: r.varint()?,
+        unknown_moves: r.varint()?,
+        reclamations: r.varint()?,
+    };
+    let site_count = r.varint()? as usize;
+    let mut sites = Vec::with_capacity(site_count.min(4096));
+    for id in 0..site_count {
+        let class_name = r.string()?;
+        let call_path = r.path()?;
+        let id =
+            u32::try_from(id).map_err(|_| r.error(format!("site id {id} exceeds u32 range")))?;
+        sites.push(AllocSite { id: AllocSiteId(id), class_name, call_path });
+    }
+    let row_count = r.varint()? as usize;
+    let mut allocs = Vec::with_capacity(row_count.min(4096));
+    for _ in 0..row_count {
+        let thread = ThreadId(r.varint()?);
+        let site = AllocSiteId(r.varint_u32()?);
+        let count = r.varint()?;
+        let bytes = r.varint()?;
+        allocs.push((thread, site, count, bytes));
+    }
+    r.finish()?;
+    Ok(FinishRecord { event, period, size_filter, sites, allocs, allocation_stats, total_samples })
+}
+
+// ---------------------------------------------------------------------------------------
+// Frame encode/decode
+// ---------------------------------------------------------------------------------------
+
+fn write_frame(kind: u8, payload: &[u8], out: &mut dyn Write) -> io::Result<()> {
+    debug_assert!(payload.len() as u64 <= u64::from(MAX_PAYLOAD_LEN));
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    frame.extend_from_slice(&BINARY_MAGIC);
+    frame.push(BINARY_VERSION);
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.write_all(&frame)
+}
+
+/// Encodes one delta frame into `out` (exposed to the fleet transport so it can
+/// buffer the encoded bytes for acknowledged delivery).
+pub(crate) fn write_delta_frame(
+    epoch: u64,
+    threads: &[ThreadDelta],
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    write_frame(KIND_DELTA, &encode_delta_payload(epoch, threads), out)
+}
+
+/// Encodes one finish frame into `out`.
+pub(crate) fn write_finish_frame(
+    profile: &ObjectCentricProfile,
+    include_allocs: bool,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    write_frame(KIND_FINISH, &encode_finish_payload(profile, include_allocs), out)
+}
+
+/// Reads and decodes exactly one binary frame from `input`, which must be
+/// positioned at a frame boundary with at least one byte available. Returns the
+/// record and the total frame size in bytes (header + payload + checksum).
+///
+/// Errors carry payload-relative byte context in the message and `line == 0`;
+/// callers tracking a stream position ([`BinaryFrameReader`], the fleet
+/// aggregator's per-frame sniffer) re-anchor them.
+pub(crate) fn read_binary_frame<R: Read>(
+    input: &mut R,
+) -> Result<(LogRecord, usize), ProfileParseError> {
+    let truncated = |what: &str| ProfileParseError {
+        line: 0,
+        message: format!("frame truncated mid-{what} (short read)"),
+    };
+    let mut header = [0u8; HEADER_LEN];
+    input.read_exact(&mut header).map_err(|_| truncated("header"))?;
+    if header[..4] != BINARY_MAGIC {
+        return Err(ProfileParseError {
+            line: 0,
+            message: format!(
+                "bad frame magic {:02x} {:02x} {:02x} {:02x} (expected df 4a 58 42)",
+                header[0], header[1], header[2], header[3]
+            ),
+        });
+    }
+    if header[4] != BINARY_VERSION {
+        return Err(ProfileParseError {
+            line: 0,
+            message: format!("unsupported binary frame version {}", header[4]),
+        });
+    }
+    let kind = header[5];
+    if kind != KIND_DELTA && kind != KIND_FINISH {
+        return Err(ProfileParseError {
+            line: 0,
+            message: format!("unknown frame kind byte {kind:#04x}"),
+        });
+    }
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 header bytes"));
+    if len > MAX_PAYLOAD_LEN {
+        return Err(ProfileParseError {
+            line: 0,
+            message: format!("frame payload length {len} exceeds the {MAX_PAYLOAD_LEN}-byte cap"),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    input.read_exact(&mut payload).map_err(|_| truncated("payload"))?;
+    let mut stored = [0u8; 4];
+    input.read_exact(&mut stored).map_err(|_| truncated("checksum"))?;
+    let stored = u32::from_le_bytes(stored);
+    let computed = fnv1a(&payload);
+    if stored != computed {
+        return Err(ProfileParseError {
+            line: 0,
+            message: format!(
+                "frame checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+            ),
+        });
+    }
+    let record = match kind {
+        KIND_DELTA => LogRecord::Delta(decode_delta_payload(&payload)?),
+        _ => LogRecord::Finish(decode_finish_payload(&payload)?),
+    };
+    Ok((record, HEADER_LEN + len as usize + 4))
+}
+
+/// Incremental binary-frame reader over any [`BufRead`]: the binary mirror of
+/// [`EpochFrameReader`](crate::sink::EpochFrameReader), yielding one decoded
+/// [`LogRecord`] per frame. One decoder serves finished log files, pipes still
+/// being written, and sockets — the fleet aggregator reads the same frames off its
+/// connections.
+///
+/// Errors are anchored to the 1-based frame number (in
+/// [`ProfileParseError::line`]) and the absolute byte offset of the offending
+/// frame (in the message).
+#[derive(Debug)]
+pub struct BinaryFrameReader<R> {
+    input: R,
+    frame_number: usize,
+    offset: u64,
+}
+
+impl<R: BufRead> BinaryFrameReader<R> {
+    /// Wraps a buffered reader positioned at the start of a frame stream.
+    pub fn new(input: R) -> Self {
+        Self { input, frame_number: 0, offset: 0 }
+    }
+
+    /// The 1-based number of the most recently returned frame (0 before the first
+    /// read) — the binary analogue of
+    /// [`EpochFrameReader::line_number`](crate::sink::EpochFrameReader::line_number).
+    pub fn frame_number(&self) -> usize {
+        self.frame_number
+    }
+
+    /// Byte offset of the next frame (the stream length consumed so far).
+    pub fn byte_offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Decodes the next frame, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileParseError`] (anchored to the frame number and byte offset) for
+    /// truncated, corrupted or malformed frames; transport failures of the
+    /// underlying reader surface the same way.
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>, ProfileParseError> {
+        let at_end = loop {
+            match self.input.fill_buf() {
+                Ok(buf) => break buf.is_empty(),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(ProfileParseError {
+                        line: self.frame_number + 1,
+                        message: format!("frame stream read error: {e}"),
+                    })
+                }
+            }
+        };
+        if at_end {
+            return Ok(None);
+        }
+        let start = self.offset;
+        self.frame_number += 1;
+        match read_binary_frame(&mut self.input) {
+            Ok((record, len)) => {
+                self.offset += len as u64;
+                Ok(Some(record))
+            }
+            Err(e) => Err(ProfileParseError {
+                line: self.frame_number,
+                message: format!(
+                    "binary frame {} at byte offset {start}: {}",
+                    self.frame_number, e.message
+                ),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// BinaryChunkedSink: the replayable binary epoch log
+// ---------------------------------------------------------------------------------------
+
+/// The binary counterpart of [`ChunkedJsonSink`](crate::sink::ChunkedJsonSink): a
+/// [`ProfileSink`] whose delta stream is a replayable **binary** epoch log in the
+/// frame format specified by this module's docs. Wire it into a session with
+/// [`SessionBuilder::stream_to_binary`](crate::session::SessionBuilder::stream_to_binary).
+///
+/// Replaying a binary log ([`BinaryChunkedSink::read_log_bytes`]) runs the exact
+/// fold-and-assemble loop of the JSON log — same [`DeltaFold`], same
+/// [`FinishRecord`], same checksum verification — so the two formats can never
+/// disagree on what a run looked like.
+///
+/// Binary logs are not UTF-8: use byte-based outputs
+/// ([`SharedBuffer`](crate::export::SharedBuffer), files) and
+/// [`read_any_profile_bytes`] / [`BinaryChunkedSink::read_log_bytes`] to read them.
+/// The `&str`-based [`ProfileSink::read_profile`] and
+/// [`ProfileSink::write_to_string`] cannot represent them and fail.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryChunkedSink;
+
+impl BinaryChunkedSink {
+    /// Creates the sink.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Replays a binary epoch log: folds the delta frames in order, applies the
+    /// finish frame, and verifies the total-sample checksum — the byte-format twin
+    /// of [`ChunkedJsonSink::read_log`](crate::sink::ChunkedJsonSink::read_log),
+    /// with identical output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileParseError`] for corrupted or truncated frames,
+    /// out-of-order epochs, frames after (or a log without) the finish frame, and
+    /// checksum mismatches.
+    pub fn read_log_bytes(&self, input: &[u8]) -> Result<ObjectCentricProfile, ProfileParseError> {
+        // Compare only the bytes present: a truncated-but-matching magic prefix is a
+        // short frame (reported below), not a foreign format.
+        let head = &input[..input.len().min(BINARY_MAGIC.len())];
+        if head != &BINARY_MAGIC[..head.len()] {
+            return Err(ProfileParseError {
+                line: 1,
+                message: "stream does not start with the binary epoch-log magic (JSON logs \
+                          replay via ChunkedJsonSink::read_log or read_any_profile)"
+                    .to_string(),
+            });
+        }
+        let mut reader = BinaryFrameReader::new(input);
+        let mut fold = DeltaFold::new();
+        let mut finish: Option<FinishRecord> = None;
+        while let Some(record) = reader.next_record()? {
+            let line = reader.frame_number();
+            if finish.is_some() {
+                return Err(ProfileParseError {
+                    line,
+                    message: "frames after the finish frame".to_string(),
+                });
+            }
+            match record {
+                LogRecord::Delta(delta) => fold
+                    .absorb_ordered(&delta)
+                    .map_err(|e| ProfileParseError { line, message: e.to_string() })?,
+                LogRecord::Finish(record) => finish = Some(record),
+            }
+        }
+        let line = reader.frame_number().max(1);
+        let Some(finish) = finish else {
+            return Err(ProfileParseError {
+                line,
+                message: "binary epoch log has no finish frame (truncated stream?)".to_string(),
+            });
+        };
+        finish
+            .assemble(fold)
+            .map_err(|e| ProfileParseError { line, message: e.to_string() })
+    }
+}
+
+impl ProfileSink for BinaryChunkedSink {
+    fn format_name(&self) -> &'static str {
+        "binary"
+    }
+
+    /// Writes the profile as a degenerate one-delta binary epoch log (the threads
+    /// inlined complete with their allocation metrics, so the finish frame carries
+    /// no allocation rows) — the byte-format twin of the chunked JSON document
+    /// form.
+    fn write_profile(&self, profile: &ObjectCentricProfile, out: &mut dyn Write) -> io::Result<()> {
+        if !profile.threads.is_empty() {
+            let threads: Vec<ThreadDelta> = profile
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| ThreadDelta { seq: i as u64, profile: t.clone() })
+                .collect();
+            write_delta_frame(1, &threads, out)?;
+        }
+        write_finish_frame(profile, false, out)
+    }
+
+    /// Binary logs cannot travel through `&str`; this always fails and points at
+    /// [`BinaryChunkedSink::read_log_bytes`].
+    fn read_profile(&self, _input: &str) -> Result<ObjectCentricProfile, ProfileParseError> {
+        Err(ProfileParseError {
+            line: 1,
+            message: "binary epoch logs are bytes, not UTF-8 text — use \
+                      BinaryChunkedSink::read_log_bytes or read_any_profile_bytes"
+                .to_string(),
+        })
+    }
+
+    fn on_delta(&self, epoch: u64, delta: &ProfileDelta, out: &mut dyn Write) -> io::Result<()> {
+        write_delta_frame(epoch, &delta.threads, out)
+    }
+
+    fn on_finish(&self, profile: &ObjectCentricProfile, out: &mut dyn Write) -> io::Result<()> {
+        write_finish_frame(profile, true, out)
+    }
+}
+
+/// Parses profile bytes written by any of the built-in sinks: the byte-level
+/// superset of [`read_any_profile`]. Binary epoch logs are detected by their
+/// magic bytes; anything else must be UTF-8 and goes through the text-format
+/// sniffing (chunked JSON log, JSON document, text profile) — so a mixed
+/// directory of old JSON logs and new binary logs merges transparently.
+///
+/// # Errors
+///
+/// Returns [`ProfileParseError`] for malformed input of any format.
+pub fn read_any_profile_bytes(input: &[u8]) -> Result<ObjectCentricProfile, ProfileParseError> {
+    if input.starts_with(&BINARY_MAGIC) {
+        return BinaryChunkedSink::new().read_log_bytes(input);
+    }
+    let text = std::str::from_utf8(input).map_err(|e| ProfileParseError {
+        line: 1,
+        message: format!("input is neither a binary epoch log nor UTF-8 text: {e}"),
+    })?;
+    read_any_profile(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{ChunkedJsonSink, JsonSink, TextSink};
+    use djx_pmu::PmuEvent;
+
+    fn f(m: u32, bci: u32) -> Frame {
+        Frame::new(MethodId(m), bci)
+    }
+
+    fn metrics(samples: u64) -> MetricVector {
+        MetricVector {
+            samples,
+            weighted_events: samples * 100,
+            latency_cycles: samples * 37,
+            local_samples: samples / 2,
+            remote_samples: samples - samples / 2,
+            load_samples: samples,
+            store_samples: 0,
+            allocations: 0,
+            allocated_bytes: 0,
+        }
+    }
+
+    fn thread_fragment(id: u64, name: &str, site: u32, samples: u64) -> ThreadProfile {
+        let mut profile = ThreadProfile::new(ThreadId(id), name);
+        profile.samples = samples;
+        let entry = profile.sites.entry(AllocSiteId(site)).or_default();
+        entry.total = metrics(samples);
+        let ctx = profile.cct.insert_path(&[f(1, 5), f(4, 9)]);
+        let by_context = &mut profile.sites.get_mut(&AllocSiteId(site)).unwrap().by_context;
+        by_context.insert(ctx, metrics(samples));
+        profile
+    }
+
+    fn delta(epoch: u64, threads: Vec<(u64, ThreadProfile)>) -> ProfileDelta {
+        ProfileDelta {
+            epoch,
+            threads: threads
+                .into_iter()
+                .map(|(seq, profile)| ThreadDelta { seq, profile })
+                .collect(),
+        }
+    }
+
+    fn sites(n: u32) -> Vec<AllocSite> {
+        (0..n)
+            .map(|i| AllocSite {
+                id: AllocSiteId(i),
+                class_name: format!("float[] #{i} \"quoted\" λ"),
+                call_path: vec![f(i + 1, 5), f(2, 3)],
+            })
+            .collect()
+    }
+
+    /// Streams the same deltas through both chunked sinks and returns
+    /// (json log, binary log, terminal profile).
+    fn stream_both() -> (String, Vec<u8>, ObjectCentricProfile) {
+        let deltas = vec![
+            delta(
+                1,
+                vec![(0, thread_fragment(1, "main", 0, 4)), (1, thread_fragment(2, "w", 1, 2))],
+            ),
+            delta(3, vec![(0, thread_fragment(1, "main", 1, 5))]),
+            delta(4, vec![(1, thread_fragment(2, "w", 0, 1))]),
+        ];
+        let mut fold = DeltaFold::new();
+        for d in &deltas {
+            fold.absorb_ordered(d).unwrap();
+        }
+        let profile = fold.assemble(
+            PmuEvent::L1Miss,
+            100,
+            1024,
+            sites(2),
+            std::iter::empty(),
+            AllocationStats { callbacks: 9, monitored: 3, filtered: 6, ..Default::default() },
+        );
+        let json_sink = ChunkedJsonSink::new();
+        let bin_sink = BinaryChunkedSink::new();
+        let mut json_log = Vec::new();
+        let mut bin_log = Vec::new();
+        for d in &deltas {
+            json_sink.on_delta(d.epoch, d, &mut json_log).unwrap();
+            bin_sink.on_delta(d.epoch, d, &mut bin_log).unwrap();
+        }
+        json_sink.on_finish(&profile, &mut json_log).unwrap();
+        bin_sink.on_finish(&profile, &mut bin_log).unwrap();
+        (String::from_utf8(json_log).unwrap(), bin_log, profile)
+    }
+
+    #[test]
+    fn varints_round_trip_edge_values() {
+        for value in [0u64, 1, 127, 128, 129, 16_383, 16_384, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, value);
+            let mut r = PayloadReader::new(&buf);
+            assert_eq!(r.varint().unwrap(), value, "value {value}");
+            r.finish().unwrap();
+        }
+        // A varint that never terminates is rejected, not wrapped.
+        let mut r = PayloadReader::new(&[0xff; 11]);
+        assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn binary_fold_is_byte_identical_to_json_fold() {
+        let (json_log, bin_log, profile) = stream_both();
+        let from_json = ChunkedJsonSink::new().read_log(&json_log).unwrap();
+        let from_bin = BinaryChunkedSink::new().read_log_bytes(&bin_log).unwrap();
+        assert_eq!(from_bin.to_text(), from_json.to_text());
+        assert_eq!(from_bin.to_text(), profile.to_text());
+        assert_eq!(from_bin.sites, profile.sites);
+        assert_eq!(from_bin.allocation_stats, profile.allocation_stats);
+        // The compactness claim, at unit scale: well under half the JSON bytes.
+        assert!(
+            bin_log.len() * 2 < json_log.len(),
+            "binary log is {} bytes vs {} JSON",
+            bin_log.len(),
+            json_log.len()
+        );
+    }
+
+    #[test]
+    fn document_form_round_trips_via_write_profile() {
+        let (_, _, profile) = stream_both();
+        let sink = BinaryChunkedSink::new();
+        let mut doc = Vec::new();
+        sink.write_profile(&profile, &mut doc).unwrap();
+        let parsed = sink.read_log_bytes(&doc).unwrap();
+        assert_eq!(parsed.to_text(), profile.to_text());
+        assert_eq!(sink.format_name(), "binary");
+        // The &str entry point is a clear error, not a mangled decode.
+        let err = sink.read_profile("{\"record\":\"delta\"}").unwrap_err();
+        assert!(err.message.contains("read_log_bytes"), "{err}");
+    }
+
+    #[test]
+    fn read_any_profile_bytes_detects_every_format() {
+        let (json_log, bin_log, profile) = stream_both();
+        let text = TextSink.write_to_string(&profile);
+        let json_doc = JsonSink::new().write_to_string(&profile);
+        for input in [text.as_bytes(), json_doc.as_bytes(), json_log.as_bytes(), &bin_log] {
+            assert_eq!(read_any_profile_bytes(input).unwrap().to_text(), profile.to_text());
+        }
+        assert!(read_any_profile_bytes(b"garbage").is_err());
+        assert!(read_any_profile_bytes(&[0xff, 0xfe, 0x00]).is_err(), "non-UTF-8 non-magic");
+    }
+
+    #[test]
+    fn rejects_garbage_magic() {
+        let (_, mut bin_log, _) = stream_both();
+        bin_log[0] = b'X';
+        let err = BinaryChunkedSink::new().read_log_bytes(&bin_log).unwrap_err();
+        assert!(err.message.contains("magic"), "{err}");
+        // Mid-stream garbage is caught at the offending frame, with its offset.
+        let (_, bin_log, _) = stream_both();
+        let mut reader = BinaryFrameReader::new(bin_log.as_slice());
+        reader.next_record().unwrap().unwrap();
+        let tail_start = reader.byte_offset();
+        let mut corrupted = bin_log.clone();
+        corrupted[tail_start as usize] = 0x00;
+        let mut reader = BinaryFrameReader::new(corrupted.as_slice());
+        reader.next_record().unwrap().unwrap();
+        let err = reader.next_record().unwrap_err();
+        assert_eq!(err.line, 2, "anchored to the frame number");
+        assert!(err.message.contains(&format!("byte offset {tail_start}")), "{err}");
+        assert!(err.message.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_checksum() {
+        let (_, mut bin_log, _) = stream_both();
+        // Flip one payload byte of the first frame; its checksum no longer matches.
+        bin_log[HEADER_LEN] ^= 0x40;
+        let err = BinaryChunkedSink::new().read_log_bytes(&bin_log).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_short_frames() {
+        let (_, bin_log, _) = stream_both();
+        // Truncation at every boundary class: mid-header, mid-payload, mid-checksum.
+        for cut in [2, HEADER_LEN - 1, HEADER_LEN + 3, bin_log.len() - 2] {
+            let err = BinaryChunkedSink::new().read_log_bytes(&bin_log[..cut]).unwrap_err();
+            assert!(
+                err.message.contains("truncated") || err.message.contains("finish"),
+                "cut at {cut}: {err}"
+            );
+        }
+        // A log cut exactly at a frame boundary parses but misses its finish frame.
+        let mut reader = BinaryFrameReader::new(bin_log.as_slice());
+        reader.next_record().unwrap().unwrap();
+        let boundary = reader.byte_offset() as usize;
+        let err = BinaryChunkedSink::new().read_log_bytes(&bin_log[..boundary]).unwrap_err();
+        assert!(err.message.contains("no finish frame"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_version_and_kind() {
+        let (_, bin_log, _) = stream_both();
+        let mut bad_version = bin_log.clone();
+        bad_version[4] = 9;
+        let err = BinaryChunkedSink::new().read_log_bytes(&bad_version).unwrap_err();
+        assert!(err.message.contains("version 9"), "{err}");
+        let mut bad_kind = bin_log.clone();
+        bad_kind[5] = 7;
+        let err = BinaryChunkedSink::new().read_log_bytes(&bad_kind).unwrap_err();
+        assert!(err.message.contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn rejects_oversized_length_prefix() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&BINARY_MAGIC);
+        frame.push(BINARY_VERSION);
+        frame.push(KIND_DELTA);
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 16]);
+        let err = BinaryChunkedSink::new().read_log_bytes(&frame).unwrap_err();
+        assert!(err.message.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn frame_codec_names_round_trip() {
+        for codec in [FrameCodec::Json, FrameCodec::Binary] {
+            assert_eq!(FrameCodec::from_name(codec.name()), Some(codec));
+            assert_eq!(codec.to_string(), codec.name());
+        }
+        assert_eq!(FrameCodec::from_name("protobuf"), None);
+        assert_eq!(FrameCodec::default(), FrameCodec::Json);
+    }
+}

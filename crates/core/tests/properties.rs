@@ -304,16 +304,15 @@ fn stream_op() -> impl Strategy<Value = StreamOp> {
     ]
 }
 
-/// Replays one interleaving of heap/access/pull operations into a streaming session
-/// and into a never-drained reference session, finishes the stream, and returns
-/// `(streaming session, reference session, epoch log)`. Shared by the fold-identity
-/// and the query-identity properties below.
-fn run_stream_ops(
-    ops: Vec<StreamOp>,
-) -> Result<
-    (std::sync::Arc<djxperf::Session>, std::sync::Arc<djxperf::Session>, String),
-    TestCaseError,
-> {
+/// Replays one interleaving of heap/access/pull operations into a JSON streaming
+/// session, a binary streaming session, and a never-drained reference session,
+/// finishes both streams, and returns
+/// `(streaming session, reference session, JSON epoch log, binary epoch log)`.
+/// Shared by the fold-identity and the query-identity properties below.
+type StreamRun =
+    (std::sync::Arc<djxperf::Session>, std::sync::Arc<djxperf::Session>, String, Vec<u8>);
+
+fn run_stream_ops(ops: Vec<StreamOp>) -> Result<StreamRun, TestCaseError> {
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -325,25 +324,22 @@ fn run_stream_ops(
     use djxperf::{ChunkedJsonSink, DrainPolicy, Session, SharedBuffer};
 
     let buffer = SharedBuffer::new();
-    let build = |streaming: bool| {
-        let builder = Session::builder().period(4).size_filter(1024);
-        if streaming {
-            builder
-                .stream_to(
-                    Arc::new(ChunkedJsonSink::new()),
-                    Box::new(buffer.clone()),
-                    // Long tick: the proptest's explicit pulls (and its snapshots)
-                    // drive the epoch boundaries; the drainer still writes them.
-                    DrainPolicy::new().capacity(4).tick(Duration::from_secs(60)),
-                )
-                .build()
-        } else {
-            builder.collect_objects().build()
-        }
-    };
-    let streaming = build(true);
-    let reference = build(false);
-    let sessions = [&streaming, &reference];
+    let binary_buffer = SharedBuffer::new();
+    // Long tick: the proptest's explicit pulls (and its snapshots) drive the epoch
+    // boundaries; the drainer still writes them.
+    let policy = || DrainPolicy::new().capacity(4).tick(Duration::from_secs(60));
+    let streaming = Session::builder()
+        .period(4)
+        .size_filter(1024)
+        .stream_to(Arc::new(ChunkedJsonSink::new()), Box::new(buffer.clone()), policy())
+        .build();
+    let binary = Session::builder()
+        .period(4)
+        .size_filter(1024)
+        .stream_to_binary(Box::new(binary_buffer.clone()), policy())
+        .build();
+    let reference = Session::builder().period(4).size_filter(1024).collect_objects().build();
+    let sessions = [&streaming, &binary, &reference];
 
     let thread = ThreadId(1);
     let call_trace = [Frame::new(MethodId(1), 0), Frame::new(MethodId(2), 4)];
@@ -426,20 +422,27 @@ fn run_stream_ops(
                 }
             }
             StreamOp::Pull => {
-                prop_assert!(streaming.flush_export(), "the stream accepts pulls");
+                prop_assert!(streaming.flush_export(), "the JSON stream accepts pulls");
+                prop_assert!(binary.flush_export(), "the binary stream accepts pulls");
             }
         }
     }
 
-    let stats = streaming.finish_export().expect("the stream finishes cleanly");
+    let stats = streaming.finish_export().expect("the JSON stream finishes cleanly");
     prop_assert_eq!(
         stats.samples_streamed,
         streaming.total_samples(),
         "every sample is in exactly one streamed delta"
     );
+    let binary_stats = binary.finish_export().expect("the binary stream finishes cleanly");
+    prop_assert_eq!(
+        binary_stats.samples_streamed,
+        stats.samples_streamed,
+        "both codecs stream the identical sample population"
+    );
     prop_assert_eq!(streaming.total_samples(), reference.total_samples());
     let log = String::from_utf8(buffer.contents()).unwrap();
-    Ok((streaming, reference, log))
+    Ok((streaming, reference, log, binary_buffer.contents()))
 }
 
 proptest! {
@@ -448,14 +451,16 @@ proptest! {
     /// Any interleaving of insert/free/relocate/access with drainer pulls streams a
     /// delta log that folds to the same profile a sequential, never-drained replay of
     /// the identical event sequence produces — and draining never perturbs the
-    /// streaming session's own profile either. The epoch partition must be invisible.
+    /// streaming session's own profile either. The epoch partition must be invisible,
+    /// and so must the wire codec: the binary epoch log folds byte-identically to the
+    /// JSON one.
     #[test]
     fn streamed_deltas_fold_like_a_sequential_replay_under_insert_free_relocate(
         ops in prop::collection::vec(stream_op(), 1..120),
     ) {
-        use djxperf::ChunkedJsonSink;
+        use djxperf::{read_any_profile_bytes, BinaryChunkedSink, ChunkedJsonSink};
 
-        let (streaming, reference, log) = run_stream_ops(ops)?;
+        let (streaming, reference, log, binary_log) = run_stream_ops(ops)?;
         let reference_text = reference.object_profile().unwrap().to_text();
         prop_assert_eq!(
             &streaming.object_profile().unwrap().to_text(),
@@ -467,6 +472,19 @@ proptest! {
             &replayed.to_text(),
             &reference_text,
             "folded stream must equal the sequential replay"
+        );
+        let from_binary = BinaryChunkedSink::new()
+            .read_log_bytes(&binary_log)
+            .expect("the binary epoch log replays");
+        prop_assert_eq!(
+            &from_binary.to_text(),
+            &reference_text,
+            "binary fold must be byte-identical to the JSON fold"
+        );
+        prop_assert_eq!(
+            &read_any_profile_bytes(&binary_log).expect("sniffed replay").to_text(),
+            &reference_text,
+            "format sniffing must route binary logs to the binary reader"
         );
     }
 
@@ -480,7 +498,7 @@ proptest! {
     ) {
         use djxperf::{EpochLog, GroupBy, Query, RankBy};
 
-        let (streaming, reference, log) = run_stream_ops(ops)?;
+        let (streaming, reference, log, _binary_log) = run_stream_ops(ops)?;
         let replayed = EpochLog::replay(&log).expect("the epoch log replays");
         let queries = [
             Query::new(),

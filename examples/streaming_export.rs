@@ -19,8 +19,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use djx_runtime::{dsl, Runtime, RuntimeConfig};
+use djxperf::{
+    read_any_profile_bytes, BinaryChunkedSink, ChunkedJsonSink, DrainPolicy, ProfileSink,
+    SharedBuffer,
+};
 use djxperf::{Analyzer, Session};
-use djxperf::{ChunkedJsonSink, DrainPolicy, SharedBuffer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A session streaming its object-centric profile continuously: every retired
@@ -100,6 +103,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "hottest object from the replayed stream: {} with {:.1}% of sampled misses",
         hottest.class_name,
         hottest.fraction_of_total * 100.0
+    );
+
+    // 6. The same profile through both log codecs: the binary epoch-frame format
+    //    (`SessionBuilder::stream_to_binary` for live streams) carries the identical
+    //    fold in a fraction of the bytes, and `read_any_profile_bytes` sniffs the
+    //    magic so consumers never need to be told which format a log is in.
+    let mut json_doc = Vec::new();
+    ChunkedJsonSink::new().write_profile(&terminal, &mut json_doc)?;
+    let mut binary_doc = Vec::new();
+    BinaryChunkedSink::new().write_profile(&terminal, &mut binary_doc)?;
+    let sniffed = read_any_profile_bytes(&binary_doc)?;
+    assert_eq!(
+        sniffed.to_text(),
+        terminal.to_text(),
+        "the binary log must fold byte-identically to the JSON log"
+    );
+    println!(
+        "binary epoch log: {} bytes vs {} bytes JSON ({:.1}x smaller), identical fold ✓",
+        binary_doc.len(),
+        json_doc.len(),
+        json_doc.len() as f64 / binary_doc.len() as f64,
     );
     Ok(())
 }

@@ -20,9 +20,9 @@ use djx_runtime::{
     ThreadId,
 };
 use djxperf::{
-    ChunkedJsonSink, DrainPolicy, EpochLog, FleetAggregator, FleetClient, FleetSink, GroupBy,
-    MultiSource, ProfileDelta, ProfileSink, Query, RankBy, Session, SharedBuffer, ThreadDelta,
-    ThreadProfile,
+    ChunkedJsonSink, DrainPolicy, EpochLog, FleetAggregator, FleetClient, FleetSink, FrameCodec,
+    GroupBy, MultiSource, ProfileDelta, ProfileSink, Query, RankBy, Session, SharedBuffer,
+    ThreadDelta, ThreadProfile,
 };
 
 const PROCESSES: u64 = 3;
@@ -134,6 +134,13 @@ fn fleet_query_is_byte_identical_to_multisource_fold() {
     // events into a local epoch log — the single-process comparison baseline.
     let sinks: Vec<Arc<FleetSink>> =
         (0..PROCESSES).map(|p| connect_sink(&addr, &format!("proc{p}"))).collect();
+    for sink in &sinks {
+        assert_eq!(
+            sink.stats().codec,
+            FrameCodec::Binary,
+            "a default connect negotiates the binary frame codec"
+        );
+    }
     let fleet_sessions: Vec<Arc<Session>> = sinks.iter().map(fleet_session).collect();
     let buffers: Vec<SharedBuffer> = (0..PROCESSES).map(|_| SharedBuffer::new()).collect();
     let log_sessions: Vec<Arc<Session>> = buffers.iter().map(log_session).collect();
@@ -169,6 +176,11 @@ fn fleet_query_is_byte_identical_to_multisource_fold() {
     // The faulted producer reconnected: a second connect on the sink, a resume on
     // the aggregator — and no producer ended truncated.
     assert!(sinks[0].stats().connects >= 2, "producer 0 reconnected");
+    assert_eq!(
+        sinks[0].stats().codec,
+        FrameCodec::Binary,
+        "the reconnect handshake renegotiated binary"
+    );
     let status = aggregator.status();
     assert_eq!(status.len(), PROCESSES as usize);
     assert!(status.iter().any(|s| s.producer == "proc0" && s.resumes >= 1));
@@ -212,6 +224,78 @@ fn fleet_query_is_byte_identical_to_multisource_fold() {
 
     // The wire status matches the in-process status.
     assert_eq!(client.status().expect("wire status answers"), aggregator.status());
+}
+
+#[test]
+fn json_forced_and_binary_producers_render_byte_identically() {
+    let logs = build_process_logs();
+    let log = &logs[0];
+
+    // The identical workload through each codec, against its own aggregator — with a
+    // mid-stream disconnect so the reconnect handshake renegotiates the codec too.
+    let run = |codec: FrameCodec| {
+        let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("aggregator binds");
+        let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+        let sink = Arc::new(
+            FleetSink::connect_with_codec(
+                &addr,
+                "proc0",
+                PmuEvent::DEFAULT,
+                PERIOD,
+                SIZE_FILTER,
+                codec,
+            )
+            .expect("producer connects"),
+        );
+        assert_eq!(sink.stats().codec, codec, "the aggregator honors the offered codec");
+        let session = fleet_session(&sink);
+        replay_allocs(&session, log);
+        let half = ACCESSES_PER_PROCESS as usize / 2;
+        replay_accesses(&session, log, 0..half);
+        sink.disconnect();
+        replay_accesses(&session, log, half..ACCESSES_PER_PROCESS as usize);
+        session.finish_export().expect("stream finishes");
+        assert!(sink.stats().connects >= 2, "the producer reconnected");
+        assert_eq!(sink.stats().codec, codec, "renegotiation picked the same codec");
+        aggregator
+    };
+    let json = run(FrameCodec::Json);
+    let binary = run(FrameCodec::Binary);
+
+    // The wire codec is invisible to queries: both folds render byte-identically.
+    for query in [
+        Query::new(),
+        Query::new().rank_by(RankBy::Samples),
+        Query::new().group_by(GroupBy::Thread).rank_by(RankBy::Samples),
+    ] {
+        let from_json = json.query(&query).expect("json fleet evaluates");
+        let from_binary = binary.query(&query).expect("binary fleet evaluates");
+        assert_eq!(
+            from_binary.to_text(),
+            from_json.to_text(),
+            "codec-independent text for {query:?}"
+        );
+        assert_eq!(
+            from_binary.to_json(),
+            from_json.to_json(),
+            "codec-independent json for {query:?}"
+        );
+    }
+
+    // But not to the wire: the binary producer shipped the same fold in far fewer bytes.
+    let row = |aggregator: &FleetAggregator| {
+        aggregator.status().into_iter().next().expect("one producer row")
+    };
+    let (json_row, binary_row) = (row(&json), row(&binary));
+    assert_eq!(json_row.samples, binary_row.samples, "identical folds");
+    assert!(json_row.finished && binary_row.finished);
+    assert!(json_row.frames_received > 0 && binary_row.frames_received > 0);
+    assert!(
+        binary_row.bytes_received * 2 < json_row.bytes_received,
+        "binary wire bytes {} should be well under half of JSON's {}",
+        binary_row.bytes_received,
+        json_row.bytes_received
+    );
 }
 
 #[test]

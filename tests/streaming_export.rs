@@ -161,6 +161,70 @@ fn streamed_deltas_fold_byte_identically_under_concurrent_ingestion() {
 }
 
 #[test]
+fn binary_epoch_log_folds_byte_identically_to_the_json_log() {
+    use djxperf::{read_any_profile_bytes, BinaryChunkedSink};
+
+    let logs = build_logs(2, 8_000);
+    let json_buffer = SharedBuffer::new();
+    let binary_buffer = SharedBuffer::new();
+    let policy = || DrainPolicy::new().capacity(4).tick(Duration::from_secs(60));
+    let json_session = streaming_session(policy(), &json_buffer);
+    let binary_session = Session::builder()
+        .period(PERIOD)
+        .collect_objects()
+        .stream_to_binary(Box::new(binary_buffer.clone()), policy())
+        .build();
+    for log in &logs {
+        replay_allocs(&json_session, log);
+        replay_allocs(&binary_session, log);
+    }
+    for (i, log) in logs.iter().enumerate() {
+        // Stagger explicit flushes so the two logs carry several multi-epoch frames.
+        for chunk in log.outcomes.chunks(1024 * (i + 1)) {
+            for outcome in chunk {
+                for session in [&json_session, &binary_session] {
+                    session.on_memory_access(&MemoryAccessEvent {
+                        thread: log.thread,
+                        outcome: *outcome,
+                        call_trace: &log.call_trace,
+                        object: None,
+                    });
+                }
+            }
+            assert!(json_session.flush_export() && binary_session.flush_export());
+        }
+    }
+    let json_stats = json_session.finish_export().expect("json stream finishes");
+    let binary_stats = binary_session.finish_export().expect("binary stream finishes");
+    assert_eq!(json_stats.samples_streamed, binary_stats.samples_streamed);
+
+    let terminal = json_session.object_profile().unwrap();
+    assert_log_replays_terminal(&json_buffer, &terminal);
+    let binary_log = binary_buffer.contents();
+    let from_binary = BinaryChunkedSink::new()
+        .read_log_bytes(&binary_log)
+        .expect("the binary epoch log replays");
+    assert_eq!(
+        from_binary.to_text(),
+        terminal.to_text(),
+        "binary fold must be byte-identical to the JSON fold"
+    );
+    // Sniffing routes each format to its reader without being told which is which.
+    assert_eq!(read_any_profile_bytes(&binary_log).unwrap().to_text(), terminal.to_text());
+    assert_eq!(
+        read_any_profile_bytes(&json_buffer.contents()).unwrap().to_text(),
+        terminal.to_text()
+    );
+    // The compactness claim, on a real profile rather than a microbenchmark.
+    assert!(
+        binary_log.len() * 2 < json_buffer.contents().len(),
+        "binary log ({} bytes) should be well under half the JSON log ({} bytes)",
+        binary_log.len(),
+        json_buffer.contents().len()
+    );
+}
+
+#[test]
 fn block_backpressure_preserves_every_delta_at_exact_granularity() {
     let logs = build_logs(2, 4_000);
     let buffer = SharedBuffer::new();
