@@ -74,6 +74,9 @@
 //! * `fleet_single_thread_ratio`     = fleet-on@1 / stream-off@1  (gate ≥ 0.909)
 //! * `codec_encode_decode_speedup`   = binary / JSON codec throughput (gate ≥ 2×)
 //! * `codec_bytes_per_sample_ratio`  = binary / JSON log bytes per sample (gate ≤ 0.4)
+//! * `wal_multi_thread_ratio`        = wal-on@N / wal-off@N   (gate ≥ 1/1.15)
+//! * `wal_single_thread_ratio`       = wal-on@1 / wal-off@1   (gate ≥ 1/1.15)
+//! * `recovery_replay_frames_per_sec` = recover() over a ~20k-frame WAL (gate ≥ 100k/s)
 //!
 //! Run with `--quick` (or `CONTENTION_QUICK=1`) for a short smoke iteration,
 //! `--smoke-cached` (CI) to run only the sharded/cached comparison quickly and **exit
@@ -82,9 +85,12 @@
 //! 0.90× floor, `--smoke-query` (CI) to gate query-over-snapshot evaluation at
 //! within 1.10× of the legacy analyzer on the same profile, `--smoke-fleet` (CI)
 //! to gate per-producer ingest with a socket-backed fleet sink at within 1.10× of
-//! `stream-off` against a loopback aggregator, or `--smoke-codec` (CI) to gate the
+//! `stream-off` against a loopback aggregator, `--smoke-codec` (CI) to gate the
 //! binary epoch-frame codec (`djxperf::wire`) at ≥ 2× JSON encode+decode throughput
-//! and ≤ 0.4× JSON bytes per sample over the same delta stream.
+//! and ≤ 0.4× JSON bytes per sample over the same delta stream, or
+//! `--smoke-recovery` (CI) to gate the fault-tolerance tier: WAL-on fleet ingest
+//! within 1.15× of WAL-off under `FsyncPolicy::Never`, and
+//! `FleetAggregator::recover` replay at ≥ 100k frames/s over a dense WAL.
 
 use std::collections::HashMap;
 use std::io;
@@ -101,7 +107,7 @@ use djx_runtime::{
 };
 use djxperf::{
     AccessContext, AllocSite, AllocSiteId, AllocationStats, AnalysisReport, BinaryChunkedSink, Cct,
-    ChunkedJsonSink, DeltaFold, DrainPolicy, FleetAggregator, FleetSink, Interval,
+    ChunkedJsonSink, DeltaFold, DrainPolicy, FleetAggregator, FleetSink, FsyncPolicy, Interval,
     IntervalSplayTree, MetricVector, MonitoredObject, ObjectCentricProfile, ObjectReport,
     ProfileDelta, ProfileSink, Query, Session, SpinLock, ThreadDelta, ThreadProfile,
 };
@@ -1072,11 +1078,13 @@ fn main() {
     let smoke_query = args.iter().any(|a| a == "--smoke-query");
     let smoke_fleet = args.iter().any(|a| a == "--smoke-fleet");
     let smoke_codec = args.iter().any(|a| a == "--smoke-codec");
+    let smoke_recovery = args.iter().any(|a| a == "--smoke-recovery");
     let quick = smoke
         || smoke_streaming
         || smoke_query
         || smoke_fleet
         || smoke_codec
+        || smoke_recovery
         || args.iter().any(|a| a == "--quick")
         || std::env::var("CONTENTION_QUICK").map(|v| v == "1").unwrap_or(false);
     // Best-of-5 in the full run: spin locks on an oversubscribed machine suffer
@@ -1199,6 +1207,156 @@ fn main() {
         }
         if single < 1.0 / 1.10 {
             eprintln!("FAIL: fleet-sink ingest slower than 1.10x of stream-off single-thread ({single:.2})");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("smoke OK");
+        return;
+    }
+
+    if smoke_recovery {
+        // CI regression gate for the fault-tolerance tier, two claims:
+        //
+        //  * a WAL-backed aggregator (append each accepted frame before acking,
+        //    `FsyncPolicy::Never`) must keep producer-side ingest within 1.15x of a
+        //    WAL-off aggregator — durability must stay an aggregator-disk concern,
+        //    never a producer hot-path one;
+        //  * `FleetAggregator::recover` must replay at least 100k frames/s, so
+        //    restart cost is proportional to the log, not to the outage.
+        println!("== wal-recovery contention smoke (CI gate) ==\n");
+        let scratch =
+            std::env::temp_dir().join(format!("djxperf-smoke-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+
+        let mut plain = FleetAggregator::bind("127.0.0.1:0").expect("loopback aggregator binds");
+        let plain_addr = plain.local_addr().expect("tcp aggregator").to_string();
+        let mut durable = FleetAggregator::builder()
+            .wal(scratch.join("ingest-wal"), FsyncPolicy::Never)
+            .bind("127.0.0.1:0")
+            .expect("durable aggregator binds");
+        let durable_addr = durable.local_addr().expect("tcp aggregator").to_string();
+        let producer_seq = std::sync::atomic::AtomicU64::new(0);
+        let wal_off = || {
+            let id = producer_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Box::new(SessionPipeline::fleet(&plain_addr, &format!("off{id}"))) as Box<dyn Pipeline>
+        };
+        let wal_on = || {
+            let id = producer_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Box::new(SessionPipeline::fleet(&durable_addr, &format!("on{id}"))) as Box<dyn Pipeline>
+        };
+        let (accesses, reps) = (100_000u64, 7usize);
+        let mut results = Vec::new();
+        for threads in [1, MULTI_THREADS] {
+            results.push(measure("wal-off", wal_off, threads, accesses, reps, false));
+            results.push(measure("wal-on", wal_on, threads, accesses, reps, false));
+        }
+        // Durability must not have cost delivery: every producer on the WAL side
+        // finished loss-free and left a non-empty log behind.
+        for status in durable.status() {
+            assert!(
+                status.finished && !status.truncated && status.wal_bytes > 0,
+                "producer {} did not finish cleanly into the WAL",
+                status.producer
+            );
+        }
+
+        // Recovery replay throughput: stream a dense WAL (~20k thin frames) through
+        // a durable aggregator, kill it, and time `recover` — which replays every
+        // log through a fresh DeltaFold — over the directory it left behind.
+        const REPLAY_FRAMES: u64 = 20_000;
+        let replay_dir = scratch.join("replay-wal");
+        let mut source = FleetAggregator::builder()
+            .wal(&replay_dir, FsyncPolicy::Never)
+            .bind("127.0.0.1:0")
+            .expect("replay aggregator binds");
+        let source_addr = source.local_addr().expect("tcp aggregator").to_string();
+        let sink =
+            FleetSink::connect(&source_addr, "replay", PmuEvent::DEFAULT, FLEET_PERIOD, 1024)
+                .expect("replay producer connects");
+        let path = [Frame::new(MethodId(1), 0), Frame::new(MethodId(2), 4)];
+        let mut devnull = io::sink();
+        for epoch in 1..=REPLAY_FRAMES {
+            let mut profile = ThreadProfile::new(ThreadId(1), "replay");
+            profile.record_attributed(
+                AllocSiteId((epoch % 32) as u32),
+                &path,
+                &Sample {
+                    event: PmuEvent::L1Miss,
+                    thread_id: 1,
+                    cpu: 0,
+                    cpu_node: NumaNode(0),
+                    page_node: NumaNode(0),
+                    effective_addr: 0x1000 + epoch * 8,
+                    kind: AccessKind::Load,
+                    value: 1,
+                    latency: 120,
+                    counter_value: 1,
+                },
+                FLEET_PERIOD,
+            );
+            let delta = ProfileDelta { epoch, threads: vec![ThreadDelta { seq: 0, profile }] };
+            sink.on_delta(epoch, &delta, &mut devnull).expect("replay frame acked");
+        }
+        drop(sink);
+        source.shutdown();
+        drop(source);
+        let start = Instant::now();
+        let recovered = FleetAggregator::recover(&replay_dir).expect("recovery replays the WAL");
+        let elapsed = start.elapsed();
+        let report = recovered.recovery_report().expect("recovered producers").clone();
+        let frames: u64 = report.producers.iter().map(|p| p.frames).sum();
+        assert_eq!(frames, REPLAY_FRAMES, "every logged frame replays");
+        // One attributed sample per logged frame (the stream above records exactly
+        // one), so the samples column doubles as a fold sanity check.
+        results.push(Measurement {
+            pipeline: "wal-replay",
+            threads: 1,
+            accesses: frames,
+            samples: frames,
+            best: elapsed,
+            cache_hit_rate: None,
+        });
+        print_results(&results);
+
+        let multi = throughput_of(&results, "wal-on", MULTI_THREADS)
+            / throughput_of(&results, "wal-off", MULTI_THREADS);
+        let single = throughput_of(&results, "wal-on", 1) / throughput_of(&results, "wal-off", 1);
+        let replay_rate = frames as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!(
+            "\nwal-on/wal-off @{MULTI_THREADS} threads: {multi:.2} (gate >= 0.870)\n\
+             wal-on/wal-off @1 thread:  {single:.2} (gate >= 0.870)\n\
+             recovery replay: {replay_rate:.0} frames/s (gate >= 100000)"
+        );
+        if let Ok(path) = std::env::var("BENCH_CONTENTION_OUT") {
+            write_json(
+                &path,
+                &results,
+                &[
+                    ("wal_multi_thread_ratio", multi),
+                    ("wal_single_thread_ratio", single),
+                    ("recovery_replay_frames_per_sec", replay_rate),
+                ],
+            );
+            println!("recorded {path}");
+        }
+        plain.shutdown();
+        durable.shutdown();
+        let _ = std::fs::remove_dir_all(&scratch);
+        let mut failed = false;
+        if multi < 1.0 / 1.15 {
+            eprintln!("FAIL: WAL-on ingest slower than 1.15x of WAL-off multi-thread ({multi:.2})");
+            failed = true;
+        }
+        if single < 1.0 / 1.15 {
+            eprintln!(
+                "FAIL: WAL-on ingest slower than 1.15x of WAL-off single-thread ({single:.2})"
+            );
+            failed = true;
+        }
+        if replay_rate < 100_000.0 {
+            eprintln!("FAIL: recovery replay below 100k frames/s ({replay_rate:.0})");
             failed = true;
         }
         if failed {

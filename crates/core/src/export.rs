@@ -57,6 +57,13 @@
 //!   room, preserving the exact epoch granularity. Only snapshot-side threads ever
 //!   block; the sampling hot path never touches the queue.
 //!
+//! A slow or hung **sink** is a different failure than a slow drainer: the drainer
+//! thread itself is the one stuck in `on_delta`. Local writers are fast, but a
+//! socket-backed [`FleetSink`](crate::fleet::FleetSink) caps that stall with an ack
+//! deadline and fails the frame back into its own bounded, spillable buffer — the
+//! drainer's `on_delta` call returns and the queue keeps draining even when the
+//! aggregator is down for hours (see the failure model in [`crate::fleet`]).
+//!
 //! # Shutdown
 //!
 //! [`Session::finish_export`](crate::session::Session::finish_export) closes the

@@ -74,7 +74,8 @@
 //! # Truncation detection
 //!
 //! The finish frame carries the run's `total_samples` checksum; the aggregator
-//! refuses it ([`FoldError::ChecksumMismatch`]) unless the folded samples agree, so
+//! refuses it ([`crate::profile::FoldError::ChecksumMismatch`]) unless the folded
+//! samples agree, so
 //! silent gaps cannot end a stream cleanly. A producer that disconnects **without**
 //! a finish keeps its partial fold queryable but flagged
 //! ([`ProducerStatus::truncated`], [`FleetProducer::truncated`]) until it
@@ -85,26 +86,67 @@
 //! its samples only after it finishes; thread- and NUMA-grouped queries see them
 //! immediately. Choosing a deployment (in-process / log replay / fleet daemon) is
 //! covered in the README's "Fleet profiling" section.
+//!
+//! # Durability: the write-ahead log
+//!
+//! An aggregator built with [`FleetAggregatorBuilder::wal`] appends every
+//! **accepted** epoch frame to a per-producer write-ahead log *before* sending the
+//! acknowledgement, so an acknowledged frame is always on disk. The WAL reuses the
+//! [`crate::wire`] binary frame codec verbatim:
+//!
+//! ```text
+//! <one JSON header line>\n        {"record":"wal","format":"djxperf-wal","version":1,
+//!                                  "producer":NAME,"event":E,"period":P,"size_filter":S}
+//! <binary delta frame>            exactly crate::wire's delta frame (magic DF 4A 58 42)
+//! <binary delta frame>            …one per accepted epoch, in fold order…
+//! <binary finish frame>           the finish record, re-encoded, if the run finished
+//! ```
+//!
+//! Frames received as JSON are re-encoded as binary frames, so one WAL format
+//! covers both wire codecs and [`BinaryFrameReader`] replays it unmodified.
+//! [`FleetAggregator::recover`] scans a WAL directory, replays every log through a
+//! fresh [`DeltaFold`] (truncating a torn tail after a mid-append crash), and
+//! returns a builder whose aggregator resumes exactly where the old one died:
+//! reconnecting producers learn the recovered fold's last epoch from the hello
+//! acknowledgement, re-send what is missing, and have re-sent duplicates dropped
+//! and re-acknowledged. Durability against an OS or machine crash (not just a
+//! process crash) is governed by the [`FsyncPolicy`] knob.
+//!
+//! # Failure model
+//!
+//! Producer crash → partial fold stays queryable, flagged truncated. Aggregator
+//! crash → restart with [`FleetAggregator::recover`]; producers buffer (bounded by
+//! [`FleetSinkBuilder::buffer_budget_bytes`], spilling to disk under the default
+//! [`OverflowPolicy::SpillThenBlock`]), reconnect under capped jittered backoff
+//! ([`BackoffPolicy`]), and backfill losslessly. A hung peer trips the ack
+//! deadline ([`FleetSinkBuilder::ack_deadline`]) instead of wedging the export
+//! drainer: the frame fails back into the buffer and is re-sent after reconnect.
+//! Losses chosen via [`OverflowPolicy::DropOldestEpochsFlaggedLossy`] are counted
+//! ([`ProducerStatus::dropped_epochs`]) and flag the producer truncated. The
+//! deterministic [`FaultPlan`] harness injects drops, delays, black holes and
+//! frame corruption at exact frame ordinals on either side, so every one of these
+//! paths is tested, not assumed. The README's "Failure model" section tabulates
+//! failure × guarantee.
 
 use std::borrow::Cow;
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-#[cfg(unix)]
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use djx_pmu::PmuEvent;
 use djx_runtime::{Frame, MethodId, ThreadId};
 
 use crate::profile::{
-    event_from_name, AllocationStats, DeltaFold, FoldError, ObjectCentricProfile, ProfileDelta,
+    event_from_name, AllocationStats, DeltaFold, ObjectCentricProfile, ProfileDelta,
     ProfileParseError,
 };
 use crate::query::{GroupBy, ProfileSource, Query, QueryError, QueryResult, RankBy};
@@ -112,7 +154,7 @@ use crate::sink::{
     json_path, json_string, parse_log_record, ChunkedJsonSink, FinishRecord, JsonParser, LogRecord,
     ProfileSink, Reader,
 };
-use crate::wire::{self, BinaryChunkedSink, FrameCodec};
+use crate::wire::{self, BinaryChunkedSink, BinaryFrameReader, FrameCodec};
 
 /// Format tag carried by every hello frame.
 const FLEET_FORMAT: &str = "djxperf-fleet";
@@ -120,12 +162,33 @@ const FLEET_FORMAT: &str = "djxperf-fleet";
 /// Current version of the fleet wire protocol.
 const FLEET_VERSION: u64 = 1;
 
-/// Reconnect attempts the producer sink makes to deliver the terminal finish frame
-/// before giving up and surfacing the error.
-const FINISH_ATTEMPTS: u32 = 10;
+/// Format tag carried by the WAL header line.
+const WAL_FORMAT: &str = "djxperf-wal";
 
-/// Pause between those attempts.
-const FINISH_RETRY_DELAY: Duration = Duration::from_millis(50);
+/// Current version of the WAL header.
+const WAL_VERSION: u64 = 1;
+
+/// Default TCP connect timeout ([`FleetSinkBuilder::connect_timeout`]): without
+/// one, a black-holed address hangs the first delivery for the OS default
+/// (minutes).
+const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default acknowledgement deadline ([`FleetSinkBuilder::ack_deadline`]): a peer
+/// that accepts frames but never acknowledges fails the frame back into the
+/// buffer after this long instead of wedging the export drainer.
+const DEFAULT_ACK_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Default total deadline for delivering the terminal finish frame
+/// ([`FleetSinkBuilder::finish_deadline`]).
+const DEFAULT_FINISH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Default in-memory budget for unacknowledged frames
+/// ([`FleetSinkBuilder::buffer_budget_bytes`]).
+const DEFAULT_BUFFER_BUDGET: usize = 16 * 1024 * 1024;
+
+/// Default on-disk budget for spilled frames
+/// ([`FleetSinkBuilder::spill_budget_bytes`]).
+const DEFAULT_SPILL_BUDGET: u64 = 1024 * 1024 * 1024;
 
 // ---------------------------------------------------------------------------------------
 // Stream plumbing: one enum over TCP and Unix sockets
@@ -153,6 +216,25 @@ impl WireStream {
             WireStream::Tcp(s) => s.shutdown(Shutdown::Both),
             #[cfg(unix)]
             WireStream::Unix(s) => s.shutdown(Shutdown::Both),
+        }
+    }
+
+    /// Arms read/write deadlines on the socket (`None` blocks forever, the OS
+    /// default). A read past the deadline fails with
+    /// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`]; the producer
+    /// link treats that as a transport failure — the frame stays buffered, the
+    /// connection is dropped, and the drainer moves on.
+    fn set_io_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
+            #[cfg(unix)]
+            WireStream::Unix(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
         }
     }
 }
@@ -220,10 +302,40 @@ enum Target {
 }
 
 impl Target {
-    fn connect(&self) -> io::Result<WireStream> {
+    /// Connects, bounded by `timeout` where the OS supports it. TCP resolves the
+    /// address and tries each candidate under [`TcpStream::connect_timeout`];
+    /// Unix-socket connects are local rendezvous with no std timeout — they
+    /// cannot black-hole the way a routed TCP address can.
+    fn connect(&self, timeout: Option<Duration>) -> io::Result<WireStream> {
         match self {
             Target::Tcp(addr) => {
-                let stream = TcpStream::connect(addr.as_str())?;
+                let stream = match timeout {
+                    None => TcpStream::connect(addr.as_str())?,
+                    Some(timeout) => {
+                        let mut last_error = None;
+                        let mut connected = None;
+                        for candidate in addr.as_str().to_socket_addrs()? {
+                            match TcpStream::connect_timeout(&candidate, timeout) {
+                                Ok(stream) => {
+                                    connected = Some(stream);
+                                    break;
+                                }
+                                Err(e) => last_error = Some(e),
+                            }
+                        }
+                        match connected {
+                            Some(stream) => stream,
+                            None => {
+                                return Err(last_error.unwrap_or_else(|| {
+                                    io::Error::new(
+                                        io::ErrorKind::InvalidInput,
+                                        format!("address {addr:?} resolved to no candidates"),
+                                    )
+                                }))
+                            }
+                        }
+                    }
+                };
                 stream.set_nodelay(true)?;
                 Ok(WireStream::Tcp(stream))
             }
@@ -294,6 +406,11 @@ fn parse_reply(line: &str) -> io::Result<Reply> {
                         duplicates: doc.integer(row.required("duplicates", 0)?, 0)?,
                         frames_received: doc.integer(row.required("frames_received", 0)?, 0)?,
                         bytes_received: doc.integer(row.required("bytes_received", 0)?, 0)?,
+                        wal_bytes: doc.integer(row.required("wal_bytes", 0)?, 0)?,
+                        spilled_frames: doc.integer(row.required("spilled_frames", 0)?, 0)?,
+                        dropped_epochs: doc.integer(row.required("dropped_epochs", 0)?, 0)?,
+                        reconnect_backoff_ms: doc
+                            .integer(row.required("reconnect_backoff_ms", 0)?, 0)?,
                     });
                 }
                 Ok(Reply::Status { producers })
@@ -397,6 +514,487 @@ fn error_line(message: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------------------
+// Failure-handling policy: backoff, overflow, fsync, fault injection
+// ---------------------------------------------------------------------------------------
+
+/// Capped exponential reconnect backoff with **deterministic** jitter.
+///
+/// Attempt `n` sleeps a uniformly jittered duration in `[cap/2, cap]` where
+/// `cap = min(initial · 2ⁿ, max)`. The jitter stream is a seeded xorshift PRNG, so
+/// a given seed replays the exact same delay sequence — tests schedule around it,
+/// and two producers with different seeds never thundering-herd a restarted
+/// aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First-attempt cap (default 50 ms).
+    pub initial: Duration,
+    /// Ceiling for the exponential growth (default 2 s).
+    pub max: Duration,
+    /// Jitter PRNG seed. Equal seeds replay equal delay sequences.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            initial: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The default policy (50 ms doubling to 2 s).
+    pub fn new() -> BackoffPolicy {
+        BackoffPolicy::default()
+    }
+
+    /// Sets the first-attempt cap.
+    #[must_use]
+    pub fn initial(mut self, initial: Duration) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Sets the growth ceiling.
+    #[must_use]
+    pub fn max(mut self, max: Duration) -> Self {
+        self.max = max;
+        self
+    }
+
+    /// Seeds the jitter PRNG (deterministic delays for tests).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Runtime state of a [`BackoffPolicy`]: the attempt counter and jitter stream.
+#[derive(Debug)]
+struct Backoff {
+    policy: BackoffPolicy,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    fn new(policy: BackoffPolicy) -> Backoff {
+        // A zero seed would freeze xorshift at zero; nudge it onto the cycle.
+        Backoff { policy, attempt: 0, rng: policy.seed | 1 }
+    }
+
+    /// The next jittered delay; advances the attempt counter.
+    fn next_delay(&mut self) -> Duration {
+        let initial = self.policy.initial.as_micros() as u64;
+        let max = self.policy.max.as_micros() as u64;
+        let cap = initial.saturating_mul(1u64 << self.attempt.min(20)).min(max).max(1);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = cap / 2;
+        let jittered = half + xorshift64(&mut self.rng) % (cap - half + 1);
+        Duration::from_micros(jittered)
+    }
+
+    /// Back to the initial cap after a successful handshake.
+    fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// What happens when a producer's unacknowledged-frame buffer exceeds its byte
+/// budget ([`FleetSinkBuilder::buffer_budget_bytes`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the caller (the export drainer) until the aggregator drains the
+    /// buffer. Loss-free and disk-free, but a long outage stalls the drainer —
+    /// the in-process export queue then applies its own
+    /// [`Backpressure`](crate::export::Backpressure) policy.
+    Block,
+    /// Spill overflowing frames to a temporary file of binary wire frames and
+    /// backfill from it once the buffer drains; block only when the spill file
+    /// hits its own budget ([`FleetSinkBuilder::spill_budget_bytes`]). A
+    /// day-long outage costs disk, not RSS. The default.
+    #[default]
+    SpillThenBlock,
+    /// Drop the **oldest** buffered epochs to make room and count them in
+    /// [`FleetSinkStats::dropped_epochs`]; the drop count travels with the next
+    /// hello, so the aggregator flags the producer truncated
+    /// ([`ProducerStatus::dropped_epochs`]) and accepts the lossy finish without
+    /// its (now unmeetable) sample checksum. Loss is chosen, bounded and visible
+    /// — never silent.
+    DropOldestEpochsFlaggedLossy,
+}
+
+/// When the aggregator's write-ahead log flushes to stable storage.
+///
+/// The WAL is always **written** before a frame is acknowledged; fsync policy
+/// decides what survives an OS or machine crash (a plain process kill loses
+/// nothing under any policy — the page cache survives the process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync: full ingest throughput; an OS crash can lose the acked tail
+    /// still in the page cache. The default.
+    #[default]
+    Never,
+    /// Fsync after every appended frame: an acknowledged frame survives anything,
+    /// at sync-per-frame cost.
+    EveryFrame,
+    /// Fsync after every `n` appended frames: bounded exposure, amortized cost.
+    EveryN(u32),
+}
+
+/// A one-shot injected fault at a frame ordinal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Close the connection instead of handling the frame.
+    Drop,
+    /// Sleep this long before handling the frame (a slow peer).
+    Delay(Duration),
+    /// Deliver the frame corrupted: sink-side a flipped payload byte (the
+    /// aggregator's frame checksum rejects it), aggregator-side a mangled
+    /// acknowledgement (the producer's reply parser rejects it).
+    Corrupt,
+}
+
+/// What a fault lookup resolved to (the persistent black hole has no
+/// [`FaultAction`] form).
+#[derive(Debug, Clone, Copy)]
+enum FaultEffect {
+    Drop,
+    Delay(Duration),
+    Corrupt,
+    BlackHole,
+}
+
+/// A deterministic fault schedule keyed by frame ordinal — the public
+/// generalization of the old private drop-the-connection test hook.
+///
+/// Epoch frames (deltas and the finish) are counted from 1 on each side
+/// independently: sink-side per delivery attempt, aggregator-side per received
+/// frame (across all producers, in arrival order). The same plan therefore
+/// replays the same faults run after run, which is what lets the recovery tests
+/// and the CI soak assert byte-identical outcomes instead of "it usually
+/// reconnects". Install a plan with [`FleetSinkBuilder::fault_plan`] or
+/// [`FleetAggregatorBuilder::fault_plan`].
+///
+/// Faults at distinct ordinals compose; [`FaultPlan::black_hole_from`] is
+/// persistent (every frame from that ordinal on is swallowed) and wins over
+/// one-shot actions at the same ordinal.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    actions: BTreeMap<u64, FaultAction>,
+    black_hole_from: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty schedule (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Drop the connection at frame `n` (1-based).
+    #[must_use]
+    pub fn drop_at(mut self, n: u64) -> Self {
+        self.actions.insert(n, FaultAction::Drop);
+        self
+    }
+
+    /// Delay frame `n` (1-based) by `delay`.
+    #[must_use]
+    pub fn delay_at(mut self, n: u64, delay: Duration) -> Self {
+        self.actions.insert(n, FaultAction::Delay(delay));
+        self
+    }
+
+    /// Corrupt frame `n` (1-based).
+    #[must_use]
+    pub fn corrupt_at(mut self, n: u64) -> Self {
+        self.actions.insert(n, FaultAction::Corrupt);
+        self
+    }
+
+    /// Swallow every frame from `n` (1-based) on: the connection stays open and
+    /// readable but nothing is ever acknowledged — the hung-peer fault.
+    #[must_use]
+    pub fn black_hole_from(mut self, n: u64) -> Self {
+        self.black_hole_from = Some(n);
+        self
+    }
+
+    fn effect(&self, frame: u64) -> Option<FaultEffect> {
+        if self.black_hole_from.is_some_and(|from| frame >= from) {
+            return Some(FaultEffect::BlackHole);
+        }
+        match self.actions.get(&frame)? {
+            FaultAction::Drop => Some(FaultEffect::Drop),
+            FaultAction::Delay(d) => Some(FaultEffect::Delay(*d)),
+            FaultAction::Corrupt => Some(FaultEffect::Corrupt),
+        }
+    }
+}
+
+///// Sink-side fault bookkeeping: the plan plus the delivery-attempt counter.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    seen: u64,
+}
+
+impl FaultState {
+    fn next(&mut self) -> Option<FaultEffect> {
+        self.seen += 1;
+        self.plan.effect(self.seen)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// PendingBuffer: the bounded unacknowledged-frame buffer with a spill-to-disk tier
+// ---------------------------------------------------------------------------------------
+
+/// Names a process-unique spill file (several sinks may share one directory).
+fn spill_file_path(dir: &Path) -> PathBuf {
+    static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("djxperf-fleet-spill-{}-{seq}.bin", std::process::id()))
+}
+
+/// The disk tier of a [`PendingBuffer`]: a temporary file of
+/// `u64 epoch-key (LE, 0 = finish) · u32 length (LE) · frame bytes` records,
+/// appended at the tail and consumed from a read cursor. Deleted on drop.
+#[derive(Debug)]
+struct SpillFile {
+    file: File,
+    path: PathBuf,
+    read_off: u64,
+    write_off: u64,
+    frames: u64,
+}
+
+impl SpillFile {
+    fn create(dir: &Path) -> io::Result<SpillFile> {
+        let path = spill_file_path(dir);
+        let file = OpenOptions::new().create_new(true).read(true).write(true).open(&path)?;
+        Ok(SpillFile { file, path, read_off: 0, write_off: 0, frames: 0 })
+    }
+
+    fn bytes_on_disk(&self) -> u64 {
+        self.write_off - self.read_off
+    }
+
+    fn append(&mut self, epoch_key: u64, bytes: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(self.write_off))?;
+        self.file.write_all(&epoch_key.to_le_bytes())?;
+        self.file.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.file.write_all(bytes)?;
+        self.write_off += 8 + 4 + bytes.len() as u64;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Reads the record at the cursor; the caller tracks `frames`.
+    fn read_next(&mut self) -> io::Result<(u64, Vec<u8>)> {
+        self.file.seek(SeekFrom::Start(self.read_off))?;
+        let mut header = [0u8; 12];
+        self.file.read_exact(&mut header)?;
+        let epoch_key = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(header[8..].try_into().expect("4 bytes"));
+        let mut bytes = vec![0u8; len as usize];
+        self.file.read_exact(&mut bytes)?;
+        self.read_off += 8 + 4 + u64::from(len);
+        Ok((epoch_key, bytes))
+    }
+
+    /// Rewinds an emptied file so the space is reused instead of growing forever.
+    fn reset(&mut self) -> io::Result<()> {
+        debug_assert_eq!(self.frames, 0);
+        self.file.set_len(0)?;
+        self.read_off = 0;
+        self.write_off = 0;
+        Ok(())
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// The bounded buffer of unacknowledged frames: an in-memory deque up to a byte
+/// budget, then the [`OverflowPolicy`] — spill tier, oldest-epoch drops, or
+/// blocking the caller. Frame order is strictly preserved: once frames have
+/// spilled, new frames spill too (they are younger than everything on disk) until
+/// the file drains and resets.
+#[derive(Debug)]
+struct PendingBuffer {
+    mem: VecDeque<PendingFrame>,
+    mem_bytes: usize,
+    budget: usize,
+    policy: OverflowPolicy,
+    spill_dir: PathBuf,
+    spill_budget: u64,
+    spill: Option<SpillFile>,
+    /// Reconnect trim watermark: spilled delta frames at or below it are already
+    /// folded aggregator-side and are discarded (and counted) at refill.
+    trim_below: u64,
+    spilled_frames: u64,
+    dropped_epochs: u64,
+}
+
+impl PendingBuffer {
+    fn new(
+        budget: usize,
+        policy: OverflowPolicy,
+        spill_dir: PathBuf,
+        spill_budget: u64,
+    ) -> PendingBuffer {
+        PendingBuffer {
+            mem: VecDeque::new(),
+            mem_bytes: 0,
+            budget,
+            policy,
+            spill_dir,
+            spill_budget,
+            spill: None,
+            trim_below: 0,
+            spilled_frames: 0,
+            dropped_epochs: 0,
+        }
+    }
+
+    fn spill_active(&self) -> bool {
+        self.spill.as_ref().is_some_and(|s| s.frames > 0)
+    }
+
+    /// Frames awaiting delivery (memory plus disk).
+    fn len(&self) -> u64 {
+        self.mem.len() as u64 + self.spill.as_ref().map_or(0, |s| s.frames)
+    }
+
+    /// Offers a frame; `Err(frame)` hands it back when the policy says block.
+    /// The terminal finish frame (`epoch == None`) is never refused and never
+    /// dropped — it must be the last frame out, whatever the budget says.
+    #[allow(clippy::result_large_err)]
+    fn offer(&mut self, frame: PendingFrame) -> Result<(), PendingFrame> {
+        let len = frame.bytes.len();
+        let is_finish = frame.epoch.is_none();
+        if !self.spill_active() && (self.mem.is_empty() || self.mem_bytes + len <= self.budget) {
+            self.mem_bytes += len;
+            self.mem.push_back(frame);
+            return Ok(());
+        }
+        match self.policy {
+            OverflowPolicy::Block if is_finish => {
+                self.mem_bytes += len;
+                self.mem.push_back(frame);
+                Ok(())
+            }
+            OverflowPolicy::Block => Err(frame),
+            OverflowPolicy::SpillThenBlock => {
+                let spill = match &mut self.spill {
+                    Some(spill) => spill,
+                    None => match SpillFile::create(&self.spill_dir) {
+                        Ok(spill) => self.spill.insert(spill),
+                        // No spill file (unwritable dir): degrade to blocking.
+                        Err(_) => return Err(frame),
+                    },
+                };
+                if !is_finish && spill.bytes_on_disk() + len as u64 > self.spill_budget {
+                    return Err(frame);
+                }
+                // A full disk degrades to blocking too — the frame is handed
+                // back intact, never half-written (append seeks per record).
+                match spill.append(frame.epoch.unwrap_or(0), &frame.bytes) {
+                    Ok(()) => {
+                        self.spilled_frames += 1;
+                        Ok(())
+                    }
+                    Err(_) => Err(frame),
+                }
+            }
+            OverflowPolicy::DropOldestEpochsFlaggedLossy => {
+                while self.mem_bytes + len > self.budget
+                    && self.mem.front().is_some_and(|f| f.epoch.is_some())
+                {
+                    let dropped = self.mem.pop_front().expect("front checked");
+                    self.mem_bytes -= dropped.bytes.len();
+                    self.dropped_epochs += 1;
+                }
+                self.mem_bytes += len;
+                self.mem.push_back(frame);
+                Ok(())
+            }
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<PendingFrame> {
+        let frame = self.mem.pop_front();
+        if let Some(frame) = &frame {
+            self.mem_bytes -= frame.bytes.len();
+        }
+        frame
+    }
+
+    /// Discards frames the aggregator has already folded (reconnect handshake
+    /// told us so); returns how many were trimmed from memory — spilled frames
+    /// are trimmed lazily at refill against the watermark.
+    fn trim_acked(&mut self, acked: u64) -> u64 {
+        self.trim_below = self.trim_below.max(acked);
+        let mut trimmed = 0;
+        while self.mem.front().is_some_and(|f| f.epoch.is_some_and(|e| e <= acked)) {
+            let _ = self.pop_front();
+            trimmed += 1;
+        }
+        trimmed
+    }
+
+    /// Moves spilled frames back into memory, oldest first, up to the budget.
+    /// Safe whenever the spill tier is non-empty: everything on disk is younger
+    /// than everything in memory.
+    fn refill(&mut self) -> io::Result<u64> {
+        let mut trimmed = 0;
+        let Some(spill) = &mut self.spill else {
+            return Ok(0);
+        };
+        while spill.frames > 0 && (self.mem.is_empty() || self.mem_bytes < self.budget) {
+            let (epoch_key, bytes) = spill.read_next()?;
+            spill.frames -= 1;
+            if epoch_key != 0 && epoch_key <= self.trim_below {
+                trimmed += 1;
+                continue;
+            }
+            self.mem_bytes += bytes.len();
+            self.mem.push_back(PendingFrame {
+                epoch: if epoch_key == 0 { None } else { Some(epoch_key) },
+                bytes,
+            });
+        }
+        if spill.frames == 0 {
+            spill.reset()?;
+        }
+        Ok(trimmed)
+    }
+
+    fn clear(&mut self) {
+        self.mem.clear();
+        self.mem_bytes = 0;
+        // Dropping the spill file deletes it.
+        self.spill = None;
+    }
+}
+
+// ---------------------------------------------------------------------------------------
 // FleetSink: the producer-side transport
 // ---------------------------------------------------------------------------------------
 
@@ -415,6 +1013,17 @@ pub struct FleetSinkStats {
     /// The epoch-frame codec negotiated at the most recent hello handshake
     /// ([`FrameCodec::Json`] until the first connection completes).
     pub codec: FrameCodec,
+    /// Frames awaiting delivery right now (in memory plus spilled to disk).
+    pub pending_frames: u64,
+    /// Frames that have ever overflowed to the spill tier
+    /// ([`OverflowPolicy::SpillThenBlock`]).
+    pub spilled_frames: u64,
+    /// Buffered epochs dropped under
+    /// [`OverflowPolicy::DropOldestEpochsFlaggedLossy`] — reported to the
+    /// aggregator with the next hello, which flags the producer truncated.
+    pub dropped_epochs: u64,
+    /// Cumulative reconnect backoff scheduled, in milliseconds.
+    pub reconnect_backoff_ms: u64,
 }
 
 /// One buffered, not-yet-acknowledged wire frame. Delta frames carry their epoch
@@ -445,24 +1054,57 @@ impl Conn {
     }
 }
 
+/// The sink-side failure knobs, frozen at build time.
+#[derive(Debug)]
+struct LinkConfig {
+    connect_timeout: Option<Duration>,
+    ack_deadline: Option<Duration>,
+    finish_deadline: Duration,
+}
+
 #[derive(Debug)]
 struct Link {
     target: Target,
-    hello: String,
+    /// The hello frame minus its closing brace; [`Link::hello_line`] appends the
+    /// loss/backoff counters (when nonzero) and closes it.
+    hello_prefix: String,
     conn: Option<Conn>,
-    pending: VecDeque<PendingFrame>,
+    pending: PendingBuffer,
     severed: bool,
     stats: FleetSinkStats,
     /// The epoch-frame codec the aggregator chose at the last hello handshake.
     /// New frames are encoded with it at enqueue time; already-buffered frames
     /// keep their original encoding (the aggregator sniffs per frame).
     codec: FrameCodec,
+    config: LinkConfig,
+    backoff: Backoff,
+    /// While set, reconnection is gated: attempts before this instant fail fast
+    /// with [`io::ErrorKind::WouldBlock`] and frames keep buffering.
+    next_attempt: Option<Instant>,
+    faults: Option<FaultState>,
 }
 
 impl Link {
-    /// Connects (or reconnects) and runs the hello handshake: the acknowledgement
-    /// carries the aggregator's last folded epoch for this producer, and the pending
-    /// buffer is trimmed to frames after it — the backfill resume point.
+    /// The hello frame: the v1 handshake, plus the loss/backoff counters once any
+    /// are nonzero — a clean producer's hello stays byte-identical to the v1
+    /// wire, and a v1 aggregator ignores the extra keys.
+    fn hello_line(&self) -> String {
+        let spilled = self.pending.spilled_frames;
+        let dropped = self.pending.dropped_epochs;
+        let backoff_ms = self.stats.reconnect_backoff_ms;
+        if spilled == 0 && dropped == 0 && backoff_ms == 0 {
+            format!("{}}}\n", self.hello_prefix)
+        } else {
+            format!(
+                "{},\"spilled_frames\":{spilled},\"dropped_epochs\":{dropped},\"backoff_ms\":{backoff_ms}}}\n",
+                self.hello_prefix
+            )
+        }
+    }
+
+    /// Connects (or reconnects) and runs the hello handshake, under the reconnect
+    /// backoff gate: while a previous failure's jittered delay is pending, the
+    /// attempt fails fast (frames keep buffering) instead of hammering the peer.
     fn ensure_connected(&mut self) -> io::Result<()> {
         if self.severed {
             return Err(protocol_error("fleet link severed"));
@@ -470,10 +1112,38 @@ impl Link {
         if self.conn.is_some() {
             return Ok(());
         }
-        let writer = self.target.connect()?;
+        if let Some(at) = self.next_attempt {
+            if Instant::now() < at {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "reconnect backoff in progress",
+                ));
+            }
+        }
+        match self.try_handshake() {
+            Ok(()) => {
+                self.backoff.reset();
+                self.next_attempt = None;
+                Ok(())
+            }
+            Err(e) => {
+                let delay = self.backoff.next_delay();
+                self.stats.reconnect_backoff_ms += delay.as_millis() as u64;
+                self.next_attempt = Some(Instant::now() + delay);
+                Err(e)
+            }
+        }
+    }
+
+    /// One connection attempt plus the hello handshake: the acknowledgement
+    /// carries the aggregator's last folded epoch for this producer, and the
+    /// pending buffer is trimmed to frames after it — the backfill resume point.
+    fn try_handshake(&mut self) -> io::Result<()> {
+        let writer = self.target.connect(self.config.connect_timeout)?;
+        writer.set_io_timeouts(self.config.ack_deadline, self.config.ack_deadline)?;
         let reader = BufReader::new(writer.try_clone()?);
         let mut conn = Conn { writer, reader };
-        conn.writer.write_all(self.hello.as_bytes())?;
+        conn.writer.write_all(self.hello_line().as_bytes())?;
         conn.writer.flush()?;
         let (acked, codec) = match conn.read_reply()? {
             Reply::Ack { epoch, codec, .. } => (epoch, codec),
@@ -486,26 +1156,47 @@ impl Link {
         self.stats.codec = codec;
         self.stats.connects += 1;
         self.stats.acked_epoch = self.stats.acked_epoch.max(acked);
-        while self.pending.front().is_some_and(|f| f.epoch.is_some_and(|e| e <= acked)) {
-            self.pending.pop_front();
-            self.stats.frames_trimmed += 1;
-        }
+        self.stats.frames_trimmed += self.pending.trim_acked(acked);
         self.conn = Some(conn);
         Ok(())
     }
 
     /// Delivers every pending frame in order, each acknowledged synchronously. On a
-    /// transport failure the connection is dropped and the undelivered frames stay
-    /// buffered for the next attempt.
+    /// transport failure — including a tripped ack deadline — the connection is
+    /// dropped and the undelivered frames stay buffered for the next attempt; the
+    /// caller (the export drainer) is never wedged by a hung peer.
     fn pump(&mut self) -> io::Result<()> {
         self.ensure_connected()?;
-        while let Some(frame) = self.pending.front() {
+        loop {
+            self.stats.frames_trimmed += self.pending.refill()?;
+            let Some(frame) = self.pending.mem.front() else { break };
             let conn = self.conn.as_mut().expect("ensure_connected leaves a connection");
-            let delivery = conn
-                .writer
-                .write_all(&frame.bytes)
-                .and_then(|()| conn.writer.flush())
-                .and_then(|()| conn.read_reply());
+            let effect = self.faults.as_mut().and_then(FaultState::next);
+            let written = match effect {
+                Some(FaultEffect::Drop) => Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "fault injection: connection dropped before the frame write",
+                )),
+                // Swallow the write; the ack read below starves until the
+                // deadline — exactly what a hung peer looks like.
+                Some(FaultEffect::BlackHole) => Ok(()),
+                Some(FaultEffect::Delay(d)) => {
+                    thread::sleep(d);
+                    conn.writer.write_all(&frame.bytes).and_then(|()| conn.writer.flush())
+                }
+                Some(FaultEffect::Corrupt) => {
+                    let mut corrupted = frame.bytes.clone();
+                    // Flip the second-to-last byte: inside the binary frame's
+                    // checksum, or the closing brace of a JSON record — either
+                    // way the aggregator rejects the frame, never folds it.
+                    if let Some(i) = corrupted.len().checked_sub(2) {
+                        corrupted[i] ^= 0xFF;
+                    }
+                    conn.writer.write_all(&corrupted).and_then(|()| conn.writer.flush())
+                }
+                None => conn.writer.write_all(&frame.bytes).and_then(|()| conn.writer.flush()),
+            };
+            let delivery = written.and_then(|()| conn.read_reply());
             let is_finish = frame.epoch.is_none();
             match delivery {
                 Ok(Reply::Ack { epoch, terminal, .. }) => {
@@ -517,7 +1208,7 @@ impl Link {
                     }
                     self.stats.acked_epoch = self.stats.acked_epoch.max(epoch);
                     self.stats.frames_sent += 1;
-                    self.pending.pop_front();
+                    let _ = self.pending.pop_front();
                 }
                 Ok(Reply::Error { message }) => {
                     // A protocol-level refusal (e.g. checksum mismatch), not a
@@ -628,14 +1319,7 @@ impl FleetSink {
         size_filter: u64,
         codec: FrameCodec,
     ) -> io::Result<FleetSink> {
-        Self::connect_target(
-            Target::Tcp(addr.to_string()),
-            producer,
-            event,
-            period,
-            size_filter,
-            codec,
-        )
+        Self::builder(producer, event, period, size_filter).codec(codec).connect(addr)
     }
 
     /// [`FleetSink::connect_with_codec`] over a Unix domain socket.
@@ -652,51 +1336,60 @@ impl FleetSink {
         size_filter: u64,
         codec: FrameCodec,
     ) -> io::Result<FleetSink> {
-        Self::connect_target(
-            Target::Unix(path.to_path_buf()),
-            producer,
-            event,
-            period,
-            size_filter,
-            codec,
-        )
+        Self::builder(producer, event, period, size_filter)
+            .codec(codec)
+            .connect_unix(path)
     }
 
-    fn connect_target(
-        target: Target,
+    /// Starts configuring a sink with explicit failure-model knobs: codec,
+    /// connect/ack/finish deadlines, reconnect backoff, buffer budget, overflow
+    /// policy, spill location and fault injection. The plain `connect*`
+    /// constructors above are shorthands for the builder's defaults.
+    pub fn builder(
         producer: &str,
         event: PmuEvent,
         period: u64,
         size_filter: u64,
-        codec: FrameCodec,
-    ) -> io::Result<FleetSink> {
-        // A JSON-only sink sends the exact v1 hello — no codecs key — so old
-        // aggregators see a byte-identical handshake.
-        let codecs = match codec {
-            FrameCodec::Json => String::new(),
-            FrameCodec::Binary => ",\"codecs\":[\"binary\",\"json\"]".to_string(),
-        };
-        let hello = format!(
-            "{{\"record\":\"hello\",\"format\":\"{FLEET_FORMAT}\",\"version\":{FLEET_VERSION},\"producer\":{},\"event\":{},\"period\":{period},\"size_filter\":{size_filter}{codecs}}}\n",
-            json_string(producer),
-            json_string(event.hardware_name()),
-        );
-        let mut link = Link {
-            target,
-            hello,
-            conn: None,
-            pending: VecDeque::new(),
-            severed: false,
-            stats: FleetSinkStats::default(),
-            codec: FrameCodec::Json,
-        };
-        link.ensure_connected()?;
-        Ok(FleetSink { link: Mutex::new(link) })
+    ) -> FleetSinkBuilder {
+        FleetSinkBuilder {
+            producer: producer.to_string(),
+            event,
+            period,
+            size_filter,
+            codec: FrameCodec::Binary,
+            connect_timeout: Some(DEFAULT_CONNECT_TIMEOUT),
+            ack_deadline: Some(DEFAULT_ACK_DEADLINE),
+            finish_deadline: DEFAULT_FINISH_DEADLINE,
+            backoff: BackoffPolicy::default(),
+            buffer_budget: DEFAULT_BUFFER_BUDGET,
+            spill_budget: DEFAULT_SPILL_BUDGET,
+            overflow: OverflowPolicy::default(),
+            spill_dir: None,
+            fault_plan: None,
+        }
     }
 
     /// Transport counters so far.
     pub fn stats(&self) -> FleetSinkStats {
-        self.link.lock().expect("fleet link lock").stats
+        let link = self.link.lock().expect("fleet link lock");
+        let mut stats = link.stats;
+        stats.pending_frames = link.pending.len();
+        stats.spilled_frames = link.pending.spilled_frames;
+        stats.dropped_epochs = link.pending.dropped_epochs;
+        stats
+    }
+
+    /// Attempts delivery of every buffered frame right now — reconnecting under
+    /// the backoff policy if needed — and returns the number of frames still
+    /// pending afterwards (0 = fully delivered and acknowledged). Delivery
+    /// normally rides on the next streamed delta or the finish frame; a producer
+    /// that goes **idle** with frames buffered through an outage quiesces by
+    /// polling this instead. A failed attempt leaves the frames buffered,
+    /// exactly like a delivery failure under [`ProfileSink::on_delta`].
+    pub fn flush_pending(&self) -> u64 {
+        let mut link = self.link.lock().expect("fleet link lock");
+        let _ = link.pump();
+        link.pending.len()
     }
 
     /// Fault injection for reconnect testing: drops the current connection without
@@ -715,6 +1408,183 @@ impl FleetSink {
         link.severed = true;
         link.drop_connection();
         link.pending.clear();
+    }
+}
+
+/// Configures a [`FleetSink`]'s failure model before connecting; obtained from
+/// [`FleetSink::builder`]. Every knob has a production-sane default:
+///
+/// | knob | default |
+/// |---|---|
+/// | [`codec`](Self::codec) | binary (JSON fallback negotiated) |
+/// | [`connect_timeout`](Self::connect_timeout) | 10 s |
+/// | [`ack_deadline`](Self::ack_deadline) | 5 s |
+/// | [`finish_deadline`](Self::finish_deadline) | 5 s |
+/// | [`backoff`](Self::backoff) | 50 ms doubling to 2 s, jittered |
+/// | [`buffer_budget_bytes`](Self::buffer_budget_bytes) | 16 MiB |
+/// | [`overflow`](Self::overflow) | [`OverflowPolicy::SpillThenBlock`] |
+/// | [`spill_dir`](Self::spill_dir) | the OS temp directory |
+/// | [`spill_budget_bytes`](Self::spill_budget_bytes) | 1 GiB |
+/// | [`fault_plan`](Self::fault_plan) | none |
+#[derive(Debug, Clone)]
+pub struct FleetSinkBuilder {
+    producer: String,
+    event: PmuEvent,
+    period: u64,
+    size_filter: u64,
+    codec: FrameCodec,
+    connect_timeout: Option<Duration>,
+    ack_deadline: Option<Duration>,
+    finish_deadline: Duration,
+    backoff: BackoffPolicy,
+    buffer_budget: usize,
+    spill_budget: u64,
+    overflow: OverflowPolicy,
+    spill_dir: Option<PathBuf>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl FleetSinkBuilder {
+    /// Codec ceiling for the hello's advertisement ([`FrameCodec::Json`] sends a
+    /// plain v1 hello with no `codecs` key at all).
+    #[must_use]
+    pub fn codec(mut self, codec: FrameCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Bounds each TCP connection attempt (`None` = the OS default, minutes
+    /// against a black-holed address). Unix-socket connects are local and take
+    /// no timeout.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Bounds each synchronous acknowledgement wait (`None` = wait forever). On
+    /// expiry the frame fails back into the buffer, the connection is dropped,
+    /// and the export drainer moves on — a hung peer cannot wedge it.
+    #[must_use]
+    pub fn ack_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.ack_deadline = deadline;
+        self
+    }
+
+    /// Total deadline for delivering the terminal finish frame across however
+    /// many reconnect attempts fit (replaces the old fixed 10 × 50 ms retry
+    /// loop). On expiry [`ProfileSink::on_finish`] fails, so
+    /// [`Session::finish_export`](crate::session::Session::finish_export)
+    /// surfaces the end-to-end loss.
+    #[must_use]
+    pub fn finish_deadline(mut self, deadline: Duration) -> Self {
+        self.finish_deadline = deadline;
+        self
+    }
+
+    /// Reconnect backoff policy (seedable for deterministic tests).
+    #[must_use]
+    pub fn backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Byte budget for the in-memory unacknowledged-frame buffer.
+    #[must_use]
+    pub fn buffer_budget_bytes(mut self, budget: usize) -> Self {
+        self.buffer_budget = budget;
+        self
+    }
+
+    /// Byte budget for the on-disk spill tier
+    /// ([`OverflowPolicy::SpillThenBlock`] blocks once it fills).
+    #[must_use]
+    pub fn spill_budget_bytes(mut self, budget: u64) -> Self {
+        self.spill_budget = budget;
+        self
+    }
+
+    /// What to do when the buffer budget is exhausted.
+    #[must_use]
+    pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Directory for the spill file (default: the OS temp directory). The file
+    /// is process-unique and deleted when the sink drops.
+    #[must_use]
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Installs a deterministic sink-side fault schedule (see [`FaultPlan`]).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Connects over TCP and runs the hello handshake; fails fast when the
+    /// aggregator is unreachable within the connect timeout.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect(self, addr: &str) -> io::Result<FleetSink> {
+        self.connect_target(Target::Tcp(addr.to_string()))
+    }
+
+    /// [`FleetSinkBuilder::connect`] over a Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    #[cfg(unix)]
+    pub fn connect_unix(self, path: &Path) -> io::Result<FleetSink> {
+        self.connect_target(Target::Unix(path.to_path_buf()))
+    }
+
+    fn connect_target(self, target: Target) -> io::Result<FleetSink> {
+        // A JSON-only sink sends the exact v1 hello — no codecs key — so old
+        // aggregators see a byte-identical handshake.
+        let codecs = match self.codec {
+            FrameCodec::Json => String::new(),
+            FrameCodec::Binary => ",\"codecs\":[\"binary\",\"json\"]".to_string(),
+        };
+        let hello_prefix = format!(
+            "{{\"record\":\"hello\",\"format\":\"{FLEET_FORMAT}\",\"version\":{FLEET_VERSION},\"producer\":{},\"event\":{},\"period\":{},\"size_filter\":{}{codecs}",
+            json_string(&self.producer),
+            json_string(self.event.hardware_name()),
+            self.period,
+            self.size_filter,
+        );
+        let spill_dir = self.spill_dir.unwrap_or_else(std::env::temp_dir);
+        let mut link = Link {
+            target,
+            hello_prefix,
+            conn: None,
+            pending: PendingBuffer::new(
+                self.buffer_budget,
+                self.overflow,
+                spill_dir,
+                self.spill_budget,
+            ),
+            severed: false,
+            stats: FleetSinkStats::default(),
+            codec: FrameCodec::Json,
+            config: LinkConfig {
+                connect_timeout: self.connect_timeout,
+                ack_deadline: self.ack_deadline,
+                finish_deadline: self.finish_deadline,
+            },
+            backoff: Backoff::new(self.backoff),
+            next_attempt: None,
+            faults: self.fault_plan.map(|plan| FaultState { plan, seen: 0 }),
+        };
+        link.ensure_connected()?;
+        Ok(FleetSink { link: Mutex::new(link) })
     }
 }
 
@@ -746,26 +1616,53 @@ impl ProfileSink for FleetSink {
 
     /// Frames the delta with the negotiated epoch-frame codec and ships it (`out`
     /// is unused — the socket is the destination). Transport failures are
-    /// absorbed: the frame stays buffered and the next delta (or the finish)
-    /// retries after reconnecting.
+    /// absorbed: the frame stays buffered (spilling to disk past the byte budget
+    /// under the default policy) and the next delta (or the finish) retries after
+    /// reconnecting, gated by the backoff schedule. Only when the
+    /// [`OverflowPolicy`] demands blocking does this wait — releasing the link
+    /// lock between attempts so [`FleetSink::sever`] stays reachable.
     fn on_delta(&self, epoch: u64, delta: &ProfileDelta, _out: &mut dyn Write) -> io::Result<()> {
-        let mut link = self.link.lock().expect("fleet link lock");
-        if link.severed {
-            return Ok(());
+        let mut encoded: Option<Vec<u8>> = None;
+        loop {
+            let mut link = self.link.lock().expect("fleet link lock");
+            if link.severed {
+                return Ok(());
+            }
+            let bytes = match encoded.take() {
+                Some(bytes) => bytes,
+                None => {
+                    let mut bytes = Vec::new();
+                    match link.codec {
+                        FrameCodec::Json => ChunkedJsonSink.on_delta(epoch, delta, &mut bytes)?,
+                        FrameCodec::Binary => {
+                            BinaryChunkedSink.on_delta(epoch, delta, &mut bytes)?
+                        }
+                    }
+                    bytes
+                }
+            };
+            match link.pending.offer(PendingFrame { epoch: Some(epoch), bytes }) {
+                Ok(()) => {
+                    let _ = link.pump();
+                    return Ok(());
+                }
+                Err(frame) => {
+                    // Budget exhausted and the policy says block: drain what we
+                    // can, release the lock, retry. Backpressure propagates to
+                    // the export queue, never silently drops.
+                    let _ = link.pump();
+                    encoded = Some(frame.bytes);
+                    drop(link);
+                    thread::sleep(Duration::from_millis(1));
+                }
+            }
         }
-        let mut bytes = Vec::new();
-        match link.codec {
-            FrameCodec::Json => ChunkedJsonSink.on_delta(epoch, delta, &mut bytes)?,
-            FrameCodec::Binary => BinaryChunkedSink.on_delta(epoch, delta, &mut bytes)?,
-        }
-        link.pending.push_back(PendingFrame { epoch: Some(epoch), bytes });
-        let _ = link.pump();
-        Ok(())
     }
 
-    /// Ships the terminal finish frame and waits for its acknowledgement, retrying
-    /// the connection a bounded number of times. An error here means the aggregator
-    /// never confirmed the complete stream — the loss is reported, never silent.
+    /// Ships the terminal finish frame and waits for its acknowledgement,
+    /// reconnecting under the backoff policy until the configured finish
+    /// deadline. An error here means the aggregator never confirmed the complete
+    /// stream — the loss is reported, never silent.
     fn on_finish(&self, profile: &ObjectCentricProfile, _out: &mut dyn Write) -> io::Result<()> {
         let mut link = self.link.lock().expect("fleet link lock");
         if link.severed {
@@ -776,9 +1673,27 @@ impl ProfileSink for FleetSink {
             FrameCodec::Json => ChunkedJsonSink.on_finish(profile, &mut bytes)?,
             FrameCodec::Binary => BinaryChunkedSink.on_finish(profile, &mut bytes)?,
         }
-        link.pending.push_back(PendingFrame { epoch: None, bytes });
-        let mut last_error = None;
-        for attempt in 0..FINISH_ATTEMPTS {
+        if link.pending.offer(PendingFrame { epoch: None, bytes }).is_err() {
+            // Only a failing spill tier refuses a finish frame; queueing it in
+            // memory would deliver it ahead of the spilled deltas, so surface
+            // the loss instead.
+            return Err(io::Error::other(
+                "spill tier failed; the finish frame cannot be queued behind spilled deltas",
+            ));
+        }
+        let deadline = Instant::now() + link.config.finish_deadline;
+        let mut last_error: Option<io::Error> = None;
+        loop {
+            // Wait out a pending backoff gate (bounded by the deadline).
+            if let Some(at) = link.next_attempt {
+                let now = Instant::now();
+                if at > now {
+                    if at >= deadline {
+                        break;
+                    }
+                    thread::sleep(at - now);
+                }
+            }
             match link.pump() {
                 Ok(()) => return Ok(()),
                 Err(e) => {
@@ -788,11 +1703,20 @@ impl ProfileSink for FleetSink {
                     last_error = Some(e);
                 }
             }
-            if attempt + 1 < FINISH_ATTEMPTS {
-                thread::sleep(FINISH_RETRY_DELAY);
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if link.next_attempt.is_none() {
+                // Delivery failed without arming the backoff gate (an ack
+                // deadline trip on a live connection): pause briefly so the
+                // retry loop never spins hot.
+                thread::sleep(Duration::from_millis(5).min(deadline - now));
             }
         }
-        Err(last_error.expect("a failed pump leaves an error"))
+        Err(last_error.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::TimedOut, "finish deadline exceeded before delivery")
+        }))
     }
 }
 
@@ -831,6 +1755,263 @@ pub struct ProducerStatus {
     /// `frames_received` and `samples` this makes codec efficiency observable per
     /// producer, not just in benches.
     pub bytes_received: u64,
+    /// Bytes in this producer's write-ahead log (0 on a WAL-less aggregator).
+    pub wal_bytes: u64,
+    /// Frames the producer reports having spilled to its disk tier
+    /// ([`OverflowPolicy::SpillThenBlock`]), carried by reconnect hellos.
+    pub spilled_frames: u64,
+    /// Epochs the producer reports having dropped under
+    /// [`OverflowPolicy::DropOldestEpochsFlaggedLossy`]. Nonzero flags the
+    /// producer truncated and relaxes the finish-frame sample checksum — the
+    /// loss was chosen and declared, so it is surfaced rather than refused.
+    pub dropped_epochs: u64,
+    /// Cumulative reconnect backoff the producer reports having scheduled, in
+    /// milliseconds — the remote view of how rough this link's life has been.
+    pub reconnect_backoff_ms: u64,
+}
+
+// ---------------------------------------------------------------------------------------
+// The write-ahead log: per-producer durability and crash recovery
+// ---------------------------------------------------------------------------------------
+
+/// Maps a producer name to its WAL file: a sanitized slug for human readability
+/// plus an FNV-1a hash of the exact name for uniqueness (the header line inside
+/// the file carries the authoritative name, so sanitization may be lossy).
+fn wal_path(dir: &Path, producer: &str) -> PathBuf {
+    let mut hash: u32 = 0x811c_9dc5;
+    for b in producer.bytes() {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    let slug: String = producer
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .take(48)
+        .collect();
+    dir.join(format!("{slug}-{hash:08x}.wal"))
+}
+
+fn wal_header_line(producer: &str, event: PmuEvent, period: u64, size_filter: u64) -> String {
+    format!(
+        "{{\"record\":\"wal\",\"format\":\"{WAL_FORMAT}\",\"version\":{WAL_VERSION},\"producer\":{},\"event\":{},\"period\":{period},\"size_filter\":{size_filter}}}\n",
+        json_string(producer),
+        json_string(event.hardware_name()),
+    )
+}
+
+fn parse_wal_header(line: &str) -> Result<(String, PmuEvent, u64, u64), ProfileParseError> {
+    let root = JsonParser::new(line).parse_document()?;
+    let doc = Reader::new(line);
+    let record = doc.object(&root, 0)?;
+    let kind = doc.string(record.required("record", 0)?, 0)?;
+    if kind != "wal" {
+        return Err(doc.error(0, format!("unexpected WAL header record {kind:?}")));
+    }
+    let format = doc.string(record.required("format", 0)?, 0)?;
+    if format != WAL_FORMAT {
+        return Err(doc.error(0, format!("unexpected WAL format {format:?}")));
+    }
+    let version = doc.integer(record.required("version", 0)?, 0)?;
+    if version != WAL_VERSION {
+        return Err(doc.error(0, format!("unsupported WAL version {version}")));
+    }
+    let event_value = record.required("event", 0)?;
+    let event = event_from_name(&doc.string(event_value, 0)?)
+        .map_err(|e| doc.error(event_value.start, e.to_string()))?;
+    Ok((
+        doc.string(record.required("producer", 0)?, 0)?,
+        event,
+        doc.integer(record.required("period", 0)?, 0)?,
+        doc.integer(record.required("size_filter", 0)?, 0)?,
+    ))
+}
+
+/// One producer's write-ahead log: the JSON header line followed by verbatim
+/// [`crate::wire`] binary frames, appended **before** each acknowledgement.
+/// Frames that arrived as JSON are re-encoded — one WAL format serves both wire
+/// codecs and [`BinaryFrameReader`] replays it unmodified.
+#[derive(Debug)]
+struct Wal {
+    file: File,
+    bytes: u64,
+    fsync: FsyncPolicy,
+    appends_since_sync: u32,
+}
+
+impl Wal {
+    /// Creates (truncating) the log for a fresh producer and writes the header.
+    fn create(
+        dir: &Path,
+        producer: &str,
+        event: PmuEvent,
+        period: u64,
+        size_filter: u64,
+        fsync: FsyncPolicy,
+    ) -> io::Result<Wal> {
+        fs::create_dir_all(dir)?;
+        let path = wal_path(dir, producer);
+        let mut file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        let header = wal_header_line(producer, event, period, size_filter);
+        file.write_all(header.as_bytes())?;
+        let mut wal = Wal { file, bytes: header.len() as u64, fsync, appends_since_sync: 0 };
+        wal.sync_point()?;
+        Ok(wal)
+    }
+
+    /// Reopens a recovered log for appending at `bytes` (its post-truncation
+    /// length).
+    fn reopen(path: &Path, bytes: u64, fsync: FsyncPolicy) -> io::Result<Wal> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.seek(SeekFrom::Start(bytes))?;
+        Ok(Wal { file, bytes, fsync, appends_since_sync: 0 })
+    }
+
+    fn append(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.file.write_all(frame)?;
+        self.bytes += frame.len() as u64;
+        self.appends_since_sync += 1;
+        self.sync_point()
+    }
+
+    fn sync_point(&mut self) -> io::Result<()> {
+        let due = match self.fsync {
+            FsyncPolicy::Never => false,
+            FsyncPolicy::EveryFrame => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+        };
+        if due {
+            self.file.sync_data()?;
+            self.appends_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    fn append_delta(&mut self, delta: &ProfileDelta) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(256);
+        wire::write_delta_frame(delta.epoch, &delta.threads, &mut frame)?;
+        self.append(&frame)
+    }
+
+    fn append_finish(&mut self, record: &FinishRecord) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(256);
+        wire::write_finish_record_frame(record, &mut frame)?;
+        self.append(&frame)
+    }
+}
+
+/// What [`FleetAggregator::recover`] rebuilt from one producer's WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProducerRecovery {
+    /// The producer name from the WAL header.
+    pub producer: String,
+    /// Frames replayed into the fold (deltas, plus the finish when present).
+    pub frames: u64,
+    /// Last epoch recovered — what the next hello acknowledgement will carry.
+    pub last_epoch: u64,
+    /// `true` when the finish frame was recovered (the run completed before the
+    /// crash).
+    pub finished: bool,
+    /// `true` when a torn tail (a crash mid-append) was truncated away. The
+    /// truncated frames were never acknowledged under
+    /// [`FsyncPolicy::EveryFrame`]; the producer still buffers them and re-sends
+    /// after its reconnect handshake.
+    pub torn_tail: bool,
+    /// Log length after any truncation.
+    pub wal_bytes: u64,
+}
+
+/// The result of a WAL-directory replay, in producer-name order.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// One row per recovered producer.
+    pub producers: Vec<ProducerRecovery>,
+}
+
+/// Replays one WAL file. `Ok(None)` means the file never got past its header
+/// (crash mid-create) — nothing was acknowledged from it, so it is skipped and
+/// overwritten when its producer reconnects.
+fn recover_wal_file(
+    path: &Path,
+    fsync: FsyncPolicy,
+) -> io::Result<Option<(String, ProducerState, ProducerRecovery)>> {
+    let data = fs::read(path)?;
+    let Some(header_end) = data.iter().position(|b| *b == b'\n') else {
+        return Ok(None);
+    };
+    let Some((producer, event, period, size_filter)) = std::str::from_utf8(&data[..header_end])
+        .ok()
+        .and_then(|line| parse_wal_header(line).ok())
+    else {
+        return Ok(None);
+    };
+    let body = &data[header_end + 1..];
+    let mut reader = BinaryFrameReader::new(body);
+    let mut fold = DeltaFold::new();
+    let mut finish = None;
+    let mut frames = 0u64;
+    let mut torn = false;
+    let mut dropped_epochs = 0u64;
+    let mut good = header_end as u64 + 1;
+    loop {
+        match reader.next_record() {
+            Ok(Some(LogRecord::Delta(delta))) => match fold.absorb_ordered(&delta) {
+                Ok(()) => {
+                    frames += 1;
+                    good = header_end as u64 + 1 + reader.byte_offset();
+                }
+                Err(_) => {
+                    torn = true;
+                    break;
+                }
+            },
+            Ok(Some(LogRecord::Finish(record))) => {
+                if fold.verify_checksum(record.total_samples).is_err() {
+                    // Ingest only ever accepted a checksum-failing finish from a
+                    // declared-lossy producer; restore the lossy flag (the exact
+                    // drop count returns with the producer's next hello).
+                    dropped_epochs = 1;
+                }
+                finish = Some(record);
+                frames += 1;
+                good = header_end as u64 + 1 + reader.byte_offset();
+            }
+            Ok(None) => break,
+            Err(_) => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    if torn {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(good)?;
+    }
+    let state = ProducerState {
+        fold,
+        event,
+        period,
+        size_filter,
+        finish,
+        connected: false,
+        generation: 0,
+        resumes: 0,
+        duplicates: 0,
+        frames_received: 0,
+        bytes_received: 0,
+        wal: Some(Wal::reopen(path, good, fsync)?),
+        spilled_frames: 0,
+        dropped_epochs,
+        reconnect_backoff_ms: 0,
+    };
+    let recovery = ProducerRecovery {
+        producer: producer.clone(),
+        frames,
+        last_epoch: state.fold.last_epoch().unwrap_or(0),
+        finished: state.finish.is_some(),
+        torn_tail: torn,
+        wal_bytes: good,
+    };
+    Ok(Some((producer, state, recovery)))
 }
 
 /// Per-producer aggregator state: the running fold plus the protocol bookkeeping.
@@ -850,15 +2031,31 @@ struct ProducerState {
     duplicates: u64,
     frames_received: u64,
     bytes_received: u64,
+    /// This producer's write-ahead log, when the aggregator runs durable.
+    wal: Option<Wal>,
+    /// Producer-reported loss/backoff counters (hello frames carry them).
+    spilled_frames: u64,
+    dropped_epochs: u64,
+    reconnect_backoff_ms: u64,
 }
 
 impl ProducerState {
+    /// A declared-lossy stream: epochs were dropped by choice, so the finish
+    /// checksum cannot hold and the producer stays flagged truncated.
+    fn lossy(&self) -> bool {
+        self.dropped_epochs > 0
+    }
+
+    fn truncated(&self) -> bool {
+        (!self.connected && self.finish.is_none()) || self.lossy()
+    }
+
     fn status(&self, name: &str) -> ProducerStatus {
         ProducerStatus {
             producer: name.to_string(),
             connected: self.connected,
             finished: self.finish.is_some(),
-            truncated: !self.connected && self.finish.is_none(),
+            truncated: self.truncated(),
             deltas: self.fold.deltas(),
             last_epoch: self.fold.last_epoch().unwrap_or(0),
             samples: self.fold.total_samples(),
@@ -866,6 +2063,10 @@ impl ProducerState {
             duplicates: self.duplicates,
             frames_received: self.frames_received,
             bytes_received: self.bytes_received,
+            wal_bytes: self.wal.as_ref().map_or(0, |w| w.bytes),
+            spilled_frames: self.spilled_frames,
+            dropped_epochs: self.dropped_epochs,
+            reconnect_backoff_ms: self.reconnect_backoff_ms,
         }
     }
 }
@@ -880,10 +2081,23 @@ struct FleetState {
     handlers: Vec<JoinHandle<()>>,
 }
 
+/// Aggregator-wide knobs, fixed at bind time.
+#[derive(Debug, Default)]
+struct AggregatorConfig {
+    /// WAL directory + fsync policy; `None` runs without durability.
+    wal: Option<(PathBuf, FsyncPolicy)>,
+    /// Aggregator-side fault schedule (test harness).
+    faults: Option<FaultPlan>,
+}
+
 #[derive(Debug)]
 struct AggregatorShared {
     state: Mutex<FleetState>,
     shutdown: AtomicBool,
+    config: AggregatorConfig,
+    /// Aggregator-side fault ordinal: epoch frames received across all
+    /// connections, in arrival order. Only advanced when a fault plan is set.
+    fault_frames: AtomicU64,
 }
 
 /// One producer's slice of a [`FleetView`] snapshot.
@@ -951,6 +2165,10 @@ fn snapshot_view(state: &FleetState) -> FleetView {
         .map(|(name, p)| {
             let fold = p.fold.clone();
             let profile = match &p.finish {
+                // A declared-lossy stream assembles without the checksum — the
+                // fold holds less than the producer sampled, by choice, and the
+                // truncated flag below keeps the gap visible.
+                Some(finish) if p.lossy() => finish.clone().assemble_lossy(fold),
                 Some(finish) => {
                     finish.clone().assemble(fold).expect("finish checksum was verified at ingest")
                 }
@@ -963,11 +2181,7 @@ fn snapshot_view(state: &FleetState) -> FleetView {
                     AllocationStats::default(),
                 ),
             };
-            FleetProducer {
-                producer: name.clone(),
-                truncated: !p.connected && p.finish.is_none(),
-                profile,
-            }
+            FleetProducer { producer: name.clone(), truncated: p.truncated(), profile }
         })
         .collect();
     FleetView { producers }
@@ -981,7 +2195,7 @@ fn status_line(state: &FleetState) -> String {
         }
         let s = p.status(name);
         line.push_str(&format!(
-            "{{\"producer\":{},\"connected\":{},\"finished\":{},\"truncated\":{},\"deltas\":{},\"last_epoch\":{},\"samples\":{},\"resumes\":{},\"duplicates\":{},\"frames_received\":{},\"bytes_received\":{}}}",
+            "{{\"producer\":{},\"connected\":{},\"finished\":{},\"truncated\":{},\"deltas\":{},\"last_epoch\":{},\"samples\":{},\"resumes\":{},\"duplicates\":{},\"frames_received\":{},\"bytes_received\":{},\"wal_bytes\":{},\"spilled_frames\":{},\"dropped_epochs\":{},\"reconnect_backoff_ms\":{}}}",
             json_string(&s.producer),
             s.connected,
             s.finished,
@@ -993,6 +2207,10 @@ fn status_line(state: &FleetState) -> String {
             s.duplicates,
             s.frames_received,
             s.bytes_received,
+            s.wal_bytes,
+            s.spilled_frames,
+            s.dropped_epochs,
+            s.reconnect_backoff_ms,
         ));
     }
     line.push_str("]}\n");
@@ -1012,61 +2230,105 @@ pub struct FleetAggregator {
     tcp_addr: Option<SocketAddr>,
     #[cfg(unix)]
     unix_path: Option<PathBuf>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl FleetAggregator {
     /// Binds a TCP listener (`"127.0.0.1:0"` picks a free loopback port; see
     /// [`FleetAggregator::local_addr`]) and starts accepting producers and clients.
+    /// Runs without a WAL; use [`FleetAggregator::builder`] for durability.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str) -> io::Result<FleetAggregator> {
-        let listener = TcpListener::bind(addr)?;
-        let tcp_addr = listener.local_addr()?;
-        Ok(Self::start(WireListener::Tcp(listener), Some(tcp_addr), None))
+        Self::builder().bind(addr)
     }
 
     /// Binds a Unix domain socket at `path` (which must not exist yet; it is
-    /// removed again on shutdown).
+    /// removed again on shutdown). Runs without a WAL; use
+    /// [`FleetAggregator::builder`] for durability.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     #[cfg(unix)]
     pub fn bind_unix(path: &Path) -> io::Result<FleetAggregator> {
-        let listener = UnixListener::bind(path)?;
-        Ok(Self::start(WireListener::Unix(listener), None, Some(path.to_path_buf())))
+        Self::builder().bind_unix(path)
     }
 
-    #[cfg(unix)]
+    /// A builder for an aggregator with durability and fault-injection knobs.
+    pub fn builder() -> FleetAggregatorBuilder {
+        FleetAggregatorBuilder { wal: None, faults: None, recovered: BTreeMap::new(), report: None }
+    }
+
+    /// Replays every `*.wal` file under `dir` through [`DeltaFold`] and returns a
+    /// builder pre-loaded with the recovered producers, WAL-enabled on the same
+    /// directory. Torn tails (a crash mid-append) are truncated away — those
+    /// frames were never acknowledged under [`FsyncPolicy::EveryFrame`], so the
+    /// producers still buffer and re-send them. When producers reconnect, the
+    /// hello acknowledgement carries the recovered high-water epoch: duplicates
+    /// are trimmed producer-side and the stream resumes exactly where the
+    /// previous aggregator died.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory and file IO failures. Unparseable WAL files (a crash
+    /// mid-header) are skipped, not errors.
+    pub fn recover(dir: &Path) -> io::Result<FleetAggregatorBuilder> {
+        let fsync = FsyncPolicy::default();
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "wal"))
+            .collect();
+        paths.sort();
+        let mut recovered = BTreeMap::new();
+        let mut report = RecoveryReport::default();
+        for path in paths {
+            if let Some((producer, state, row)) = recover_wal_file(&path, fsync)? {
+                report.producers.push(row);
+                recovered.insert(producer, state);
+            }
+        }
+        report.producers.sort_by(|a, b| a.producer.cmp(&b.producer));
+        Ok(FleetAggregatorBuilder {
+            wal: Some((dir.to_path_buf(), fsync)),
+            faults: None,
+            recovered,
+            report: Some(report),
+        })
+    }
+
+    /// The recovery report, when this aggregator came from
+    /// [`FleetAggregator::recover`].
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
     fn start(
         listener: WireListener,
         tcp_addr: Option<SocketAddr>,
-        unix_path: Option<PathBuf>,
+        #[cfg(unix)] unix_path: Option<PathBuf>,
+        config: AggregatorConfig,
+        producers: BTreeMap<String, ProducerState>,
+        recovery: Option<RecoveryReport>,
     ) -> FleetAggregator {
         let shared = Arc::new(AggregatorShared {
-            state: Mutex::new(FleetState::default()),
+            state: Mutex::new(FleetState { producers, ..FleetState::default() }),
             shutdown: AtomicBool::new(false),
+            config,
+            fault_frames: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_handle = thread::spawn(move || accept_loop(listener, accept_shared));
-        FleetAggregator { shared, accept_handle: Some(accept_handle), tcp_addr, unix_path }
-    }
-
-    #[cfg(not(unix))]
-    fn start(
-        listener: WireListener,
-        tcp_addr: Option<SocketAddr>,
-        _unix_path: Option<()>,
-    ) -> FleetAggregator {
-        let shared = Arc::new(AggregatorShared {
-            state: Mutex::new(FleetState::default()),
-            shutdown: AtomicBool::new(false),
-        });
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = thread::spawn(move || accept_loop(listener, accept_shared));
-        FleetAggregator { shared, accept_handle: Some(accept_handle), tcp_addr }
+        FleetAggregator {
+            shared,
+            accept_handle: Some(accept_handle),
+            tcp_addr,
+            #[cfg(unix)]
+            unix_path,
+            recovery,
+        }
     }
 
     /// The bound TCP address (`None` for a Unix-socket aggregator).
@@ -1135,6 +2397,92 @@ impl FleetAggregator {
 impl Drop for FleetAggregator {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Configures a [`FleetAggregator`] before binding: WAL durability, fsync
+/// policy, fault injection, and (via [`FleetAggregator::recover`]) a set of
+/// producers replayed from a previous incarnation's logs.
+#[derive(Debug)]
+pub struct FleetAggregatorBuilder {
+    wal: Option<(PathBuf, FsyncPolicy)>,
+    faults: Option<FaultPlan>,
+    recovered: BTreeMap<String, ProducerState>,
+    report: Option<RecoveryReport>,
+}
+
+impl FleetAggregatorBuilder {
+    /// Enables the per-producer write-ahead log under `dir` with the given fsync
+    /// policy. Each producer's frames are appended to its log **before** they are
+    /// acknowledged, so an acknowledged frame survives an aggregator crash
+    /// (a process crash under any policy; an OS crash only as far as `fsync`
+    /// reaches).
+    #[must_use]
+    pub fn wal(mut self, dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Self {
+        self.wal = Some((dir.into(), fsync));
+        for p in self.recovered.values_mut() {
+            if let Some(w) = &mut p.wal {
+                w.fsync = fsync;
+            }
+        }
+        self
+    }
+
+    /// Installs a deterministic aggregator-side fault schedule: frame ordinals
+    /// count received epoch frames across all connections, in arrival order.
+    /// Hello, query, and status frames are served normally — black-holing epoch
+    /// frames while still completing the handshake is exactly the hung-peer
+    /// shape the producer's ack deadline exists for.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The recovery report, when this builder came from
+    /// [`FleetAggregator::recover`].
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.report.as_ref()
+    }
+
+    /// Binds a TCP listener and starts the daemon. See [`FleetAggregator::bind`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(self, addr: &str) -> io::Result<FleetAggregator> {
+        let listener = TcpListener::bind(addr)?;
+        let tcp_addr = listener.local_addr()?;
+        let config = AggregatorConfig { wal: self.wal, faults: self.faults };
+        Ok(FleetAggregator::start(
+            WireListener::Tcp(listener),
+            Some(tcp_addr),
+            #[cfg(unix)]
+            None,
+            config,
+            self.recovered,
+            self.report,
+        ))
+    }
+
+    /// Binds a Unix domain socket and starts the daemon. See
+    /// [`FleetAggregator::bind_unix`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    #[cfg(unix)]
+    pub fn bind_unix(self, path: &Path) -> io::Result<FleetAggregator> {
+        let listener = UnixListener::bind(path)?;
+        let config = AggregatorConfig { wal: self.wal, faults: self.faults };
+        Ok(FleetAggregator::start(
+            WireListener::Unix(listener),
+            None,
+            Some(path.to_path_buf()),
+            config,
+            self.recovered,
+            self.report,
+        ))
     }
 }
 
@@ -1273,7 +2621,17 @@ fn dispatch_hello(
     shared: &Arc<AggregatorShared>,
     writer: &mut WireStream,
 ) -> io::Result<()> {
-    let hello = (|| -> Result<(String, PmuEvent, u64, u64, FrameCodec), ProfileParseError> {
+    struct Hello {
+        name: String,
+        event: PmuEvent,
+        period: u64,
+        size_filter: u64,
+        codec: FrameCodec,
+        spilled_frames: u64,
+        dropped_epochs: u64,
+        backoff_ms: u64,
+    }
+    let hello = (|| -> Result<Hello, ProfileParseError> {
         let root = JsonParser::new(frame).parse_document()?;
         let doc = Reader::new(frame);
         let record = doc.object(&root, 0)?;
@@ -1299,15 +2657,26 @@ fn dispatch_hello(
                 }
             }
         }
-        Ok((
-            doc.string(record.required("producer", 0)?, 0)?,
+        // Loss/backoff counters: optional (absent from v1 producers and from
+        // producers with nothing to report).
+        let counter = |key: &str| -> Result<u64, ProfileParseError> {
+            record.optional(key).map_or(Ok(0), |value| doc.integer(value, 0))
+        };
+        let spilled_frames = counter("spilled_frames")?;
+        let dropped_epochs = counter("dropped_epochs")?;
+        let backoff_ms = counter("backoff_ms")?;
+        Ok(Hello {
+            name: doc.string(record.required("producer", 0)?, 0)?,
             event,
-            doc.integer(record.required("period", 0)?, 0)?,
-            doc.integer(record.required("size_filter", 0)?, 0)?,
+            period: doc.integer(record.required("period", 0)?, 0)?,
+            size_filter: doc.integer(record.required("size_filter", 0)?, 0)?,
             codec,
-        ))
+            spilled_frames,
+            dropped_epochs,
+            backoff_ms,
+        })
     })();
-    let (name, event, period, size_filter, codec) = match hello {
+    let hello = match hello {
         Ok(hello) => hello,
         Err(e) => {
             let _ = writer.write_all(error_line(&e.message).as_bytes());
@@ -1316,12 +2685,12 @@ fn dispatch_hello(
     };
     let acked = {
         let mut state = shared.state.lock().expect("fleet state lock");
-        let existed = state.producers.contains_key(&name);
-        let p = state.producers.entry(name.clone()).or_insert_with(|| ProducerState {
+        let existed = state.producers.contains_key(&hello.name);
+        let p = state.producers.entry(hello.name.clone()).or_insert_with(|| ProducerState {
             fold: DeltaFold::new(),
-            event,
-            period,
-            size_filter,
+            event: hello.event,
+            period: hello.period,
+            size_filter: hello.size_filter,
             finish: None,
             connected: false,
             generation: 0,
@@ -1329,16 +2698,41 @@ fn dispatch_hello(
             duplicates: 0,
             frames_received: 0,
             bytes_received: 0,
+            wal: None,
+            spilled_frames: 0,
+            dropped_epochs: 0,
+            reconnect_backoff_ms: 0,
         });
         if existed {
             p.resumes += 1;
         }
+        // The producer reports lifetime counters; a reconnect after a quiet
+        // stretch may re-send older (equal) values, so merge by max.
+        p.spilled_frames = p.spilled_frames.max(hello.spilled_frames);
+        p.dropped_epochs = p.dropped_epochs.max(hello.dropped_epochs);
+        p.reconnect_backoff_ms = p.reconnect_backoff_ms.max(hello.backoff_ms);
+        // Durability: open the WAL at first contact, before anything is acked.
+        // A producer recovered from disk already carries its reopened log.
+        if p.wal.is_none() {
+            if let Some((dir, fsync)) = &shared.config.wal {
+                match Wal::create(dir, &hello.name, p.event, p.period, p.size_filter, *fsync) {
+                    Ok(wal) => p.wal = Some(wal),
+                    Err(e) => {
+                        // Refuse the hello rather than silently running
+                        // undurable: the producer keeps buffering and retrying.
+                        let message = format!("WAL create failed: {e}");
+                        let _ = writer.write_all(error_line(&message).as_bytes());
+                        return Err(protocol_error(message));
+                    }
+                }
+            }
+        }
         p.connected = true;
         p.generation += 1;
-        ctx.producer = Some((name, p.generation));
+        ctx.producer = Some((hello.name, p.generation));
         p.fold.last_epoch().unwrap_or(0)
     };
-    writer.write_all(hello_ack_line(acked, codec).as_bytes())
+    writer.write_all(hello_ack_line(acked, hello.codec).as_bytes())
 }
 
 fn dispatch_epoch_frame(
@@ -1373,6 +2767,25 @@ fn dispatch_epoch_record(
         let _ = writer.write_all(error_line(message).as_bytes());
         return Err(protocol_error(message));
     };
+    // Aggregator-side fault injection, resolved before any state changes so a
+    // dropped or black-holed frame leaves no trace in the fold or the WAL.
+    let effect = shared.config.faults.as_ref().and_then(|plan| {
+        let ordinal = shared.fault_frames.fetch_add(1, Ordering::SeqCst) + 1;
+        plan.effect(ordinal)
+    });
+    match effect {
+        Some(FaultEffect::Drop) => {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "fault injection: connection dropped before processing",
+            ));
+        }
+        // Swallow the frame, keep the connection: the producer's ack deadline
+        // fires against a peer that looks alive but never answers.
+        Some(FaultEffect::BlackHole) => return Ok(()),
+        Some(FaultEffect::Delay(d)) => thread::sleep(d),
+        Some(FaultEffect::Corrupt) | None => {}
+    }
     let reply = {
         let mut state = shared.state.lock().expect("fleet state lock");
         let p = state.producers.get_mut(name).expect("hello inserted the producer");
@@ -1384,17 +2797,24 @@ fn dispatch_epoch_record(
             LogRecord::Delta(delta) => {
                 if p.finish.is_some() {
                     Err("delta frame after the finish frame".to_string())
+                } else if p.fold.last_epoch().is_some_and(|last| delta.epoch <= last) {
+                    // An epoch the fold has seen: a backfill overlap (the frame
+                    // was folded but its acknowledgement was lost). Checked
+                    // before the WAL append so replaying the log never hits a
+                    // duplicate; drop it and re-acknowledge — folding twice
+                    // would double-count.
+                    p.duplicates += 1;
+                    Ok(ack_line(p.fold.last_epoch().unwrap_or(0), false))
                 } else {
-                    match p.fold.absorb_ordered(&delta) {
-                        Ok(()) => Ok(ack_line(delta.epoch, false)),
-                        // An epoch the fold has seen: a backfill overlap (the frame
-                        // was folded but its acknowledgement was lost). Drop it and
-                        // re-acknowledge — folding twice would double-count.
-                        Err(FoldError::OutOfOrderEpoch { .. }) => {
-                            p.duplicates += 1;
-                            Ok(ack_line(p.fold.last_epoch().unwrap_or(0), false))
-                        }
-                        Err(e) => Err(e.to_string()),
+                    // Durability order: log, then fold, then ack. A WAL append
+                    // failure refuses the frame — the producer re-sends it, and
+                    // the fold never holds a sample the log doesn't.
+                    match p.wal.as_mut().map_or(Ok(()), |w| w.append_delta(&delta)) {
+                        Err(e) => Err(format!("WAL append failed: {e}")),
+                        Ok(()) => match p.fold.absorb_ordered(&delta) {
+                            Ok(()) => Ok(ack_line(delta.epoch, false)),
+                            Err(e) => Err(e.to_string()),
+                        },
                     }
                 }
             }
@@ -1403,19 +2823,43 @@ fn dispatch_epoch_record(
                     // A re-sent finish after a lost final acknowledgement.
                     Ok(ack_line(p.fold.last_epoch().unwrap_or(0), true))
                 } else {
-                    match p.fold.verify_checksum(finish.total_samples) {
+                    // A declared-lossy producer's fold legitimately holds fewer
+                    // samples than the finish total; anything else must match.
+                    let checksum = if p.lossy() && p.fold.total_samples() <= finish.total_samples {
+                        Ok(())
+                    } else {
+                        p.fold.verify_checksum(finish.total_samples).map_err(|e| e.to_string())
+                    };
+                    match checksum {
                         Ok(()) => {
-                            p.finish = Some(finish);
-                            Ok(ack_line(p.fold.last_epoch().unwrap_or(0), true))
+                            match p.wal.as_mut().map_or(Ok(()), |w| w.append_finish(&finish)) {
+                                Err(e) => Err(format!("WAL append failed: {e}")),
+                                Ok(()) => {
+                                    p.finish = Some(finish);
+                                    Ok(ack_line(p.fold.last_epoch().unwrap_or(0), true))
+                                }
+                            }
                         }
-                        Err(e) => Err(e.to_string()),
+                        Err(message) => Err(message),
                     }
                 }
             }
         }
     };
     match reply {
-        Ok(line) => writer.write_all(line.as_bytes()),
+        Ok(line) => match effect {
+            // Corrupt the acknowledgement, not the state: the frame was folded
+            // and logged, but the producer reads garbage, severs, reconnects,
+            // and gets trimmed by the duplicate pre-check above.
+            Some(FaultEffect::Corrupt) => {
+                let mut corrupted = line.into_bytes();
+                if let Some(i) = corrupted.len().checked_sub(2) {
+                    corrupted[i] ^= 0xFF;
+                }
+                writer.write_all(&corrupted)
+            }
+            _ => writer.write_all(line.as_bytes()),
+        },
         Err(message) => {
             let _ = writer.write_all(error_line(&message).as_bytes());
             Err(protocol_error(message))
@@ -1501,7 +2945,7 @@ impl FleetClient {
     }
 
     fn from_target(target: Target) -> io::Result<FleetClient> {
-        let writer = target.connect()?;
+        let writer = target.connect(None)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(FleetClient { writer, reader })
     }
@@ -1626,7 +3070,8 @@ mod tests {
             "{\"record\":\"status\",\"producers\":[{\"producer\":\"p\",\"connected\":true,\
              \"finished\":false,\"truncated\":false,\"deltas\":2,\"last_epoch\":2,\
              \"samples\":10,\"resumes\":1,\"duplicates\":0,\"frames_received\":3,\
-             \"bytes_received\":412}]}",
+             \"bytes_received\":412,\"wal_bytes\":96,\"spilled_frames\":4,\
+             \"dropped_epochs\":0,\"reconnect_backoff_ms\":75}]}",
         )
         .unwrap()
         {
@@ -1637,6 +3082,10 @@ mod tests {
                 assert_eq!(producers[0].resumes, 1);
                 assert_eq!(producers[0].frames_received, 3);
                 assert_eq!(producers[0].bytes_received, 412);
+                assert_eq!(producers[0].wal_bytes, 96);
+                assert_eq!(producers[0].spilled_frames, 4);
+                assert_eq!(producers[0].dropped_epochs, 0);
+                assert_eq!(producers[0].reconnect_backoff_ms, 75);
             }
             other => panic!("unexpected reply {other:?}"),
         }
@@ -1732,5 +3181,188 @@ mod tests {
         let view = aggregator.view();
         assert!(view.any_truncated());
         assert_eq!(view.total_samples(), 4);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("djxperf-fleet-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = BackoffPolicy::new()
+            .initial(Duration::from_millis(10))
+            .max(Duration::from_millis(80))
+            .seed(3);
+        let mut a = Backoff::new(policy);
+        let mut b = Backoff::new(policy);
+        let delays: Vec<Duration> = (0..8).map(|_| a.next_delay()).collect();
+        assert_eq!(
+            delays,
+            (0..8).map(|_| b.next_delay()).collect::<Vec<_>>(),
+            "same seed, same schedule"
+        );
+        for (attempt, d) in delays.iter().enumerate() {
+            let cap = Duration::from_millis(10u64 << attempt.min(3)).min(Duration::from_millis(80));
+            assert!(*d <= cap, "attempt {attempt}: {d:?} over cap {cap:?}");
+            assert!(*d >= cap / 2, "attempt {attempt}: {d:?} below half the cap");
+        }
+        assert!(delays[7] >= Duration::from_millis(40), "growth reached the ceiling");
+        a.reset();
+        assert!(a.next_delay() <= Duration::from_millis(10), "reset returns to the initial cap");
+        // A different seed produces a different jitter sequence.
+        let mut c = Backoff::new(policy.seed(4));
+        assert_ne!(delays, (0..8).map(|_| c.next_delay()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_plan_schedule_resolves_by_ordinal() {
+        let plan = FaultPlan::new()
+            .drop_at(2)
+            .delay_at(3, Duration::from_millis(7))
+            .corrupt_at(4)
+            .black_hole_from(6);
+        assert!(plan.effect(1).is_none());
+        assert!(matches!(plan.effect(2), Some(FaultEffect::Drop)));
+        assert!(
+            matches!(plan.effect(3), Some(FaultEffect::Delay(d)) if d == Duration::from_millis(7))
+        );
+        assert!(matches!(plan.effect(4), Some(FaultEffect::Corrupt)));
+        assert!(plan.effect(5).is_none());
+        for frame in 6..20 {
+            assert!(matches!(plan.effect(frame), Some(FaultEffect::BlackHole)));
+        }
+    }
+
+    #[test]
+    fn pending_buffer_spills_in_order_and_trims_spilled_frames() {
+        let dir = scratch_dir("pending");
+        let mut pending =
+            PendingBuffer::new(48, OverflowPolicy::SpillThenBlock, dir.clone(), 1 << 20);
+        for epoch in 1..=6u64 {
+            pending
+                .offer(PendingFrame { epoch: Some(epoch), bytes: vec![epoch as u8; 40] })
+                .expect("spill tier absorbs the overflow");
+        }
+        assert_eq!(pending.len(), 6);
+        assert_eq!(pending.spilled_frames, 5, "everything past the budget spilled");
+        assert_eq!(pending.mem.len(), 1);
+        // A reconnect handshake acked epoch 3: memory is trimmed now, spilled
+        // frames lazily at refill — and the leftovers come back oldest-first.
+        pending.trim_acked(3);
+        let mut drained = Vec::new();
+        while pending.len() > 0 {
+            let trimmed = pending.refill().expect("refill reads the spill file");
+            if trimmed > 0 {
+                continue;
+            }
+            let frame = pending.pop_front().expect("refill put a frame in memory");
+            drained.push(frame.epoch.unwrap());
+        }
+        assert_eq!(drained, vec![4, 5, 6], "acked epochs trimmed, order preserved");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lossy_buffer_drops_oldest_epochs_but_never_the_finish() {
+        let dir = scratch_dir("lossy");
+        let mut pending =
+            PendingBuffer::new(96, OverflowPolicy::DropOldestEpochsFlaggedLossy, dir.clone(), 0);
+        for epoch in 1..=5u64 {
+            pending
+                .offer(PendingFrame { epoch: Some(epoch), bytes: vec![0; 40] })
+                .expect("the lossy policy always accepts");
+        }
+        pending
+            .offer(PendingFrame { epoch: None, bytes: vec![0; 40] })
+            .expect("finish queues");
+        assert!(pending.dropped_epochs >= 3, "oldest epochs were shed: {}", pending.dropped_epochs);
+        let mut kept = Vec::new();
+        while let Some(frame) = pending.pop_front() {
+            kept.push(frame.epoch);
+        }
+        assert_eq!(kept.last(), Some(&None), "the finish frame survives every drop");
+        assert!(kept.iter().flatten().all(|e| *e >= 4), "only the newest epochs remain");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_replays_and_truncates_a_torn_tail() {
+        let dir = scratch_dir("wal");
+        let mut wal =
+            Wal::create(&dir, "proc/0", PmuEvent::DEFAULT, 16, 1024, FsyncPolicy::EveryN(2))
+                .expect("wal creates");
+        wal.append_delta(&delta(1, 9, 4)).expect("append 1");
+        wal.append_delta(&delta(2, 9, 6)).expect("append 2");
+        let clean_bytes = wal.bytes;
+        drop(wal);
+        let path = wal_path(&dir, "proc/0");
+        assert!(path.exists(), "the sanitized path exists");
+
+        // A clean replay: both frames, no truncation.
+        let (name, state, report) = recover_wal_file(&path, FsyncPolicy::Never)
+            .expect("replay reads")
+            .expect("header parsed");
+        assert_eq!(name, "proc/0");
+        assert_eq!(report.frames, 2);
+        assert_eq!(report.last_epoch, 2);
+        assert!(!report.torn_tail);
+        assert!(!report.finished);
+        assert_eq!(report.wal_bytes, clean_bytes);
+        assert_eq!(state.fold.total_samples(), 10);
+        drop(state);
+
+        // A crash mid-append: garbage half-frame at the tail. Recovery keeps the
+        // good prefix and truncates the tear away.
+        let mut file = OpenOptions::new().append(true).open(&path).expect("reopen for tearing");
+        file.write_all(&[wire::BINARY_MAGIC[0], 0x01, 0x02]).expect("torn bytes");
+        drop(file);
+        let (_, state, report) = recover_wal_file(&path, FsyncPolicy::Never)
+            .expect("replay reads")
+            .expect("header parsed");
+        assert!(report.torn_tail, "the tear was detected");
+        assert_eq!(report.frames, 2, "the good prefix survives");
+        assert_eq!(report.wal_bytes, clean_bytes, "the tail was truncated");
+        assert_eq!(fs::metadata(&path).expect("stat").len(), clean_bytes);
+        assert_eq!(state.fold.total_samples(), 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aggregator_recovery_reacks_duplicates_and_resumes() {
+        let dir = scratch_dir("recover");
+        let mut first = FleetAggregator::builder()
+            .wal(&dir, FsyncPolicy::EveryFrame)
+            .bind("127.0.0.1:0")
+            .expect("durable bind");
+        let addr = first.local_addr().expect("tcp addr").to_string();
+        let sink = FleetSink::connect(&addr, "unit", PmuEvent::DEFAULT, 16, 0).expect("connect");
+        let mut out = io::sink();
+        sink.on_delta(1, &delta(1, 7, 5), &mut out).expect("delta 1");
+        sink.on_delta(2, &delta(2, 7, 3), &mut out).expect("delta 2");
+        first.shutdown();
+        drop(first);
+
+        let builder = FleetAggregator::recover(&dir).expect("recovery replays");
+        let report = builder.recovery_report().expect("report").clone();
+        assert_eq!(report.producers.len(), 1);
+        assert_eq!(report.producers[0].producer, "unit");
+        assert_eq!(report.producers[0].frames, 2);
+        assert_eq!(report.producers[0].last_epoch, 2);
+        let second = builder.bind("127.0.0.1:0").expect("recovered bind");
+        let status = second.status();
+        assert_eq!(status[0].samples, 8, "the fold came back from the WAL");
+        assert_eq!(status[0].last_epoch, 2);
+        assert!(status[0].wal_bytes > 0);
+        assert!(!status[0].connected, "recovered producers start disconnected");
+        // A reconnecting producer is told to resume after the recovered epoch.
+        let addr2 = second.local_addr().expect("tcp addr").to_string();
+        let resumed =
+            FleetSink::connect(&addr2, "unit", PmuEvent::DEFAULT, 16, 0).expect("reconnect");
+        assert_eq!(resumed.stats().acked_epoch, 2, "the hello ack carries the recovered epoch");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -125,8 +125,9 @@ pub use cct::{Cct, CctNodeId};
 pub use codecentric::{CodeCentricProfile, CodeCentricProfiler, CodeLocation};
 pub use export::{Backpressure, DeltaDrainer, DrainPolicy, ExportStats, SharedBuffer};
 pub use fleet::{
-    FleetAggregator, FleetClient, FleetProducer, FleetSink, FleetSinkStats, FleetView,
-    ProducerStatus, RemoteQueryResult,
+    BackoffPolicy, FaultAction, FaultPlan, FleetAggregator, FleetAggregatorBuilder, FleetClient,
+    FleetProducer, FleetSink, FleetSinkBuilder, FleetSinkStats, FleetView, FsyncPolicy,
+    OverflowPolicy, ProducerRecovery, ProducerStatus, RecoveryReport, RemoteQueryResult,
 };
 pub use metrics::MetricVector;
 pub use object::{AllocSite, AllocSiteId, AllocSiteRegistry, MonitoredObject};

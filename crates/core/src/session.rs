@@ -1138,6 +1138,12 @@ impl SessionBuilder {
     /// going over the sink's socket instead of a local writer (the local writer
     /// slot is a no-op [`io::sink`]). See [`crate::fleet`] for the wire protocol
     /// and reconnect semantics.
+    ///
+    /// The sink never wedges the drainer: ack deadlines fail slow frames back
+    /// into its bounded buffer, outages spill to disk, and reconnects back off
+    /// with jitter — tune all three through
+    /// [`FleetSink::builder`](crate::fleet::FleetSink::builder) before handing
+    /// the sink here.
     pub fn stream_to_fleet(self, sink: Arc<crate::fleet::FleetSink>, policy: DrainPolicy) -> Self {
         self.stream_to(sink, Box::new(io::sink()), policy)
     }

@@ -437,6 +437,24 @@ impl FinishRecord {
             self.allocation_stats,
         ))
     }
+
+    /// Closes a fold that is **known** to be missing deltas: assembles without the
+    /// total-sample checksum. For streams where loss was chosen and accounted for —
+    /// a fleet producer running the
+    /// [`DropOldestEpochsFlaggedLossy`](crate::fleet::OverflowPolicy) overflow
+    /// policy declares its dropped epochs, the aggregator flags the producer
+    /// truncated, and this assembles what survived. Everywhere else use
+    /// [`FinishRecord::assemble`], which refuses silent gaps.
+    pub fn assemble_lossy(self, fold: DeltaFold) -> ObjectCentricProfile {
+        fold.assemble(
+            self.event,
+            self.period,
+            self.size_filter,
+            self.sites,
+            self.allocs,
+            self.allocation_stats,
+        )
+    }
 }
 
 /// One decoded epoch-log frame: a streamed delta or the terminal finish record.

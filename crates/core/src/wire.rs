@@ -441,6 +441,39 @@ fn encode_finish_payload(profile: &ObjectCentricProfile, include_allocs: bool) -
     p
 }
 
+/// Encodes a decoded [`FinishRecord`] back into the finish-frame payload — the
+/// exact inverse of [`decode_finish_payload`], used by the fleet aggregator's
+/// write-ahead log to persist a received finish record verbatim. Round-tripping
+/// through decode → encode → decode is lossless: both directions share one field
+/// order and the site-id invariant (dense, ascending, implicit).
+fn encode_finish_record_payload(record: &FinishRecord) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    put_string(&mut p, record.event.hardware_name());
+    put_varint(&mut p, record.period);
+    put_varint(&mut p, record.size_filter);
+    put_varint(&mut p, record.total_samples);
+    let s = &record.allocation_stats;
+    put_varint(&mut p, s.callbacks);
+    put_varint(&mut p, s.monitored);
+    put_varint(&mut p, s.filtered);
+    put_varint(&mut p, s.relocations);
+    put_varint(&mut p, s.unknown_moves);
+    put_varint(&mut p, s.reclamations);
+    put_varint(&mut p, record.sites.len() as u64);
+    for site in &record.sites {
+        put_string(&mut p, &site.class_name);
+        put_path(&mut p, &site.call_path);
+    }
+    put_varint(&mut p, record.allocs.len() as u64);
+    for (thread, site, count, bytes) in &record.allocs {
+        put_varint(&mut p, thread.0);
+        put_varint(&mut p, u64::from(site.0));
+        put_varint(&mut p, *count);
+        put_varint(&mut p, *bytes);
+    }
+    p
+}
+
 fn decode_finish_payload(payload: &[u8]) -> Result<FinishRecord, ProfileParseError> {
     let mut r = PayloadReader::new(payload);
     let event_name = r.string()?;
@@ -511,6 +544,16 @@ pub(crate) fn write_finish_frame(
     out: &mut dyn Write,
 ) -> io::Result<()> {
     write_frame(KIND_FINISH, &encode_finish_payload(profile, include_allocs), out)
+}
+
+/// Encodes one finish frame from a decoded [`FinishRecord`] — what the fleet
+/// aggregator's write-ahead log appends, so a WAL replay decodes the identical
+/// record the wire delivered.
+pub(crate) fn write_finish_record_frame(
+    record: &FinishRecord,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    write_frame(KIND_FINISH, &encode_finish_record_payload(record), out)
 }
 
 /// Reads and decodes exactly one binary frame from `input`, which must be
@@ -900,6 +943,29 @@ mod tests {
         // A varint that never terminates is rejected, not wrapped.
         let mut r = PayloadReader::new(&[0xff; 11]);
         assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn finish_record_reencodes_byte_identically() {
+        // The WAL persists received finish records by re-encoding them; the frame
+        // it writes must be byte-for-byte the frame the wire delivered, or a WAL
+        // replay and a live stream could diverge.
+        let (_, bin_log, _) = stream_both();
+        let mut reader = BinaryFrameReader::new(&bin_log[..]);
+        let mut finish_offset = 0;
+        let mut finish_record = None;
+        while let Some(record) = reader.next_record().unwrap() {
+            if let LogRecord::Finish(record) = record {
+                finish_record = Some(record);
+                break;
+            }
+            finish_offset = reader.byte_offset() as usize;
+        }
+        let record = finish_record.expect("stream ends with a finish frame");
+        let original = &bin_log[finish_offset..];
+        let mut reencoded = Vec::new();
+        write_finish_record_frame(&record, &mut reencoded).unwrap();
+        assert_eq!(reencoded, original, "decode → encode must be the identity");
     }
 
     #[test]

@@ -20,9 +20,10 @@ use djx_runtime::{
     ThreadId,
 };
 use djxperf::{
-    ChunkedJsonSink, DrainPolicy, EpochLog, FleetAggregator, FleetClient, FleetSink, FrameCodec,
-    GroupBy, MultiSource, ProfileDelta, ProfileSink, Query, RankBy, Session, SharedBuffer,
-    ThreadDelta, ThreadProfile,
+    AllocationStats, BackoffPolicy, ChunkedJsonSink, DeltaFold, DrainPolicy, EpochLog, FaultPlan,
+    FleetAggregator, FleetClient, FleetSink, FrameCodec, FsyncPolicy, GroupBy, MultiSource,
+    OverflowPolicy, ProfileDelta, ProfileSink, Query, RankBy, Session, SharedBuffer, ThreadDelta,
+    ThreadProfile,
 };
 
 const PROCESSES: u64 = 3;
@@ -469,6 +470,349 @@ fn aggregator_rejects_checksum_mismatch_and_orphan_frames() {
     let status = aggregator.status();
     let row = status.iter().find(|s| s.producer == "mismatch").unwrap();
     assert!(!row.finished, "the mismatched finish was not folded");
+}
+
+/// A scratch directory that cleans itself up.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("djxperf-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("scratch dir creates");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn fast_backoff(seed: u64) -> BackoffPolicy {
+    BackoffPolicy::new()
+        .initial(Duration::from_millis(1))
+        .max(Duration::from_millis(20))
+        .seed(seed)
+}
+
+/// Rebinds an aggregator on the address a previous incarnation owned; retried
+/// because the OS may hold the port briefly after the old listener closes.
+fn rebind<F: FnMut() -> std::io::Result<FleetAggregator>>(mut bind: F) -> FleetAggregator {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match bind() {
+            Ok(aggregator) => return aggregator,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "rebinding the aggregator port: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// The tentpole acceptance path: kill the aggregator mid-stream, restart it with
+/// `recover(dir)`, let the producers reconnect and backfill (spilling to disk
+/// through the outage) — the final fleet query must render byte-identically to an
+/// uninterrupted single-process `MultiSource` fold of the same workload.
+#[test]
+fn aggregator_kill_restart_with_wal_recovery_is_byte_identical() {
+    let wal_dir = TempDir::new("wal-recovery");
+    let spill_dir = TempDir::new("spill-recovery");
+    let mut aggregator = FleetAggregator::builder()
+        .wal(&wal_dir.0, FsyncPolicy::EveryFrame)
+        .bind("127.0.0.1:0")
+        .expect("durable aggregator binds");
+    let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+    let logs = build_process_logs();
+
+    // A tiny memory budget so the outage exercises the spill tier, fast backoff
+    // so the test is not dominated by reconnect sleeps.
+    let sinks: Vec<Arc<FleetSink>> = (0..PROCESSES)
+        .map(|p| {
+            Arc::new(
+                FleetSink::builder(&format!("proc{p}"), PmuEvent::DEFAULT, PERIOD, SIZE_FILTER)
+                    .ack_deadline(Some(Duration::from_millis(500)))
+                    .backoff(fast_backoff(p + 1))
+                    .buffer_budget_bytes(512)
+                    .spill_dir(&spill_dir.0)
+                    .connect(&addr)
+                    .expect("producer connects"),
+            )
+        })
+        .collect();
+    let fleet_sessions: Vec<Arc<Session>> = sinks.iter().map(fleet_session).collect();
+    let buffers: Vec<SharedBuffer> = (0..PROCESSES).map(|_| SharedBuffer::new()).collect();
+    let log_sessions: Vec<Arc<Session>> = buffers.iter().map(log_session).collect();
+    for p in 0..PROCESSES as usize {
+        replay_allocs(&fleet_sessions[p], &logs[p]);
+        replay_allocs(&log_sessions[p], &logs[p]);
+    }
+
+    // Phase 1: half the workload lands while the first aggregator is alive; wait
+    // until every producer has at least one acknowledged (and thus WAL-logged)
+    // frame so the kill point is genuinely mid-stream.
+    let half = ACCESSES_PER_PROCESS as usize / 2;
+    for p in 0..PROCESSES as usize {
+        replay_accesses(&fleet_sessions[p], &logs[p], 0..half);
+        replay_accesses(&log_sessions[p], &logs[p], 0..half);
+        fleet_sessions[p].flush_export();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !aggregator.status().iter().all(|s| s.samples > 0) {
+        assert!(Instant::now() < deadline, "first aggregator never folded all producers");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for s in aggregator.status() {
+        assert!(s.wal_bytes > 0, "{} has WAL bytes before the kill", s.producer);
+    }
+
+    // The kill. Everything not yet acknowledged is still buffered producer-side;
+    // everything acknowledged is in the WAL.
+    aggregator.shutdown();
+    drop(aggregator);
+
+    // Phase 2: the rest of the workload lands during the outage, flushed in
+    // chunks so multiple epoch frames pile up and overflow the 512-byte memory
+    // budget into the spill tier.
+    let chunk = (ACCESSES_PER_PROCESS as usize - half) / 8;
+    for c in 0..8 {
+        let range = (half + c * chunk)..if c == 7 {
+            ACCESSES_PER_PROCESS as usize
+        } else {
+            half + (c + 1) * chunk
+        };
+        for p in 0..PROCESSES as usize {
+            replay_accesses(&fleet_sessions[p], &logs[p], range.clone());
+            replay_accesses(&log_sessions[p], &logs[p], range.clone());
+            fleet_sessions[p].flush_export();
+        }
+    }
+    assert!(
+        sinks.iter().any(|s| s.stats().spilled_frames > 0),
+        "the outage overflowed at least one producer into the spill tier"
+    );
+    assert!(sinks.iter().all(|s| s.stats().dropped_epochs == 0), "the default policy never drops");
+
+    // The restart: replay the WALs, rebind the same address, let the producers'
+    // backoff loops find it again.
+    let restarted =
+        rebind(|| FleetAggregator::recover(&wal_dir.0).expect("WAL directory replays").bind(&addr));
+    let report = restarted.recovery_report().expect("recovered aggregators carry a report");
+    assert_eq!(report.producers.len(), PROCESSES as usize);
+    for row in &report.producers {
+        assert!(row.frames > 0, "{} recovered frames from its WAL", row.producer);
+        assert!(row.last_epoch > 0);
+        assert!(!row.finished, "the kill came before any finish frame");
+    }
+
+    for session in fleet_sessions.iter().chain(&log_sessions) {
+        session.finish_export().expect("streams finish after the recovery");
+    }
+    for sink in &sinks {
+        let stats = sink.stats();
+        assert!(stats.connects >= 2, "every producer reconnected: {stats:?}");
+        assert_eq!(stats.pending_frames, 0, "every buffered frame was delivered");
+        assert!(stats.reconnect_backoff_ms > 0, "reconnects went through the backoff gate");
+    }
+    let status = restarted.status();
+    assert_eq!(status.len(), PROCESSES as usize);
+    for s in &status {
+        assert!(s.finished, "{} finished", s.producer);
+        assert!(!s.truncated, "{} not truncated", s.producer);
+        assert!(s.resumes >= 1, "{} resumed into the recovered fold", s.producer);
+        assert_eq!(s.dropped_epochs, 0);
+        assert!(s.wal_bytes > 0);
+        assert!(s.spilled_frames > 0 || s.reconnect_backoff_ms > 0);
+    }
+
+    // Byte identity against the uninterrupted single-process baseline.
+    let replayed: Vec<EpochLog> = buffers
+        .iter()
+        .map(|b| EpochLog::replay(&String::from_utf8(b.contents()).unwrap()).expect("log replays"))
+        .collect();
+    let mut fold = MultiSource::new();
+    for log in &replayed {
+        fold.push(log);
+    }
+    let mut client = FleetClient::connect(&addr).expect("client connects to the restart");
+    for query in [
+        Query::new(),
+        Query::new().rank_by(RankBy::Samples),
+        Query::new().group_by(GroupBy::Site),
+        Query::new().group_by(GroupBy::Thread).rank_by(RankBy::Samples),
+    ] {
+        let from_fold = query.evaluate(&fold).expect("fold evaluates");
+        let from_fleet = restarted.query(&query).expect("recovered fleet evaluates");
+        assert_eq!(from_fleet.to_text(), from_fold.to_text(), "text identity for {query:?}");
+        assert_eq!(from_fleet.to_json(), from_fold.to_json(), "json identity for {query:?}");
+        let remote = client.query(&query).expect("wire query answers");
+        assert_eq!(remote.text, from_fold.to_text(), "wire text identity for {query:?}");
+    }
+}
+
+fn probe_delta(epoch: u64, samples: u64) -> ProfileDelta {
+    let mut profile = ThreadProfile::new(ThreadId(7), "probe");
+    profile.samples = samples;
+    ProfileDelta { epoch, threads: vec![ThreadDelta { seq: 0, profile }] }
+}
+
+/// The chosen-loss path: a producer with `DropOldestEpochsFlaggedLossy` outlives
+/// an outage bigger than its buffer; the drops are counted, declared in the next
+/// hello, and the aggregator accepts the (now checksum-unmeetable) finish while
+/// flagging the producer truncated.
+#[test]
+fn lossy_overflow_policy_drops_oldest_and_flags_truncation() {
+    let mut aggregator = FleetAggregator::bind("127.0.0.1:0").expect("aggregator binds");
+    let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+    let sink = FleetSink::builder("lossy", PmuEvent::DEFAULT, PERIOD, SIZE_FILTER)
+        .overflow(OverflowPolicy::DropOldestEpochsFlaggedLossy)
+        .buffer_budget_bytes(200)
+        .ack_deadline(Some(Duration::from_millis(250)))
+        .backoff(fast_backoff(42))
+        .finish_deadline(Duration::from_secs(20))
+        .connect(&addr)
+        .expect("producer connects");
+    let mut out = std::io::sink();
+    let mut fold = DeltaFold::new();
+
+    // A few acknowledged epochs, then an outage long enough (in frames) that the
+    // 200-byte buffer must shed its oldest epochs.
+    for epoch in 1..=3u64 {
+        let delta = probe_delta(epoch, epoch);
+        fold.absorb_ordered(&delta).unwrap();
+        sink.on_delta(epoch, &delta, &mut out).expect("live delta ships");
+    }
+    aggregator.shutdown();
+    drop(aggregator);
+    for epoch in 4..=20u64 {
+        let delta = probe_delta(epoch, epoch);
+        fold.absorb_ordered(&delta).unwrap();
+        sink.on_delta(epoch, &delta, &mut out).expect("lossy policy never blocks");
+    }
+    let stats = sink.stats();
+    assert!(stats.dropped_epochs > 0, "the outage forced drops: {stats:?}");
+    assert_eq!(stats.spilled_frames, 0, "the lossy policy never touches disk");
+
+    // The aggregator returns (fresh — what it acked before dying is gone too; the
+    // producer declared itself lossy so the finish is still accepted).
+    let restarted = rebind(|| FleetAggregator::bind(&addr));
+    let declared = fold.total_samples();
+    let profile = fold.assemble(
+        PmuEvent::DEFAULT,
+        PERIOD,
+        SIZE_FILTER,
+        Vec::new(),
+        std::iter::empty(),
+        AllocationStats::default(),
+    );
+    sink.on_finish(&profile, &mut out).expect("the lossy finish is accepted");
+
+    let status = restarted.status();
+    let row = status.iter().find(|s| s.producer == "lossy").expect("producer known");
+    assert!(row.finished, "the lossy stream still finished");
+    assert!(row.truncated, "chosen loss is flagged, never silent");
+    assert!(row.dropped_epochs > 0, "the hello carried the drop count");
+    assert!(row.samples < declared, "the fold holds less than the producer sampled");
+    let view = restarted.view();
+    assert!(view.any_truncated());
+    assert_eq!(view.total_samples(), row.samples);
+    restarted
+        .query(&Query::new().rank_by(RankBy::Samples))
+        .expect("lossy folds stay queryable");
+}
+
+/// Satellite regression: an aggregator that accepts TCP (and answers the hello)
+/// but never acknowledges an epoch frame must not wedge the drainer — the ack
+/// deadline fails the frame back into the buffer, snapshots keep working, and
+/// the finish deadline surfaces the loss instead of hanging forever.
+#[test]
+fn hung_aggregator_never_wedges_the_drainer() {
+    let aggregator = FleetAggregator::builder()
+        .fault_plan(FaultPlan::new().black_hole_from(1))
+        .bind("127.0.0.1:0")
+        .expect("black-holed aggregator binds");
+    let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+    let sink = Arc::new(
+        FleetSink::builder("hung", PmuEvent::DEFAULT, PERIOD, SIZE_FILTER)
+            .ack_deadline(Some(Duration::from_millis(100)))
+            .finish_deadline(Duration::from_millis(500))
+            .backoff(fast_backoff(9))
+            .connect(&addr)
+            .expect("the handshake itself is served"),
+    );
+    let session = fleet_session(&sink);
+    let logs = build_process_logs();
+    replay_allocs(&session, &logs[0]);
+    replay_accesses(&session, &logs[0], 0..4000);
+
+    // The drainer is live behind a hung peer: profile reads return promptly.
+    let started = Instant::now();
+    let samples = session.total_samples();
+    assert!(samples > 0, "the session kept attributing samples");
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "a profile read must not wait on the hung peer"
+    );
+
+    // The finish cannot be delivered; the deadline turns that into an error —
+    // bounded and explicit, never a hang, and the frames are still buffered.
+    let started = Instant::now();
+    let finish = session.finish_export();
+    assert!(finish.is_err(), "an unacknowledged finish is reported, not ignored");
+    assert!(started.elapsed() < Duration::from_secs(60), "the finish deadline bounds the shutdown");
+    let stats = sink.stats();
+    assert_eq!(stats.frames_sent, 0, "the black hole acknowledged nothing");
+    assert!(stats.pending_frames > 0, "undelivered frames fail back into the buffer");
+    assert_eq!(stats.acked_epoch, 0);
+
+    // The aggregator saw the producer (hello served) but folded nothing.
+    let row = &aggregator.status()[0];
+    assert_eq!(row.producer, "hung");
+    assert_eq!(row.samples, 0);
+    assert!(!row.finished);
+}
+
+/// Sink-side deterministic fault injection: a scheduled connection drop, a
+/// corrupted frame (rejected by the aggregator's checksum) and a delayed frame —
+/// the stream heals around all three with zero loss.
+#[test]
+fn sink_fault_plan_heals_losslessly() {
+    let aggregator = FleetAggregator::bind("127.0.0.1:0").expect("aggregator binds");
+    let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+    let sink = FleetSink::builder("faulty", PmuEvent::DEFAULT, PERIOD, SIZE_FILTER)
+        .fault_plan(FaultPlan::new().drop_at(2).corrupt_at(4).delay_at(6, Duration::from_millis(5)))
+        .ack_deadline(Some(Duration::from_millis(500)))
+        .backoff(fast_backoff(5))
+        .finish_deadline(Duration::from_secs(20))
+        .connect(&addr)
+        .expect("producer connects");
+    let mut out = std::io::sink();
+    let mut fold = DeltaFold::new();
+    for epoch in 1..=8u64 {
+        let delta = probe_delta(epoch, 10 + epoch);
+        fold.absorb_ordered(&delta).unwrap();
+        sink.on_delta(epoch, &delta, &mut out)
+            .expect("faults are absorbed, not surfaced");
+    }
+    let declared = fold.total_samples();
+    let profile = fold.assemble(
+        PmuEvent::DEFAULT,
+        PERIOD,
+        SIZE_FILTER,
+        Vec::new(),
+        std::iter::empty(),
+        AllocationStats::default(),
+    );
+    sink.on_finish(&profile, &mut out).expect("the finish lands after the faults");
+
+    let stats = sink.stats();
+    assert!(stats.connects >= 2, "the dropped connection forced a reconnect: {stats:?}");
+    assert_eq!(stats.pending_frames, 0);
+    let row = &aggregator.status()[0];
+    assert!(row.finished && !row.truncated);
+    assert_eq!(row.samples, declared, "zero loss through the fault schedule");
 }
 
 #[cfg(unix)]
