@@ -90,7 +90,11 @@
 //! and ≤ 0.4× JSON bytes per sample over the same delta stream, or
 //! `--smoke-recovery` (CI) to gate the fault-tolerance tier: WAL-on fleet ingest
 //! within 1.15× of WAL-off under `FsyncPolicy::Never`, and
-//! `FleetAggregator::recover` replay at ≥ 100k frames/s over a dense WAL.
+//! `FleetAggregator::recover` replay at ≥ 100k frames/s over a dense WAL, or
+//! `--smoke-live` (CI) to gate the incremental live query engine: a watched
+//! `LiveQuery` tick (absorb a small epoch delta + render `top(32)`) must be ≥ 5×
+//! cheaper than absorb + full `Query::evaluate` re-evaluation on a 10k-site
+//! profile.
 
 use std::collections::HashMap;
 use std::io;
@@ -108,8 +112,8 @@ use djx_runtime::{
 use djxperf::{
     AccessContext, AllocSite, AllocSiteId, AllocationStats, AnalysisReport, BinaryChunkedSink, Cct,
     ChunkedJsonSink, DeltaFold, DrainPolicy, FleetAggregator, FleetSink, FsyncPolicy, Interval,
-    IntervalSplayTree, MetricVector, MonitoredObject, ObjectCentricProfile, ObjectReport,
-    ProfileDelta, ProfileSink, Query, Session, SpinLock, ThreadDelta, ThreadProfile,
+    IntervalSplayTree, LiveFold, MetricVector, MonitoredObject, ObjectCentricProfile, ObjectReport,
+    ProfileDelta, ProfileSink, Query, RankBy, Session, SpinLock, ThreadDelta, ThreadProfile,
 };
 
 const MULTI_THREADS: u64 = 4;
@@ -872,6 +876,91 @@ fn legacy_analyze(profile: &ObjectCentricProfile) -> AnalysisReport {
     }
 }
 
+// -----------------------------------------------------------------------------------
+// Live query engine: incremental watch vs per-tick re-evaluation (the --smoke-live
+// gate)
+// -----------------------------------------------------------------------------------
+
+/// Hot-site population of the live gate's profile (the ISSUE floor is >= 10k).
+const LIVE_SITES: u32 = 10_000;
+/// Sites touched per epoch delta — a small dashboard tick.
+const LIVE_DELTA_SITES: u32 = 64;
+/// Measured ticks per run.
+const LIVE_TICKS: u32 = 50;
+
+fn live_sites() -> Vec<AllocSite> {
+    (0..LIVE_SITES)
+        .map(|s| AllocSite {
+            id: AllocSiteId(s),
+            class_name: format!("live{s}[]"),
+            call_path: vec![Frame::new(MethodId(s), 3)],
+        })
+        .collect()
+}
+
+fn live_delta(epoch: u64, sites: impl Iterator<Item = u32>) -> ProfileDelta {
+    let bench_sample = |addr: u64, remote: bool| Sample {
+        event: PmuEvent::L1Miss,
+        thread_id: 1,
+        cpu: 0,
+        cpu_node: NumaNode(0),
+        page_node: NumaNode(u32::from(remote)),
+        effective_addr: addr,
+        kind: AccessKind::Load,
+        value: 1,
+        latency: 150,
+        counter_value: 1,
+    };
+    let path = [Frame::new(MethodId(7), 0)];
+    let mut fragment = ThreadProfile::new(ThreadId(1), "live");
+    for s in sites {
+        fragment.record_attributed(
+            AllocSiteId(s),
+            &path,
+            &bench_sample(u64::from(s) * 8, s % 2 == 0),
+            FULL_PERIOD,
+        );
+    }
+    ProfileDelta { epoch, threads: vec![ThreadDelta { seq: 0, profile: fragment }] }
+}
+
+/// Epoch 1: one sample on every site, so the fold carries the full 10k-site state.
+fn build_live_seed_delta() -> ProfileDelta {
+    live_delta(1, 0..LIVE_SITES)
+}
+
+/// Epoch `tick + 2`: a rotating window of [`LIVE_DELTA_SITES`] sites.
+fn build_live_tick_delta(tick: u32) -> ProfileDelta {
+    let start = (tick * LIVE_DELTA_SITES) % LIVE_SITES;
+    live_delta(u64::from(tick) + 2, (start..start + LIVE_DELTA_SITES).map(|s| s % LIVE_SITES))
+}
+
+/// Times `run` (seed + [`LIVE_TICKS`] ticks), best of `reps`; throughput is ticks
+/// per second.
+fn measure_live(
+    name: &'static str,
+    reps: usize,
+    samples: u64,
+    run: impl Fn() -> u64,
+) -> Measurement {
+    let mut best = Duration::MAX;
+    let mut checksum = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        checksum = run();
+        best = best.min(start.elapsed());
+    }
+    assert!(checksum > 0, "ticks must not be optimized away");
+    Measurement {
+        pipeline: name,
+        threads: 1,
+        accesses: u64::from(LIVE_TICKS),
+        samples,
+        best,
+        cache_hit_rate: None,
+    }
+}
+
 /// Measures repeated whole-profile evaluations; `throughput` is evaluations/second
 /// (the `accesses` column carries the evaluation count).
 fn measure_eval(
@@ -1079,12 +1168,14 @@ fn main() {
     let smoke_fleet = args.iter().any(|a| a == "--smoke-fleet");
     let smoke_codec = args.iter().any(|a| a == "--smoke-codec");
     let smoke_recovery = args.iter().any(|a| a == "--smoke-recovery");
+    let smoke_live = args.iter().any(|a| a == "--smoke-live");
     let quick = smoke
         || smoke_streaming
         || smoke_query
         || smoke_fleet
         || smoke_codec
         || smoke_recovery
+        || smoke_live
         || args.iter().any(|a| a == "--quick")
         || std::env::var("CONTENTION_QUICK").map(|v| v == "1").unwrap_or(false);
     // Best-of-5 in the full run: spin locks on an oversubscribed machine suffer
@@ -1405,6 +1496,80 @@ fn main() {
         return;
     }
 
+    if smoke_live {
+        // CI regression gate for the incremental live query engine: on a profile
+        // with >= 10k hot sites, one dashboard tick (absorb a small epoch delta,
+        // render the watched top(32)) must be at least 5x cheaper than what a poll
+        // loop pays (absorb the same delta, snapshot, full Query::evaluate). The
+        // watch updates O(delta) group slots and maintains the top-k heap
+        // incrementally; re-evaluation re-aggregates all sites every tick.
+        println!("== live-query incremental smoke (CI gate) ==\n");
+        let query = Query::new().rank_by(RankBy::WeightedEvents).top(32).min_samples(1);
+        let seed = build_live_seed_delta();
+        let samples = u64::from(LIVE_SITES) + u64::from(LIVE_TICKS) * u64::from(LIVE_DELTA_SITES);
+
+        // Identity sanity before timing anything: after every tick the watch and a
+        // cold evaluation agree byte for byte.
+        {
+            let fold = LiveFold::new();
+            fold.provide_sites(live_sites());
+            let mut lq = query.watch(&fold);
+            fold.absorb(&seed).expect("seed epoch folds");
+            for tick in 0..LIVE_TICKS {
+                fold.absorb(&build_live_tick_delta(tick)).expect("tick delta folds");
+                let live = lq.current();
+                let cold = query.evaluate(&fold.snapshot()).expect("cold evaluation");
+                assert_eq!(live.result.to_text(), cold.to_text(), "live == cold per tick");
+            }
+        }
+
+        let reps = 5usize;
+        let mut results = Vec::new();
+        results.push(measure_live("live-watch", reps, samples, || {
+            let fold = LiveFold::new();
+            fold.provide_sites(live_sites());
+            let mut lq = query.watch(&fold);
+            fold.absorb(&seed).expect("seed epoch folds");
+            let mut checksum = 0u64;
+            for tick in 0..LIVE_TICKS {
+                fold.absorb(&build_live_tick_delta(tick)).expect("tick delta folds");
+                checksum += lq.current().result.groups.len() as u64;
+            }
+            checksum
+        }));
+        results.push(measure_live("poll-evaluate", reps, samples, || {
+            let fold = LiveFold::new();
+            fold.provide_sites(live_sites());
+            fold.absorb(&seed).expect("seed epoch folds");
+            let mut checksum = 0u64;
+            for tick in 0..LIVE_TICKS {
+                fold.absorb(&build_live_tick_delta(tick)).expect("tick delta folds");
+                let result = query.evaluate(&fold.snapshot()).expect("cold evaluation");
+                checksum += result.groups.len() as u64;
+            }
+            checksum
+        }));
+        print_results(&results);
+        let ratio =
+            throughput_of(&results, "live-watch", 1) / throughput_of(&results, "poll-evaluate", 1);
+        println!(
+            "\nlive-watch/poll-evaluate per-tick speedup: {ratio:.2}x \
+             (gate >= 5.0 at {LIVE_SITES} sites, {LIVE_DELTA_SITES}-site deltas, top(32))"
+        );
+        if let Ok(path) = std::env::var("BENCH_CONTENTION_OUT") {
+            write_json(&path, &results, &[("live_query_tick_speedup", ratio)]);
+            println!("recorded {path}");
+        }
+        if ratio < 5.0 {
+            eprintln!(
+                "FAIL: incremental live ticks fell below 5x of full re-evaluation ({ratio:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("smoke OK");
+        return;
+    }
+
     if smoke_query {
         // CI regression gate for the query layer: evaluating a Query over a snapshot
         // must stay within 1.10x of the pre-redesign Analyzer::analyze aggregation
@@ -1597,6 +1762,37 @@ fn main() {
     let (codec_rows, codec_ratios) = run_codec_family(reps);
     results.extend(codec_rows);
 
+    // Family 7 — the live query engine: per-tick cost of an incrementally
+    // maintained watch vs a full re-evaluation over a 10k-site fold (the
+    // --smoke-live CI gate's ratio).
+    let live_query = Query::new().rank_by(RankBy::WeightedEvents).top(32).min_samples(1);
+    let live_seed = build_live_seed_delta();
+    let live_samples = u64::from(LIVE_SITES) + u64::from(LIVE_TICKS) * u64::from(LIVE_DELTA_SITES);
+    results.push(measure_live("live-watch", reps, live_samples, || {
+        let fold = LiveFold::new();
+        fold.provide_sites(live_sites());
+        let mut lq = live_query.watch(&fold);
+        fold.absorb(&live_seed).expect("seed epoch folds");
+        let mut checksum = 0u64;
+        for tick in 0..LIVE_TICKS {
+            fold.absorb(&build_live_tick_delta(tick)).expect("tick delta folds");
+            checksum += lq.current().result.groups.len() as u64;
+        }
+        checksum
+    }));
+    results.push(measure_live("poll-evaluate", reps, live_samples, || {
+        let fold = LiveFold::new();
+        fold.provide_sites(live_sites());
+        fold.absorb(&live_seed).expect("seed epoch folds");
+        let mut checksum = 0u64;
+        for tick in 0..LIVE_TICKS {
+            fold.absorb(&build_live_tick_delta(tick)).expect("tick delta folds");
+            checksum +=
+                live_query.evaluate(&fold.snapshot()).expect("cold evaluation").groups.len() as u64;
+        }
+        checksum
+    }));
+
     print_results(&results);
 
     let multi_speedup = throughput_of(&results, "sharded-full", MULTI_THREADS)
@@ -1627,6 +1823,8 @@ fn main() {
         |name: &str| codec_ratios.iter().find(|(n, _)| *n == name).expect("computed").1;
     let codec_speedup = codec_ratio_of("codec_encode_decode_speedup");
     let codec_density = codec_ratio_of("codec_bytes_per_sample_ratio");
+    let live_speedup =
+        throughput_of(&results, "live-watch", 1) / throughput_of(&results, "poll-evaluate", 1);
 
     println!(
         "\nsharded/global @{MULTI_THREADS} threads:  {multi_speedup:.2}x (target >= 2x)\n\
@@ -1642,7 +1840,8 @@ fn main() {
          fleet-on/off   @{MULTI_THREADS} threads:  {fleet_multi:.2} (gate >= 0.909)\n\
          fleet-on/off   @1 thread:   {fleet_single:.2} (gate >= 0.909)\n\
          binary/json codec speedup:  {codec_speedup:.2}x (gate >= 2.0)\n\
-         binary/json bytes/sample:   {codec_density:.2} (gate <= 0.40)"
+         binary/json bytes/sample:   {codec_density:.2} (gate <= 0.40)\n\
+         live-watch/poll-evaluate:   {live_speedup:.2}x (gate >= 5.0)"
     );
 
     // Cargo runs benches with the package directory as CWD; record the results at the
@@ -1666,6 +1865,7 @@ fn main() {
         ("query_vs_legacy_ratio", query_ratio),
         ("fleet_multi_thread_ratio", fleet_multi),
         ("fleet_single_thread_ratio", fleet_single),
+        ("live_query_tick_speedup", live_speedup),
     ];
     ratios.extend(codec_ratios);
     write_json(&path, &results, &ratios);

@@ -43,7 +43,7 @@ fn main() {
 
     // (c) object-centric profiling, from the same samples.
     let profile = session.object_profile().expect("object collector registered");
-    let report = Analyzer::new().analyze(&profile);
+    let report = djxperf::Query::new().evaluate(&[profile][..]).unwrap().into_analysis_report();
     let mut object_table = Table::new(&["object", "paper share", "measured share", "access sites"]);
     for obj in &report.objects {
         let paper = (1..=3)

@@ -289,8 +289,8 @@ pub mod prelude {
     };
     pub use djx_workloads::{table1_case_studies, Variant, Workload};
     pub use djxperf::{
-        render_code_centric, render_numa_report, render_object_report, Analyzer, LookupStats,
-        ProfilerConfig, Report, ReportOptions,
+        render_code_centric, render_numa_report, render_object_report, LookupStats, ProfilerConfig,
+        Query, Report, ReportOptions,
     };
 }
 

@@ -114,6 +114,10 @@ impl AnalysisReport {
 }
 
 /// Configures an [`Analyzer`] (see [`Analyzer::builder`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Query` instead: `Query::new().group_by(GroupBy::Object).rank_by(..).top(..).min_samples(..)`"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct AnalyzerBuilder {
     rank_by: RankBy,
@@ -121,12 +125,14 @@ pub struct AnalyzerBuilder {
     min_samples: u64,
 }
 
+#[allow(deprecated)]
 impl Default for AnalyzerBuilder {
     fn default() -> Self {
         Self { rank_by: RankBy::default(), top: usize::MAX, min_samples: 0 }
     }
 }
 
+#[allow(deprecated)]
 impl AnalyzerBuilder {
     /// The metric objects are ranked by (default: weighted events).
     pub fn rank_by(mut self, rank_by: RankBy) -> Self {
@@ -156,6 +162,12 @@ impl AnalyzerBuilder {
 }
 
 /// The offline analyzer.
+#[deprecated(
+    since = "0.2.0",
+    note = "evaluate a `Query` grouped by `GroupBy::Object` instead; \
+            `QueryResult::into_analysis_report()` converts to this report shape, \
+            and `Query::watch` additionally answers live (see the `query` module docs)"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct Analyzer {
     rank_by: RankBy,
@@ -163,12 +175,14 @@ pub struct Analyzer {
     min_samples: u64,
 }
 
+#[allow(deprecated)]
 impl Default for Analyzer {
     fn default() -> Self {
         AnalyzerBuilder::default().build()
     }
 }
 
+#[allow(deprecated)]
 impl Analyzer {
     /// Creates an analyzer with the default configuration (rank by weighted events,
     /// keep every object).
@@ -195,6 +209,11 @@ impl Analyzer {
     /// [`GroupBy::Object`] (the evaluator subsumes the old merge-rank-filter loop
     /// exactly) and converts the result into the legacy report shape. Output is
     /// bit-identical to the pre-redesign analyzer.
+    #[deprecated(
+        since = "0.2.0",
+        note = "evaluate `Query::new().group_by(GroupBy::Object)` over the profiles and \
+                call `QueryResult::into_analysis_report()`"
+    )]
     pub fn analyze_many(&self, profiles: &[ObjectCentricProfile]) -> AnalysisReport {
         Query::new()
             .group_by(GroupBy::Object)
@@ -225,6 +244,7 @@ impl Analyzer {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use djx_memsim::{AccessKind, NumaNode};

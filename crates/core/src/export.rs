@@ -76,7 +76,7 @@
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -220,6 +220,20 @@ impl Write for SharedBuffer {
     }
 }
 
+/// An in-process subscriber to the epoch-retired delta stream — the hook a
+/// [`LiveFold`](crate::query::live::LiveFold) registers beside the sink hand-off.
+///
+/// Callbacks run **under the hand-off gate**: subscribers observe every drained
+/// delta exactly once, in strict epoch order, atomically with the drain that
+/// produced it. Implementations must be quick (they stall producers and the
+/// drainer's tick) and must never call back into the export pipeline.
+pub(crate) trait DeltaTap: Send + Sync {
+    /// One non-empty epoch-retired delta, observed before it is queued for the sink.
+    fn on_delta(&self, delta: &ProfileDelta);
+    /// The terminal whole profile — the stream's endpoint, after the final delta.
+    fn on_finish(&self, profile: &ObjectCentricProfile);
+}
+
 /// One queued hand-off item.
 enum ExportItem {
     /// A retired epoch delta.
@@ -254,6 +268,10 @@ pub(crate) struct ExportShared {
     pushed: Epoch,
     /// The drainer's thread handle, for wakeups.
     drainer: SpinLock<Option<std::thread::Thread>>,
+    /// Live-fold subscribers (see [`DeltaTap`]). Only ever touched under the hand-off
+    /// gate — registration included — so taps observe a strictly ordered stream.
+    /// Weak: dropping the last `LiveFold` handle unsubscribes on the next drain.
+    taps: SpinLock<Vec<Weak<dyn DeltaTap>>>,
     // Stream statistics (see [`ExportStats`]).
     deltas_streamed: AtomicU64,
     samples_streamed: AtomicU64,
@@ -279,6 +297,7 @@ impl ExportShared {
             worker_dead: AtomicBool::new(false),
             pushed: Epoch::new(),
             drainer: SpinLock::new(None),
+            taps: SpinLock::new(Vec::new()),
             deltas_streamed: AtomicU64::new(0),
             samples_streamed: AtomicU64::new(0),
             epochs_drained: AtomicU64::new(0),
@@ -309,6 +328,36 @@ impl ExportShared {
         if let Some(thread) = &*self.drainer.lock() {
             thread.unpark();
         }
+    }
+
+    /// Feeds one drained delta to every live tap, pruning dropped subscribers.
+    /// Call with the gate held and only for non-empty deltas — empty epochs are
+    /// skipped on the wire, and taps mirror the wire.
+    fn tap_delta(&self, delta: &ProfileDelta) {
+        let mut taps = self.taps.lock();
+        if taps.is_empty() {
+            return;
+        }
+        taps.retain(|tap| match tap.upgrade() {
+            Some(tap) => {
+                tap.on_delta(delta);
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Feeds the terminal profile to every live tap. Call with the gate held, after
+    /// the closing [`ExportShared::tap_delta`].
+    fn tap_finish(&self, profile: &ObjectCentricProfile) {
+        let mut taps = self.taps.lock();
+        taps.retain(|tap| match tap.upgrade() {
+            Some(tap) => {
+                tap.on_finish(profile);
+                true
+            }
+            None => false,
+        });
     }
 
     // Queue accesses acquire yielding throughout: the queue is only ever touched
@@ -404,6 +453,7 @@ impl ExportShared {
         let delta = collector.drain_delta();
         self.epochs_drained.fetch_add(1, Ordering::Relaxed);
         if !delta.is_empty() {
+            self.tap_delta(&delta);
             self.push_delta(delta);
         }
         true
@@ -519,6 +569,9 @@ impl DrainWorker {
                         last_drain = Instant::now();
                         self.shared.epochs_drained.fetch_add(1, Ordering::Relaxed);
                         if !delta.is_empty() {
+                            // This path bypasses push_delta (the pending batch is
+                            // emitted outside the gate), so taps fire here too.
+                            self.shared.tap_delta(&delta);
                             pending.push(ExportItem::Delta(delta));
                         }
                     }
@@ -639,6 +692,26 @@ impl DeltaDrainer {
         self.shared.stats()
     }
 
+    /// Registers a live tap on the stream, atomically with its seed read: `seed`
+    /// runs with the hand-off gate held and receives the fold of every delta drained
+    /// so far (the collector's retired buffer at the current epoch counter), so the
+    /// tap misses nothing and double-counts nothing. Returns `false` — registering
+    /// nothing, never calling `seed` — once the stream has closed; the caller seeds
+    /// from the terminal snapshot instead.
+    pub(crate) fn attach_tap(
+        &self,
+        collector: &ObjectCentricCollector,
+        seed: impl FnOnce(ProfileDelta) -> Weak<dyn DeltaTap>,
+    ) -> bool {
+        let _gate = self.shared.gate.lock_yielding();
+        if self.shared.is_closed() {
+            return false;
+        }
+        let tap = seed(collector.retired_delta());
+        self.shared.taps.lock().push(tap);
+        true
+    }
+
     /// Ends the stream: drains the closing delta, pushes the terminal profile built
     /// by `assemble` (called on the post-drain retired profiles, under the hand-off
     /// gate), joins the worker and returns the accumulated statistics or the first
@@ -657,9 +730,11 @@ impl DeltaDrainer {
             let delta = collector.drain_delta();
             self.shared.epochs_drained.fetch_add(1, Ordering::Relaxed);
             if !delta.is_empty() {
+                self.shared.tap_delta(&delta);
                 self.shared.push_delta(delta);
             }
             let profile = assemble(collector.retired_profiles());
+            self.shared.tap_finish(&profile);
             self.shared.push_finish(Box::new(profile));
             self.shared.closed.store(true, Ordering::Release);
         }

@@ -129,7 +129,7 @@
 //! failure × guarantee.
 
 use std::borrow::Cow;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -1411,6 +1411,23 @@ impl FleetSink {
     }
 }
 
+impl Drop for FleetSink {
+    fn drop(&mut self) {
+        // Best-effort terminal delivery: a sink dropped with frames still buffered
+        // through an outage tries once more instead of silently discarding them.
+        // Failures stay non-fatal — the drop path must never block shutdown on a
+        // dead aggregator (the backoff policy caps the attempt), and a sink with
+        // nothing pending (the common clean-finish case) must not reconnect at all.
+        let has_pending = {
+            let link = self.link.lock().expect("fleet link lock");
+            !link.severed && link.pending.len() > 0
+        };
+        if has_pending {
+            let _ = self.flush_pending();
+        }
+    }
+}
+
 /// Configures a [`FleetSink`]'s failure model before connecting; obtained from
 /// [`FleetSink::builder`]. Every knob has a production-sane default:
 ///
@@ -2079,6 +2096,34 @@ struct FleetState {
     /// Clones of every accepted connection, for shutdown.
     conns: Vec<WireStream>,
     handlers: Vec<JoinHandle<()>>,
+    /// Live query subscriptions ([`FleetAggregator::watch`]), fed under the state
+    /// lock as producer frames are accepted; dead watches are pruned on the way.
+    watches: Vec<std::sync::Weak<crate::query::live::WatchShared>>,
+}
+
+impl FleetState {
+    /// The fleet-wide event/period header a query result reports: cold evaluation
+    /// over a [`FleetView`] adopts the *last* producer profile's header
+    /// (producer-name order), finished producers contributing their finish
+    /// record's. The live path re-derives the same value whenever membership or
+    /// finish state changes.
+    fn fleet_meta(&self) -> Option<(PmuEvent, u64)> {
+        self.producers.iter().next_back().map(|(_, p)| match &p.finish {
+            Some(f) => (f.event, f.period),
+            None => (p.event, p.period),
+        })
+    }
+
+    /// Runs `f` for every live watch, pruning the dead ones.
+    fn feed_watches(&mut self, mut f: impl FnMut(&crate::query::live::WatchShared)) {
+        self.watches.retain(|w| match w.upgrade() {
+            Some(w) => {
+                f(&w);
+                true
+            }
+            None => false,
+        });
+    }
 }
 
 /// Aggregator-wide knobs, fixed at bind time.
@@ -2361,6 +2406,38 @@ impl FleetAggregator {
         query.evaluate(&self.view())
     }
 
+    /// Registers a live subscription over the merged fleet: the watch is seeded
+    /// from the current view and then fed **incrementally** as producer frames are
+    /// accepted, rendering byte-identically to a cold [`FleetAggregator::query`]
+    /// over the view at the same instant — without re-assembling or re-evaluating
+    /// anything per epoch. Producers may join, reconnect (duplicate frames are
+    /// dropped before the feed) or finish mid-watch; the watch itself only
+    /// finishes when the aggregator shuts down.
+    ///
+    /// The result's `epoch` field carries the highest epoch folded from *any*
+    /// producer — fleet epochs are per-producer counters, so treat it as a
+    /// progress indicator, not a global ordering.
+    ///
+    /// Caveat: when two producers reuse the same numeric thread id under
+    /// *different* thread names, a `GroupBy::Thread` group's **label** follows
+    /// first-arrival order on the live path but producer-name order on a cold
+    /// view; the group's identity and every metric still agree.
+    pub fn watch(&self, query: &Query) -> crate::query::live::LiveQuery {
+        use crate::query::live::LiveQuery;
+        let mut state = self.shared.state.lock().expect("fleet state lock");
+        let epoch = state.producers.values().filter_map(|p| p.fold.last_epoch()).max();
+        let view = snapshot_view(&state);
+        let finished = self.shared.shutdown.load(Ordering::SeqCst);
+        let watch = LiveQuery::seed_watch(
+            query.clone(),
+            view.producers.into_iter().map(|p| p.profile),
+            epoch,
+            finished,
+        );
+        state.watches.push(Arc::downgrade(&watch));
+        LiveQuery::from_watch(watch)
+    }
+
     /// Stops the daemon: no new connections, live connections closed, handler
     /// threads joined. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
@@ -2377,15 +2454,26 @@ impl FleetAggregator {
             let _ = UnixStream::connect(path);
         }
         let _ = accept_handle.join();
-        let (conns, handlers) = {
+        let (conns, handlers, watches) = {
             let mut state = self.shared.state.lock().expect("fleet state lock");
-            (std::mem::take(&mut state.conns), std::mem::take(&mut state.handlers))
+            (
+                std::mem::take(&mut state.conns),
+                std::mem::take(&mut state.handlers),
+                std::mem::take(&mut state.watches),
+            )
         };
         for conn in &conns {
             let _ = conn.shutdown();
         }
         for handle in handlers {
             let _ = handle.join();
+        }
+        // Close the live watches: no more frames can arrive, so blocked
+        // next_epoch() pullers drain instead of hanging on a dead daemon.
+        for watch in watches {
+            if let Some(watch) = watch.upgrade() {
+                watch.mark_finished();
+            }
         }
         #[cfg(unix)]
         if let Some(path) = self.unix_path.take() {
@@ -2729,8 +2817,18 @@ fn dispatch_hello(
         }
         p.connected = true;
         p.generation += 1;
-        ctx.producer = Some((hello.name, p.generation));
-        p.fold.last_epoch().unwrap_or(0)
+        let generation = p.generation;
+        let acked = p.fold.last_epoch().unwrap_or(0);
+        ctx.producer = Some((hello.name, generation));
+        // A new producer changes the fleet-wide event/period header a query
+        // result reports (cold evaluation adopts the last view profile's, in
+        // producer-name order) — live watches adopt the same.
+        if !existed {
+            if let Some((event, period)) = state.fleet_meta() {
+                state.feed_watches(|w| w.refresh_meta(event, period));
+            }
+        }
+        acked
     };
     writer.write_all(hello_ack_line(acked, hello.codec).as_bytes())
 }
@@ -2786,65 +2884,143 @@ fn dispatch_epoch_record(
         Some(FaultEffect::Delay(d)) => thread::sleep(d),
         Some(FaultEffect::Corrupt) | None => {}
     }
+    // What an accepted frame hands to the live watches, after the fold moved.
+    enum WatchFeed {
+        Delta(ProfileDelta),
+        Finish,
+    }
     let reply = {
         let mut state = shared.state.lock().expect("fleet state lock");
-        let p = state.producers.get_mut(name).expect("hello inserted the producer");
-        // Counted per received epoch frame, duplicates included: these measure
-        // wire traffic, not fold outcomes.
-        p.frames_received += 1;
-        p.bytes_received += wire_bytes;
-        match record {
-            LogRecord::Delta(delta) => {
-                if p.finish.is_some() {
-                    Err("delta frame after the finish frame".to_string())
-                } else if p.fold.last_epoch().is_some_and(|last| delta.epoch <= last) {
-                    // An epoch the fold has seen: a backfill overlap (the frame
-                    // was folded but its acknowledgement was lost). Checked
-                    // before the WAL append so replaying the log never hits a
-                    // duplicate; drop it and re-acknowledge — folding twice
-                    // would double-count.
-                    p.duplicates += 1;
-                    Ok(ack_line(p.fold.last_epoch().unwrap_or(0), false))
-                } else {
-                    // Durability order: log, then fold, then ack. A WAL append
-                    // failure refuses the frame — the producer re-sends it, and
-                    // the fold never holds a sample the log doesn't.
-                    match p.wal.as_mut().map_or(Ok(()), |w| w.append_delta(&delta)) {
-                        Err(e) => Err(format!("WAL append failed: {e}")),
-                        Ok(()) => match p.fold.absorb_ordered(&delta) {
-                            Ok(()) => Ok(ack_line(delta.epoch, false)),
-                            Err(e) => Err(e.to_string()),
-                        },
+        let (reply, feed) = {
+            let p = state.producers.get_mut(name).expect("hello inserted the producer");
+            // Counted per received epoch frame, duplicates included: these measure
+            // wire traffic, not fold outcomes.
+            p.frames_received += 1;
+            p.bytes_received += wire_bytes;
+            match record {
+                LogRecord::Delta(delta) => {
+                    if p.finish.is_some() {
+                        (Err("delta frame after the finish frame".to_string()), None)
+                    } else if p.fold.last_epoch().is_some_and(|last| delta.epoch <= last) {
+                        // An epoch the fold has seen: a backfill overlap (the frame
+                        // was folded but its acknowledgement was lost). Checked
+                        // before the WAL append so replaying the log never hits a
+                        // duplicate; drop it and re-acknowledge — folding twice
+                        // would double-count. Live watches never see the duplicate
+                        // either, for the same reason.
+                        p.duplicates += 1;
+                        (Ok(ack_line(p.fold.last_epoch().unwrap_or(0), false)), None)
+                    } else {
+                        // Durability order: log, then fold, then ack. A WAL append
+                        // failure refuses the frame — the producer re-sends it, and
+                        // the fold never holds a sample the log doesn't.
+                        match p.wal.as_mut().map_or(Ok(()), |w| w.append_delta(&delta)) {
+                            Err(e) => (Err(format!("WAL append failed: {e}")), None),
+                            Ok(()) => match p.fold.absorb_ordered(&delta) {
+                                Ok(()) => {
+                                    let ack = ack_line(delta.epoch, false);
+                                    (Ok(ack), Some(WatchFeed::Delta(delta)))
+                                }
+                                Err(e) => (Err(e.to_string()), None),
+                            },
+                        }
+                    }
+                }
+                LogRecord::Finish(finish) => {
+                    if p.finish.is_some() {
+                        // A re-sent finish after a lost final acknowledgement.
+                        (Ok(ack_line(p.fold.last_epoch().unwrap_or(0), true)), None)
+                    } else {
+                        // A declared-lossy producer's fold legitimately holds fewer
+                        // samples than the finish total; anything else must match.
+                        let checksum = if p.lossy()
+                            && p.fold.total_samples() <= finish.total_samples
+                        {
+                            Ok(())
+                        } else {
+                            p.fold.verify_checksum(finish.total_samples).map_err(|e| e.to_string())
+                        };
+                        match checksum {
+                            Ok(()) => {
+                                match p.wal.as_mut().map_or(Ok(()), |w| w.append_finish(&finish)) {
+                                    Err(e) => (Err(format!("WAL append failed: {e}")), None),
+                                    Ok(()) => {
+                                        p.finish = Some(finish);
+                                        let ack = ack_line(p.fold.last_epoch().unwrap_or(0), true);
+                                        (Ok(ack), Some(WatchFeed::Finish))
+                                    }
+                                }
+                            }
+                            Err(message) => (Err(message), None),
+                        }
                     }
                 }
             }
-            LogRecord::Finish(finish) => {
-                if p.finish.is_some() {
-                    // A re-sent finish after a lost final acknowledgement.
-                    Ok(ack_line(p.fold.last_epoch().unwrap_or(0), true))
-                } else {
-                    // A declared-lossy producer's fold legitimately holds fewer
-                    // samples than the finish total; anything else must match.
-                    let checksum = if p.lossy() && p.fold.total_samples() <= finish.total_samples {
-                        Ok(())
-                    } else {
-                        p.fold.verify_checksum(finish.total_samples).map_err(|e| e.to_string())
-                    };
-                    match checksum {
-                        Ok(()) => {
-                            match p.wal.as_mut().map_or(Ok(()), |w| w.append_finish(&finish)) {
-                                Err(e) => Err(format!("WAL append failed: {e}")),
-                                Ok(()) => {
-                                    p.finish = Some(finish);
-                                    Ok(ack_line(p.fold.last_epoch().unwrap_or(0), true))
-                                }
+        };
+        // Feed accepted frames to the live watches under the same state lock, so a
+        // watch render interleaves with whole frames, never half of one.
+        if !state.watches.is_empty() {
+            if let Some(feed) = feed {
+                let meta = state.fleet_meta();
+                let FleetState { producers, watches, .. } = &mut *state;
+                let p = producers.get(name.as_str()).expect("hello inserted the producer");
+                // Authoritative first-seen thread names come from the fold — later
+                // fragments of a thread carry the `<attached>` placeholder.
+                let mut names: HashMap<ThreadId, String> = HashMap::new();
+                for td in &p.fold.acc().threads {
+                    names
+                        .entry(td.profile.thread)
+                        .or_insert_with(|| td.profile.thread_name.clone());
+                }
+                match feed {
+                    WatchFeed::Delta(delta) => {
+                        // The producer's site table is unknown until its finish
+                        // record, so every row defers — exactly matching a cold
+                        // evaluation over the view, whose pre-finish profiles
+                        // carry no site table either.
+                        let ctx =
+                            crate::query::live::StreamCtx { key: name, sites: &[], names: &names };
+                        watches.retain(|w| match w.upgrade() {
+                            Some(w) => {
+                                w.feed_fragment(&ctx, &delta);
+                                true
                             }
-                        }
-                        Err(message) => Err(message),
+                            None => false,
+                        });
+                    }
+                    WatchFeed::Finish => {
+                        let finish = p.finish.as_ref().expect("set while accepting the frame");
+                        let ctx = crate::query::live::StreamCtx {
+                            key: name,
+                            sites: &finish.sites,
+                            names: &names,
+                        };
+                        let (event, period) = meta.expect("this producer exists");
+                        watches.retain(|w| match w.upgrade() {
+                            Some(w) => {
+                                // Every sample row of this producer deferred until
+                                // now; replay them against the complete site
+                                // table, then fold the terminal allocation rows.
+                                // `close: false` — one producer finishing does not
+                                // end the fleet.
+                                w.replay_rows(&ctx, &p.fold.acc().threads, 0);
+                                w.feed_finish(
+                                    &ctx,
+                                    &finish.allocs,
+                                    event,
+                                    period,
+                                    p.fold.last_epoch(),
+                                    false,
+                                );
+                                true
+                            }
+                            None => false,
+                        });
                     }
                 }
             }
         }
+        reply
     };
     match reply {
         Ok(line) => match effect {

@@ -50,7 +50,7 @@
 //!
 //! ```
 //! use djx_runtime::{dsl, Runtime, RuntimeConfig};
-//! use djxperf::{Analyzer, Query, RankBy, Report, Session};
+//! use djxperf::{Query, RankBy, Report, Session};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A runtime running a memory-bloat workload: a float[] allocated in a loop,
@@ -81,9 +81,10 @@
 //! assert_eq!(hottest.label, "float[]");
 //! println!("{}", Report::query(&ranked, rt.methods()));
 //!
-//! // The legacy Analyzer/Report path still works, as a bit-identical shim over Query.
+//! // The legacy AnalysisReport shape is still available, bridged from the same
+//! // query evaluator (the deprecated Analyzer shim routed through this exact path).
 //! let profile = session.object_profile().expect("object collector registered");
-//! let report = Analyzer::builder().top(10).build().analyze(&profile);
+//! let report = Query::new().top(10).evaluate(&[profile.clone()][..])?.into_analysis_report();
 //! assert_eq!(report.hottest().unwrap().class_name, "float[]");
 //!
 //! // The code-centric baseline of Figure 1, from the same single pass.
@@ -120,7 +121,9 @@ pub use agent::{
     AllocationAgent, AllocationConfig, ResolutionCache, SharedObjectIndex,
     DEFAULT_RESOLUTION_CACHE_SLOTS, DEFAULT_SHARD_COUNT, DEFAULT_SIZE_FILTER,
 };
-pub use analyzer::{AccessContext, AnalysisReport, Analyzer, AnalyzerBuilder, ObjectReport};
+pub use analyzer::{AccessContext, AnalysisReport, ObjectReport};
+#[allow(deprecated)]
+pub use analyzer::{Analyzer, AnalyzerBuilder};
 pub use cct::{Cct, CctNodeId};
 pub use codecentric::{CodeCentricProfile, CodeCentricProfiler, CodeLocation};
 pub use export::{Backpressure, DeltaDrainer, DrainPolicy, ExportStats, SharedBuffer};
@@ -136,6 +139,7 @@ pub use profile::{
     ProfileParseError, SiteMetrics, ThreadDelta, ThreadProfile, UnknownEventError,
 };
 pub use profiler::{DjxPerf, ProfilerConfig, DEFAULT_SAMPLE_PERIOD};
+pub use query::live::{LiveFold, LiveQuery, LiveResult, WatchTimeout};
 pub use query::{
     EpochLog, GroupBy, GroupKey, Locality, MultiSource, ProfileSource, Query, QueryError,
     QueryGroup, QueryResult, RankBy, UnknownGroupByError, UnknownRankByError,

@@ -386,6 +386,20 @@ impl DeltaFold {
         Self { acc: ProfileDelta::empty(0), deltas: 0, last_epoch: None }
     }
 
+    /// A fold seeded from an already-merged accumulator — how a live tap attaching
+    /// mid-stream adopts everything retired before it subscribed. A seed at epoch 0
+    /// is the empty pre-stream state, so ordering starts unconstrained there.
+    pub(crate) fn seed_from(acc: ProfileDelta) -> Self {
+        let last_epoch = (acc.epoch > 0).then_some(acc.epoch);
+        Self { acc, deltas: 0, last_epoch }
+    }
+
+    /// The running accumulator: every fragment folded so far, merged per thread in
+    /// thread-first-seen order. Live watches replay deferred site rows out of this.
+    pub(crate) fn acc(&self) -> &ProfileDelta {
+        &self.acc
+    }
+
     /// Folds one streamed delta in without checking its epoch. Deltas must arrive in
     /// stream (epoch) order for the fold to be exact; callers that cannot trust the
     /// transport should use [`DeltaFold::absorb_ordered`] instead.

@@ -13,17 +13,55 @@
 //! the same samples — asserted end to end by `examples/query.rs` and the
 //! `query_sources` integration tests.
 //!
-//! # Choosing a source
+//! # Choosing a source: pull vs watch
+//!
+//! Sources come in two kinds. **Pull** sources are evaluated from scratch on every
+//! [`Query::evaluate`] — O(profile) per call, right for one-shot and offline
+//! questions. The **live** source ([`live::LiveFold`]) follows the epoch-retired
+//! delta stream and pays O(delta) per epoch instead: [`Query::watch`] registers a
+//! query whose group and top-k state update incrementally as epochs retire, and the
+//! resulting [`live::LiveQuery`] renders on demand — the path for dashboards,
+//! daemons and anything that would otherwise re-evaluate in a loop.
 //!
 //! | source | backing data | when to use |
 //! |---|---|---|
-//! | [`Session`] | live pause-free snapshot ([`Session::object_profile`]) | querying a run that is still ingesting |
+//! | [`Session`] | live pause-free snapshot ([`Session::object_profile`]) | one-shot queries against a run that is still ingesting |
+//! | [`live::LiveFold`] | the epoch-retired delta stream, folded incrementally ([`Session::watch`], [`FleetAggregator::watch`](crate::fleet::FleetAggregator::watch), [`live::LiveFold::feed`]) | repeated queries over a changing run: dashboards, watch loops, aggregator daemons |
 //! | [`ObjectCentricProfile`] | an owned snapshot | offline analysis of extracted profiles |
 //! | `[ObjectCentricProfile]` | a sequence of snapshots | the classic one-file-per-process merge workflow |
-//! | [`EpochLog`] | a replayed epoch log ([`ChunkedJsonSink::read_log`](crate::sink::ChunkedJsonSink::read_log) → [`DeltaFold`](crate::profile::DeltaFold)) | re-querying a streamed run after the fact |
+//! | [`EpochLog`] | a replayed epoch log ([`ChunkedJsonSink::read_log`](crate::sink::ChunkedJsonSink::read_log) → [`DeltaFold`](crate::profile::DeltaFold)); [`EpochLog::open`] caches the terminal fold per file | re-querying a streamed run after the fact |
 //! | [`MultiSource`] | a fold of any other sources | cross-machine / multi-process merging |
 //! | [`NumaProfile`] | the NUMA collector's per-site view | NUMA-only sessions (no per-context breakdown, node traffic matrix not carried) |
 //! | [`CodeCentricProfile`] | the perf-like baseline | run-level totals and locality splits only (no objects by construction) |
+//!
+//! # Watching instead of polling
+//!
+//! Every [`live::LiveResult`] is **epoch-versioned**: it carries the last folded
+//! epoch, a monotonically increasing version, and a `finished` flag, and its
+//! [`QueryResult`] is byte-identical to a cold [`Query::evaluate`] over
+//! [`live::LiveFold::snapshot`] at that instant (the property tests assert this
+//! across arbitrary interleavings). [`live::LiveQuery::current`] renders without
+//! blocking; [`live::LiveQuery::next_epoch`] blocks until the next epoch retires
+//! (returning `None` once the stream finished), so a dashboard tick is a wait, not
+//! a re-evaluation.
+//!
+//! Migrating a poll loop:
+//!
+//! ```text
+//! // before: O(profile) per tick                // after: O(delta) per epoch
+//! loop {                                        let mut lq = session.watch(&query)?;
+//!     let p = session.object_profile().unwrap();while let Some(r) = lq.next_epoch() {
+//!     let r = query.evaluate(&p)?;                  println!("epoch {:?}: {}",
+//!     println!("{}", r.to_text());                           r.epoch, r.result.to_text());
+//!     sleep(tick);                              }
+//! }
+//! ```
+//!
+//! The same watch API covers replayed logs (feed bytes to [`live::LiveFold::feed`]
+//! as they arrive) and the fleet aggregator
+//! ([`FleetAggregator::watch`](crate::fleet::FleetAggregator::watch) updates per
+//! producer frame instead of re-evaluating the merged view). `examples/live_dashboard.rs`
+//! runs the whole loop against a concurrently-ingesting session.
 //!
 //! # Queries
 //!
@@ -59,14 +97,16 @@
 //!
 //! # Migrating from `Analyzer` / `Report`
 //!
-//! [`Analyzer`](crate::analyzer::Analyzer) and the free `render_*` functions of
-//! [`report`](crate::report) are **thin shims over this module** since the query
-//! redesign: `Analyzer::builder().rank_by(r).top(k).min_samples(n)` is
+//! [`Analyzer`](crate::analyzer::Analyzer) (now carrying `#[deprecated]`) and the
+//! free `render_*` functions of [`report`](crate::report) are **thin shims over
+//! this module** since the query redesign:
+//! `Analyzer::builder().rank_by(r).top(k).min_samples(n)` is
 //! `Query::new().group_by(GroupBy::Object).rank_by(r).top(k).min_samples(n)`, and
-//! `Analyzer::analyze(&profile)` is `query.evaluate(&profile)` followed by the
-//! [`AnalysisReport`](crate::analyzer::AnalysisReport) conversion the shim performs.
-//! Both keep working and produce bit-identical output; new code should query
-//! directly — a [`QueryResult`] renders through
+//! `Analyzer::analyze(&profile)` is `query.evaluate(&profile)` followed by
+//! [`QueryResult::into_analysis_report`] — call that bridge yourself where legacy
+//! code still consumes the [`AnalysisReport`](crate::analyzer::AnalysisReport)
+//! shape. The shim keeps producing bit-identical output until it is removed; new
+//! code should query directly — a [`QueryResult`] renders through
 //! [`Report::query`](crate::report::Report::query) with symbolized frames, through
 //! its own [`Display`](std::fmt::Display) without a method registry, and through
 //! [`QueryResult::to_json`] for dashboards.
@@ -74,7 +114,10 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt::{self, Write as _};
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::SystemTime;
 
 use djx_pmu::PmuEvent;
 use djx_runtime::{Frame, ThreadId};
@@ -83,9 +126,13 @@ use crate::analyzer::AccessContext;
 use crate::codecentric::CodeCentricProfile;
 use crate::metrics::MetricVector;
 use crate::object::AllocSite;
-use crate::profile::{encode_path, ObjectCentricProfile, ProfileParseError};
+use crate::profile::{
+    encode_path, ObjectCentricProfile, ProfileParseError, SiteMetrics, ThreadProfile,
+};
 use crate::session::{NumaProfile, Session};
 use crate::sink::{json_metrics, json_path, json_string, read_any_profile, ChunkedJsonSink};
+
+pub mod live;
 
 // ---------------------------------------------------------------------------------------
 // Errors
@@ -563,7 +610,20 @@ impl ProfileSource for CodeCentricProfile {
 /// evaluation reads the folded profile.
 #[derive(Debug, Clone)]
 pub struct EpochLog {
-    profile: ObjectCentricProfile,
+    profile: Arc<ObjectCentricProfile>,
+}
+
+/// One cached terminal fold of an on-disk epoch log, keyed by the file's length and
+/// modification time (see [`EpochLog::open`]).
+struct CachedFold {
+    len: u64,
+    mtime: Option<SystemTime>,
+    profile: Arc<ObjectCentricProfile>,
+}
+
+fn fold_cache() -> &'static Mutex<HashMap<PathBuf, CachedFold>> {
+    static CACHE: OnceLock<Mutex<HashMap<PathBuf, CachedFold>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 impl EpochLog {
@@ -575,7 +635,7 @@ impl EpochLog {
     /// truncated streams and checksum mismatches (see
     /// [`ChunkedJsonSink::read_log`](crate::sink::ChunkedJsonSink::read_log)).
     pub fn replay(input: &str) -> Result<Self, ProfileParseError> {
-        Ok(Self { profile: ChunkedJsonSink::new().read_log(input)? })
+        Ok(Self { profile: Arc::new(ChunkedJsonSink::new().read_log(input)?) })
     }
 
     /// Replays any profile serialization the built-in sinks produce, sniffing the
@@ -585,17 +645,61 @@ impl EpochLog {
     ///
     /// Returns [`ProfileParseError`] for malformed input.
     pub fn replay_any(input: &str) -> Result<Self, ProfileParseError> {
-        Ok(Self { profile: read_any_profile(input)? })
+        Ok(Self { profile: Arc::new(read_any_profile(input)?) })
+    }
+
+    /// Replays an on-disk log file, caching the terminal fold process-wide.
+    ///
+    /// The first open of a path reads and folds the whole file; subsequent opens of
+    /// the same path reuse the cached fold as long as the file's length and
+    /// modification time are unchanged, so repeated cold queries over the same log
+    /// stop paying O(file) each time. A log that grew or was rewritten is re-read
+    /// and re-cached on the next open. (For tailing a *live* log incrementally,
+    /// feed its bytes to a [`LiveFold`](live::LiveFold) instead.)
+    ///
+    /// The format is sniffed byte-level
+    /// ([`read_any_profile_bytes`](crate::wire::read_any_profile_bytes)): JSON and
+    /// binary epoch logs fold, profile documents parse directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileParseError`] for unreadable files (the I/O error is carried
+    /// in the message) and for malformed input.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ProfileParseError> {
+        let path = path.as_ref();
+        let io_err = |e: std::io::Error| ProfileParseError {
+            line: 0,
+            message: format!("cannot read epoch log {}: {e}", path.display()),
+        };
+        let meta = std::fs::metadata(path).map_err(io_err)?;
+        let (len, mtime) = (meta.len(), meta.modified().ok());
+        let mut cache = fold_cache().lock().expect("epoch log fold cache lock");
+        if let Some(hit) = cache.get(path) {
+            if hit.len == len && hit.mtime == mtime {
+                return Ok(Self { profile: Arc::clone(&hit.profile) });
+            }
+        }
+        let bytes = std::fs::read(path).map_err(io_err)?;
+        let profile = Arc::new(crate::wire::read_any_profile_bytes(&bytes)?);
+        cache.insert(path.to_path_buf(), CachedFold { len, mtime, profile: Arc::clone(&profile) });
+        Ok(Self { profile })
+    }
+
+    /// Drops every cached fold (see [`EpochLog::open`]). Useful in long-lived
+    /// daemons after log files are rotated away.
+    pub fn evict_fold_cache() {
+        fold_cache().lock().expect("epoch log fold cache lock").clear();
     }
 
     /// The folded profile.
     pub fn profile(&self) -> &ObjectCentricProfile {
-        &self.profile
+        self.profile.as_ref()
     }
 
-    /// Consumes the log into its folded profile.
+    /// Consumes the log into its folded profile (cloning only if the fold is still
+    /// shared with the process-wide cache).
     pub fn into_profile(self) -> ObjectCentricProfile {
-        self.profile
+        Arc::try_unwrap(self.profile).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
@@ -605,7 +709,7 @@ impl ProfileSource for EpochLog {
     }
 
     fn object_profiles(&self) -> Result<Vec<Cow<'_, ObjectCentricProfile>>, QueryError> {
-        Ok(vec![Cow::Borrowed(&self.profile)])
+        Ok(vec![Cow::Borrowed(self.profile.as_ref())])
     }
 }
 
@@ -794,170 +898,331 @@ impl Query {
         &self,
         profiles: impl Iterator<Item = &'p ObjectCentricProfile>,
     ) -> QueryResult {
-        struct GroupAcc {
-            key: GroupKey,
-            label: String,
-            first_seen: u64,
-            metrics: MetricVector,
-            contexts: HashMap<Vec<Frame>, MetricVector>,
-        }
-
-        let mut event = PmuEvent::L1Miss;
-        let mut period = 1;
-        let mut total_samples = 0u64;
-        let mut total_weighted = 0u64;
-        let mut attributed_weighted = 0u64;
-
-        #[derive(Default)]
-        struct GroupTable {
-            index: HashMap<GroupKey, usize>,
-            groups: Vec<GroupAcc>,
-        }
-
-        impl GroupTable {
-            /// Resolves (or creates) the slot of a group. The caller constructs the
-            /// key only on memo misses — see the per-profile site-slot memo below.
-            fn slot(&mut self, key: GroupKey, label: &str) -> usize {
-                match self.index.get(&key) {
-                    Some(&slot) => slot,
-                    None => {
-                        let slot = self.groups.len();
-                        self.groups.push(GroupAcc {
-                            label: if label.is_empty() {
-                                key.basic_label()
-                            } else {
-                                label.to_string()
-                            },
-                            key: key.clone(),
-                            first_seen: slot as u64,
-                            metrics: MetricVector::default(),
-                            contexts: HashMap::new(),
-                        });
-                        self.index.insert(key, slot);
-                        slot
-                    }
-                }
-            }
-
-            /// Touches (or creates) a group and runs `fold` on its accumulator.
-            fn with(&mut self, key: GroupKey, label: &str, fold: impl FnOnce(&mut GroupAcc)) {
-                let slot = self.slot(key, label);
-                fold(&mut self.groups[slot]);
-            }
-
-            /// Folds one locality partition of a vector into its NumaNode group.
-            fn fold_locality(&mut self, locality: Locality, count: u64) {
-                if count == 0 {
-                    return;
-                }
-                self.with(GroupKey::NumaNode(locality), "", |group| {
-                    group.metrics.samples += count;
-                    match locality {
-                        Locality::Local => group.metrics.local_samples += count,
-                        Locality::Remote => group.metrics.remote_samples += count,
-                    }
-                });
-            }
-        }
-
-        let mut table = GroupTable::default();
-
+        let mut state = GroupState::new();
         for profile in profiles {
-            event = profile.event;
-            period = profile.period;
-            // Per-profile memo: site id -> resolved group slot. Group identity is a
-            // function of the site (for the Object/Site axes), so each distinct site
-            // constructs and hashes its GroupKey once per profile instead of once
-            // per (thread, site) row — the allocation that would otherwise dominate
-            // wide-profile evaluation.
-            let mut site_slots: Vec<Option<usize>> = vec![None; profile.sites.len()];
-            for thread in &profile.threads {
-                total_samples += thread.samples;
-                total_weighted += thread.unattributed.weighted_events;
-                // The thread's own group slot (Thread axis), resolved lazily once.
-                let mut thread_slot: Option<usize> = None;
-                if self.unattributed_passes(thread.thread) {
-                    match self.group_by {
-                        GroupBy::Thread => {
-                            let slot =
-                                table.slot(GroupKey::Thread(thread.thread), &thread.thread_name);
-                            thread_slot = Some(slot);
-                            table.groups[slot].metrics.merge(&thread.unattributed);
-                        }
-                        GroupBy::NumaNode => {
-                            table.fold_locality(Locality::Local, thread.unattributed.local_samples);
-                            table.fold_locality(
-                                Locality::Remote,
-                                thread.unattributed.remote_samples,
-                            );
-                        }
-                        GroupBy::Object | GroupBy::Site => {}
-                    }
+            state.absorb_profile(self, profile);
+        }
+        let groups = std::mem::take(&mut state.groups);
+        state.materialize(self, groups)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// GroupState: the group accumulator shared by cold evaluation and live subscriptions
+// ---------------------------------------------------------------------------------------
+
+/// One group's accumulator — the pre-materialization form of a [`QueryGroup`].
+#[derive(Debug, Clone)]
+pub(crate) struct GroupAcc {
+    key: GroupKey,
+    label: String,
+    first_seen: u64,
+    metrics: MetricVector,
+    contexts: HashMap<Vec<Frame>, MetricVector>,
+}
+
+/// The accumulator one query evaluation maintains: run-level totals plus the group
+/// table. Extracted from the old monolithic evaluation loop so cold
+/// [`Query::evaluate`] and the incremental [`live`] absorb path run the *same* code —
+/// byte-identity between a live subscription and a cold evaluation over the
+/// equivalent snapshot holds by construction, not by parallel reimplementation.
+///
+/// The state is absorb-only and append-only: group slots are stable once created, so
+/// a long-lived consumer (a [`live::LiveQuery`]) can memoize site→slot resolutions
+/// across ticks and maintain a top-k over slot indices.
+#[derive(Debug, Clone)]
+pub(crate) struct GroupState {
+    event: PmuEvent,
+    period: u64,
+    total_samples: u64,
+    total_weighted: u64,
+    attributed_weighted: u64,
+    index: HashMap<GroupKey, usize>,
+    groups: Vec<GroupAcc>,
+    /// Slots created or mutated since the last [`GroupState::take_touched`],
+    /// deduplicated by stamp — what the live top-k feeds on after each fragment.
+    touched: Vec<usize>,
+    touch_stamp: Vec<u64>,
+    stamp: u64,
+}
+
+impl GroupState {
+    pub(crate) fn new() -> Self {
+        Self {
+            event: PmuEvent::L1Miss,
+            period: 1,
+            total_samples: 0,
+            total_weighted: 0,
+            attributed_weighted: 0,
+            index: HashMap::new(),
+            groups: Vec::new(),
+            touched: Vec::new(),
+            touch_stamp: Vec::new(),
+            stamp: 1,
+        }
+    }
+
+    /// Adopts a source's event/period header (cold evaluation: last profile wins).
+    pub(crate) fn set_meta(&mut self, event: PmuEvent, period: u64) {
+        self.event = event;
+        self.period = period;
+    }
+
+    /// Number of group slots created so far.
+    pub(crate) fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group accumulators, indexed by slot.
+    pub(crate) fn groups(&self) -> &[GroupAcc] {
+        &self.groups
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.touch_stamp[slot] != self.stamp {
+            self.touch_stamp[slot] = self.stamp;
+            self.touched.push(slot);
+        }
+    }
+
+    /// Drains the slots created or mutated since the previous drain.
+    pub(crate) fn take_touched(&mut self) -> Vec<usize> {
+        self.stamp += 1;
+        std::mem::take(&mut self.touched)
+    }
+
+    /// Resolves (or creates) the slot of a group. Callers on the row path construct
+    /// the key only on memo misses — see the site-slot memo in
+    /// [`GroupState::absorb_profile`].
+    fn slot(&mut self, key: GroupKey, label: &str) -> usize {
+        let slot = match self.index.get(&key) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.groups.len();
+                self.groups.push(GroupAcc {
+                    label: if label.is_empty() { key.basic_label() } else { label.to_string() },
+                    key: key.clone(),
+                    first_seen: slot as u64,
+                    metrics: MetricVector::default(),
+                    contexts: HashMap::new(),
+                });
+                self.index.insert(key, slot);
+                self.touch_stamp.push(0);
+                slot
+            }
+        };
+        self.touch(slot);
+        slot
+    }
+
+    /// Folds one locality partition of a vector into its NumaNode group.
+    fn fold_locality(&mut self, locality: Locality, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let slot = self.slot(GroupKey::NumaNode(locality), "");
+        let group = &mut self.groups[slot];
+        group.metrics.samples += count;
+        match locality {
+            Locality::Local => group.metrics.local_samples += count,
+            Locality::Remote => group.metrics.remote_samples += count,
+        }
+    }
+
+    /// The thread-block prologue: run totals (unconditional) plus the unattributed
+    /// contribution under the Thread/NumaNode axes. Returns the thread's lazily
+    /// created group slot (Thread axis) for the row loop to reuse.
+    ///
+    /// `name` is the thread's *authoritative* first-seen name. Cold evaluation passes
+    /// the profile's own (the fold already kept the first-seen identity); the live
+    /// absorb path resolves it against the stream's fold, because later fragments of
+    /// a thread carry the `<attached>` placeholder.
+    pub(crate) fn absorb_thread_header(
+        &mut self,
+        query: &Query,
+        thread: &ThreadProfile,
+        name: &str,
+    ) -> Option<usize> {
+        self.total_samples += thread.samples;
+        self.total_weighted += thread.unattributed.weighted_events;
+        let mut thread_slot: Option<usize> = None;
+        if query.unattributed_passes(thread.thread) {
+            match query.group_by {
+                GroupBy::Thread => {
+                    let slot = self.slot(GroupKey::Thread(thread.thread), name);
+                    thread_slot = Some(slot);
+                    self.groups[slot].metrics.merge(&thread.unattributed);
                 }
-                // Site rows in id order, so group first-encounter order (and thus the
-                // analyzer shim's merged site ids) never depends on hash-map iteration.
-                let mut thread_sites: Vec<_> = thread.sites.iter().collect();
-                thread_sites.sort_unstable_by_key(|(id, _)| **id);
-                for (site_id, sm) in thread_sites {
-                    let Some(site) = profile.site(*site_id) else { continue };
-                    total_weighted += sm.total.weighted_events;
-                    attributed_weighted += sm.total.weighted_events;
-                    if !self.row_passes(site, thread.thread) {
-                        continue;
-                    }
-                    let slot = match self.group_by {
-                        GroupBy::Object | GroupBy::Site => match site_slots[site_id.0 as usize] {
-                            Some(slot) => slot,
-                            None => {
-                                let (key, label) = if self.group_by == GroupBy::Object {
-                                    (
-                                        GroupKey::Object {
-                                            class_name: site.class_name.clone(),
-                                            alloc_path: site.call_path.clone(),
-                                        },
-                                        site.class_name.as_str(),
-                                    )
-                                } else {
-                                    (GroupKey::Site(site.call_path.last().copied()), "")
-                                };
-                                let slot = table.slot(key, label);
-                                site_slots[site_id.0 as usize] = Some(slot);
-                                slot
-                            }
-                        },
-                        GroupBy::Thread => match thread_slot {
-                            Some(slot) => slot,
-                            None => {
-                                let slot = table
-                                    .slot(GroupKey::Thread(thread.thread), &thread.thread_name);
-                                thread_slot = Some(slot);
-                                slot
-                            }
-                        },
-                        GroupBy::NumaNode => {
-                            table.fold_locality(Locality::Local, sm.total.local_samples);
-                            table.fold_locality(Locality::Remote, sm.total.remote_samples);
-                            continue;
-                        }
-                    };
-                    let group = &mut table.groups[slot];
-                    group.metrics.merge(&sm.total);
-                    for (ctx, m) in &sm.by_context {
-                        let path = thread.cct.path_of(*ctx);
-                        group.contexts.entry(path).or_default().merge(m);
-                    }
+                GroupBy::NumaNode => {
+                    self.fold_locality(Locality::Local, thread.unattributed.local_samples);
+                    self.fold_locality(Locality::Remote, thread.unattributed.remote_samples);
                 }
+                GroupBy::Object | GroupBy::Site => {}
             }
         }
+        thread_slot
+    }
 
+    /// One resolved site row: row totals, the filter gate, and the group merge
+    /// (metrics plus access contexts resolved through the owning thread's CCT).
+    /// `site_slot` memoizes the site's group slot across rows (and, for a live
+    /// watch, across ticks — slots are stable).
+    #[allow(clippy::too_many_arguments)] // one call site; the slots are out-params
+    pub(crate) fn absorb_row(
+        &mut self,
+        query: &Query,
+        thread: &ThreadProfile,
+        name: &str,
+        thread_slot: &mut Option<usize>,
+        site: &AllocSite,
+        site_slot: &mut Option<usize>,
+        sm: &SiteMetrics,
+    ) {
+        self.total_weighted += sm.total.weighted_events;
+        self.attributed_weighted += sm.total.weighted_events;
+        if !query.row_passes(site, thread.thread) {
+            return;
+        }
+        let slot = match query.group_by {
+            GroupBy::Object | GroupBy::Site => match *site_slot {
+                Some(slot) => slot,
+                None => {
+                    let (key, label) = if query.group_by == GroupBy::Object {
+                        (
+                            GroupKey::Object {
+                                class_name: site.class_name.clone(),
+                                alloc_path: site.call_path.clone(),
+                            },
+                            site.class_name.as_str(),
+                        )
+                    } else {
+                        (GroupKey::Site(site.call_path.last().copied()), "")
+                    };
+                    let slot = self.slot(key, label);
+                    *site_slot = Some(slot);
+                    slot
+                }
+            },
+            GroupBy::Thread => match *thread_slot {
+                Some(slot) => slot,
+                None => {
+                    let slot = self.slot(GroupKey::Thread(thread.thread), name);
+                    *thread_slot = Some(slot);
+                    slot
+                }
+            },
+            GroupBy::NumaNode => {
+                self.fold_locality(Locality::Local, sm.total.local_samples);
+                self.fold_locality(Locality::Remote, sm.total.remote_samples);
+                return;
+            }
+        };
+        let group = &mut self.groups[slot];
+        group.metrics.merge(&sm.total);
+        for (ctx, m) in &sm.by_context {
+            let path = thread.cct.path_of(*ctx);
+            group.contexts.entry(path).or_default().merge(m);
+        }
+        self.touch(slot);
+    }
+
+    /// One terminal allocation row, seen the way cold evaluation sees it *after*
+    /// [`fold_allocation_rows`](crate::profile) assembly: the allocation counters
+    /// merge into the row's group, a thread that never sampled surfaces as the
+    /// `<allocation-only>` thread block (a group of its own under the Thread axis),
+    /// and no sample-derived total moves — allocation rows carry no weighted events.
+    ///
+    /// `thread_name` is the label a freshly created Thread-axis slot would carry:
+    /// the thread's first-seen name if it ever sampled, `<allocation-only>`
+    /// otherwise — exactly what assembly leaves in the merged profile.
+    pub(crate) fn absorb_alloc_row(
+        &mut self,
+        query: &Query,
+        row: crate::profile::AllocationRow,
+        site: Option<&AllocSite>,
+        thread_name: &str,
+    ) {
+        let (thread, _site_id, count, bytes) = row;
+        let mut thread_slot =
+            if query.group_by == GroupBy::Thread && query.unattributed_passes(thread) {
+                // The assembled profile holds a thread block for this row's thread even
+                // when it never sampled; slot() keeps the real label if the thread was
+                // already seen, exactly like the fold keeping the first-seen name.
+                Some(self.slot(GroupKey::Thread(thread), thread_name))
+            } else {
+                None
+            };
+        let Some(site) = site else { return };
+        if !query.row_passes(site, thread) {
+            return;
+        }
+        let delta =
+            MetricVector { allocations: count, allocated_bytes: bytes, ..MetricVector::default() };
+        let slot = match query.group_by {
+            GroupBy::Object => self.slot(
+                GroupKey::Object {
+                    class_name: site.class_name.clone(),
+                    alloc_path: site.call_path.clone(),
+                },
+                site.class_name.as_str(),
+            ),
+            GroupBy::Site => self.slot(GroupKey::Site(site.call_path.last().copied()), ""),
+            GroupBy::Thread => match thread_slot.take() {
+                Some(slot) => slot,
+                None => self.slot(GroupKey::Thread(thread), thread_name),
+            },
+            // Allocation counters carry no locality partition: nothing to fold.
+            GroupBy::NumaNode => return,
+        };
+        self.groups[slot].metrics.merge(&delta);
+        self.touch(slot);
+    }
+
+    /// Folds one whole profile — the cold evaluation step, and the snapshot seed of
+    /// a freshly registered live watch.
+    pub(crate) fn absorb_profile(&mut self, query: &Query, profile: &ObjectCentricProfile) {
+        self.set_meta(profile.event, profile.period);
+        // Per-profile memo: site id -> resolved group slot. Group identity is a
+        // function of the site (for the Object/Site axes), so each distinct site
+        // constructs and hashes its GroupKey once per profile instead of once
+        // per (thread, site) row — the allocation that would otherwise dominate
+        // wide-profile evaluation.
+        let mut site_slots: Vec<Option<usize>> = vec![None; profile.sites.len()];
+        for thread in &profile.threads {
+            // The thread's own group slot (Thread axis), resolved lazily once.
+            let mut thread_slot = self.absorb_thread_header(query, thread, &thread.thread_name);
+            // Site rows in id order, so group first-encounter order (and thus the
+            // analyzer shim's merged site ids) never depends on hash-map iteration.
+            let mut thread_sites: Vec<_> = thread.sites.iter().collect();
+            thread_sites.sort_unstable_by_key(|(id, _)| **id);
+            for (site_id, sm) in thread_sites {
+                let Some(site) = profile.site(*site_id) else { continue };
+                let memo = &mut site_slots[site_id.0 as usize];
+                self.absorb_row(
+                    query,
+                    thread,
+                    &thread.thread_name,
+                    &mut thread_slot,
+                    site,
+                    memo,
+                    sm,
+                );
+            }
+        }
+    }
+
+    /// Materializes a set of group accumulators into a ranked [`QueryResult`] — the
+    /// single rendering path shared by cold evaluation (which passes every group)
+    /// and a live watch (which passes its maintained top-k members): retain → rank →
+    /// truncate over the same comparator, so both render byte-identically.
+    pub(crate) fn materialize(&self, query: &Query, accs: Vec<GroupAcc>) -> QueryResult {
         // Fractions are weighted-events based; the NumaNode axis only carries sample
         // counts (see GroupBy::NumaNode), so its fractions are sample-based instead.
-        let (fraction_total, fraction_of): (u64, fn(&MetricVector) -> u64) = match self.group_by {
-            GroupBy::NumaNode => (total_samples, |m| m.samples),
-            _ => (total_weighted, |m| m.weighted_events),
+        let (fraction_total, fraction_of): (u64, fn(&MetricVector) -> u64) = match query.group_by {
+            GroupBy::NumaNode => (self.total_samples, |m| m.samples),
+            _ => (self.total_weighted, |m| m.weighted_events),
         };
-        let mut ranked: Vec<QueryGroup> = table
-            .groups
+        let mut ranked: Vec<QueryGroup> = accs
             .into_iter()
             .map(|acc| {
                 let group_weighted = acc.metrics.weighted_events;
@@ -995,26 +1260,27 @@ impl Query {
                 }
             })
             .collect();
-        ranked.retain(|g| g.metrics.samples >= self.min_samples);
+        ranked.retain(|g| g.metrics.samples >= query.min_samples);
         ranked.sort_by(|a, b| {
-            self.rank_by
+            query
+                .rank_by
                 .key_value(&b.metrics)
-                .cmp_key(&self.rank_by.key_value(&a.metrics))
+                .cmp_key(&query.rank_by.key_value(&a.metrics))
                 .then_with(|| b.metrics.weighted_events.cmp(&a.metrics.weighted_events))
                 .then_with(|| a.key.cmp(&b.key))
         });
-        if let Some(top) = self.top {
+        if let Some(top) = query.top {
             ranked.truncate(top);
         }
 
         QueryResult {
-            event,
-            period,
-            group_by: self.group_by,
-            rank_by: self.rank_by,
-            total_samples,
-            total_weighted_events: total_weighted,
-            attributed_weighted_events: attributed_weighted,
+            event: self.event,
+            period: self.period,
+            group_by: query.group_by,
+            rank_by: query.rank_by,
+            total_samples: self.total_samples,
+            total_weighted_events: self.total_weighted,
+            attributed_weighted_events: self.attributed_weighted,
             groups: ranked,
         }
     }
@@ -1178,10 +1444,15 @@ impl QueryResult {
         out
     }
 
-    /// Converts an object-grouped result into the legacy [`AnalysisReport`] shape —
-    /// the [`Analyzer`](crate::analyzer::Analyzer) shim's conversion, kept
-    /// bit-identical to the pre-redesign analyzer output.
-    pub(crate) fn into_analysis_report(self) -> crate::analyzer::AnalysisReport {
+    /// Converts an object-grouped result into the legacy
+    /// [`AnalysisReport`](crate::analyzer::AnalysisReport) shape — the migration
+    /// bridge for code that still consumes the deprecated
+    /// [`Analyzer`](crate::analyzer::Analyzer)'s report: evaluate a [`Query`]
+    /// grouped by [`GroupBy::Object`] and convert, bit-identically to the
+    /// pre-redesign analyzer output. Non-object groupings convert on a
+    /// best-effort basis (the group label stands in for the class name and the
+    /// allocation path is empty).
+    pub fn into_analysis_report(self) -> crate::analyzer::AnalysisReport {
         crate::analyzer::AnalysisReport {
             event: self.event,
             period: self.period,

@@ -484,6 +484,17 @@ impl<T: AbsorbDelta + Clone> SnapshotBuffered<T> {
         Self::clone_locked(&self.retired.lock())
     }
 
+    /// Like [`SnapshotBuffered::retired_clone`], but keeping each entry's first-seen
+    /// sequence — what a live tap seeds its fold from, so its thread order matches
+    /// the order the drained stream would have produced.
+    fn retired_clone_with_seq(&self) -> Vec<(u64, ThreadId, T)> {
+        let retired = self.retired.lock();
+        let mut all: Vec<(u64, ThreadId, T)> =
+            retired.iter().map(|(t, (seq, s))| (*seq, *t, s.clone())).collect();
+        all.sort_unstable_by_key(|(seq, t, _)| (*seq, *t));
+        all
+    }
+
     /// Retires the open epoch and clones the merged state out in thread-first-seen
     /// order. Stripe locks are held only for the O(1) buffer swap; absorption, cloning
     /// and sorting all happen on the retired buffer outside every sampling lock. The
@@ -585,6 +596,23 @@ impl ObjectCentricCollector {
     /// this is, by construction, the fold of every delta ever drained.
     pub(crate) fn retired_profiles(&self) -> Vec<ThreadProfile> {
         self.state.retired_clone().into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// The retired buffer as an already-merged [`ProfileDelta`] at the current epoch
+    /// counter — the seed a live tap adopts when it attaches mid-stream. Must run
+    /// with the export hand-off gate held: every drain on a streaming session holds
+    /// that gate, so under it the retired buffer is exactly the fold of every delta
+    /// streamed so far and no epoch can close concurrently.
+    pub(crate) fn retired_delta(&self) -> ProfileDelta {
+        ProfileDelta {
+            epoch: self.state.retirements(),
+            threads: self
+                .state
+                .retired_clone_with_seq()
+                .into_iter()
+                .map(|(seq, _, profile)| ThreadDelta { seq, profile })
+                .collect(),
+        }
     }
 
     /// Total samples recorded across every thread.
@@ -1473,6 +1501,72 @@ impl Session {
         query: &crate::query::Query,
     ) -> Result<crate::query::QueryResult, crate::query::QueryError> {
         query.evaluate(self)
+    }
+
+    /// Subscribes a [`LiveFold`](crate::query::live::LiveFold) to this session's
+    /// epoch-retired delta stream: the fold is seeded with everything retired so
+    /// far and then fed every epoch the export drainer hands over, under the same
+    /// hand-off gate that orders the export queue — the fold observes exactly the
+    /// stream the sink logs. The site table resolves on demand against the
+    /// session's interner, and the terminal flush (an explicit
+    /// [`Session::finish_export`] or drain-on-drop) closes the fold with the
+    /// complete profile.
+    ///
+    /// When the export stream already finished, the returned fold is the terminal
+    /// profile, already closed — watches registered on it render the final state
+    /// and their [`next_epoch`](crate::query::live::LiveQuery::next_epoch)
+    /// iterators drain immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::SourceUnavailable`](crate::query::QueryError) when the
+    /// session has no export stream (configure one with
+    /// [`SessionBuilder::stream_to`]) or no object-centric collector.
+    pub fn live_fold(&self) -> Result<crate::query::live::LiveFold, crate::query::QueryError> {
+        use crate::query::live::LiveFold;
+        use crate::query::QueryError;
+        let export = self.export.as_ref().ok_or_else(|| {
+            QueryError::SourceUnavailable(
+                "session has no export stream (configure one with SessionBuilder::stream_to)"
+                    .to_string(),
+            )
+        })?;
+        let collector = self.objects.as_ref().ok_or_else(|| {
+            QueryError::SourceUnavailable("no object-centric collector registered".to_string())
+        })?;
+        let fold =
+            LiveFold::with_meta(self.config.event, self.config.period, self.config.size_filter);
+        let shared = Arc::clone(&self.shared);
+        fold.set_site_refresh(move || shared.sites.lock().snapshot());
+        let attached = export.attach_tap(collector, |seed| {
+            fold.adopt_seed(seed);
+            fold.tap_handle()
+        });
+        if !attached {
+            // The stream already flushed its terminal record; the session's own
+            // profile is the complete run.
+            let profile = self.object_profile().ok_or_else(|| {
+                QueryError::SourceUnavailable("no object-centric collector registered".to_string())
+            })?;
+            return Ok(LiveFold::from_terminal(&profile));
+        }
+        Ok(fold)
+    }
+
+    /// Registers a live subscription for `query` on this session's delta stream —
+    /// shorthand for `query.watch(&session.live_fold()?)`. The returned
+    /// [`LiveQuery`](crate::query::live::LiveQuery) keeps the underlying fold
+    /// alive; its results are epoch-versioned and byte-identical to cold
+    /// evaluations over the fold's snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::live_fold`].
+    pub fn watch(
+        &self,
+        query: &crate::query::Query,
+    ) -> Result<crate::query::live::LiveQuery, crate::query::QueryError> {
+        Ok(query.watch(&self.live_fold()?))
     }
 
     /// The code-centric collector's current profile, or `None` when no

@@ -626,6 +626,158 @@ impl<R: BufRead> EpochFrameReader<R> {
     }
 }
 
+/// An incremental, push-driven epoch-frame decoder for **tailing a log that is
+/// still being written**: feed it byte chunks as they arrive ([`FrameTail::push`] —
+/// from a growing file, a pipe, a socket) and pull complete decoded [`LogRecord`]s
+/// out ([`FrameTail::next_record`]); partial frames stay buffered until their bytes
+/// arrive. The format is sniffed from the first bytes — [`ChunkedJsonSink`] NDJSON
+/// records and [`BinaryChunkedSink`](crate::wire::BinaryChunkedSink) frames both
+/// decode, through the same single-frame parsers every other transport uses.
+///
+/// This is the pull counterpart of [`EpochFrameReader`] for sources that cannot
+/// block on a reader, and the decoding layer behind
+/// [`LiveFold::feed`](crate::query::live::LiveFold::feed).
+#[derive(Debug, Default)]
+pub struct FrameTail {
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte; consumed prefixes are compacted away
+    /// once they outgrow the unconsumed remainder.
+    pos: usize,
+    format: Option<TailFormat>,
+    frames: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TailFormat {
+    Json,
+    Binary,
+}
+
+impl FrameTail {
+    /// An empty tail; the format is sniffed from the first pushed bytes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly arrived bytes to the tail buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && self.pos >= self.buf.len().saturating_sub(self.pos) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Number of complete frames decoded so far (the position parse errors anchor
+    /// to).
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` when the buffered bytes end
+    /// mid-frame — push more and try again.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileParseError`] for malformed frames, anchored to the running frame
+    /// count. A tail that errored is not recoverable: the stream position inside a
+    /// corrupt frame is unknowable.
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>, ProfileParseError> {
+        use crate::wire::{read_binary_frame, BINARY_MAGIC, HEADER_LEN, MAX_PAYLOAD_LEN};
+        loop {
+            let avail = &self.buf[self.pos..];
+            if avail.is_empty() {
+                return Ok(None);
+            }
+            let format = match self.format {
+                Some(format) => format,
+                None => {
+                    // Sniff like read_any_profile_bytes: the magic's leading pair is
+                    // never valid UTF-8, so any prefix match means binary (wait for
+                    // the full magic before committing), anything else means text.
+                    let head = &avail[..avail.len().min(BINARY_MAGIC.len())];
+                    if head == &BINARY_MAGIC[..head.len()] {
+                        if head.len() < BINARY_MAGIC.len() {
+                            return Ok(None);
+                        }
+                        self.format = Some(TailFormat::Binary);
+                        TailFormat::Binary
+                    } else {
+                        self.format = Some(TailFormat::Json);
+                        TailFormat::Json
+                    }
+                }
+            };
+            match format {
+                TailFormat::Json => {
+                    let Some(nl) = avail.iter().position(|&b| b == b'\n') else {
+                        return Ok(None);
+                    };
+                    let line = &avail[..nl];
+                    let text = std::str::from_utf8(line).map_err(|e| ProfileParseError {
+                        line: self.frames + 1,
+                        message: format!("frame {}: invalid UTF-8: {e}", self.frames + 1),
+                    })?;
+                    let text = text.trim_matches(['\r', ' ', '\t']);
+                    if text.is_empty() {
+                        self.pos += nl + 1;
+                        continue;
+                    }
+                    let record = parse_log_record(text).map_err(|mut e| {
+                        e.line = self.frames + 1;
+                        e.message = format!(
+                            "frame {}: {} — in frame {}",
+                            self.frames + 1,
+                            e.message,
+                            snippet_of(text)
+                        );
+                        e
+                    })?;
+                    self.pos += nl + 1;
+                    self.frames += 1;
+                    return Ok(Some(record));
+                }
+                TailFormat::Binary => {
+                    if avail.len() < HEADER_LEN {
+                        return Ok(None);
+                    }
+                    let len = u32::from_le_bytes(avail[6..10].try_into().expect("4 length bytes"));
+                    // Reject an absurd length up front: waiting for bytes that a
+                    // corrupt prefix promises would stall the tail forever.
+                    if len > MAX_PAYLOAD_LEN {
+                        return Err(ProfileParseError {
+                            line: self.frames + 1,
+                            message: format!(
+                                "frame {}: payload length {len} exceeds the \
+                                 {MAX_PAYLOAD_LEN}-byte cap",
+                                self.frames + 1
+                            ),
+                        });
+                    }
+                    let total = HEADER_LEN + len as usize + 4;
+                    if avail.len() < total {
+                        return Ok(None);
+                    }
+                    let (record, size) =
+                        read_binary_frame(&mut &avail[..total]).map_err(|mut e| {
+                            e.line = self.frames + 1;
+                            e.message = format!("frame {}: {}", self.frames + 1, e.message);
+                            e
+                        })?;
+                    self.pos += size;
+                    self.frames += 1;
+                    return Ok(Some(record));
+                }
+            }
+        }
+    }
+}
+
 impl ProfileSink for ChunkedJsonSink {
     fn format_name(&self) -> &'static str {
         "chunked-json"

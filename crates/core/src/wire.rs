@@ -124,11 +124,11 @@ const KIND_DELTA: u8 = 1;
 const KIND_FINISH: u8 = 2;
 
 /// Fixed frame header size: magic + version + kind + payload length.
-const HEADER_LEN: usize = 10;
+pub(crate) const HEADER_LEN: usize = 10;
 
 /// Upper bound on a single frame's payload, so a corrupt length prefix cannot
 /// provoke an absurd allocation.
-const MAX_PAYLOAD_LEN: u32 = 1 << 30;
+pub(crate) const MAX_PAYLOAD_LEN: u32 = 1 << 30;
 
 /// The epoch-frame codec a transport endpoint speaks: the NDJSON v1 records or the
 /// binary frames of this module. The fleet handshake negotiates one per connection

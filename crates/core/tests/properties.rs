@@ -341,6 +341,19 @@ fn run_stream_ops(ops: Vec<StreamOp>) -> Result<StreamRun, TestCaseError> {
     let reference = Session::builder().period(4).size_filter(1024).collect_objects().build();
     let sessions = [&streaming, &binary, &reference];
 
+    // Live watches on the JSON streaming session, one per query shape: after every
+    // pull each must render byte-identically to a cold evaluation over the live
+    // fold's snapshot (the incremental-vs-recompute identity of the live module).
+    use djxperf::{GroupBy, Query, RankBy};
+    let shapes = [
+        Query::new(),
+        Query::new().rank_by(RankBy::Samples).min_samples(1),
+        Query::new().group_by(GroupBy::Thread).rank_by(RankBy::Samples),
+        Query::new().rank_by(RankBy::RemoteFraction).top(2).min_samples(1),
+    ];
+    let live_fold = streaming.live_fold().expect("the streaming session taps its export");
+    let mut watches: Vec<djxperf::LiveQuery> = shapes.iter().map(|q| q.watch(&live_fold)).collect();
+
     let thread = ThreadId(1);
     let call_trace = [Frame::new(MethodId(1), 0), Frame::new(MethodId(2), 4)];
     let slot_addr = |slot: u64| 0x4000_0000 + slot * STREAM_OBJECT_SIZE;
@@ -424,6 +437,17 @@ fn run_stream_ops(ops: Vec<StreamOp>) -> Result<StreamRun, TestCaseError> {
             StreamOp::Pull => {
                 prop_assert!(streaming.flush_export(), "the JSON stream accepts pulls");
                 prop_assert!(binary.flush_export(), "the binary stream accepts pulls");
+                let snapshot = live_fold.snapshot();
+                for (query, lq) in shapes.iter().zip(&mut watches) {
+                    let live = lq.current();
+                    let cold = query.evaluate(&snapshot).expect("cold evaluation succeeds");
+                    prop_assert_eq!(
+                        live.result.to_text(),
+                        cold.to_text(),
+                        "after a pull, the watch and a cold evaluation render identically"
+                    );
+                    prop_assert_eq!(live.result.to_json(), cold.to_json());
+                }
             }
         }
     }
@@ -441,6 +465,19 @@ fn run_stream_ops(ops: Vec<StreamOp>) -> Result<StreamRun, TestCaseError> {
         "both codecs stream the identical sample population"
     );
     prop_assert_eq!(streaming.total_samples(), reference.total_samples());
+
+    // Finishing the stream closes the live fold; every watch renders the terminal
+    // state, still byte-identical to cold evaluation.
+    prop_assert!(live_fold.is_finished(), "finish_export closes the live fold");
+    let terminal = live_fold.snapshot();
+    for (query, lq) in shapes.iter().zip(&mut watches) {
+        let live = lq.current();
+        prop_assert!(live.finished, "a finished fold marks its watches finished");
+        let cold = query.evaluate(&terminal).expect("terminal evaluation succeeds");
+        prop_assert_eq!(live.result.to_text(), cold.to_text());
+        prop_assert_eq!(live.result.to_json(), cold.to_json());
+    }
+
     let log = String::from_utf8(buffer.contents()).unwrap();
     Ok((streaming, reference, log, binary_buffer.contents()))
 }
@@ -705,9 +742,11 @@ proptest! {
         let parsed = ObjectCentricProfile::parse(&text).expect("round trip");
         prop_assert_eq!(parsed.to_text(), text, "serialization is a fixed point");
 
-        let analyzer = djxperf::Analyzer::new();
-        let a = analyzer.analyze(&profile);
-        let b = analyzer.analyze(&parsed);
+        let analyze = |p: &ObjectCentricProfile| {
+            djxperf::Query::new().evaluate(std::slice::from_ref(p)).unwrap().into_analysis_report()
+        };
+        let a = analyze(&profile);
+        let b = analyze(&parsed);
         prop_assert_eq!(a.total_samples, b.total_samples);
         prop_assert_eq!(a.total_weighted_events, b.total_weighted_events);
         prop_assert_eq!(a.objects.len(), b.objects.len());

@@ -142,7 +142,7 @@ mod tests {
     use super::*;
     use crate::runner::{run_profiled, run_unprofiled};
     use djx_runtime::Runtime;
-    use djxperf::{Analyzer, CodeCentricProfiler, DjxPerf, ProfilerConfig};
+    use djxperf::{CodeCentricProfiler, DjxPerf, ProfilerConfig, Query};
     use std::sync::Arc;
 
     #[test]
@@ -198,7 +198,7 @@ mod tests {
 
         // The hottest object beats the hottest instruction by roughly 2x, which is the
         // argument Figure 1 makes for object-centric profiling.
-        let report = Analyzer::new().analyze(&object.profile());
+        let report = Query::new().evaluate(&[object.profile()][..]).unwrap().into_analysis_report();
         let top_object = report.hottest().unwrap();
         assert!(top_object.fraction_of_total > top_code.fraction + 0.15);
     }

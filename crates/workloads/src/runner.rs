@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 use djx_memsim::HierarchyStats;
 use djx_runtime::{MethodRegistry, Runtime, RuntimeStats};
 use djxperf::{
-    AnalysisReport, Analyzer, CodeCentricProfile, DjxPerf, NumaProfile, ObjectCentricProfile,
-    ProfilerConfig, Session,
+    AnalysisReport, CodeCentricProfile, DjxPerf, NumaProfile, ObjectCentricProfile, ProfilerConfig,
+    Query, Session,
 };
 
 use crate::Workload;
@@ -95,7 +95,10 @@ pub fn run_profiled(workload: &dyn Workload, config: ProfilerConfig) -> Profiled
     let wall = start.elapsed();
 
     let profile = profiler.profile();
-    let report = Analyzer::new().analyze(&profile);
+    let report = Query::new()
+        .evaluate(std::slice::from_ref(&profile))
+        .unwrap()
+        .into_analysis_report();
     ProfiledRun {
         outcome: finish(&workload.name(), &rt, wall),
         profile,
@@ -150,7 +153,10 @@ pub fn run_session(workload: &dyn Workload, config: ProfilerConfig) -> SessionRu
     let wall = start.elapsed();
 
     let profile = session.object_profile().expect("object collector registered");
-    let report = Analyzer::new().analyze(&profile);
+    let report = Query::new()
+        .evaluate(std::slice::from_ref(&profile))
+        .unwrap()
+        .into_analysis_report();
     SessionRun {
         outcome: finish(&workload.name(), &rt, wall),
         report,

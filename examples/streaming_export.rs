@@ -23,7 +23,7 @@ use djxperf::{
     read_any_profile_bytes, BinaryChunkedSink, ChunkedJsonSink, DrainPolicy, ProfileSink,
     SharedBuffer,
 };
-use djxperf::{Analyzer, Session};
+use djxperf::{Query, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A session streaming its object-centric profile continuously: every retired
@@ -96,8 +96,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         replayed.total_samples(),
     );
 
-    // 5. The replayed profile feeds the offline analyzer like any profile file.
-    let report = Analyzer::builder().top(3).min_samples(1).build().analyze(&replayed);
+    // 5. The replayed profile answers offline queries like any profile file.
+    let report = Query::new()
+        .top(3)
+        .min_samples(1)
+        .evaluate(&[replayed][..])?
+        .into_analysis_report();
     let hottest = report.hottest().expect("the float[] site received samples");
     println!(
         "hottest object from the replayed stream: {} with {:.1}% of sampled misses",

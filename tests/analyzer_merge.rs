@@ -1,6 +1,10 @@
 //! The offline analyzer (§5.2): merging per-thread profiles of a multi-threaded run,
 //! merging profiles from separate runs (multiple service instances), and the ranking
 //! invariants the case studies rely on.
+//!
+//! `Analyzer` is deprecated in favour of `Query`; these tests deliberately keep
+//! exercising the shim until it is removed.
+#![allow(deprecated)]
 
 use djx_workloads::runner::run_profiled;
 use djx_workloads::suite::suite_catalog;

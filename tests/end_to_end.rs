@@ -4,7 +4,7 @@
 use djx_workloads::bloat::BatikNvalsWorkload;
 use djx_workloads::runner::run_profiled;
 use djx_workloads::Variant;
-use djxperf::{Analyzer, ObjectCentricProfile, ProfilerConfig, ReportOptions};
+use djxperf::{ObjectCentricProfile, ProfilerConfig, Query, ReportOptions};
 
 fn profiled_run() -> djx_workloads::runner::ProfiledRun {
     run_profiled(
@@ -74,8 +74,11 @@ fn profile_file_round_trip_preserves_the_analysis() {
     assert!(text.starts_with("djxperf-profile v1"));
 
     let reparsed = ObjectCentricProfile::parse(&text).expect("codec round trip");
-    let report_a = Analyzer::new().analyze(&run.profile);
-    let report_b = Analyzer::new().analyze(&reparsed);
+    let analyze = |p: &ObjectCentricProfile| {
+        Query::new().evaluate(std::slice::from_ref(p)).unwrap().into_analysis_report()
+    };
+    let report_a = analyze(&run.profile);
+    let report_b = analyze(&reparsed);
     assert_eq!(report_a.total_samples, report_b.total_samples);
     assert_eq!(report_a.objects.len(), report_b.objects.len());
     for (a, b) in report_a.objects.iter().zip(&report_b.objects) {
@@ -83,8 +86,8 @@ fn profile_file_round_trip_preserves_the_analysis() {
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.alloc_path, b.alloc_path);
     }
-    // And the analyzer consumes the text directly, as the offline workflow does.
-    let report_c = Analyzer::new().analyze_texts(&[&text]).unwrap();
+    // And the offline workflow parses the text back into a queryable profile.
+    let report_c = analyze(&ObjectCentricProfile::parse(&text).unwrap());
     assert_eq!(report_c.total_samples, report_a.total_samples);
 }
 

@@ -843,3 +843,89 @@ fn fleet_over_unix_domain_sockets() {
     aggregator.shutdown();
     assert!(!path.exists(), "the socket file is removed on shutdown");
 }
+
+/// Renders every live watch and asserts byte-identity (text and JSON) against a
+/// cold `aggregator.query` over the same merged view. Callers quiesce first
+/// (every producer flushed, nothing in flight), so the comparison is exact.
+fn assert_watch_identity(aggregator: &FleetAggregator, watches: &mut [djxperf::LiveQuery]) {
+    for lq in watches.iter_mut() {
+        let live = lq.current();
+        let cold = aggregator.query(lq.query()).expect("aggregator answers the cold query");
+        assert_eq!(live.result.to_text(), cold.to_text());
+        assert_eq!(live.result.to_json(), cold.to_json());
+    }
+}
+
+#[test]
+fn live_fleet_watches_stay_identical_across_reconnect() {
+    let mut aggregator = FleetAggregator::bind("127.0.0.1:0").expect("aggregator binds");
+    let addr = aggregator.local_addr().expect("tcp aggregator").to_string();
+    let logs = build_process_logs();
+
+    let shapes = [
+        Query::new(),
+        Query::new().group_by(GroupBy::Thread).rank_by(RankBy::Samples),
+        Query::new().top(3),
+        Query::new().rank_by(RankBy::RemoteFraction).top(2).min_samples(1),
+    ];
+    // Watches registered before any producer has even said hello.
+    let mut early: Vec<djxperf::LiveQuery> = shapes.iter().map(|q| aggregator.watch(q)).collect();
+
+    let sink0 = connect_sink(&addr, "proc0");
+    let sink1 = connect_sink(&addr, "proc1");
+    let session0 = fleet_session(&sink0);
+    let session1 = fleet_session(&sink1);
+    replay_allocs(&session0, &logs[0]);
+    replay_allocs(&session1, &logs[1]);
+
+    let half = ACCESSES_PER_PROCESS as usize / 2;
+    replay_accesses(&session0, &logs[0], 0..half);
+    replay_accesses(&session1, &logs[1], 0..half / 2);
+    session0.flush_export();
+    session1.flush_export();
+    assert_watch_identity(&aggregator, &mut early);
+
+    // A watch attached mid-run is seeded with everything already folded.
+    let mut late: Vec<djxperf::LiveQuery> = shapes.iter().map(|q| aggregator.watch(q)).collect();
+    assert_watch_identity(&aggregator, &mut late);
+
+    // Sever producer 0 mid-run; the next flush reconnects and backfills. Replayed
+    // duplicate frames are pre-dropped and never reach the watches.
+    sink0.disconnect();
+    replay_accesses(&session0, &logs[0], half..ACCESSES_PER_PROCESS as usize);
+    session0.flush_export();
+    assert!(sink0.stats().connects >= 2, "the severed producer reconnected");
+    assert_watch_identity(&aggregator, &mut early);
+    assert_watch_identity(&aggregator, &mut late);
+
+    // Producer 0 finishes: its site table arrives and the deferred rows replay.
+    session0.finish_export().expect("producer 0 finishes");
+    assert_watch_identity(&aggregator, &mut early);
+
+    // A third producer joins mid-watch (fleet meta refresh), streams, finishes.
+    let sink2 = connect_sink(&addr, "proc2");
+    let session2 = fleet_session(&sink2);
+    replay_allocs(&session2, &logs[2]);
+    replay_accesses(&session2, &logs[2], 0..ACCESSES_PER_PROCESS as usize);
+    session2.finish_export().expect("producer 2 finishes");
+    assert_watch_identity(&aggregator, &mut early);
+    assert_watch_identity(&aggregator, &mut late);
+
+    replay_accesses(&session1, &logs[1], half / 2..ACCESSES_PER_PROCESS as usize);
+    session1.finish_export().expect("producer 1 finishes");
+    assert_watch_identity(&aggregator, &mut early);
+    assert_watch_identity(&aggregator, &mut late);
+
+    let final_version = early[0].current().version;
+    assert!(final_version > 1, "the early watch observed incremental updates");
+    assert!(!early[0].current().finished, "producers finishing does not end a fleet watch");
+
+    drop(session0);
+    drop(session1);
+    drop(session2);
+    aggregator.shutdown();
+    for lq in early.iter_mut().chain(late.iter_mut()) {
+        while lq.next_epoch().is_some() {}
+        assert!(lq.is_finished(), "shutdown marks every fleet watch finished");
+    }
+}

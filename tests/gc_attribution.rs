@@ -4,7 +4,14 @@
 use std::sync::Arc;
 
 use djx_runtime::{dsl, GcConfig, HeapConfig, Runtime, RuntimeConfig};
-use djxperf::{Analyzer, DjxPerf, ProfilerConfig};
+use djxperf::{AnalysisReport, DjxPerf, ObjectCentricProfile, ProfilerConfig, Query};
+
+fn analyze(profile: &ObjectCentricProfile) -> AnalysisReport {
+    Query::new()
+        .evaluate(std::slice::from_ref(profile))
+        .unwrap()
+        .into_analysis_report()
+}
 
 /// A runtime with a small heap and an aggressive proactive GC, so compactions (and the
 /// object moves they cause) happen constantly.
@@ -56,7 +63,7 @@ fn attribution_survives_heavy_compaction() {
     assert!(stats.relocations > 0, "the survivor must have been moved and re-indexed");
     assert!(stats.reclamations > 0, "junk must have been removed from the splay tree");
 
-    let report = Analyzer::new().analyze(&profiler.profile());
+    let report = analyze(&profiler.profile());
     let survivor_report = report.find_by_class("long[] (survivor)").expect("survivor attributed");
     assert!(survivor_report.metrics.samples > 0);
     // Samples taken after relocations still resolve: nothing leaks into the
@@ -85,7 +92,7 @@ fn address_reuse_after_reclamation_attributes_to_the_new_object() {
     dsl::sequential_sweep(&mut rt, t, &new).unwrap();
     rt.shutdown();
 
-    let report = Analyzer::new().analyze(&profiler.profile());
+    let report = analyze(&profiler.profile());
     let new_report = report.find_by_class("double[] (new tenant)").expect("new object sampled");
     assert!(new_report.metrics.samples > 0);
     let old_report = report.find_by_class("double[] (old generation)");
@@ -120,7 +127,7 @@ fn attach_mode_tracks_objects_first_seen_when_the_gc_moves_them() {
     rt.shutdown();
 
     let profile = profiler.profile();
-    let report = Analyzer::new().analyze(&profile);
+    let report = analyze(&profile);
     let unattributed_site = report
         .objects
         .iter()

@@ -17,9 +17,11 @@ use djx_runtime::{
     dsl, AllocationEvent, ClassId, Frame, MemoryAccessEvent, MethodId, ObjectId, Runtime,
     RuntimeConfig, RuntimeListener, ThreadId,
 };
+#[allow(deprecated)] // the shim-identity test below deliberately drives the legacy Analyzer
+use djxperf::Analyzer;
 use djxperf::{
-    Analyzer, ChunkedJsonSink, DrainPolicy, EpochLog, GroupBy, MultiSource, Query, RankBy, Report,
-    Session, SharedBuffer,
+    ChunkedJsonSink, DrainPolicy, EpochLog, GroupBy, MultiSource, Query, RankBy, Report, Session,
+    SharedBuffer,
 };
 
 const PROCESSES: u64 = 3;
@@ -204,6 +206,7 @@ fn every_source_shape_answers_one_query_identically() {
 }
 
 #[test]
+#[allow(deprecated)] // deliberately compares the deprecated shim against Query
 fn analyzer_shim_and_query_render_identical_object_sections() {
     // A runtime-driven workload (GC moves included) through the legacy analyzer and
     // through the query layer: the shim must stay bit-identical, and the shared
@@ -264,4 +267,44 @@ fn truncated_or_reordered_logs_cannot_masquerade_as_sources() {
         Query::new().evaluate(&sniffed).unwrap().to_text(),
         Query::new().evaluate(&profile).unwrap().to_text()
     );
+}
+
+#[test]
+fn opened_log_files_cache_the_terminal_fold_until_the_file_changes() {
+    let (_union, logs) = run_union_and_per_process_logs();
+    let path = std::env::temp_dir().join(format!("djxperf-epochlog-{}.log", std::process::id()));
+    std::fs::write(&path, &logs[0]).unwrap();
+
+    let first = EpochLog::open(&path).expect("the log file replays");
+    let cold = Query::new().evaluate(&first).unwrap();
+    assert_eq!(
+        cold.to_text(),
+        Query::new().evaluate(&EpochLog::replay(&logs[0]).unwrap()).unwrap().to_text()
+    );
+
+    // Same length, same mtime: the cached fold answers without re-reading. Proof:
+    // overwrite the file with unparseable bytes of the same length and restore the
+    // modification time — a re-read would fail, the cache does not.
+    let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+    std::fs::write(&path, "x".repeat(logs[0].len())).unwrap();
+    let file = std::fs::File::options().write(true).open(&path).unwrap();
+    file.set_modified(mtime).unwrap();
+    drop(file);
+    let cached =
+        EpochLog::open(&path).expect("an unchanged (len, mtime) fingerprint hits the cache");
+    assert_eq!(Query::new().evaluate(&cached).unwrap().to_text(), cold.to_text());
+
+    // A different length invalidates: the garbage is now actually read and rejected.
+    std::fs::write(&path, "garbage").unwrap();
+    assert!(EpochLog::open(&path).is_err(), "a changed file is re-read, not served stale");
+
+    // A rewritten valid log re-folds and re-caches.
+    std::fs::write(&path, &logs[1]).unwrap();
+    let refolded = EpochLog::open(&path).expect("the rewritten log replays");
+    assert_eq!(
+        Query::new().evaluate(&refolded).unwrap().to_text(),
+        Query::new().evaluate(&EpochLog::replay(&logs[1]).unwrap()).unwrap().to_text()
+    );
+    std::fs::remove_file(&path).unwrap();
+    EpochLog::evict_fold_cache();
 }

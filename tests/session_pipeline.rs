@@ -8,7 +8,7 @@ use djx_workloads::figure1::{expected_object_percent, Figure1Workload};
 use djx_workloads::numa::EclipseCollectionsWorkload;
 use djx_workloads::runner::{run_profiled, run_session};
 use djx_workloads::{table1_case_studies, Variant};
-use djxperf::{Analyzer, JsonSink, ProfileSink, ProfilerConfig, RankBy, Report, TextSink};
+use djxperf::{JsonSink, ProfileSink, ProfilerConfig, Query, RankBy, Report, TextSink};
 
 fn config() -> ProfilerConfig {
     ProfilerConfig::default().with_period(64)
@@ -114,16 +114,21 @@ fn analyzer_builder_views_agree_with_the_report_helpers() {
     let session = run_session(&EclipseCollectionsWorkload::new(Variant::Baseline), config());
 
     // Remote ranking through the builder matches the report-level helper.
-    let remote = Analyzer::builder()
+    let remote = Query::new()
         .rank_by(RankBy::RemoteSamples)
         .min_samples(1)
-        .build()
-        .analyze(&session.profile);
+        .evaluate(std::slice::from_ref(&session.profile))
+        .unwrap()
+        .into_analysis_report();
     let helper_ranked = session.report.ranked_by_remote();
     assert_eq!(remote.objects[0].class_name, helper_ranked[0].class_name);
 
     // Truncation keeps totals (fractions stay comparable across views).
-    let top1 = Analyzer::builder().top(1).build().analyze(&session.profile);
+    let top1 = Query::new()
+        .top(1)
+        .evaluate(std::slice::from_ref(&session.profile))
+        .unwrap()
+        .into_analysis_report();
     assert_eq!(top1.objects.len(), 1);
     assert_eq!(top1.total_samples, session.report.total_samples);
     assert_eq!(top1.objects[0].class_name, session.report.objects[0].class_name);
